@@ -1,0 +1,99 @@
+//! # sloth-apps — the benchmark applications of the paper's evaluation
+//!
+//! Synthetic reconstructions of the four workloads of §6, written in the
+//! kernel language so the Sloth compiler can transform them:
+//!
+//! * [`itracker`] — issue tracker, 38 page benchmarks (10 projects ×
+//!   50 issues, 20 users).
+//! * [`openmrs`] — medical records, 112 page benchmarks including the §6.1
+//!   hot pages (`patientDashboardForm`, `encounterDisplay`, `alertList`).
+//! * [`tpcc`] / [`tpcw`] — the overhead-only workloads of Fig. 13 (results
+//!   displayed immediately; no batching opportunity).
+//!
+//! Each page is a complete kernel program (framework preamble + controller
+//! + view) runnable under `ExecStrategy::Original` (stock Hibernate-style
+//! behaviour) or `ExecStrategy::Sloth(...)`.
+
+#![warn(missing_docs)]
+
+pub mod framework;
+pub mod itracker;
+pub mod openmrs;
+pub mod pagegen;
+pub mod tpcc;
+pub mod tpcw;
+
+use std::rc::Rc;
+
+use sloth_net::SimEnv;
+use sloth_orm::Schema;
+
+pub use itracker::itracker_app;
+pub use openmrs::openmrs_app;
+pub use pagegen::{Page, PageSpec, Section};
+
+/// A benchmark application: schema, seeder and page programs.
+pub struct BenchApp {
+    /// Application name (`itracker` / `openmrs`).
+    pub name: &'static str,
+    /// Entity schema.
+    pub schema: Rc<Schema>,
+    /// All page benchmarks.
+    pub pages: Vec<Page>,
+    /// Seeds an empty environment with DDL + data.
+    pub seed: Box<dyn Fn(&SimEnv)>,
+}
+
+impl BenchApp {
+    /// Creates a fresh, seeded deployment for this app.
+    pub fn fresh_env(&self, cost: sloth_net::CostModel) -> SimEnv {
+        let env = SimEnv::new(cost);
+        for ddl in self.schema.ddl() {
+            env.seed_sql(&ddl).expect("schema DDL");
+        }
+        (self.seed)(&env);
+        env
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sloth_lang::{run_source, ExecStrategy, OptFlags, V};
+
+    /// End-to-end smoke test: a representative page of each app runs in
+    /// both modes with identical output and Sloth wins on round trips.
+    #[test]
+    fn representative_pages_run_and_batch() {
+        for app in [itracker_app(), openmrs_app()] {
+            let page = &app.pages[0];
+            let env_o = app.fresh_env(sloth_net::CostModel::default());
+            let o = run_source(
+                &page.source,
+                &env_o,
+                Rc::clone(&app.schema),
+                ExecStrategy::Original,
+                vec![V::Int(page.arg)],
+            )
+            .unwrap_or_else(|e| panic!("{}/{} original: {e}", app.name, page.name));
+            let env_s = app.fresh_env(sloth_net::CostModel::default());
+            let s = run_source(
+                &page.source,
+                &env_s,
+                Rc::clone(&app.schema),
+                ExecStrategy::Sloth(OptFlags::all()),
+                vec![V::Int(page.arg)],
+            )
+            .unwrap_or_else(|e| panic!("{}/{} sloth: {e}", app.name, page.name));
+            assert_eq!(o.output, s.output, "{}/{}", app.name, page.name);
+            assert!(
+                s.net.round_trips < o.net.round_trips,
+                "{}/{}: sloth {} trips vs original {}",
+                app.name,
+                page.name,
+                s.net.round_trips,
+                o.net.round_trips
+            );
+        }
+    }
+}

@@ -1,0 +1,643 @@
+//! Synthetic **OpenMRS** — the open-source medical-record system of the
+//! paper's evaluation (112 page benchmarks, §6). Schema, the sample
+//! database (patients / encounters / observations / concepts), and the 112
+//! page programs named after the paper's appendix, including the hot pages
+//! analysed in §6.1 (`encounterDisplay.jsp`, `patientDashboardForm.jsp`,
+//! `alertList.jsp`).
+
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sloth_net::SimEnv;
+use sloth_orm::{entity, many_to_one, one_to_many, FetchStrategy, Schema};
+use sloth_sql::ast::ColumnType::*;
+
+use crate::framework::{framework_entities, framework_prelude, seed_framework, FrameworkCfg};
+use crate::pagegen::{generate_page, Page, PageSpec, Section};
+use crate::BenchApp;
+
+/// Framework sizing for OpenMRS (~87–100 baseline queries per page).
+pub fn openmrs_framework_cfg() -> FrameworkCfg {
+    FrameworkCfg { config_rows: 40, message_rows: 30, menu_depth: 8, header_messages: 5 }
+}
+
+/// The OpenMRS entity schema.
+pub fn openmrs_schema() -> Rc<Schema> {
+    let mut s = Schema::new();
+    for e in framework_entities() {
+        s.add(e);
+    }
+    s.add(entity(
+        "person",
+        "person",
+        "person_id",
+        &[("person_id", Int), ("name", Text), ("birth_year", Int)],
+        vec![],
+    ));
+    s.add(entity(
+        "patient",
+        "patient",
+        "patient_id",
+        &[("patient_id", Int), ("person_id", Int), ("identifier", Text)],
+        vec![
+            many_to_one("person", "person", "person_id", FetchStrategy::Lazy),
+            one_to_many("encounters", "encounter", "patient_id", FetchStrategy::Lazy),
+            one_to_many("visits", "visit", "patient_id", FetchStrategy::Lazy),
+            // Wasteful eager strategy: orders fetched with every patient.
+            one_to_many("orders", "order_entry", "patient_id", FetchStrategy::Eager),
+        ],
+    ));
+    s.add(entity(
+        "encounter",
+        "encounter",
+        "encounter_id",
+        &[("encounter_id", Int), ("patient_id", Int), ("enc_type", Int), ("form_id", Int)],
+        vec![
+            one_to_many("obs", "obs", "encounter_id", FetchStrategy::Lazy),
+            many_to_one("form", "form", "form_id", FetchStrategy::Lazy),
+        ],
+    ));
+    s.add(entity(
+        "obs",
+        "obs",
+        "obs_id",
+        &[("obs_id", Int), ("encounter_id", Int), ("concept_id", Int), ("value", Float)],
+        vec![many_to_one("concept", "concept", "concept_id", FetchStrategy::Lazy)],
+    ));
+    s.add(entity(
+        "concept",
+        "concept",
+        "concept_id",
+        &[("concept_id", Int), ("text", Text), ("datatype", Int)],
+        vec![],
+    ));
+    s.add(entity(
+        "visit",
+        "visit",
+        "visit_id",
+        &[("visit_id", Int), ("patient_id", Int), ("active", Bool)],
+        vec![],
+    ));
+    s.add(entity(
+        "form",
+        "form",
+        "form_id",
+        &[("form_id", Int), ("name", Text)],
+        vec![one_to_many("fields", "field", "form_id", FetchStrategy::Lazy)],
+    ));
+    s.add(entity(
+        "field",
+        "field",
+        "field_id",
+        &[("field_id", Int), ("form_id", Int), ("label", Text)],
+        vec![],
+    ));
+    s.add(entity(
+        "drug",
+        "drug",
+        "drug_id",
+        &[("drug_id", Int), ("name", Text)],
+        vec![],
+    ));
+    s.add(entity(
+        "order_entry",
+        "order_entry",
+        "order_id",
+        &[("order_id", Int), ("patient_id", Int), ("drug_id", Int)],
+        vec![many_to_one("drug", "drug", "drug_id", FetchStrategy::Lazy)],
+    ));
+    s.add(entity(
+        "location",
+        "location",
+        "location_id",
+        &[("location_id", Int), ("name", Text), ("parent_id", Int)],
+        vec![],
+    ));
+    s.add(entity(
+        "alert",
+        "alert",
+        "alert_id",
+        &[("alert_id", Int), ("user_id", Int), ("text", Text)],
+        vec![many_to_one("recipient", "user", "user_id", FetchStrategy::Lazy)],
+    ));
+    Rc::new(s)
+}
+
+/// Seeds the OpenMRS sample database. `obs_per_encounter` controls the
+/// observation fan-out on the dashboard patient (paper default ≈ 50; the
+/// Fig. 10 scaling experiment sweeps it up to ~2000).
+pub fn seed_openmrs(env: &SimEnv, obs_per_encounter: usize) {
+    let cfg = openmrs_framework_cfg();
+    seed_framework(env, &cfg, 0x0527);
+    let mut rng = StdRng::seed_from_u64(0x0527 + 1);
+    // The concept dictionary grows with the observation count (the paper's
+    // Fig. 10 databases grow concepts alongside observations, letting the
+    // maximum batch size climb from 68 to 1880).
+    let concept_pool = 60.max(obs_per_encounter as i64 * 2);
+    for c in 1..=concept_pool {
+        env.seed_sql(&format!(
+            "INSERT INTO concept VALUES ({c}, 'concept-{c}', {})",
+            c % 4
+        ))
+        .unwrap();
+    }
+    for f in 1..=12i64 {
+        env.seed_sql(&format!("INSERT INTO form VALUES ({f}, 'form-{f}')")).unwrap();
+        for k in 0..4 {
+            env.seed_sql(&format!(
+                "INSERT INTO field VALUES ({}, {f}, 'field-{f}-{k}')",
+                (f - 1) * 4 + k + 1
+            ))
+            .unwrap();
+        }
+    }
+    for d in 1..=15i64 {
+        env.seed_sql(&format!("INSERT INTO drug VALUES ({d}, 'drug-{d}')")).unwrap();
+    }
+    // 12 locations: detail pages address ids up to 12.
+    for l in 1..=12i64 {
+        env.seed_sql(&format!(
+            "INSERT INTO location VALUES ({l}, 'loc-{l}', {})",
+            (l - 1).max(1)
+        ))
+        .unwrap();
+    }
+    let mut enc_id = 1i64;
+    let mut obs_id = 1i64;
+    let mut visit_id = 1i64;
+    let mut order_id = 1i64;
+    for p in 1..=20i64 {
+        env.seed_sql(&format!(
+            "INSERT INTO person VALUES ({p}, 'person-{p}', {})",
+            1950 + rng.random_range(0..60)
+        ))
+        .unwrap();
+        env.seed_sql(&format!(
+            "INSERT INTO patient VALUES ({p}, {p}, 'PID-{p}')"
+        ))
+        .unwrap();
+        // Patient 1 is the dashboard patient with the big encounter.
+        let encounters = if p == 1 { 4 } else { 3 };
+        for _ in 0..encounters {
+            let form = rng.random_range(1..=12);
+            env.seed_sql(&format!(
+                "INSERT INTO encounter VALUES ({enc_id}, {p}, {}, {form})",
+                enc_id % 5
+            ))
+            .unwrap();
+            let obs_count = if p == 1 && enc_id == 1 { obs_per_encounter } else { 6 };
+            for _ in 0..obs_count {
+                let concept = rng.random_range(1..=concept_pool);
+                env.seed_sql(&format!(
+                    "INSERT INTO obs VALUES ({obs_id}, {enc_id}, {concept}, {})",
+                    rng.random_range(1..200)
+                ))
+                .unwrap();
+                obs_id += 1;
+            }
+            enc_id += 1;
+        }
+        for v in 0..3 {
+            env.seed_sql(&format!(
+                "INSERT INTO visit VALUES ({visit_id}, {p}, {})",
+                if v == 0 { "TRUE" } else { "FALSE" }
+            ))
+            .unwrap();
+            visit_id += 1;
+        }
+        for _ in 0..2 {
+            let drug = rng.random_range(1..=15);
+            env.seed_sql(&format!(
+                "INSERT INTO order_entry VALUES ({order_id}, {p}, {drug})"
+            ))
+            .unwrap();
+            order_id += 1;
+        }
+    }
+    // Alerts for alertList.jsp — the paper's heaviest page (1705 queries).
+    for a in 1..=120i64 {
+        env.seed_sql(&format!(
+            "INSERT INTO alert VALUES ({a}, {}, 'alert-{a}')",
+            1 + (a % 20)
+        ))
+        .unwrap();
+    }
+}
+
+/// The 112 OpenMRS page benchmarks.
+pub fn openmrs_pages() -> Vec<Page> {
+    let cfg = openmrs_framework_cfg();
+    let prelude = framework_prelude(&cfg);
+    let mut pages = Vec::new();
+    let mut add = |spec: PageSpec, arg: i64| {
+        pages.push(generate_page(&prelude, &cfg, &spec, arg));
+    };
+
+    // ---- hand-modelled hot pages (§6.1) ----
+
+    // patientDashboardForm.jsp: Fig. 1 — patient + encounters + visits +
+    // active visits, all stored in the model.
+    add(
+        PageSpec {
+            name: "patientDashboardForm.jsp".into(),
+            guard: Some("VIEW"),
+            sections: vec![
+                Section::Detail {
+                    entity: "patient",
+                    id: 0,
+                    from_arg: true,
+                    field: "identifier",
+                    assocs: &["encounters", "visits"],
+                    render_assocs: true,
+                    follow: Some(("person", "name")),
+                },
+                Section::AssocLoop {
+                    entity: "encounter",
+                    col: "patient_id",
+                    val: 0,
+                    from_arg: true,
+                    assoc: "form",
+                    render: 3,
+                },
+                Section::AssocLoop {
+                    entity: "order_entry",
+                    col: "patient_id",
+                    val: 0,
+                    from_arg: true,
+                    assoc: "drug",
+                    render: 2,
+                },
+            ],
+        },
+        1,
+    );
+
+    // encounterDisplay.jsp: loop over the observations of the big
+    // encounter, fetching each one's concept (batched to one trip by
+    // Sloth — the §6.1 walk-through).
+    add(
+        PageSpec {
+            name: "encounters/encounterDisplay.jsp".into(),
+            guard: Some("VIEW"),
+            sections: vec![
+                Section::Detail {
+                    entity: "encounter",
+                    id: 0,
+                    from_arg: true,
+                    field: "enc_type",
+                    assocs: &[],
+                    render_assocs: false,
+                    follow: Some(("form", "name")),
+                },
+                Section::AssocLoop {
+                    entity: "obs",
+                    col: "encounter_id",
+                    val: 0,
+                    from_arg: true,
+                    assoc: "concept",
+                    render: 5,
+                },
+            ],
+        },
+        1,
+    );
+
+    // alertList.jsp: the heaviest page — alert × recipient 1+N over 120
+    // alerts.
+    add(
+        PageSpec {
+            name: "admin/users/alertList.jsp".into(),
+            guard: Some("ADMIN"),
+            sections: vec![
+                Section::AssocLoop {
+                    entity: "alert",
+                    col: "user_id",
+                    val: 1,
+                    from_arg: false,
+                    assoc: "recipient",
+                    render: 3,
+                },
+                Section::AssocLoop {
+                    entity: "alert",
+                    col: "user_id",
+                    val: 2,
+                    from_arg: false,
+                    assoc: "recipient",
+                    render: 3,
+                },
+                Section::List {
+                    entity: "alert",
+                    col: "user_id",
+                    val: 3,
+                    from_arg: false,
+                    field: "text",
+                    render: 4,
+                },
+            ],
+        },
+        0,
+    );
+
+    // personObsForm.jsp: person + heavy obs listing.
+    add(
+        PageSpec {
+            name: "admin/observations/personObsForm.jsp".into(),
+            guard: Some("ADMIN"),
+            sections: vec![
+                Section::Detail {
+                    entity: "person",
+                    id: 0,
+                    from_arg: true,
+                    field: "name",
+                    assocs: &[],
+                    render_assocs: false,
+                    follow: None,
+                },
+                Section::AssocLoop {
+                    entity: "obs",
+                    col: "encounter_id",
+                    val: 2,
+                    from_arg: false,
+                    assoc: "concept",
+                    render: 6,
+                },
+                Section::Lookups { count: 6 },
+            ],
+        },
+        1,
+    );
+
+    // conceptStatsForm.jsp: concept detail + usage counts.
+    add(
+        PageSpec {
+            name: "dictionary/conceptStatsForm.jsp".into(),
+            guard: Some("VIEW"),
+            sections: vec![
+                Section::Detail {
+                    entity: "concept",
+                    id: 0,
+                    from_arg: true,
+                    field: "text",
+                    assocs: &[],
+                    render_assocs: false,
+                    follow: None,
+                },
+                Section::AssocLoop {
+                    entity: "obs",
+                    col: "concept_id",
+                    val: 0,
+                    from_arg: true,
+                    assoc: "concept",
+                    render: 2,
+                },
+                Section::Lookups { count: 5 },
+            ],
+        },
+        5,
+    );
+
+    // ---- the remaining 107 pages, from the appendix benchmark list ----
+    let rest: &[&str] = &[
+        "dictionary/conceptForm.jsp",
+        "dictionary/concept.jsp",
+        "optionsForm.jsp",
+        "help.jsp",
+        "admin/provider/providerAttributeTypeList.jsp",
+        "admin/provider/providerAttributeTypeForm.jsp",
+        "admin/provider/index.jsp",
+        "admin/provider/providerForm.jsp",
+        "admin/concepts/conceptSetDerivedForm.jsp",
+        "admin/concepts/conceptClassForm.jsp",
+        "admin/concepts/conceptReferenceTermForm.jsp",
+        "admin/concepts/conceptDatatypeList.jsp",
+        "admin/concepts/conceptMapTypeList.jsp",
+        "admin/concepts/conceptDatatypeForm.jsp",
+        "admin/concepts/conceptIndexForm.jsp",
+        "admin/concepts/conceptProposalList.jsp",
+        "admin/concepts/conceptDrugList.jsp",
+        "admin/concepts/proposeConceptForm.jsp",
+        "admin/concepts/conceptClassList.jsp",
+        "admin/concepts/conceptDrugForm.jsp",
+        "admin/concepts/conceptStopWordForm.jsp",
+        "admin/concepts/conceptProposalForm.jsp",
+        "admin/concepts/conceptSourceList.jsp",
+        "admin/concepts/conceptSourceForm.jsp",
+        "admin/concepts/conceptReferenceTerms.jsp",
+        "admin/concepts/conceptStopWordList.jsp",
+        "admin/visits/visitTypeList.jsp",
+        "admin/visits/visitAttributeTypeForm.jsp",
+        "admin/visits/visitTypeForm.jsp",
+        "admin/visits/configureVisits.jsp",
+        "admin/visits/visitForm.jsp",
+        "admin/visits/visitAttributeTypeList.jsp",
+        "admin/patients/shortPatientForm.jsp",
+        "admin/patients/patientForm.jsp",
+        "admin/patients/mergePatientsForm.jsp",
+        "admin/patients/patientIdentifierTypeForm.jsp",
+        "admin/patients/patientIdentifierTypeList.jsp",
+        "admin/modules/modulePropertiesForm.jsp",
+        "admin/modules/moduleList.jsp",
+        "admin/hl7/hl7SourceList.jsp",
+        "admin/hl7/hl7OnHoldList.jsp",
+        "admin/hl7/hl7InQueueList.jsp",
+        "admin/hl7/hl7InArchiveList.jsp",
+        "admin/hl7/hl7SourceForm.jsp",
+        "admin/hl7/hl7InArchiveMigration.jsp",
+        "admin/hl7/hl7InErrorList.jsp",
+        "admin/forms/addFormResource.jsp",
+        "admin/forms/formList.jsp",
+        "admin/forms/formResources.jsp",
+        "admin/forms/formEditForm.jsp",
+        "admin/forms/fieldTypeList.jsp",
+        "admin/forms/fieldTypeForm.jsp",
+        "admin/forms/fieldForm.jsp",
+        "admin/index.jsp",
+        "admin/orders/orderForm.jsp",
+        "admin/orders/orderList.jsp",
+        "admin/orders/orderTypeList.jsp",
+        "admin/orders/orderDrugList.jsp",
+        "admin/orders/orderTypeForm.jsp",
+        "admin/orders/orderDrugForm.jsp",
+        "admin/programs/programList.jsp",
+        "admin/programs/programForm.jsp",
+        "admin/programs/conversionForm.jsp",
+        "admin/programs/conversionList.jsp",
+        "admin/encounters/encounterRoleList.jsp",
+        "admin/encounters/encounterForm.jsp",
+        "admin/encounters/encounterTypeForm.jsp",
+        "admin/encounters/encounterTypeList.jsp",
+        "admin/encounters/encounterRoleForm.jsp",
+        "admin/observations/obsForm.jsp",
+        "admin/locations/hierarchy.jsp",
+        "admin/locations/locationAttributeType.jsp",
+        "admin/locations/locationAttributeTypes.jsp",
+        "admin/locations/addressTemplate.jsp",
+        "admin/locations/locationForm.jsp",
+        "admin/locations/locationTagEdit.jsp",
+        "admin/locations/locationList.jsp",
+        "admin/locations/locationTag.jsp",
+        "admin/scheduler/schedulerForm.jsp",
+        "admin/scheduler/schedulerList.jsp",
+        "admin/maintenance/implementationIdForm.jsp",
+        "admin/maintenance/serverLog.jsp",
+        "admin/maintenance/localesAndThemes.jsp",
+        "admin/maintenance/currentUsers.jsp",
+        "admin/maintenance/settings.jsp",
+        "admin/maintenance/systemInfo.jsp",
+        "admin/maintenance/quickReport.jsp",
+        "admin/maintenance/globalPropsForm.jsp",
+        "admin/maintenance/databaseChangesInfo.jsp",
+        "admin/person/addPerson.jsp",
+        "admin/person/relationshipTypeList.jsp",
+        "admin/person/relationshipTypeForm.jsp",
+        "admin/person/relationshipTypeViewForm.jsp",
+        "admin/person/personForm.jsp",
+        "admin/person/personAttributeTypeForm.jsp",
+        "admin/person/personAttributeTypeList.jsp",
+        "admin/users/roleList.jsp",
+        "admin/users/privilegeList.jsp",
+        "admin/users/userForm.jsp",
+        "admin/users/users.jsp",
+        "admin/users/roleForm.jsp",
+        "admin/users/changePasswordForm.jsp",
+        "admin/users/alertForm.jsp",
+        "admin/users/privilegeForm.jsp",
+        "forgotPasswordForm.jsp",
+        "feedback.jsp",
+        "personDashboardForm.jsp",
+    ];
+    for (i, name) in rest.iter().enumerate() {
+        let spec = template_for(name, i);
+        let arg = 1 + (i as i64 % 12);
+        add(spec, arg);
+    }
+    assert_eq!(pages.len(), 112);
+    pages
+}
+
+fn template_for(name: &str, i: usize) -> PageSpec {
+    let guard = if name.contains("admin") { Some("ADMIN") } else { Some("VIEW") };
+    let sections = if name.contains("List") || name.contains("list") || name.contains("index") {
+        vec![
+            Section::List {
+                entity: list_entity(i),
+                col: list_col(i),
+                val: 1 + (i % 3) as i64,
+                from_arg: false,
+                field: list_field(i),
+                render: 2 + i % 3,
+            },
+            Section::Lookups { count: 2 + i % 3 },
+        ]
+    } else if name.contains("Form") || name.contains("form") {
+        vec![
+            Section::Detail {
+                entity: detail_entity(i),
+                id: 0,
+                from_arg: true,
+                field: detail_field(i),
+                assocs: detail_assocs(i),
+                render_assocs: i % 2 == 0,
+                follow: detail_follow(i),
+            },
+            Section::Lookups { count: 3 + i % 4 },
+        ]
+    } else {
+        vec![
+            Section::Detail {
+                entity: detail_entity(i),
+                id: 0,
+                from_arg: true,
+                field: detail_field(i),
+                assocs: &[],
+                render_assocs: false,
+                follow: None,
+            },
+            Section::Lookups { count: 1 + i % 3 },
+        ]
+    };
+    PageSpec { name: name.to_string(), guard, sections }
+}
+
+fn list_entity(i: usize) -> &'static str {
+    ["visit", "obs", "order_entry", "field", "alert", "encounter"][i % 6]
+}
+
+fn list_col(i: usize) -> &'static str {
+    ["patient_id", "encounter_id", "patient_id", "form_id", "user_id", "patient_id"][i % 6]
+}
+
+fn list_field(i: usize) -> &'static str {
+    ["active", "value", "drug_id", "label", "text", "enc_type"][i % 6]
+}
+
+fn detail_entity(i: usize) -> &'static str {
+    ["patient", "encounter", "concept", "form", "location", "person"][i % 6]
+}
+
+fn detail_field(i: usize) -> &'static str {
+    ["identifier", "enc_type", "text", "name", "name", "name"][i % 6]
+}
+
+fn detail_assocs(i: usize) -> &'static [&'static str] {
+    match i % 6 {
+        0 => &["visits"],
+        1 => &["obs"],
+        3 => &["fields"],
+        _ => &[],
+    }
+}
+
+fn detail_follow(i: usize) -> Option<(&'static str, &'static str)> {
+    match i % 6 {
+        0 => Some(("person", "name")),
+        1 => Some(("form", "name")),
+        _ => None,
+    }
+}
+
+/// The assembled OpenMRS benchmark application.
+pub fn openmrs_app() -> BenchApp {
+    BenchApp {
+        name: "openmrs",
+        schema: openmrs_schema(),
+        pages: openmrs_pages(),
+        seed: Box::new(|env| seed_openmrs(env, 50)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_pages_parse() {
+        for page in openmrs_pages() {
+            assert!(
+                sloth_lang::parse_program(&page.source).is_ok(),
+                "page {} must parse",
+                page.name
+            );
+        }
+    }
+
+    #[test]
+    fn page_count_matches_paper() {
+        assert_eq!(openmrs_pages().len(), 112);
+    }
+
+    #[test]
+    fn dashboard_patient_has_big_encounter() {
+        let env = SimEnv::default_env();
+        let schema = openmrs_schema();
+        for ddl in schema.ddl() {
+            env.seed_sql(&ddl).unwrap();
+        }
+        seed_openmrs(&env, 50);
+        let obs = env.seed(|db| {
+            db.execute("SELECT COUNT(*) FROM obs WHERE encounter_id = 1").unwrap()
+        });
+        assert_eq!(obs.result.rows[0][0], sloth_sql::Value::Int(50));
+    }
+}

@@ -1,0 +1,153 @@
+//! TPC-W in the kernel language — the second overhead benchmark of §6.6
+//! (browsing / shopping / ordering mixes, results rendered immediately).
+
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sloth_net::SimEnv;
+use sloth_orm::Schema;
+
+/// TPC-W uses raw SQL like TPC-C (empty entity schema).
+pub fn tpcw_schema() -> Rc<Schema> {
+    Rc::new(Schema::new())
+}
+
+/// Seeds the TPC-W store: `items` items (paper: 10 000; default here is
+/// laptop-scaled), 100 customers.
+pub fn seed_tpcw(env: &SimEnv, items: usize) {
+    let mut rng = StdRng::seed_from_u64(0x7C3);
+    let ddl = [
+        "CREATE TABLE book (b_id INT PRIMARY KEY, title TEXT, subject INT, cost FLOAT, stock INT)",
+        "CREATE TABLE shopper (sh_id INT PRIMARY KEY, name TEXT, balance FLOAT)",
+        "CREATE TABLE cart_line (cl_id INT PRIMARY KEY, sh_id INT, b_id INT, qty INT)",
+        "CREATE TABLE web_order (wo_id INT PRIMARY KEY, sh_id INT, total FLOAT)",
+        "CREATE INDEX ON book (subject)",
+        "CREATE INDEX ON cart_line (sh_id)",
+    ];
+    for sql in ddl {
+        env.seed_sql(sql).unwrap();
+    }
+    for b in 1..=items as i64 {
+        env.seed_sql(&format!(
+            "INSERT INTO book VALUES ({b}, 'book-{b}', {}, {}, {})",
+            b % 20,
+            rng.random_range(5..80),
+            rng.random_range(10..200)
+        ))
+        .unwrap();
+    }
+    for s in 1..=100i64 {
+        env.seed_sql(&format!(
+            "INSERT INTO shopper VALUES ({s}, 'shopper-{s}', {})",
+            rng.random_range(0..1000)
+        ))
+        .unwrap();
+    }
+}
+
+/// The three TPC-W interaction mixes of Fig. 13.
+pub fn tpcw_mixes() -> Vec<(&'static str, String)> {
+    vec![
+        ("Browsing mix", BROWSING.to_string()),
+        ("Shopping mix", SHOPPING.to_string()),
+        ("Ordering mix", ORDERING.to_string()),
+    ]
+}
+
+const BROWSING: &str = r#"
+fn main(arg) {
+    let subject = arg % 20;
+    let best = query("SELECT b_id, title FROM book WHERE subject = " + str(subject) + " ORDER BY cost DESC LIMIT 5");
+    let i = 0;
+    while (i < nrows(best)) {
+        print(cell(best, i, "title"));
+        i = i + 1;
+    }
+    let k = 0;
+    while (k < 3) {
+        let bid = 1 + (arg + k * 31) % 100;
+        let b = query("SELECT title, cost, stock FROM book WHERE b_id = " + str(bid));
+        print(cell(b, 0, "title") + " $" + str(cell(b, 0, "cost")));
+        k = k + 1;
+    }
+    print("browse done");
+}
+"#;
+
+const SHOPPING: &str = r#"
+fn main(arg) {
+    let sid = 1 + arg % 100;
+    let sh = query("SELECT name, balance FROM shopper WHERE sh_id = " + str(sid));
+    print(cell(sh, 0, "name"));
+    let bid = 1 + arg % 100;
+    let b = query("SELECT title, cost FROM book WHERE b_id = " + str(bid));
+    print(cell(b, 0, "title"));
+    exec("INSERT INTO cart_line (cl_id, sh_id, b_id, qty) VALUES (" + str(arg + 50000) + ", " + str(sid) + ", " + str(bid) + ", 1)");
+    let cart = query("SELECT b_id, qty FROM cart_line WHERE sh_id = " + str(sid));
+    print(str(nrows(cart)) + " items in cart");
+    print("shop done");
+}
+"#;
+
+const ORDERING: &str = r#"
+fn main(arg) {
+    let sid = 1 + arg % 100;
+    begin();
+    let cart = query("SELECT cl_id, b_id, qty FROM cart_line WHERE sh_id = " + str(sid));
+    let total = 0;
+    let i = 0;
+    while (i < nrows(cart)) {
+        let bid = cell(cart, i, "b_id");
+        let b = query("SELECT cost FROM book WHERE b_id = " + str(bid));
+        total = total + cell(b, 0, "cost");
+        exec("UPDATE book SET stock = stock - 1 WHERE b_id = " + str(bid));
+        i = i + 1;
+    }
+    exec("INSERT INTO web_order (wo_id, sh_id, total) VALUES (" + str(arg + 90000) + ", " + str(sid) + ", " + str(total) + ")");
+    commit();
+    print("order total " + str(total));
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sloth_lang::{run_source, ExecStrategy, OptFlags, V};
+
+    fn env() -> SimEnv {
+        let env = SimEnv::default_env();
+        seed_tpcw(&env, 100);
+        env
+    }
+
+    #[test]
+    fn all_mixes_run_identically_in_both_modes() {
+        for (name, src) in tpcw_mixes() {
+            let e1 = env();
+            let o = run_source(&src, &e1, tpcw_schema(), ExecStrategy::Original, vec![V::Int(5)])
+                .unwrap_or_else(|e| panic!("{name} original failed: {e}"));
+            let e2 = env();
+            let s = run_source(
+                &src,
+                &e2,
+                tpcw_schema(),
+                ExecStrategy::Sloth(OptFlags::all()),
+                vec![V::Int(5)],
+            )
+            .unwrap_or_else(|e| panic!("{name} sloth failed: {e}"));
+            assert_eq!(o.output, s.output, "{name}");
+        }
+    }
+
+    #[test]
+    fn ordering_mix_places_order_after_shopping() {
+        let e = env();
+        let (_, shop) = &tpcw_mixes()[1];
+        run_source(shop, &e, tpcw_schema(), ExecStrategy::Original, vec![V::Int(5)]).unwrap();
+        let (_, order) = &tpcw_mixes()[2];
+        run_source(order, &e, tpcw_schema(), ExecStrategy::Original, vec![V::Int(5)]).unwrap();
+        let orders = e.seed(|db| db.execute("SELECT COUNT(*) FROM web_order").unwrap());
+        assert_eq!(orders.result.rows[0][0], sloth_sql::Value::Int(1));
+    }
+}

@@ -1,0 +1,105 @@
+//! Criterion micro-benchmarks of the runtime primitives: thunk machinery,
+//! query store operations, and SQL engine throughput. These ground the
+//! simulated cost model in real wall-clock numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sloth_core::{query_thunk, QueryStore, Thunk};
+use sloth_net::SimEnv;
+use sloth_sql::Database;
+use std::hint::black_box;
+
+fn bench_thunks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thunk");
+    g.bench_function("alloc_force", |b| {
+        b.iter(|| {
+            let t = Thunk::new(|| black_box(21) * 2);
+            black_box(t.force())
+        })
+    });
+    g.bench_function("memoized_force", |b| {
+        let t = Thunk::new(|| 42);
+        t.force();
+        b.iter(|| black_box(t.force()))
+    });
+    g.bench_function("map_chain_depth16", |b| {
+        b.iter(|| {
+            let mut t = Thunk::new(|| 0i64);
+            for _ in 0..16 {
+                t = t.map(|x| x + 1);
+            }
+            black_box(t.force())
+        })
+    });
+    g.finish();
+}
+
+fn store_env() -> SimEnv {
+    let env = SimEnv::default_env();
+    env.seed_sql("CREATE TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+    for i in 0..64 {
+        env.seed_sql(&format!("INSERT INTO t VALUES ({i}, {i})")).unwrap();
+    }
+    env
+}
+
+fn bench_query_store(c: &mut Criterion) {
+    let mut g = c.benchmark_group("query_store");
+    // Ablation: write-flush behaviour (§3.3).
+    g.bench_function("register_64_flush", |b| {
+        let env = store_env();
+        b.iter(|| {
+            let store = QueryStore::new(env.clone());
+            for i in 0..64 {
+                store.register(format!("SELECT v FROM t WHERE id = {i}")).unwrap();
+            }
+            store.flush().unwrap();
+            black_box(store.stats().max_batch())
+        })
+    });
+    // Ablation: in-batch dedup (§3.3).
+    g.bench_function("dedup_hit", |b| {
+        let env = store_env();
+        let store = QueryStore::new(env);
+        store.register("SELECT v FROM t WHERE id = 1").unwrap();
+        b.iter(|| black_box(store.register("SELECT v FROM t WHERE id = 1").unwrap()))
+    });
+    g.bench_function("query_thunk_roundtrip", |b| {
+        let env = store_env();
+        b.iter(|| {
+            let store = QueryStore::new(env.clone());
+            let t = query_thunk(&store, "SELECT v FROM t WHERE id = 5", |rs| rs.len());
+            black_box(t.force())
+        })
+    });
+    g.finish();
+}
+
+fn bench_sql(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sql_engine");
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, grp INT, v TEXT)").unwrap();
+    db.execute("CREATE INDEX ON t (grp)").unwrap();
+    for i in 0..1000 {
+        db.execute(&format!("INSERT INTO t VALUES ({i}, {}, 'val{i}')", i % 10)).unwrap();
+    }
+    g.bench_function("pk_probe", |b| {
+        b.iter(|| black_box(db.execute("SELECT v FROM t WHERE id = 500").unwrap().result.len()))
+    });
+    g.bench_function("secondary_probe", |b| {
+        b.iter(|| black_box(db.execute("SELECT v FROM t WHERE grp = 3").unwrap().result.len()))
+    });
+    g.bench_function("full_scan_filter", |b| {
+        b.iter(|| black_box(db.execute("SELECT v FROM t WHERE v = 'val42'").unwrap().result.len()))
+    });
+    g.bench_function("count_aggregate", |b| {
+        b.iter(|| black_box(db.execute("SELECT COUNT(*) FROM t WHERE grp = 7").unwrap().result.len()))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_thunks, bench_query_store, bench_sql
+}
+criterion_main!(benches);

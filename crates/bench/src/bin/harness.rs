@@ -1,0 +1,231 @@
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation (§6).
+//!
+//! ```text
+//! cargo run --release -p sloth-bench --bin harness -- all
+//! cargo run --release -p sloth-bench --bin harness -- fig5 fig13
+//! ```
+
+use sloth_bench::throughput::{sweep, ThroughputCfg};
+use sloth_bench::*;
+use sloth_apps::{itracker_app, openmrs_app};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+            "appendix",
+        ]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    // Figs 5/6 measurements are reused by 7/8/9/appendix.
+    let need_pages = wanted.iter().any(|w| {
+        matches!(*w, "fig5" | "fig6" | "fig7" | "fig8" | "fig9" | "appendix")
+    });
+    let (it, om) = if need_pages {
+        eprintln!("measuring 38 itracker + 112 OpenMRS pages in both modes…");
+        (fig5_itracker(), fig6_openmrs())
+    } else {
+        (Vec::new(), Vec::new())
+    };
+
+    for w in wanted {
+        match w {
+            "fig5" => cdf_figure("Figure 5 — itracker CDFs", &it),
+            "fig6" => cdf_figure("Figure 6 — OpenMRS CDFs", &om),
+            "fig7" => fig7(&om),
+            "fig8" => {
+                fig8("Figure 8(a) — itracker time breakdown", &it);
+                fig8("Figure 8(b) — OpenMRS time breakdown", &om);
+            }
+            "fig9" => {
+                fig9("Figure 9(a) — itracker network scaling", &it);
+                fig9("Figure 9(b) — OpenMRS network scaling", &om);
+            }
+            "fig10" => fig10(),
+            "fig11" => fig11(),
+            "fig12" => fig12(),
+            "fig13" => fig13(),
+            "appendix" => {
+                appendix("itracker benchmarks", &it);
+                appendix("OpenMRS benchmarks", &om);
+            }
+            other => eprintln!("unknown experiment: {other}"),
+        }
+    }
+}
+
+fn pct(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.total_cmp(b));
+    let idx = ((v.len() - 1) as f64 * p).round() as usize;
+    v[idx]
+}
+
+fn cdf_line(label: &str, xs: &[f64]) {
+    println!(
+        "  {label:<22} min {:>5.2}  p25 {:>5.2}  median {:>5.2}  p75 {:>5.2}  max {:>5.2}",
+        pct(xs, 0.0),
+        pct(xs, 0.25),
+        pct(xs, 0.5),
+        pct(xs, 0.75),
+        pct(xs, 1.0)
+    );
+}
+
+fn cdf_figure(title: &str, results: &[PageResult]) {
+    println!("\n== {title} ({} benchmarks) ==", results.len());
+    let speed: Vec<f64> = results.iter().map(PageResult::speedup).collect();
+    let rtrip: Vec<f64> = results.iter().map(PageResult::rtrip_ratio).collect();
+    let query: Vec<f64> = results.iter().map(PageResult::query_ratio).collect();
+    cdf_line("(a) speedup ratio", &speed);
+    cdf_line("(b) round-trip ratio", &rtrip);
+    cdf_line("(c) query ratio", &query);
+    let more = query.iter().filter(|q| **q < 1.0).count();
+    println!("  pages where Sloth issued MORE queries than original: {more}");
+    let max_batch = results.iter().map(|r| r.sloth.max_batch).max().unwrap_or(0);
+    println!("  largest single batch across all pages: {max_batch}");
+}
+
+fn fig7(om: &[PageResult]) {
+    println!("\n== Figure 7 — throughput vs clients (OpenMRS mix) ==");
+    println!("  {:>8} {:>14} {:>14}", "clients", "orig pages/s", "sloth pages/s");
+    let cfg = ThroughputCfg { duration_s: 60.0, ..ThroughputCfg::default() };
+    let counts = [10, 25, 50, 100, 200, 300, 400, 500, 600];
+    let mut orig_peak: (usize, f64) = (0, 0.0);
+    let mut sloth_peak: (usize, f64) = (0, 0.0);
+    for (n, o, s) in sweep(om, &counts, &cfg) {
+        println!("  {n:>8} {o:>14.1} {s:>14.1}");
+        if o > orig_peak.1 {
+            orig_peak = (n, o);
+        }
+        if s > sloth_peak.1 {
+            sloth_peak = (n, s);
+        }
+    }
+    println!(
+        "  peaks: original {:.1} pages/s @ {} clients; Sloth {:.1} pages/s @ {} clients ({:.2}x)",
+        orig_peak.1,
+        orig_peak.0,
+        sloth_peak.1,
+        sloth_peak.0,
+        sloth_peak.1 / orig_peak.1
+    );
+}
+
+fn fig8(title: &str, results: &[PageResult]) {
+    println!("\n== {title} ==");
+    for (label, sloth) in [("original", false), ("Sloth", true)] {
+        let b = Breakdown::aggregate(results, sloth);
+        let t = b.total_ms();
+        println!(
+            "  {label:<9} network {:>9.0} ms ({:>4.1}%)  app {:>9.0} ms ({:>4.1}%)  db {:>9.0} ms ({:>4.1}%)",
+            b.network_ms,
+            b.network_ms / t * 100.0,
+            b.app_ms,
+            b.app_ms / t * 100.0,
+            b.db_ms,
+            b.db_ms / t * 100.0
+        );
+    }
+}
+
+fn fig9(title: &str, results: &[PageResult]) {
+    println!("\n== {title} ==");
+    for rtt in [0.5, 1.0, 10.0] {
+        let s = fig9_latency_sweep(results, rtt);
+        println!(
+            "  rtt {rtt:>4}ms  median speedup {:>5.2}  max {:>5.2}",
+            median(&s),
+            s.last().copied().unwrap_or(f64::NAN)
+        );
+    }
+}
+
+fn fig10() {
+    let scales = [50, 250, 500, 1000, 2000];
+    println!("\n== Figure 10(a) — itracker list_projects vs #projects ==");
+    println!("  {:>8} {:>12} {:>12} {:>10}", "projects", "orig ms", "sloth ms", "max batch");
+    for p in fig10_itracker(&scales) {
+        println!(
+            "  {:>8} {:>12.1} {:>12.1} {:>10}",
+            p.scale, p.orig_ms, p.sloth_ms, p.max_batch
+        );
+    }
+    println!("\n== Figure 10(b) — OpenMRS encounterDisplay vs #observations ==");
+    println!("  {:>8} {:>12} {:>12} {:>10}", "obs", "orig ms", "sloth ms", "max batch");
+    for p in fig10_openmrs(&scales) {
+        println!(
+            "  {:>8} {:>12.1} {:>12.1} {:>10}",
+            p.scale, p.orig_ms, p.sloth_ms, p.max_batch
+        );
+    }
+}
+
+fn fig11() {
+    println!("\n== Figure 11 — persistent methods identified ==");
+    println!("  {:<10} {:>12} {:>16} {:>10}", "app", "persistent", "non-persistent", "% persist");
+    for app in [itracker_app(), openmrs_app()] {
+        let (p, n) = fig11_persistence(&app);
+        println!(
+            "  {:<10} {:>12} {:>16} {:>9.0}%",
+            app.name,
+            p,
+            n,
+            p as f64 / (p + n) as f64 * 100.0
+        );
+    }
+}
+
+fn fig12() {
+    println!("\n== Figure 12 — load time as optimizations are enabled ==");
+    println!("  {:<10} {:>10} {:>10} {:>10} {:>10}", "app", "noopt", "SC", "SC+TC", "SC+TC+BD");
+    for app in [itracker_app(), openmrs_app()] {
+        let mut row = format!("  {:<10}", app.name);
+        for (_, flags) in fig12_configs() {
+            let t = fig12_total_time(&app, flags);
+            row.push_str(&format!(" {t:>9.2}s"));
+        }
+        println!("{row}");
+    }
+}
+
+fn fig13() {
+    println!("\n== Figure 13 — TPC-C / TPC-W lazy evaluation overhead ==");
+    println!("  {:<15} {:>12} {:>12} {:>10}", "transaction", "orig (s)", "sloth (s)", "overhead");
+    for r in fig13_overhead(200) {
+        println!(
+            "  {:<15} {:>12.3} {:>12.3} {:>9.1}%",
+            r.name,
+            r.orig_s,
+            r.sloth_s,
+            r.overhead_pct()
+        );
+    }
+}
+
+fn appendix(title: &str, results: &[PageResult]) {
+    println!("\n== Appendix — {title} ==");
+    println!(
+        "  {:<55} {:>9} {:>7} {:>9} {:>7} {:>9} {:>8}",
+        "benchmark", "orig ms", "o-rt", "sloth ms", "s-rt", "maxbatch", "queries"
+    );
+    for r in results {
+        println!(
+            "  {:<55} {:>9.1} {:>7} {:>9.1} {:>7} {:>9} {:>8}",
+            r.name,
+            r.orig.time_ns as f64 / 1e6,
+            r.orig.round_trips,
+            r.sloth.time_ns as f64 / 1e6,
+            r.sloth.round_trips,
+            r.sloth.max_batch,
+            r.sloth.queries
+        );
+    }
+}

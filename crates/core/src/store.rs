@@ -1,0 +1,333 @@
+//! The **query store** (§3.3): the batching heart of Sloth.
+//!
+//! Queries are *registered* as the lazily-evaluated program encounters them
+//! and accumulate in the current batch. The batch is shipped to the
+//! database, in one round trip over the batch driver, when
+//!
+//! * a registered result is demanded ([`QueryStore::result`]), or
+//! * a write / transaction-boundary statement is registered — `INSERT`,
+//!   `UPDATE`, `DELETE`, `BEGIN`, `COMMIT`, `ROLLBACK` are never left
+//!   lingering, preserving the original program's transaction semantics.
+//!
+//! Registering a read identical to one already in the current batch returns
+//! the existing [`QueryId`] (in-batch dedup).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use sloth_net::SimEnv;
+use sloth_sql::{is_write_sql, ResultSet, SqlError};
+
+/// Identifier of a registered query; stable for the life of the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(u64);
+
+/// Batching statistics for one store (one web request, typically).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// `register` calls (including dedup hits).
+    pub registered: u64,
+    /// Registrations answered by an existing in-batch id.
+    pub dedup_hits: u64,
+    /// Batches shipped to the database.
+    pub batches: u64,
+    /// Size of every shipped batch, in ship order.
+    pub batch_sizes: Vec<usize>,
+    /// Batches that were forced out by a write/transaction statement.
+    pub write_flushes: u64,
+}
+
+impl StoreStats {
+    /// Largest batch shipped.
+    pub fn max_batch(&self) -> usize {
+        self.batch_sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total queries shipped.
+    pub fn queries_shipped(&self) -> usize {
+        self.batch_sizes.iter().sum()
+    }
+}
+
+struct StoreInner {
+    pending: Vec<(QueryId, String)>,
+    pending_by_sql: HashMap<String, QueryId>,
+    results: HashMap<QueryId, ResultSet>,
+    next_id: u64,
+    stats: StoreStats,
+    flush_threshold: Option<usize>,
+}
+
+/// The query store. Cloning shares the same store (per-request handle).
+#[derive(Clone)]
+pub struct QueryStore {
+    env: SimEnv,
+    inner: Rc<RefCell<StoreInner>>,
+}
+
+impl QueryStore {
+    /// A fresh store bound to a simulated deployment.
+    pub fn new(env: SimEnv) -> Self {
+        QueryStore {
+            env,
+            inner: Rc::new(RefCell::new(StoreInner {
+                pending: Vec::new(),
+                pending_by_sql: HashMap::new(),
+                results: HashMap::new(),
+                next_id: 0,
+                stats: StoreStats::default(),
+                flush_threshold: None,
+            })),
+        }
+    }
+
+    /// An alternative execution policy from the paper's discussion (§6.7):
+    /// ship each batch as soon as it reaches `n` queries instead of waiting
+    /// for a force. Bounds per-batch latency at the cost of smaller batches.
+    pub fn with_flush_threshold(env: SimEnv, n: usize) -> Self {
+        let store = QueryStore::new(env);
+        store.inner.borrow_mut().flush_threshold = Some(n.max(1));
+        store
+    }
+
+    /// The deployment this store talks to.
+    pub fn env(&self) -> &SimEnv {
+        &self.env
+    }
+
+    /// Registers `sql` with the current batch and returns its id (§3.3
+    /// `registerQuery`).
+    ///
+    /// Reads are deferred (and deduplicated against the current batch);
+    /// writes and transaction boundaries flush the pending batch and then
+    /// execute immediately in their own round trip.
+    pub fn register(&self, sql: impl Into<String>) -> Result<QueryId, SqlError> {
+        let sql = sql.into();
+        let is_write = is_write_sql(&sql);
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.registered += 1;
+            if !is_write {
+                if let Some(&id) = inner.pending_by_sql.get(&sql) {
+                    inner.stats.dedup_hits += 1;
+                    return Ok(id);
+                }
+                let id = QueryId(inner.next_id);
+                inner.next_id += 1;
+                inner.pending.push((id, sql.clone()));
+                inner.pending_by_sql.insert(sql, id);
+                let over = inner
+                    .flush_threshold
+                    .map(|n| inner.pending.len() >= n)
+                    .unwrap_or(false);
+                drop(inner);
+                if over {
+                    self.flush_internal(false)?;
+                }
+                return Ok(id);
+            }
+        }
+        // Write path: flush whatever is pending, then run the write alone.
+        self.flush_internal(true)?;
+        let id = {
+            let mut inner = self.inner.borrow_mut();
+            let id = QueryId(inner.next_id);
+            inner.next_id += 1;
+            inner.pending.push((id, sql));
+            id
+        };
+        self.flush_internal(false)?;
+        Ok(id)
+    }
+
+    /// Returns the result set for `id` (§3.3 `getResultSet`), shipping the
+    /// current batch first if the result is not yet cached.
+    pub fn result(&self, id: QueryId) -> Result<ResultSet, SqlError> {
+        if let Some(rs) = self.inner.borrow().results.get(&id) {
+            return Ok(rs.clone());
+        }
+        self.flush_internal(false)?;
+        self.inner
+            .borrow()
+            .results
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| SqlError::new(format!("unknown query id {id:?}")))
+    }
+
+    /// Ships the current batch (if any) without demanding a result.
+    pub fn flush(&self) -> Result<(), SqlError> {
+        self.flush_internal(false)
+    }
+
+    fn flush_internal(&self, caused_by_write: bool) -> Result<(), SqlError> {
+        let (ids, sqls): (Vec<QueryId>, Vec<String>) = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.pending.is_empty() {
+                return Ok(());
+            }
+            inner.pending_by_sql.clear();
+            inner.pending.drain(..).unzip()
+        };
+        let results = self.env.query_batch(&sqls)?;
+        let mut inner = self.inner.borrow_mut();
+        inner.stats.batches += 1;
+        inner.stats.batch_sizes.push(sqls.len());
+        if caused_by_write {
+            inner.stats.write_flushes += 1;
+        }
+        for (id, rs) in ids.into_iter().zip(results) {
+            inner.results.insert(id, rs);
+        }
+        Ok(())
+    }
+
+    /// Number of queries waiting in the current batch.
+    pub fn pending_len(&self) -> usize {
+        self.inner.borrow().pending.len()
+    }
+
+    /// Snapshot of the store's batching statistics.
+    pub fn stats(&self) -> StoreStats {
+        self.inner.borrow().stats.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sloth_net::SimEnv;
+
+    fn env() -> SimEnv {
+        let env = SimEnv::default_env();
+        env.seed_sql("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+        for i in 0..10 {
+            env.seed_sql(&format!("INSERT INTO t VALUES ({i}, 'v{i}')")).unwrap();
+        }
+        env
+    }
+
+    #[test]
+    fn reads_accumulate_until_result_demanded() {
+        let e = env();
+        let store = QueryStore::new(e.clone());
+        let q1 = store.register("SELECT v FROM t WHERE id = 1").unwrap();
+        let q2 = store.register("SELECT v FROM t WHERE id = 2").unwrap();
+        let q3 = store.register("SELECT v FROM t WHERE id = 3").unwrap();
+        assert_eq!(store.pending_len(), 3);
+        assert_eq!(e.stats().round_trips, 0);
+
+        let rs1 = store.result(q1).unwrap();
+        assert_eq!(rs1.get(0, "v").unwrap().as_str(), Some("v1"));
+        // One round trip shipped all three.
+        assert_eq!(e.stats().round_trips, 1);
+        assert_eq!(e.stats().queries, 3);
+        // Remaining results come from the cache: no further trips.
+        store.result(q2).unwrap();
+        store.result(q3).unwrap();
+        assert_eq!(e.stats().round_trips, 1);
+        assert_eq!(store.stats().max_batch(), 3);
+    }
+
+    #[test]
+    fn in_batch_dedup_returns_same_id() {
+        let store = QueryStore::new(env());
+        let a = store.register("SELECT v FROM t WHERE id = 1").unwrap();
+        let b = store.register("SELECT v FROM t WHERE id = 1").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(store.pending_len(), 1);
+        assert_eq!(store.stats().dedup_hits, 1);
+    }
+
+    #[test]
+    fn dedup_resets_after_flush() {
+        let store = QueryStore::new(env());
+        let a = store.register("SELECT v FROM t WHERE id = 1").unwrap();
+        store.flush().unwrap();
+        let b = store.register("SELECT v FROM t WHERE id = 1").unwrap();
+        assert_ne!(a, b, "dedup is per batch, as in the paper");
+    }
+
+    #[test]
+    fn writes_flush_pending_batch() {
+        let e = env();
+        let store = QueryStore::new(e.clone());
+        store.register("SELECT v FROM t WHERE id = 1").unwrap();
+        store.register("SELECT v FROM t WHERE id = 2").unwrap();
+        let w = store.register("UPDATE t SET v = 'x' WHERE id = 1").unwrap();
+        // Two round trips: the flushed reads, then the write.
+        assert_eq!(e.stats().round_trips, 2);
+        assert_eq!(store.pending_len(), 0);
+        assert_eq!(store.stats().write_flushes, 1);
+        // The write's (empty) result is available without further trips.
+        let rs = store.result(w).unwrap();
+        assert!(rs.is_empty());
+        assert_eq!(e.stats().round_trips, 2);
+    }
+
+    #[test]
+    fn transaction_boundaries_flush() {
+        let e = env();
+        let store = QueryStore::new(e.clone());
+        store.register("SELECT v FROM t WHERE id = 1").unwrap();
+        store.register("COMMIT").unwrap();
+        assert_eq!(e.stats().round_trips, 2);
+    }
+
+    #[test]
+    fn result_of_unknown_id_errors() {
+        let store = QueryStore::new(env());
+        let bogus = QueryId(999);
+        assert!(store.result(bogus).is_err());
+    }
+
+    #[test]
+    fn flush_on_empty_is_noop() {
+        let e = env();
+        let store = QueryStore::new(e.clone());
+        store.flush().unwrap();
+        assert_eq!(e.stats().round_trips, 0);
+    }
+
+    #[test]
+    fn batch_sizes_recorded_in_order() {
+        let store = QueryStore::new(env());
+        store.register("SELECT v FROM t WHERE id = 1").unwrap();
+        store.register("SELECT v FROM t WHERE id = 2").unwrap();
+        store.flush().unwrap();
+        store.register("SELECT v FROM t WHERE id = 3").unwrap();
+        store.flush().unwrap();
+        assert_eq!(store.stats().batch_sizes, vec![2, 1]);
+        assert_eq!(store.stats().queries_shipped(), 3);
+    }
+
+    #[test]
+    fn flush_threshold_ships_eagerly() {
+        let e = env();
+        let store = QueryStore::with_flush_threshold(e.clone(), 3);
+        for i in 0..7 {
+            store.register(format!("SELECT v FROM t WHERE id = {i}")).unwrap();
+        }
+        // Batches of 3 ship automatically; one remainder stays pending.
+        assert_eq!(store.stats().batch_sizes, vec![3, 3]);
+        assert_eq!(store.pending_len(), 1);
+        assert_eq!(e.stats().round_trips, 2);
+    }
+
+    #[test]
+    fn threshold_one_degenerates_to_immediate() {
+        let e = env();
+        let store = QueryStore::with_flush_threshold(e.clone(), 1);
+        store.register("SELECT v FROM t WHERE id = 1").unwrap();
+        store.register("SELECT v FROM t WHERE id = 2").unwrap();
+        assert_eq!(e.stats().round_trips, 2, "every query ships alone");
+    }
+
+    #[test]
+    fn error_in_batch_propagates() {
+        let store = QueryStore::new(env());
+        store.register("SELECT v FROM missing_table WHERE id = 1").unwrap();
+        assert!(store.flush().is_err());
+    }
+}

@@ -1,0 +1,262 @@
+//! Shared, memoizing thunks — the building block of extended lazy
+//! evaluation (§3.2).
+//!
+//! A [`Thunk<T>`] is a place-holder for a delayed computation. Forcing it
+//! runs the computation once and memoizes the result; every clone shares the
+//! same cell, so a thunk stored in a model map, captured by another thunk
+//! and held in a local variable evaluates exactly once. This is the faithful
+//! Rust rendering of the paper's `Thunk._force()` with memoization —
+//! shared ownership is what `Rc<RefCell<…>>` buys against the borrow
+//! checker.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Count of thunks allocated process-wide (runtime-overhead accounting).
+static THUNKS_ALLOCATED: AtomicU64 = AtomicU64::new(0);
+/// Count of thunk forces that actually ran a delayed computation.
+static THUNKS_FORCED: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the global thunk counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThunkCounters {
+    /// Thunks allocated since process start.
+    pub allocated: u64,
+    /// Delayed computations actually executed.
+    pub forced: u64,
+}
+
+/// Reads the global thunk counters.
+pub fn thunk_counters() -> ThunkCounters {
+    ThunkCounters {
+        allocated: THUNKS_ALLOCATED.load(Ordering::Relaxed),
+        forced: THUNKS_FORCED.load(Ordering::Relaxed),
+    }
+}
+
+enum State<T> {
+    /// Not yet evaluated; holds the delayed computation.
+    Pending(Box<dyn FnOnce() -> T>),
+    /// Being evaluated right now (re-entrant force is a bug).
+    InFlight,
+    /// Evaluated; memoized result.
+    Forced(T),
+}
+
+/// A delayed, memoized, shareable computation.
+pub struct Thunk<T> {
+    cell: Rc<RefCell<State<T>>>,
+}
+
+impl<T> Clone for Thunk<T> {
+    fn clone(&self) -> Self {
+        Thunk { cell: Rc::clone(&self.cell) }
+    }
+}
+
+impl<T: Clone + 'static> Thunk<T> {
+    /// Delays `f` until the first [`force`](Thunk::force).
+    pub fn new(f: impl FnOnce() -> T + 'static) -> Self {
+        THUNKS_ALLOCATED.fetch_add(1, Ordering::Relaxed);
+        Thunk { cell: Rc::new(RefCell::new(State::Pending(Box::new(f)))) }
+    }
+
+    /// An already-evaluated thunk (the paper's `LiteralThunk`, used to wrap
+    /// results flowing back from external code — §3.4).
+    pub fn ready(value: T) -> Self {
+        THUNKS_ALLOCATED.fetch_add(1, Ordering::Relaxed);
+        Thunk { cell: Rc::new(RefCell::new(State::Forced(value))) }
+    }
+
+    /// Evaluates the thunk (once) and returns a clone of the result.
+    ///
+    /// # Panics
+    /// Panics on re-entrant forcing (a thunk whose computation forces
+    /// itself), which would be a cyclic data dependency in the source
+    /// program.
+    pub fn force(&self) -> T {
+        // Fast path: already forced.
+        if let State::Forced(v) = &*self.cell.borrow() {
+            return v.clone();
+        }
+        let f = match std::mem::replace(&mut *self.cell.borrow_mut(), State::InFlight) {
+            State::Pending(f) => f,
+            State::Forced(v) => {
+                // Lost a race with another handle on this same cell within
+                // the borrow gap (single-threaded, so only via reentrancy).
+                *self.cell.borrow_mut() = State::Forced(v.clone());
+                return v;
+            }
+            State::InFlight => panic!("re-entrant thunk force: cyclic dependency"),
+        };
+        THUNKS_FORCED.fetch_add(1, Ordering::Relaxed);
+        let v = f();
+        *self.cell.borrow_mut() = State::Forced(v.clone());
+        v
+    }
+
+    /// Whether the thunk has been evaluated.
+    pub fn is_forced(&self) -> bool {
+        matches!(&*self.cell.borrow(), State::Forced(_))
+    }
+
+    /// A new thunk applying `f` to this thunk's (lazily forced) value.
+    pub fn map<U: Clone + 'static>(&self, f: impl FnOnce(T) -> U + 'static) -> Thunk<U> {
+        let this = self.clone();
+        Thunk::new(move || f(this.force()))
+    }
+
+    /// Combines two thunks lazily.
+    pub fn zip_with<U: Clone + 'static, V: Clone + 'static>(
+        &self,
+        other: &Thunk<U>,
+        f: impl FnOnce(T, U) -> V + 'static,
+    ) -> Thunk<V> {
+        let a = self.clone();
+        let b = other.clone();
+        Thunk::new(move || f(a.force(), b.force()))
+    }
+}
+
+impl<T: Clone + fmt::Debug + 'static> fmt::Debug for Thunk<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &*self.cell.borrow() {
+            State::Forced(v) => write!(f, "Thunk(forced: {v:?})"),
+            State::Pending(_) => write!(f, "Thunk(pending)"),
+            State::InFlight => write!(f, "Thunk(in-flight)"),
+        }
+    }
+}
+
+/// A coalesced block of delayed statements with several outputs (§4.3).
+///
+/// The block body runs once, on the first force of **any** output; all
+/// outputs are then filled. This avoids one thunk allocation per temporary
+/// in straight-line code.
+pub struct ThunkBlock<T: Clone + 'static> {
+    body: Thunk<Vec<T>>,
+}
+
+impl<T: Clone + 'static> ThunkBlock<T> {
+    /// Creates a block whose body produces `n` outputs.
+    pub fn new(f: impl FnOnce() -> Vec<T> + 'static) -> Self {
+        ThunkBlock { body: Thunk::new(f) }
+    }
+
+    /// The `i`-th output as a thunk; forcing it runs the whole block.
+    pub fn output(&self, i: usize) -> Thunk<T> {
+        self.body.map(move |vs| {
+            vs.get(i).cloned().unwrap_or_else(|| panic!("thunk block has no output {i}"))
+        })
+    }
+
+    /// Whether the block body has run.
+    pub fn is_forced(&self) -> bool {
+        self.body.is_forced()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn force_memoizes() {
+        let runs = Rc::new(Cell::new(0));
+        let r = Rc::clone(&runs);
+        let t = Thunk::new(move || {
+            r.set(r.get() + 1);
+            42
+        });
+        assert!(!t.is_forced());
+        assert_eq!(t.force(), 42);
+        assert_eq!(t.force(), 42);
+        assert_eq!(runs.get(), 1);
+        assert!(t.is_forced());
+    }
+
+    #[test]
+    fn clones_share_memoization() {
+        let runs = Rc::new(Cell::new(0));
+        let r = Rc::clone(&runs);
+        let t = Thunk::new(move || {
+            r.set(r.get() + 1);
+            "hello".to_string()
+        });
+        let t2 = t.clone();
+        assert_eq!(t2.force(), "hello");
+        assert_eq!(t.force(), "hello");
+        assert_eq!(runs.get(), 1);
+    }
+
+    #[test]
+    fn ready_never_runs_anything() {
+        let before = thunk_counters().forced;
+        let t = Thunk::ready(7);
+        assert!(t.is_forced());
+        assert_eq!(t.force(), 7);
+        assert_eq!(thunk_counters().forced, before);
+    }
+
+    #[test]
+    fn map_is_lazy() {
+        let runs = Rc::new(Cell::new(0));
+        let r = Rc::clone(&runs);
+        let t = Thunk::new(move || {
+            r.set(r.get() + 1);
+            10
+        });
+        let u = t.map(|x| x * 2);
+        assert_eq!(runs.get(), 0);
+        assert_eq!(u.force(), 20);
+        assert_eq!(runs.get(), 1);
+    }
+
+    #[test]
+    fn zip_with_forces_both() {
+        let a = Thunk::new(|| 3);
+        let b = Thunk::new(|| 4);
+        let c = a.zip_with(&b, |x, y| x + y);
+        assert_eq!(c.force(), 7);
+        assert!(a.is_forced() && b.is_forced());
+    }
+
+    #[test]
+    fn block_runs_once_for_all_outputs() {
+        let runs = Rc::new(Cell::new(0));
+        let r = Rc::clone(&runs);
+        let block = ThunkBlock::new(move || {
+            r.set(r.get() + 1);
+            vec![1, 2, 3]
+        });
+        let o0 = block.output(0);
+        let o2 = block.output(2);
+        assert_eq!(o2.force(), 3);
+        assert!(block.is_forced());
+        assert_eq!(o0.force(), 1);
+        assert_eq!(runs.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-entrant")]
+    fn reentrant_force_panics() {
+        let cell: Rc<RefCell<Option<Thunk<i32>>>> = Rc::new(RefCell::new(None));
+        let c2 = Rc::clone(&cell);
+        let t = Thunk::new(move || c2.borrow().as_ref().unwrap().force());
+        *cell.borrow_mut() = Some(t.clone());
+        t.force();
+    }
+
+    #[test]
+    fn counters_increase() {
+        let before = thunk_counters();
+        let t = Thunk::new(|| 1);
+        t.force();
+        let after = thunk_counters();
+        assert!(after.allocated > before.allocated);
+        assert!(after.forced > before.forced);
+    }
+}

@@ -1,0 +1,394 @@
+//! The Sloth compiler's analysis passes (§4.1, §4.2):
+//!
+//! * **Persistence labelling** — an interprocedural, flow-insensitive
+//!   fixpoint marking every function that may touch persistent data. Only
+//!   persistent functions are compiled to lazy semantics when selective
+//!   compilation is on.
+//! * **Purity labelling** — functions with no externally visible effects,
+//!   no heap writes, and no queries; calls to pure functions may be
+//!   deferred whole.
+//! * **Deferrability** — whether a statement subtree can be swallowed into
+//!   a thunk block (no queries, no external calls, no heap writes, no
+//!   forcing operations, no control escape).
+
+use std::collections::HashSet;
+
+use crate::ast::*;
+use crate::builtins::{builtin_is_persistent, builtin_kind, BuiltinKind};
+
+/// Result of analysing a program.
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    /// Functions that may access persistent data.
+    pub persistent: HashSet<String>,
+    /// Functions with no side effects (deferrable as whole calls).
+    pub pure_fns: HashSet<String>,
+}
+
+impl Analysis {
+    /// Whether function `name` is labelled persistent.
+    pub fn is_persistent(&self, name: &str) -> bool {
+        self.persistent.contains(name)
+    }
+
+    /// Whether function `name` is pure.
+    pub fn is_pure_fn(&self, name: &str) -> bool {
+        self.pure_fns.contains(name)
+    }
+}
+
+/// Runs all analyses over `p`.
+pub fn analyze(p: &Program) -> Analysis {
+    Analysis { persistent: persistence(p), pure_fns: purity(p) }
+}
+
+/// Every function name called within `stmts`.
+fn called_functions(stmts: &[Stmt], out: &mut HashSet<String>) {
+    fn expr(e: &Expr, out: &mut HashSet<String>) {
+        match e {
+            Expr::Call(name, args) => {
+                out.insert(name.clone());
+                for a in args {
+                    expr(a, out);
+                }
+            }
+            Expr::Field(b, _) => expr(b, out),
+            Expr::Index(b, i) => {
+                expr(b, out);
+                expr(i, out);
+            }
+            Expr::Binary(_, a, b) => {
+                expr(a, out);
+                expr(b, out);
+            }
+            Expr::Unary(_, a) => expr(a, out),
+            Expr::NewObject(fs) => fs.iter().for_each(|(_, v)| expr(v, out)),
+            Expr::NewList(xs) => xs.iter().for_each(|v| expr(v, out)),
+            Expr::Lit(_) | Expr::Var(_) => {}
+        }
+    }
+    for s in stmts {
+        match s {
+            Stmt::Let(_, e) | Stmt::ExprStmt(e) | Stmt::Return(Some(e)) => expr(e, out),
+            Stmt::Assign(lv, e) => {
+                match lv {
+                    LValue::Field(b, _) => expr(b, out),
+                    LValue::Index(b, i) => {
+                        expr(b, out);
+                        expr(i, out);
+                    }
+                    LValue::Var(_) => {}
+                }
+                expr(e, out);
+            }
+            Stmt::If(c, t, e) => {
+                expr(c, out);
+                called_functions(t, out);
+                called_functions(e, out);
+            }
+            Stmt::While(c, b) => {
+                expr(c, out);
+                called_functions(b, out);
+            }
+            Stmt::DeferBlock { body, .. } => called_functions(body, out),
+            Stmt::Break | Stmt::Continue | Stmt::Return(None) => {}
+        }
+    }
+}
+
+/// §4.1: fixpoint over the call graph starting from direct query issuers
+/// and from functions that touch persistently-stored objects (the paper's
+/// third criterion: "accesses object fields that are stored persistently" —
+/// approximated here as any heap access, since in these applications every
+/// object graph is rooted in ORM entities).
+fn persistence(p: &Program) -> HashSet<String> {
+    let mut persistent: HashSet<String> = HashSet::new();
+    let calls: Vec<(String, HashSet<String>)> = p
+        .functions
+        .iter()
+        .map(|f| {
+            let mut c = HashSet::new();
+            called_functions(&f.body, &mut c);
+            (f.name.clone(), c)
+        })
+        .collect();
+    // Seed: functions calling query builtins directly, or reading heap
+    // objects (entity field/collection access).
+    for f in &p.functions {
+        if stmts_access_heap(&f.body) {
+            persistent.insert(f.name.clone());
+        }
+    }
+    for (name, callees) in &calls {
+        if callees.iter().any(|c| builtin_is_persistent(c)) {
+            persistent.insert(name.clone());
+        }
+    }
+    // Propagate through callers until fixpoint.
+    loop {
+        let mut changed = false;
+        for (name, callees) in &calls {
+            if !persistent.contains(name) && callees.iter().any(|c| persistent.contains(c)) {
+                persistent.insert(name.clone());
+                changed = true;
+            }
+        }
+        if !changed {
+            return persistent;
+        }
+    }
+}
+
+/// Whether a statement subtree reads or writes heap objects (field/index
+/// access or collection builtins) — the persistence criterion-3 signal.
+fn stmts_access_heap(stmts: &[Stmt]) -> bool {
+    fn expr_heap(e: &Expr) -> bool {
+        match e {
+            Expr::Field(..) | Expr::Index(..) => true,
+            Expr::Call(name, args) => {
+                matches!(builtin_kind(name), Some(BuiltinKind::EagerRead))
+                    || args.iter().any(expr_heap)
+            }
+            Expr::Binary(_, a, b) => expr_heap(a) || expr_heap(b),
+            Expr::Unary(_, a) => expr_heap(a),
+            Expr::NewObject(fs) => fs.iter().any(|(_, v)| expr_heap(v)),
+            Expr::NewList(xs) => xs.iter().any(expr_heap),
+            Expr::Lit(_) | Expr::Var(_) => false,
+        }
+    }
+    stmts.iter().any(|s| match s {
+        Stmt::Let(_, e) | Stmt::ExprStmt(e) | Stmt::Return(Some(e)) => expr_heap(e),
+        Stmt::Assign(LValue::Var(_), e) => expr_heap(e),
+        Stmt::Assign(_, _) => true,
+        Stmt::If(c, t, e) => expr_heap(c) || stmts_access_heap(t) || stmts_access_heap(e),
+        Stmt::While(c, b) => expr_heap(c) || stmts_access_heap(b),
+        Stmt::DeferBlock { body, .. } => stmts_access_heap(body),
+        Stmt::Break | Stmt::Continue | Stmt::Return(None) => false,
+    })
+}
+
+/// Whether a statement subtree is effect-free (given the current pure set).
+fn stmts_effect_free(stmts: &[Stmt], pure_fns: &HashSet<String>) -> bool {
+    fn expr_free(e: &Expr, pure_fns: &HashSet<String>) -> bool {
+        match e {
+            Expr::Call(name, args) => {
+                let callee_ok = match builtin_kind(name) {
+                    Some(BuiltinKind::Pure) | Some(BuiltinKind::EagerRead) => true,
+                    Some(_) => false,
+                    None => pure_fns.contains(name),
+                };
+                callee_ok && args.iter().all(|a| expr_free(a, pure_fns))
+            }
+            Expr::Field(b, _) => expr_free(b, pure_fns),
+            Expr::Index(b, i) => expr_free(b, pure_fns) && expr_free(i, pure_fns),
+            Expr::Binary(_, a, b) => expr_free(a, pure_fns) && expr_free(b, pure_fns),
+            Expr::Unary(_, a) => expr_free(a, pure_fns),
+            Expr::NewObject(fs) => fs.iter().all(|(_, v)| expr_free(v, pure_fns)),
+            Expr::NewList(xs) => xs.iter().all(|v| expr_free(v, pure_fns)),
+            Expr::Lit(_) | Expr::Var(_) => true,
+        }
+    }
+    stmts.iter().all(|s| match s {
+        Stmt::Let(_, e) | Stmt::ExprStmt(e) | Stmt::Return(Some(e)) => expr_free(e, pure_fns),
+        Stmt::Assign(LValue::Var(_), e) => expr_free(e, pure_fns),
+        // Heap writes are side effects.
+        Stmt::Assign(_, _) => false,
+        Stmt::If(c, t, e) => {
+            expr_free(c, pure_fns)
+                && stmts_effect_free(t, pure_fns)
+                && stmts_effect_free(e, pure_fns)
+        }
+        Stmt::While(c, b) => expr_free(c, pure_fns) && stmts_effect_free(b, pure_fns),
+        Stmt::DeferBlock { body, .. } => stmts_effect_free(body, pure_fns),
+        Stmt::Break | Stmt::Continue | Stmt::Return(None) => true,
+    })
+}
+
+/// Purity fixpoint: start optimistic (every user function pure), remove
+/// functions whose bodies have effects, repeat.
+fn purity(p: &Program) -> HashSet<String> {
+    let mut pure: HashSet<String> = p.functions.iter().map(|f| f.name.clone()).collect();
+    loop {
+        let mut changed = false;
+        for f in &p.functions {
+            if pure.contains(&f.name) && !stmts_effect_free(&f.body, &pure) {
+                pure.remove(&f.name);
+                changed = true;
+            }
+        }
+        if !changed {
+            return pure;
+        }
+    }
+}
+
+/// §4.2: whether an expression can live inside a deferred block — it must
+/// not force anything when eventually evaluated lazily: no queries, no
+/// externals, no heap reads (which force their targets at evaluation time).
+pub fn expr_deferrable(e: &Expr, a: &Analysis) -> bool {
+    match e {
+        Expr::Lit(_) | Expr::Var(_) => true,
+        // Field/index reads are executed (and force their target) at
+        // evaluation time — a block containing them cannot be deferred.
+        Expr::Field(..) | Expr::Index(..) => false,
+        Expr::Binary(_, x, y) => expr_deferrable(x, a) && expr_deferrable(y, a),
+        Expr::Unary(_, x) => expr_deferrable(x, a),
+        Expr::Call(name, args) => {
+            let callee_ok = match builtin_kind(name) {
+                Some(BuiltinKind::Pure) => true,
+                Some(_) => false,
+                None => a.is_pure_fn(name),
+            };
+            callee_ok && args.iter().all(|x| expr_deferrable(x, a))
+        }
+        // Object/list allocation is a heap operation performed eagerly.
+        Expr::NewObject(_) | Expr::NewList(_) => false,
+    }
+}
+
+/// §4.2: whether a statement subtree can be swallowed into a single thunk:
+/// only local-variable effects, no control escape, everything deferrable.
+pub fn stmt_deferrable(s: &Stmt, a: &Analysis) -> bool {
+    match s {
+        Stmt::Let(_, e) => expr_deferrable(e, a),
+        Stmt::Assign(LValue::Var(_), e) => expr_deferrable(e, a),
+        Stmt::Assign(_, _) => false,
+        Stmt::ExprStmt(e) => expr_deferrable(e, a),
+        Stmt::If(c, t, els) => {
+            expr_deferrable(c, a)
+                && t.iter().all(|s| stmt_deferrable(s, a))
+                && els.iter().all(|s| stmt_deferrable(s, a))
+        }
+        // Loops inside a deferred block: body must be deferrable; the
+        // canonical `while(true){ if .. else break }` form contains Break,
+        // which we allow only directly inside a deferred loop's own body.
+        Stmt::While(c, b) => expr_deferrable(c, a) && loop_body_deferrable(b, a),
+        Stmt::DeferBlock { body, .. } => body.iter().all(|s| stmt_deferrable(s, a)),
+        Stmt::Break | Stmt::Continue | Stmt::Return(_) => false,
+    }
+}
+
+/// Like [`stmt_deferrable`] but tolerates `break`/`continue` that target
+/// the loop being deferred.
+fn loop_body_deferrable(stmts: &[Stmt], a: &Analysis) -> bool {
+    stmts.iter().all(|s| match s {
+        Stmt::Break | Stmt::Continue => true,
+        Stmt::If(c, t, e) => {
+            expr_deferrable(c, a) && loop_body_deferrable(t, a) && loop_body_deferrable(e, a)
+        }
+        other => stmt_deferrable(other, a),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn program() -> Program {
+        parse_program(
+            r#"
+            fn get_patient(id) { return orm_find("patient", id); }
+            fn controller(id) {
+                let p = get_patient(id);
+                return p;
+            }
+            fn format_name(first, last) { return concat(first, last); }
+            fn helper_chain(a) { return format_name(a, a); }
+            fn print_it(x) { print(x); }
+            fn mutate(xs) { push(xs, 1); }
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn persistence_propagates_through_callers() {
+        let a = analyze(&program());
+        assert!(a.is_persistent("get_patient"));
+        assert!(a.is_persistent("controller"), "transitively persistent");
+        assert!(!a.is_persistent("format_name"));
+        assert!(!a.is_persistent("helper_chain"));
+        assert!(!a.is_persistent("print_it"));
+    }
+
+    #[test]
+    fn purity_detects_effects() {
+        let a = analyze(&program());
+        assert!(a.is_pure_fn("format_name"));
+        assert!(a.is_pure_fn("helper_chain"));
+        assert!(!a.is_pure_fn("print_it"), "print is external");
+        assert!(!a.is_pure_fn("mutate"), "push writes the heap");
+        assert!(!a.is_pure_fn("get_patient"), "queries are effects");
+    }
+
+    #[test]
+    fn purity_fixpoint_handles_recursion() {
+        let p = parse_program(
+            r#"
+            fn even(n) { if (n == 0) { return true; } return odd(n - 1); }
+            fn odd(n) { if (n == 0) { return false; } return even(n - 1); }
+            "#,
+        )
+        .unwrap();
+        let a = analyze(&p);
+        assert!(a.is_pure_fn("even") && a.is_pure_fn("odd"));
+    }
+
+    #[test]
+    fn deferrable_branch_paper_example() {
+        // if (c) a = b; else a = d;  — deferrable (§4.2's own example).
+        let p = parse_program("fn f(c, b, d) { let a = 0; if (c) { a = b; } else { a = d; } return a; }").unwrap();
+        let a = analyze(&p);
+        match &p.function("f").unwrap().body[1] {
+            s @ Stmt::If(..) => assert!(stmt_deferrable(s, &a)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn branch_with_query_not_deferrable() {
+        let p =
+            parse_program(r#"fn f(c) { let a = 0; if (c) { a = query("SELECT 1 FROM t"); } return a; }"#)
+                .unwrap();
+        let a = analyze(&p);
+        match &p.function("f").unwrap().body[1] {
+            s @ Stmt::If(..) => assert!(!stmt_deferrable(s, &a)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn branch_with_heap_write_not_deferrable() {
+        let p = parse_program("fn f(c, m) { if (c) { m.x = 1; } }").unwrap();
+        let a = analyze(&p);
+        match &p.function("f").unwrap().body[0] {
+            s @ Stmt::If(..) => assert!(!stmt_deferrable(s, &a)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn branch_with_pure_call_deferrable() {
+        // The paper's filter example: a pure call inside the branch.
+        let p = parse_program(
+            "fn flt(v) { return v; } fn f(c, v) { let a = 0; if (c) { a = flt(v); } return a; }",
+        )
+        .unwrap();
+        let a = analyze(&p);
+        match &p.function("f").unwrap().body[1] {
+            s @ Stmt::If(..) => assert!(stmt_deferrable(s, &a)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn branch_with_return_not_deferrable() {
+        let p = parse_program("fn f(c) { if (c) { return 1; } return 2; }").unwrap();
+        let a = analyze(&p);
+        match &p.function("f").unwrap().body[0] {
+            s @ Stmt::If(..) => assert!(!stmt_deferrable(s, &a)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

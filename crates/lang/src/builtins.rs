@@ -1,0 +1,89 @@
+//! Builtin ("external library") function classification.
+//!
+//! The Sloth compiler labels every callee (§3.4): internal pure methods are
+//! deferred whole; internal methods with side effects run eagerly with thunk
+//! arguments; external methods force everything; query methods register with
+//! the query store. Builtins model the JDK / framework surface our kernel
+//! programs use.
+
+/// How a builtin behaves under lazy compilation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuiltinKind {
+    /// Pure computation — deferrable as a thunk (`str`, `upper`, …).
+    Pure,
+    /// Reads mutable state (heap / result sets) — executes at evaluation,
+    /// forcing the receiver, like field and array reads (§3.6). The result
+    /// may still contain thunks.
+    EagerRead,
+    /// Mutates the heap — executes at evaluation; the written value may
+    /// stay a thunk (§3.5 heap writes).
+    HeapWrite,
+    /// Externally visible side effect (console/HTTP output) — forces its
+    /// arguments deeply and executes now (§3.4 external methods).
+    External,
+    /// Issues a read query — registers with the query store (§3.3).
+    Query,
+    /// Issues a write query / transaction boundary — flushes the store.
+    WriteQuery,
+}
+
+/// Looks up a builtin by name; `None` means a user-defined function.
+pub fn builtin_kind(name: &str) -> Option<BuiltinKind> {
+    use BuiltinKind::*;
+    Some(match name {
+        // String / scalar helpers (JDK-ish).
+        "str" | "upper" | "lower" | "concat" | "contains" | "starts_with" | "substr"
+        | "len_str" | "abs" | "min" | "max" | "is_null" | "not_null" | "to_int" => Pure,
+        // Collection / result-set reads.
+        "len" | "at" | "nrows" | "cell" | "first" | "obj_get" | "has_field" => EagerRead,
+        // Collection mutation.
+        "push" | "obj_put" | "clear" => HeapWrite,
+        // Output.
+        "print" | "write" | "render" | "log" => External,
+        // Reads against the database.
+        "query" | "orm_find" | "orm_assoc" | "orm_find_where" | "orm_find_all"
+        | "orm_count_where" => Query,
+        // Writes / transaction boundaries.
+        "exec" | "orm_save" | "orm_update" | "orm_delete" | "commit" | "begin" | "rollback" => {
+            WriteQuery
+        }
+        _ => return None,
+    })
+}
+
+/// Whether calls to this builtin touch persistent data (for the §4.1
+/// persistence analysis).
+pub fn builtin_is_persistent(name: &str) -> bool {
+    matches!(builtin_kind(name), Some(BuiltinKind::Query | BuiltinKind::WriteQuery))
+}
+
+/// Whether this builtin is pure (for the purity analysis that feeds call
+/// deferral and branch deferral).
+pub fn builtin_is_pure(name: &str) -> bool {
+    matches!(builtin_kind(name), Some(BuiltinKind::Pure))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_spot_checks() {
+        assert_eq!(builtin_kind("str"), Some(BuiltinKind::Pure));
+        assert_eq!(builtin_kind("at"), Some(BuiltinKind::EagerRead));
+        assert_eq!(builtin_kind("push"), Some(BuiltinKind::HeapWrite));
+        assert_eq!(builtin_kind("print"), Some(BuiltinKind::External));
+        assert_eq!(builtin_kind("orm_find"), Some(BuiltinKind::Query));
+        assert_eq!(builtin_kind("commit"), Some(BuiltinKind::WriteQuery));
+        assert_eq!(builtin_kind("my_user_fn"), None);
+    }
+
+    #[test]
+    fn persistence_and_purity() {
+        assert!(builtin_is_persistent("query"));
+        assert!(builtin_is_persistent("orm_save"));
+        assert!(!builtin_is_persistent("print"));
+        assert!(builtin_is_pure("upper"));
+        assert!(!builtin_is_pure("push"));
+    }
+}

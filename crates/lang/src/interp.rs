@@ -1,0 +1,1313 @@
+//! The two evaluators of §3.8:
+//!
+//! * **standard semantics** — ordinary strict execution; every query is an
+//!   immediate round trip (the original application), and Hibernate-style
+//!   fetch strategies apply (eager prefetch at `orm_find`, collection
+//!   proxies for lazy one-to-many associations).
+//! * **extended lazy semantics** — the Sloth-compiled application: pure
+//!   computation is delayed as thunks, heap operations and control flow
+//!   force their targets, and query calls **register** with the query store
+//!   at thunk-creation time so batches accumulate (§3.3–3.6).
+//!
+//! One interpreter implements both; a per-frame mode switch implements
+//! selective compilation (§4.1). [`crate::opt`] pre-wraps deferrable
+//! regions in [`Stmt::DeferBlock`], which the lazy evaluator turns into a
+//! single block thunk (§4.2–4.3).
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+use sloth_net::{NetStats, SimEnv};
+use sloth_orm::{sqlgen, AssocKind, FetchStrategy, Schema};
+use sloth_sql::ResultSet;
+
+use crate::analysis::{analyze, Analysis};
+use crate::ast::*;
+use crate::builtins::{builtin_kind, BuiltinKind};
+use crate::opt::{optimize, OptFlags};
+use crate::runtime::{
+    row_to_entity, rs_to_entities, Counters, DataLayer, RunError, RunResult,
+};
+use crate::simplify::simplify_program;
+use crate::value::{BlockDriver, Deser, LazyState, LazyVal, Pending, V};
+
+/// How to execute a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecStrategy {
+    /// The original application: standard semantics, stock driver.
+    Original,
+    /// The Sloth-compiled application with the given optimizations.
+    Sloth(OptFlags),
+}
+
+/// A program prepared for execution (compiled once, runnable many times).
+pub struct Prepared {
+    program: Program,
+    analysis: Rc<Analysis>,
+    strategy: ExecStrategy,
+}
+
+impl Prepared {
+    /// The post-compilation program (after simplify + optimize for Sloth).
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The analysis results (persistence/purity labels).
+    pub fn analysis(&self) -> &Analysis {
+        &self.analysis
+    }
+}
+
+/// Runs the Sloth compilation pipeline. Both strategies execute the
+/// simplified (§3.1) program — the paper's baseline is the same source
+/// compiled by the stock compiler, so op-count differences must come from
+/// lazy evaluation itself, not from the three-address lowering.
+pub fn prepare(program: &Program, strategy: ExecStrategy) -> Prepared {
+    let simplified = simplify_program(program);
+    let analysis = analyze(&simplified);
+    match strategy {
+        ExecStrategy::Original => {
+            Prepared { program: simplified, analysis: Rc::new(analysis), strategy }
+        }
+        ExecStrategy::Sloth(flags) => {
+            let optimized = optimize(&simplified, &analysis, flags);
+            Prepared { program: optimized, analysis: Rc::new(analysis), strategy }
+        }
+    }
+}
+
+impl Prepared {
+    /// Runs `main(args…)` against the deployment.
+    pub fn run(
+        &self,
+        env: &SimEnv,
+        schema: Rc<Schema>,
+        args: Vec<V>,
+    ) -> Result<RunResult, RunError> {
+        let before = env.stats();
+        let (data, lazy, flags) = match self.strategy {
+            ExecStrategy::Original => {
+                (DataLayer::immediate(env.clone(), schema), false, OptFlags::all())
+            }
+            ExecStrategy::Sloth(flags) => {
+                (DataLayer::deferred(env.clone(), schema), true, flags)
+            }
+        };
+        let mut interp = Interp {
+            fn_index: self.program.functions.iter().map(|f| (f.name.as_str(), f)).collect(),
+            analysis: Rc::clone(&self.analysis),
+            data,
+            flags,
+            counters: Counters::default(),
+            output: Vec::new(),
+            out_buffer: Vec::new(),
+            depth: 0,
+        };
+        let returned_v = interp.call_function("main", args, lazy)?;
+        // End of request: the buffering writer flushes (forcing in order),
+        // then the framework renders the returned value if any.
+        interp.flush_buffer()?;
+        let returned = match returned_v {
+            V::Null => None,
+            v => Some(interp.display(&v)?),
+        };
+        env.charge_app(interp.counters.app_ns());
+        let after = env.stats();
+        let store_stats = interp.data.store.as_ref().map(|s| s.stats());
+        Ok(RunResult {
+            output: interp.output,
+            returned,
+            counters: interp.counters,
+            net: NetStats {
+                round_trips: after.round_trips - before.round_trips,
+                queries: after.queries - before.queries,
+                network_ns: after.network_ns - before.network_ns,
+                db_ns: after.db_ns - before.db_ns,
+                app_ns: after.app_ns - before.app_ns,
+                max_batch: after.max_batch,
+                bytes: after.bytes - before.bytes,
+            },
+            store: store_stats,
+        })
+    }
+}
+
+/// Convenience: parse, prepare and run a source string.
+pub fn run_source(
+    src: &str,
+    env: &SimEnv,
+    schema: Rc<Schema>,
+    strategy: ExecStrategy,
+    args: Vec<V>,
+) -> Result<RunResult, RunError> {
+    let program = crate::parser::parse_program(src)?;
+    prepare(&program, strategy).run(env, schema, args)
+}
+
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(V),
+}
+
+type Env = HashMap<String, V>;
+
+struct Interp<'p> {
+    fn_index: HashMap<&'p str, &'p Function>,
+    analysis: Rc<Analysis>,
+    data: DataLayer,
+    flags: OptFlags,
+    counters: Counters,
+    output: Vec<String>,
+    out_buffer: Vec<V>,
+    depth: usize,
+}
+
+const MAX_DEPTH: usize = 200;
+const MAX_LOOP_ITERS: u64 = 50_000_000;
+
+impl<'p> Interp<'p> {
+    fn op(&mut self, lazy: bool) {
+        if lazy {
+            self.counters.lazy_ops += 1;
+        } else {
+            self.counters.std_ops += 1;
+        }
+    }
+
+    fn alloc_thunk(&mut self, p: Pending) -> V {
+        self.counters.thunk_allocs += 1;
+        V::Thunk(LazyVal::pending(p))
+    }
+
+    // ------------------------------------------------------------------
+    // Function calls
+    // ------------------------------------------------------------------
+
+    fn call_function(&mut self, name: &str, args: Vec<V>, lazy: bool) -> Result<V, RunError> {
+        let Some(f) = self.fn_index.get(name).copied() else {
+            return Err(RunError::new(format!("unknown function {name}")));
+        };
+        if f.params.len() != args.len() {
+            return Err(RunError::new(format!(
+                "{name} expects {} args, got {}",
+                f.params.len(),
+                args.len()
+            )));
+        }
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            self.depth -= 1;
+            return Err(RunError::new("recursion limit exceeded"));
+        }
+        // Selective compilation: under a Sloth run, non-persistent
+        // functions execute with standard semantics (their args forced at
+        // the boundary, like the paper's generated dummy methods).
+        let run_lazy = lazy && (!self.flags.selective || self.analysis.is_persistent(name));
+        let args = if lazy && !run_lazy {
+            args.into_iter().map(|a| self.force(a)).collect::<Result<Vec<_>, _>>()?
+        } else {
+            args
+        };
+        let mut env: Env = f.params.iter().cloned().zip(args).collect();
+        let flow = self.exec_block(&f.body, &mut env, run_lazy);
+        self.depth -= 1;
+        match flow? {
+            Flow::Return(v) => Ok(v),
+            _ => Ok(V::Null),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn exec_block(&mut self, stmts: &[Stmt], env: &mut Env, lazy: bool) -> Result<Flow, RunError> {
+        for s in stmts {
+            match self.exec_stmt(s, env, lazy)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt, env: &mut Env, lazy: bool) -> Result<Flow, RunError> {
+        self.op(lazy);
+        match s {
+            Stmt::Let(name, e) => {
+                let v = self.eval(e, env, lazy)?;
+                env.insert(name.clone(), v);
+                Ok(Flow::Normal)
+            }
+            Stmt::Assign(LValue::Var(name), e) => {
+                let v = self.eval(e, env, lazy)?;
+                env.insert(name.clone(), v);
+                Ok(Flow::Normal)
+            }
+            Stmt::Assign(LValue::Field(base, field), e) => {
+                // Heap writes are never deferred; the target is forced, the
+                // stored value may stay a thunk (§3.5).
+                let obj = self.eval(base, env, lazy)?;
+                let obj = self.force(obj)?;
+                let v = self.eval(e, env, lazy)?;
+                match obj {
+                    V::Obj(o) => {
+                        o.borrow_mut().insert(field.clone(), v);
+                        Ok(Flow::Normal)
+                    }
+                    other => {
+                        Err(RunError::new(format!("field write on non-object {other:?}")))
+                    }
+                }
+            }
+            Stmt::Assign(LValue::Index(base, idx), e) => {
+                let list = self.eval(base, env, lazy)?;
+                let list = self.force(list)?;
+                let i = self.eval(idx, env, lazy)?;
+                let i = self.force(i)?;
+                let v = self.eval(e, env, lazy)?;
+                match (list, i) {
+                    (V::List(xs), V::Int(i)) => {
+                        let mut xs = xs.borrow_mut();
+                        let idx = i as usize;
+                        if idx >= xs.len() {
+                            return Err(RunError::new(format!(
+                                "index {i} out of bounds (len {})",
+                                xs.len()
+                            )));
+                        }
+                        xs[idx] = v;
+                        Ok(Flow::Normal)
+                    }
+                    (l, i) => {
+                        Err(RunError::new(format!("bad index write target {l:?}[{i:?}]")))
+                    }
+                }
+            }
+            Stmt::If(cond, then, els) => {
+                let c = self.eval(cond, env, lazy)?;
+                let c = self.force(c)?;
+                if c.truthy() {
+                    self.exec_block(then, env, lazy)
+                } else {
+                    self.exec_block(els, env, lazy)
+                }
+            }
+            Stmt::While(cond, body) => {
+                let mut iters = 0u64;
+                loop {
+                    iters += 1;
+                    if iters > MAX_LOOP_ITERS {
+                        return Err(RunError::new("loop iteration limit exceeded"));
+                    }
+                    let c = self.eval(cond, env, lazy)?;
+                    let c = self.force(c)?;
+                    if !c.truthy() {
+                        return Ok(Flow::Normal);
+                    }
+                    match self.exec_block(body, env, lazy)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => return Ok(Flow::Normal),
+                        r @ Flow::Return(_) => return Ok(r),
+                    }
+                }
+            }
+            Stmt::Break => Ok(Flow::Break),
+            Stmt::Continue => Ok(Flow::Continue),
+            Stmt::Return(e) => {
+                let v = match e {
+                    Some(e) => self.eval(e, env, lazy)?,
+                    None => V::Null,
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::ExprStmt(e) => {
+                self.eval(e, env, lazy)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::DeferBlock { body, outputs } => {
+                if !lazy {
+                    // Standard semantics: transparent.
+                    return self.exec_block(body, env, lazy);
+                }
+                // One thunk for the whole region (§4.2/4.3): capture the
+                // referenced variables by value, produce projection thunks
+                // for the outputs.
+                let mut referenced = HashMap::new();
+                crate::opt::count_occurrences_pub(body, &mut referenced);
+                let captured: Vec<(String, V)> = referenced
+                    .keys()
+                    .filter_map(|k| env.get(k).map(|v| (k.clone(), v.clone())))
+                    .collect();
+                let driver = Rc::new(BlockDriver {
+                    env: captured,
+                    body: Rc::new(body.clone()),
+                    outputs: outputs.clone(),
+                    results: RefCell::new(None),
+                });
+                self.counters.thunk_allocs += 1;
+                for out in outputs {
+                    let proj = self.alloc_thunk(Pending::Block {
+                        driver: Rc::clone(&driver),
+                        output: Some(out.clone()),
+                    });
+                    env.insert(out.clone(), proj);
+                }
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    fn eval(&mut self, e: &Expr, env: &Env, lazy: bool) -> Result<V, RunError> {
+        self.op(lazy);
+        let v = match e {
+            Expr::Lit(l) => lit_to_v(l),
+            Expr::Var(name) => env
+                .get(name)
+                .cloned()
+                .ok_or_else(|| RunError::new(format!("unbound variable {name}")))?,
+            Expr::Field(base, field) => {
+                // Field reads execute at evaluation time, forcing the
+                // target; the field's stored value may be a thunk (§3.6).
+                let obj = self.eval(base, env, lazy)?;
+                let obj = self.force(obj)?;
+                self.read_field(&obj, field)?
+            }
+            Expr::Index(base, idx) => {
+                let b = self.eval(base, env, lazy)?;
+                let b = self.force(b)?;
+                let i = self.eval(idx, env, lazy)?;
+                let i = self.force(i)?;
+                self.read_index(&b, &i)?
+            }
+            Expr::Binary(op, a, b) => {
+                if lazy {
+                    // Short-circuit operators force their left side (control
+                    // dependence); everything else becomes a thunk.
+                    match op {
+                        BinOp::And | BinOp::Or => {
+                            let l = self.eval(a, env, lazy)?;
+                            let l = self.force(l)?;
+                            let take_right = match op {
+                                BinOp::And => l.truthy(),
+                                _ => !l.truthy(),
+                            };
+                            if take_right {
+                                let r = self.eval(b, env, lazy)?;
+                                let r = self.force(r)?;
+                                V::Bool(r.truthy())
+                            } else {
+                                V::Bool(matches!(op, BinOp::Or))
+                            }
+                        }
+                        _ => {
+                            let va = self.eval(a, env, lazy)?;
+                            let vb = self.eval(b, env, lazy)?;
+                            let expr = Rc::new(Expr::Binary(
+                                *op,
+                                Box::new(Expr::Var("__l".into())),
+                                Box::new(Expr::Var("__r".into())),
+                            ));
+                            self.alloc_thunk(Pending::Expr {
+                                env: vec![("__l".into(), va), ("__r".into(), vb)],
+                                expr,
+                            })
+                        }
+                    }
+                } else {
+                    let va = self.eval(a, env, lazy)?;
+                    let vb = self.eval(b, env, lazy)?;
+                    self.binop(*op, va, vb)?
+                }
+            }
+            Expr::Unary(op, a) => {
+                let va = self.eval(a, env, lazy)?;
+                if lazy {
+                    let expr =
+                        Rc::new(Expr::Unary(*op, Box::new(Expr::Var("__x".into()))));
+                    self.alloc_thunk(Pending::Expr { env: vec![("__x".into(), va)], expr })
+                } else {
+                    self.unop(*op, va)?
+                }
+            }
+            Expr::Call(name, args) => return self.eval_call(name, args, env, lazy),
+            Expr::NewObject(fields) => {
+                // Allocation is a heap operation: eager in both modes.
+                let mut map = BTreeMap::new();
+                for (f, e) in fields {
+                    map.insert(f.clone(), self.eval(e, env, lazy)?);
+                }
+                V::Obj(Rc::new(RefCell::new(map)))
+            }
+            Expr::NewList(items) => {
+                let mut xs = Vec::with_capacity(items.len());
+                for e in items {
+                    xs.push(self.eval(e, env, lazy)?);
+                }
+                V::list(xs)
+            }
+        };
+        if lazy {
+            Ok(v)
+        } else {
+            self.force(v)
+        }
+    }
+
+    fn eval_call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        env: &Env,
+        lazy: bool,
+    ) -> Result<V, RunError> {
+        match builtin_kind(name) {
+            Some(BuiltinKind::Pure) => {
+                let vals = self.eval_args(args, env, lazy)?;
+                if lazy {
+                    Ok(self.alloc_thunk(Pending::Call { func: name.to_string(), args: vals }))
+                } else {
+                    self.pure_builtin(name, vals)
+                }
+            }
+            Some(BuiltinKind::EagerRead) => {
+                let vals = self.eval_args(args, env, lazy)?;
+                self.eager_read_builtin(name, vals, lazy)
+            }
+            Some(BuiltinKind::HeapWrite) => {
+                let vals = self.eval_args(args, env, lazy)?;
+                self.heap_write_builtin(name, vals)
+            }
+            Some(BuiltinKind::External) => {
+                let vals = self.eval_args(args, env, lazy)?;
+                self.external_builtin(name, vals, lazy)
+            }
+            Some(BuiltinKind::Query) => {
+                let vals = self.eval_args(args, env, lazy)?;
+                self.query_builtin(name, vals, lazy)
+            }
+            Some(BuiltinKind::WriteQuery) => {
+                let vals = self.eval_args(args, env, lazy)?;
+                self.write_query_builtin(name, vals)
+            }
+            None => {
+                let vals = self.eval_args(args, env, lazy)?;
+                if lazy && self.analysis.is_pure_fn(name) {
+                    // Internal pure call: defer the whole call (§3.4).
+                    Ok(self.alloc_thunk(Pending::Call { func: name.to_string(), args: vals }))
+                } else {
+                    self.call_function(name, vals, lazy)
+                }
+            }
+        }
+    }
+
+    fn eval_args(&mut self, args: &[Expr], env: &Env, lazy: bool) -> Result<Vec<V>, RunError> {
+        args.iter().map(|a| self.eval(a, env, lazy)).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Forcing
+    // ------------------------------------------------------------------
+
+    fn force(&mut self, v: V) -> Result<V, RunError> {
+        let mut cur = v;
+        loop {
+            let V::Thunk(cell) = cur else { return Ok(cur) };
+            let state = std::mem::replace(&mut *cell.0.borrow_mut(), LazyState::InFlight);
+            match state {
+                LazyState::Done(v) => {
+                    *cell.0.borrow_mut() = LazyState::Done(v.clone());
+                    cur = v;
+                }
+                LazyState::InFlight => {
+                    return Err(RunError::new("cyclic thunk dependency"));
+                }
+                LazyState::Pending(p) => {
+                    self.counters.forces += 1;
+                    let v = self.eval_pending(p)?;
+                    let v = self.force(v)?;
+                    *cell.0.borrow_mut() = LazyState::Done(v.clone());
+                    cur = v;
+                }
+            }
+        }
+    }
+
+    fn eval_pending(&mut self, p: Pending) -> Result<V, RunError> {
+        match p {
+            Pending::Expr { env, expr } => {
+                // Forcing means computing *now*: evaluate strictly (operand
+                // thunks force transparently), otherwise the delayed op
+                // would just re-defer itself.
+                let frame: Env = env.into_iter().collect();
+                self.eval(&expr, &frame, false)
+            }
+            Pending::Query { id, deser } => {
+                let rs = self.data.fetch(id)?;
+                Ok(deserialize(&deser, rs))
+            }
+            Pending::Call { func, args } => {
+                if builtin_kind(&func).is_some() {
+                    self.pure_builtin(&func, args)
+                } else {
+                    self.call_function(&func, args, true)
+                }
+            }
+            Pending::Block { driver, output } => {
+                if driver.results.borrow().is_none() {
+                    // Forcing the block runs its statements *now*, strictly
+                    // — that is the saving of §4.3: one thunk for the whole
+                    // region instead of one per statement.
+                    let mut frame: Env = driver.env.iter().cloned().collect();
+                    self.exec_block(&driver.body, &mut frame, false)?;
+                    let outs: BTreeMap<String, V> = driver
+                        .outputs
+                        .iter()
+                        .map(|o| (o.clone(), frame.get(o).cloned().unwrap_or(V::Null)))
+                        .collect();
+                    *driver.results.borrow_mut() = Some(outs);
+                }
+                match output {
+                    None => Ok(V::Null),
+                    Some(name) => Ok(driver
+                        .results
+                        .borrow()
+                        .as_ref()
+                        .and_then(|m| m.get(&name).cloned())
+                        .unwrap_or(V::Null)),
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Heap reads
+    // ------------------------------------------------------------------
+
+    fn read_field(&mut self, obj: &V, field: &str) -> Result<V, RunError> {
+        match obj {
+            V::Obj(o) => {
+                if o.borrow().contains_key("__proxy_sql") && !field.starts_with("__") {
+                    // Reading through a collection proxy materializes it.
+                    let items = self.materialize_proxy(o)?;
+                    return self.read_field(&items, field);
+                }
+                Ok(o.borrow().get(field).cloned().unwrap_or(V::Null))
+            }
+            V::Null => Err(RunError::new(format!("field {field} read on null"))),
+            other => Err(RunError::new(format!("field {field} read on {other:?}"))),
+        }
+    }
+
+    fn read_index(&mut self, base: &V, idx: &V) -> Result<V, RunError> {
+        match (base, idx) {
+            (V::List(xs), V::Int(i)) => xs
+                .borrow()
+                .get(*i as usize)
+                .cloned()
+                .ok_or_else(|| RunError::new(format!("index {i} out of bounds"))),
+            (V::Rs(rs), V::Int(i)) => {
+                let i = *i as usize;
+                if i >= rs.len() {
+                    return Err(RunError::new(format!("row {i} out of bounds")));
+                }
+                Ok(row_to_plain_obj(rs, i))
+            }
+            (V::Obj(o), V::Int(_)) if o.borrow().contains_key("__proxy_sql") => {
+                let items = self.materialize_proxy(o)?;
+                self.read_index(&items, idx)
+            }
+            (b, i) => Err(RunError::new(format!("bad index read {b:?}[{i:?}]"))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scalar operators
+    // ------------------------------------------------------------------
+
+    fn binop(&mut self, op: BinOp, a: V, b: V) -> Result<V, RunError> {
+        let a = self.force(a)?;
+        let b = self.force(b)?;
+        use BinOp::*;
+        Ok(match op {
+            Add => match (&a, &b) {
+                (V::Str(_), _) | (_, V::Str(_)) => {
+                    let sa = self.display(&a)?;
+                    let sb = self.display(&b)?;
+                    V::str(format!("{sa}{sb}"))
+                }
+                (V::Int(x), V::Int(y)) => V::Int(x.wrapping_add(*y)),
+                _ => V::Float(num(&a)? + num(&b)?),
+            },
+            Sub => arith(&a, &b, i64::wrapping_sub, |x, y| x - y)?,
+            Mul => arith(&a, &b, i64::wrapping_mul, |x, y| x * y)?,
+            Div => match (&a, &b) {
+                (V::Int(_), V::Int(0)) => return Err(RunError::new("division by zero")),
+                (V::Int(x), V::Int(y)) => V::Int(x / y),
+                _ => {
+                    let d = num(&b)?;
+                    if d == 0.0 {
+                        return Err(RunError::new("division by zero"));
+                    }
+                    V::Float(num(&a)? / d)
+                }
+            },
+            Mod => match (&a, &b) {
+                (V::Int(_), V::Int(0)) => return Err(RunError::new("modulo by zero")),
+                (V::Int(x), V::Int(y)) => V::Int(x % y),
+                _ => return Err(RunError::new("modulo needs integers")),
+            },
+            Eq => V::Bool(values_eq(&a, &b)),
+            Ne => V::Bool(!values_eq(&a, &b)),
+            Lt | Le | Gt | Ge => {
+                let ord = compare(&a, &b)?;
+                V::Bool(match op {
+                    Lt => ord.is_lt(),
+                    Le => ord.is_le(),
+                    Gt => ord.is_gt(),
+                    _ => ord.is_ge(),
+                })
+            }
+            And => V::Bool(a.truthy() && b.truthy()),
+            Or => V::Bool(a.truthy() || b.truthy()),
+        })
+    }
+
+    fn unop(&mut self, op: UnOp, a: V) -> Result<V, RunError> {
+        let a = self.force(a)?;
+        match op {
+            UnOp::Not => Ok(V::Bool(!a.truthy())),
+            UnOp::Neg => match a {
+                V::Int(i) => Ok(V::Int(-i)),
+                V::Float(f) => Ok(V::Float(-f)),
+                other => Err(RunError::new(format!("cannot negate {other:?}"))),
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Builtins
+    // ------------------------------------------------------------------
+
+    fn pure_builtin(&mut self, name: &str, args: Vec<V>) -> Result<V, RunError> {
+        let mut forced = Vec::with_capacity(args.len());
+        for a in args {
+            forced.push(self.force(a)?);
+        }
+        let arg = |i: usize| -> &V { forced.get(i).unwrap_or(&V::Null) };
+        Ok(match name {
+            "str" => V::str(self.display(arg(0))?),
+            "upper" => V::str(self.display(arg(0))?.to_uppercase()),
+            "lower" => V::str(self.display(arg(0))?.to_lowercase()),
+            "concat" => {
+                let mut s = String::new();
+                for a in &forced {
+                    s.push_str(&self.display(a)?);
+                }
+                V::str(s)
+            }
+            "contains" => {
+                let h = self.display(arg(0))?;
+                let n = self.display(arg(1))?;
+                V::Bool(h.contains(&n))
+            }
+            "starts_with" => {
+                let h = self.display(arg(0))?;
+                let n = self.display(arg(1))?;
+                V::Bool(h.starts_with(&n))
+            }
+            "substr" => {
+                let s = self.display(arg(0))?;
+                let start = int(arg(1))? as usize;
+                let len = int(arg(2))? as usize;
+                V::str(s.chars().skip(start).take(len).collect::<String>())
+            }
+            "len_str" => V::Int(self.display(arg(0))?.chars().count() as i64),
+            "abs" => match arg(0) {
+                V::Int(i) => V::Int(i.abs()),
+                V::Float(f) => V::Float(f.abs()),
+                other => return Err(RunError::new(format!("abs of {other:?}"))),
+            },
+            "min" => {
+                if compare(arg(0), arg(1))?.is_le() {
+                    arg(0).clone()
+                } else {
+                    arg(1).clone()
+                }
+            }
+            "max" => {
+                if compare(arg(0), arg(1))?.is_ge() {
+                    arg(0).clone()
+                } else {
+                    arg(1).clone()
+                }
+            }
+            "is_null" => V::Bool(matches!(arg(0), V::Null)),
+            "not_null" => V::Bool(!matches!(arg(0), V::Null)),
+            "to_int" => match arg(0) {
+                V::Int(i) => V::Int(*i),
+                V::Float(f) => V::Int(*f as i64),
+                V::Str(s) => V::Int(
+                    s.parse::<i64>()
+                        .map_err(|_| RunError::new(format!("to_int on {s:?}")))?,
+                ),
+                V::Bool(b) => V::Int(*b as i64),
+                other => return Err(RunError::new(format!("to_int on {other:?}"))),
+            },
+            other => return Err(RunError::new(format!("unknown pure builtin {other}"))),
+        })
+    }
+
+    fn eager_read_builtin(
+        &mut self,
+        name: &str,
+        mut args: Vec<V>,
+        lazy: bool,
+    ) -> Result<V, RunError> {
+        let _ = lazy;
+        let recv = self.force(args.remove(0))?;
+        match name {
+            "len" | "nrows" => match &recv {
+                V::List(xs) => Ok(V::Int(xs.borrow().len() as i64)),
+                V::Rs(rs) => Ok(V::Int(rs.len() as i64)),
+                V::Obj(o) if o.borrow().contains_key("__proxy_sql") => {
+                    let items = self.materialize_proxy(o)?;
+                    self.eager_read_builtin("len", vec![items], lazy)
+                }
+                V::Null => Ok(V::Int(0)),
+                other => Err(RunError::new(format!("len of {other:?}"))),
+            },
+            "at" => {
+                let i = self.force(args.remove(0))?;
+                self.read_index(&recv, &i)
+            }
+            "first" => match &recv {
+                V::List(xs) => Ok(xs.borrow().first().cloned().unwrap_or(V::Null)),
+                V::Rs(rs) => {
+                    if rs.is_empty() {
+                        Ok(V::Null)
+                    } else {
+                        Ok(row_to_plain_obj(rs, 0))
+                    }
+                }
+                V::Obj(o) if o.borrow().contains_key("__proxy_sql") => {
+                    let items = self.materialize_proxy(o)?;
+                    self.eager_read_builtin("first", vec![items], lazy)
+                }
+                V::Null => Ok(V::Null),
+                other => Err(RunError::new(format!("first of {other:?}"))),
+            },
+            "cell" => {
+                let i = self.force(args.remove(0))?;
+                let col = self.force(args.remove(0))?;
+                match (&recv, &i, &col) {
+                    (V::Rs(rs), V::Int(i), V::Str(c)) => rs
+                        .get(*i as usize, c)
+                        .map(V::from_sql)
+                        .ok_or_else(|| RunError::new(format!("no cell [{i}].{c}"))),
+                    _ => Err(RunError::new("cell(rs, row, col) expected")),
+                }
+            }
+            "obj_get" => {
+                let field = self.force(args.remove(0))?;
+                let field = self.display(&field)?;
+                self.read_field(&recv, &field)
+            }
+            "has_field" => {
+                let field = self.force(args.remove(0))?;
+                let field = self.display(&field)?;
+                match recv {
+                    V::Obj(o) => Ok(V::Bool(o.borrow().contains_key(&field))),
+                    _ => Ok(V::Bool(false)),
+                }
+            }
+            other => Err(RunError::new(format!("unknown read builtin {other}"))),
+        }
+    }
+
+    fn heap_write_builtin(&mut self, name: &str, mut args: Vec<V>) -> Result<V, RunError> {
+        let recv = self.force(args.remove(0))?;
+        match name {
+            "push" => match recv {
+                V::List(xs) => {
+                    xs.borrow_mut().push(args.remove(0));
+                    Ok(V::Null)
+                }
+                other => Err(RunError::new(format!("push to {other:?}"))),
+            },
+            "obj_put" => {
+                let field = self.force(args.remove(0))?;
+                let field = self.display(&field)?;
+                match recv {
+                    V::Obj(o) => {
+                        o.borrow_mut().insert(field, args.remove(0));
+                        Ok(V::Null)
+                    }
+                    other => Err(RunError::new(format!("obj_put on {other:?}"))),
+                }
+            }
+            "clear" => match recv {
+                V::List(xs) => {
+                    xs.borrow_mut().clear();
+                    Ok(V::Null)
+                }
+                other => Err(RunError::new(format!("clear of {other:?}"))),
+            },
+            other => Err(RunError::new(format!("unknown write builtin {other}"))),
+        }
+    }
+
+    fn external_builtin(&mut self, name: &str, args: Vec<V>, lazy: bool) -> Result<V, RunError> {
+        let _ = lazy;
+        match name {
+            "print" | "write" | "render" | "log" => {
+                let v = args.into_iter().next().unwrap_or(V::Null);
+                // The buffering writer is request-global (§5): output from
+                // standard-compiled helper methods must interleave with
+                // lazily-produced output in program order.
+                let sloth_run = self.data.store.is_some();
+                if sloth_run && self.flags.buffered_writer {
+                    // §5 JSP extension: thunks are written to the buffer and
+                    // forced only when the page flushes.
+                    self.out_buffer.push(v);
+                } else {
+                    let s = self.display(&v)?;
+                    self.output.push(s);
+                }
+                Ok(V::Null)
+            }
+            other => Err(RunError::new(format!("unknown external builtin {other}"))),
+        }
+    }
+
+    fn flush_buffer(&mut self) -> Result<(), RunError> {
+        let buffered = std::mem::take(&mut self.out_buffer);
+        for v in buffered {
+            let s = self.display(&v)?;
+            self.output.push(s);
+        }
+        Ok(())
+    }
+
+    fn query_builtin(&mut self, name: &str, mut args: Vec<V>, lazy: bool) -> Result<V, RunError> {
+        match name {
+            "query" => {
+                let sql = self.force(args.remove(0))?;
+                let sql = self.display(&sql)?;
+                if lazy {
+                    self.register_thunk(&sql, Deser::Raw)
+                } else {
+                    Ok(V::Rs(Rc::new(self.data.read_now(&sql)?)))
+                }
+            }
+            "orm_find" => {
+                let entity = self.string_arg(args.remove(0))?;
+                let id = self.force(args.remove(0))?;
+                let def = self.entity_def(&entity)?;
+                let sql = sqlgen::select_by_pk(&def, &id.to_sql());
+                if lazy {
+                    self.register_thunk(&sql, Deser::EntityOpt(entity))
+                } else {
+                    let rs = self.data.read_now(&sql)?;
+                    if rs.is_empty() {
+                        return Ok(V::Null);
+                    }
+                    let e = row_to_entity(&entity, &rs, 0);
+                    self.std_prefetch_eager(&entity, &e)?;
+                    Ok(e)
+                }
+            }
+            "orm_assoc" => {
+                let owner = self.force(args.remove(0))?;
+                let assoc = self.string_arg(args.remove(0))?;
+                self.orm_assoc(owner, &assoc, lazy)
+            }
+            "orm_find_where" => {
+                let entity = self.string_arg(args.remove(0))?;
+                let col = self.string_arg(args.remove(0))?;
+                let v = self.force(args.remove(0))?;
+                let def = self.entity_def(&entity)?;
+                let sql = sqlgen::select_where_eq(&def, &col, &v.to_sql());
+                if lazy {
+                    self.register_thunk(&sql, Deser::EntityList(entity))
+                } else {
+                    let rs = self.data.read_now(&sql)?;
+                    Ok(rs_to_entities(&entity, &rs))
+                }
+            }
+            "orm_find_all" => {
+                let entity = self.string_arg(args.remove(0))?;
+                let def = self.entity_def(&entity)?;
+                let sql = sqlgen::select_all(&def);
+                if lazy {
+                    self.register_thunk(&sql, Deser::EntityList(entity))
+                } else {
+                    let rs = self.data.read_now(&sql)?;
+                    Ok(rs_to_entities(&entity, &rs))
+                }
+            }
+            "orm_count_where" => {
+                let entity = self.string_arg(args.remove(0))?;
+                let col = self.string_arg(args.remove(0))?;
+                let v = self.force(args.remove(0))?;
+                let def = self.entity_def(&entity)?;
+                let sql = sqlgen::count_where_eq(&def, &col, &v.to_sql());
+                if lazy {
+                    self.register_thunk(&sql, Deser::Scalar)
+                } else {
+                    let rs = self.data.read_now(&sql)?;
+                    Ok(rs.rows.first().and_then(|r| r.first()).map(V::from_sql).unwrap_or(V::Null))
+                }
+            }
+            other => Err(RunError::new(format!("unknown query builtin {other}"))),
+        }
+    }
+
+    fn write_query_builtin(&mut self, name: &str, mut args: Vec<V>) -> Result<V, RunError> {
+        let sql = match name {
+            "exec" => {
+                let s = self.force(args.remove(0))?;
+                self.display(&s)?
+            }
+            "commit" => "COMMIT".to_string(),
+            "begin" => "BEGIN".to_string(),
+            "rollback" => "ROLLBACK".to_string(),
+            "orm_save" => {
+                let entity = self.string_arg(args.remove(0))?;
+                let vals = self.force(args.remove(0))?;
+                let def = self.entity_def(&entity)?;
+                let V::List(xs) = vals else {
+                    return Err(RunError::new("orm_save expects a list of values"));
+                };
+                let mut sql_vals = Vec::new();
+                for v in xs.borrow().iter() {
+                    let f = self.force(v.clone())?;
+                    sql_vals.push(f.to_sql());
+                }
+                sqlgen::insert_row(&def, &sql_vals)
+            }
+            "orm_update" => {
+                let entity = self.string_arg(args.remove(0))?;
+                let id = self.force(args.remove(0))?;
+                let col = self.string_arg(args.remove(0))?;
+                let v = self.force(args.remove(0))?;
+                let def = self.entity_def(&entity)?;
+                sqlgen::update_field(&def, &id.to_sql(), &col, &v.to_sql())
+            }
+            "orm_delete" => {
+                let entity = self.string_arg(args.remove(0))?;
+                let id = self.force(args.remove(0))?;
+                let def = self.entity_def(&entity)?;
+                sqlgen::delete_by_pk(&def, &id.to_sql())
+            }
+            other => return Err(RunError::new(format!("unknown write builtin {other}"))),
+        };
+        // Writes are never deferred: in Sloth mode they flush the batch
+        // (§3.3); in original mode they execute directly.
+        if self.data.store.is_some() {
+            let id = self.data.register(&sql)?;
+            self.counters.queries_registered += 1;
+            self.data.fetch(id)?;
+        } else {
+            self.data.read_now(&sql)?;
+        }
+        Ok(V::Null)
+    }
+
+    fn register_thunk(&mut self, sql: &str, deser: Deser) -> Result<V, RunError> {
+        let id = self.data.register(sql)?;
+        self.counters.queries_registered += 1;
+        Ok(self.alloc_thunk(Pending::Query { id, deser }))
+    }
+
+    /// Original-mode eager prefetch at `orm_find` (§1: the "eager" strategy
+    /// fetches associated collections whether used or not).
+    fn std_prefetch_eager(&mut self, entity: &str, e: &V) -> Result<(), RunError> {
+        let def = self.entity_def(entity)?;
+        let eager: Vec<String> = def
+            .assocs
+            .iter()
+            .filter(|a| a.strategy == FetchStrategy::Eager)
+            .map(|a| a.name.clone())
+            .collect();
+        for name in eager {
+            let items = self.fetch_assoc_now(e, entity, &name)?;
+            if let V::Obj(o) = e {
+                o.borrow_mut().insert(format!("__assoc_{name}"), items);
+            }
+        }
+        Ok(())
+    }
+
+    fn orm_assoc(&mut self, owner: V, assoc: &str, lazy: bool) -> Result<V, RunError> {
+        let V::Obj(o) = &owner else {
+            return Err(RunError::new(format!("orm_assoc on non-entity {owner:?}")));
+        };
+        let entity = {
+            let b = o.borrow();
+            match b.get("__entity") {
+                Some(V::Str(s)) => s.to_string(),
+                _ => return Err(RunError::new("orm_assoc on non-entity object")),
+            }
+        };
+        let memo_key = format!("__assoc_{assoc}");
+        if let Some(cached) = o.borrow().get(&memo_key).cloned() {
+            return Ok(cached);
+        }
+        let def = self.entity_def(&entity)?;
+        let a = def
+            .assoc(assoc)
+            .ok_or_else(|| RunError::new(format!("no assoc {assoc} on {entity}")))?
+            .clone();
+        let key = match &a.kind {
+            AssocKind::OneToMany { .. } => self.read_field(&owner, &def.pk)?,
+            AssocKind::ManyToOne { fk_column } => self.read_field(&owner, fk_column)?,
+        };
+        let key = self.force(key)?;
+        let (sql, target, many) = self.data.assoc_sql(&entity, assoc, &key.to_sql())?;
+        let result = if lazy {
+            // Sloth: register now (the owner is already materialized),
+            // defer deserialization (§3.3).
+            let deser = if many { Deser::EntityList(target) } else { Deser::EntityOpt(target) };
+            self.register_thunk(&sql, deser)?
+        } else if many && a.strategy == FetchStrategy::Lazy {
+            // Hibernate collection proxy: no query until element access.
+            let mut fields = BTreeMap::new();
+            fields.insert("__proxy_sql".to_string(), V::str(&sql));
+            fields.insert("__proxy_entity".to_string(), V::str(&target));
+            V::Obj(Rc::new(RefCell::new(fields)))
+        } else {
+            let rs = self.data.read_now(&sql)?;
+            if many {
+                rs_to_entities(&target, &rs)
+            } else if rs.is_empty() {
+                V::Null
+            } else {
+                row_to_entity(&target, &rs, 0)
+            }
+        };
+        o.borrow_mut().insert(memo_key, result.clone());
+        Ok(result)
+    }
+
+    fn fetch_assoc_now(&mut self, owner: &V, entity: &str, assoc: &str) -> Result<V, RunError> {
+        let def = self.entity_def(entity)?;
+        let a = def
+            .assoc(assoc)
+            .ok_or_else(|| RunError::new(format!("no assoc {assoc} on {entity}")))?
+            .clone();
+        let key = match &a.kind {
+            AssocKind::OneToMany { .. } => self.read_field(owner, &def.pk)?,
+            AssocKind::ManyToOne { fk_column } => self.read_field(owner, fk_column)?,
+        };
+        let key = self.force(key)?;
+        let (sql, target, many) = self.data.assoc_sql(entity, assoc, &key.to_sql())?;
+        let rs = self.data.read_now(&sql)?;
+        Ok(if many {
+            rs_to_entities(&target, &rs)
+        } else if rs.is_empty() {
+            V::Null
+        } else {
+            row_to_entity(&target, &rs, 0)
+        })
+    }
+
+    fn materialize_proxy(
+        &mut self,
+        o: &Rc<RefCell<BTreeMap<String, V>>>,
+    ) -> Result<V, RunError> {
+        if let Some(items) = o.borrow().get("__proxy_items").cloned() {
+            return Ok(items);
+        }
+        let (sql, target) = {
+            let b = o.borrow();
+            let sql = match b.get("__proxy_sql") {
+                Some(V::Str(s)) => s.to_string(),
+                _ => return Err(RunError::new("not a proxy")),
+            };
+            let target = match b.get("__proxy_entity") {
+                Some(V::Str(s)) => s.to_string(),
+                _ => return Err(RunError::new("proxy without target")),
+            };
+            (sql, target)
+        };
+        let rs = self.data.read_now(&sql)?;
+        let items = rs_to_entities(&target, &rs);
+        o.borrow_mut().insert("__proxy_items".to_string(), items.clone());
+        Ok(items)
+    }
+
+    fn entity_def(&self, name: &str) -> Result<sloth_orm::EntityDef, RunError> {
+        self.data
+            .schema
+            .entity(name)
+            .cloned()
+            .ok_or_else(|| RunError::new(format!("unknown entity {name}")))
+    }
+
+    fn string_arg(&mut self, v: V) -> Result<String, RunError> {
+        let v = self.force(v)?;
+        match v {
+            V::Str(s) => Ok(s.to_string()),
+            other => Err(RunError::new(format!("expected string, got {other:?}"))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Display (deep forcing)
+    // ------------------------------------------------------------------
+
+    fn display(&mut self, v: &V) -> Result<String, RunError> {
+        self.display_depth(v, 0)
+    }
+
+    fn display_depth(&mut self, v: &V, depth: usize) -> Result<String, RunError> {
+        if depth > 24 {
+            return Ok("<deep>".to_string());
+        }
+        let v = self.force(v.clone())?;
+        Ok(match v {
+            V::Null => "null".to_string(),
+            V::Bool(b) => b.to_string(),
+            V::Int(i) => i.to_string(),
+            V::Float(f) => format!("{f}"),
+            V::Str(s) => s.to_string(),
+            V::List(xs) => {
+                let items = xs.borrow().clone();
+                let mut parts = Vec::with_capacity(items.len());
+                for item in items {
+                    parts.push(self.display_depth(&item, depth + 1)?);
+                }
+                format!("[{}]", parts.join(", "))
+            }
+            V::Obj(o) => {
+                if o.borrow().contains_key("__proxy_sql") {
+                    let items = self.materialize_proxy(&o)?;
+                    return self.display_depth(&items, depth + 1);
+                }
+                let fields: Vec<(String, V)> = o
+                    .borrow()
+                    .iter()
+                    .filter(|(k, _)| !k.starts_with("__"))
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect();
+                let mut parts = Vec::with_capacity(fields.len());
+                for (k, fv) in fields {
+                    parts.push(format!("{k}={}", self.display_depth(&fv, depth + 1)?));
+                }
+                format!("{{{}}}", parts.join(", "))
+            }
+            V::Rs(rs) => format_rs(&rs),
+            V::Thunk(_) => unreachable!("forced above"),
+        })
+    }
+}
+
+fn lit_to_v(l: &Lit) -> V {
+    match l {
+        Lit::Null => V::Null,
+        Lit::Bool(b) => V::Bool(*b),
+        Lit::Int(i) => V::Int(*i),
+        Lit::Float(f) => V::Float(*f),
+        Lit::Str(s) => V::str(s),
+    }
+}
+
+fn num(v: &V) -> Result<f64, RunError> {
+    match v {
+        V::Int(i) => Ok(*i as f64),
+        V::Float(f) => Ok(*f),
+        V::Bool(b) => Ok(*b as i64 as f64),
+        other => Err(RunError::new(format!("expected number, got {other:?}"))),
+    }
+}
+
+fn int(v: &V) -> Result<i64, RunError> {
+    match v {
+        V::Int(i) => Ok(*i),
+        V::Float(f) => Ok(*f as i64),
+        other => Err(RunError::new(format!("expected int, got {other:?}"))),
+    }
+}
+
+fn arith(
+    a: &V,
+    b: &V,
+    f_int: impl Fn(i64, i64) -> i64,
+    f_float: impl Fn(f64, f64) -> f64,
+) -> Result<V, RunError> {
+    match (a, b) {
+        (V::Int(x), V::Int(y)) => Ok(V::Int(f_int(*x, *y))),
+        _ => Ok(V::Float(f_float(num(a)?, num(b)?))),
+    }
+}
+
+fn values_eq(a: &V, b: &V) -> bool {
+    match (a, b) {
+        (V::Null, V::Null) => true,
+        (V::Bool(x), V::Bool(y)) => x == y,
+        (V::Int(x), V::Int(y)) => x == y,
+        (V::Float(x), V::Float(y)) => x == y,
+        (V::Int(x), V::Float(y)) | (V::Float(y), V::Int(x)) => *x as f64 == *y,
+        (V::Str(x), V::Str(y)) => x == y,
+        (V::List(x), V::List(y)) => Rc::ptr_eq(x, y),
+        (V::Obj(x), V::Obj(y)) => Rc::ptr_eq(x, y),
+        (V::Rs(x), V::Rs(y)) => Rc::ptr_eq(x, y),
+        _ => false,
+    }
+}
+
+fn compare(a: &V, b: &V) -> Result<std::cmp::Ordering, RunError> {
+    match (a, b) {
+        (V::Str(x), V::Str(y)) => Ok(x.cmp(y)),
+        _ => {
+            let (x, y) = (num(a)?, num(b)?);
+            Ok(x.total_cmp(&y))
+        }
+    }
+}
+
+/// Applies a [`Deser`] to a fetched result set.
+fn deserialize(deser: &Deser, rs: ResultSet) -> V {
+    match deser {
+        Deser::Raw => V::Rs(Rc::new(rs)),
+        Deser::EntityOpt(entity) => {
+            if rs.is_empty() {
+                V::Null
+            } else {
+                row_to_entity(entity, &rs, 0)
+            }
+        }
+        Deser::EntityList(entity) => rs_to_entities(entity, &rs),
+        Deser::Scalar => {
+            rs.rows.first().and_then(|r| r.first()).map(V::from_sql).unwrap_or(V::Null)
+        }
+    }
+}
+
+/// A result-set row as a plain (non-entity) object.
+fn row_to_plain_obj(rs: &ResultSet, row: usize) -> V {
+    let mut fields = BTreeMap::new();
+    for (ci, col) in rs.columns.iter().enumerate() {
+        fields.insert(col.clone(), V::from_sql(&rs.rows[row][ci]));
+    }
+    V::Obj(Rc::new(RefCell::new(fields)))
+}
+
+fn format_rs(rs: &ResultSet) -> String {
+    let mut rows = Vec::with_capacity(rs.len());
+    for r in &rs.rows {
+        let cells: Vec<String> = r.iter().map(|v| v.to_string()).collect();
+        rows.push(cells.join(","));
+    }
+    format!("rs[{}]", rows.join("|"))
+}

@@ -1,0 +1,674 @@
+//! Lexer and recursive-descent parser for the kernel language's Java-ish
+//! concrete syntax.
+//!
+//! ```text
+//! fn handle_request(patient_id) {
+//!     let model = new { };
+//!     if (has_privilege("VIEW_PATIENTS")) {
+//!         let p = orm_find("patient", patient_id);
+//!         model.patient = p;
+//!         model.encounters = orm_assoc(p, "encounters");
+//!     }
+//!     return model;
+//! }
+//! ```
+
+use std::fmt;
+
+use crate::ast::*;
+
+/// Parse error with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Sym(&'static str),
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let b = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    let mut out = Vec::new();
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '{' | '}' | '(' | ')' | '[' | ']' | ',' | ';' | '.' | ':' | '%' | '*' | '+' | '-'
+            | '/' => {
+                out.push((
+                    Tok::Sym(match c {
+                        '{' => "{",
+                        '}' => "}",
+                        '(' => "(",
+                        ')' => ")",
+                        '[' => "[",
+                        ']' => "]",
+                        ',' => ",",
+                        ';' => ";",
+                        '.' => ".",
+                        ':' => ":",
+                        '%' => "%",
+                        '*' => "*",
+                        '+' => "+",
+                        '-' => "-",
+                        _ => "/",
+                    }),
+                    line,
+                ));
+                i += 1;
+            }
+            '=' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push((Tok::Sym("=="), line));
+                    i += 2;
+                } else {
+                    out.push((Tok::Sym("="), line));
+                    i += 1;
+                }
+            }
+            '!' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push((Tok::Sym("!="), line));
+                    i += 2;
+                } else {
+                    out.push((Tok::Sym("!"), line));
+                    i += 1;
+                }
+            }
+            '<' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push((Tok::Sym("<="), line));
+                    i += 2;
+                } else {
+                    out.push((Tok::Sym("<"), line));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push((Tok::Sym(">="), line));
+                    i += 2;
+                } else {
+                    out.push((Tok::Sym(">"), line));
+                    i += 1;
+                }
+            }
+            '&' => {
+                if b.get(i + 1) == Some(&b'&') {
+                    out.push((Tok::Sym("&&"), line));
+                    i += 2;
+                } else {
+                    return Err(ParseError { message: "lone '&'".into(), line });
+                }
+            }
+            '|' => {
+                if b.get(i + 1) == Some(&b'|') {
+                    out.push((Tok::Sym("||"), line));
+                    i += 2;
+                } else {
+                    return Err(ParseError { message: "lone '|'".into(), line });
+                }
+            }
+            '"' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match b.get(i) {
+                        None => {
+                            return Err(ParseError {
+                                message: "unterminated string".into(),
+                                line,
+                            })
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            let esc = b.get(i + 1).copied().ok_or(ParseError {
+                                message: "dangling escape".into(),
+                                line,
+                            })?;
+                            s.push(match esc {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'"' => '"',
+                                b'\\' => '\\',
+                                other => other as char,
+                            });
+                            i += 2;
+                        }
+                        Some(&ch) => {
+                            if ch == b'\n' {
+                                line += 1;
+                            }
+                            s.push(ch as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push((Tok::Str(s), line));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < b.len() && b[i] == b'.' && i + 1 < b.len() && b[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let v: f64 = src[start..i].parse().map_err(|_| ParseError {
+                        message: "bad float".into(),
+                        line,
+                    })?;
+                    out.push((Tok::Float(v), line));
+                } else {
+                    let v: i64 = src[start..i].parse().map_err(|_| ParseError {
+                        message: "bad int".into(),
+                        line,
+                    })?;
+                    out.push((Tok::Int(v), line));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.push((Tok::Ident(src[start..i].to_string()), line));
+            }
+            other => {
+                return Err(ParseError { message: format!("unexpected character {other:?}"), line })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Parses a whole program (a sequence of `fn` definitions).
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let mut p = P { toks, pos: 0 };
+    let mut functions = Vec::new();
+    while !p.done() {
+        functions.push(p.function()?);
+    }
+    Ok(Program { functions })
+}
+
+/// Parses a statement sequence (convenient for tests).
+pub fn parse_block(src: &str) -> Result<Vec<Stmt>, ParseError> {
+    let toks = lex(src)?;
+    let mut p = P { toks, pos: 0 };
+    let mut stmts = Vec::new();
+    while !p.done() {
+        stmts.push(p.stmt()?);
+    }
+    Ok(stmts)
+}
+
+struct P {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl P {
+    fn done(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn line(&self) -> usize {
+        self.toks.get(self.pos).or_else(|| self.toks.last()).map(|(_, l)| *l).unwrap_or(0)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { message: msg.into(), line: self.line() }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.peek().cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if let Some(Tok::Sym(t)) = self.peek() {
+            if *t == s {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_sym(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{s}', found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s == kw {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn function(&mut self) -> Result<Function, ParseError> {
+        if !self.eat_kw("fn") {
+            return Err(self.err("expected 'fn'"));
+        }
+        let name = self.expect_ident()?;
+        self.expect_sym("(")?;
+        let mut params = Vec::new();
+        if !self.eat_sym(")") {
+            loop {
+                params.push(self.expect_ident()?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+        }
+        let body = self.block()?;
+        Ok(Function { name, params, body })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect_sym("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_sym("}") {
+            if self.done() {
+                return Err(self.err("unterminated block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.eat_kw("let") {
+            let name = self.expect_ident()?;
+            self.expect_sym("=")?;
+            let e = self.expr()?;
+            self.expect_sym(";")?;
+            return Ok(Stmt::Let(name, e));
+        }
+        if self.eat_kw("if") {
+            self.expect_sym("(")?;
+            let cond = self.expr()?;
+            self.expect_sym(")")?;
+            let then = self.block()?;
+            let els = if self.eat_kw("else") {
+                if let Some(Tok::Ident(s)) = self.peek() {
+                    if s == "if" {
+                        // else-if chains as a nested If.
+                        vec![self.stmt()?]
+                    } else {
+                        return Err(self.err("expected block or 'if' after else"));
+                    }
+                } else {
+                    self.block()?
+                }
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If(cond, then, els));
+        }
+        if self.eat_kw("while") {
+            self.expect_sym("(")?;
+            let cond = self.expr()?;
+            self.expect_sym(")")?;
+            let body = self.block()?;
+            return Ok(Stmt::While(cond, body));
+        }
+        if self.eat_kw("break") {
+            self.expect_sym(";")?;
+            return Ok(Stmt::Break);
+        }
+        if self.eat_kw("continue") {
+            self.expect_sym(";")?;
+            return Ok(Stmt::Continue);
+        }
+        if self.eat_kw("return") {
+            if self.eat_sym(";") {
+                return Ok(Stmt::Return(None));
+            }
+            let e = self.expr()?;
+            self.expect_sym(";")?;
+            return Ok(Stmt::Return(Some(e)));
+        }
+        // Expression or assignment.
+        let e = self.expr()?;
+        if self.eat_sym("=") {
+            let rhs = self.expr()?;
+            self.expect_sym(";")?;
+            let lv = match e {
+                Expr::Var(v) => LValue::Var(v),
+                Expr::Field(b, f) => LValue::Field(*b, f),
+                Expr::Index(b, i) => LValue::Index(*b, *i),
+                _ => return Err(self.err("invalid assignment target")),
+            };
+            return Ok(Stmt::Assign(lv, rhs));
+        }
+        self.expect_sym(";")?;
+        Ok(Stmt::ExprStmt(e))
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut l = self.and_expr()?;
+        while self.eat_sym("||") {
+            let r = self.and_expr()?;
+            l = Expr::Binary(BinOp::Or, Box::new(l), Box::new(r));
+        }
+        Ok(l)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut l = self.cmp_expr()?;
+        while self.eat_sym("&&") {
+            let r = self.cmp_expr()?;
+            l = Expr::Binary(BinOp::And, Box::new(l), Box::new(r));
+        }
+        Ok(l)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let l = self.add_expr()?;
+        let op = if self.eat_sym("==") {
+            BinOp::Eq
+        } else if self.eat_sym("!=") {
+            BinOp::Ne
+        } else if self.eat_sym("<=") {
+            BinOp::Le
+        } else if self.eat_sym(">=") {
+            BinOp::Ge
+        } else if self.eat_sym("<") {
+            BinOp::Lt
+        } else if self.eat_sym(">") {
+            BinOp::Gt
+        } else {
+            return Ok(l);
+        };
+        let r = self.add_expr()?;
+        Ok(Expr::Binary(op, Box::new(l), Box::new(r)))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut l = self.mul_expr()?;
+        loop {
+            let op = if self.eat_sym("+") {
+                BinOp::Add
+            } else if self.eat_sym("-") {
+                BinOp::Sub
+            } else {
+                return Ok(l);
+            };
+            let r = self.mul_expr()?;
+            l = Expr::Binary(op, Box::new(l), Box::new(r));
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut l = self.unary_expr()?;
+        loop {
+            let op = if self.eat_sym("*") {
+                BinOp::Mul
+            } else if self.eat_sym("/") {
+                BinOp::Div
+            } else if self.eat_sym("%") {
+                BinOp::Mod
+            } else {
+                return Ok(l);
+            };
+            let r = self.unary_expr()?;
+            l = Expr::Binary(op, Box::new(l), Box::new(r));
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_sym("!") {
+            let e = self.unary_expr()?;
+            return Ok(Expr::Unary(UnOp::Not, Box::new(e)));
+        }
+        if self.eat_sym("-") {
+            let e = self.unary_expr()?;
+            return Ok(Expr::Unary(UnOp::Neg, Box::new(e)));
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.atom()?;
+        loop {
+            if self.eat_sym(".") {
+                let field = self.expect_ident()?;
+                e = Expr::Field(Box::new(e), field);
+            } else if self.eat_sym("[") {
+                let idx = self.expr()?;
+                self.expect_sym("]")?;
+                e = Expr::Index(Box::new(e), Box::new(idx));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_sym("(") {
+            let e = self.expr()?;
+            self.expect_sym(")")?;
+            return Ok(e);
+        }
+        if self.eat_sym("[") {
+            let mut items = Vec::new();
+            if !self.eat_sym("]") {
+                loop {
+                    items.push(self.expr()?);
+                    if !self.eat_sym(",") {
+                        break;
+                    }
+                }
+                self.expect_sym("]")?;
+            }
+            return Ok(Expr::NewList(items));
+        }
+        match self.bump() {
+            Some(Tok::Int(v)) => Ok(Expr::Lit(Lit::Int(v))),
+            Some(Tok::Float(v)) => Ok(Expr::Lit(Lit::Float(v))),
+            Some(Tok::Str(s)) => Ok(Expr::Lit(Lit::Str(s))),
+            Some(Tok::Ident(name)) => match name.as_str() {
+                "true" => Ok(Expr::Lit(Lit::Bool(true))),
+                "false" => Ok(Expr::Lit(Lit::Bool(false))),
+                "null" => Ok(Expr::Lit(Lit::Null)),
+                "new" => {
+                    self.expect_sym("{")?;
+                    let mut fields = Vec::new();
+                    if !self.eat_sym("}") {
+                        loop {
+                            let f = self.expect_ident()?;
+                            self.expect_sym(":")?;
+                            fields.push((f, self.expr()?));
+                            if !self.eat_sym(",") {
+                                break;
+                            }
+                        }
+                        self.expect_sym("}")?;
+                    }
+                    Ok(Expr::NewObject(fields))
+                }
+                _ => {
+                    if self.eat_sym("(") {
+                        let mut args = Vec::new();
+                        if !self.eat_sym(")") {
+                            loop {
+                                args.push(self.expr()?);
+                                if !self.eat_sym(",") {
+                                    break;
+                                }
+                            }
+                            self.expect_sym(")")?;
+                        }
+                        Ok(Expr::Call(name, args))
+                    } else {
+                        Ok(Expr::Var(name))
+                    }
+                }
+            },
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_function_with_controls() {
+        let p = parse_program(
+            r#"
+            fn main(n) {
+                let total = 0;
+                let i = 0;
+                while (i < n) {
+                    if (i % 2 == 0) { total = total + i; } else { total = total - 1; }
+                    i = i + 1;
+                }
+                return total;
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.functions[0].params, vec!["n"]);
+    }
+
+    #[test]
+    fn parse_objects_lists_calls() {
+        let stmts = parse_block(
+            r#"
+            let model = new { patient: null, count: 3 };
+            let xs = [1, 2, 3];
+            model.patient = orm_find("patient", xs[0]);
+            print(str(model.count));
+            "#,
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 4);
+        match &stmts[2] {
+            Stmt::Assign(LValue::Field(_, f), Expr::Call(name, args)) => {
+                assert_eq!(f, "patient");
+                assert_eq!(name, "orm_find");
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn else_if_chain() {
+        let stmts = parse_block(
+            r#"if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; }"#,
+        )
+        .unwrap();
+        match &stmts[0] {
+            Stmt::If(_, _, els) => match &els[0] {
+                Stmt::If(_, _, els2) => assert_eq!(els2.len(), 1),
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_and_escapes() {
+        let stmts = parse_block(
+            "// header comment\nlet s = \"a\\n\\\"b\\\"\"; // trailing\n",
+        )
+        .unwrap();
+        match &stmts[0] {
+            Stmt::Let(_, Expr::Lit(Lit::Str(s))) => assert_eq!(s, "a\n\"b\""),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence() {
+        let stmts = parse_block("let x = 1 + 2 * 3 == 7 && true;").unwrap();
+        match &stmts[0] {
+            Stmt::Let(_, Expr::Binary(BinOp::And, l, _)) => match &**l {
+                Expr::Binary(BinOp::Eq, _, _) => {}
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_reporting_has_lines() {
+        let err = parse_program("fn broken( {").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err2 = parse_block("let x = ;").unwrap_err();
+        assert!(err2.message.contains("expected expression"));
+    }
+
+    #[test]
+    fn unary_operators() {
+        let stmts = parse_block("let a = !b; let c = -d;").unwrap();
+        assert!(matches!(&stmts[0], Stmt::Let(_, Expr::Unary(UnOp::Not, _))));
+        assert!(matches!(&stmts[1], Stmt::Let(_, Expr::Unary(UnOp::Neg, _))));
+    }
+}

@@ -1,0 +1,404 @@
+//! Behavioural tests for the two evaluators: semantics equivalence and the
+//! batching / fetch-strategy effects the paper's evaluation rests on.
+
+use std::rc::Rc;
+
+use sloth_lang::{run_source, ExecStrategy, OptFlags, RunResult};
+use sloth_net::SimEnv;
+use sloth_orm::{entity, many_to_one, one_to_many, FetchStrategy, Schema};
+use sloth_sql::ast::ColumnType::*;
+
+/// A small clinic schema mirroring the paper's OpenMRS fragment (Fig. 1).
+fn clinic_schema() -> Rc<Schema> {
+    let mut s = Schema::new();
+    s.add(entity(
+        "patient",
+        "patient",
+        "patient_id",
+        &[("patient_id", Int), ("name", Text), ("creator_id", Int)],
+        vec![
+            one_to_many("encounters", "encounter", "patient_id", FetchStrategy::Eager),
+            one_to_many("visits", "visit", "patient_id", FetchStrategy::Lazy),
+            many_to_one("creator", "user", "creator_id", FetchStrategy::Lazy),
+        ],
+    ));
+    s.add(entity(
+        "encounter",
+        "encounter",
+        "encounter_id",
+        &[("encounter_id", Int), ("patient_id", Int), ("concept_id", Int)],
+        vec![many_to_one("concept", "concept", "concept_id", FetchStrategy::Lazy)],
+    ));
+    s.add(entity(
+        "visit",
+        "visit",
+        "visit_id",
+        &[("visit_id", Int), ("patient_id", Int), ("active", Bool)],
+        vec![],
+    ));
+    s.add(entity(
+        "concept",
+        "concept",
+        "concept_id",
+        &[("concept_id", Int), ("text", Text)],
+        vec![],
+    ));
+    s.add(entity("user", "users", "user_id", &[("user_id", Int), ("login", Text)], vec![]));
+    Rc::new(s)
+}
+
+fn clinic_env(schema: &Schema) -> SimEnv {
+    let env = SimEnv::default_env();
+    for ddl in schema.ddl() {
+        env.seed_sql(&ddl).unwrap();
+    }
+    env.seed_sql("INSERT INTO users VALUES (1, 'doc')").unwrap();
+    env.seed_sql("INSERT INTO patient VALUES (1, 'Ada', 1), (2, 'Grace', 1)").unwrap();
+    for i in 0..8 {
+        env.seed_sql(&format!(
+            "INSERT INTO encounter VALUES ({}, 1, {})",
+            10 + i,
+            100 + (i % 4)
+        ))
+        .unwrap();
+    }
+    for c in 0..4 {
+        env.seed_sql(&format!("INSERT INTO concept VALUES ({}, 'concept-{c}')", 100 + c))
+            .unwrap();
+    }
+    env.seed_sql("INSERT INTO visit VALUES (500, 1, TRUE), (501, 1, FALSE)").unwrap();
+    env
+}
+
+fn run_both(src: &str) -> (RunResult, RunResult) {
+    let schema = clinic_schema();
+    let env1 = clinic_env(&schema);
+    let orig = run_source(src, &env1, Rc::clone(&schema), ExecStrategy::Original, vec![])
+        .expect("original run");
+    let env2 = clinic_env(&schema);
+    let sloth =
+        run_source(src, &env2, Rc::clone(&schema), ExecStrategy::Sloth(OptFlags::all()), vec![])
+            .expect("sloth run");
+    (orig, sloth)
+}
+
+#[test]
+fn outputs_identical_arithmetic() {
+    let src = r#"
+        fn main() {
+            let total = 0;
+            let i = 0;
+            while (i < 10) {
+                if (i % 2 == 0) { total = total + i; } else { total = total - 1; }
+                i = i + 1;
+            }
+            print(str(total));
+        }
+    "#;
+    let (o, s) = run_both(src);
+    assert_eq!(o.output, s.output);
+    assert_eq!(o.output, vec!["15"]);
+}
+
+#[test]
+fn fig2_batching_pipeline() {
+    // The paper's Fig. 2: getPatient forces batch 1; encounters/visits/
+    // active-visits accumulate in batch 2, shipped at render time.
+    let src = r#"
+        fn main() {
+            let model = new { };
+            let p = orm_find("patient", 1);
+            model.patient = p;
+            model.encounters = orm_assoc(p, "encounters");
+            model.visits = orm_assoc(p, "visits");
+            render(model.encounters);
+            render(model.visits);
+        }
+    "#;
+    let (o, s) = run_both(src);
+    assert_eq!(o.output, s.output, "same rendered page");
+    // Sloth: orm_assoc forces p (batch 1 = patient), then encounters +
+    // visits ship together at render (batch 2).
+    assert_eq!(s.net.round_trips, 2);
+    let store = s.store.unwrap();
+    assert_eq!(store.batch_sizes, vec![1, 2]);
+    // Original (eager encounters fetched at find + visits proxy on render):
+    // find + eager-encounters + visits = 3 round trips.
+    assert_eq!(o.net.round_trips, 3);
+    assert!(o.net.round_trips > s.net.round_trips);
+}
+
+#[test]
+fn eager_fetch_waste_avoided_by_sloth() {
+    // Original eagerly fetches encounters although the page never uses
+    // them; Sloth never even registers that query (§6.1 "avoiding
+    // unnecessary queries").
+    let src = r#"
+        fn main() {
+            let p = orm_find("patient", 1);
+            print(p.name);
+        }
+    "#;
+    let (o, s) = run_both(src);
+    assert_eq!(o.output, s.output);
+    assert_eq!(o.net.queries, 2, "find + wasted eager encounter fetch");
+    assert_eq!(s.net.queries, 1, "only the find");
+}
+
+#[test]
+fn sloth_can_issue_more_queries_than_original() {
+    // The page stores a lazy collection in the model but never renders its
+    // elements. Original: the proxy never materializes → no query. Sloth:
+    // the assoc query registers at access time and ships with the batch
+    // when something else forces (§6.1 "a few benchmarks issued more").
+    let src = r#"
+        fn main() {
+            let model = new { };
+            let p = orm_find("patient", 1);
+            model.visits = orm_assoc(p, "visits");
+            model.count = orm_count_where("encounter", "patient_id", 1);
+            print(str(model.count));
+        }
+    "#;
+    let (o, s) = run_both(src);
+    assert_eq!(o.output, s.output);
+    // Original: find + eager encounters + count; proxy silent.
+    assert_eq!(o.net.queries, 3);
+    // Sloth: find + visits (registered, shipped with flush) + count.
+    assert_eq!(s.net.queries, 3);
+    // But round trips still favour Sloth.
+    assert!(s.net.round_trips < o.net.round_trips);
+    // And crucially the visits query *did* execute in Sloth.
+    let visits_executed = s.store.unwrap().queries_shipped();
+    assert_eq!(visits_executed, 3);
+}
+
+#[test]
+fn one_plus_n_collapses_to_one_batch() {
+    // encounterDisplay.jsp (§6.1): loop over observations fetching each
+    // concept; Sloth batches all concept queries into one round trip.
+    let src = r#"
+        fn main() {
+            let model = new { };
+            let encs = orm_find_where("encounter", "patient_id", 1);
+            let n = len(encs);
+            let i = 0;
+            let concepts = [];
+            while (i < n) {
+                let e = at(encs, i);
+                push(concepts, orm_assoc(e, "concept"));
+                i = i + 1;
+            }
+            model.concepts = concepts;
+            render(model.concepts);
+        }
+    "#;
+    let (o, s) = run_both(src);
+    assert_eq!(o.output, s.output);
+    // Original: 1 (find_where) + 8 concept fetches (memoized per entity,
+    // distinct entities → 8).
+    assert_eq!(o.net.round_trips, 9);
+    // Sloth: find_where forced by len() → 1 trip; all 8 concept queries
+    // registered in the loop, deduped to 4 distinct, shipped together.
+    assert_eq!(s.net.round_trips, 2);
+    let store = s.store.unwrap();
+    assert_eq!(store.batch_sizes, vec![1, 4]);
+    assert!(store.dedup_hits >= 4, "identical concept queries deduped");
+}
+
+#[test]
+fn writes_flush_and_preserve_transactions() {
+    let src = r#"
+        fn main() {
+            let p = orm_find("patient", 1);
+            orm_update("patient", 2, "name", "Grace Hopper");
+            commit();
+            print(p.name);
+        }
+    "#;
+    let (o, s) = run_both(src);
+    assert_eq!(o.output, s.output);
+    // The pending find must ship before the update (write barrier).
+    let store = s.store.unwrap();
+    assert_eq!(store.write_flushes, 1, "pending batch flushed by write");
+    // Verify the write actually landed.
+    let schema = clinic_schema();
+    let env = clinic_env(&schema);
+    run_source(src, &env, Rc::clone(&schema), ExecStrategy::Sloth(OptFlags::all()), vec![])
+        .unwrap();
+    let rs = env.seed(|db| db.execute("SELECT name FROM patient WHERE patient_id = 2").unwrap());
+    assert_eq!(rs.result.rows[0][0], sloth_sql::Value::Str("Grace Hopper".into()));
+}
+
+#[test]
+fn selective_compilation_runs_helpers_standard() {
+    let src = r#"
+        fn fmt(a, b) { return concat(a, ": ", b); }
+        fn main() {
+            let p = orm_find("patient", 1);
+            print(fmt("patient", p.name));
+        }
+    "#;
+    let schema = clinic_schema();
+    let env = clinic_env(&schema);
+    let with_sc =
+        run_source(src, &env, Rc::clone(&schema), ExecStrategy::Sloth(OptFlags::all()), vec![])
+            .unwrap();
+    let env2 = clinic_env(&schema);
+    let no_sc = run_source(
+        src,
+        &env2,
+        Rc::clone(&schema),
+        ExecStrategy::Sloth(OptFlags { selective: false, ..OptFlags::all() }),
+        vec![],
+    )
+    .unwrap();
+    assert_eq!(with_sc.output, no_sc.output);
+    assert!(
+        with_sc.counters.std_ops > 0,
+        "helper ran under standard semantics with SC on"
+    );
+    assert!(
+        with_sc.counters.thunk_allocs < no_sc.counters.thunk_allocs,
+        "SC reduces thunk allocations"
+    );
+}
+
+#[test]
+fn coalescing_reduces_allocations() {
+    let src = r#"
+        fn main() {
+            let a = 1 + 2 + 3 + 4 + 5;
+            let b = a * 2 + a * 3;
+            print(str(b));
+        }
+    "#;
+    let schema = clinic_schema();
+    let run = |flags: OptFlags| {
+        let env = clinic_env(&schema);
+        run_source(src, &env, Rc::clone(&schema), ExecStrategy::Sloth(flags), vec![]).unwrap()
+    };
+    // Selective compilation off: `main` issues no query, so SC would run
+    // it under standard semantics and hide the effect TC is meant to show.
+    let base = OptFlags { selective: false, defer_branches: false, ..OptFlags::all() };
+    let with_tc = run(base);
+    let without = run(OptFlags { coalesce: false, ..base });
+    assert_eq!(with_tc.output, without.output);
+    assert_eq!(with_tc.output, vec!["75"]);
+    assert!(
+        with_tc.counters.thunk_allocs < without.counters.thunk_allocs,
+        "TC must cut allocations: {} vs {}",
+        with_tc.counters.thunk_allocs,
+        without.counters.thunk_allocs
+    );
+}
+
+#[test]
+fn branch_deferral_enables_bigger_batches() {
+    // The branch condition depends on a query result; without BD the
+    // condition forces batch 1 before q2 registers. With BD the whole
+    // branch defers and both queries ship together.
+    let src = r#"
+        fn main() {
+            let c = orm_count_where("encounter", "patient_id", 1);
+            let label = "none";
+            if (c > 3) { label = "many"; } else { label = "few"; }
+            let v = orm_count_where("visit", "patient_id", 1);
+            print(label);
+            print(str(v));
+        }
+    "#;
+    let schema = clinic_schema();
+    let run = |flags: OptFlags| {
+        let env = clinic_env(&schema);
+        run_source(src, &env, Rc::clone(&schema), ExecStrategy::Sloth(flags), vec![]).unwrap()
+    };
+    let with_bd = run(OptFlags::all());
+    let without = run(OptFlags { defer_branches: false, ..OptFlags::all() });
+    assert_eq!(with_bd.output, without.output);
+    assert_eq!(with_bd.output, vec!["many", "2"]);
+    assert!(
+        with_bd.net.round_trips < without.net.round_trips,
+        "BD batches across the branch: {} vs {}",
+        with_bd.net.round_trips,
+        without.net.round_trips
+    );
+    assert_eq!(with_bd.store.unwrap().max_batch(), 2);
+}
+
+#[test]
+fn buffered_writer_lets_prints_batch() {
+    // Two queries printed back to back: unbuffered forces each at its
+    // print (2 trips); buffered flushes once at end (1 trip).
+    let src = r#"
+        fn main() {
+            let a = orm_count_where("encounter", "patient_id", 1);
+            print(str(a));
+            let b = orm_count_where("visit", "patient_id", 1);
+            print(str(b));
+        }
+    "#;
+    let schema = clinic_schema();
+    let run = |buffered: bool| {
+        let env = clinic_env(&schema);
+        run_source(
+            src,
+            &env,
+            Rc::clone(&schema),
+            ExecStrategy::Sloth(OptFlags { buffered_writer: buffered, ..OptFlags::all() }),
+            vec![],
+        )
+        .unwrap()
+    };
+    let buf = run(true);
+    let unbuf = run(false);
+    assert_eq!(buf.output, unbuf.output);
+    assert_eq!(buf.net.round_trips, 1);
+    assert_eq!(unbuf.net.round_trips, 2);
+}
+
+#[test]
+fn unused_queries_never_execute() {
+    // Registered but never forced → "might not be executed at all" (§2).
+    let src = r#"
+        fn main() {
+            let unused = orm_find_where("visit", "patient_id", 1);
+            print("done");
+        }
+    "#;
+    let (_o, s) = run_both(src);
+    assert_eq!(s.output, vec!["done"]);
+    assert_eq!(s.net.round_trips, 0, "no force, no trip");
+    assert_eq!(s.store.unwrap().batch_sizes.len(), 0);
+}
+
+#[test]
+fn errors_match_between_modes() {
+    let src = r#"fn main() { let x = 1 / 0; print(str(x)); }"#;
+    let schema = clinic_schema();
+    let env = clinic_env(&schema);
+    let o = run_source(src, &env, Rc::clone(&schema), ExecStrategy::Original, vec![]);
+    let s = run_source(src, &env, Rc::clone(&schema), ExecStrategy::Sloth(OptFlags::all()), vec![]);
+    assert!(o.is_err());
+    assert!(s.is_err(), "the error surfaces at force time but still surfaces");
+}
+
+#[test]
+fn lazy_overhead_visible_in_app_time() {
+    // With no batching opportunity (result used immediately), Sloth is
+    // slower — the Fig. 13 overhead effect.
+    let src = r#"
+        fn main() {
+            let i = 0;
+            while (i < 50) {
+                let rs = query("SELECT name FROM patient WHERE patient_id = 1");
+                print(cell(rs, 0, "name"));
+                i = i + 1;
+            }
+        }
+    "#;
+    let (o, s) = run_both(src);
+    assert_eq!(o.output, s.output);
+    assert_eq!(o.net.round_trips, s.net.round_trips, "no batching possible");
+    assert!(s.net.app_ns > o.net.app_ns, "lazy bookkeeping costs app time");
+}

@@ -1,0 +1,423 @@
+//! # sloth-net — virtual clock, network latency and the batch driver
+//!
+//! The paper measures page-load latency between an application server and a
+//! MySQL server connected by a network with 0.5 ms–10 ms round-trip times,
+//! using an **extended JDBC driver** that ships a whole batch of queries in a
+//! single round trip and executes the reads in parallel on the database
+//! (§5). This crate reproduces that setup deterministically:
+//!
+//! * [`Clock`] — a shared virtual clock in nanoseconds.
+//! * [`CostModel`] — round-trip latency, per-byte transfer cost, and the
+//!   database-side execution cost model (base + per-row costs, `workers`
+//!   parallel threads for batched reads).
+//! * [`SimEnv`] — the simulated deployment: one database server plus a
+//!   driver endpoint. [`SimEnv::query`] is the stock driver (one round trip
+//!   per statement); [`SimEnv::query_batch`] is the Sloth batch driver (one
+//!   round trip for the whole batch).
+//! * [`NetStats`] — deterministic counters: round trips, queries, and time
+//!   split into network / database / application-server buckets, exactly the
+//!   decomposition of Fig. 8.
+
+#![warn(missing_docs)]
+
+use std::cell::{Ref, RefCell, RefMut};
+use std::rc::Rc;
+
+use sloth_sql::{Database, ResultSet, SqlError};
+
+/// A shared virtual clock counting nanoseconds since simulation start.
+#[derive(Debug, Clone, Default)]
+pub struct Clock {
+    now: Rc<RefCell<u64>>,
+}
+
+impl Clock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Clock::default()
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        *self.now.borrow()
+    }
+
+    /// Advances the clock by `ns`.
+    pub fn advance(&self, ns: u64) {
+        *self.now.borrow_mut() += ns;
+    }
+}
+
+/// Deterministic cost model for the simulated deployment.
+///
+/// Defaults approximate the paper's testbed: servers in the same data centre
+/// (0.5 ms RTT), a database machine with 12 cores executing batched reads in
+/// parallel, and per-row costs calibrated so that typical benchmark queries
+/// cost tens of microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Network round-trip latency in nanoseconds (paper: 0.5, 1, 10 ms).
+    pub rtt_ns: u64,
+    /// Per-byte serialization + transfer cost in nanoseconds.
+    pub per_byte_ns: u64,
+    /// Fixed per-statement cost on the database (parse/plan/dispatch).
+    pub db_base_ns: u64,
+    /// Cost per row scanned.
+    pub db_row_scan_ns: u64,
+    /// Cost per row returned.
+    pub db_row_out_ns: u64,
+    /// Parallel workers executing batched reads (paper DB box: 12 cores).
+    pub db_workers: usize,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            rtt_ns: 500_000, // 0.5 ms
+            per_byte_ns: 1,
+            db_base_ns: 220_000, // 220 µs per statement (parse/plan/execute)
+            db_row_scan_ns: 150,
+            db_row_out_ns: 1_000,
+            db_workers: 12,
+        }
+    }
+}
+
+impl CostModel {
+    /// The default model with a different round-trip latency in milliseconds.
+    pub fn with_rtt_ms(ms: f64) -> Self {
+        CostModel { rtt_ns: (ms * 1_000_000.0) as u64, ..CostModel::default() }
+    }
+}
+
+/// Counters split exactly as the paper's Fig. 8 time breakdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Database round trips performed.
+    pub round_trips: u64,
+    /// Individual SQL statements executed.
+    pub queries: u64,
+    /// Time attributed to network latency and transfer.
+    pub network_ns: u64,
+    /// Time attributed to database-side execution.
+    pub db_ns: u64,
+    /// Time attributed to application-server computation.
+    pub app_ns: u64,
+    /// Largest batch shipped in a single round trip.
+    pub max_batch: u64,
+    /// Total bytes moved over the wire (requests + results).
+    pub bytes: u64,
+}
+
+impl NetStats {
+    /// Total simulated time across all buckets.
+    pub fn total_ns(&self) -> u64 {
+        self.network_ns + self.db_ns + self.app_ns
+    }
+}
+
+struct SimInner {
+    db: Database,
+    cost: CostModel,
+    clock: Clock,
+    stats: NetStats,
+}
+
+/// The simulated deployment: application server + database server + network.
+///
+/// Cloning shares the same underlying simulation (cheap `Rc` clone), so the
+/// query store, ORM session and interpreter can all hold handles.
+#[derive(Clone)]
+pub struct SimEnv {
+    inner: Rc<RefCell<SimInner>>,
+}
+
+impl SimEnv {
+    /// Creates a fresh deployment with the given cost model.
+    pub fn new(cost: CostModel) -> Self {
+        SimEnv {
+            inner: Rc::new(RefCell::new(SimInner {
+                db: Database::new(),
+                cost,
+                clock: Clock::new(),
+                stats: NetStats::default(),
+            })),
+        }
+    }
+
+    /// A deployment with the default (0.5 ms RTT) cost model.
+    pub fn default_env() -> Self {
+        SimEnv::new(CostModel::default())
+    }
+
+    /// A deployment whose database is a clone of `db` — used by the
+    /// experiment harness to "restart" the server between measurements
+    /// without re-seeding.
+    pub fn from_database(db: Database, cost: CostModel) -> Self {
+        SimEnv {
+            inner: Rc::new(RefCell::new(SimInner {
+                db,
+                cost,
+                clock: Clock::new(),
+                stats: NetStats::default(),
+            })),
+        }
+    }
+
+    /// A clone of the current database contents.
+    pub fn snapshot_db(&self) -> Database {
+        self.inner.borrow().db.clone()
+    }
+
+    /// Direct mutable access to the database for seeding fixtures. No time
+    /// or round trips are charged — this models loading the database out of
+    /// band before the experiment starts.
+    pub fn seed<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
+        f(&mut self.inner.borrow_mut().db)
+    }
+
+    /// Convenience: execute seed SQL without charging time.
+    pub fn seed_sql(&self, sql: &str) -> Result<ResultSet, SqlError> {
+        self.seed(|db| db.execute(sql).map(|o| o.result))
+    }
+
+    /// Read-only view of the database.
+    pub fn db(&self) -> Ref<'_, Database> {
+        Ref::map(self.inner.borrow(), |i| &i.db)
+    }
+
+    /// Mutable view of the database (no time charged; prefer [`SimEnv::query`]).
+    pub fn db_mut(&self) -> RefMut<'_, Database> {
+        RefMut::map(self.inner.borrow_mut(), |i| &mut i.db)
+    }
+
+    /// The cost model in force.
+    pub fn cost_model(&self) -> CostModel {
+        self.inner.borrow().cost
+    }
+
+    /// Replaces the cost model (used by the latency-sweep experiments).
+    pub fn set_cost_model(&self, cost: CostModel) {
+        self.inner.borrow_mut().cost = cost;
+    }
+
+    /// Current virtual time.
+    pub fn now_ns(&self) -> u64 {
+        self.inner.borrow().clock.now_ns()
+    }
+
+    /// Charges application-server computation time.
+    pub fn charge_app(&self, ns: u64) {
+        let mut inner = self.inner.borrow_mut();
+        inner.clock.advance(ns);
+        inner.stats.app_ns += ns;
+    }
+
+    /// Snapshot of the accumulated statistics.
+    pub fn stats(&self) -> NetStats {
+        self.inner.borrow().stats
+    }
+
+    /// Resets statistics and clock (database contents are kept) — the
+    /// paper's "restart servers between measurements".
+    pub fn reset_stats(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.stats = NetStats::default();
+        inner.clock = Clock::new();
+    }
+
+    /// Executes one statement over the **stock driver**: one round trip.
+    pub fn query(&self, sql: &str) -> Result<ResultSet, SqlError> {
+        let mut results = self.query_batch(std::slice::from_ref(&sql.to_string()))?;
+        Ok(results.pop().expect("one result per query"))
+    }
+
+    /// Executes a batch of statements over the **Sloth batch driver**: the
+    /// whole batch travels in a single round trip and read statements
+    /// execute in parallel on `db_workers` database cores (§5).
+    pub fn query_batch(&self, sqls: &[String]) -> Result<Vec<ResultSet>, SqlError> {
+        if sqls.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        let cost = inner.cost;
+
+        let mut results = Vec::with_capacity(sqls.len());
+        let mut read_times: Vec<u64> = Vec::new();
+        let mut write_time = 0u64;
+        let mut bytes = 0u64;
+        for sql in sqls {
+            bytes += sql.len() as u64;
+            let out = inner.db.execute(sql)?;
+            let exec_ns = cost.db_base_ns
+                + cost.db_row_scan_ns * out.stats.rows_scanned
+                + cost.db_row_out_ns * out.stats.rows_returned;
+            if out.stats.is_write {
+                // Writes serialize on the server.
+                write_time += exec_ns;
+            } else {
+                read_times.push(exec_ns);
+            }
+            bytes += out.result.wire_size() as u64;
+            results.push(out.result);
+        }
+
+        // Parallel read execution: longest-first into `db_workers`-wide
+        // waves; the makespan of each wave is its largest member.
+        read_times.sort_unstable_by(|a, b| b.cmp(a));
+        let read_makespan: u64 = read_times
+            .chunks(cost.db_workers.max(1))
+            .map(|wave| wave.first().copied().unwrap_or(0))
+            .sum();
+        let db_ns = read_makespan + write_time;
+        let network_ns = cost.rtt_ns + cost.per_byte_ns * bytes;
+
+        inner.clock.advance(network_ns + db_ns);
+        let stats = &mut inner.stats;
+        stats.round_trips += 1;
+        stats.queries += sqls.len() as u64;
+        stats.network_ns += network_ns;
+        stats.db_ns += db_ns;
+        stats.bytes += bytes;
+        stats.max_batch = stats.max_batch.max(sqls.len() as u64);
+        Ok(results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded_env() -> SimEnv {
+        let env = SimEnv::default_env();
+        env.seed_sql("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+        for i in 0..20 {
+            env.seed_sql(&format!("INSERT INTO t VALUES ({i}, 'v{i}')")).unwrap();
+        }
+        env
+    }
+
+    #[test]
+    fn seeding_charges_nothing() {
+        let env = seeded_env();
+        assert_eq!(env.stats(), NetStats::default());
+        assert_eq!(env.now_ns(), 0);
+    }
+
+    #[test]
+    fn single_query_is_one_round_trip() {
+        let env = seeded_env();
+        let rs = env.query("SELECT v FROM t WHERE id = 3").unwrap();
+        assert_eq!(rs.len(), 1);
+        let s = env.stats();
+        assert_eq!(s.round_trips, 1);
+        assert_eq!(s.queries, 1);
+        assert!(s.network_ns >= CostModel::default().rtt_ns);
+        assert!(s.db_ns >= CostModel::default().db_base_ns);
+    }
+
+    #[test]
+    fn batch_is_one_round_trip_many_queries() {
+        let env = seeded_env();
+        let sqls: Vec<String> =
+            (0..10).map(|i| format!("SELECT v FROM t WHERE id = {i}")).collect();
+        let results = env.query_batch(&sqls).unwrap();
+        assert_eq!(results.len(), 10);
+        let s = env.stats();
+        assert_eq!(s.round_trips, 1);
+        assert_eq!(s.queries, 10);
+        assert_eq!(s.max_batch, 10);
+    }
+
+    #[test]
+    fn batching_beats_sequential_on_latency() {
+        let sqls: Vec<String> =
+            (0..10).map(|i| format!("SELECT v FROM t WHERE id = {i}")).collect();
+
+        let env_seq = seeded_env();
+        for sql in &sqls {
+            env_seq.query(sql).unwrap();
+        }
+        let env_batch = seeded_env();
+        env_batch.query_batch(&sqls).unwrap();
+
+        let seq = env_seq.stats();
+        let batch = env_batch.stats();
+        assert!(batch.network_ns < seq.network_ns);
+        // Parallel execution on the server also shrinks DB time.
+        assert!(batch.db_ns <= seq.db_ns);
+        assert!(batch.total_ns() < seq.total_ns());
+    }
+
+    #[test]
+    fn parallel_waves_respect_worker_count() {
+        let cost = CostModel { db_workers: 2, per_byte_ns: 0, ..CostModel::default() };
+        let env = SimEnv::new(cost);
+        env.seed_sql("CREATE TABLE t (id INT PRIMARY KEY)").unwrap();
+        env.seed_sql("INSERT INTO t VALUES (1)").unwrap();
+        let sqls: Vec<String> =
+            (0..4).map(|_| "SELECT * FROM t WHERE id = 1".to_string()).collect();
+        env.query_batch(&sqls).unwrap();
+        let per_query = cost.db_base_ns + cost.db_row_scan_ns + cost.db_row_out_ns;
+        // 4 equal queries over 2 workers → 2 waves.
+        assert_eq!(env.stats().db_ns, 2 * per_query);
+    }
+
+    #[test]
+    fn writes_serialize_in_batch() {
+        let cost = CostModel { per_byte_ns: 0, ..CostModel::default() };
+        let env = SimEnv::new(cost);
+        env.seed_sql("CREATE TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+        env.seed_sql("INSERT INTO t VALUES (1, 0)").unwrap();
+        let sqls = vec![
+            "UPDATE t SET v = 1 WHERE id = 1".to_string(),
+            "UPDATE t SET v = 2 WHERE id = 1".to_string(),
+        ];
+        env.query_batch(&sqls).unwrap();
+        assert!(env.stats().db_ns >= 2 * cost.db_base_ns);
+    }
+
+    #[test]
+    fn charge_app_accumulates() {
+        let env = seeded_env();
+        env.charge_app(1_000);
+        env.charge_app(500);
+        assert_eq!(env.stats().app_ns, 1_500);
+        assert_eq!(env.now_ns(), 1_500);
+    }
+
+    #[test]
+    fn reset_keeps_data() {
+        let env = seeded_env();
+        env.query("SELECT * FROM t WHERE id = 1").unwrap();
+        env.reset_stats();
+        assert_eq!(env.stats(), NetStats::default());
+        let rs = env.query("SELECT * FROM t WHERE id = 1").unwrap();
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn rtt_scaling() {
+        for ms in [0.5, 1.0, 10.0] {
+            let cm = CostModel::with_rtt_ms(ms);
+            assert_eq!(cm.rtt_ns, (ms * 1e6) as u64);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let env = seeded_env();
+        let r = env.query_batch(&[]).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(env.stats().round_trips, 0);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let env = seeded_env();
+        let env2 = env.clone();
+        env2.query("SELECT * FROM t WHERE id = 1").unwrap();
+        assert_eq!(env.stats().round_trips, 1);
+    }
+}

@@ -1,0 +1,24 @@
+//! # sloth-orm — a mini object-relational mapper
+//!
+//! The Hibernate/JPA stand-in for the Sloth reproduction. It provides:
+//!
+//! * [`schema`] — entity metadata with eager/lazy fetch strategies, exactly
+//!   the configuration surface whose tuning difficulty motivates the paper.
+//! * [`sqlgen`] — deterministic SQL generation shared by every execution
+//!   mode (required for the query store's in-batch dedup to fire).
+//! * [`session`] — a [`Session`] with two backends: **immediate**
+//!   (Hibernate semantics: one round trip per fetch, eager prefetching at
+//!   `find` time, lazy collections fetched on access) and **deferred**
+//!   (Sloth semantics: `find_thunk` / `assoc_thunk` register queries with
+//!   the [`sloth_core::QueryStore`] and return thunks).
+
+#![warn(missing_docs)]
+
+pub mod schema;
+pub mod session;
+pub mod sqlgen;
+
+pub use schema::{
+    entity, many_to_one, one_to_many, AssocDef, AssocKind, EntityDef, FetchStrategy, Schema,
+};
+pub use session::{deserialize, Entity, Session};

@@ -1,0 +1,243 @@
+//! Entity metadata: the ORM mapping configuration (the paper's Hibernate
+//! `hbm.xml` / JPA annotations equivalent).
+
+use std::collections::BTreeMap;
+
+use sloth_sql::ast::ColumnType;
+
+/// When an association is brought in from the database (§1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchStrategy {
+    /// Fetched together with the owning entity, whether used or not.
+    Eager,
+    /// Fetched on first access (Hibernate collection proxy).
+    Lazy,
+}
+
+/// The shape of an association.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AssocKind {
+    /// This entity holds a foreign key to one target entity.
+    ManyToOne {
+        /// Column on the owning table holding the target's primary key.
+        fk_column: String,
+    },
+    /// The target table holds a foreign key back to this entity.
+    OneToMany {
+        /// Column on the target table referencing this entity's PK.
+        fk_column: String,
+    },
+}
+
+/// A named association from one entity to another.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssocDef {
+    /// Accessor name, e.g. `encounters`.
+    pub name: String,
+    /// Target entity name.
+    pub target: String,
+    /// Shape.
+    pub kind: AssocKind,
+    /// Fetch strategy configured by the application developer.
+    pub strategy: FetchStrategy,
+}
+
+/// One persistent entity mapped onto a table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntityDef {
+    /// Entity name (lower snake case by convention).
+    pub name: String,
+    /// Backing table name.
+    pub table: String,
+    /// Primary-key column.
+    pub pk: String,
+    /// Scalar columns `(name, type)` in declaration order (includes the PK).
+    pub columns: Vec<(String, ColumnType)>,
+    /// Declared associations.
+    pub assocs: Vec<AssocDef>,
+}
+
+impl EntityDef {
+    /// Finds an association by name.
+    pub fn assoc(&self, name: &str) -> Option<&AssocDef> {
+        self.assocs.iter().find(|a| a.name == name)
+    }
+
+    /// `CREATE TABLE` DDL for this entity.
+    pub fn ddl(&self) -> String {
+        let cols: Vec<String> = self
+            .columns
+            .iter()
+            .map(|(name, ty)| {
+                let tyname = match ty {
+                    ColumnType::Int => "INT",
+                    ColumnType::Float => "FLOAT",
+                    ColumnType::Text => "TEXT",
+                    ColumnType::Bool => "BOOL",
+                };
+                if *name == self.pk {
+                    format!("{name} {tyname} PRIMARY KEY")
+                } else {
+                    format!("{name} {tyname}")
+                }
+            })
+            .collect();
+        format!("CREATE TABLE {} ({})", self.table, cols.join(", "))
+    }
+
+    /// `CREATE INDEX` statements for all foreign keys referencing this
+    /// entity's table from one-to-many associations declared on it.
+    pub fn index_ddl(&self, schema: &Schema) -> Vec<String> {
+        let mut out = Vec::new();
+        for a in &self.assocs {
+            if let AssocKind::OneToMany { fk_column } = &a.kind {
+                if let Some(target) = schema.entity(&a.target) {
+                    out.push(format!("CREATE INDEX ON {} ({})", target.table, fk_column));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A set of entity definitions (deterministically ordered).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Schema {
+    entities: BTreeMap<String, EntityDef>,
+}
+
+impl Schema {
+    /// Empty schema.
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Adds (or replaces) an entity definition.
+    pub fn add(&mut self, def: EntityDef) {
+        self.entities.insert(def.name.clone(), def);
+    }
+
+    /// Looks up an entity by name.
+    pub fn entity(&self, name: &str) -> Option<&EntityDef> {
+        self.entities.get(name)
+    }
+
+    /// All entities in name order.
+    pub fn entities(&self) -> impl Iterator<Item = &EntityDef> {
+        self.entities.values()
+    }
+
+    /// Number of entities.
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Whether the schema has no entities.
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+
+    /// Full DDL: `CREATE TABLE` for every entity then FK indexes.
+    pub fn ddl(&self) -> Vec<String> {
+        let mut out: Vec<String> = self.entities.values().map(EntityDef::ddl).collect();
+        for e in self.entities.values() {
+            out.extend(e.index_ddl(self));
+        }
+        out
+    }
+}
+
+/// Builder shorthand used heavily by the app schemas.
+pub fn entity(
+    name: &str,
+    table: &str,
+    pk: &str,
+    columns: &[(&str, ColumnType)],
+    assocs: Vec<AssocDef>,
+) -> EntityDef {
+    EntityDef {
+        name: name.to_string(),
+        table: table.to_string(),
+        pk: pk.to_string(),
+        columns: columns.iter().map(|(n, t)| (n.to_string(), *t)).collect(),
+        assocs,
+    }
+}
+
+/// Builder shorthand for a one-to-many association.
+pub fn one_to_many(name: &str, target: &str, fk: &str, strategy: FetchStrategy) -> AssocDef {
+    AssocDef {
+        name: name.to_string(),
+        target: target.to_string(),
+        kind: AssocKind::OneToMany { fk_column: fk.to_string() },
+        strategy,
+    }
+}
+
+/// Builder shorthand for a many-to-one association.
+pub fn many_to_one(name: &str, target: &str, fk: &str, strategy: FetchStrategy) -> AssocDef {
+    AssocDef {
+        name: name.to_string(),
+        target: target.to_string(),
+        kind: AssocKind::ManyToOne { fk_column: fk.to_string() },
+        strategy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sloth_sql::ast::ColumnType::*;
+
+    fn sample() -> Schema {
+        let mut s = Schema::new();
+        s.add(entity(
+            "patient",
+            "patient",
+            "patient_id",
+            &[("patient_id", Int), ("name", Text)],
+            vec![one_to_many("encounters", "encounter", "patient_id", FetchStrategy::Lazy)],
+        ));
+        s.add(entity(
+            "encounter",
+            "encounter",
+            "encounter_id",
+            &[("encounter_id", Int), ("patient_id", Int), ("kind", Text)],
+            vec![],
+        ));
+        s
+    }
+
+    #[test]
+    fn ddl_round_trips_through_engine() {
+        let schema = sample();
+        let mut db = sloth_sql::Database::new();
+        for stmt in schema.ddl() {
+            db.execute(&stmt).unwrap();
+        }
+        assert!(db.table("patient").is_some());
+        assert!(db.table("encounter").is_some());
+    }
+
+    #[test]
+    fn pk_marked_in_ddl() {
+        let schema = sample();
+        let ddl = schema.entity("patient").unwrap().ddl();
+        assert!(ddl.contains("patient_id INT PRIMARY KEY"));
+    }
+
+    #[test]
+    fn fk_indexes_generated() {
+        let schema = sample();
+        let ddl = schema.ddl();
+        assert!(ddl.iter().any(|s| s == "CREATE INDEX ON encounter (patient_id)"));
+    }
+
+    #[test]
+    fn assoc_lookup() {
+        let schema = sample();
+        let p = schema.entity("patient").unwrap();
+        assert!(p.assoc("encounters").is_some());
+        assert!(p.assoc("nope").is_none());
+    }
+}

@@ -1,0 +1,269 @@
+//! Abstract syntax for the supported SQL subset.
+
+use crate::value::Value;
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE name (col type [PRIMARY KEY], …)`.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions in declaration order.
+        columns: Vec<ColumnDef>,
+    },
+    /// `CREATE INDEX ON table (column)`.
+    CreateIndex {
+        /// Indexed table.
+        table: String,
+        /// Indexed column.
+        column: String,
+    },
+    /// `INSERT INTO table [(cols)] VALUES (…), (…)`.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Explicit column list; empty means declaration order.
+        columns: Vec<String>,
+        /// One or more value tuples.
+        values: Vec<Vec<Expr>>,
+    },
+    /// `SELECT … FROM … [JOIN …] [WHERE …] [ORDER BY …] [LIMIT n]`.
+    Select(SelectStmt),
+    /// `UPDATE table SET col = expr, … [WHERE …]`.
+    Update {
+        /// Target table.
+        table: String,
+        /// Column assignments.
+        sets: Vec<(String, Expr)>,
+        /// Optional filter.
+        predicate: Option<Expr>,
+    },
+    /// `DELETE FROM table [WHERE …]`.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Optional filter.
+        predicate: Option<Expr>,
+    },
+    /// `BEGIN` — transaction start (no-op in the engine, significant to the
+    /// query store which must not defer it).
+    Begin,
+    /// `COMMIT`.
+    Commit,
+    /// `ROLLBACK` / `ABORT`.
+    Rollback,
+}
+
+impl Statement {
+    /// Whether this statement can mutate database state (or is a transaction
+    /// boundary). The query store flushes on these (§3.3 of the paper).
+    pub fn is_write(&self) -> bool {
+        !matches!(self, Statement::Select(_))
+    }
+}
+
+/// A column in `CREATE TABLE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Declared type.
+    pub ty: ColumnType,
+    /// Whether this column is the primary key.
+    pub primary_key: bool,
+}
+
+/// Supported column types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 text.
+    Text,
+    /// Boolean.
+    Bool,
+}
+
+/// The body of a `SELECT`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Projection.
+    pub projection: Projection,
+    /// Base table.
+    pub from: TableRef,
+    /// Inner joins applied left to right.
+    pub joins: Vec<Join>,
+    /// `WHERE` predicate.
+    pub predicate: Option<Expr>,
+    /// `ORDER BY` keys.
+    pub order_by: Vec<OrderKey>,
+    /// `LIMIT` row count.
+    pub limit: Option<usize>,
+}
+
+/// `SELECT` projection list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    /// `SELECT *`.
+    Star,
+    /// Explicit column list.
+    Columns(Vec<ColumnRef>),
+    /// A single aggregate: `COUNT(*)`, `SUM(c)`, `MAX(c)`, `MIN(c)`.
+    Aggregate(Aggregate),
+}
+
+/// Aggregate function call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Aggregate {
+    /// `COUNT(*)`.
+    CountStar,
+    /// `COUNT(DISTINCT col)`.
+    CountDistinct(ColumnRef),
+    /// `SUM(col)`.
+    Sum(ColumnRef),
+    /// `MAX(col)`.
+    Max(ColumnRef),
+    /// `MIN(col)`.
+    Min(ColumnRef),
+}
+
+/// A table in `FROM`/`JOIN`, with optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Table name in the catalog.
+    pub name: String,
+    /// Alias used to qualify columns (defaults to the table name).
+    pub alias: String,
+}
+
+/// One `INNER JOIN t ON a = b` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    /// Joined table.
+    pub table: TableRef,
+    /// Left side of the equi-join condition.
+    pub left: ColumnRef,
+    /// Right side of the equi-join condition.
+    pub right: ColumnRef,
+}
+
+/// A possibly-qualified column reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnRef {
+    /// Qualifier (`t` in `t.c`), if given.
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// Unqualified reference.
+    pub fn bare(column: impl Into<String>) -> Self {
+        ColumnRef { table: None, column: column.into() }
+    }
+}
+
+/// One `ORDER BY` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// Sort column.
+    pub column: ColumnRef,
+    /// Descending order when true.
+    pub desc: bool,
+}
+
+/// Scalar / predicate expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Literal(Value),
+    /// Column reference.
+    Column(ColumnRef),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// `col IN (v1, v2, …)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Literal list.
+        list: Vec<Value>,
+    },
+    /// `col LIKE 'pat%'` (supports `%` at either end and in the middle).
+    Like {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Pattern with `%` wildcards.
+        pattern: String,
+    },
+    /// `col IS NULL` / `col IS NOT NULL` (negated = `IS NOT NULL`).
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_classification() {
+        let sel = Statement::Select(SelectStmt {
+            projection: Projection::Star,
+            from: TableRef { name: "t".into(), alias: "t".into() },
+            joins: vec![],
+            predicate: None,
+            order_by: vec![],
+            limit: None,
+        });
+        assert!(!sel.is_write());
+        assert!(Statement::Begin.is_write());
+        assert!(Statement::Commit.is_write());
+        assert!(
+            Statement::Delete { table: "t".into(), predicate: None }.is_write()
+        );
+    }
+}

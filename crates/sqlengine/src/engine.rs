@@ -1,0 +1,790 @@
+//! The query executor: plans and runs parsed statements against stored
+//! tables, reporting deterministic execution statistics used by the cost
+//! model in `sloth-net`.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::*;
+use crate::error::SqlError;
+use crate::parser::parse;
+use crate::table::Table;
+use crate::value::{ResultSet, Row, Value};
+
+/// Per-statement execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Rows examined (scans, index probes, hash-join builds).
+    pub rows_scanned: u64,
+    /// Rows in the produced result set (or rows affected for DML).
+    pub rows_returned: u64,
+    /// Whether the statement was a write / transaction boundary.
+    pub is_write: bool,
+}
+
+/// Result of executing one statement.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// The rows produced (empty for DML / DDL).
+    pub result: ResultSet,
+    /// Execution statistics.
+    pub stats: ExecStats,
+}
+
+/// An in-memory SQL database: a catalog of [`Table`]s plus an executor.
+#[derive(Debug, Default, Clone)]
+pub struct Database {
+    tables: HashMap<String, Table>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Looks up a table (case-insensitive).
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+
+    /// Names of all tables, sorted (deterministic).
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<_> = self.tables.values().map(|t| t.name.clone()).collect();
+        names.sort();
+        names
+    }
+
+    /// Parses and executes one SQL statement.
+    pub fn execute(&mut self, sql: &str) -> Result<ExecOutcome, SqlError> {
+        let stmt = parse(sql)?;
+        self.execute_stmt(&stmt)
+    }
+
+    /// Executes an already-parsed statement.
+    pub fn execute_stmt(&mut self, stmt: &Statement) -> Result<ExecOutcome, SqlError> {
+        match stmt {
+            Statement::CreateTable { name, columns } => {
+                let key = name.to_ascii_lowercase();
+                if self.tables.contains_key(&key) {
+                    return Err(SqlError::new(format!("table {name} already exists")));
+                }
+                self.tables.insert(key, Table::new(name.clone(), columns.clone()));
+                Ok(write_outcome(0))
+            }
+            Statement::CreateIndex { table, column } => {
+                self.table_mut(table)?.create_index(column)?;
+                Ok(write_outcome(0))
+            }
+            Statement::Insert { table, columns, values } => self.run_insert(table, columns, values),
+            Statement::Select(sel) => self.run_select(sel),
+            Statement::Update { table, sets, predicate } => {
+                self.run_update(table, sets, predicate.as_ref())
+            }
+            Statement::Delete { table, predicate } => self.run_delete(table, predicate.as_ref()),
+            Statement::Begin | Statement::Commit | Statement::Rollback => Ok(write_outcome(0)),
+        }
+    }
+
+    fn table_mut(&mut self, name: &str) -> Result<&mut Table, SqlError> {
+        self.tables
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| SqlError::new(format!("no such table: {name}")))
+    }
+
+    fn table_ref(&self, name: &str) -> Result<&Table, SqlError> {
+        self.table(name).ok_or_else(|| SqlError::new(format!("no such table: {name}")))
+    }
+
+    fn run_insert(
+        &mut self,
+        table: &str,
+        columns: &[String],
+        values: &[Vec<Expr>],
+    ) -> Result<ExecOutcome, SqlError> {
+        // Evaluate value tuples first (literals or literal arithmetic).
+        let empty = Scope::empty();
+        let mut tuples = Vec::with_capacity(values.len());
+        for tuple in values {
+            let mut evaluated = Vec::with_capacity(tuple.len());
+            for e in tuple {
+                evaluated.push(eval_expr(e, &empty, &[])?);
+            }
+            tuples.push(evaluated);
+        }
+        let t = self.table_mut(table)?;
+        let n = tuples.len() as u64;
+        for tuple in tuples {
+            let row = if columns.is_empty() {
+                tuple
+            } else {
+                if columns.len() != tuple.len() {
+                    return Err(SqlError::new("column / value count mismatch"));
+                }
+                let mut row = vec![Value::Null; t.columns.len()];
+                for (name, v) in columns.iter().zip(tuple) {
+                    let ci = t
+                        .column_index(name)
+                        .ok_or_else(|| SqlError::new(format!("no column {name}")))?;
+                    row[ci] = v;
+                }
+                row
+            };
+            t.insert(row)?;
+        }
+        Ok(write_outcome(n))
+    }
+
+    fn run_select(&self, sel: &SelectStmt) -> Result<ExecOutcome, SqlError> {
+        let mut stats = ExecStats::default();
+
+        // Resolve all sources.
+        let base = self.table_ref(&sel.from.name)?;
+        let mut scope = Scope::new();
+        scope.add_source(&sel.from.alias, base);
+
+        // Base rows: try an index probe from an equality conjunct.
+        let base_rows: Vec<&Row> = match find_index_probe(sel.predicate.as_ref(), &sel.from, base)
+        {
+            Some((ci, key)) => {
+                let ids = base.probe(ci, &key).unwrap_or(&[]);
+                stats.rows_scanned += ids.len() as u64;
+                ids.iter().filter_map(|&rid| base.row(rid)).collect()
+            }
+            None => {
+                stats.rows_scanned += base.len() as u64;
+                base.scan().map(|(_, r)| r).collect()
+            }
+        };
+        let mut current: Vec<Row> = base_rows.into_iter().cloned().collect();
+
+        // Hash joins, left to right.
+        for join in &sel.joins {
+            let right_table = self.table_ref(&join.table.name)?;
+            let probe_side_idx = scope
+                .resolve(&join.left)
+                .or_else(|| scope.resolve(&join.right));
+            // Determine which side refers to already-joined columns.
+            let (probe_ref, build_ref) = if scope.resolve(&join.left).is_some() {
+                (&join.left, &join.right)
+            } else {
+                (&join.right, &join.left)
+            };
+            let probe_idx = probe_side_idx
+                .ok_or_else(|| SqlError::new("join condition references unknown column"))?;
+            let build_ci = right_table.column_index(&build_ref.column).ok_or_else(|| {
+                SqlError::new(format!("no column {} in {}", build_ref.column, join.table.name))
+            })?;
+            let _ = probe_ref;
+
+            // Build hash table over the joined table.
+            stats.rows_scanned += right_table.len() as u64;
+            let mut built: HashMap<Value, Vec<&Row>> = HashMap::new();
+            for (_, row) in right_table.scan() {
+                built.entry(row[build_ci].clone()).or_default().push(row);
+            }
+            let mut next = Vec::new();
+            for row in &current {
+                if let Some(matches) = built.get(&row[probe_idx]) {
+                    for m in matches {
+                        let mut combined = row.clone();
+                        combined.extend((*m).iter().cloned());
+                        next.push(combined);
+                    }
+                }
+            }
+            scope.add_source(&join.table.alias, right_table);
+            current = next;
+        }
+
+        // Filter.
+        if let Some(pred) = &sel.predicate {
+            let mut kept = Vec::with_capacity(current.len());
+            for row in current {
+                if eval_expr(pred, &scope, &row)?.is_truthy() {
+                    kept.push(row);
+                }
+            }
+            current = kept;
+        }
+
+        // Aggregate short-circuits ordering/limit/projection.
+        if let Projection::Aggregate(agg) = &sel.projection {
+            let rs = run_aggregate(agg, &current, &scope)?;
+            stats.rows_returned = rs.len() as u64;
+            return Ok(ExecOutcome { result: rs, stats });
+        }
+
+        // Order.
+        if !sel.order_by.is_empty() {
+            let keys: Vec<(usize, bool)> = sel
+                .order_by
+                .iter()
+                .map(|k| {
+                    scope
+                        .resolve(&k.column)
+                        .map(|i| (i, k.desc))
+                        .ok_or_else(|| SqlError::new(format!("unknown column {}", k.column.column)))
+                })
+                .collect::<Result<_, _>>()?;
+            current.sort_by(|a, b| {
+                for &(i, desc) in &keys {
+                    let ord = a[i].total_cmp(&b[i]);
+                    if ord != std::cmp::Ordering::Equal {
+                        return if desc { ord.reverse() } else { ord };
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+
+        // Limit.
+        if let Some(n) = sel.limit {
+            current.truncate(n);
+        }
+
+        // Project.
+        let (columns, rows) = match &sel.projection {
+            Projection::Star => (scope.output_columns(), current),
+            Projection::Columns(cols) => {
+                let idxs: Vec<usize> = cols
+                    .iter()
+                    .map(|c| {
+                        scope.resolve(c).ok_or_else(|| {
+                            SqlError::new(format!("unknown column {}", c.column))
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                let names = cols.iter().map(|c| c.column.clone()).collect();
+                let rows = current
+                    .into_iter()
+                    .map(|row| idxs.iter().map(|&i| row[i].clone()).collect())
+                    .collect();
+                (names, rows)
+            }
+            Projection::Aggregate(_) => unreachable!("handled above"),
+        };
+        stats.rows_returned = rows.len() as u64;
+        Ok(ExecOutcome { result: ResultSet::new(columns, rows), stats })
+    }
+
+    fn run_update(
+        &mut self,
+        table: &str,
+        sets: &[(String, Expr)],
+        predicate: Option<&Expr>,
+    ) -> Result<ExecOutcome, SqlError> {
+        let t = self.table_ref(table)?;
+        let mut scope = Scope::new();
+        scope.add_source(table, t);
+        let set_cols: Vec<usize> = sets
+            .iter()
+            .map(|(name, _)| {
+                t.column_index(name)
+                    .ok_or_else(|| SqlError::new(format!("no column {name} in {table}")))
+            })
+            .collect::<Result<_, _>>()?;
+
+        let mut scanned = 0u64;
+        let mut updates: Vec<(usize, Vec<Value>)> = Vec::new();
+        for (rid, row) in t.scan() {
+            scanned += 1;
+            let keep = match predicate {
+                Some(p) => eval_expr(p, &scope, row)?.is_truthy(),
+                None => true,
+            };
+            if keep {
+                let mut new_vals = Vec::with_capacity(sets.len());
+                for (_, e) in sets {
+                    new_vals.push(eval_expr(e, &scope, row)?);
+                }
+                updates.push((rid, new_vals));
+            }
+        }
+        let n = updates.len() as u64;
+        let t = self.table_mut(table)?;
+        for (rid, vals) in updates {
+            for (ci, v) in set_cols.iter().zip(vals) {
+                t.update_cell(rid, *ci, v);
+            }
+        }
+        let mut out = write_outcome(n);
+        out.stats.rows_scanned = scanned;
+        Ok(out)
+    }
+
+    fn run_delete(
+        &mut self,
+        table: &str,
+        predicate: Option<&Expr>,
+    ) -> Result<ExecOutcome, SqlError> {
+        let t = self.table_ref(table)?;
+        let mut scope = Scope::new();
+        scope.add_source(table, t);
+        let mut scanned = 0u64;
+        let mut doomed = Vec::new();
+        for (rid, row) in t.scan() {
+            scanned += 1;
+            let hit = match predicate {
+                Some(p) => eval_expr(p, &scope, row)?.is_truthy(),
+                None => true,
+            };
+            if hit {
+                doomed.push(rid);
+            }
+        }
+        let n = doomed.len() as u64;
+        let t = self.table_mut(table)?;
+        for rid in doomed {
+            t.delete(rid);
+        }
+        let mut out = write_outcome(n);
+        out.stats.rows_scanned = scanned;
+        Ok(out)
+    }
+}
+
+fn write_outcome(rows_affected: u64) -> ExecOutcome {
+    ExecOutcome {
+        result: ResultSet::empty(),
+        stats: ExecStats { rows_scanned: 0, rows_returned: rows_affected, is_write: true },
+    }
+}
+
+/// Column-name resolution scope: maps `(alias, column)` to an offset in the
+/// combined row.
+struct Scope {
+    /// (alias lowercased, column name lowercased) → combined-row offset.
+    by_qualified: HashMap<(String, String), usize>,
+    /// column name lowercased → offsets (ambiguous if > 1).
+    by_bare: HashMap<String, Vec<usize>>,
+    names: Vec<String>,
+    width: usize,
+}
+
+impl Scope {
+    fn new() -> Self {
+        Scope {
+            by_qualified: HashMap::new(),
+            by_bare: HashMap::new(),
+            names: Vec::new(),
+            width: 0,
+        }
+    }
+
+    fn empty() -> Self {
+        Scope::new()
+    }
+
+    fn add_source(&mut self, alias: &str, table: &Table) {
+        for (i, col) in table.columns.iter().enumerate() {
+            let off = self.width + i;
+            self.by_qualified
+                .insert((alias.to_ascii_lowercase(), col.name.to_ascii_lowercase()), off);
+            self.by_bare.entry(col.name.to_ascii_lowercase()).or_default().push(off);
+            self.names.push(col.name.clone());
+        }
+        self.width += table.columns.len();
+    }
+
+    fn resolve(&self, c: &ColumnRef) -> Option<usize> {
+        match &c.table {
+            Some(t) => self
+                .by_qualified
+                .get(&(t.to_ascii_lowercase(), c.column.to_ascii_lowercase()))
+                .copied(),
+            None => {
+                let offs = self.by_bare.get(&c.column.to_ascii_lowercase())?;
+                // Prefer the first source on ambiguity (MySQL would error;
+                // our generated SQL qualifies ambiguous names).
+                offs.first().copied()
+            }
+        }
+    }
+
+    fn output_columns(&self) -> Vec<String> {
+        self.names.clone()
+    }
+
+}
+
+/// Evaluates an expression against `row`, resolving columns via `scope`.
+fn eval_expr(e: &Expr, scope: &Scope, row: &[Value]) -> Result<Value, SqlError> {
+    match e {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Column(c) => {
+            let off = scope
+                .resolve(c)
+                .ok_or_else(|| SqlError::new(format!("unknown column {}", c.column)))?;
+            row.get(off)
+                .cloned()
+                .ok_or_else(|| SqlError::new("column offset out of range"))
+        }
+        Expr::Not(inner) => Ok(Value::Bool(!eval_expr(inner, scope, row)?.is_truthy())),
+        Expr::Binary { op, left, right } => {
+            // Short-circuit logical ops.
+            match op {
+                BinOp::And => {
+                    return Ok(Value::Bool(
+                        eval_expr(left, scope, row)?.is_truthy() && eval_expr(right, scope, row)?.is_truthy(),
+                    ))
+                }
+                BinOp::Or => {
+                    return Ok(Value::Bool(
+                        eval_expr(left, scope, row)?.is_truthy() || eval_expr(right, scope, row)?.is_truthy(),
+                    ))
+                }
+                _ => {}
+            }
+            let l = eval_expr(left, scope, row)?;
+            let r = eval_expr(right, scope, row)?;
+            eval_binop(*op, &l, &r)
+        }
+        Expr::InList { expr, list } => {
+            let v = eval_expr(expr, scope, row)?;
+            Ok(Value::Bool(list.iter().any(|x| v.sql_eq(x))))
+        }
+        Expr::Like { expr, pattern } => {
+            let v = eval_expr(expr, scope, row)?;
+            Ok(Value::Bool(match v.as_str() {
+                Some(s) => like_match(s, pattern),
+                None => false,
+            }))
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval_expr(expr, scope, row)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+    }
+}
+
+fn eval_binop(op: BinOp, l: &Value, r: &Value) -> Result<Value, SqlError> {
+    use BinOp::*;
+    match op {
+        Eq => Ok(Value::Bool(l.sql_eq(r))),
+        Ne => Ok(Value::Bool(!l.is_null() && !r.is_null() && !l.sql_eq(r))),
+        Lt | Le | Gt | Ge => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Bool(false));
+            }
+            let ord = l.total_cmp(r);
+            Ok(Value::Bool(match op {
+                Lt => ord == std::cmp::Ordering::Less,
+                Le => ord != std::cmp::Ordering::Greater,
+                Gt => ord == std::cmp::Ordering::Greater,
+                _ => ord != std::cmp::Ordering::Less,
+            }))
+        }
+        Add | Sub | Mul | Div => {
+            // Integer arithmetic stays integral; anything float promotes.
+            if let (Value::Int(a), Value::Int(b)) = (l, r) {
+                return Ok(Value::Int(match op {
+                    Add => a.wrapping_add(*b),
+                    Sub => a.wrapping_sub(*b),
+                    Mul => a.wrapping_mul(*b),
+                    _ => {
+                        if *b == 0 {
+                            return Err(SqlError::new("division by zero"));
+                        }
+                        a / b
+                    }
+                }));
+            }
+            let (a, b) = match (l.as_f64(), r.as_f64()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => return Err(SqlError::new(format!("non-numeric arithmetic: {l} {op:?} {r}"))),
+            };
+            Ok(Value::Float(match op {
+                Add => a + b,
+                Sub => a - b,
+                Mul => a * b,
+                _ => a / b,
+            }))
+        }
+        And | Or => unreachable!("handled by caller"),
+    }
+}
+
+/// `LIKE` with `%` wildcards (no `_` support — unused by our workloads).
+fn like_match(s: &str, pattern: &str) -> bool {
+    let parts: Vec<&str> = pattern.split('%').collect();
+    if parts.len() == 1 {
+        return s == pattern;
+    }
+    let mut rest = s;
+    for (i, part) in parts.iter().enumerate() {
+        if part.is_empty() {
+            continue;
+        }
+        if i == 0 {
+            if !rest.starts_with(part) {
+                return false;
+            }
+            rest = &rest[part.len()..];
+        } else if i == parts.len() - 1 {
+            return rest.ends_with(part);
+        } else {
+            match rest.find(part) {
+                Some(pos) => rest = &rest[pos + part.len()..],
+                None => return false,
+            }
+        }
+    }
+    true
+}
+
+fn run_aggregate(agg: &Aggregate, rows: &[Row], scope: &Scope) -> Result<ResultSet, SqlError> {
+    let resolve = |c: &ColumnRef| {
+        scope.resolve(c).ok_or_else(|| SqlError::new(format!("unknown column {}", c.column)))
+    };
+    let (name, value) = match agg {
+        Aggregate::CountStar => ("count".to_string(), Value::Int(rows.len() as i64)),
+        Aggregate::CountDistinct(c) => {
+            let i = resolve(c)?;
+            let distinct: HashSet<&Value> =
+                rows.iter().map(|r| &r[i]).filter(|v| !v.is_null()).collect();
+            ("count".to_string(), Value::Int(distinct.len() as i64))
+        }
+        Aggregate::Sum(c) => {
+            let i = resolve(c)?;
+            let mut acc = 0.0;
+            let mut all_int = true;
+            for r in rows {
+                if let Some(v) = r[i].as_f64() {
+                    acc += v;
+                    all_int &= matches!(r[i], Value::Int(_));
+                }
+            }
+            let v = if all_int { Value::Int(acc as i64) } else { Value::Float(acc) };
+            ("sum".to_string(), v)
+        }
+        Aggregate::Max(c) => {
+            let i = resolve(c)?;
+            let v = rows
+                .iter()
+                .map(|r| &r[i])
+                .filter(|v| !v.is_null())
+                .max_by(|a, b| a.total_cmp(b))
+                .cloned()
+                .unwrap_or(Value::Null);
+            ("max".to_string(), v)
+        }
+        Aggregate::Min(c) => {
+            let i = resolve(c)?;
+            let v = rows
+                .iter()
+                .map(|r| &r[i])
+                .filter(|v| !v.is_null())
+                .min_by(|a, b| a.total_cmp(b))
+                .cloned()
+                .unwrap_or(Value::Null);
+            ("min".to_string(), v)
+        }
+    };
+    Ok(ResultSet::new(vec![name], vec![vec![value]]))
+}
+
+/// Detects `indexed_col = literal` conjuncts usable as an index probe on the
+/// base table.
+fn find_index_probe(
+    predicate: Option<&Expr>,
+    from: &TableRef,
+    table: &Table,
+) -> Option<(usize, Value)> {
+    fn walk(e: &Expr, from: &TableRef, table: &Table) -> Option<(usize, Value)> {
+        match e {
+            Expr::Binary { op: BinOp::And, left, right } => {
+                walk(left, from, table).or_else(|| walk(right, from, table))
+            }
+            Expr::Binary { op: BinOp::Eq, left, right } => {
+                let (col, lit) = match (&**left, &**right) {
+                    (Expr::Column(c), Expr::Literal(v)) => (c, v),
+                    (Expr::Literal(v), Expr::Column(c)) => (c, v),
+                    _ => return None,
+                };
+                if let Some(q) = &col.table {
+                    if !q.eq_ignore_ascii_case(&from.alias) && !q.eq_ignore_ascii_case(&from.name)
+                    {
+                        return None;
+                    }
+                }
+                let ci = table.column_index(&col.column)?;
+                if table.has_index(ci) {
+                    Some((ci, v_coerced(table, ci, lit)))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+    // Int keys written as float literals (or vice versa) must still probe.
+    fn v_coerced(table: &Table, ci: usize, v: &Value) -> Value {
+        match (table.columns[ci].ty, v) {
+            (crate::ast::ColumnType::Int, Value::Float(f)) => Value::Int(*f as i64),
+            (crate::ast::ColumnType::Float, Value::Int(i)) => Value::Float(*i as f64),
+            _ => v.clone(),
+        }
+    }
+    walk(predicate?, from, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db_with_issues() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE project (id INT PRIMARY KEY, name TEXT)").unwrap();
+        db.execute("CREATE TABLE issue (id INT PRIMARY KEY, project_id INT, title TEXT, sev INT)")
+            .unwrap();
+        db.execute("INSERT INTO project VALUES (1, 'alpha'), (2, 'beta')").unwrap();
+        db.execute(
+            "INSERT INTO issue VALUES (10, 1, 'crash', 3), (11, 1, 'typo', 1), (12, 2, 'slow', 2)",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn select_star_and_where() {
+        let mut db = db_with_issues();
+        let out = db.execute("SELECT * FROM issue WHERE sev >= 2").unwrap();
+        assert_eq!(out.result.len(), 2);
+        assert_eq!(out.stats.rows_scanned, 3);
+        assert!(!out.stats.is_write);
+    }
+
+    #[test]
+    fn pk_probe_reduces_scan() {
+        let mut db = db_with_issues();
+        let out = db.execute("SELECT * FROM issue WHERE id = 11").unwrap();
+        assert_eq!(out.result.len(), 1);
+        assert_eq!(out.stats.rows_scanned, 1, "should use the PK index");
+    }
+
+    #[test]
+    fn secondary_index_probe() {
+        let mut db = db_with_issues();
+        db.execute("CREATE INDEX ON issue (project_id)").unwrap();
+        let out = db.execute("SELECT * FROM issue WHERE project_id = 1").unwrap();
+        assert_eq!(out.result.len(), 2);
+        assert_eq!(out.stats.rows_scanned, 2);
+    }
+
+    #[test]
+    fn join_projection() {
+        let mut db = db_with_issues();
+        let out = db
+            .execute(
+                "SELECT i.title, p.name FROM issue i JOIN project p ON i.project_id = p.id \
+                 WHERE p.name = 'alpha' ORDER BY i.id",
+            )
+            .unwrap();
+        assert_eq!(out.result.columns, vec!["title", "name"]);
+        assert_eq!(out.result.len(), 2);
+        assert_eq!(out.result.get(0, "title"), Some(&Value::Str("crash".into())));
+    }
+
+    #[test]
+    fn order_by_desc_and_limit() {
+        let mut db = db_with_issues();
+        let out = db.execute("SELECT id FROM issue ORDER BY sev DESC LIMIT 2").unwrap();
+        assert_eq!(out.result.rows, vec![vec![Value::Int(10)], vec![Value::Int(12)]]);
+    }
+
+    #[test]
+    fn aggregates() {
+        let mut db = db_with_issues();
+        let c = db.execute("SELECT COUNT(*) FROM issue").unwrap();
+        assert_eq!(c.result.get(0, "count"), Some(&Value::Int(3)));
+        let s = db.execute("SELECT SUM(sev) FROM issue").unwrap();
+        assert_eq!(s.result.get(0, "sum"), Some(&Value::Int(6)));
+        let m = db.execute("SELECT MAX(sev) FROM issue WHERE project_id = 1").unwrap();
+        assert_eq!(m.result.get(0, "max"), Some(&Value::Int(3)));
+        let d = db.execute("SELECT COUNT(DISTINCT project_id) FROM issue").unwrap();
+        assert_eq!(d.result.get(0, "count"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn update_with_arith() {
+        let mut db = db_with_issues();
+        let out = db.execute("UPDATE issue SET sev = sev + 10 WHERE project_id = 1").unwrap();
+        assert_eq!(out.stats.rows_returned, 2);
+        assert!(out.stats.is_write);
+        let check = db.execute("SELECT sev FROM issue WHERE id = 10").unwrap();
+        assert_eq!(check.result.rows[0][0], Value::Int(13));
+    }
+
+    #[test]
+    fn delete_then_count() {
+        let mut db = db_with_issues();
+        db.execute("DELETE FROM issue WHERE sev < 2").unwrap();
+        let c = db.execute("SELECT COUNT(*) FROM issue").unwrap();
+        assert_eq!(c.result.get(0, "count"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn like_and_in() {
+        let mut db = db_with_issues();
+        let out = db.execute("SELECT id FROM issue WHERE title LIKE 'c%'").unwrap();
+        assert_eq!(out.result.len(), 1);
+        let out = db.execute("SELECT id FROM issue WHERE id IN (10, 12)").unwrap();
+        assert_eq!(out.result.len(), 2);
+    }
+
+    #[test]
+    fn is_null_handling() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1, NULL), (2, 'x')").unwrap();
+        let n = db.execute("SELECT id FROM t WHERE v IS NULL").unwrap();
+        assert_eq!(n.result.rows, vec![vec![Value::Int(1)]]);
+        let nn = db.execute("SELECT id FROM t WHERE v IS NOT NULL").unwrap();
+        assert_eq!(nn.result.rows, vec![vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn errors_bubble() {
+        let mut db = db_with_issues();
+        assert!(db.execute("SELECT * FROM nope").is_err());
+        assert!(db.execute("SELECT nope FROM issue").is_err());
+        assert!(db.execute("CREATE TABLE issue (id INT)").is_err());
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("hello", "h%"));
+        assert!(like_match("hello", "%o"));
+        assert!(like_match("hello", "%ell%"));
+        assert!(like_match("hello", "hello"));
+        assert!(!like_match("hello", "x%"));
+        assert!(!like_match("hello", "%x"));
+        assert!(like_match("hello", "%"));
+    }
+
+    #[test]
+    fn txn_statements_are_writes() {
+        let mut db = db_with_issues();
+        for sql in ["BEGIN", "COMMIT", "ROLLBACK"] {
+            let out = db.execute(sql).unwrap();
+            assert!(out.stats.is_write);
+        }
+    }
+
+    #[test]
+    fn three_way_join() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE a (id INT PRIMARY KEY, b_id INT)").unwrap();
+        db.execute("CREATE TABLE b (id INT PRIMARY KEY, c_id INT)").unwrap();
+        db.execute("CREATE TABLE c (id INT PRIMARY KEY, name TEXT)").unwrap();
+        db.execute("INSERT INTO a VALUES (1, 10)").unwrap();
+        db.execute("INSERT INTO b VALUES (10, 100)").unwrap();
+        db.execute("INSERT INTO c VALUES (100, 'deep')").unwrap();
+        let out = db
+            .execute(
+                "SELECT c.name FROM a JOIN b ON a.b_id = b.id JOIN c ON b.c_id = c.id",
+            )
+            .unwrap();
+        assert_eq!(out.result.rows, vec![vec![Value::Str("deep".into())]]);
+    }
+}

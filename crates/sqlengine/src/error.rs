@@ -1,0 +1,47 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Any error produced while lexing, parsing, planning or executing SQL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError {
+    message: String,
+}
+
+impl SqlError {
+    /// Generic error with a message.
+    pub fn new(message: impl Into<String>) -> Self {
+        SqlError { message: message.into() }
+    }
+
+    /// Lex error annotated with the source position.
+    pub fn lex(sql: &str, pos: usize, message: &str) -> Self {
+        SqlError::new(format!(
+            "lex error at byte {pos}: {message} in {sql:?}"
+        ))
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sql error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = SqlError::new("no such table: foo");
+        assert!(e.to_string().contains("no such table"));
+    }
+}

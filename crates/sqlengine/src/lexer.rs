@@ -1,0 +1,208 @@
+//! SQL tokenizer.
+//!
+//! Keywords are case-insensitive; identifiers preserve case but compare
+//! case-insensitively in the catalog. String literals use single quotes with
+//! `''` as the escape for a quote, matching MySQL.
+
+use crate::error::SqlError;
+
+/// One SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (uppercased keywords are matched by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (quotes stripped, escapes resolved).
+    Str(String),
+    /// Punctuation and operators: `( ) , * . = != < <= > >= + - /`.
+    Symbol(&'static str),
+}
+
+impl Token {
+    /// Returns the identifier text if this token is an identifier.
+    pub fn as_ident(&self) -> Option<&str> {
+        match self {
+            Token::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Tokenizes `sql`, returning an error with byte position on bad input.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes = sql.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' | ')' | ',' | '*' | '.' | '+' | '-' | '/' | ';' => {
+                out.push(Token::Symbol(match c {
+                    '(' => "(",
+                    ')' => ")",
+                    ',' => ",",
+                    '*' => "*",
+                    '.' => ".",
+                    '+' => "+",
+                    '-' => "-",
+                    '/' => "/",
+                    _ => ";",
+                }));
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Symbol("="));
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Symbol("!="));
+                    i += 2;
+                } else {
+                    return Err(SqlError::lex(sql, i, "expected '=' after '!'"));
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Symbol("<="));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Token::Symbol("!="));
+                    i += 2;
+                } else {
+                    out.push(Token::Symbol("<"));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Symbol(">="));
+                    i += 2;
+                } else {
+                    out.push(Token::Symbol(">"));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(SqlError::lex(sql, i, "unterminated string")),
+                        Some(b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && i + 1 < bytes.len()
+                    && bytes[i + 1].is_ascii_digit()
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &sql[start..i];
+                if is_float {
+                    let v = text
+                        .parse::<f64>()
+                        .map_err(|_| SqlError::lex(sql, start, "bad float literal"))?;
+                    out.push(Token::Float(v));
+                } else {
+                    let v = text
+                        .parse::<i64>()
+                        .map_err(|_| SqlError::lex(sql, start, "integer literal overflow"))?;
+                    out.push(Token::Int(v));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(sql[start..i].to_string()));
+            }
+            _ => return Err(SqlError::lex(sql, i, "unexpected character")),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_select() {
+        let toks = tokenize("SELECT a, b FROM t WHERE x = 3").unwrap();
+        assert_eq!(toks[0], Token::Ident("SELECT".into()));
+        assert_eq!(toks[1], Token::Ident("a".into()));
+        assert_eq!(toks[2], Token::Symbol(","));
+        assert!(toks.contains(&Token::Int(3)));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = tokenize("'it''s'").unwrap();
+        assert_eq!(toks, vec![Token::Str("it's".into())]);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = tokenize("a <= b >= c != d <> e").unwrap();
+        let syms: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match t {
+                Token::Symbol(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(syms, vec!["<=", ">=", "!=", "!="]);
+    }
+
+    #[test]
+    fn float_vs_qualified_name() {
+        let toks = tokenize("1.5 t.c").unwrap();
+        assert_eq!(toks[0], Token::Float(1.5));
+        assert_eq!(toks[1], Token::Ident("t".into()));
+        assert_eq!(toks[2], Token::Symbol("."));
+        assert_eq!(toks[3], Token::Ident("c".into()));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'abc").is_err());
+    }
+
+    #[test]
+    fn bad_character_errors() {
+        assert!(tokenize("SELECT @").is_err());
+    }
+}

@@ -1,0 +1,223 @@
+//! Row storage with hash indexes.
+
+use std::collections::HashMap;
+
+use crate::ast::{ColumnDef, ColumnType};
+use crate::error::SqlError;
+use crate::value::{Row, Value};
+
+/// A stored table: schema, row slots (tombstoned on delete) and hash indexes.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table name as declared.
+    pub name: String,
+    /// Column schema in declaration order.
+    pub columns: Vec<ColumnDef>,
+    rows: Vec<Option<Row>>,
+    live: usize,
+    /// column index → (value → row ids). The primary key is always indexed.
+    indexes: HashMap<usize, HashMap<Value, Vec<usize>>>,
+}
+
+impl Table {
+    /// Creates an empty table; the primary-key column (if any) is indexed.
+    pub fn new(name: String, columns: Vec<ColumnDef>) -> Self {
+        let mut t = Table { name, columns, rows: Vec::new(), live: 0, indexes: HashMap::new() };
+        if let Some(pk) = t.columns.iter().position(|c| c.primary_key) {
+            t.indexes.insert(pk, HashMap::new());
+        }
+        t
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the table has no live rows.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Position of a column by name (case-insensitive).
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Declared column names.
+    pub fn column_names(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.name.clone()).collect()
+    }
+
+    /// Adds a secondary hash index over `column`; idempotent.
+    pub fn create_index(&mut self, column: &str) -> Result<(), SqlError> {
+        let ci = self
+            .column_index(column)
+            .ok_or_else(|| SqlError::new(format!("no column {column} in {}", self.name)))?;
+        if self.indexes.contains_key(&ci) {
+            return Ok(());
+        }
+        let mut index: HashMap<Value, Vec<usize>> = HashMap::new();
+        for (rid, row) in self.rows.iter().enumerate() {
+            if let Some(row) = row {
+                index.entry(row[ci].clone()).or_default().push(rid);
+            }
+        }
+        self.indexes.insert(ci, index);
+        Ok(())
+    }
+
+    /// Whether `column` (by index) has a hash index.
+    pub fn has_index(&self, column: usize) -> bool {
+        self.indexes.contains_key(&column)
+    }
+
+    /// Coerces `v` to the declared type of column `ci` where harmless
+    /// (int ↔ float); other mismatches pass through unchanged since the
+    /// engine is dynamically typed like MySQL.
+    fn coerce(&self, ci: usize, v: Value) -> Value {
+        match (self.columns[ci].ty, &v) {
+            (ColumnType::Float, Value::Int(i)) => Value::Float(*i as f64),
+            (ColumnType::Int, Value::Float(f)) => Value::Int(*f as i64),
+            _ => v,
+        }
+    }
+
+    /// Inserts a full-width row, maintaining indexes.
+    pub fn insert(&mut self, row: Row) -> Result<(), SqlError> {
+        if row.len() != self.columns.len() {
+            return Err(SqlError::new(format!(
+                "insert into {}: expected {} values, got {}",
+                self.name,
+                self.columns.len(),
+                row.len()
+            )));
+        }
+        let row: Row =
+            row.into_iter().enumerate().map(|(ci, v)| self.coerce(ci, v)).collect();
+        let rid = self.rows.len();
+        for (ci, index) in self.indexes.iter_mut() {
+            index.entry(row[*ci].clone()).or_default().push(rid);
+        }
+        self.rows.push(Some(row));
+        self.live += 1;
+        Ok(())
+    }
+
+    /// Iterates `(row_id, row)` over live rows.
+    pub fn scan(&self) -> impl Iterator<Item = (usize, &Row)> {
+        self.rows.iter().enumerate().filter_map(|(i, r)| r.as_ref().map(|row| (i, row)))
+    }
+
+    /// Row ids whose indexed column `ci` equals `key` (requires an index).
+    pub fn probe(&self, ci: usize, key: &Value) -> Option<&[usize]> {
+        self.indexes.get(&ci).map(|ix| ix.get(key).map(Vec::as_slice).unwrap_or(&[]))
+    }
+
+    /// Returns a live row by id.
+    pub fn row(&self, rid: usize) -> Option<&Row> {
+        self.rows.get(rid).and_then(Option::as_ref)
+    }
+
+    /// Overwrites column `ci` of row `rid`, maintaining indexes.
+    pub fn update_cell(&mut self, rid: usize, ci: usize, value: Value) {
+        let value = self.coerce(ci, value);
+        let old = match self.rows.get_mut(rid).and_then(Option::as_mut) {
+            Some(row) => std::mem::replace(&mut row[ci], value.clone()),
+            None => return,
+        };
+        if let Some(index) = self.indexes.get_mut(&ci) {
+            if let Some(ids) = index.get_mut(&old) {
+                ids.retain(|&r| r != rid);
+                if ids.is_empty() {
+                    index.remove(&old);
+                }
+            }
+            index.entry(value).or_default().push(rid);
+        }
+    }
+
+    /// Tombstones row `rid`, maintaining indexes.
+    pub fn delete(&mut self, rid: usize) {
+        let Some(row) = self.rows.get_mut(rid).and_then(Option::take) else {
+            return;
+        };
+        self.live -= 1;
+        for (ci, index) in self.indexes.iter_mut() {
+            if let Some(ids) = index.get_mut(&row[*ci]) {
+                ids.retain(|&r| r != rid);
+                if ids.is_empty() {
+                    index.remove(&row[*ci]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(
+            "t".into(),
+            vec![
+                ColumnDef { name: "id".into(), ty: ColumnType::Int, primary_key: true },
+                ColumnDef { name: "name".into(), ty: ColumnType::Text, primary_key: false },
+            ],
+        );
+        t.insert(vec![Value::Int(1), Value::Str("a".into())]).unwrap();
+        t.insert(vec![Value::Int(2), Value::Str("b".into())]).unwrap();
+        t
+    }
+
+    #[test]
+    fn pk_index_probe() {
+        let t = sample();
+        assert_eq!(t.probe(0, &Value::Int(2)), Some(&[1usize][..]));
+        assert_eq!(t.probe(0, &Value::Int(99)), Some(&[][..]));
+        assert!(t.probe(1, &Value::Str("a".into())).is_none());
+    }
+
+    #[test]
+    fn secondary_index_after_insert() {
+        let mut t = sample();
+        t.create_index("name").unwrap();
+        assert_eq!(t.probe(1, &Value::Str("b".into())), Some(&[1usize][..]));
+        t.insert(vec![Value::Int(3), Value::Str("b".into())]).unwrap();
+        assert_eq!(t.probe(1, &Value::Str("b".into())), Some(&[1usize, 2][..]));
+    }
+
+    #[test]
+    fn delete_updates_index_and_len() {
+        let mut t = sample();
+        t.delete(0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.probe(0, &Value::Int(1)), Some(&[][..]));
+        assert_eq!(t.scan().count(), 1);
+    }
+
+    #[test]
+    fn update_cell_moves_index_entry() {
+        let mut t = sample();
+        t.update_cell(0, 0, Value::Int(10));
+        assert_eq!(t.probe(0, &Value::Int(1)), Some(&[][..]));
+        assert_eq!(t.probe(0, &Value::Int(10)), Some(&[0usize][..]));
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let mut t = sample();
+        assert!(t.insert(vec![Value::Int(9)]).is_err());
+    }
+
+    #[test]
+    fn int_to_float_coercion() {
+        let mut t = Table::new(
+            "f".into(),
+            vec![ColumnDef { name: "x".into(), ty: ColumnType::Float, primary_key: false }],
+        );
+        t.insert(vec![Value::Int(3)]).unwrap();
+        assert_eq!(t.row(0).unwrap()[0], Value::Float(3.0));
+    }
+}

@@ -1,0 +1,41 @@
+//! Quickstart: the Sloth runtime in twenty lines.
+//!
+//! Two queries are *registered* when their thunks are created and shipped
+//! to the database in **one round trip** when the first result is needed.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use sloth_core::{query_thunk, QueryStore};
+use sloth_net::SimEnv;
+
+fn main() {
+    // A simulated deployment: app server + DB, 0.5 ms apart.
+    let env = SimEnv::default_env();
+    env.seed_sql("CREATE TABLE greeting (id INT PRIMARY KEY, word TEXT)").unwrap();
+    env.seed_sql("INSERT INTO greeting VALUES (1, 'hello'), (2, 'world')").unwrap();
+
+    // The per-request query store batches lazily-issued queries.
+    let store = QueryStore::new(env.clone());
+
+    let hello = query_thunk(&store, "SELECT word FROM greeting WHERE id = 1", |rs| {
+        rs.get(0, "word").unwrap().to_string()
+    });
+    let world = query_thunk(&store, "SELECT word FROM greeting WHERE id = 2", |rs| {
+        rs.get(0, "word").unwrap().to_string()
+    });
+    println!("registered {} queries, round trips so far: {}", 2, env.stats().round_trips);
+    assert_eq!(env.stats().round_trips, 0);
+
+    // Forcing either thunk ships BOTH queries in a single batch.
+    println!("{} {}", hello.force(), world.force());
+    let stats = env.stats();
+    println!(
+        "round trips: {} (batch of {}), simulated latency: {:.2} ms",
+        stats.round_trips,
+        stats.queries,
+        stats.total_ns() as f64 / 1e6
+    );
+    assert_eq!(stats.round_trips, 1);
+}

@@ -1,0 +1,31 @@
+//! # sloth — batching database queries via extended lazy evaluation
+//!
+//! A Rust reproduction of **“Sloth: Being Lazy is a Virtue (When Issuing
+//! Database Queries)”** (Cheung, Madden, Solar-Lezama — SIGMOD 2014).
+//!
+//! This façade crate re-exports the whole workspace:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`sql`] (`sloth-sql`) | in-memory SQL engine (the MySQL stand-in) |
+//! | [`net`] (`sloth-net`) | virtual clock, latency simulation, batch driver |
+//! | [`core`] (`sloth-core`) | thunks + the query store (the paper's runtime) |
+//! | [`orm`] (`sloth-orm`) | mini-Hibernate with eager/lazy fetch strategies |
+//! | [`lang`] (`sloth-lang`) | kernel language + the Sloth compiler + both evaluators |
+//! | [`web`] (`sloth-web`) | MVC micro-framework with the thunk-buffering writer |
+//! | [`apps`] (`sloth-apps`) | itracker / OpenMRS / TPC-C / TPC-W benchmarks |
+//!
+//! See `examples/quickstart.rs` for the 20-line tour and `DESIGN.md` for
+//! the full system inventory.
+
+pub use sloth_apps as apps;
+pub use sloth_core as core;
+pub use sloth_lang as lang;
+pub use sloth_net as net;
+pub use sloth_orm as orm;
+pub use sloth_sql as sql;
+pub use sloth_web as web;
+
+pub use sloth_core::{query_thunk, QueryStore, Thunk};
+pub use sloth_lang::{run_source, ExecStrategy, OptFlags};
+pub use sloth_net::{CostModel, SimEnv};

@@ -1,0 +1,137 @@
+//! The paper's soundness theorem (§3.8 / appendix) as a property test:
+//! for randomly generated kernel-language programs, standard evaluation and
+//! extended lazy evaluation (under every optimization configuration) must
+//! produce the same output and leave the database in the same state.
+
+use std::rc::Rc;
+
+use proptest::prelude::*;
+use sloth_lang::{run_source, ExecStrategy, OptFlags};
+use sloth_net::SimEnv;
+use sloth_orm::Schema;
+
+/// Builds a random straight-line/branchy/loopy program over integer
+/// variables `v0..v4`, reads and writes against a seeded table, and prints.
+fn arb_program() -> impl Strategy<Value = String> {
+    let stmt = prop_oneof![
+        // Arithmetic assignment over the variable pool.
+        (0..5usize, 0..5usize, 0..5usize, 0..3usize, -9i64..10).prop_map(
+            |(dst, a, b, op, lit)| {
+                let ops = ["+", "-", "*"];
+                format!("v{dst} = v{a} {} (v{b} + {lit});", ops[op])
+            }
+        ),
+        // Branch with assignments in both arms (deferrable or not).
+        (0..5usize, 0..5usize, 0..5usize, -5i64..6).prop_map(|(c, t, e, lit)| format!(
+            "if (v{c} > {lit}) {{ v{t} = v{t} + 1; }} else {{ v{e} = v{e} - 2; }}"
+        )),
+        // Bounded loop.
+        (0..5usize, 1..5i64).prop_map(|(dst, n)| format!(
+            "let i = 0; while (i < {n}) {{ v{dst} = v{dst} + i; i = i + 1; }}"
+        )),
+        // Read query derived from a variable (bounded to valid ids).
+        (0..5usize, 0..5usize).prop_map(|(dst, src)| format!(
+            "let id = v{src} % 5; if (id < 0) {{ id = 0 - id; }} \
+             let rs = query(\"SELECT v FROM t WHERE id = \" + str(id)); \
+             if (nrows(rs) > 0) {{ v{dst} = v{dst} + cell(rs, 0, \"v\"); }}"
+        )),
+        // Write query (flushes the batch, §3.3).
+        (0..5i64, -3i64..4).prop_map(|(id, delta)| format!(
+            "exec(\"UPDATE t SET v = v + {delta} WHERE id = {id}\");"
+        )),
+        // Output.
+        (0..5usize).prop_map(|v| format!("print(str(v{v}));")),
+        // Pure helper call.
+        (0..5usize, 0..5usize).prop_map(|(dst, a)| format!("v{dst} = double(v{a});")),
+    ];
+    proptest::collection::vec(stmt, 1..12).prop_map(|stmts| {
+        format!(
+            "fn double(x) {{ return x * 2; }}\n\
+             fn main() {{\n\
+             let v0 = 1; let v1 = 2; let v2 = 3; let v3 = 4; let v4 = 5;\n\
+             {}\n\
+             print(str(v0 + v1 + v2 + v3 + v4));\n\
+             }}",
+            stmts.join("\n")
+        )
+    })
+}
+
+fn fresh_env() -> SimEnv {
+    let env = SimEnv::default_env();
+    env.seed_sql("CREATE TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+    for i in 0..5 {
+        env.seed_sql(&format!("INSERT INTO t VALUES ({i}, {})", i * 7 + 1)).unwrap();
+    }
+    env
+}
+
+fn table_state(env: &SimEnv) -> Vec<Vec<sloth_sql::Value>> {
+    env.seed(|db| db.execute("SELECT id, v FROM t ORDER BY id").unwrap().result.rows)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Standard vs. lazy semantics: identical output, identical final DB —
+    /// for the fully optimized configuration.
+    #[test]
+    fn lazy_equals_standard_all_opts(src in arb_program()) {
+        let schema = Rc::new(Schema::new());
+        let env_o = fresh_env();
+        let o = run_source(&src, &env_o, Rc::clone(&schema), ExecStrategy::Original, vec![]);
+        let env_s = fresh_env();
+        let s = run_source(
+            &src, &env_s, Rc::clone(&schema), ExecStrategy::Sloth(OptFlags::all()), vec![]);
+        match (o, s) {
+            (Ok(o), Ok(s)) => {
+                prop_assert_eq!(o.output, s.output);
+                prop_assert_eq!(table_state(&env_o), table_state(&env_s));
+            }
+            (Err(_), Err(_)) => {} // both fail (e.g. overflow-free programs shouldn't, but symmetric)
+            (o, s) => prop_assert!(false, "one mode failed: orig={:?} sloth={:?}",
+                o.map(|r| r.output), s.map(|r| r.output)),
+        }
+    }
+
+    /// Equivalence must hold for *every* optimization configuration —
+    /// the optimizations are semantics-preserving (§4).
+    #[test]
+    fn lazy_equals_standard_all_flag_combinations(src in arb_program(), mask in 0u8..16) {
+        let flags = OptFlags {
+            selective: mask & 1 != 0,
+            coalesce: mask & 2 != 0,
+            defer_branches: mask & 4 != 0,
+            buffered_writer: mask & 8 != 0,
+        };
+        let schema = Rc::new(Schema::new());
+        let env_o = fresh_env();
+        let o = run_source(&src, &env_o, Rc::clone(&schema), ExecStrategy::Original, vec![]);
+        let env_s = fresh_env();
+        let s = run_source(&src, &env_s, Rc::clone(&schema), ExecStrategy::Sloth(flags), vec![]);
+        match (o, s) {
+            (Ok(o), Ok(s)) => {
+                prop_assert_eq!(o.output, s.output);
+                prop_assert_eq!(table_state(&env_o), table_state(&env_s));
+            }
+            (Err(_), Err(_)) => {}
+            (o, s) => prop_assert!(false, "one mode failed: orig={:?} sloth={:?}",
+                o.map(|r| r.output), s.map(|r| r.output)),
+        }
+    }
+
+    /// Lazy evaluation never *increases* round trips.
+    #[test]
+    fn lazy_never_more_round_trips(src in arb_program()) {
+        let schema = Rc::new(Schema::new());
+        let env_o = fresh_env();
+        let o = run_source(&src, &env_o, Rc::clone(&schema), ExecStrategy::Original, vec![]);
+        let env_s = fresh_env();
+        let s = run_source(
+            &src, &env_s, Rc::clone(&schema), ExecStrategy::Sloth(OptFlags::all()), vec![]);
+        if let (Ok(o), Ok(s)) = (o, s) {
+            prop_assert!(s.net.round_trips <= o.net.round_trips,
+                "sloth {} trips > original {}", s.net.round_trips, o.net.round_trips);
+        }
+    }
+}
