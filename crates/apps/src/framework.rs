@@ -34,7 +34,12 @@ pub fn framework_entities() -> Vec<EntityDef> {
             "user",
             "app_user",
             "user_id",
-            &[("user_id", Int), ("login", Text), ("role_id", Int), ("active", Bool)],
+            &[
+                ("user_id", Int),
+                ("login", Text),
+                ("role_id", Int),
+                ("active", Bool),
+            ],
             vec![many_to_one("role", "role", "role_id", FetchStrategy::Lazy)],
         ),
         entity(
@@ -42,7 +47,12 @@ pub fn framework_entities() -> Vec<EntityDef> {
             "role",
             "role_id",
             &[("role_id", Int), ("role_name", Text)],
-            vec![one_to_many("privileges", "privilege", "role_id", FetchStrategy::Lazy)],
+            vec![one_to_many(
+                "privileges",
+                "privilege",
+                "role_id",
+                FetchStrategy::Lazy,
+            )],
         ),
         entity(
             "privilege",
@@ -79,7 +89,8 @@ pub fn framework_entities() -> Vec<EntityDef> {
 pub fn seed_framework(env: &SimEnv, cfg: &FrameworkCfg, seed: u64) {
     let mut rng = StdRng::seed_from_u64(seed);
     for r in 1..=3i64 {
-        env.seed_sql(&format!("INSERT INTO role VALUES ({r}, 'role-{r}')")).unwrap();
+        env.seed_sql(&format!("INSERT INTO role VALUES ({r}, 'role-{r}')"))
+            .unwrap();
     }
     let mut priv_id = 1;
     for r in 1..=3i64 {
@@ -247,7 +258,12 @@ mod tests {
     use std::rc::Rc;
 
     fn cfg() -> FrameworkCfg {
-        FrameworkCfg { config_rows: 8, message_rows: 10, menu_depth: 4, header_messages: 3 }
+        FrameworkCfg {
+            config_rows: 8,
+            message_rows: 10,
+            menu_depth: 4,
+            header_messages: 3,
+        }
     }
 
     fn setup() -> (SimEnv, Rc<Schema>) {
@@ -273,8 +289,14 @@ mod tests {
             framework_prelude(&cfg)
         );
         let (env1, schema) = setup();
-        let o = run_source(&src, &env1, Rc::clone(&schema), ExecStrategy::Original, vec![])
-            .expect("original");
+        let o = run_source(
+            &src,
+            &env1,
+            Rc::clone(&schema),
+            ExecStrategy::Original,
+            vec![],
+        )
+        .expect("original");
         let (env2, schema2) = setup();
         let s = run_source(
             &src,
@@ -305,11 +327,14 @@ mod tests {
         );
         let (env, schema) = setup();
         let o = run_source(&src, &env, schema, ExecStrategy::Original, vec![]).unwrap();
-        assert_eq!(o.net.round_trips, o.net.queries, "stock driver: one trip per query");
+        assert_eq!(
+            o.net.round_trips, o.net.queries,
+            "stock driver: one trip per query"
+        );
         // user + role + menu chain + configs + messages (privileges proxy
         // untouched: render_footer doesn't check privileges).
-        let expected = 1 + 1 + cfg.menu_depth as u64 + cfg.config_rows as u64
-            + cfg.message_rows as u64;
+        let expected =
+            1 + 1 + cfg.menu_depth as u64 + cfg.config_rows as u64 + cfg.message_rows as u64;
         assert_eq!(o.net.queries, expected);
     }
 }

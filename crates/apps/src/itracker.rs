@@ -18,7 +18,12 @@ use crate::BenchApp;
 /// Framework sizing for itracker: the paper's original app issues ~59
 /// queries/round-trips on most pages before page-specific work.
 pub fn itracker_framework_cfg() -> FrameworkCfg {
-    FrameworkCfg { config_rows: 22, message_rows: 18, menu_depth: 6, header_messages: 4 }
+    FrameworkCfg {
+        config_rows: 22,
+        message_rows: 18,
+        menu_depth: 6,
+        header_messages: 4,
+    }
 }
 
 /// The itracker entity schema.
@@ -31,12 +36,22 @@ pub fn itracker_schema() -> Rc<Schema> {
         "project",
         "project",
         "project_id",
-        &[("project_id", Int), ("name", Text), ("status", Int), ("owner_id", Int)],
+        &[
+            ("project_id", Int),
+            ("name", Text),
+            ("status", Int),
+            ("owner_id", Int),
+        ],
         vec![
             // The wasteful developer choice §6.1 calls out: components are
             // eagerly fetched with every project although most pages never
             // show them.
-            one_to_many("components", "component", "project_id", FetchStrategy::Eager),
+            one_to_many(
+                "components",
+                "component",
+                "project_id",
+                FetchStrategy::Eager,
+            ),
             one_to_many("versions", "version", "project_id", FetchStrategy::Lazy),
             one_to_many("issues", "issue", "project_id", FetchStrategy::Lazy),
             many_to_one("owner", "user", "owner_id", FetchStrategy::Lazy),
@@ -86,7 +101,11 @@ pub fn itracker_schema() -> Rc<Schema> {
         "attachment",
         "attachment",
         "attachment_id",
-        &[("attachment_id", Int), ("issue_id", Int), ("filename", Text)],
+        &[
+            ("attachment_id", Int),
+            ("issue_id", Int),
+            ("filename", Text),
+        ],
         vec![],
     ));
     s.add(entity(
@@ -162,7 +181,10 @@ pub fn seed_itracker(env: &SimEnv, projects: usize) {
         .unwrap();
     }
     for t in 1..=5i64 {
-        env.seed_sql(&format!("INSERT INTO task VALUES ({t}, 'task-{t}', 'daily')")).unwrap();
+        env.seed_sql(&format!(
+            "INSERT INTO task VALUES ({t}, 'task-{t}', 'daily')"
+        ))
+        .unwrap();
     }
 }
 
@@ -356,7 +378,11 @@ pub fn itracker_pages() -> Vec<Page> {
 
 /// Deterministic template assignment for the generated pages.
 fn template_for(name: &str, i: usize) -> PageSpec {
-    let guard = if name.contains("admin") { Some("ADMIN") } else { Some("VIEW") };
+    let guard = if name.contains("admin") {
+        Some("ADMIN")
+    } else {
+        Some("VIEW")
+    };
     let sections = if name.contains("list") || name.contains("home") {
         vec![
             Section::List {
@@ -377,7 +403,7 @@ fn template_for(name: &str, i: usize) -> PageSpec {
                 from_arg: true,
                 field: "name",
                 assocs: &["versions"],
-                render_assocs: i % 2 == 0,
+                render_assocs: i.is_multiple_of(2),
                 follow: Some(("owner", "login")),
             },
             Section::Lookups { count: 3 + i % 5 },
@@ -396,7 +422,11 @@ fn template_for(name: &str, i: usize) -> PageSpec {
             Section::Lookups { count: 1 + i % 3 },
         ]
     };
-    PageSpec { name: name.to_string(), guard, sections }
+    PageSpec {
+        name: name.to_string(),
+        guard,
+        sections,
+    }
 }
 
 fn list_entity(i: usize) -> &'static str {

@@ -10,9 +10,9 @@
 //! * [`tpcc`] / [`tpcw`] — the overhead-only workloads of Fig. 13 (results
 //!   displayed immediately; no batching opportunity).
 //!
-//! Each page is a complete kernel program (framework preamble + controller
-//! + view) runnable under `ExecStrategy::Original` (stock Hibernate-style
-//! behaviour) or `ExecStrategy::Sloth(...)`.
+//! Each page is a complete kernel program (framework preamble, controller
+//! and view) runnable under `ExecStrategy::Original` (stock Hibernate-style
+//! behaviour) or under `ExecStrategy::Sloth(...)`.
 
 #![warn(missing_docs)]
 

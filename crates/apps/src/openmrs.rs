@@ -19,7 +19,12 @@ use crate::BenchApp;
 
 /// Framework sizing for OpenMRS (~87–100 baseline queries per page).
 pub fn openmrs_framework_cfg() -> FrameworkCfg {
-    FrameworkCfg { config_rows: 40, message_rows: 30, menu_depth: 8, header_messages: 5 }
+    FrameworkCfg {
+        config_rows: 40,
+        message_rows: 30,
+        menu_depth: 8,
+        header_messages: 5,
+    }
 }
 
 /// The OpenMRS entity schema.
@@ -39,7 +44,11 @@ pub fn openmrs_schema() -> Rc<Schema> {
         "patient",
         "patient",
         "patient_id",
-        &[("patient_id", Int), ("person_id", Int), ("identifier", Text)],
+        &[
+            ("patient_id", Int),
+            ("person_id", Int),
+            ("identifier", Text),
+        ],
         vec![
             many_to_one("person", "person", "person_id", FetchStrategy::Lazy),
             one_to_many("encounters", "encounter", "patient_id", FetchStrategy::Lazy),
@@ -52,7 +61,12 @@ pub fn openmrs_schema() -> Rc<Schema> {
         "encounter",
         "encounter",
         "encounter_id",
-        &[("encounter_id", Int), ("patient_id", Int), ("enc_type", Int), ("form_id", Int)],
+        &[
+            ("encounter_id", Int),
+            ("patient_id", Int),
+            ("enc_type", Int),
+            ("form_id", Int),
+        ],
         vec![
             one_to_many("obs", "obs", "encounter_id", FetchStrategy::Lazy),
             many_to_one("form", "form", "form_id", FetchStrategy::Lazy),
@@ -62,8 +76,18 @@ pub fn openmrs_schema() -> Rc<Schema> {
         "obs",
         "obs",
         "obs_id",
-        &[("obs_id", Int), ("encounter_id", Int), ("concept_id", Int), ("value", Float)],
-        vec![many_to_one("concept", "concept", "concept_id", FetchStrategy::Lazy)],
+        &[
+            ("obs_id", Int),
+            ("encounter_id", Int),
+            ("concept_id", Int),
+            ("value", Float),
+        ],
+        vec![many_to_one(
+            "concept",
+            "concept",
+            "concept_id",
+            FetchStrategy::Lazy,
+        )],
     ));
     s.add(entity(
         "concept",
@@ -84,7 +108,12 @@ pub fn openmrs_schema() -> Rc<Schema> {
         "form",
         "form_id",
         &[("form_id", Int), ("name", Text)],
-        vec![one_to_many("fields", "field", "form_id", FetchStrategy::Lazy)],
+        vec![one_to_many(
+            "fields",
+            "field",
+            "form_id",
+            FetchStrategy::Lazy,
+        )],
     ));
     s.add(entity(
         "field",
@@ -119,7 +148,12 @@ pub fn openmrs_schema() -> Rc<Schema> {
         "alert",
         "alert_id",
         &[("alert_id", Int), ("user_id", Int), ("text", Text)],
-        vec![many_to_one("recipient", "user", "user_id", FetchStrategy::Lazy)],
+        vec![many_to_one(
+            "recipient",
+            "user",
+            "user_id",
+            FetchStrategy::Lazy,
+        )],
     ));
     Rc::new(s)
 }
@@ -143,7 +177,8 @@ pub fn seed_openmrs(env: &SimEnv, obs_per_encounter: usize) {
         .unwrap();
     }
     for f in 1..=12i64 {
-        env.seed_sql(&format!("INSERT INTO form VALUES ({f}, 'form-{f}')")).unwrap();
+        env.seed_sql(&format!("INSERT INTO form VALUES ({f}, 'form-{f}')"))
+            .unwrap();
         for k in 0..4 {
             env.seed_sql(&format!(
                 "INSERT INTO field VALUES ({}, {f}, 'field-{f}-{k}')",
@@ -153,7 +188,8 @@ pub fn seed_openmrs(env: &SimEnv, obs_per_encounter: usize) {
         }
     }
     for d in 1..=15i64 {
-        env.seed_sql(&format!("INSERT INTO drug VALUES ({d}, 'drug-{d}')")).unwrap();
+        env.seed_sql(&format!("INSERT INTO drug VALUES ({d}, 'drug-{d}')"))
+            .unwrap();
     }
     // 12 locations: detail pages address ids up to 12.
     for l in 1..=12i64 {
@@ -173,10 +209,8 @@ pub fn seed_openmrs(env: &SimEnv, obs_per_encounter: usize) {
             1950 + rng.random_range(0..60)
         ))
         .unwrap();
-        env.seed_sql(&format!(
-            "INSERT INTO patient VALUES ({p}, {p}, 'PID-{p}')"
-        ))
-        .unwrap();
+        env.seed_sql(&format!("INSERT INTO patient VALUES ({p}, {p}, 'PID-{p}')"))
+            .unwrap();
         // Patient 1 is the dashboard patient with the big encounter.
         let encounters = if p == 1 { 4 } else { 3 };
         for _ in 0..encounters {
@@ -186,7 +220,11 @@ pub fn seed_openmrs(env: &SimEnv, obs_per_encounter: usize) {
                 enc_id % 5
             ))
             .unwrap();
-            let obs_count = if p == 1 && enc_id == 1 { obs_per_encounter } else { 6 };
+            let obs_count = if p == 1 && enc_id == 1 {
+                obs_per_encounter
+            } else {
+                6
+            };
             for _ in 0..obs_count {
                 let concept = rng.random_range(1..=concept_pool);
                 env.seed_sql(&format!(
@@ -517,7 +555,11 @@ pub fn openmrs_pages() -> Vec<Page> {
 }
 
 fn template_for(name: &str, i: usize) -> PageSpec {
-    let guard = if name.contains("admin") { Some("ADMIN") } else { Some("VIEW") };
+    let guard = if name.contains("admin") {
+        Some("ADMIN")
+    } else {
+        Some("VIEW")
+    };
     let sections = if name.contains("List") || name.contains("list") || name.contains("index") {
         vec![
             Section::List {
@@ -538,7 +580,7 @@ fn template_for(name: &str, i: usize) -> PageSpec {
                 from_arg: true,
                 field: detail_field(i),
                 assocs: detail_assocs(i),
-                render_assocs: i % 2 == 0,
+                render_assocs: i.is_multiple_of(2),
                 follow: detail_follow(i),
             },
             Section::Lookups { count: 3 + i % 4 },
@@ -557,7 +599,11 @@ fn template_for(name: &str, i: usize) -> PageSpec {
             Section::Lookups { count: 1 + i % 3 },
         ]
     };
-    PageSpec { name: name.to_string(), guard, sections }
+    PageSpec {
+        name: name.to_string(),
+        guard,
+        sections,
+    }
 }
 
 fn list_entity(i: usize) -> &'static str {
@@ -565,7 +611,14 @@ fn list_entity(i: usize) -> &'static str {
 }
 
 fn list_col(i: usize) -> &'static str {
-    ["patient_id", "encounter_id", "patient_id", "form_id", "user_id", "patient_id"][i % 6]
+    [
+        "patient_id",
+        "encounter_id",
+        "patient_id",
+        "form_id",
+        "user_id",
+        "patient_id",
+    ][i % 6]
 }
 
 fn list_field(i: usize) -> &'static str {
@@ -573,7 +626,14 @@ fn list_field(i: usize) -> &'static str {
 }
 
 fn detail_entity(i: usize) -> &'static str {
-    ["patient", "encounter", "concept", "form", "location", "person"][i % 6]
+    [
+        "patient",
+        "encounter",
+        "concept",
+        "form",
+        "location",
+        "person",
+    ][i % 6]
 }
 
 fn detail_field(i: usize) -> &'static str {
@@ -636,7 +696,8 @@ mod tests {
         }
         seed_openmrs(&env, 50);
         let obs = env.seed(|db| {
-            db.execute("SELECT COUNT(*) FROM obs WHERE encounter_id = 1").unwrap()
+            db.execute("SELECT COUNT(*) FROM obs WHERE encounter_id = 1")
+                .unwrap()
         });
         assert_eq!(obs.result.rows[0][0], sloth_sql::Value::Int(50));
     }

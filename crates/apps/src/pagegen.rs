@@ -95,8 +95,10 @@ pub fn generate_page(prelude: &str, fw_cfg: &FrameworkCfg, spec: &PageSpec, arg:
     let _ = fw_cfg;
     // Per-page view complexity: real pages differ wildly in template work,
     // which is what spreads the paper's speedup CDFs.
-    let name_hash: usize =
-        spec.name.bytes().fold(0usize, |h, b| h.wrapping_mul(31).wrapping_add(b as usize));
+    let name_hash: usize = spec
+        .name
+        .bytes()
+        .fold(0usize, |h, b| h.wrapping_mul(31).wrapping_add(b as usize));
     let view_work = 1_500 + name_hash % 7_000;
     let mut body = String::new();
     for (i, s) in spec.sections.iter().enumerate() {
@@ -121,7 +123,11 @@ pub fn generate_page(prelude: &str, fw_cfg: &FrameworkCfg, spec: &PageSpec, arg:
         name = spec.name,
         view_work = view_work,
     );
-    Page { name: spec.name.clone(), source, arg }
+    Page {
+        name: spec.name.clone(),
+        source,
+        arg,
+    }
 }
 
 fn val_expr(from_arg: bool, val: i64) -> String {
@@ -134,7 +140,14 @@ fn val_expr(from_arg: bool, val: i64) -> String {
 
 fn section_source(i: usize, s: &Section) -> String {
     match s {
-        Section::List { entity, col, val, from_arg, field, render } => {
+        Section::List {
+            entity,
+            col,
+            val,
+            from_arg,
+            field,
+            render,
+        } => {
             let v = val_expr(*from_arg, *val);
             format!(
                 "    let list{i} = orm_find_where(\"{entity}\", \"{col}\", {v});\n\
@@ -149,7 +162,14 @@ fn section_source(i: usize, s: &Section) -> String {
                  \x20   }}\n"
             )
         }
-        Section::AssocLoop { entity, col, val, from_arg, assoc, render } => {
+        Section::AssocLoop {
+            entity,
+            col,
+            val,
+            from_arg,
+            assoc,
+            render,
+        } => {
             let v = val_expr(*from_arg, *val);
             format!(
                 "    let base{i} = orm_find_where(\"{entity}\", \"{col}\", {v});\n\
@@ -169,7 +189,15 @@ fn section_source(i: usize, s: &Section) -> String {
                  \x20   }}\n"
             )
         }
-        Section::Detail { entity, id, from_arg, field, assocs, render_assocs, follow } => {
+        Section::Detail {
+            entity,
+            id,
+            from_arg,
+            field,
+            assocs,
+            render_assocs,
+            follow,
+        } => {
             let v = val_expr(*from_arg, *id);
             let mut out = format!(
                 "    let d{i} = orm_find(\"{entity}\", {v});\n\
@@ -177,9 +205,7 @@ fn section_source(i: usize, s: &Section) -> String {
                  \x20   print(fmt_label(\"{entity}\", str(d{i}.{field})));\n"
             );
             for (j, a) in assocs.iter().enumerate() {
-                out.push_str(&format!(
-                    "    model.d{i}a{j} = orm_assoc(d{i}, \"{a}\");\n"
-                ));
+                out.push_str(&format!("    model.d{i}a{j} = orm_assoc(d{i}, \"{a}\");\n"));
                 if *render_assocs {
                     out.push_str(&format!(
                         "    print(fmt_label(\"{a}\", str(model.d{i}a{j})));\n"
@@ -239,7 +265,11 @@ mod tests {
         let prelude = crate::framework::framework_prelude(&cfg);
         let page = generate_page(&prelude, &cfg, &spec, 1);
         let parsed = sloth_lang::parse_program(&page.source);
-        assert!(parsed.is_ok(), "generated source must parse: {:?}", parsed.err());
+        assert!(
+            parsed.is_ok(),
+            "generated source must parse: {:?}",
+            parsed.err()
+        );
         let p = parsed.unwrap();
         assert!(p.function("main").is_some());
         assert!(p.function("load_framework").is_some());

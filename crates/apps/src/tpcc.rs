@@ -40,7 +40,10 @@ pub fn seed_tpcc(env: &SimEnv, warehouses: usize) {
     let mut c_id = 1;
     let mut s_id = 1;
     for w in 1..=warehouses as i64 {
-        env.seed_sql(&format!("INSERT INTO warehouse VALUES ({w}, 'wh-{w}', 0.0)")).unwrap();
+        env.seed_sql(&format!(
+            "INSERT INTO warehouse VALUES ({w}, 'wh-{w}', 0.0)"
+        ))
+        .unwrap();
         for _ in 0..10 {
             env.seed_sql(&format!(
                 "INSERT INTO district VALUES ({d_id}, {w}, 1000, 0.0)"
@@ -216,9 +219,13 @@ mod tests {
     fn all_transactions_parse_and_run_in_both_modes() {
         for (name, src) in tpcc_transactions() {
             let e1 = env();
-            let o = run_source(&src, &e1, tpcc_schema(), ExecStrategy::Original, vec![
-                sloth_lang::V::Int(7),
-            ])
+            let o = run_source(
+                &src,
+                &e1,
+                tpcc_schema(),
+                ExecStrategy::Original,
+                vec![sloth_lang::V::Int(7)],
+            )
             .unwrap_or_else(|e| panic!("{name} original failed: {e}"));
             let e2 = env();
             let s = run_source(
@@ -248,7 +255,11 @@ mod tests {
         )
         .unwrap();
         let store = s.store.unwrap();
-        assert!(store.max_batch() <= 2, "no real batching: {:?}", store.batch_sizes);
+        assert!(
+            store.max_batch() <= 2,
+            "no real batching: {:?}",
+            store.batch_sizes
+        );
     }
 
     #[test]
@@ -258,8 +269,14 @@ mod tests {
             .seed(|db| db.execute("SELECT SUM(quantity) FROM stock").unwrap())
             .result;
         let (_, src) = &tpcc_transactions()[0];
-        run_source(src, &e, tpcc_schema(), ExecStrategy::Original, vec![sloth_lang::V::Int(1)])
-            .unwrap();
+        run_source(
+            src,
+            &e,
+            tpcc_schema(),
+            ExecStrategy::Original,
+            vec![sloth_lang::V::Int(1)],
+        )
+        .unwrap();
         let after = e
             .seed(|db| db.execute("SELECT SUM(quantity) FROM stock").unwrap())
             .result;

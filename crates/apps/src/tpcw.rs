@@ -125,8 +125,14 @@ mod tests {
     fn all_mixes_run_identically_in_both_modes() {
         for (name, src) in tpcw_mixes() {
             let e1 = env();
-            let o = run_source(&src, &e1, tpcw_schema(), ExecStrategy::Original, vec![V::Int(5)])
-                .unwrap_or_else(|e| panic!("{name} original failed: {e}"));
+            let o = run_source(
+                &src,
+                &e1,
+                tpcw_schema(),
+                ExecStrategy::Original,
+                vec![V::Int(5)],
+            )
+            .unwrap_or_else(|e| panic!("{name} original failed: {e}"));
             let e2 = env();
             let s = run_source(
                 &src,
@@ -144,9 +150,23 @@ mod tests {
     fn ordering_mix_places_order_after_shopping() {
         let e = env();
         let (_, shop) = &tpcw_mixes()[1];
-        run_source(shop, &e, tpcw_schema(), ExecStrategy::Original, vec![V::Int(5)]).unwrap();
+        run_source(
+            shop,
+            &e,
+            tpcw_schema(),
+            ExecStrategy::Original,
+            vec![V::Int(5)],
+        )
+        .unwrap();
         let (_, order) = &tpcw_mixes()[2];
-        run_source(order, &e, tpcw_schema(), ExecStrategy::Original, vec![V::Int(5)]).unwrap();
+        run_source(
+            order,
+            &e,
+            tpcw_schema(),
+            ExecStrategy::Original,
+            vec![V::Int(5)],
+        )
+        .unwrap();
         let orders = e.seed(|db| db.execute("SELECT COUNT(*) FROM web_order").unwrap());
         assert_eq!(orders.result.rows[0][0], sloth_sql::Value::Int(1));
     }

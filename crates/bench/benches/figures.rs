@@ -1,107 +1,108 @@
-//! Criterion benches mirroring the paper's experiments: one group per
-//! table/figure, measuring the real wall-clock of regenerating a
-//! representative slice of each (the full tables come from the `harness`
-//! binary, which reports simulated time).
+//! Benches mirroring the paper's experiments: one group per table/figure,
+//! measuring the real wall-clock of regenerating a representative slice of
+//! each (the full tables come from the `harness` binary, which reports
+//! simulated time). Plain `harness = false` timing loops.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sloth_apps::{itracker_app, openmrs_app, tpcc};
+use sloth_bench::microbench::bench;
 use sloth_bench::throughput::{simulate, ThroughputCfg};
 use sloth_bench::{fig10_openmrs, fig11_persistence, fig9_latency_sweep, measure_app, run_page};
 use sloth_lang::{prepare, ExecStrategy, OptFlags};
 use sloth_net::CostModel;
-use std::hint::black_box;
 
 /// Fig. 5/6: one representative page of each app, both modes.
-fn bench_page_load(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig5_6_page_load");
+fn bench_page_load() {
     for app in [itracker_app(), openmrs_app()] {
         let page = &app.pages[0];
         let program = sloth_lang::parse_program(&page.source).unwrap();
         let db = app.fresh_env(CostModel::default()).snapshot_db();
         let orig = prepare(&program, ExecStrategy::Original);
         let sloth = prepare(&program, ExecStrategy::Sloth(OptFlags::all()));
-        g.bench_function(format!("{}_original", app.name), |b| {
-            b.iter(|| {
-                black_box(
-                    run_page(&orig, &db, &app.schema, CostModel::default(), page.arg)
-                        .net
-                        .round_trips,
-                )
-            })
+        bench(&format!("fig5_6_page_load/{}_original", app.name), || {
+            run_page(&orig, &db, &app.schema, CostModel::default(), page.arg)
+                .net
+                .round_trips
         });
-        g.bench_function(format!("{}_sloth", app.name), |b| {
-            b.iter(|| {
-                black_box(
-                    run_page(&sloth, &db, &app.schema, CostModel::default(), page.arg)
-                        .net
-                        .round_trips,
-                )
-            })
+        bench(&format!("fig5_6_page_load/{}_sloth", app.name), || {
+            run_page(&sloth, &db, &app.schema, CostModel::default(), page.arg)
+                .net
+                .round_trips
         });
     }
-    g.finish();
 }
 
-/// Fig. 7: one throughput simulation point.
-fn bench_throughput(c: &mut Criterion) {
+/// Fig. 7: one throughput simulation point (plus the Fig. 9 recompute,
+/// which derives from the same measurements).
+fn bench_throughput() {
     let app = itracker_app();
     let results = measure_app(&app, OptFlags::all(), CostModel::default());
-    c.bench_function("fig7_throughput_sim_100_clients", |b| {
-        let cfg = ThroughputCfg { duration_s: 5.0, ..ThroughputCfg::default() };
-        b.iter(|| black_box(simulate(&results, true, 100, &cfg)))
+    let cfg = ThroughputCfg {
+        duration_s: 5.0,
+        ..ThroughputCfg::default()
+    };
+    bench("fig7_throughput_sim_100_clients", || {
+        simulate(&results, true, 100, &cfg)
     });
-    // Fig. 8/9 derive from the same measurements.
-    c.bench_function("fig9_latency_recompute", |b| {
-        b.iter(|| black_box(fig9_latency_sweep(&results, 10.0)))
+    bench("fig9_latency_recompute", || {
+        fig9_latency_sweep(&results, 10.0)
     });
 }
 
 /// Fig. 10: one scaling point.
-fn bench_scaling(c: &mut Criterion) {
-    c.bench_function("fig10_encounter_display_200_obs", |b| {
-        b.iter(|| black_box(fig10_openmrs(&[200]).len()))
+fn bench_scaling() {
+    bench("fig10_encounter_display_200_obs", || {
+        fig10_openmrs(&[200]).len()
     });
 }
 
 /// Fig. 11: the persistence analysis over a whole app.
-fn bench_analysis(c: &mut Criterion) {
+fn bench_analysis() {
     let app = itracker_app();
-    c.bench_function("fig11_persistence_analysis", |b| {
-        b.iter(|| black_box(fig11_persistence(&app)))
-    });
+    bench("fig11_persistence_analysis", || fig11_persistence(&app));
 }
 
 /// Fig. 12: optimization ablation on one page (SC/TC/BD individually).
-fn bench_opt_ablation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig12_opt_ablation");
+fn bench_opt_ablation() {
     let app = itracker_app();
     let page = &app.pages[0];
     let program = sloth_lang::parse_program(&page.source).unwrap();
     let db = app.fresh_env(CostModel::default()).snapshot_db();
     for (label, flags) in [
         ("noopt", OptFlags::none()),
-        ("sc_only", OptFlags { selective: true, ..OptFlags::none() }),
-        ("tc_only", OptFlags { coalesce: true, ..OptFlags::none() }),
-        ("bd_only", OptFlags { defer_branches: true, ..OptFlags::none() }),
+        (
+            "sc_only",
+            OptFlags {
+                selective: true,
+                ..OptFlags::none()
+            },
+        ),
+        (
+            "tc_only",
+            OptFlags {
+                coalesce: true,
+                ..OptFlags::none()
+            },
+        ),
+        (
+            "bd_only",
+            OptFlags {
+                defer_branches: true,
+                ..OptFlags::none()
+            },
+        ),
         ("all", OptFlags::all()),
     ] {
         let prepared = prepare(&program, ExecStrategy::Sloth(flags));
-        g.bench_function(label, |b| {
-            b.iter(|| {
-                black_box(
-                    run_page(&prepared, &db, &app.schema, CostModel::default(), page.arg)
-                        .counters
-                        .thunk_allocs,
-                )
-            })
+        bench(&format!("fig12_opt_ablation/{label}"), || {
+            run_page(&prepared, &db, &app.schema, CostModel::default(), page.arg)
+                .counters
+                .thunk_allocs
         });
     }
-    g.finish();
 }
 
 /// Fig. 13: one TPC-C transaction in both modes.
-fn bench_overhead(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig13_tpcc_new_order");
+fn bench_overhead() {
     let env = sloth_net::SimEnv::default_env();
     tpcc::seed_tpcc(&env, 1);
     let db = env.snapshot_db();
@@ -113,19 +114,19 @@ fn bench_overhead(c: &mut Criterion) {
         ("sloth", ExecStrategy::Sloth(OptFlags::all())),
     ] {
         let prepared = prepare(&program, strat);
-        g.bench_function(label, |b| {
-            b.iter(|| {
-                black_box(run_page(&prepared, &db, &schema, CostModel::default(), 7).net.queries)
-            })
+        bench(&format!("fig13_tpcc_new_order/{label}"), || {
+            run_page(&prepared, &db, &schema, CostModel::default(), 7)
+                .net
+                .queries
         });
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = figures;
-    config = Criterion::default().sample_size(10);
-    targets = bench_page_load, bench_throughput, bench_scaling, bench_analysis,
-              bench_opt_ablation, bench_overhead
+fn main() {
+    bench_page_load();
+    bench_throughput();
+    bench_scaling();
+    bench_analysis();
+    bench_opt_ablation();
+    bench_overhead();
 }
-criterion_main!(figures);

@@ -1,105 +1,121 @@
-//! Criterion micro-benchmarks of the runtime primitives: thunk machinery,
-//! query store operations, and SQL engine throughput. These ground the
-//! simulated cost model in real wall-clock numbers.
+//! Micro-benchmarks of the runtime primitives: thunk machinery, query
+//! store operations, and SQL engine throughput. These ground the simulated
+//! cost model in real wall-clock numbers. (Plain `harness = false` timing
+//! loops — no third-party bench framework is available in this build.)
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sloth_bench::microbench::bench;
 use sloth_core::{query_thunk, QueryStore, Thunk};
 use sloth_net::SimEnv;
 use sloth_sql::Database;
 use std::hint::black_box;
 
-fn bench_thunks(c: &mut Criterion) {
-    let mut g = c.benchmark_group("thunk");
-    g.bench_function("alloc_force", |b| {
-        b.iter(|| {
-            let t = Thunk::new(|| black_box(21) * 2);
-            black_box(t.force())
-        })
+fn bench_thunks() {
+    bench("thunk/alloc_force", || {
+        let t = Thunk::new(|| black_box(21) * 2);
+        t.force()
     });
-    g.bench_function("memoized_force", |b| {
+    {
         let t = Thunk::new(|| 42);
         t.force();
-        b.iter(|| black_box(t.force()))
+        bench("thunk/memoized_force", move || t.force());
+    }
+    bench("thunk/map_chain_depth16", || {
+        let mut t = Thunk::new(|| 0i64);
+        for _ in 0..16 {
+            t = t.map(|x| x + 1);
+        }
+        t.force()
     });
-    g.bench_function("map_chain_depth16", |b| {
-        b.iter(|| {
-            let mut t = Thunk::new(|| 0i64);
-            for _ in 0..16 {
-                t = t.map(|x| x + 1);
-            }
-            black_box(t.force())
-        })
-    });
-    g.finish();
 }
 
 fn store_env() -> SimEnv {
     let env = SimEnv::default_env();
-    env.seed_sql("CREATE TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+    env.seed_sql("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        .unwrap();
     for i in 0..64 {
-        env.seed_sql(&format!("INSERT INTO t VALUES ({i}, {i})")).unwrap();
+        env.seed_sql(&format!("INSERT INTO t VALUES ({i}, {i})"))
+            .unwrap();
     }
     env
 }
 
-fn bench_query_store(c: &mut Criterion) {
-    let mut g = c.benchmark_group("query_store");
+fn bench_query_store() {
     // Ablation: write-flush behaviour (§3.3).
-    g.bench_function("register_64_flush", |b| {
+    {
         let env = store_env();
-        b.iter(|| {
+        bench("query_store/register_64_flush", move || {
             let store = QueryStore::new(env.clone());
             for i in 0..64 {
-                store.register(format!("SELECT v FROM t WHERE id = {i}")).unwrap();
+                store
+                    .register(format!("SELECT v FROM t WHERE id = {i}"))
+                    .unwrap();
             }
             store.flush().unwrap();
-            black_box(store.stats().max_batch())
-        })
-    });
+            store.stats().max_batch()
+        });
+    }
     // Ablation: in-batch dedup (§3.3).
-    g.bench_function("dedup_hit", |b| {
+    {
         let env = store_env();
         let store = QueryStore::new(env);
         store.register("SELECT v FROM t WHERE id = 1").unwrap();
-        b.iter(|| black_box(store.register("SELECT v FROM t WHERE id = 1").unwrap()))
-    });
-    g.bench_function("query_thunk_roundtrip", |b| {
+        bench("query_store/dedup_hit", move || {
+            store.register("SELECT v FROM t WHERE id = 1").unwrap()
+        });
+    }
+    {
         let env = store_env();
-        b.iter(|| {
+        bench("query_store/query_thunk_roundtrip", move || {
             let store = QueryStore::new(env.clone());
             let t = query_thunk(&store, "SELECT v FROM t WHERE id = 5", |rs| rs.len());
-            black_box(t.force())
-        })
-    });
-    g.finish();
+            t.force()
+        });
+    }
 }
 
-fn bench_sql(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sql_engine");
+fn bench_sql() {
     let mut db = Database::new();
-    db.execute("CREATE TABLE t (id INT PRIMARY KEY, grp INT, v TEXT)").unwrap();
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, grp INT, v TEXT)")
+        .unwrap();
     db.execute("CREATE INDEX ON t (grp)").unwrap();
     for i in 0..1000 {
-        db.execute(&format!("INSERT INTO t VALUES ({i}, {}, 'val{i}')", i % 10)).unwrap();
+        db.execute(&format!("INSERT INTO t VALUES ({i}, {}, 'val{i}')", i % 10))
+            .unwrap();
     }
-    g.bench_function("pk_probe", |b| {
-        b.iter(|| black_box(db.execute("SELECT v FROM t WHERE id = 500").unwrap().result.len()))
+    bench("sql_engine/pk_probe", || {
+        db.execute("SELECT v FROM t WHERE id = 500")
+            .unwrap()
+            .result
+            .len()
     });
-    g.bench_function("secondary_probe", |b| {
-        b.iter(|| black_box(db.execute("SELECT v FROM t WHERE grp = 3").unwrap().result.len()))
+    bench("sql_engine/secondary_probe", || {
+        db.execute("SELECT v FROM t WHERE grp = 3")
+            .unwrap()
+            .result
+            .len()
     });
-    g.bench_function("full_scan_filter", |b| {
-        b.iter(|| black_box(db.execute("SELECT v FROM t WHERE v = 'val42'").unwrap().result.len()))
+    bench("sql_engine/in_list_probe", || {
+        db.execute("SELECT v FROM t WHERE id IN (5, 250, 500, 750, 999)")
+            .unwrap()
+            .result
+            .len()
     });
-    g.bench_function("count_aggregate", |b| {
-        b.iter(|| black_box(db.execute("SELECT COUNT(*) FROM t WHERE grp = 7").unwrap().result.len()))
+    bench("sql_engine/full_scan_filter", || {
+        db.execute("SELECT v FROM t WHERE v = 'val42'")
+            .unwrap()
+            .result
+            .len()
     });
-    g.finish();
+    bench("sql_engine/count_aggregate", || {
+        db.execute("SELECT COUNT(*) FROM t WHERE grp = 7")
+            .unwrap()
+            .result
+            .len()
+    });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_thunks, bench_query_store, bench_sql
+fn main() {
+    bench_thunks();
+    bench_query_store();
+    bench_sql();
 }
-criterion_main!(benches);

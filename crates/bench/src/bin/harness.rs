@@ -4,27 +4,28 @@
 //! ```text
 //! cargo run --release -p sloth-bench --bin harness -- all
 //! cargo run --release -p sloth-bench --bin harness -- fig5 fig13
+//! cargo run --release -p sloth-bench --bin harness -- fusion   # writes BENCH_fusion.json
 //! ```
 
+use sloth_apps::{itracker_app, openmrs_app};
 use sloth_bench::throughput::{sweep, ThroughputCfg};
 use sloth_bench::*;
-use sloth_apps::{itracker_app, openmrs_app};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
-            "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-            "appendix",
+            "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "appendix",
+            "fusion",
         ]
     } else {
         args.iter().map(String::as_str).collect()
     };
 
     // Figs 5/6 measurements are reused by 7/8/9/appendix.
-    let need_pages = wanted.iter().any(|w| {
-        matches!(*w, "fig5" | "fig6" | "fig7" | "fig8" | "fig9" | "appendix")
-    });
+    let need_pages = wanted
+        .iter()
+        .any(|w| matches!(*w, "fig5" | "fig6" | "fig7" | "fig8" | "fig9" | "appendix"));
     let (it, om) = if need_pages {
         eprintln!("measuring 38 itracker + 112 OpenMRS pages in both modes…");
         (fig5_itracker(), fig6_openmrs())
@@ -53,6 +54,7 @@ fn main() {
                 appendix("itracker benchmarks", &it);
                 appendix("OpenMRS benchmarks", &om);
             }
+            "fusion" => fusion_figure_cmd(),
             other => eprintln!("unknown experiment: {other}"),
         }
     }
@@ -95,8 +97,14 @@ fn cdf_figure(title: &str, results: &[PageResult]) {
 
 fn fig7(om: &[PageResult]) {
     println!("\n== Figure 7 — throughput vs clients (OpenMRS mix) ==");
-    println!("  {:>8} {:>14} {:>14}", "clients", "orig pages/s", "sloth pages/s");
-    let cfg = ThroughputCfg { duration_s: 60.0, ..ThroughputCfg::default() };
+    println!(
+        "  {:>8} {:>14} {:>14}",
+        "clients", "orig pages/s", "sloth pages/s"
+    );
+    let cfg = ThroughputCfg {
+        duration_s: 60.0,
+        ..ThroughputCfg::default()
+    };
     let counts = [10, 25, 50, 100, 200, 300, 400, 500, 600];
     let mut orig_peak: (usize, f64) = (0, 0.0);
     let mut sloth_peak: (usize, f64) = (0, 0.0);
@@ -151,7 +159,10 @@ fn fig9(title: &str, results: &[PageResult]) {
 fn fig10() {
     let scales = [50, 250, 500, 1000, 2000];
     println!("\n== Figure 10(a) — itracker list_projects vs #projects ==");
-    println!("  {:>8} {:>12} {:>12} {:>10}", "projects", "orig ms", "sloth ms", "max batch");
+    println!(
+        "  {:>8} {:>12} {:>12} {:>10}",
+        "projects", "orig ms", "sloth ms", "max batch"
+    );
     for p in fig10_itracker(&scales) {
         println!(
             "  {:>8} {:>12.1} {:>12.1} {:>10}",
@@ -159,7 +170,10 @@ fn fig10() {
         );
     }
     println!("\n== Figure 10(b) — OpenMRS encounterDisplay vs #observations ==");
-    println!("  {:>8} {:>12} {:>12} {:>10}", "obs", "orig ms", "sloth ms", "max batch");
+    println!(
+        "  {:>8} {:>12} {:>12} {:>10}",
+        "obs", "orig ms", "sloth ms", "max batch"
+    );
     for p in fig10_openmrs(&scales) {
         println!(
             "  {:>8} {:>12.1} {:>12.1} {:>10}",
@@ -170,7 +184,10 @@ fn fig10() {
 
 fn fig11() {
     println!("\n== Figure 11 — persistent methods identified ==");
-    println!("  {:<10} {:>12} {:>16} {:>10}", "app", "persistent", "non-persistent", "% persist");
+    println!(
+        "  {:<10} {:>12} {:>16} {:>10}",
+        "app", "persistent", "non-persistent", "% persist"
+    );
     for app in [itracker_app(), openmrs_app()] {
         let (p, n) = fig11_persistence(&app);
         println!(
@@ -185,7 +202,10 @@ fn fig11() {
 
 fn fig12() {
     println!("\n== Figure 12 — load time as optimizations are enabled ==");
-    println!("  {:<10} {:>10} {:>10} {:>10} {:>10}", "app", "noopt", "SC", "SC+TC", "SC+TC+BD");
+    println!(
+        "  {:<10} {:>10} {:>10} {:>10} {:>10}",
+        "app", "noopt", "SC", "SC+TC", "SC+TC+BD"
+    );
     for app in [itracker_app(), openmrs_app()] {
         let mut row = format!("  {:<10}", app.name);
         for (_, flags) in fig12_configs() {
@@ -198,7 +218,10 @@ fn fig12() {
 
 fn fig13() {
     println!("\n== Figure 13 — TPC-C / TPC-W lazy evaluation overhead ==");
-    println!("  {:<15} {:>12} {:>12} {:>10}", "transaction", "orig (s)", "sloth (s)", "overhead");
+    println!(
+        "  {:<15} {:>12} {:>12} {:>10}",
+        "transaction", "orig (s)", "sloth (s)", "overhead"
+    );
     for r in fig13_overhead(200) {
         println!(
             "  {:<15} {:>12.3} {:>12.3} {:>9.1}%",
@@ -207,6 +230,51 @@ fn fig13() {
             r.sloth_s,
             r.overhead_pct()
         );
+    }
+}
+
+fn fusion_figure_cmd() {
+    println!("\n== Fusion figure — batch fusion + plan cache on the driver path ==");
+    let fig = sloth_bench::fusion::fusion_figure();
+    println!(
+        "  {:<10} {:>6} {:>10} {:>12} {:>12} {:>8} {:>8} {:>7}",
+        "app", "pages", "trips", "db off(ms)", "db on(ms)", "Δdb", "fusedQ", "groups"
+    );
+    for row in &fig.apps {
+        println!(
+            "  {:<10} {:>6} {:>10} {:>12.1} {:>12.1} {:>7.1}% {:>8} {:>7}",
+            row.app,
+            row.pages,
+            row.on.round_trips,
+            row.off.db_ns as f64 / 1e6,
+            row.on.db_ns as f64 / 1e6,
+            row.db_time_reduction() * 100.0,
+            row.on.fused_queries,
+            row.on.fused_groups
+        );
+        assert!(row.outputs_equal, "{}: fused output differs", row.app);
+    }
+    let lp = &fig.list_page;
+    println!(
+        "  list page ({}): db {:.2} ms → {:.2} ms ({:.1}% less), {} trips both ways",
+        lp.page,
+        lp.off.db_ns as f64 / 1e6,
+        lp.on.db_ns as f64 / 1e6,
+        lp.db_time_reduction() * 100.0,
+        lp.on.round_trips
+    );
+    println!(
+        "  plan cache: first load {}h/{}m, repeat load {}h/{}m (hit rate {:.1}%)",
+        fig.plan_cache.first_load.hits,
+        fig.plan_cache.first_load.misses,
+        fig.plan_cache.repeat_load.hits,
+        fig.plan_cache.repeat_load.misses,
+        fig.plan_cache.repeat_hit_rate() * 100.0
+    );
+    let json = fig.to_json();
+    match std::fs::write("BENCH_fusion.json", &json) {
+        Ok(()) => println!("  wrote BENCH_fusion.json"),
+        Err(e) => eprintln!("  could not write BENCH_fusion.json: {e}"),
     }
 }
 

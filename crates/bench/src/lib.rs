@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod fusion;
+pub mod microbench;
 pub mod throughput;
 
 use std::rc::Rc;
@@ -115,7 +117,11 @@ pub fn measure_app(app: &BenchApp, flags: OptFlags, cost: CostModel) -> Vec<Page
             let o = run_page(&orig, &db, &app.schema, cost, page.arg);
             let s = run_page(&sloth, &db, &app.schema, cost, page.arg);
             debug_assert_eq!(o.output, s.output, "page {} output mismatch", page.name);
-            PageResult { name: page.name.clone(), orig: Measure::of(&o), sloth: Measure::of(&s) }
+            PageResult {
+                name: page.name.clone(),
+                orig: Measure::of(&o),
+                sloth: Measure::of(&s),
+            }
         })
         .collect()
 }
@@ -291,8 +297,21 @@ pub fn fig12_total_time(app: &BenchApp, flags: OptFlags) -> f64 {
 pub fn fig12_configs() -> Vec<(&'static str, OptFlags)> {
     vec![
         ("noopt", OptFlags::none()),
-        ("SC", OptFlags { selective: true, ..OptFlags::none() }),
-        ("SC+TC", OptFlags { selective: true, coalesce: true, ..OptFlags::none() }),
+        (
+            "SC",
+            OptFlags {
+                selective: true,
+                ..OptFlags::none()
+            },
+        ),
+        (
+            "SC+TC",
+            OptFlags {
+                selective: true,
+                coalesce: true,
+                ..OptFlags::none()
+            },
+        ),
         ("SC+TC+BD", OptFlags::all()),
     ]
 }
@@ -353,8 +372,11 @@ fn overhead_row(
     let env_o = SimEnv::from_database(db.clone(), CostModel::default());
     let env_s = SimEnv::from_database(db.clone(), CostModel::default());
     for t in 0..txns {
-        orig.run(&env_o, Rc::clone(&schema), vec![V::Int(t as i64 + 1)]).expect("orig txn");
-        sloth.run(&env_s, Rc::clone(&schema), vec![V::Int(t as i64 + 1)]).expect("sloth txn");
+        orig.run(&env_o, Rc::clone(&schema), vec![V::Int(t as i64 + 1)])
+            .expect("orig txn");
+        sloth
+            .run(&env_s, Rc::clone(&schema), vec![V::Int(t as i64 + 1)])
+            .expect("sloth txn");
     }
     OverheadRow {
         name,
@@ -371,7 +393,7 @@ pub fn median(xs: &[f64]) -> f64 {
     let mut v = xs.to_vec();
     v.sort_by(|a, b| a.total_cmp(b));
     let mid = v.len() / 2;
-    if v.len() % 2 == 0 {
+    if v.len().is_multiple_of(2) {
         (v[mid - 1] + v[mid]) / 2.0
     } else {
         v[mid]

@@ -106,12 +106,15 @@ pub fn simulate(results: &[PageResult], sloth: bool, clients: usize, cfg: &Throu
     // Each client starts one request at time 0 (staggered a hair for
     // deterministic ordering).
     let start_request = |requests: &mut Vec<Request>,
-                             admission: &mut VecDeque<usize>,
-                             next_page: &mut usize|
+                         admission: &mut VecDeque<usize>,
+                         next_page: &mut usize|
      -> usize {
         let profile = profiles[*next_page % profiles.len()];
         *next_page += 1;
-        requests.push(Request { profile, slices_left: profile.trips + 1 });
+        requests.push(Request {
+            profile,
+            slices_left: profile.trips + 1,
+        });
         admission.push_back(requests.len() - 1);
         requests.len() - 1
     };
@@ -132,19 +135,25 @@ pub fn simulate(results: &[PageResult], sloth: bool, clients: usize, cfg: &Throu
     loop {
         // Admit queued requests into the thread pool.
         while active_threads < cfg.threads {
-            let Some(rid) = admission.pop_front() else { break };
+            let Some(rid) = admission.pop_front() else {
+                break;
+            };
             active_threads += 1;
             cpu_queue.push_back(rid);
         }
         // Dispatch CPU work.
         while busy_cpus < cfg.app_cpus {
-            let Some(rid) = cpu_queue.pop_front() else { break };
+            let Some(rid) = cpu_queue.pop_front() else {
+                break;
+            };
             busy_cpus += 1;
             let ns = slice_ns(&requests[rid].profile, active_threads, cfg);
             seq += 1;
             heap.push(Reverse((now + ns, seq, Event::SliceDone(rid))));
         }
-        let Some(Reverse((t, _, ev))) = heap.pop() else { break };
+        let Some(Reverse((t, _, ev))) = heap.pop() else {
+            break;
+        };
         now = t;
         if now > horizon_ns {
             break;
@@ -181,7 +190,11 @@ pub fn sweep(
     client_counts
         .iter()
         .map(|&n| {
-            (n, simulate(results, false, n, cfg), simulate(results, true, n, cfg))
+            (
+                n,
+                simulate(results, false, n, cfg),
+                simulate(results, true, n, cfg),
+            )
         })
         .collect()
 }
@@ -213,13 +226,20 @@ mod tests {
             network_ns: 7_500_000,
             bytes: 20_000,
         };
-        vec![PageResult { name: "p".into(), orig, sloth }]
+        vec![PageResult {
+            name: "p".into(),
+            orig,
+            sloth,
+        }]
     }
 
     #[test]
     fn sloth_peak_higher_and_earlier() {
         let results = fake_results();
-        let cfg = ThroughputCfg { duration_s: 30.0, ..ThroughputCfg::default() };
+        let cfg = ThroughputCfg {
+            duration_s: 30.0,
+            ..ThroughputCfg::default()
+        };
         let counts = [1, 8, 32, 64, 128, 256, 512];
         let sweep = sweep(&results, &counts, &cfg);
         let orig_peak = sweep.iter().map(|r| r.1).fold(0.0, f64::max);
@@ -242,7 +262,10 @@ mod tests {
     #[test]
     fn deterministic() {
         let results = fake_results();
-        let cfg = ThroughputCfg { duration_s: 10.0, ..ThroughputCfg::default() };
+        let cfg = ThroughputCfg {
+            duration_s: 10.0,
+            ..ThroughputCfg::default()
+        };
         let a = simulate(&results, true, 50, &cfg);
         let b = simulate(&results, true, 50, &cfg);
         assert_eq!(a, b);

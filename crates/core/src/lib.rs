@@ -90,9 +90,11 @@ mod tests {
 
     fn store() -> (SimEnv, QueryStore) {
         let env = SimEnv::default_env();
-        env.seed_sql("CREATE TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+        env.seed_sql("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+            .unwrap();
         for i in 0..5 {
-            env.seed_sql(&format!("INSERT INTO t VALUES ({i}, {})", i * 10)).unwrap();
+            env.seed_sql(&format!("INSERT INTO t VALUES ({i}, {})", i * 10))
+                .unwrap();
         }
         let s = QueryStore::new(env.clone());
         (env, s)
@@ -124,9 +126,11 @@ mod tests {
         // Building the dependent query forces Q1 → batch 1 ships.
         let pid = patient.force();
         assert_eq!(env.stats().round_trips, 1);
-        let enc = query_thunk(&s, format!("SELECT v FROM t WHERE id = {}", pid / 10), |rs| {
-            rs.len() as i64
-        });
+        let enc = query_thunk(
+            &s,
+            format!("SELECT v FROM t WHERE id = {}", pid / 10),
+            |rs| rs.len() as i64,
+        );
         let visits = query_thunk(&s, format!("SELECT v FROM t WHERE v > {pid}"), |rs| {
             rs.len() as i64
         });

@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use sloth_net::SimEnv;
-use sloth_sql::{is_write_sql, ResultSet, SqlError};
+use sloth_sql::{is_write_sql, normalize, ResultSet, SqlError, Value};
 
 /// Identifier of a registered query; stable for the life of the store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -28,7 +28,9 @@ pub struct QueryId(u64);
 pub struct StoreStats {
     /// `register` calls (including dedup hits).
     pub registered: u64,
-    /// Registrations answered by an existing in-batch id.
+    /// Registrations answered by an existing in-batch id (template+params
+    /// matching: whitespace / keyword-case variants of the same query
+    /// dedup too).
     pub dedup_hits: u64,
     /// Batches shipped to the database.
     pub batches: u64,
@@ -36,6 +38,15 @@ pub struct StoreStats {
     pub batch_sizes: Vec<usize>,
     /// Batches that were forced out by a write/transaction statement.
     pub write_flushes: u64,
+    /// Batches whose execution failed; their queries answer with the batch
+    /// error instead of a result.
+    pub failed_batches: u64,
+    /// Queries of this store answered via a fused group execution in the
+    /// batch driver (surfaced from [`sloth_net::NetStats`]).
+    pub fused_queries: u64,
+    /// Fused executions the batch driver performed for this store's
+    /// batches.
+    pub fused_groups: u64,
 }
 
 impl StoreStats {
@@ -50,10 +61,29 @@ impl StoreStats {
     }
 }
 
+/// In-batch dedup key: the normalized template plus its extracted literal
+/// parameters — so `SELECT v FROM t WHERE id = 1` and
+/// `select  v from t where ID = 1` collapse, while `… = 2` does not.
+/// SQL the normalizer cannot lex falls back to exact-string identity.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum DedupKey {
+    Template(String, Vec<Value>),
+    Raw(String),
+}
+
+impl DedupKey {
+    fn of(sql: &str) -> DedupKey {
+        match normalize(sql) {
+            Ok(n) => DedupKey::Template(n.template, n.params),
+            Err(_) => DedupKey::Raw(sql.to_string()),
+        }
+    }
+}
+
 struct StoreInner {
     pending: Vec<(QueryId, String)>,
-    pending_by_sql: HashMap<String, QueryId>,
-    results: HashMap<QueryId, ResultSet>,
+    pending_by_key: HashMap<DedupKey, QueryId>,
+    results: HashMap<QueryId, Result<ResultSet, SqlError>>,
     next_id: u64,
     stats: StoreStats,
     flush_threshold: Option<usize>,
@@ -73,7 +103,7 @@ impl QueryStore {
             env,
             inner: Rc::new(RefCell::new(StoreInner {
                 pending: Vec::new(),
-                pending_by_sql: HashMap::new(),
+                pending_by_key: HashMap::new(),
                 results: HashMap::new(),
                 next_id: 0,
                 stats: StoreStats::default(),
@@ -99,9 +129,11 @@ impl QueryStore {
     /// Registers `sql` with the current batch and returns its id (§3.3
     /// `registerQuery`).
     ///
-    /// Reads are deferred (and deduplicated against the current batch);
-    /// writes and transaction boundaries flush the pending batch and then
-    /// execute immediately in their own round trip.
+    /// Reads are deferred and deduplicated against the current batch by
+    /// normalized template + parameters (formatting variants of the same
+    /// query collapse to one id); writes and transaction boundaries flush
+    /// the pending batch and then execute immediately in their own round
+    /// trip.
     pub fn register(&self, sql: impl Into<String>) -> Result<QueryId, SqlError> {
         let sql = sql.into();
         let is_write = is_write_sql(&sql);
@@ -109,14 +141,15 @@ impl QueryStore {
             let mut inner = self.inner.borrow_mut();
             inner.stats.registered += 1;
             if !is_write {
-                if let Some(&id) = inner.pending_by_sql.get(&sql) {
+                let key = DedupKey::of(&sql);
+                if let Some(&id) = inner.pending_by_key.get(&key) {
                     inner.stats.dedup_hits += 1;
                     return Ok(id);
                 }
                 let id = QueryId(inner.next_id);
                 inner.next_id += 1;
-                inner.pending.push((id, sql.clone()));
-                inner.pending_by_sql.insert(sql, id);
+                inner.pending_by_key.insert(key, id);
+                inner.pending.push((id, sql));
                 let over = inner
                     .flush_threshold
                     .map(|n| inner.pending.len() >= n)
@@ -143,17 +176,20 @@ impl QueryStore {
 
     /// Returns the result set for `id` (§3.3 `getResultSet`), shipping the
     /// current batch first if the result is not yet cached.
+    ///
+    /// If the batch that carried `id` failed, this returns that batch's
+    /// error (annotated with the query) — not "unknown query id".
     pub fn result(&self, id: QueryId) -> Result<ResultSet, SqlError> {
-        if let Some(rs) = self.inner.borrow().results.get(&id) {
-            return Ok(rs.clone());
+        if let Some(r) = self.inner.borrow().results.get(&id) {
+            return r.clone();
         }
-        self.flush_internal(false)?;
+        self.flush_internal(false).ok(); // per-id outcome recorded below either way
         self.inner
             .borrow()
             .results
             .get(&id)
             .cloned()
-            .ok_or_else(|| SqlError::new(format!("unknown query id {id:?}")))
+            .unwrap_or_else(|| Err(SqlError::new(format!("unknown query id {id:?}"))))
     }
 
     /// Ships the current batch (if any) without demanding a result.
@@ -167,20 +203,43 @@ impl QueryStore {
             if inner.pending.is_empty() {
                 return Ok(());
             }
-            inner.pending_by_sql.clear();
+            inner.pending_by_key.clear();
             inner.pending.drain(..).unzip()
         };
-        let results = self.env.query_batch(&sqls)?;
-        let mut inner = self.inner.borrow_mut();
-        inner.stats.batches += 1;
-        inner.stats.batch_sizes.push(sqls.len());
-        if caused_by_write {
-            inner.stats.write_flushes += 1;
+        let net_before = self.env.stats();
+        match self.env.query_batch(&sqls) {
+            Ok(results) => {
+                let net_after = self.env.stats();
+                let mut inner = self.inner.borrow_mut();
+                inner.stats.batches += 1;
+                inner.stats.batch_sizes.push(sqls.len());
+                inner.stats.fused_queries += net_after.fused_queries - net_before.fused_queries;
+                inner.stats.fused_groups += net_after.fused_groups - net_before.fused_groups;
+                if caused_by_write {
+                    inner.stats.write_flushes += 1;
+                }
+                for (id, rs) in ids.into_iter().zip(results) {
+                    inner.results.insert(id, Ok(rs));
+                }
+                Ok(())
+            }
+            Err(e) => {
+                // The pending queries are already drained; without a
+                // recorded outcome their ids would be permanently
+                // unanswerable. Record the failure per id and in stats.
+                let mut inner = self.inner.borrow_mut();
+                inner.stats.failed_batches += 1;
+                for (id, sql) in ids.into_iter().zip(sqls) {
+                    inner.results.insert(
+                        id,
+                        Err(SqlError::new(format!(
+                            "batch failed: {e} (while batched: {sql})"
+                        ))),
+                    );
+                }
+                Err(e)
+            }
         }
-        for (id, rs) in ids.into_iter().zip(results) {
-            inner.results.insert(id, rs);
-        }
-        Ok(())
     }
 
     /// Number of queries waiting in the current batch.
@@ -201,9 +260,11 @@ mod tests {
 
     fn env() -> SimEnv {
         let env = SimEnv::default_env();
-        env.seed_sql("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+        env.seed_sql("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+            .unwrap();
         for i in 0..10 {
-            env.seed_sql(&format!("INSERT INTO t VALUES ({i}, 'v{i}')")).unwrap();
+            env.seed_sql(&format!("INSERT INTO t VALUES ({i}, 'v{i}')"))
+                .unwrap();
         }
         env
     }
@@ -307,7 +368,9 @@ mod tests {
         let e = env();
         let store = QueryStore::with_flush_threshold(e.clone(), 3);
         for i in 0..7 {
-            store.register(format!("SELECT v FROM t WHERE id = {i}")).unwrap();
+            store
+                .register(format!("SELECT v FROM t WHERE id = {i}"))
+                .unwrap();
         }
         // Batches of 3 ship automatically; one remainder stays pending.
         assert_eq!(store.stats().batch_sizes, vec![3, 3]);
@@ -327,7 +390,82 @@ mod tests {
     #[test]
     fn error_in_batch_propagates() {
         let store = QueryStore::new(env());
-        store.register("SELECT v FROM missing_table WHERE id = 1").unwrap();
+        store
+            .register("SELECT v FROM missing_table WHERE id = 1")
+            .unwrap();
         assert!(store.flush().is_err());
+    }
+
+    #[test]
+    fn failed_batch_queries_answer_with_batch_error() {
+        let store = QueryStore::new(env());
+        let good = store.register("SELECT v FROM t WHERE id = 1").unwrap();
+        let bad = store
+            .register("SELECT v FROM missing_table WHERE id = 1")
+            .unwrap();
+        assert!(store.flush().is_err());
+        assert_eq!(store.stats().failed_batches, 1);
+        assert_eq!(
+            store.stats().batches,
+            0,
+            "failed batches are counted separately"
+        );
+        // Every id of the failed batch gets the batch error — never
+        // "unknown query id".
+        for id in [good, bad] {
+            let err = store.result(id).unwrap_err();
+            assert!(err.to_string().contains("batch failed"), "got: {err}");
+            assert!(!err.to_string().contains("unknown query id"));
+        }
+        // Ids that never existed still say so.
+        let bogus = QueryId(999);
+        assert!(store
+            .result(bogus)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown query id"));
+    }
+
+    #[test]
+    fn template_dedup_ignores_whitespace_and_case() {
+        let store = QueryStore::new(env());
+        let a = store.register("SELECT v FROM t WHERE id = 1").unwrap();
+        let b = store.register("select  v  FROM  T where ID = 1").unwrap();
+        assert_eq!(a, b, "formatting variants of the same query dedup");
+        assert_eq!(store.pending_len(), 1);
+        assert_eq!(store.stats().dedup_hits, 1);
+        // Different parameters never dedup.
+        let c = store.register("SELECT v FROM t WHERE id = 2").unwrap();
+        assert_ne!(a, c);
+        // Same template, different string-literal case is different data.
+        let d = store.register("SELECT v FROM t WHERE v = 'X'").unwrap();
+        let e = store.register("SELECT v FROM t WHERE v = 'x'").unwrap();
+        assert_ne!(d, e);
+    }
+
+    #[test]
+    fn fusion_stats_surface_in_store_stats() {
+        let e = env();
+        let store = QueryStore::new(e.clone());
+        for i in 0..6 {
+            store
+                .register(format!("SELECT v FROM t WHERE id = {i}"))
+                .unwrap();
+        }
+        store.flush().unwrap();
+        let s = store.stats();
+        assert_eq!(s.fused_queries, 6);
+        assert_eq!(s.fused_groups, 1);
+        // With fusion off the counters stay zero.
+        let e2 = env();
+        e2.set_fusion(false);
+        let store2 = QueryStore::new(e2);
+        for i in 0..6 {
+            store2
+                .register(format!("SELECT v FROM t WHERE id = {i}"))
+                .unwrap();
+        }
+        store2.flush().unwrap();
+        assert_eq!(store2.stats().fused_queries, 0);
     }
 }

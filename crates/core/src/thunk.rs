@@ -52,7 +52,9 @@ pub struct Thunk<T> {
 
 impl<T> Clone for Thunk<T> {
     fn clone(&self) -> Self {
-        Thunk { cell: Rc::clone(&self.cell) }
+        Thunk {
+            cell: Rc::clone(&self.cell),
+        }
     }
 }
 
@@ -60,14 +62,18 @@ impl<T: Clone + 'static> Thunk<T> {
     /// Delays `f` until the first [`force`](Thunk::force).
     pub fn new(f: impl FnOnce() -> T + 'static) -> Self {
         THUNKS_ALLOCATED.fetch_add(1, Ordering::Relaxed);
-        Thunk { cell: Rc::new(RefCell::new(State::Pending(Box::new(f)))) }
+        Thunk {
+            cell: Rc::new(RefCell::new(State::Pending(Box::new(f)))),
+        }
     }
 
     /// An already-evaluated thunk (the paper's `LiteralThunk`, used to wrap
     /// results flowing back from external code — §3.4).
     pub fn ready(value: T) -> Self {
         THUNKS_ALLOCATED.fetch_add(1, Ordering::Relaxed);
-        Thunk { cell: Rc::new(RefCell::new(State::Forced(value))) }
+        Thunk {
+            cell: Rc::new(RefCell::new(State::Forced(value))),
+        }
     }
 
     /// Evaluates the thunk (once) and returns a clone of the result.
@@ -142,13 +148,17 @@ pub struct ThunkBlock<T: Clone + 'static> {
 impl<T: Clone + 'static> ThunkBlock<T> {
     /// Creates a block whose body produces `n` outputs.
     pub fn new(f: impl FnOnce() -> Vec<T> + 'static) -> Self {
-        ThunkBlock { body: Thunk::new(f) }
+        ThunkBlock {
+            body: Thunk::new(f),
+        }
     }
 
     /// The `i`-th output as a thunk; forcing it runs the whole block.
     pub fn output(&self, i: usize) -> Thunk<T> {
         self.body.map(move |vs| {
-            vs.get(i).cloned().unwrap_or_else(|| panic!("thunk block has no output {i}"))
+            vs.get(i)
+                .cloned()
+                .unwrap_or_else(|| panic!("thunk block has no output {i}"))
         })
     }
 

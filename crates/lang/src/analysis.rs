@@ -39,7 +39,10 @@ impl Analysis {
 
 /// Runs all analyses over `p`.
 pub fn analyze(p: &Program) -> Analysis {
-    Analysis { persistent: persistence(p), pure_fns: purity(p) }
+    Analysis {
+        persistent: persistence(p),
+        pure_fns: purity(p),
+    }
 }
 
 /// Every function name called within `stmts`.
@@ -338,7 +341,10 @@ mod tests {
     #[test]
     fn deferrable_branch_paper_example() {
         // if (c) a = b; else a = d;  — deferrable (§4.2's own example).
-        let p = parse_program("fn f(c, b, d) { let a = 0; if (c) { a = b; } else { a = d; } return a; }").unwrap();
+        let p = parse_program(
+            "fn f(c, b, d) { let a = 0; if (c) { a = b; } else { a = d; } return a; }",
+        )
+        .unwrap();
         let a = analyze(&p);
         match &p.function("f").unwrap().body[1] {
             s @ Stmt::If(..) => assert!(stmt_deferrable(s, &a)),
@@ -348,9 +354,10 @@ mod tests {
 
     #[test]
     fn branch_with_query_not_deferrable() {
-        let p =
-            parse_program(r#"fn f(c) { let a = 0; if (c) { a = query("SELECT 1 FROM t"); } return a; }"#)
-                .unwrap();
+        let p = parse_program(
+            r#"fn f(c) { let a = 0; if (c) { a = query("SELECT 1 FROM t"); } return a; }"#,
+        )
+        .unwrap();
         let a = analyze(&p);
         match &p.function("f").unwrap().body[1] {
             s @ Stmt::If(..) => assert!(!stmt_deferrable(s, &a)),

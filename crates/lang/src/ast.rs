@@ -193,10 +193,8 @@ impl fmt::Display for Lit {
 pub fn assigned_vars(stmts: &[Stmt], out: &mut Vec<String>) {
     for s in stmts {
         match s {
-            Stmt::Assign(LValue::Var(v), _) => {
-                if !out.contains(v) {
-                    out.push(v.clone());
-                }
+            Stmt::Assign(LValue::Var(v), _) if !out.contains(v) => {
+                out.push(v.clone());
             }
             Stmt::If(_, t, e) => {
                 assigned_vars(t, out);
@@ -256,8 +254,14 @@ mod tests {
             Stmt::Assign(LValue::Var("a".into()), Expr::Lit(Lit::Int(1))),
             Stmt::If(
                 Expr::Lit(Lit::Bool(true)),
-                vec![Stmt::Assign(LValue::Var("b".into()), Expr::Lit(Lit::Int(2)))],
-                vec![Stmt::Assign(LValue::Var("a".into()), Expr::Lit(Lit::Int(3)))],
+                vec![Stmt::Assign(
+                    LValue::Var("b".into()),
+                    Expr::Lit(Lit::Int(2)),
+                )],
+                vec![Stmt::Assign(
+                    LValue::Var("a".into()),
+                    Expr::Lit(Lit::Int(3)),
+                )],
             ),
         ];
         let mut out = Vec::new();

@@ -54,7 +54,10 @@ pub fn builtin_kind(name: &str) -> Option<BuiltinKind> {
 /// Whether calls to this builtin touch persistent data (for the §4.1
 /// persistence analysis).
 pub fn builtin_is_persistent(name: &str) -> bool {
-    matches!(builtin_kind(name), Some(BuiltinKind::Query | BuiltinKind::WriteQuery))
+    matches!(
+        builtin_kind(name),
+        Some(BuiltinKind::Query | BuiltinKind::WriteQuery)
+    )
 }
 
 /// Whether this builtin is pure (for the purity analysis that feeds call

@@ -26,9 +26,7 @@ use crate::analysis::{analyze, Analysis};
 use crate::ast::*;
 use crate::builtins::{builtin_kind, BuiltinKind};
 use crate::opt::{optimize, OptFlags};
-use crate::runtime::{
-    row_to_entity, rs_to_entities, Counters, DataLayer, RunError, RunResult,
-};
+use crate::runtime::{row_to_entity, rs_to_entities, Counters, DataLayer, RunError, RunResult};
 use crate::simplify::simplify_program;
 use crate::value::{BlockDriver, Deser, LazyState, LazyVal, Pending, V};
 
@@ -68,12 +66,18 @@ pub fn prepare(program: &Program, strategy: ExecStrategy) -> Prepared {
     let simplified = simplify_program(program);
     let analysis = analyze(&simplified);
     match strategy {
-        ExecStrategy::Original => {
-            Prepared { program: simplified, analysis: Rc::new(analysis), strategy }
-        }
+        ExecStrategy::Original => Prepared {
+            program: simplified,
+            analysis: Rc::new(analysis),
+            strategy,
+        },
         ExecStrategy::Sloth(flags) => {
             let optimized = optimize(&simplified, &analysis, flags);
-            Prepared { program: optimized, analysis: Rc::new(analysis), strategy }
+            Prepared {
+                program: optimized,
+                analysis: Rc::new(analysis),
+                strategy,
+            }
         }
     }
 }
@@ -88,15 +92,20 @@ impl Prepared {
     ) -> Result<RunResult, RunError> {
         let before = env.stats();
         let (data, lazy, flags) = match self.strategy {
-            ExecStrategy::Original => {
-                (DataLayer::immediate(env.clone(), schema), false, OptFlags::all())
-            }
-            ExecStrategy::Sloth(flags) => {
-                (DataLayer::deferred(env.clone(), schema), true, flags)
-            }
+            ExecStrategy::Original => (
+                DataLayer::immediate(env.clone(), schema),
+                false,
+                OptFlags::all(),
+            ),
+            ExecStrategy::Sloth(flags) => (DataLayer::deferred(env.clone(), schema), true, flags),
         };
         let mut interp = Interp {
-            fn_index: self.program.functions.iter().map(|f| (f.name.as_str(), f)).collect(),
+            fn_index: self
+                .program
+                .functions
+                .iter()
+                .map(|f| (f.name.as_str(), f))
+                .collect(),
             analysis: Rc::clone(&self.analysis),
             data,
             flags,
@@ -128,6 +137,8 @@ impl Prepared {
                 app_ns: after.app_ns - before.app_ns,
                 max_batch: after.max_batch,
                 bytes: after.bytes - before.bytes,
+                fused_queries: after.fused_queries - before.fused_queries,
+                fused_groups: after.fused_groups - before.fused_groups,
             },
             store: store_stats,
         })
@@ -208,7 +219,9 @@ impl<'p> Interp<'p> {
         // the boundary, like the paper's generated dummy methods).
         let run_lazy = lazy && (!self.flags.selective || self.analysis.is_persistent(name));
         let args = if lazy && !run_lazy {
-            args.into_iter().map(|a| self.force(a)).collect::<Result<Vec<_>, _>>()?
+            args.into_iter()
+                .map(|a| self.force(a))
+                .collect::<Result<Vec<_>, _>>()?
         } else {
             args
         };
@@ -259,9 +272,9 @@ impl<'p> Interp<'p> {
                         o.borrow_mut().insert(field.clone(), v);
                         Ok(Flow::Normal)
                     }
-                    other => {
-                        Err(RunError::new(format!("field write on non-object {other:?}")))
-                    }
+                    other => Err(RunError::new(format!(
+                        "field write on non-object {other:?}"
+                    ))),
                 }
             }
             Stmt::Assign(LValue::Index(base, idx), e) => {
@@ -283,9 +296,9 @@ impl<'p> Interp<'p> {
                         xs[idx] = v;
                         Ok(Flow::Normal)
                     }
-                    (l, i) => {
-                        Err(RunError::new(format!("bad index write target {l:?}[{i:?}]")))
-                    }
+                    (l, i) => Err(RunError::new(format!(
+                        "bad index write target {l:?}[{i:?}]"
+                    ))),
                 }
             }
             Stmt::If(cond, then, els) => {
@@ -431,9 +444,11 @@ impl<'p> Interp<'p> {
             Expr::Unary(op, a) => {
                 let va = self.eval(a, env, lazy)?;
                 if lazy {
-                    let expr =
-                        Rc::new(Expr::Unary(*op, Box::new(Expr::Var("__x".into()))));
-                    self.alloc_thunk(Pending::Expr { env: vec![("__x".into(), va)], expr })
+                    let expr = Rc::new(Expr::Unary(*op, Box::new(Expr::Var("__x".into()))));
+                    self.alloc_thunk(Pending::Expr {
+                        env: vec![("__x".into(), va)],
+                        expr,
+                    })
                 } else {
                     self.unop(*op, va)?
                 }
@@ -473,7 +488,10 @@ impl<'p> Interp<'p> {
             Some(BuiltinKind::Pure) => {
                 let vals = self.eval_args(args, env, lazy)?;
                 if lazy {
-                    Ok(self.alloc_thunk(Pending::Call { func: name.to_string(), args: vals }))
+                    Ok(self.alloc_thunk(Pending::Call {
+                        func: name.to_string(),
+                        args: vals,
+                    }))
                 } else {
                     self.pure_builtin(name, vals)
                 }
@@ -502,7 +520,10 @@ impl<'p> Interp<'p> {
                 let vals = self.eval_args(args, env, lazy)?;
                 if lazy && self.analysis.is_pure_fn(name) {
                     // Internal pure call: defer the whole call (§3.4).
-                    Ok(self.alloc_thunk(Pending::Call { func: name.to_string(), args: vals }))
+                    Ok(self.alloc_thunk(Pending::Call {
+                        func: name.to_string(),
+                        args: vals,
+                    }))
                 } else {
                     self.call_function(name, vals, lazy)
                 }
@@ -965,7 +986,12 @@ impl<'p> Interp<'p> {
                     self.register_thunk(&sql, Deser::Scalar)
                 } else {
                     let rs = self.data.read_now(&sql)?;
-                    Ok(rs.rows.first().and_then(|r| r.first()).map(V::from_sql).unwrap_or(V::Null))
+                    Ok(rs
+                        .rows
+                        .first()
+                        .and_then(|r| r.first())
+                        .map(V::from_sql)
+                        .unwrap_or(V::Null))
                 }
             }
             other => Err(RunError::new(format!("unknown query builtin {other}"))),
@@ -1077,7 +1103,11 @@ impl<'p> Interp<'p> {
         let result = if lazy {
             // Sloth: register now (the owner is already materialized),
             // defer deserialization (§3.3).
-            let deser = if many { Deser::EntityList(target) } else { Deser::EntityOpt(target) };
+            let deser = if many {
+                Deser::EntityList(target)
+            } else {
+                Deser::EntityOpt(target)
+            };
             self.register_thunk(&sql, deser)?
         } else if many && a.strategy == FetchStrategy::Lazy {
             // Hibernate collection proxy: no query until element access.
@@ -1121,10 +1151,7 @@ impl<'p> Interp<'p> {
         })
     }
 
-    fn materialize_proxy(
-        &mut self,
-        o: &Rc<RefCell<BTreeMap<String, V>>>,
-    ) -> Result<V, RunError> {
+    fn materialize_proxy(&mut self, o: &Rc<RefCell<BTreeMap<String, V>>>) -> Result<V, RunError> {
         if let Some(items) = o.borrow().get("__proxy_items").cloned() {
             return Ok(items);
         }
@@ -1142,7 +1169,8 @@ impl<'p> Interp<'p> {
         };
         let rs = self.data.read_now(&sql)?;
         let items = rs_to_entities(&target, &rs);
-        o.borrow_mut().insert("__proxy_items".to_string(), items.clone());
+        o.borrow_mut()
+            .insert("__proxy_items".to_string(), items.clone());
         Ok(items)
     }
 
@@ -1288,9 +1316,12 @@ fn deserialize(deser: &Deser, rs: ResultSet) -> V {
             }
         }
         Deser::EntityList(entity) => rs_to_entities(entity, &rs),
-        Deser::Scalar => {
-            rs.rows.first().and_then(|r| r.first()).map(V::from_sql).unwrap_or(V::Null)
-        }
+        Deser::Scalar => rs
+            .rows
+            .first()
+            .and_then(|r| r.first())
+            .map(V::from_sql)
+            .unwrap_or(V::Null),
     }
 }
 

@@ -26,7 +26,12 @@ pub struct OptFlags {
 impl OptFlags {
     /// Everything on (the configuration the headline results use).
     pub fn all() -> Self {
-        OptFlags { selective: true, coalesce: true, defer_branches: true, buffered_writer: true }
+        OptFlags {
+            selective: true,
+            coalesce: true,
+            defer_branches: true,
+            buffered_writer: true,
+        }
     }
 
     /// Everything off (the `noopt` bar of Fig. 12; buffering stays on since
@@ -63,7 +68,11 @@ pub fn optimize(p: &Program, a: &Analysis, flags: OptFlags) -> Program {
                     *occurrences.entry(p.clone()).or_insert(0) += 1;
                 }
                 let body = transform_block(&f.body, a, flags, &occurrences);
-                Function { name: f.name.clone(), params: f.params.clone(), body }
+                Function {
+                    name: f.name.clone(),
+                    params: f.params.clone(),
+                    body,
+                }
             })
             .collect(),
     }
@@ -148,11 +157,14 @@ fn transform_block(
                 // Defer whole branches/loops with only local effects. The
                 // deferrability check looks at the pre-transform shape, so
                 // strip any nested DeferBlocks for the check.
-                let deferrable = matches!(s, Stmt::If(..) | Stmt::While(..))
-                    && stmt_deferrable(&s, a);
+                let deferrable =
+                    matches!(s, Stmt::If(..) | Stmt::While(..)) && stmt_deferrable(&s, a);
                 if deferrable {
                     let outputs = block_outputs(std::slice::from_ref(&s));
-                    Stmt::DeferBlock { body: vec![s], outputs }
+                    Stmt::DeferBlock {
+                        body: vec![s],
+                        outputs,
+                    }
                 } else {
                     s
                 }
@@ -284,11 +296,18 @@ mod tests {
         // additions must coalesce into one block with g as only output.
         let p = pipeline(
             "fn foo(a, b, c, d) { let e = a + b; let f = e + c; let g = f + d; return g; }",
-            OptFlags { coalesce: true, defer_branches: false, ..OptFlags::all() },
+            OptFlags {
+                coalesce: true,
+                defer_branches: false,
+                ..OptFlags::all()
+            },
         );
         let body = &p.function("foo").unwrap().body;
         match &body[0] {
-            Stmt::DeferBlock { body: inner, outputs } => {
+            Stmt::DeferBlock {
+                body: inner,
+                outputs,
+            } => {
                 assert_eq!(inner.len(), 3);
                 assert_eq!(outputs, &vec!["g".to_string()]);
             }
@@ -301,7 +320,11 @@ mod tests {
     fn branch_deferral_wraps_pure_if() {
         let p = pipeline(
             "fn f(c, b, d) { let a = 0; if (c) { a = b; } else { a = d; } print(a); }",
-            OptFlags { coalesce: false, defer_branches: true, ..OptFlags::all() },
+            OptFlags {
+                coalesce: false,
+                defer_branches: true,
+                ..OptFlags::all()
+            },
         );
         let body = &p.function("f").unwrap().body;
         let found = body.iter().any(|s| {
@@ -333,7 +356,10 @@ mod tests {
         let body = &p.function("f").unwrap().body;
         // let a, the deferred if and let z all coalesce into one block.
         match &body[0] {
-            Stmt::DeferBlock { body: inner, outputs } => {
+            Stmt::DeferBlock {
+                body: inner,
+                outputs,
+            } => {
                 assert!(inner.iter().any(|s| matches!(s, Stmt::If(..))));
                 assert!(outputs.contains(&"z".to_string()));
             }
@@ -355,7 +381,10 @@ mod tests {
         // __t* temps used only inside the run must not become outputs.
         let p = pipeline(
             "fn f(a) { let x = a + 1 + 2 + 3; return x; }",
-            OptFlags { defer_branches: false, ..OptFlags::all() },
+            OptFlags {
+                defer_branches: false,
+                ..OptFlags::all()
+            },
         );
         let body = &p.function("f").unwrap().body;
         match &body[0] {

@@ -126,7 +126,10 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                     out.push((Tok::Sym("&&"), line));
                     i += 2;
                 } else {
-                    return Err(ParseError { message: "lone '&'".into(), line });
+                    return Err(ParseError {
+                        message: "lone '&'".into(),
+                        line,
+                    });
                 }
             }
             '|' => {
@@ -134,7 +137,10 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                     out.push((Tok::Sym("||"), line));
                     i += 2;
                 } else {
-                    return Err(ParseError { message: "lone '|'".into(), line });
+                    return Err(ParseError {
+                        message: "lone '|'".into(),
+                        line,
+                    });
                 }
             }
             '"' => {
@@ -208,7 +214,10 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                 out.push((Tok::Ident(src[start..i].to_string()), line));
             }
             other => {
-                return Err(ParseError { message: format!("unexpected character {other:?}"), line })
+                return Err(ParseError {
+                    message: format!("unexpected character {other:?}"),
+                    line,
+                })
             }
         }
     }
@@ -248,11 +257,18 @@ impl P {
     }
 
     fn line(&self) -> usize {
-        self.toks.get(self.pos).or_else(|| self.toks.last()).map(|(_, l)| *l).unwrap_or(0)
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|(_, l)| *l)
+            .unwrap_or(0)
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError { message: msg.into(), line: self.line() }
+        ParseError {
+            message: msg.into(),
+            line: self.line(),
+        }
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -620,10 +636,8 @@ mod tests {
 
     #[test]
     fn else_if_chain() {
-        let stmts = parse_block(
-            r#"if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; }"#,
-        )
-        .unwrap();
+        let stmts =
+            parse_block(r#"if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; }"#).unwrap();
         match &stmts[0] {
             Stmt::If(_, _, els) => match &els[0] {
                 Stmt::If(_, _, els2) => assert_eq!(els2.len(), 1),
@@ -635,10 +649,8 @@ mod tests {
 
     #[test]
     fn comments_and_escapes() {
-        let stmts = parse_block(
-            "// header comment\nlet s = \"a\\n\\\"b\\\"\"; // trailing\n",
-        )
-        .unwrap();
+        let stmts =
+            parse_block("// header comment\nlet s = \"a\\n\\\"b\\\"\"; // trailing\n").unwrap();
         match &stmts[0] {
             Stmt::Let(_, Expr::Lit(Lit::Str(s))) => assert_eq!(s, "a\n\"b\""),
             other => panic!("unexpected {other:?}"),

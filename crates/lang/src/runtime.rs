@@ -136,13 +136,21 @@ pub struct DataLayer {
 impl DataLayer {
     /// Immediate (original application) data layer.
     pub fn immediate(env: SimEnv, schema: Rc<Schema>) -> Self {
-        DataLayer { env, schema, store: None }
+        DataLayer {
+            env,
+            schema,
+            store: None,
+        }
     }
 
     /// Deferred (Sloth) data layer with a fresh query store.
     pub fn deferred(env: SimEnv, schema: Rc<Schema>) -> Self {
         let store = QueryStore::new(env.clone());
-        DataLayer { env, schema, store: Some(store) }
+        DataLayer {
+            env,
+            schema,
+            store: Some(store),
+        }
     }
 
     /// The query store (panics if in immediate mode — interpreter bug).
@@ -202,7 +210,9 @@ pub fn row_to_entity(entity: &str, rs: &ResultSet, row: usize) -> V {
 
 /// Converts a whole result set into a list of entity objects.
 pub fn rs_to_entities(entity: &str, rs: &ResultSet) -> V {
-    let items = (0..rs.len()).map(|i| row_to_entity(entity, rs, i)).collect();
+    let items = (0..rs.len())
+        .map(|i| row_to_entity(entity, rs, i))
+        .collect();
     V::list(items)
 }
 
@@ -212,8 +222,15 @@ mod tests {
 
     #[test]
     fn counters_cost_model_monotone() {
-        let a = Counters { std_ops: 10, ..Default::default() };
-        let b = Counters { std_ops: 10, thunk_allocs: 5, ..Default::default() };
+        let a = Counters {
+            std_ops: 10,
+            ..Default::default()
+        };
+        let b = Counters {
+            std_ops: 10,
+            thunk_allocs: 5,
+            ..Default::default()
+        };
         assert!(b.app_ns() > a.app_ns());
         assert_eq!(a.app_ns(), 10 * cost::STD_OP_NS);
     }
@@ -222,7 +239,10 @@ mod tests {
     fn row_to_entity_tags() {
         let rs = ResultSet::new(
             vec!["id".into(), "name".into()],
-            vec![vec![sloth_sql::Value::Int(1), sloth_sql::Value::Str("x".into())]],
+            vec![vec![
+                sloth_sql::Value::Int(1),
+                sloth_sql::Value::Str("x".into()),
+            ]],
         );
         let e = row_to_entity("patient", &rs, 0);
         match e {

@@ -11,13 +11,19 @@ use crate::ast::*;
 
 /// Simplifies a whole program.
 pub fn simplify_program(p: &Program) -> Program {
-    Program { functions: p.functions.iter().map(simplify_function).collect() }
+    Program {
+        functions: p.functions.iter().map(simplify_function).collect(),
+    }
 }
 
 /// Simplifies one function.
 pub fn simplify_function(f: &Function) -> Function {
     let mut ctx = Ctx { next_temp: 0 };
-    Function { name: f.name.clone(), params: f.params.clone(), body: ctx.block(&f.body) }
+    Function {
+        name: f.name.clone(),
+        params: f.params.clone(),
+        body: ctx.block(&f.body),
+    }
 }
 
 struct Ctx {
@@ -130,8 +136,10 @@ impl Ctx {
                 Expr::Call(name.clone(), args)
             }
             Expr::NewObject(fields) => {
-                let fields =
-                    fields.iter().map(|(f, v)| (f.clone(), self.atomize(v, out))).collect();
+                let fields = fields
+                    .iter()
+                    .map(|(f, v)| (f.clone(), self.atomize(v, out)))
+                    .collect();
                 Expr::NewObject(fields)
             }
             Expr::NewList(items) => {
@@ -213,7 +221,8 @@ mod tests {
         match &stmts[0] {
             Stmt::While(_, body) => {
                 assert!(
-                    body.iter().any(|s| matches!(s, Stmt::Let(t, _) if t.starts_with("__t"))),
+                    body.iter()
+                        .any(|s| matches!(s, Stmt::Let(t, _) if t.starts_with("__t"))),
                     "condition temp hoisted into loop body"
                 );
             }
@@ -228,7 +237,9 @@ mod tests {
         assert_eq!(stmts.len(), 3);
         match stmts.last().unwrap() {
             Stmt::Let(_, Expr::Call(_, args)) => {
-                assert!(args.iter().all(|a| matches!(a, Expr::Var(_) | Expr::Lit(_))));
+                assert!(args
+                    .iter()
+                    .all(|a| matches!(a, Expr::Var(_) | Expr::Lit(_))));
             }
             other => panic!("unexpected {other:?}"),
         }

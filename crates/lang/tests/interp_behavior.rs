@@ -17,7 +17,12 @@ fn clinic_schema() -> Rc<Schema> {
         "patient_id",
         &[("patient_id", Int), ("name", Text), ("creator_id", Int)],
         vec![
-            one_to_many("encounters", "encounter", "patient_id", FetchStrategy::Eager),
+            one_to_many(
+                "encounters",
+                "encounter",
+                "patient_id",
+                FetchStrategy::Eager,
+            ),
             one_to_many("visits", "visit", "patient_id", FetchStrategy::Lazy),
             many_to_one("creator", "user", "creator_id", FetchStrategy::Lazy),
         ],
@@ -26,8 +31,17 @@ fn clinic_schema() -> Rc<Schema> {
         "encounter",
         "encounter",
         "encounter_id",
-        &[("encounter_id", Int), ("patient_id", Int), ("concept_id", Int)],
-        vec![many_to_one("concept", "concept", "concept_id", FetchStrategy::Lazy)],
+        &[
+            ("encounter_id", Int),
+            ("patient_id", Int),
+            ("concept_id", Int),
+        ],
+        vec![many_to_one(
+            "concept",
+            "concept",
+            "concept_id",
+            FetchStrategy::Lazy,
+        )],
     ));
     s.add(entity(
         "visit",
@@ -43,7 +57,13 @@ fn clinic_schema() -> Rc<Schema> {
         &[("concept_id", Int), ("text", Text)],
         vec![],
     ));
-    s.add(entity("user", "users", "user_id", &[("user_id", Int), ("login", Text)], vec![]));
+    s.add(entity(
+        "user",
+        "users",
+        "user_id",
+        &[("user_id", Int), ("login", Text)],
+        vec![],
+    ));
     Rc::new(s)
 }
 
@@ -53,7 +73,8 @@ fn clinic_env(schema: &Schema) -> SimEnv {
         env.seed_sql(&ddl).unwrap();
     }
     env.seed_sql("INSERT INTO users VALUES (1, 'doc')").unwrap();
-    env.seed_sql("INSERT INTO patient VALUES (1, 'Ada', 1), (2, 'Grace', 1)").unwrap();
+    env.seed_sql("INSERT INTO patient VALUES (1, 'Ada', 1), (2, 'Grace', 1)")
+        .unwrap();
     for i in 0..8 {
         env.seed_sql(&format!(
             "INSERT INTO encounter VALUES ({}, 1, {})",
@@ -63,22 +84,37 @@ fn clinic_env(schema: &Schema) -> SimEnv {
         .unwrap();
     }
     for c in 0..4 {
-        env.seed_sql(&format!("INSERT INTO concept VALUES ({}, 'concept-{c}')", 100 + c))
-            .unwrap();
+        env.seed_sql(&format!(
+            "INSERT INTO concept VALUES ({}, 'concept-{c}')",
+            100 + c
+        ))
+        .unwrap();
     }
-    env.seed_sql("INSERT INTO visit VALUES (500, 1, TRUE), (501, 1, FALSE)").unwrap();
+    env.seed_sql("INSERT INTO visit VALUES (500, 1, TRUE), (501, 1, FALSE)")
+        .unwrap();
     env
 }
 
 fn run_both(src: &str) -> (RunResult, RunResult) {
     let schema = clinic_schema();
     let env1 = clinic_env(&schema);
-    let orig = run_source(src, &env1, Rc::clone(&schema), ExecStrategy::Original, vec![])
-        .expect("original run");
+    let orig = run_source(
+        src,
+        &env1,
+        Rc::clone(&schema),
+        ExecStrategy::Original,
+        vec![],
+    )
+    .expect("original run");
     let env2 = clinic_env(&schema);
-    let sloth =
-        run_source(src, &env2, Rc::clone(&schema), ExecStrategy::Sloth(OptFlags::all()), vec![])
-            .expect("sloth run");
+    let sloth = run_source(
+        src,
+        &env2,
+        Rc::clone(&schema),
+        ExecStrategy::Sloth(OptFlags::all()),
+        vec![],
+    )
+    .expect("sloth run");
     (orig, sloth)
 }
 
@@ -224,10 +260,22 @@ fn writes_flush_and_preserve_transactions() {
     // Verify the write actually landed.
     let schema = clinic_schema();
     let env = clinic_env(&schema);
-    run_source(src, &env, Rc::clone(&schema), ExecStrategy::Sloth(OptFlags::all()), vec![])
-        .unwrap();
-    let rs = env.seed(|db| db.execute("SELECT name FROM patient WHERE patient_id = 2").unwrap());
-    assert_eq!(rs.result.rows[0][0], sloth_sql::Value::Str("Grace Hopper".into()));
+    run_source(
+        src,
+        &env,
+        Rc::clone(&schema),
+        ExecStrategy::Sloth(OptFlags::all()),
+        vec![],
+    )
+    .unwrap();
+    let rs = env.seed(|db| {
+        db.execute("SELECT name FROM patient WHERE patient_id = 2")
+            .unwrap()
+    });
+    assert_eq!(
+        rs.result.rows[0][0],
+        sloth_sql::Value::Str("Grace Hopper".into())
+    );
 }
 
 #[test]
@@ -241,15 +289,23 @@ fn selective_compilation_runs_helpers_standard() {
     "#;
     let schema = clinic_schema();
     let env = clinic_env(&schema);
-    let with_sc =
-        run_source(src, &env, Rc::clone(&schema), ExecStrategy::Sloth(OptFlags::all()), vec![])
-            .unwrap();
+    let with_sc = run_source(
+        src,
+        &env,
+        Rc::clone(&schema),
+        ExecStrategy::Sloth(OptFlags::all()),
+        vec![],
+    )
+    .unwrap();
     let env2 = clinic_env(&schema);
     let no_sc = run_source(
         src,
         &env2,
         Rc::clone(&schema),
-        ExecStrategy::Sloth(OptFlags { selective: false, ..OptFlags::all() }),
+        ExecStrategy::Sloth(OptFlags {
+            selective: false,
+            ..OptFlags::all()
+        }),
         vec![],
     )
     .unwrap();
@@ -276,13 +332,27 @@ fn coalescing_reduces_allocations() {
     let schema = clinic_schema();
     let run = |flags: OptFlags| {
         let env = clinic_env(&schema);
-        run_source(src, &env, Rc::clone(&schema), ExecStrategy::Sloth(flags), vec![]).unwrap()
+        run_source(
+            src,
+            &env,
+            Rc::clone(&schema),
+            ExecStrategy::Sloth(flags),
+            vec![],
+        )
+        .unwrap()
     };
     // Selective compilation off: `main` issues no query, so SC would run
     // it under standard semantics and hide the effect TC is meant to show.
-    let base = OptFlags { selective: false, defer_branches: false, ..OptFlags::all() };
+    let base = OptFlags {
+        selective: false,
+        defer_branches: false,
+        ..OptFlags::all()
+    };
     let with_tc = run(base);
-    let without = run(OptFlags { coalesce: false, ..base });
+    let without = run(OptFlags {
+        coalesce: false,
+        ..base
+    });
     assert_eq!(with_tc.output, without.output);
     assert_eq!(with_tc.output, vec!["75"]);
     assert!(
@@ -311,10 +381,20 @@ fn branch_deferral_enables_bigger_batches() {
     let schema = clinic_schema();
     let run = |flags: OptFlags| {
         let env = clinic_env(&schema);
-        run_source(src, &env, Rc::clone(&schema), ExecStrategy::Sloth(flags), vec![]).unwrap()
+        run_source(
+            src,
+            &env,
+            Rc::clone(&schema),
+            ExecStrategy::Sloth(flags),
+            vec![],
+        )
+        .unwrap()
     };
     let with_bd = run(OptFlags::all());
-    let without = run(OptFlags { defer_branches: false, ..OptFlags::all() });
+    let without = run(OptFlags {
+        defer_branches: false,
+        ..OptFlags::all()
+    });
     assert_eq!(with_bd.output, without.output);
     assert_eq!(with_bd.output, vec!["many", "2"]);
     assert!(
@@ -345,7 +425,10 @@ fn buffered_writer_lets_prints_batch() {
             src,
             &env,
             Rc::clone(&schema),
-            ExecStrategy::Sloth(OptFlags { buffered_writer: buffered, ..OptFlags::all() }),
+            ExecStrategy::Sloth(OptFlags {
+                buffered_writer: buffered,
+                ..OptFlags::all()
+            }),
             vec![],
         )
         .unwrap()
@@ -377,10 +460,25 @@ fn errors_match_between_modes() {
     let src = r#"fn main() { let x = 1 / 0; print(str(x)); }"#;
     let schema = clinic_schema();
     let env = clinic_env(&schema);
-    let o = run_source(src, &env, Rc::clone(&schema), ExecStrategy::Original, vec![]);
-    let s = run_source(src, &env, Rc::clone(&schema), ExecStrategy::Sloth(OptFlags::all()), vec![]);
+    let o = run_source(
+        src,
+        &env,
+        Rc::clone(&schema),
+        ExecStrategy::Original,
+        vec![],
+    );
+    let s = run_source(
+        src,
+        &env,
+        Rc::clone(&schema),
+        ExecStrategy::Sloth(OptFlags::all()),
+        vec![],
+    );
     assert!(o.is_err());
-    assert!(s.is_err(), "the error surfaces at force time but still surfaces");
+    assert!(
+        s.is_err(),
+        "the error surfaces at force time but still surfaces"
+    );
 }
 
 #[test]
@@ -400,5 +498,8 @@ fn lazy_overhead_visible_in_app_time() {
     let (o, s) = run_both(src);
     assert_eq!(o.output, s.output);
     assert_eq!(o.net.round_trips, s.net.round_trips, "no batching possible");
-    assert!(s.net.app_ns > o.net.app_ns, "lazy bookkeeping costs app time");
+    assert!(
+        s.net.app_ns > o.net.app_ns,
+        "lazy bookkeeping costs app time"
+    );
 }

@@ -21,9 +21,13 @@
 #![warn(missing_docs)]
 
 use std::cell::{Ref, RefCell, RefMut};
+use std::collections::HashMap;
 use std::rc::Rc;
 
-use sloth_sql::{Database, ResultSet, SqlError};
+use sloth_sql::fuse::{self, FusableLookup};
+use sloth_sql::{Database, ResultSet, SqlError, Value};
+
+pub use sloth_sql::PlanCacheStats;
 
 /// A shared virtual clock counting nanoseconds since simulation start.
 #[derive(Debug, Clone, Default)]
@@ -86,7 +90,10 @@ impl Default for CostModel {
 impl CostModel {
     /// The default model with a different round-trip latency in milliseconds.
     pub fn with_rtt_ms(ms: f64) -> Self {
-        CostModel { rtt_ns: (ms * 1_000_000.0) as u64, ..CostModel::default() }
+        CostModel {
+            rtt_ns: (ms * 1_000_000.0) as u64,
+            ..CostModel::default()
+        }
     }
 }
 
@@ -107,6 +114,12 @@ pub struct NetStats {
     pub max_batch: u64,
     /// Total bytes moved over the wire (requests + results).
     pub bytes: u64,
+    /// Statements that were answered by a fused group execution (counts
+    /// every member of every fused group).
+    pub fused_queries: u64,
+    /// Fused executions performed (one per group of ≥ 2 same-template
+    /// lookups).
+    pub fused_groups: u64,
 }
 
 impl NetStats {
@@ -121,6 +134,7 @@ struct SimInner {
     cost: CostModel,
     clock: Clock,
     stats: NetStats,
+    fusion: bool,
 }
 
 /// The simulated deployment: application server + database server + network.
@@ -141,6 +155,7 @@ impl SimEnv {
                 cost,
                 clock: Clock::new(),
                 stats: NetStats::default(),
+                fusion: true,
             })),
         }
     }
@@ -160,6 +175,7 @@ impl SimEnv {
                 cost,
                 clock: Clock::new(),
                 stats: NetStats::default(),
+                fusion: true,
             })),
         }
     }
@@ -194,6 +210,23 @@ impl SimEnv {
     /// The cost model in force.
     pub fn cost_model(&self) -> CostModel {
         self.inner.borrow().cost
+    }
+
+    /// Enables or disables batch-level query fusion (on by default).
+    /// Fusion is semantically invisible; the switch exists for equivalence
+    /// testing and for the fusion-on/off benchmark figure.
+    pub fn set_fusion(&self, on: bool) {
+        self.inner.borrow_mut().fusion = on;
+    }
+
+    /// Whether batch-level query fusion is enabled.
+    pub fn fusion_enabled(&self) -> bool {
+        self.inner.borrow().fusion
+    }
+
+    /// Plan-cache counters of the underlying database.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.inner.borrow().db.plan_cache_stats()
     }
 
     /// Replaces the cost model (used by the latency-sweep experiments).
@@ -235,6 +268,14 @@ impl SimEnv {
     /// Executes a batch of statements over the **Sloth batch driver**: the
     /// whole batch travels in a single round trip and read statements
     /// execute in parallel on `db_workers` database cores (§5).
+    ///
+    /// With fusion enabled (the default), same-template single-table
+    /// equality lookups inside a contiguous run of reads are **fused** into
+    /// one `IN (v1 … vk)` statement, executed once, and demultiplexed back
+    /// into per-query result sets — K index probes and one statement
+    /// dispatch instead of K. Fusion never crosses a write (order inside
+    /// the batch is preserved), and per-query results, row order, and
+    /// error behaviour are identical with fusion on and off.
     pub fn query_batch(&self, sqls: &[String]) -> Result<Vec<ResultSet>, SqlError> {
         if sqls.is_empty() {
             return Ok(Vec::new());
@@ -243,24 +284,157 @@ impl SimEnv {
         let inner = &mut *inner;
         let cost = inner.cost;
 
-        let mut results = Vec::with_capacity(sqls.len());
+        // ---- Plan. One cheap lexer pass per read extracts its template;
+        // grouping happens on templates alone (cleared at every write
+        // boundary so fusion never reorders a read across a write). Only
+        // one representative per multi-member group is ever parsed — the
+        // per-statement parse lives in the plan cache, not here.
+        let mut norms: Vec<Option<sloth_sql::Normalized>> = Vec::with_capacity(sqls.len());
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        {
+            let mut open_groups: HashMap<String, usize> = HashMap::new();
+            for (i, sql) in sqls.iter().enumerate() {
+                if sloth_sql::is_write_sql(sql) {
+                    open_groups.clear();
+                    norms.push(None);
+                    continue;
+                }
+                let norm = sloth_sql::normalize(sql).ok();
+                if inner.fusion {
+                    if let Some(n) = &norm {
+                        // Only single-literal statements can be point
+                        // lookups; anything else never joins a group.
+                        if n.params.len() == 1 {
+                            match open_groups.get(&n.template) {
+                                Some(&g) => groups[g].push(i),
+                                None => {
+                                    open_groups.insert(n.template.clone(), groups.len());
+                                    groups.push(vec![i]);
+                                }
+                            }
+                        }
+                    }
+                }
+                norms.push(norm);
+            }
+        }
+        // Classify one representative per multi-member group; a group whose
+        // representative is not a fusable shape dissolves back into
+        // position-ordered singles (same-template statements share their
+        // shape, so one parse decides for the whole group).
+        #[derive(Clone)]
+        enum Role {
+            Single,
+            FusedLead(usize),
+            FusedMember,
+        }
+        let mut roles: Vec<Role> = vec![Role::Single; sqls.len()];
+        let mut fused: Vec<(FusableLookup, Vec<usize>)> = Vec::new();
+        for members in groups.into_iter().filter(|m| m.len() >= 2) {
+            let first = members[0];
+            let template = norms[first]
+                .as_ref()
+                .expect("grouped reads have norms")
+                .template
+                .clone();
+            if let Some(lookup) = fuse::classify_with_template(&sqls[first], template) {
+                roles[first] = Role::FusedLead(fused.len());
+                for &m in &members[1..] {
+                    roles[m] = Role::FusedMember;
+                }
+                fused.push((lookup, members));
+            }
+        }
+
+        // ---- Execute, in batch position order. A fused group runs where
+        // its first member sat, which preserves first-error semantics:
+        // members of a template group share their failure mode by
+        // construction, and everything else keeps its own position.
+        let mut results: Vec<Option<ResultSet>> = vec![None; sqls.len()];
         let mut read_times: Vec<u64> = Vec::new();
         let mut write_time = 0u64;
         let mut bytes = 0u64;
-        for sql in sqls {
-            bytes += sql.len() as u64;
-            let out = inner.db.execute(sql)?;
-            let exec_ns = cost.db_base_ns
-                + cost.db_row_scan_ns * out.stats.rows_scanned
-                + cost.db_row_out_ns * out.stats.rows_returned;
-            if out.stats.is_write {
-                // Writes serialize on the server.
-                write_time += exec_ns;
-            } else {
-                read_times.push(exec_ns);
+        let mut fused_queries = 0u64;
+        let mut fused_groups = 0u64;
+        let exec_cost = |stats: &sloth_sql::ExecStats| {
+            cost.db_base_ns
+                + cost.db_row_scan_ns * stats.rows_scanned
+                + cost.db_row_out_ns * stats.rows_returned
+        };
+        for i in 0..sqls.len() {
+            match roles[i].clone() {
+                Role::FusedMember => {} // answered by its group's lead
+                Role::Single => {
+                    bytes += sqls[i].len() as u64;
+                    let out = match &norms[i] {
+                        Some(n) => inner.db.execute_select_normalized(&sqls[i], n)?,
+                        None => inner.db.execute(&sqls[i])?,
+                    };
+                    let exec_ns = exec_cost(&out.stats);
+                    if out.stats.is_write {
+                        // Writes serialize on the server.
+                        write_time += exec_ns;
+                    } else {
+                        read_times.push(exec_ns);
+                    }
+                    bytes += out.result.wire_size() as u64;
+                    results[i] = Some(out.result);
+                }
+                Role::FusedLead(g) => {
+                    let (lookup, members) = &fused[g];
+                    // Each member's probed value is its single extracted
+                    // parameter (the lead's doubles as the shape check).
+                    // Distinct values, first-seen order.
+                    let mut values: Vec<Value> = Vec::with_capacity(members.len());
+                    for &m in members {
+                        let v = &norms[m].as_ref().expect("member has norm").params[0];
+                        if !values.iter().any(|x| x == v) {
+                            values.push(v.clone());
+                        }
+                    }
+                    let plan = fuse::build_fused(&lookup.select, &lookup.column, &values);
+                    let fused_sql = fuse::render_select(&plan.stmt);
+                    bytes += fused_sql.len() as u64;
+                    let out = inner.db.execute_stmt(&plan.stmt)?;
+                    // One statement dispatch, K probes: costed once.
+                    read_times.push(exec_cost(&out.stats));
+                    // The shared result crosses the wire once.
+                    bytes += out.result.wire_size() as u64;
+                    fused_groups += 1;
+                    fused_queries += members.len() as u64;
+
+                    // Demux rows back to their originating queries by the
+                    // probed column's value (SQL equality, same semantics
+                    // as the per-query filter).
+                    let ci = out.result.column_index(&plan.demux_column).ok_or_else(|| {
+                        SqlError::new(format!(
+                            "fusion demux column {} missing from result",
+                            plan.demux_column
+                        ))
+                    })?;
+                    let mut columns = out.result.columns.clone();
+                    if plan.strip_demux {
+                        columns.pop();
+                    }
+                    for &m in members {
+                        let value = &norms[m].as_ref().expect("member has norm").params[0];
+                        let rows: Vec<sloth_sql::Row> = out
+                            .result
+                            .rows
+                            .iter()
+                            .filter(|r| r[ci].sql_eq(value))
+                            .map(|r| {
+                                let mut row = r.clone();
+                                if plan.strip_demux {
+                                    row.pop();
+                                }
+                                row
+                            })
+                            .collect();
+                        results[m] = Some(ResultSet::new(columns.clone(), rows));
+                    }
+                }
             }
-            bytes += out.result.wire_size() as u64;
-            results.push(out.result);
         }
 
         // Parallel read execution: longest-first into `db_workers`-wide
@@ -281,7 +455,12 @@ impl SimEnv {
         stats.db_ns += db_ns;
         stats.bytes += bytes;
         stats.max_batch = stats.max_batch.max(sqls.len() as u64);
-        Ok(results)
+        stats.fused_queries += fused_queries;
+        stats.fused_groups += fused_groups;
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every statement produced a result"))
+            .collect())
     }
 }
 
@@ -291,9 +470,11 @@ mod tests {
 
     fn seeded_env() -> SimEnv {
         let env = SimEnv::default_env();
-        env.seed_sql("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+        env.seed_sql("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+            .unwrap();
         for i in 0..20 {
-            env.seed_sql(&format!("INSERT INTO t VALUES ({i}, 'v{i}')")).unwrap();
+            env.seed_sql(&format!("INSERT INTO t VALUES ({i}, 'v{i}')"))
+                .unwrap();
         }
         env
     }
@@ -320,8 +501,9 @@ mod tests {
     #[test]
     fn batch_is_one_round_trip_many_queries() {
         let env = seeded_env();
-        let sqls: Vec<String> =
-            (0..10).map(|i| format!("SELECT v FROM t WHERE id = {i}")).collect();
+        let sqls: Vec<String> = (0..10)
+            .map(|i| format!("SELECT v FROM t WHERE id = {i}"))
+            .collect();
         let results = env.query_batch(&sqls).unwrap();
         assert_eq!(results.len(), 10);
         let s = env.stats();
@@ -332,8 +514,9 @@ mod tests {
 
     #[test]
     fn batching_beats_sequential_on_latency() {
-        let sqls: Vec<String> =
-            (0..10).map(|i| format!("SELECT v FROM t WHERE id = {i}")).collect();
+        let sqls: Vec<String> = (0..10)
+            .map(|i| format!("SELECT v FROM t WHERE id = {i}"))
+            .collect();
 
         let env_seq = seeded_env();
         for sql in &sqls {
@@ -352,12 +535,18 @@ mod tests {
 
     #[test]
     fn parallel_waves_respect_worker_count() {
-        let cost = CostModel { db_workers: 2, per_byte_ns: 0, ..CostModel::default() };
+        let cost = CostModel {
+            db_workers: 2,
+            per_byte_ns: 0,
+            ..CostModel::default()
+        };
         let env = SimEnv::new(cost);
+        env.set_fusion(false); // this test measures the unfused wave model
         env.seed_sql("CREATE TABLE t (id INT PRIMARY KEY)").unwrap();
         env.seed_sql("INSERT INTO t VALUES (1)").unwrap();
-        let sqls: Vec<String> =
-            (0..4).map(|_| "SELECT * FROM t WHERE id = 1".to_string()).collect();
+        let sqls: Vec<String> = (0..4)
+            .map(|_| "SELECT * FROM t WHERE id = 1".to_string())
+            .collect();
         env.query_batch(&sqls).unwrap();
         let per_query = cost.db_base_ns + cost.db_row_scan_ns + cost.db_row_out_ns;
         // 4 equal queries over 2 workers → 2 waves.
@@ -365,10 +554,121 @@ mod tests {
     }
 
     #[test]
+    fn fusion_collapses_same_template_lookups() {
+        let env = seeded_env();
+        let sqls: Vec<String> = (0..10)
+            .map(|i| format!("SELECT v FROM t WHERE id = {i}"))
+            .collect();
+        let results = env.query_batch(&sqls).unwrap();
+        let s = env.stats();
+        assert_eq!(s.round_trips, 1);
+        assert_eq!(s.queries, 10, "app-issued statement count is unchanged");
+        assert_eq!(s.fused_groups, 1);
+        assert_eq!(s.fused_queries, 10);
+        for (i, rs) in results.iter().enumerate() {
+            assert_eq!(
+                rs.get(0, "v").unwrap().as_str(),
+                Some(format!("v{i}").as_str())
+            );
+        }
+    }
+
+    #[test]
+    fn fusion_is_semantically_invisible() {
+        let sqls: Vec<String> = (0..10)
+            .map(|i| format!("SELECT v FROM t WHERE id = {} ORDER BY id", i % 7))
+            .chain(std::iter::once("SELECT COUNT(*) FROM t".to_string()))
+            .collect();
+        let on = seeded_env();
+        let off = seeded_env();
+        off.set_fusion(false);
+        let r_on = on.query_batch(&sqls).unwrap();
+        let r_off = off.query_batch(&sqls).unwrap();
+        assert_eq!(
+            r_on, r_off,
+            "per-query results identical with fusion on/off"
+        );
+        assert_eq!(on.stats().round_trips, off.stats().round_trips);
+        assert!(on.stats().fused_queries > 0);
+        assert_eq!(off.stats().fused_queries, 0);
+    }
+
+    #[test]
+    fn fusion_reduces_db_time() {
+        let sqls: Vec<String> = (0..20)
+            .map(|i| format!("SELECT v FROM t WHERE id = {i}"))
+            .collect();
+        let on = seeded_env();
+        let off = seeded_env();
+        off.set_fusion(false);
+        on.query_batch(&sqls).unwrap();
+        off.query_batch(&sqls).unwrap();
+        assert!(
+            on.stats().db_ns < off.stats().db_ns,
+            "fused {} ≥ unfused {}",
+            on.stats().db_ns,
+            off.stats().db_ns
+        );
+        assert!(
+            on.stats().bytes < off.stats().bytes,
+            "one statement text, one shared result"
+        );
+    }
+
+    #[test]
+    fn fusion_never_crosses_writes() {
+        let env = seeded_env();
+        let sqls = vec![
+            "SELECT v FROM t WHERE id = 1".to_string(),
+            "UPDATE t SET v = 'changed' WHERE id = 2".to_string(),
+            "SELECT v FROM t WHERE id = 2".to_string(),
+        ];
+        let results = env.query_batch(&sqls).unwrap();
+        // The read after the write must observe the write: no fusion with
+        // the read before it.
+        assert_eq!(results[2].get(0, "v").unwrap().as_str(), Some("changed"));
+        assert_eq!(results[0].get(0, "v").unwrap().as_str(), Some("v1"));
+        assert_eq!(env.stats().fused_groups, 0);
+    }
+
+    #[test]
+    fn fusion_error_behaviour_matches_unfused() {
+        let sqls = vec![
+            "SELECT v FROM missing WHERE id = 1".to_string(),
+            "SELECT v FROM missing WHERE id = 2".to_string(),
+        ];
+        let on = seeded_env();
+        let off = seeded_env();
+        off.set_fusion(false);
+        let e_on = on.query_batch(&sqls).unwrap_err();
+        let e_off = off.query_batch(&sqls).unwrap_err();
+        assert_eq!(e_on, e_off, "identical first error with fusion on and off");
+    }
+
+    #[test]
+    fn duplicate_lookups_fuse_and_demux() {
+        let env = seeded_env();
+        let sqls = vec![
+            "SELECT v FROM t WHERE id = 3".to_string(),
+            "SELECT v FROM t WHERE id = 3".to_string(),
+            "SELECT v FROM t WHERE id = 5".to_string(),
+        ];
+        let results = env.query_batch(&sqls).unwrap();
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[2].get(0, "v").unwrap().as_str(), Some("v5"));
+        assert_eq!(env.stats().fused_queries, 3);
+        assert_eq!(env.stats().fused_groups, 1);
+    }
+
+    #[test]
     fn writes_serialize_in_batch() {
-        let cost = CostModel { per_byte_ns: 0, ..CostModel::default() };
+        let cost = CostModel {
+            per_byte_ns: 0,
+            ..CostModel::default()
+        };
         let env = SimEnv::new(cost);
-        env.seed_sql("CREATE TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+        env.seed_sql("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+            .unwrap();
         env.seed_sql("INSERT INTO t VALUES (1, 0)").unwrap();
         let sqls = vec![
             "UPDATE t SET v = 1 WHERE id = 1".to_string(),

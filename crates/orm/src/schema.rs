@@ -169,7 +169,9 @@ pub fn one_to_many(name: &str, target: &str, fk: &str, strategy: FetchStrategy) 
     AssocDef {
         name: name.to_string(),
         target: target.to_string(),
-        kind: AssocKind::OneToMany { fk_column: fk.to_string() },
+        kind: AssocKind::OneToMany {
+            fk_column: fk.to_string(),
+        },
         strategy,
     }
 }
@@ -179,7 +181,9 @@ pub fn many_to_one(name: &str, target: &str, fk: &str, strategy: FetchStrategy) 
     AssocDef {
         name: name.to_string(),
         target: target.to_string(),
-        kind: AssocKind::ManyToOne { fk_column: fk.to_string() },
+        kind: AssocKind::ManyToOne {
+            fk_column: fk.to_string(),
+        },
         strategy,
     }
 }
@@ -196,7 +200,12 @@ mod tests {
             "patient",
             "patient_id",
             &[("patient_id", Int), ("name", Text)],
-            vec![one_to_many("encounters", "encounter", "patient_id", FetchStrategy::Lazy)],
+            vec![one_to_many(
+                "encounters",
+                "encounter",
+                "patient_id",
+                FetchStrategy::Lazy,
+            )],
         ));
         s.add(entity(
             "encounter",
@@ -230,7 +239,9 @@ mod tests {
     fn fk_indexes_generated() {
         let schema = sample();
         let ddl = schema.ddl();
-        assert!(ddl.iter().any(|s| s == "CREATE INDEX ON encounter (patient_id)"));
+        assert!(ddl
+            .iter()
+            .any(|s| s == "CREATE INDEX ON encounter (patient_id)"));
     }
 
     #[test]

@@ -57,7 +57,11 @@ pub fn deserialize(def: &EntityDef, rs: &ResultSet) -> Vec<Entity> {
                 .zip(row)
                 .map(|(c, v)| (c.clone(), v.clone()))
                 .collect();
-            Entity { entity: def.name.clone(), values, fetched_assocs: BTreeMap::new() }
+            Entity {
+                entity: def.name.clone(),
+                values,
+                fetched_assocs: BTreeMap::new(),
+            }
         })
         .collect()
 }
@@ -83,12 +87,18 @@ impl Session {
     /// Hibernate-style session: every fetch is an immediate round trip and
     /// eager associations are prefetched at `find` time.
     pub fn immediate(env: SimEnv, schema: Rc<Schema>) -> Self {
-        Session { schema, backend: Backend::Immediate(env) }
+        Session {
+            schema,
+            backend: Backend::Immediate(env),
+        }
     }
 
     /// Sloth session: fetches register with `store` and return thunks.
     pub fn deferred(store: QueryStore, schema: Rc<Schema>) -> Self {
-        Session { schema, backend: Backend::Deferred(store) }
+        Session {
+            schema,
+            backend: Backend::Deferred(store),
+        }
     }
 
     /// The schema this session maps.
@@ -97,7 +107,9 @@ impl Session {
     }
 
     fn def(&self, entity: &str) -> Result<&EntityDef, SqlError> {
-        self.schema.entity(entity).ok_or_else(|| SqlError::new(format!("unknown entity {entity}")))
+        self.schema
+            .entity(entity)
+            .ok_or_else(|| SqlError::new(format!("unknown entity {entity}")))
     }
 
     fn run(&self, sql: &str) -> Result<ResultSet, SqlError> {
@@ -142,7 +154,9 @@ impl Session {
         let store = self.require_store()?;
         let def = self.def(entity)?.clone();
         let sql = sqlgen::select_by_pk(&def, &Value::Int(id));
-        Ok(query_thunk(store, sql, move |rs| deserialize(&def, &rs).pop()))
+        Ok(query_thunk(store, sql, move |rs| {
+            deserialize(&def, &rs).pop()
+        }))
     }
 
     /// Fetches an association's entities (issuing its query now, in either
@@ -159,11 +173,7 @@ impl Session {
     /// Sloth association access: registers the association query now (the
     /// owner must already be materialized to know its key) and defers
     /// deserialization.
-    pub fn assoc_thunk(
-        &self,
-        owner: &Entity,
-        assoc: &str,
-    ) -> Result<Thunk<Vec<Entity>>, SqlError> {
+    pub fn assoc_thunk(&self, owner: &Entity, assoc: &str) -> Result<Thunk<Vec<Entity>>, SqlError> {
         let store = self.require_store()?;
         let (sql, target) = self.assoc_query(owner, assoc)?;
         Ok(query_thunk(store, sql, move |rs| deserialize(&target, &rs)))
@@ -240,9 +250,9 @@ impl Session {
     fn require_store(&self) -> Result<&QueryStore, SqlError> {
         match &self.backend {
             Backend::Deferred(store) => Ok(store),
-            Backend::Immediate(_) => {
-                Err(SqlError::new("thunk API requires a deferred (Sloth) session"))
-            }
+            Backend::Immediate(_) => Err(SqlError::new(
+                "thunk API requires a deferred (Sloth) session",
+            )),
         }
     }
 }
@@ -261,7 +271,12 @@ mod tests {
             "patient_id",
             &[("patient_id", Int), ("name", Text)],
             vec![
-                one_to_many("encounters", "encounter", "patient_id", FetchStrategy::Eager),
+                one_to_many(
+                    "encounters",
+                    "encounter",
+                    "patient_id",
+                    FetchStrategy::Eager,
+                ),
                 one_to_many("visits", "visit", "patient_id", FetchStrategy::Lazy),
             ],
         ));
@@ -287,7 +302,8 @@ mod tests {
         for ddl in schema.ddl() {
             env.seed_sql(&ddl).unwrap();
         }
-        env.seed_sql("INSERT INTO patient VALUES (1, 'Ada'), (2, 'Grace')").unwrap();
+        env.seed_sql("INSERT INTO patient VALUES (1, 'Ada'), (2, 'Grace')")
+            .unwrap();
         env.seed_sql(
             "INSERT INTO encounter VALUES (10, 1, 'checkup'), (11, 1, 'lab'), (12, 2, 'er')",
         )
@@ -404,7 +420,9 @@ mod tests {
         let schema = schema();
         let env = seeded_env(&schema);
         let s = Session::immediate(env, Rc::clone(&schema));
-        let encs = s.find_where("encounter", "patient_id", &Value::Int(1)).unwrap();
+        let encs = s
+            .find_where("encounter", "patient_id", &Value::Int(1))
+            .unwrap();
         assert_eq!(encs.len(), 2);
         assert_eq!(encs[0].get_i64("encounter_id"), Some(10));
     }

@@ -9,20 +9,20 @@
 use crate::schema::{AssocDef, AssocKind, EntityDef};
 use sloth_sql::Value;
 
-/// Renders a value as a SQL literal.
+/// Renders a value as a SQL literal (delegates to the engine's single
+/// source of truth so every layer emits byte-identical SQL).
 pub fn literal(v: &Value) -> String {
-    match v {
-        Value::Null => "NULL".to_string(),
-        Value::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
-        Value::Int(i) => i.to_string(),
-        Value::Float(f) => format!("{f}"),
-        Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
-    }
+    v.sql_literal()
 }
 
 /// `SELECT *` of one entity by primary key.
 pub fn select_by_pk(def: &EntityDef, id: &Value) -> String {
-    format!("SELECT * FROM {} WHERE {} = {}", def.table, def.pk, literal(id))
+    format!(
+        "SELECT * FROM {} WHERE {} = {}",
+        def.table,
+        def.pk,
+        literal(id)
+    )
 }
 
 /// `SELECT *` of all rows of an entity.
@@ -63,7 +63,12 @@ pub fn select_assoc(assoc: &AssocDef, target: &EntityDef, key: &Value) -> String
 
 /// `COUNT(*)` of an entity filtered by one column equality.
 pub fn count_where_eq(def: &EntityDef, column: &str, v: &Value) -> String {
-    format!("SELECT COUNT(*) FROM {} WHERE {} = {}", def.table, column, literal(v))
+    format!(
+        "SELECT COUNT(*) FROM {} WHERE {} = {}",
+        def.table,
+        column,
+        literal(v)
+    )
 }
 
 /// `INSERT` for a full row in column declaration order.
@@ -92,7 +97,12 @@ pub fn update_field(def: &EntityDef, id: &Value, column: &str, v: &Value) -> Str
 
 /// `DELETE` by primary key.
 pub fn delete_by_pk(def: &EntityDef, id: &Value) -> String {
-    format!("DELETE FROM {} WHERE {} = {}", def.table, def.pk, literal(id))
+    format!(
+        "DELETE FROM {} WHERE {} = {}",
+        def.table,
+        def.pk,
+        literal(id)
+    )
 }
 
 #[cfg(test)]
@@ -169,13 +179,19 @@ mod tests {
             update_field(&p, &Value::Int(1), "name", &Value::Str("Grace".into())),
             "UPDATE patient SET name = 'Grace' WHERE patient_id = 1"
         );
-        assert_eq!(delete_by_pk(&p, &Value::Int(1)), "DELETE FROM patient WHERE patient_id = 1");
+        assert_eq!(
+            delete_by_pk(&p, &Value::Int(1)),
+            "DELETE FROM patient WHERE patient_id = 1"
+        );
     }
 
     #[test]
     fn deterministic_generation() {
         // Same inputs must yield byte-identical SQL (dedup depends on it).
         let p = patient();
-        assert_eq!(select_by_pk(&p, &Value::Int(5)), select_by_pk(&p, &Value::Int(5)));
+        assert_eq!(
+            select_by_pk(&p, &Value::Int(5)),
+            select_by_pk(&p, &Value::Int(5))
+        );
     }
 }

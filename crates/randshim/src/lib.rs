@@ -1,0 +1,124 @@
+//! Deterministic stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! crate shadows `rand` with the minimal API surface the benchmark seeders
+//! use: `rngs::StdRng`, `SeedableRng::seed_from_u64`, and
+//! `RngExt::random_range` over integer ranges. The generator is SplitMix64
+//! — deterministic, seedable, and statistically fine for synthesizing
+//! benchmark fixtures (nothing here is cryptographic).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable RNG constructor, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling helpers, mirroring the subset of `rand::Rng` the apps use.
+pub trait RngExt {
+    /// The next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from an integer range (`a..b` or `a..=b`).
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        SampleRange::sample(range, self)
+    }
+}
+
+/// Integer ranges that can be sampled; mirrors `rand::distr::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample<R: RngExt + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngExt + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: RngExt + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// RNG implementations.
+pub mod rngs {
+    use super::{RngExt, SeedableRng};
+
+    /// SplitMix64-backed stand-in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngExt for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.random_range(0..1000);
+            assert!((0..1000).contains(&x));
+            let y: i64 = rng.random_range(1..=5);
+            assert!((1..=5).contains(&y));
+            let z: i64 = rng.random_range(-9..10);
+            assert!((-9..10).contains(&z));
+        }
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut buckets = [0u32; 10];
+        for _ in 0..10_000 {
+            buckets[rng.random_range(0..10usize)] += 1;
+        }
+        for b in buckets {
+            assert!((800..1200).contains(&b), "bucket {b} far from uniform");
+        }
+    }
+}

@@ -162,7 +162,10 @@ pub struct ColumnRef {
 impl ColumnRef {
     /// Unqualified reference.
     pub fn bare(column: impl Into<String>) -> Self {
-        ColumnRef { table: None, column: column.into() }
+        ColumnRef {
+            table: None,
+            column: column.into(),
+        }
     }
 }
 
@@ -180,6 +183,10 @@ pub struct OrderKey {
 pub enum Expr {
     /// Literal value.
     Literal(Value),
+    /// Positional parameter of a cached parameterized plan (`?`), bound at
+    /// execution time from the literal values extracted by the statement
+    /// normalizer. Never produced by the parser directly.
+    Param(usize),
     /// Column reference.
     Column(ColumnRef),
     /// Binary operation.
@@ -197,8 +204,9 @@ pub enum Expr {
     InList {
         /// Tested expression.
         expr: Box<Expr>,
-        /// Literal list.
-        list: Vec<Value>,
+        /// List members: literals in parsed SQL, literals or params in a
+        /// cached plan, literals in a fused batch probe.
+        list: Vec<Expr>,
     },
     /// `col LIKE 'pat%'` (supports `%` at either end and in the middle).
     Like {
@@ -253,7 +261,10 @@ mod tests {
     fn write_classification() {
         let sel = Statement::Select(SelectStmt {
             projection: Projection::Star,
-            from: TableRef { name: "t".into(), alias: "t".into() },
+            from: TableRef {
+                name: "t".into(),
+                alias: "t".into(),
+            },
             joins: vec![],
             predicate: None,
             order_by: vec![],
@@ -262,8 +273,10 @@ mod tests {
         assert!(!sel.is_write());
         assert!(Statement::Begin.is_write());
         assert!(Statement::Commit.is_write());
-        assert!(
-            Statement::Delete { table: "t".into(), predicate: None }.is_write()
-        );
+        assert!(Statement::Delete {
+            table: "t".into(),
+            predicate: None
+        }
+        .is_write());
     }
 }

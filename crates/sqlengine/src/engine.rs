@@ -2,10 +2,12 @@
 //! tables, reporting deterministic execution statistics used by the cost
 //! model in `sloth-net`.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::rc::Rc;
 
 use crate::ast::*;
 use crate::error::SqlError;
+use crate::normalize::{normalize, parameterize};
 use crate::parser::parse;
 use crate::table::Table;
 use crate::value::{ResultSet, Row, Value};
@@ -30,10 +32,93 @@ pub struct ExecOutcome {
     pub stats: ExecStats,
 }
 
-/// An in-memory SQL database: a catalog of [`Table`]s plus an executor.
+/// Statistics of the per-database plan cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Executions answered by a cached parameterized plan (no lex, no
+    /// parse).
+    pub hits: u64,
+    /// Executions that had to parse (and, when possible, filled the cache).
+    pub misses: u64,
+    /// Plans currently cached.
+    pub entries: usize,
+}
+
+impl PlanCacheStats {
+    /// Hit fraction in `[0, 1]`; zero before any lookups.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Bounded template → parameterized-plan cache (FIFO eviction).
+///
+/// Lives inside [`Database`]; a template hit means repeated ORM-generated
+/// SQL skips lexing and parsing entirely and re-executes the cached plan
+/// with freshly extracted parameters.
+#[derive(Debug, Clone, Default)]
+struct PlanCache {
+    map: HashMap<String, Rc<CachedPlan>>,
+    order: VecDeque<String>,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug)]
+struct CachedPlan {
+    stmt: Statement,
+    n_params: usize,
+}
+
+/// Cached plans beyond this count evict the oldest entry (FIFO): enough
+/// for every distinct template of the benchmark workloads while bounding
+/// memory for adversarial query streams.
+const PLAN_CACHE_CAP: usize = 512;
+
+impl PlanCache {
+    fn lookup(&mut self, template: &str) -> Option<Rc<CachedPlan>> {
+        match self.map.get(template) {
+            Some(plan) => {
+                self.hits += 1;
+                Some(Rc::clone(plan))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, template: String, plan: CachedPlan) {
+        if self.map.len() >= PLAN_CACHE_CAP {
+            if let Some(oldest) = self.order.pop_front() {
+                self.map.remove(&oldest);
+            }
+        }
+        self.order.push_back(template.clone());
+        self.map.insert(template, Rc::new(plan));
+    }
+
+    fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.map.len(),
+        }
+    }
+}
+
+/// An in-memory SQL database: a catalog of [`Table`]s plus an executor and
+/// a plan cache.
 #[derive(Debug, Default, Clone)]
 pub struct Database {
     tables: HashMap<String, Table>,
+    plans: PlanCache,
 }
 
 impl Database {
@@ -47,40 +132,111 @@ impl Database {
         self.tables.get(&name.to_ascii_lowercase())
     }
 
-    /// Names of all tables, sorted (deterministic).
-    pub fn table_names(&self) -> Vec<String> {
-        let mut names: Vec<_> = self.tables.values().map(|t| t.name.clone()).collect();
-        names.sort();
+    /// Names of all tables, sorted (deterministic). Borrows; no per-call
+    /// string cloning.
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.values().map(|t| t.name.as_str()).collect();
+        names.sort_unstable();
         names
     }
 
-    /// Parses and executes one SQL statement.
-    pub fn execute(&mut self, sql: &str) -> Result<ExecOutcome, SqlError> {
-        let stmt = parse(sql)?;
-        self.execute_stmt(&stmt)
+    /// Snapshot of the plan-cache counters.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plans.stats()
     }
 
-    /// Executes an already-parsed statement.
+    /// Parses and executes one SQL statement.
+    ///
+    /// `SELECT`s go through the plan cache: the statement is normalized
+    /// (one lexer pass) and, on a template hit, the cached parameterized
+    /// plan executes against the extracted literals — no parsing. Writes
+    /// and DDL always parse (they are not hot, and DDL self-invalidates
+    /// nothing this way).
+    pub fn execute(&mut self, sql: &str) -> Result<ExecOutcome, SqlError> {
+        if !crate::is_select_sql(sql) {
+            let stmt = parse(sql)?;
+            return self.execute_stmt(&stmt);
+        }
+        let norm = normalize(sql)?;
+        self.execute_select_normalized(sql, &norm)
+    }
+
+    /// [`Database::execute`] for a `SELECT` whose normalization the caller
+    /// already computed — the batch driver normalizes once for fusion
+    /// grouping and reuses it here instead of lexing twice.
+    pub fn execute_select_normalized(
+        &mut self,
+        sql: &str,
+        norm: &crate::normalize::Normalized,
+    ) -> Result<ExecOutcome, SqlError> {
+        if let Some(plan) = self.plans.lookup(&norm.template) {
+            if plan.n_params == norm.params.len() {
+                return self.execute_stmt_with(&plan.stmt, &norm.params);
+            }
+        }
+        let stmt = parse(sql)?;
+        let (pstmt, slots) = parameterize(&stmt);
+        if slots == norm.params.len() {
+            let out = self.execute_stmt_with(&pstmt, &norm.params);
+            // Cache only plans that executed cleanly: a statement that
+            // errors (unknown table/column) would otherwise pin a useless
+            // entry, and error texts must not depend on cache state.
+            if out.is_ok() {
+                self.plans.insert(
+                    norm.template.clone(),
+                    CachedPlan {
+                        stmt: pstmt,
+                        n_params: slots,
+                    },
+                );
+            }
+            out
+        } else {
+            // Normalizer/parser slot disagreement (possible outside the
+            // supported grammar): execute the concrete statement, uncached.
+            self.execute_stmt(&stmt)
+        }
+    }
+
+    /// Executes an already-parsed statement (no parameters).
     pub fn execute_stmt(&mut self, stmt: &Statement) -> Result<ExecOutcome, SqlError> {
+        self.execute_stmt_with(stmt, &[])
+    }
+
+    /// Executes a (possibly parameterized) statement with bound `params`.
+    pub fn execute_stmt_with(
+        &mut self,
+        stmt: &Statement,
+        params: &[Value],
+    ) -> Result<ExecOutcome, SqlError> {
         match stmt {
             Statement::CreateTable { name, columns } => {
                 let key = name.to_ascii_lowercase();
                 if self.tables.contains_key(&key) {
                     return Err(SqlError::new(format!("table {name} already exists")));
                 }
-                self.tables.insert(key, Table::new(name.clone(), columns.clone()));
+                self.tables
+                    .insert(key, Table::new(name.clone(), columns.clone()));
                 Ok(write_outcome(0))
             }
             Statement::CreateIndex { table, column } => {
                 self.table_mut(table)?.create_index(column)?;
                 Ok(write_outcome(0))
             }
-            Statement::Insert { table, columns, values } => self.run_insert(table, columns, values),
-            Statement::Select(sel) => self.run_select(sel),
-            Statement::Update { table, sets, predicate } => {
-                self.run_update(table, sets, predicate.as_ref())
+            Statement::Insert {
+                table,
+                columns,
+                values,
+            } => self.run_insert(table, columns, values, params),
+            Statement::Select(sel) => self.run_select(sel, params),
+            Statement::Update {
+                table,
+                sets,
+                predicate,
+            } => self.run_update(table, sets, predicate.as_ref(), params),
+            Statement::Delete { table, predicate } => {
+                self.run_delete(table, predicate.as_ref(), params)
             }
-            Statement::Delete { table, predicate } => self.run_delete(table, predicate.as_ref()),
             Statement::Begin | Statement::Commit | Statement::Rollback => Ok(write_outcome(0)),
         }
     }
@@ -92,7 +248,8 @@ impl Database {
     }
 
     fn table_ref(&self, name: &str) -> Result<&Table, SqlError> {
-        self.table(name).ok_or_else(|| SqlError::new(format!("no such table: {name}")))
+        self.table(name)
+            .ok_or_else(|| SqlError::new(format!("no such table: {name}")))
     }
 
     fn run_insert(
@@ -100,6 +257,7 @@ impl Database {
         table: &str,
         columns: &[String],
         values: &[Vec<Expr>],
+        params: &[Value],
     ) -> Result<ExecOutcome, SqlError> {
         // Evaluate value tuples first (literals or literal arithmetic).
         let empty = Scope::empty();
@@ -107,7 +265,7 @@ impl Database {
         for tuple in values {
             let mut evaluated = Vec::with_capacity(tuple.len());
             for e in tuple {
-                evaluated.push(eval_expr(e, &empty, &[])?);
+                evaluated.push(eval_expr(e, &empty, &[], params)?);
             }
             tuples.push(evaluated);
         }
@@ -134,7 +292,7 @@ impl Database {
         Ok(write_outcome(n))
     }
 
-    fn run_select(&self, sel: &SelectStmt) -> Result<ExecOutcome, SqlError> {
+    fn run_select(&self, sel: &SelectStmt, params: &[Value]) -> Result<ExecOutcome, SqlError> {
         let mut stats = ExecStats::default();
 
         // Resolve all sources.
@@ -142,19 +300,32 @@ impl Database {
         let mut scope = Scope::new();
         scope.add_source(&sel.from.alias, base);
 
-        // Base rows: try an index probe from an equality conjunct.
-        let base_rows: Vec<&Row> = match find_index_probe(sel.predicate.as_ref(), &sel.from, base)
-        {
-            Some((ci, key)) => {
-                let ids = base.probe(ci, &key).unwrap_or(&[]);
-                stats.rows_scanned += ids.len() as u64;
-                ids.iter().filter_map(|&rid| base.row(rid)).collect()
-            }
-            None => {
-                stats.rows_scanned += base.len() as u64;
-                base.scan().map(|(_, r)| r).collect()
-            }
-        };
+        // Base rows: try an index probe from an equality / IN conjunct.
+        let base_rows: Vec<&Row> =
+            match find_index_probe(sel.predicate.as_ref(), &sel.from, base, params) {
+                Some(Probe::Eq(ci, key)) => {
+                    let ids = base.probe(ci, &key).unwrap_or(&[]);
+                    stats.rows_scanned += ids.len() as u64;
+                    ids.iter().filter_map(|&rid| base.row(rid)).collect()
+                }
+                Some(Probe::In(ci, keys)) => {
+                    // K point probes instead of a full scan; row ids merge
+                    // back into scan order so results are order-identical
+                    // to the unindexed path.
+                    let mut ids: Vec<usize> = keys
+                        .iter()
+                        .flat_map(|key| base.probe(ci, key).unwrap_or(&[]).iter().copied())
+                        .collect();
+                    ids.sort_unstable();
+                    ids.dedup();
+                    stats.rows_scanned += ids.len() as u64;
+                    ids.iter().filter_map(|&rid| base.row(rid)).collect()
+                }
+                None => {
+                    stats.rows_scanned += base.len() as u64;
+                    base.scan().map(|(_, r)| r).collect()
+                }
+            };
         let mut current: Vec<Row> = base_rows.into_iter().cloned().collect();
 
         // Hash joins, left to right.
@@ -172,7 +343,10 @@ impl Database {
             let probe_idx = probe_side_idx
                 .ok_or_else(|| SqlError::new("join condition references unknown column"))?;
             let build_ci = right_table.column_index(&build_ref.column).ok_or_else(|| {
-                SqlError::new(format!("no column {} in {}", build_ref.column, join.table.name))
+                SqlError::new(format!(
+                    "no column {} in {}",
+                    build_ref.column, join.table.name
+                ))
             })?;
             let _ = probe_ref;
 
@@ -200,7 +374,7 @@ impl Database {
         if let Some(pred) = &sel.predicate {
             let mut kept = Vec::with_capacity(current.len());
             for row in current {
-                if eval_expr(pred, &scope, &row)?.is_truthy() {
+                if eval_expr(pred, &scope, &row, params)?.is_truthy() {
                     kept.push(row);
                 }
             }
@@ -249,9 +423,9 @@ impl Database {
                 let idxs: Vec<usize> = cols
                     .iter()
                     .map(|c| {
-                        scope.resolve(c).ok_or_else(|| {
-                            SqlError::new(format!("unknown column {}", c.column))
-                        })
+                        scope
+                            .resolve(c)
+                            .ok_or_else(|| SqlError::new(format!("unknown column {}", c.column)))
                     })
                     .collect::<Result<_, _>>()?;
                 let names = cols.iter().map(|c| c.column.clone()).collect();
@@ -264,7 +438,10 @@ impl Database {
             Projection::Aggregate(_) => unreachable!("handled above"),
         };
         stats.rows_returned = rows.len() as u64;
-        Ok(ExecOutcome { result: ResultSet::new(columns, rows), stats })
+        Ok(ExecOutcome {
+            result: ResultSet::new(columns, rows),
+            stats,
+        })
     }
 
     fn run_update(
@@ -272,6 +449,7 @@ impl Database {
         table: &str,
         sets: &[(String, Expr)],
         predicate: Option<&Expr>,
+        params: &[Value],
     ) -> Result<ExecOutcome, SqlError> {
         let t = self.table_ref(table)?;
         let mut scope = Scope::new();
@@ -289,13 +467,13 @@ impl Database {
         for (rid, row) in t.scan() {
             scanned += 1;
             let keep = match predicate {
-                Some(p) => eval_expr(p, &scope, row)?.is_truthy(),
+                Some(p) => eval_expr(p, &scope, row, params)?.is_truthy(),
                 None => true,
             };
             if keep {
                 let mut new_vals = Vec::with_capacity(sets.len());
                 for (_, e) in sets {
-                    new_vals.push(eval_expr(e, &scope, row)?);
+                    new_vals.push(eval_expr(e, &scope, row, params)?);
                 }
                 updates.push((rid, new_vals));
             }
@@ -316,6 +494,7 @@ impl Database {
         &mut self,
         table: &str,
         predicate: Option<&Expr>,
+        params: &[Value],
     ) -> Result<ExecOutcome, SqlError> {
         let t = self.table_ref(table)?;
         let mut scope = Scope::new();
@@ -325,7 +504,7 @@ impl Database {
         for (rid, row) in t.scan() {
             scanned += 1;
             let hit = match predicate {
-                Some(p) => eval_expr(p, &scope, row)?.is_truthy(),
+                Some(p) => eval_expr(p, &scope, row, params)?.is_truthy(),
                 None => true,
             };
             if hit {
@@ -346,7 +525,11 @@ impl Database {
 fn write_outcome(rows_affected: u64) -> ExecOutcome {
     ExecOutcome {
         result: ResultSet::empty(),
-        stats: ExecStats { rows_scanned: 0, rows_returned: rows_affected, is_write: true },
+        stats: ExecStats {
+            rows_scanned: 0,
+            rows_returned: rows_affected,
+            is_write: true,
+        },
     }
 }
 
@@ -378,9 +561,14 @@ impl Scope {
     fn add_source(&mut self, alias: &str, table: &Table) {
         for (i, col) in table.columns.iter().enumerate() {
             let off = self.width + i;
-            self.by_qualified
-                .insert((alias.to_ascii_lowercase(), col.name.to_ascii_lowercase()), off);
-            self.by_bare.entry(col.name.to_ascii_lowercase()).or_default().push(off);
+            self.by_qualified.insert(
+                (alias.to_ascii_lowercase(), col.name.to_ascii_lowercase()),
+                off,
+            );
+            self.by_bare
+                .entry(col.name.to_ascii_lowercase())
+                .or_default()
+                .push(off);
             self.names.push(col.name.clone());
         }
         self.width += table.columns.len();
@@ -404,13 +592,17 @@ impl Scope {
     fn output_columns(&self) -> Vec<String> {
         self.names.clone()
     }
-
 }
 
-/// Evaluates an expression against `row`, resolving columns via `scope`.
-fn eval_expr(e: &Expr, scope: &Scope, row: &[Value]) -> Result<Value, SqlError> {
+/// Evaluates an expression against `row`, resolving columns via `scope`
+/// and `?` slots via `params`.
+fn eval_expr(e: &Expr, scope: &Scope, row: &[Value], params: &[Value]) -> Result<Value, SqlError> {
     match e {
         Expr::Literal(v) => Ok(v.clone()),
+        Expr::Param(i) => params
+            .get(*i)
+            .cloned()
+            .ok_or_else(|| SqlError::new(format!("unbound parameter ?{i}"))),
         Expr::Column(c) => {
             let off = scope
                 .resolve(c)
@@ -419,39 +611,49 @@ fn eval_expr(e: &Expr, scope: &Scope, row: &[Value]) -> Result<Value, SqlError> 
                 .cloned()
                 .ok_or_else(|| SqlError::new("column offset out of range"))
         }
-        Expr::Not(inner) => Ok(Value::Bool(!eval_expr(inner, scope, row)?.is_truthy())),
+        Expr::Not(inner) => Ok(Value::Bool(
+            !eval_expr(inner, scope, row, params)?.is_truthy(),
+        )),
         Expr::Binary { op, left, right } => {
             // Short-circuit logical ops.
             match op {
                 BinOp::And => {
                     return Ok(Value::Bool(
-                        eval_expr(left, scope, row)?.is_truthy() && eval_expr(right, scope, row)?.is_truthy(),
+                        eval_expr(left, scope, row, params)?.is_truthy()
+                            && eval_expr(right, scope, row, params)?.is_truthy(),
                     ))
                 }
                 BinOp::Or => {
                     return Ok(Value::Bool(
-                        eval_expr(left, scope, row)?.is_truthy() || eval_expr(right, scope, row)?.is_truthy(),
+                        eval_expr(left, scope, row, params)?.is_truthy()
+                            || eval_expr(right, scope, row, params)?.is_truthy(),
                     ))
                 }
                 _ => {}
             }
-            let l = eval_expr(left, scope, row)?;
-            let r = eval_expr(right, scope, row)?;
+            let l = eval_expr(left, scope, row, params)?;
+            let r = eval_expr(right, scope, row, params)?;
             eval_binop(*op, &l, &r)
         }
         Expr::InList { expr, list } => {
-            let v = eval_expr(expr, scope, row)?;
-            Ok(Value::Bool(list.iter().any(|x| v.sql_eq(x))))
+            let v = eval_expr(expr, scope, row, params)?;
+            for item in list {
+                let iv = eval_expr(item, scope, row, params)?;
+                if v.sql_eq(&iv) {
+                    return Ok(Value::Bool(true));
+                }
+            }
+            Ok(Value::Bool(false))
         }
         Expr::Like { expr, pattern } => {
-            let v = eval_expr(expr, scope, row)?;
+            let v = eval_expr(expr, scope, row, params)?;
             Ok(Value::Bool(match v.as_str() {
                 Some(s) => like_match(s, pattern),
                 None => false,
             }))
         }
         Expr::IsNull { expr, negated } => {
-            let v = eval_expr(expr, scope, row)?;
+            let v = eval_expr(expr, scope, row, params)?;
             Ok(Value::Bool(v.is_null() != *negated))
         }
     }
@@ -491,7 +693,11 @@ fn eval_binop(op: BinOp, l: &Value, r: &Value) -> Result<Value, SqlError> {
             }
             let (a, b) = match (l.as_f64(), r.as_f64()) {
                 (Some(a), Some(b)) => (a, b),
-                _ => return Err(SqlError::new(format!("non-numeric arithmetic: {l} {op:?} {r}"))),
+                _ => {
+                    return Err(SqlError::new(format!(
+                        "non-numeric arithmetic: {l} {op:?} {r}"
+                    )))
+                }
             };
             Ok(Value::Float(match op {
                 Add => a + b,
@@ -534,14 +740,19 @@ fn like_match(s: &str, pattern: &str) -> bool {
 
 fn run_aggregate(agg: &Aggregate, rows: &[Row], scope: &Scope) -> Result<ResultSet, SqlError> {
     let resolve = |c: &ColumnRef| {
-        scope.resolve(c).ok_or_else(|| SqlError::new(format!("unknown column {}", c.column)))
+        scope
+            .resolve(c)
+            .ok_or_else(|| SqlError::new(format!("unknown column {}", c.column)))
     };
     let (name, value) = match agg {
         Aggregate::CountStar => ("count".to_string(), Value::Int(rows.len() as i64)),
         Aggregate::CountDistinct(c) => {
             let i = resolve(c)?;
-            let distinct: HashSet<&Value> =
-                rows.iter().map(|r| &r[i]).filter(|v| !v.is_null()).collect();
+            let distinct: HashSet<&Value> = rows
+                .iter()
+                .map(|r| &r[i])
+                .filter(|v| !v.is_null())
+                .collect();
             ("count".to_string(), Value::Int(distinct.len() as i64))
         }
         Aggregate::Sum(c) => {
@@ -554,7 +765,11 @@ fn run_aggregate(agg: &Aggregate, rows: &[Row], scope: &Scope) -> Result<ResultS
                     all_int &= matches!(r[i], Value::Int(_));
                 }
             }
-            let v = if all_int { Value::Int(acc as i64) } else { Value::Float(acc) };
+            let v = if all_int {
+                Value::Int(acc as i64)
+            } else {
+                Value::Float(acc)
+            };
             ("sum".to_string(), v)
         }
         Aggregate::Max(c) => {
@@ -583,36 +798,73 @@ fn run_aggregate(agg: &Aggregate, rows: &[Row], scope: &Scope) -> Result<ResultS
     Ok(ResultSet::new(vec![name], vec![vec![value]]))
 }
 
-/// Detects `indexed_col = literal` conjuncts usable as an index probe on the
-/// base table.
+/// An index-probe plan extracted from the predicate.
+enum Probe {
+    /// One probe: `indexed_col = value`.
+    Eq(usize, Value),
+    /// K probes: `indexed_col IN (v1 … vk)` — the mechanism that makes a
+    /// fused batch lookup cost K probes instead of a full scan.
+    In(usize, Vec<Value>),
+}
+
+/// Detects `indexed_col = literal` / `indexed_col IN (literals)` conjuncts
+/// usable as an index probe on the base table. `params` resolves `?` slots
+/// of cached plans.
 fn find_index_probe(
     predicate: Option<&Expr>,
     from: &TableRef,
     table: &Table,
-) -> Option<(usize, Value)> {
-    fn walk(e: &Expr, from: &TableRef, table: &Table) -> Option<(usize, Value)> {
+    params: &[Value],
+) -> Option<Probe> {
+    // A literal or bound parameter — the only shapes a probe key can take.
+    fn key_value<'v>(e: &'v Expr, params: &'v [Value]) -> Option<&'v Value> {
         match e {
-            Expr::Binary { op: BinOp::And, left, right } => {
-                walk(left, from, table).or_else(|| walk(right, from, table))
+            Expr::Literal(v) => Some(v),
+            Expr::Param(i) => params.get(*i),
+            _ => None,
+        }
+    }
+
+    fn probe_column(col: &ColumnRef, from: &TableRef, table: &Table) -> Option<usize> {
+        if let Some(q) = &col.table {
+            if !q.eq_ignore_ascii_case(&from.alias) && !q.eq_ignore_ascii_case(&from.name) {
+                return None;
             }
-            Expr::Binary { op: BinOp::Eq, left, right } => {
-                let (col, lit) = match (&**left, &**right) {
-                    (Expr::Column(c), Expr::Literal(v)) => (c, v),
-                    (Expr::Literal(v), Expr::Column(c)) => (c, v),
+        }
+        let ci = table.column_index(&col.column)?;
+        table.has_index(ci).then_some(ci)
+    }
+
+    fn walk(e: &Expr, from: &TableRef, table: &Table, params: &[Value]) -> Option<Probe> {
+        match e {
+            Expr::Binary {
+                op: BinOp::And,
+                left,
+                right,
+            } => walk(left, from, table, params).or_else(|| walk(right, from, table, params)),
+            Expr::Binary {
+                op: BinOp::Eq,
+                left,
+                right,
+            } => {
+                let (col, key) = match (&**left, &**right) {
+                    (Expr::Column(c), k) => (c, key_value(k, params)?),
+                    (k, Expr::Column(c)) => (c, key_value(k, params)?),
                     _ => return None,
                 };
-                if let Some(q) = &col.table {
-                    if !q.eq_ignore_ascii_case(&from.alias) && !q.eq_ignore_ascii_case(&from.name)
-                    {
-                        return None;
-                    }
-                }
-                let ci = table.column_index(&col.column)?;
-                if table.has_index(ci) {
-                    Some((ci, v_coerced(table, ci, lit)))
-                } else {
-                    None
-                }
+                let ci = probe_column(col, from, table)?;
+                Some(Probe::Eq(ci, v_coerced(table, ci, key)))
+            }
+            Expr::InList { expr, list } => {
+                let Expr::Column(col) = &**expr else {
+                    return None;
+                };
+                let ci = probe_column(col, from, table)?;
+                let keys: Option<Vec<Value>> = list
+                    .iter()
+                    .map(|item| key_value(item, params).map(|v| v_coerced(table, ci, v)))
+                    .collect();
+                Some(Probe::In(ci, keys?))
             }
             _ => None,
         }
@@ -625,7 +877,7 @@ fn find_index_probe(
             _ => v.clone(),
         }
     }
-    walk(predicate?, from, table)
+    walk(predicate?, from, table, params)
 }
 
 #[cfg(test)]
@@ -634,10 +886,12 @@ mod tests {
 
     fn db_with_issues() -> Database {
         let mut db = Database::new();
-        db.execute("CREATE TABLE project (id INT PRIMARY KEY, name TEXT)").unwrap();
+        db.execute("CREATE TABLE project (id INT PRIMARY KEY, name TEXT)")
+            .unwrap();
         db.execute("CREATE TABLE issue (id INT PRIMARY KEY, project_id INT, title TEXT, sev INT)")
             .unwrap();
-        db.execute("INSERT INTO project VALUES (1, 'alpha'), (2, 'beta')").unwrap();
+        db.execute("INSERT INTO project VALUES (1, 'alpha'), (2, 'beta')")
+            .unwrap();
         db.execute(
             "INSERT INTO issue VALUES (10, 1, 'crash', 3), (11, 1, 'typo', 1), (12, 2, 'slow', 2)",
         )
@@ -666,7 +920,9 @@ mod tests {
     fn secondary_index_probe() {
         let mut db = db_with_issues();
         db.execute("CREATE INDEX ON issue (project_id)").unwrap();
-        let out = db.execute("SELECT * FROM issue WHERE project_id = 1").unwrap();
+        let out = db
+            .execute("SELECT * FROM issue WHERE project_id = 1")
+            .unwrap();
         assert_eq!(out.result.len(), 2);
         assert_eq!(out.stats.rows_scanned, 2);
     }
@@ -682,14 +938,22 @@ mod tests {
             .unwrap();
         assert_eq!(out.result.columns, vec!["title", "name"]);
         assert_eq!(out.result.len(), 2);
-        assert_eq!(out.result.get(0, "title"), Some(&Value::Str("crash".into())));
+        assert_eq!(
+            out.result.get(0, "title"),
+            Some(&Value::Str("crash".into()))
+        );
     }
 
     #[test]
     fn order_by_desc_and_limit() {
         let mut db = db_with_issues();
-        let out = db.execute("SELECT id FROM issue ORDER BY sev DESC LIMIT 2").unwrap();
-        assert_eq!(out.result.rows, vec![vec![Value::Int(10)], vec![Value::Int(12)]]);
+        let out = db
+            .execute("SELECT id FROM issue ORDER BY sev DESC LIMIT 2")
+            .unwrap();
+        assert_eq!(
+            out.result.rows,
+            vec![vec![Value::Int(10)], vec![Value::Int(12)]]
+        );
     }
 
     #[test]
@@ -699,16 +963,22 @@ mod tests {
         assert_eq!(c.result.get(0, "count"), Some(&Value::Int(3)));
         let s = db.execute("SELECT SUM(sev) FROM issue").unwrap();
         assert_eq!(s.result.get(0, "sum"), Some(&Value::Int(6)));
-        let m = db.execute("SELECT MAX(sev) FROM issue WHERE project_id = 1").unwrap();
+        let m = db
+            .execute("SELECT MAX(sev) FROM issue WHERE project_id = 1")
+            .unwrap();
         assert_eq!(m.result.get(0, "max"), Some(&Value::Int(3)));
-        let d = db.execute("SELECT COUNT(DISTINCT project_id) FROM issue").unwrap();
+        let d = db
+            .execute("SELECT COUNT(DISTINCT project_id) FROM issue")
+            .unwrap();
         assert_eq!(d.result.get(0, "count"), Some(&Value::Int(2)));
     }
 
     #[test]
     fn update_with_arith() {
         let mut db = db_with_issues();
-        let out = db.execute("UPDATE issue SET sev = sev + 10 WHERE project_id = 1").unwrap();
+        let out = db
+            .execute("UPDATE issue SET sev = sev + 10 WHERE project_id = 1")
+            .unwrap();
         assert_eq!(out.stats.rows_returned, 2);
         assert!(out.stats.is_write);
         let check = db.execute("SELECT sev FROM issue WHERE id = 10").unwrap();
@@ -726,17 +996,23 @@ mod tests {
     #[test]
     fn like_and_in() {
         let mut db = db_with_issues();
-        let out = db.execute("SELECT id FROM issue WHERE title LIKE 'c%'").unwrap();
+        let out = db
+            .execute("SELECT id FROM issue WHERE title LIKE 'c%'")
+            .unwrap();
         assert_eq!(out.result.len(), 1);
-        let out = db.execute("SELECT id FROM issue WHERE id IN (10, 12)").unwrap();
+        let out = db
+            .execute("SELECT id FROM issue WHERE id IN (10, 12)")
+            .unwrap();
         assert_eq!(out.result.len(), 2);
     }
 
     #[test]
     fn is_null_handling() {
         let mut db = Database::new();
-        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
-        db.execute("INSERT INTO t VALUES (1, NULL), (2, 'x')").unwrap();
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+            .unwrap();
+        db.execute("INSERT INTO t VALUES (1, NULL), (2, 'x')")
+            .unwrap();
         let n = db.execute("SELECT id FROM t WHERE v IS NULL").unwrap();
         assert_eq!(n.result.rows, vec![vec![Value::Int(1)]]);
         let nn = db.execute("SELECT id FROM t WHERE v IS NOT NULL").unwrap();
@@ -772,18 +1048,119 @@ mod tests {
     }
 
     #[test]
+    fn in_list_uses_index_probes() {
+        let mut db = db_with_issues();
+        let out = db
+            .execute("SELECT * FROM issue WHERE id IN (10, 12, 99)")
+            .unwrap();
+        assert_eq!(out.result.len(), 2);
+        assert_eq!(out.stats.rows_scanned, 2, "K probes, not a full scan");
+        // Unindexed column: falls back to a scan with identical results.
+        let scan = db
+            .execute("SELECT * FROM issue WHERE sev IN (2, 3)")
+            .unwrap();
+        assert_eq!(scan.result.len(), 2);
+        assert_eq!(scan.stats.rows_scanned, 3);
+    }
+
+    #[test]
+    fn in_probe_preserves_scan_order_and_dedups() {
+        let mut db = db_with_issues();
+        let probe = db
+            .execute("SELECT id FROM issue WHERE id IN (12, 10, 10)")
+            .unwrap();
+        let scan = db
+            .execute("SELECT id FROM issue WHERE id = 12 OR id = 10")
+            .unwrap();
+        assert_eq!(
+            probe.result.rows, scan.result.rows,
+            "row order matches scan order"
+        );
+    }
+
+    #[test]
+    fn plan_cache_hits_on_same_template() {
+        let mut db = db_with_issues();
+        assert_eq!(db.plan_cache_stats().hits, 0);
+        let a = db.execute("SELECT title FROM issue WHERE id = 10").unwrap();
+        let stats = db.plan_cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 1, 1));
+        // Different literal, different whitespace/case — same template.
+        let b = db
+            .execute("select TITLE from ISSUE  where id = 11")
+            .unwrap();
+        let stats = db.plan_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(a.result.get(0, "title"), Some(&Value::Str("crash".into())));
+        assert_eq!(b.result.get(0, "title"), Some(&Value::Str("typo".into())));
+        // Cached plan still uses the PK probe.
+        assert_eq!(b.stats.rows_scanned, 1);
+    }
+
+    #[test]
+    fn plan_cache_skipped_for_writes_and_errors() {
+        let mut db = db_with_issues();
+        db.execute("UPDATE issue SET sev = 1 WHERE id = 10")
+            .unwrap();
+        assert_eq!(db.plan_cache_stats().misses, 0, "writes bypass the cache");
+        assert!(db.execute("SELECT * FROM nope WHERE id = 1").is_err());
+        assert_eq!(
+            db.plan_cache_stats().entries,
+            0,
+            "failed plans are not cached"
+        );
+        // The same failing statement errors identically on every try.
+        let e1 = db.execute("SELECT * FROM nope WHERE id = 1").unwrap_err();
+        let e2 = db.execute("SELECT * FROM nope WHERE id = 2").unwrap_err();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn plan_cache_results_match_uncached() {
+        let mut db = db_with_issues();
+        let mut cold = db_with_issues();
+        for sql in [
+            "SELECT * FROM issue WHERE sev >= 2 ORDER BY id DESC LIMIT 2",
+            "SELECT title FROM issue WHERE title LIKE 'c%'",
+            "SELECT id FROM issue WHERE id IN (10, 11)",
+            "SELECT id FROM issue WHERE sev = -1",
+        ] {
+            // Warm the cache, then re-execute: second run is the cached plan.
+            let first = db.execute(sql).unwrap();
+            let second = db.execute(sql).unwrap();
+            let reference = cold.execute_stmt(&parse(sql).unwrap()).unwrap();
+            assert_eq!(first.result, reference.result, "{sql}");
+            assert_eq!(second.result, reference.result, "{sql}");
+            assert_eq!(second.stats, reference.stats, "{sql}");
+        }
+        assert!(db.plan_cache_stats().hits >= 4);
+    }
+
+    #[test]
+    fn plan_cache_bounded() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY)").unwrap();
+        // Distinct LIMIT values produce distinct templates.
+        for i in 1..1200usize {
+            db.execute(&format!("SELECT id FROM t LIMIT {i}")).unwrap();
+        }
+        assert!(db.plan_cache_stats().entries <= 512);
+    }
+
+    #[test]
     fn three_way_join() {
         let mut db = Database::new();
-        db.execute("CREATE TABLE a (id INT PRIMARY KEY, b_id INT)").unwrap();
-        db.execute("CREATE TABLE b (id INT PRIMARY KEY, c_id INT)").unwrap();
-        db.execute("CREATE TABLE c (id INT PRIMARY KEY, name TEXT)").unwrap();
+        db.execute("CREATE TABLE a (id INT PRIMARY KEY, b_id INT)")
+            .unwrap();
+        db.execute("CREATE TABLE b (id INT PRIMARY KEY, c_id INT)")
+            .unwrap();
+        db.execute("CREATE TABLE c (id INT PRIMARY KEY, name TEXT)")
+            .unwrap();
         db.execute("INSERT INTO a VALUES (1, 10)").unwrap();
         db.execute("INSERT INTO b VALUES (10, 100)").unwrap();
         db.execute("INSERT INTO c VALUES (100, 'deep')").unwrap();
         let out = db
-            .execute(
-                "SELECT c.name FROM a JOIN b ON a.b_id = b.id JOIN c ON b.c_id = c.id",
-            )
+            .execute("SELECT c.name FROM a JOIN b ON a.b_id = b.id JOIN c ON b.c_id = c.id")
             .unwrap();
         assert_eq!(out.result.rows, vec![vec![Value::Str("deep".into())]]);
     }

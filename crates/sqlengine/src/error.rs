@@ -11,14 +11,14 @@ pub struct SqlError {
 impl SqlError {
     /// Generic error with a message.
     pub fn new(message: impl Into<String>) -> Self {
-        SqlError { message: message.into() }
+        SqlError {
+            message: message.into(),
+        }
     }
 
     /// Lex error annotated with the source position.
     pub fn lex(sql: &str, pos: usize, message: &str) -> Self {
-        SqlError::new(format!(
-            "lex error at byte {pos}: {message} in {sql:?}"
-        ))
+        SqlError::new(format!("lex error at byte {pos}: {message} in {sql:?}"))
     }
 
     /// The error message.

@@ -8,7 +8,11 @@ use crate::value::Value;
 /// Parses one SQL statement (a trailing `;` is allowed).
 pub fn parse(sql: &str) -> Result<Statement, SqlError> {
     let tokens = tokenize(sql)?;
-    let mut p = Parser { tokens, pos: 0, sql };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        sql,
+    };
     let stmt = p.statement()?;
     p.eat_symbol(";");
     if !p.at_end() {
@@ -156,7 +160,11 @@ impl<'a> Parser<'a> {
                 self.expect_kw("KEY")?;
                 primary_key = true;
             }
-            columns.push(ColumnDef { name: col_name, ty, primary_key });
+            columns.push(ColumnDef {
+                name: col_name,
+                ty,
+                primary_key,
+            });
             if !self.eat_symbol(",") {
                 break;
             }
@@ -210,7 +218,11 @@ impl<'a> Parser<'a> {
                 break;
             }
         }
-        Ok(Statement::Insert { table, columns, values })
+        Ok(Statement::Insert {
+            table,
+            columns,
+            values,
+        })
     }
 
     fn update(&mut self) -> Result<Statement, SqlError> {
@@ -225,14 +237,26 @@ impl<'a> Parser<'a> {
                 break;
             }
         }
-        let predicate = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
-        Ok(Statement::Update { table, sets, predicate })
+        let predicate = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            sets,
+            predicate,
+        })
     }
 
     fn delete(&mut self) -> Result<Statement, SqlError> {
         self.expect_kw("FROM")?;
         let table = self.ident()?;
-        let predicate = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        let predicate = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         Ok(Statement::Delete { table, predicate })
     }
 
@@ -256,7 +280,11 @@ impl<'a> Parser<'a> {
                 break;
             }
         }
-        let predicate = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        let predicate = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut order_by = Vec::new();
         if self.eat_kw("ORDER") {
             self.expect_kw("BY")?;
@@ -282,7 +310,14 @@ impl<'a> Parser<'a> {
         } else {
             None
         };
-        Ok(SelectStmt { projection, from, joins, predicate, order_by, limit })
+        Ok(SelectStmt {
+            projection,
+            from,
+            joins,
+            predicate,
+            order_by,
+            limit,
+        })
     }
 
     fn projection(&mut self) -> Result<Projection, SqlError> {
@@ -333,11 +368,7 @@ impl<'a> Parser<'a> {
         let name = self.ident()?;
         // Optional alias: bare identifier that is not a clause keyword.
         let alias = match self.peek() {
-            Some(Token::Ident(s))
-                if !is_clause_keyword(s) =>
-            {
-                self.ident()?
-            }
+            Some(Token::Ident(s)) if !is_clause_keyword(s) => self.ident()?,
             _ => name.clone(),
         };
         Ok(TableRef { name, alias })
@@ -347,9 +378,15 @@ impl<'a> Parser<'a> {
         let first = self.ident()?;
         if self.eat_symbol(".") {
             let column = self.ident()?;
-            Ok(ColumnRef { table: Some(first), column })
+            Ok(ColumnRef {
+                table: Some(first),
+                column,
+            })
         } else {
-            Ok(ColumnRef { table: None, column: first })
+            Ok(ColumnRef {
+                table: None,
+                column: first,
+            })
         }
     }
 
@@ -364,7 +401,11 @@ impl<'a> Parser<'a> {
         let mut left = self.and_expr()?;
         while self.eat_kw("OR") {
             let right = self.and_expr()?;
-            left = Expr::Binary { op: BinOp::Or, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op: BinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -373,7 +414,11 @@ impl<'a> Parser<'a> {
         let mut left = self.not_expr()?;
         while self.eat_kw("AND") {
             let right = self.not_expr()?;
-            left = Expr::Binary { op: BinOp::And, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op: BinOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -392,18 +437,24 @@ impl<'a> Parser<'a> {
             self.expect_symbol("(")?;
             let mut list = Vec::new();
             loop {
-                list.push(self.literal()?);
+                list.push(Expr::Literal(self.literal()?));
                 if !self.eat_symbol(",") {
                     break;
                 }
             }
             self.expect_symbol(")")?;
-            return Ok(Expr::InList { expr: Box::new(left), list });
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+            });
         }
         if self.eat_kw("LIKE") {
             match self.next() {
                 Some(Token::Str(p)) => {
-                    return Ok(Expr::Like { expr: Box::new(left), pattern: p })
+                    return Ok(Expr::Like {
+                        expr: Box::new(left),
+                        pattern: p,
+                    })
                 }
                 _ => return Err(self.err("expected string pattern after LIKE")),
             }
@@ -411,7 +462,10 @@ impl<'a> Parser<'a> {
         if self.eat_kw("IS") {
             let negated = self.eat_kw("NOT");
             self.expect_kw("NULL")?;
-            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
         let op = if self.eat_symbol("=") {
             BinOp::Eq
@@ -429,7 +483,11 @@ impl<'a> Parser<'a> {
             return Ok(left);
         };
         let right = self.add_expr()?;
-        Ok(Expr::Binary { op, left: Box::new(left), right: Box::new(right) })
+        Ok(Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        })
     }
 
     fn add_expr(&mut self) -> Result<Expr, SqlError> {
@@ -443,7 +501,11 @@ impl<'a> Parser<'a> {
                 break;
             };
             let right = self.mul_expr()?;
-            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -459,7 +521,11 @@ impl<'a> Parser<'a> {
                 break;
             };
             let right = self.atom()?;
-            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -586,7 +652,9 @@ mod tests {
     fn parse_insert_multi_row() {
         let s = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
         match s {
-            Statement::Insert { columns, values, .. } => {
+            Statement::Insert {
+                columns, values, ..
+            } => {
                 assert_eq!(columns, vec!["a", "b"]);
                 assert_eq!(values.len(), 2);
             }
@@ -598,7 +666,9 @@ mod tests {
     fn parse_update_arith() {
         let s = parse("UPDATE stock SET qty = qty - 5, sold = sold + 1 WHERE id = 3").unwrap();
         match s {
-            Statement::Update { sets, predicate, .. } => {
+            Statement::Update {
+                sets, predicate, ..
+            } => {
                 assert_eq!(sets.len(), 2);
                 assert!(predicate.is_some());
             }
@@ -608,10 +678,9 @@ mod tests {
 
     #[test]
     fn parse_in_like_isnull() {
-        let s = parse(
-            "SELECT * FROM t WHERE a IN (1, 2, 3) AND name LIKE 'foo%' AND b IS NOT NULL",
-        )
-        .unwrap();
+        let s =
+            parse("SELECT * FROM t WHERE a IN (1, 2, 3) AND name LIKE 'foo%' AND b IS NOT NULL")
+                .unwrap();
         match s {
             Statement::Select(sel) => assert!(sel.predicate.is_some()),
             _ => panic!(),

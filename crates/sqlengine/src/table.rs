@@ -22,7 +22,13 @@ pub struct Table {
 impl Table {
     /// Creates an empty table; the primary-key column (if any) is indexed.
     pub fn new(name: String, columns: Vec<ColumnDef>) -> Self {
-        let mut t = Table { name, columns, rows: Vec::new(), live: 0, indexes: HashMap::new() };
+        let mut t = Table {
+            name,
+            columns,
+            rows: Vec::new(),
+            live: 0,
+            indexes: HashMap::new(),
+        };
         if let Some(pk) = t.columns.iter().position(|c| c.primary_key) {
             t.indexes.insert(pk, HashMap::new());
         }
@@ -41,7 +47,9 @@ impl Table {
 
     /// Position of a column by name (case-insensitive).
     pub fn column_index(&self, name: &str) -> Option<usize> {
-        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
     }
 
     /// Declared column names.
@@ -93,8 +101,11 @@ impl Table {
                 row.len()
             )));
         }
-        let row: Row =
-            row.into_iter().enumerate().map(|(ci, v)| self.coerce(ci, v)).collect();
+        let row: Row = row
+            .into_iter()
+            .enumerate()
+            .map(|(ci, v)| self.coerce(ci, v))
+            .collect();
         let rid = self.rows.len();
         for (ci, index) in self.indexes.iter_mut() {
             index.entry(row[*ci].clone()).or_default().push(rid);
@@ -106,12 +117,17 @@ impl Table {
 
     /// Iterates `(row_id, row)` over live rows.
     pub fn scan(&self) -> impl Iterator<Item = (usize, &Row)> {
-        self.rows.iter().enumerate().filter_map(|(i, r)| r.as_ref().map(|row| (i, row)))
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|row| (i, row)))
     }
 
     /// Row ids whose indexed column `ci` equals `key` (requires an index).
     pub fn probe(&self, ci: usize, key: &Value) -> Option<&[usize]> {
-        self.indexes.get(&ci).map(|ix| ix.get(key).map(Vec::as_slice).unwrap_or(&[]))
+        self.indexes
+            .get(&ci)
+            .map(|ix| ix.get(key).map(Vec::as_slice).unwrap_or(&[]))
     }
 
     /// Returns a live row by id.
@@ -162,12 +178,22 @@ mod tests {
         let mut t = Table::new(
             "t".into(),
             vec![
-                ColumnDef { name: "id".into(), ty: ColumnType::Int, primary_key: true },
-                ColumnDef { name: "name".into(), ty: ColumnType::Text, primary_key: false },
+                ColumnDef {
+                    name: "id".into(),
+                    ty: ColumnType::Int,
+                    primary_key: true,
+                },
+                ColumnDef {
+                    name: "name".into(),
+                    ty: ColumnType::Text,
+                    primary_key: false,
+                },
             ],
         );
-        t.insert(vec![Value::Int(1), Value::Str("a".into())]).unwrap();
-        t.insert(vec![Value::Int(2), Value::Str("b".into())]).unwrap();
+        t.insert(vec![Value::Int(1), Value::Str("a".into())])
+            .unwrap();
+        t.insert(vec![Value::Int(2), Value::Str("b".into())])
+            .unwrap();
         t
     }
 
@@ -184,7 +210,8 @@ mod tests {
         let mut t = sample();
         t.create_index("name").unwrap();
         assert_eq!(t.probe(1, &Value::Str("b".into())), Some(&[1usize][..]));
-        t.insert(vec![Value::Int(3), Value::Str("b".into())]).unwrap();
+        t.insert(vec![Value::Int(3), Value::Str("b".into())])
+            .unwrap();
         assert_eq!(t.probe(1, &Value::Str("b".into())), Some(&[1usize, 2][..]));
     }
 
@@ -215,7 +242,11 @@ mod tests {
     fn int_to_float_coercion() {
         let mut t = Table::new(
             "f".into(),
-            vec![ColumnDef { name: "x".into(), ty: ColumnType::Float, primary_key: false }],
+            vec![ColumnDef {
+                name: "x".into(),
+                ty: ColumnType::Float,
+                primary_key: false,
+            }],
         );
         t.insert(vec![Value::Int(3)]).unwrap();
         assert_eq!(t.row(0).unwrap()[0], Value::Float(3.0));

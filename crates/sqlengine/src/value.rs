@@ -120,6 +120,21 @@ impl Value {
             _ => self == other,
         }
     }
+
+    /// Renders the value as a SQL literal (single quotes with `''`
+    /// escaping, matching the lexer). The single source of truth for
+    /// literal rendering — the ORM's SQL generator and the fusion
+    /// renderer both delegate here, which keeps generated SQL
+    /// byte-identical across layers (in-batch dedup depends on that).
+    pub fn sql_literal(&self) -> String {
+        match self {
+            Value::Null => "NULL".to_string(),
+            Value::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => format!("{f}"),
+            Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        }
+    }
 }
 
 impl PartialEq for Value {
@@ -224,7 +239,9 @@ impl ResultSet {
 
     /// Index of a column by name (case-insensitive), if present.
     pub fn column_index(&self, name: &str) -> Option<usize> {
-        self.columns.iter().position(|c| c.eq_ignore_ascii_case(name))
+        self.columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
     }
 
     /// Cell lookup by row index and column name.

@@ -1,93 +1,202 @@
 //! Property tests on the SQL substrate: the engine must be total (no
 //! panics) on arbitrary inputs within the supported grammar, and basic
 //! algebraic invariants must hold.
+//!
+//! The container build has no third-party crates available, so instead of
+//! `proptest` these use a small deterministic SplitMix64 generator: every
+//! property runs over a fixed number of seeded cases and failures print the
+//! offending seed for replay.
 
-use proptest::prelude::*;
+use std::collections::BTreeMap;
+
 use sloth_sql::{Database, Value};
+
+/// Deterministic SplitMix64 — the standard 64-bit mixer.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_add(0x9E3779B97F4A7C15))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next() % (hi - lo) as u64) as i64
+    }
+}
+
+/// Runs `f` over `n` deterministic cases, reporting the failing case index.
+fn cases(n: u64, f: impl Fn(&mut Rng)) {
+    for case in 0..n {
+        let mut rng = Rng::new(0x5EED_BA5E ^ case);
+        f(&mut rng);
+    }
+}
+
+/// Random `(id, v)` rows with distinct ids, like the old
+/// `btree_map(0..100, -50..50, 0..max)` strategy.
+fn arb_rows(rng: &mut Rng, max: usize) -> Vec<(i64, i64)> {
+    let n = rng.range(0, max as i64 + 1);
+    let mut m = BTreeMap::new();
+    for _ in 0..n {
+        m.insert(rng.range(0, 100), rng.range(-50, 50));
+    }
+    m.into_iter().collect()
+}
 
 fn seeded(rows: &[(i64, i64)]) -> Database {
     let mut db = Database::new();
-    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        .unwrap();
     for (id, v) in rows {
-        db.execute(&format!("INSERT INTO t VALUES ({id}, {v})")).unwrap();
+        db.execute(&format!("INSERT INTO t VALUES ({id}, {v})"))
+            .unwrap();
     }
     db
 }
 
-proptest! {
-    /// Insert-then-count: COUNT(*) equals the number of distinct PKs.
-    #[test]
-    fn count_matches_inserts(rows in proptest::collection::btree_map(0i64..100, -50i64..50, 0..40)) {
-        let rows: Vec<(i64, i64)> = rows.into_iter().collect();
+/// Insert-then-count: COUNT(*) equals the number of distinct PKs.
+#[test]
+fn count_matches_inserts() {
+    cases(64, |rng| {
+        let rows = arb_rows(rng, 40);
         let mut db = seeded(&rows);
         let out = db.execute("SELECT COUNT(*) FROM t").unwrap();
-        prop_assert_eq!(out.result.rows[0][0].clone(), Value::Int(rows.len() as i64));
-    }
+        assert_eq!(out.result.rows[0][0], Value::Int(rows.len() as i64));
+    });
+}
 
-    /// Range filters partition the table: |v < k| + |v >= k| = |t|.
-    #[test]
-    fn filters_partition(rows in proptest::collection::btree_map(0i64..100, -50i64..50, 0..40),
-                         k in -60i64..60) {
-        let rows: Vec<(i64, i64)> = rows.into_iter().collect();
+/// Range filters partition the table: |v < k| + |v >= k| = |t|.
+#[test]
+fn filters_partition() {
+    cases(64, |rng| {
+        let rows = arb_rows(rng, 40);
+        let k = rng.range(-60, 60);
         let mut db = seeded(&rows);
-        let lt = db.execute(&format!("SELECT COUNT(*) FROM t WHERE v < {k}")).unwrap();
-        let ge = db.execute(&format!("SELECT COUNT(*) FROM t WHERE v >= {k}")).unwrap();
-        let total = lt.result.rows[0][0].as_i64().unwrap() + ge.result.rows[0][0].as_i64().unwrap();
-        prop_assert_eq!(total, rows.len() as i64);
-    }
-
-    /// PK index probes agree with predicate scans.
-    #[test]
-    fn index_probe_equals_scan(rows in proptest::collection::btree_map(0i64..100, -50i64..50, 1..40),
-                               probe in 0i64..100) {
-        let rows: Vec<(i64, i64)> = rows.into_iter().collect();
-        let mut db = seeded(&rows);
-        let via_index = db.execute(&format!("SELECT v FROM t WHERE id = {probe}")).unwrap();
-        let via_scan = db
-            .execute(&format!("SELECT v FROM t WHERE id <= {probe} AND id >= {probe}"))
+        let lt = db
+            .execute(&format!("SELECT COUNT(*) FROM t WHERE v < {k}"))
             .unwrap();
-        prop_assert_eq!(via_index.result.rows, via_scan.result.rows);
-    }
+        let ge = db
+            .execute(&format!("SELECT COUNT(*) FROM t WHERE v >= {k}"))
+            .unwrap();
+        let total = lt.result.rows[0][0].as_i64().unwrap() + ge.result.rows[0][0].as_i64().unwrap();
+        assert_eq!(total, rows.len() as i64, "rows {rows:?} k {k}");
+    });
+}
 
-    /// UPDATE then SELECT reads back the written value.
-    #[test]
-    fn update_read_back(rows in proptest::collection::btree_map(0i64..20, -50i64..50, 1..10),
-                        delta in -5i64..6) {
-        let rows: Vec<(i64, i64)> = rows.into_iter().collect();
+/// PK index probes agree with predicate scans.
+#[test]
+fn index_probe_equals_scan() {
+    cases(64, |rng| {
+        let mut rows = arb_rows(rng, 40);
+        if rows.is_empty() {
+            rows.push((rng.range(0, 100), rng.range(-50, 50)));
+        }
+        let probe = rng.range(0, 100);
+        let mut db = seeded(&rows);
+        let via_index = db
+            .execute(&format!("SELECT v FROM t WHERE id = {probe}"))
+            .unwrap();
+        let via_scan = db
+            .execute(&format!(
+                "SELECT v FROM t WHERE id <= {probe} AND id >= {probe}"
+            ))
+            .unwrap();
+        assert_eq!(via_index.result.rows, via_scan.result.rows);
+    });
+}
+
+/// `IN (…)` probes agree with the equivalent OR-of-equalities scan.
+#[test]
+fn in_list_probe_equals_scan() {
+    cases(64, |rng| {
+        let rows = arb_rows(rng, 40);
+        let mut db = seeded(&rows);
+        let (a, b, c) = (rng.range(0, 100), rng.range(0, 100), rng.range(0, 100));
+        let via_probe = db
+            .execute(&format!("SELECT id, v FROM t WHERE id IN ({a}, {b}, {c})"))
+            .unwrap();
+        let via_scan = db
+            .execute(&format!(
+                "SELECT id, v FROM t WHERE id = {a} OR id = {b} OR id = {c}"
+            ))
+            .unwrap();
+        assert_eq!(
+            via_probe.result.rows, via_scan.result.rows,
+            "keys {a},{b},{c}"
+        );
+    });
+}
+
+/// UPDATE then SELECT reads back the written value.
+#[test]
+fn update_read_back() {
+    cases(64, |rng| {
+        let mut rows = arb_rows(rng, 10);
+        if rows.is_empty() {
+            rows.push((rng.range(0, 20), rng.range(-50, 50)));
+        }
+        let delta = rng.range(-5, 6);
         let (target, before) = rows[0];
         let mut db = seeded(&rows);
-        db.execute(&format!("UPDATE t SET v = v + {delta} WHERE id = {target}")).unwrap();
-        let out = db.execute(&format!("SELECT v FROM t WHERE id = {target}")).unwrap();
-        prop_assert_eq!(out.result.rows[0][0].clone(), Value::Int(before + delta));
-    }
+        db.execute(&format!("UPDATE t SET v = v + {delta} WHERE id = {target}"))
+            .unwrap();
+        let out = db
+            .execute(&format!("SELECT v FROM t WHERE id = {target}"))
+            .unwrap();
+        assert_eq!(out.result.rows[0][0], Value::Int(before + delta));
+    });
+}
 
-    /// ORDER BY produces a sorted column.
-    #[test]
-    fn order_by_sorts(rows in proptest::collection::btree_map(0i64..100, -50i64..50, 0..40)) {
-        let rows: Vec<(i64, i64)> = rows.into_iter().collect();
+/// ORDER BY produces a sorted column.
+#[test]
+fn order_by_sorts() {
+    cases(64, |rng| {
+        let rows = arb_rows(rng, 40);
         let mut db = seeded(&rows);
         let out = db.execute("SELECT v FROM t ORDER BY v").unwrap();
-        let vs: Vec<i64> = out.result.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        let vs: Vec<i64> = out
+            .result
+            .rows
+            .iter()
+            .map(|r| r[0].as_i64().unwrap())
+            .collect();
         let mut sorted = vs.clone();
         sorted.sort();
-        prop_assert_eq!(vs, sorted);
-    }
+        assert_eq!(vs, sorted);
+    });
+}
 
-    /// The lexer+parser never panic on arbitrary printable input.
-    #[test]
-    fn parser_total(garbage in "[ -~]{0,80}") {
+/// The lexer+parser never panic on arbitrary printable input.
+#[test]
+fn parser_total() {
+    cases(256, |rng| {
+        let len = rng.range(0, 81) as usize;
+        let garbage: String = (0..len)
+            .map(|_| (rng.range(b' ' as i64, b'~' as i64 + 1) as u8) as char)
+            .collect();
         let _ = sloth_sql::parse(&garbage);
-    }
+    });
+}
 
-    /// DELETE removes exactly the matching rows.
-    #[test]
-    fn delete_complement(rows in proptest::collection::btree_map(0i64..100, -50i64..50, 0..30),
-                         k in -60i64..60) {
-        let rows: Vec<(i64, i64)> = rows.into_iter().collect();
+/// DELETE removes exactly the matching rows.
+#[test]
+fn delete_complement() {
+    cases(64, |rng| {
+        let rows = arb_rows(rng, 30);
+        let k = rng.range(-60, 60);
         let mut db = seeded(&rows);
         let keep = rows.iter().filter(|(_, v)| *v >= k).count() as i64;
         db.execute(&format!("DELETE FROM t WHERE v < {k}")).unwrap();
         let out = db.execute("SELECT COUNT(*) FROM t").unwrap();
-        prop_assert_eq!(out.result.rows[0][0].clone(), Value::Int(keep));
-    }
+        assert_eq!(out.result.rows[0][0], Value::Int(keep));
+    });
 }

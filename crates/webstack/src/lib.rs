@@ -185,13 +185,20 @@ mod tests {
 
     fn setup() -> (SimEnv, Session) {
         let mut s = Schema::new();
-        s.add(entity("item", "item", "id", &[("id", Int), ("name", Text)], vec![]));
+        s.add(entity(
+            "item",
+            "item",
+            "id",
+            &[("id", Int), ("name", Text)],
+            vec![],
+        ));
         let schema = Rc::new(s);
         let env = SimEnv::default_env();
         for ddl in schema.ddl() {
             env.seed_sql(&ddl).unwrap();
         }
-        env.seed_sql("INSERT INTO item VALUES (1, 'alpha'), (2, 'beta')").unwrap();
+        env.seed_sql("INSERT INTO item VALUES (1, 'alpha'), (2, 'beta')")
+            .unwrap();
         let store = QueryStore::new(env.clone());
         (env.clone(), Session::deferred(store, schema))
     }
@@ -233,11 +240,16 @@ mod tests {
         let (env, session) = setup();
         let mut m = Model::new();
         m.put("title", ModelValue::Text("items".into()));
-        m.put("first", ModelValue::LazyEntity(session.find_thunk("item", 1).unwrap()));
+        m.put(
+            "first",
+            ModelValue::LazyEntity(session.find_thunk("item", 1).unwrap()),
+        );
         m.put(
             "all",
             ModelValue::LazyList(
-                session.find_where_thunk("item", "id", &sloth_sql::Value::Int(2)).unwrap(),
+                session
+                    .find_where_thunk("item", "id", &sloth_sql::Value::Int(2))
+                    .unwrap(),
             ),
         );
         let html = render(&m);

@@ -57,9 +57,11 @@ fn main() {
 
     // Stage 3: run under both strategies.
     let env = SimEnv::default_env();
-    env.seed_sql("CREATE TABLE numbers (id INT PRIMARY KEY, v INT)").unwrap();
+    env.seed_sql("CREATE TABLE numbers (id INT PRIMARY KEY, v INT)")
+        .unwrap();
     for i in 0..50 {
-        env.seed_sql(&format!("INSERT INTO numbers VALUES ({i}, {})", i * 3)).unwrap();
+        env.seed_sql(&format!("INSERT INTO numbers VALUES ({i}, {})", i * 3))
+            .unwrap();
     }
     let db = env.snapshot_db();
     let schema = Rc::new(Schema::new());
@@ -70,7 +72,9 @@ fn main() {
     ] {
         let prepared = prepare(&program, strategy);
         let env = SimEnv::from_database(db.clone(), sloth_net::CostModel::default());
-        let r = prepared.run(&env, Rc::clone(&schema), vec![V::Int(10)]).unwrap();
+        let r = prepared
+            .run(&env, Rc::clone(&schema), vec![V::Int(10)])
+            .unwrap();
         println!(
             "{label:<9} output={:?}  round_trips={}  thunks={}",
             r.output, r.net.round_trips, r.counters.thunk_allocs

@@ -53,12 +53,14 @@ fn main() {
     for ddl in schema.ddl() {
         env.seed_sql(&ddl).unwrap();
     }
-    env.seed_sql("INSERT INTO patient VALUES (1, 'Ada Lovelace')").unwrap();
+    env.seed_sql("INSERT INTO patient VALUES (1, 'Ada Lovelace')")
+        .unwrap();
     env.seed_sql(
         "INSERT INTO encounter VALUES (10, 1, 'checkup'), (11, 1, 'lab'), (12, 1, 'x-ray')",
     )
     .unwrap();
-    env.seed_sql("INSERT INTO visit VALUES (100, 1, TRUE), (101, 1, FALSE)").unwrap();
+    env.seed_sql("INSERT INTO visit VALUES (100, 1, TRUE), (101, 1, FALSE)")
+        .unwrap();
 
     // ---- the controller (paper Fig. 1) ----
     let store = QueryStore::new(env.clone());
@@ -67,11 +69,17 @@ fn main() {
 
     // Q1: the patient. Registered, not executed.
     let patient = session.find_thunk("patient", 1).unwrap();
-    println!("after find_thunk:        round trips = {}", env.stats().round_trips);
+    println!(
+        "after find_thunk:        round trips = {}",
+        env.stats().round_trips
+    );
 
     // Building Q2..Q4 needs the patient's key → forces Q1 (batch 1 ships).
     let p = patient.force().expect("patient exists");
-    println!("after forcing patient:   round trips = {}", env.stats().round_trips);
+    println!(
+        "after forcing patient:   round trips = {}",
+        env.stats().round_trips
+    );
 
     let encounters = session.assoc_thunk(&p, "encounters").unwrap();
     let visits = session.assoc_thunk(&p, "visits").unwrap();
@@ -88,7 +96,10 @@ fn main() {
     // ---- the view ----
     // Rendering flushes the thunk writer: batch 2 ships in ONE round trip.
     let html = render(&model);
-    println!("after rendering:         round trips = {}", env.stats().round_trips);
+    println!(
+        "after rendering:         round trips = {}",
+        env.stats().round_trips
+    );
     println!("--- page ---\n{html}---");
 
     let stats = env.stats();
@@ -99,5 +110,8 @@ fn main() {
         stats.max_batch,
         stats.total_ns() as f64 / 1e6
     );
-    assert_eq!(stats.round_trips, 2, "Fig. 2: batch 1 (patient) + batch 2 (the rest)");
+    assert_eq!(
+        stats.round_trips, 2,
+        "Fig. 2: batch 1 (patient) + batch 2 (the rest)"
+    );
 }

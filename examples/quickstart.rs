@@ -13,8 +13,10 @@ use sloth_net::SimEnv;
 fn main() {
     // A simulated deployment: app server + DB, 0.5 ms apart.
     let env = SimEnv::default_env();
-    env.seed_sql("CREATE TABLE greeting (id INT PRIMARY KEY, word TEXT)").unwrap();
-    env.seed_sql("INSERT INTO greeting VALUES (1, 'hello'), (2, 'world')").unwrap();
+    env.seed_sql("CREATE TABLE greeting (id INT PRIMARY KEY, word TEXT)")
+        .unwrap();
+    env.seed_sql("INSERT INTO greeting VALUES (1, 'hello'), (2, 'world')")
+        .unwrap();
 
     // The per-request query store batches lazily-issued queries.
     let store = QueryStore::new(env.clone());
@@ -25,7 +27,11 @@ fn main() {
     let world = query_thunk(&store, "SELECT word FROM greeting WHERE id = 2", |rs| {
         rs.get(0, "word").unwrap().to_string()
     });
-    println!("registered {} queries, round trips so far: {}", 2, env.stats().round_trips);
+    println!(
+        "registered {} queries, round trips so far: {}",
+        2,
+        env.stats().round_trips
+    );
     assert_eq!(env.stats().round_trips, 0);
 
     // Forcing either thunk ships BOTH queries in a single batch.

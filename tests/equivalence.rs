@@ -2,136 +2,210 @@
 //! for randomly generated kernel-language programs, standard evaluation and
 //! extended lazy evaluation (under every optimization configuration) must
 //! produce the same output and leave the database in the same state.
+//!
+//! Uses a deterministic SplitMix64 generator instead of `proptest` (no
+//! third-party crates are available in the build environment); each case is
+//! reproducible from its printed seed.
 
 use std::rc::Rc;
 
-use proptest::prelude::*;
 use sloth_lang::{run_source, ExecStrategy, OptFlags};
 use sloth_net::SimEnv;
 use sloth_orm::Schema;
 
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_add(0x9E3779B97F4A7C15))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next() % (hi - lo) as u64) as i64
+    }
+}
+
 /// Builds a random straight-line/branchy/loopy program over integer
 /// variables `v0..v4`, reads and writes against a seeded table, and prints.
-fn arb_program() -> impl Strategy<Value = String> {
-    let stmt = prop_oneof![
-        // Arithmetic assignment over the variable pool.
-        (0..5usize, 0..5usize, 0..5usize, 0..3usize, -9i64..10).prop_map(
-            |(dst, a, b, op, lit)| {
-                let ops = ["+", "-", "*"];
-                format!("v{dst} = v{a} {} (v{b} + {lit});", ops[op])
+fn arb_program(rng: &mut Rng) -> String {
+    let n = rng.range(1, 12);
+    let mut stmts = Vec::new();
+    for _ in 0..n {
+        let stmt = match rng.range(0, 8) {
+            0 | 1 => {
+                // Arithmetic assignment over the variable pool.
+                let (dst, a, b) = (rng.range(0, 5), rng.range(0, 5), rng.range(0, 5));
+                let op = ["+", "-", "*"][rng.range(0, 3) as usize];
+                let lit = rng.range(-9, 10);
+                format!("v{dst} = v{a} {op} (v{b} + {lit});")
             }
-        ),
-        // Branch with assignments in both arms (deferrable or not).
-        (0..5usize, 0..5usize, 0..5usize, -5i64..6).prop_map(|(c, t, e, lit)| format!(
-            "if (v{c} > {lit}) {{ v{t} = v{t} + 1; }} else {{ v{e} = v{e} - 2; }}"
-        )),
-        // Bounded loop.
-        (0..5usize, 1..5i64).prop_map(|(dst, n)| format!(
-            "let i = 0; while (i < {n}) {{ v{dst} = v{dst} + i; i = i + 1; }}"
-        )),
-        // Read query derived from a variable (bounded to valid ids).
-        (0..5usize, 0..5usize).prop_map(|(dst, src)| format!(
-            "let id = v{src} % 5; if (id < 0) {{ id = 0 - id; }} \
-             let rs = query(\"SELECT v FROM t WHERE id = \" + str(id)); \
-             if (nrows(rs) > 0) {{ v{dst} = v{dst} + cell(rs, 0, \"v\"); }}"
-        )),
-        // Write query (flushes the batch, §3.3).
-        (0..5i64, -3i64..4).prop_map(|(id, delta)| format!(
-            "exec(\"UPDATE t SET v = v + {delta} WHERE id = {id}\");"
-        )),
-        // Output.
-        (0..5usize).prop_map(|v| format!("print(str(v{v}));")),
-        // Pure helper call.
-        (0..5usize, 0..5usize).prop_map(|(dst, a)| format!("v{dst} = double(v{a});")),
-    ];
-    proptest::collection::vec(stmt, 1..12).prop_map(|stmts| {
-        format!(
-            "fn double(x) {{ return x * 2; }}\n\
-             fn main() {{\n\
-             let v0 = 1; let v1 = 2; let v2 = 3; let v3 = 4; let v4 = 5;\n\
-             {}\n\
-             print(str(v0 + v1 + v2 + v3 + v4));\n\
-             }}",
-            stmts.join("\n")
-        )
-    })
+            2 => {
+                // Branch with assignments in both arms (deferrable or not).
+                let (c, t, e) = (rng.range(0, 5), rng.range(0, 5), rng.range(0, 5));
+                let lit = rng.range(-5, 6);
+                format!("if (v{c} > {lit}) {{ v{t} = v{t} + 1; }} else {{ v{e} = v{e} - 2; }}")
+            }
+            3 => {
+                // Bounded loop.
+                let (dst, n) = (rng.range(0, 5), rng.range(1, 5));
+                format!("let i = 0; while (i < {n}) {{ v{dst} = v{dst} + i; i = i + 1; }}")
+            }
+            4 => {
+                // Read query derived from a variable (bounded to valid ids).
+                let (dst, src) = (rng.range(0, 5), rng.range(0, 5));
+                format!(
+                    "let id = v{src} % 5; if (id < 0) {{ id = 0 - id; }} \
+                     let rs = query(\"SELECT v FROM t WHERE id = \" + str(id)); \
+                     if (nrows(rs) > 0) {{ v{dst} = v{dst} + cell(rs, 0, \"v\"); }}"
+                )
+            }
+            5 => {
+                // Write query (flushes the batch, §3.3).
+                let (id, delta) = (rng.range(0, 5), rng.range(-3, 4));
+                format!("exec(\"UPDATE t SET v = v + {delta} WHERE id = {id}\");")
+            }
+            6 => {
+                // Output.
+                format!("print(str(v{}));", rng.range(0, 5))
+            }
+            _ => {
+                // Pure helper call.
+                let (dst, a) = (rng.range(0, 5), rng.range(0, 5));
+                format!("v{dst} = double(v{a});")
+            }
+        };
+        stmts.push(stmt);
+    }
+    format!(
+        "fn double(x) {{ return x * 2; }}\n\
+         fn main() {{\n\
+         let v0 = 1; let v1 = 2; let v2 = 3; let v3 = 4; let v4 = 5;\n\
+         {}\n\
+         print(str(v0 + v1 + v2 + v3 + v4));\n\
+         }}",
+        stmts.join("\n")
+    )
 }
 
 fn fresh_env() -> SimEnv {
     let env = SimEnv::default_env();
-    env.seed_sql("CREATE TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+    env.seed_sql("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        .unwrap();
     for i in 0..5 {
-        env.seed_sql(&format!("INSERT INTO t VALUES ({i}, {})", i * 7 + 1)).unwrap();
+        env.seed_sql(&format!("INSERT INTO t VALUES ({i}, {})", i * 7 + 1))
+            .unwrap();
     }
     env
 }
 
 fn table_state(env: &SimEnv) -> Vec<Vec<sloth_sql::Value>> {
-    env.seed(|db| db.execute("SELECT id, v FROM t ORDER BY id").unwrap().result.rows)
+    env.seed(|db| {
+        db.execute("SELECT id, v FROM t ORDER BY id")
+            .unwrap()
+            .result
+            .rows
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Standard vs. lazy semantics: identical output, identical final DB —
-    /// for the fully optimized configuration.
-    #[test]
-    fn lazy_equals_standard_all_opts(src in arb_program()) {
-        let schema = Rc::new(Schema::new());
-        let env_o = fresh_env();
-        let o = run_source(&src, &env_o, Rc::clone(&schema), ExecStrategy::Original, vec![]);
-        let env_s = fresh_env();
-        let s = run_source(
-            &src, &env_s, Rc::clone(&schema), ExecStrategy::Sloth(OptFlags::all()), vec![]);
-        match (o, s) {
-            (Ok(o), Ok(s)) => {
-                prop_assert_eq!(o.output, s.output);
-                prop_assert_eq!(table_state(&env_o), table_state(&env_s));
-            }
-            (Err(_), Err(_)) => {} // both fail (e.g. overflow-free programs shouldn't, but symmetric)
-            (o, s) => prop_assert!(false, "one mode failed: orig={:?} sloth={:?}",
-                o.map(|r| r.output), s.map(|r| r.output)),
+fn check_equivalent(src: &str, flags: OptFlags) {
+    let schema = Rc::new(Schema::new());
+    let env_o = fresh_env();
+    let o = run_source(
+        src,
+        &env_o,
+        Rc::clone(&schema),
+        ExecStrategy::Original,
+        vec![],
+    );
+    let env_s = fresh_env();
+    let s = run_source(
+        src,
+        &env_s,
+        Rc::clone(&schema),
+        ExecStrategy::Sloth(flags),
+        vec![],
+    );
+    match (o, s) {
+        (Ok(o), Ok(s)) => {
+            assert_eq!(o.output, s.output, "program:\n{src}");
+            assert_eq!(table_state(&env_o), table_state(&env_s), "program:\n{src}");
         }
+        (Err(_), Err(_)) => {} // both fail symmetrically
+        (o, s) => panic!(
+            "one mode failed: orig={:?} sloth={:?} program:\n{src}",
+            o.map(|r| r.output),
+            s.map(|r| r.output)
+        ),
     }
+}
 
-    /// Equivalence must hold for *every* optimization configuration —
-    /// the optimizations are semantics-preserving (§4).
-    #[test]
-    fn lazy_equals_standard_all_flag_combinations(src in arb_program(), mask in 0u8..16) {
+/// Standard vs. lazy semantics: identical output, identical final DB —
+/// for the fully optimized configuration.
+#[test]
+fn lazy_equals_standard_all_opts() {
+    for case in 0..64u64 {
+        let mut rng = Rng::new(0xA11_0975 ^ case);
+        let src = arb_program(&mut rng);
+        check_equivalent(&src, OptFlags::all());
+    }
+}
+
+/// Equivalence must hold for *every* optimization configuration —
+/// the optimizations are semantics-preserving (§4).
+#[test]
+fn lazy_equals_standard_all_flag_combinations() {
+    for case in 0..64u64 {
+        let mut rng = Rng::new(0xF1A6 ^ case);
+        let src = arb_program(&mut rng);
+        let mask = rng.range(0, 16) as u8;
         let flags = OptFlags {
             selective: mask & 1 != 0,
             coalesce: mask & 2 != 0,
             defer_branches: mask & 4 != 0,
             buffered_writer: mask & 8 != 0,
         };
-        let schema = Rc::new(Schema::new());
-        let env_o = fresh_env();
-        let o = run_source(&src, &env_o, Rc::clone(&schema), ExecStrategy::Original, vec![]);
-        let env_s = fresh_env();
-        let s = run_source(&src, &env_s, Rc::clone(&schema), ExecStrategy::Sloth(flags), vec![]);
-        match (o, s) {
-            (Ok(o), Ok(s)) => {
-                prop_assert_eq!(o.output, s.output);
-                prop_assert_eq!(table_state(&env_o), table_state(&env_s));
-            }
-            (Err(_), Err(_)) => {}
-            (o, s) => prop_assert!(false, "one mode failed: orig={:?} sloth={:?}",
-                o.map(|r| r.output), s.map(|r| r.output)),
-        }
+        check_equivalent(&src, flags);
     }
+}
 
-    /// Lazy evaluation never *increases* round trips.
-    #[test]
-    fn lazy_never_more_round_trips(src in arb_program()) {
+/// Lazy evaluation never *increases* round trips.
+#[test]
+fn lazy_never_more_round_trips() {
+    for case in 0..64u64 {
+        let mut rng = Rng::new(0x0007_2195 ^ case);
+        let src = arb_program(&mut rng);
         let schema = Rc::new(Schema::new());
         let env_o = fresh_env();
-        let o = run_source(&src, &env_o, Rc::clone(&schema), ExecStrategy::Original, vec![]);
+        let o = run_source(
+            &src,
+            &env_o,
+            Rc::clone(&schema),
+            ExecStrategy::Original,
+            vec![],
+        );
         let env_s = fresh_env();
         let s = run_source(
-            &src, &env_s, Rc::clone(&schema), ExecStrategy::Sloth(OptFlags::all()), vec![]);
+            &src,
+            &env_s,
+            Rc::clone(&schema),
+            ExecStrategy::Sloth(OptFlags::all()),
+            vec![],
+        );
         if let (Ok(o), Ok(s)) = (o, s) {
-            prop_assert!(s.net.round_trips <= o.net.round_trips,
-                "sloth {} trips > original {}", s.net.round_trips, o.net.round_trips);
+            assert!(
+                s.net.round_trips <= o.net.round_trips,
+                "sloth {} trips > original {} program:\n{src}",
+                s.net.round_trips,
+                o.net.round_trips
+            );
         }
     }
 }

@@ -1,0 +1,191 @@
+//! Fusion equivalence, property-tested at the batch-driver level: for
+//! random batches of point lookups (mixed with scans, aggregates and
+//! writes), execution with fusion enabled must produce per-query result
+//! sets identical to execution with fusion disabled — same rows, same
+//! order, same errors, same final database state.
+//!
+//! Deterministic SplitMix64 cases (no third-party crates available);
+//! failures print the generating seed's batch.
+
+use sloth_net::SimEnv;
+use sloth_sql::Value;
+
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_add(0x9E3779B97F4A7C15))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next() % (hi - lo) as u64) as i64
+    }
+}
+
+/// Two tables; `issue.project_id` carries a secondary index so fused
+/// lookups take the K-probe path, `issue.title` exercises the unindexed
+/// demux path.
+fn fresh_env() -> SimEnv {
+    let env = SimEnv::default_env();
+    env.seed_sql("CREATE TABLE project (id INT PRIMARY KEY, name TEXT)")
+        .unwrap();
+    env.seed_sql("CREATE TABLE issue (id INT PRIMARY KEY, project_id INT, title TEXT, sev INT)")
+        .unwrap();
+    env.seed_sql("CREATE INDEX ON issue (project_id)").unwrap();
+    for p in 0..8 {
+        env.seed_sql(&format!("INSERT INTO project VALUES ({p}, 'proj{p}')"))
+            .unwrap();
+    }
+    for i in 0..40 {
+        env.seed_sql(&format!(
+            "INSERT INTO issue VALUES ({i}, {}, 'bug{}', {})",
+            i % 8,
+            i % 5,
+            i % 4
+        ))
+        .unwrap();
+    }
+    env
+}
+
+/// A random batch statement, biased towards the fusable point-lookup
+/// patterns an ORM page emits.
+fn arb_statement(rng: &mut Rng) -> String {
+    match rng.range(0, 12) {
+        // Fusable point lookups (several templates).
+        0..=3 => format!(
+            "SELECT * FROM issue WHERE project_id = {} ORDER BY id",
+            rng.range(0, 10)
+        ),
+        4 | 5 => format!("SELECT * FROM project WHERE id = {}", rng.range(0, 10)),
+        6 => format!(
+            "SELECT id, sev FROM issue WHERE project_id = {}",
+            rng.range(0, 10)
+        ),
+        // Same template, different formatting (dedup/fusion must both cope).
+        7 => format!(
+            "select * from ISSUE where PROJECT_ID = {}  ORDER BY id",
+            rng.range(0, 10)
+        ),
+        // Unfusable shapes sharing the batch.
+        8 => format!(
+            "SELECT COUNT(*) FROM issue WHERE project_id = {}",
+            rng.range(0, 10)
+        ),
+        9 => format!(
+            "SELECT * FROM issue WHERE sev >= {} ORDER BY id LIMIT 7",
+            rng.range(0, 4)
+        ),
+        10 => format!(
+            "SELECT title FROM issue WHERE title = 'bug{}'",
+            rng.range(0, 6)
+        ),
+        // Writes: force segment boundaries inside the batch.
+        _ => format!(
+            "UPDATE issue SET sev = {} WHERE project_id = {}",
+            rng.range(0, 9),
+            rng.range(0, 8)
+        ),
+    }
+}
+
+fn db_state(env: &SimEnv) -> Vec<Vec<Value>> {
+    env.seed(|db| {
+        db.execute("SELECT id, project_id, title, sev FROM issue ORDER BY id")
+            .unwrap()
+            .result
+            .rows
+    })
+}
+
+/// Random batches: fused results == unfused results, row for row.
+#[test]
+fn random_batches_fused_equals_unfused() {
+    for case in 0..200u64 {
+        let mut rng = Rng::new(0xF05E_D00D ^ case);
+        let n = rng.range(1, 25);
+        let batch: Vec<String> = (0..n).map(|_| arb_statement(&mut rng)).collect();
+
+        let on = fresh_env();
+        let off = fresh_env();
+        off.set_fusion(false);
+        let r_on = on.query_batch(&batch);
+        let r_off = off.query_batch(&batch);
+        match (r_on, r_off) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.len(), b.len());
+                for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+                    assert_eq!(x, y, "statement {i} of batch {batch:#?}");
+                }
+                assert_eq!(db_state(&on), db_state(&off), "batch {batch:#?}");
+                assert_eq!(
+                    on.stats().round_trips,
+                    off.stats().round_trips,
+                    "fusion must not change round trips"
+                );
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b, "batch {batch:#?}"),
+            (a, b) => panic!("one mode failed: on={a:?} off={b:?} batch {batch:#?}"),
+        }
+    }
+}
+
+/// Pure point-lookup batches — the hot ORM pattern — must fuse (not just
+/// stay equivalent) and save simulated database time at scale.
+#[test]
+fn point_lookup_batches_actually_fuse() {
+    let mut rng = Rng::new(42);
+    let batch: Vec<String> = (0..30)
+        .map(|_| {
+            format!(
+                "SELECT * FROM issue WHERE project_id = {} ORDER BY id",
+                rng.range(0, 8)
+            )
+        })
+        .collect();
+    let on = fresh_env();
+    let off = fresh_env();
+    off.set_fusion(false);
+    let a = on.query_batch(&batch).unwrap();
+    let b = off.query_batch(&batch).unwrap();
+    assert_eq!(a, b);
+    let s = on.stats();
+    assert_eq!(s.fused_queries, 30, "every lookup joined the fused group");
+    assert_eq!(s.fused_groups, 1);
+    assert!(s.db_ns < off.stats().db_ns);
+}
+
+/// Mixed writes split fusion segments: a lookup after a write sees the
+/// write, with and without fusion.
+#[test]
+fn writes_split_fusion_segments() {
+    let batch = vec![
+        "SELECT * FROM issue WHERE project_id = 1 ORDER BY id".to_string(),
+        "SELECT * FROM issue WHERE project_id = 2 ORDER BY id".to_string(),
+        "UPDATE issue SET sev = 99 WHERE project_id = 1".to_string(),
+        "SELECT * FROM issue WHERE project_id = 1 ORDER BY id".to_string(),
+        "SELECT * FROM issue WHERE project_id = 3 ORDER BY id".to_string(),
+    ];
+    let on = fresh_env();
+    let off = fresh_env();
+    off.set_fusion(false);
+    let a = on.query_batch(&batch).unwrap();
+    let b = off.query_batch(&batch).unwrap();
+    assert_eq!(a, b);
+    // Pre-write lookup kept the old severity; post-write lookup sees 99.
+    let sev_before = a[0].get(0, "sev").unwrap().as_i64().unwrap();
+    let sev_after = a[3].get(0, "sev").unwrap().as_i64().unwrap();
+    assert_ne!(sev_before, 99);
+    assert_eq!(sev_after, 99);
+    // Two groups: {q0, q1} before the write, {q3, q4} after it.
+    assert_eq!(on.stats().fused_groups, 2);
+    assert_eq!(on.stats().fused_queries, 4);
+}

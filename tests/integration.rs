@@ -23,8 +23,12 @@ fn itracker_all_pages_equivalent_and_batched() {
         let sloth = prepare(&program, ExecStrategy::Sloth(OptFlags::all()));
         let env_o = SimEnv::from_database(db.clone(), CostModel::default());
         let env_s = SimEnv::from_database(db.clone(), CostModel::default());
-        let o = orig.run(&env_o, Rc::clone(&app.schema), vec![V::Int(page.arg)]).unwrap();
-        let s = sloth.run(&env_s, Rc::clone(&app.schema), vec![V::Int(page.arg)]).unwrap();
+        let o = orig
+            .run(&env_o, Rc::clone(&app.schema), vec![V::Int(page.arg)])
+            .unwrap();
+        let s = sloth
+            .run(&env_s, Rc::clone(&app.schema), vec![V::Int(page.arg)])
+            .unwrap();
         assert_eq!(o.output, s.output, "{}", page.name);
         assert!(
             s.net.round_trips < o.net.round_trips,
@@ -47,8 +51,12 @@ fn openmrs_hot_pages_equivalent_and_batched() {
         let sloth = prepare(&program, ExecStrategy::Sloth(OptFlags::all()));
         let env_o = SimEnv::from_database(db.clone(), CostModel::default());
         let env_s = SimEnv::from_database(db.clone(), CostModel::default());
-        let o = orig.run(&env_o, Rc::clone(&app.schema), vec![V::Int(page.arg)]).unwrap();
-        let s = sloth.run(&env_s, Rc::clone(&app.schema), vec![V::Int(page.arg)]).unwrap();
+        let o = orig
+            .run(&env_o, Rc::clone(&app.schema), vec![V::Int(page.arg)])
+            .unwrap();
+        let s = sloth
+            .run(&env_s, Rc::clone(&app.schema), vec![V::Int(page.arg)])
+            .unwrap();
         assert_eq!(o.output, s.output, "{}", page.name);
         assert!(s.net.round_trips < o.net.round_trips, "{}", page.name);
     }
@@ -59,8 +67,11 @@ fn openmrs_hot_pages_equivalent_and_batched() {
 #[test]
 fn encounter_display_batches_scale() {
     let app = openmrs_app();
-    let page =
-        app.pages.iter().find(|p| p.name.contains("encounterDisplay")).unwrap();
+    let page = app
+        .pages
+        .iter()
+        .find(|p| p.name.contains("encounterDisplay"))
+        .unwrap();
     let program = sloth_lang::parse_program(&page.source).unwrap();
     let sloth = prepare(&program, ExecStrategy::Sloth(OptFlags::all()));
     let mut batches = Vec::new();
@@ -71,7 +82,9 @@ fn encounter_display_batches_scale() {
             env.seed_sql(&ddl).unwrap();
         }
         sloth_apps::openmrs::seed_openmrs(&env, obs);
-        let r = sloth.run(&env, Rc::clone(&app.schema), vec![V::Int(page.arg)]).unwrap();
+        let r = sloth
+            .run(&env, Rc::clone(&app.schema), vec![V::Int(page.arg)])
+            .unwrap();
         batches.push(r.store.unwrap().max_batch());
         trips.push(r.net.round_trips);
     }
@@ -89,7 +102,12 @@ fn rust_level_stack_batches_through_view() {
         "author",
         "id",
         &[("id", Int), ("name", Text)],
-        vec![one_to_many("books", "book", "author_id", FetchStrategy::Lazy)],
+        vec![one_to_many(
+            "books",
+            "book",
+            "author_id",
+            FetchStrategy::Lazy,
+        )],
     ));
     schema.add(entity(
         "book",
@@ -103,8 +121,10 @@ fn rust_level_stack_batches_through_view() {
     for ddl in schema.ddl() {
         env.seed_sql(&ddl).unwrap();
     }
-    env.seed_sql("INSERT INTO author VALUES (1, 'Hopper'), (2, 'Liskov')").unwrap();
-    env.seed_sql("INSERT INTO book VALUES (10, 1, 'COBOL'), (11, 2, 'CLU')").unwrap();
+    env.seed_sql("INSERT INTO author VALUES (1, 'Hopper'), (2, 'Liskov')")
+        .unwrap();
+    env.seed_sql("INSERT INTO book VALUES (10, 1, 'COBOL'), (11, 2, 'CLU')")
+        .unwrap();
 
     let store = QueryStore::new(env.clone());
     let session = Session::deferred(store, Rc::clone(&schema));
@@ -135,15 +155,29 @@ fn writes_committed_identically() {
     let schema = Rc::new(Schema::new());
     let mk = || {
         let env = SimEnv::default_env();
-        env.seed_sql("CREATE TABLE counter (id INT PRIMARY KEY, v INT)").unwrap();
+        env.seed_sql("CREATE TABLE counter (id INT PRIMARY KEY, v INT)")
+            .unwrap();
         env.seed_sql("INSERT INTO counter VALUES (1, 10)").unwrap();
         env
     };
     let env_o = mk();
-    let o = run_source(src, &env_o, Rc::clone(&schema), ExecStrategy::Original, vec![]).unwrap();
+    let o = run_source(
+        src,
+        &env_o,
+        Rc::clone(&schema),
+        ExecStrategy::Original,
+        vec![],
+    )
+    .unwrap();
     let env_s = mk();
-    let s = run_source(src, &env_s, Rc::clone(&schema), ExecStrategy::Sloth(OptFlags::all()), vec![])
-        .unwrap();
+    let s = run_source(
+        src,
+        &env_s,
+        Rc::clone(&schema),
+        ExecStrategy::Sloth(OptFlags::all()),
+        vec![],
+    )
+    .unwrap();
     assert_eq!(o.output, vec!["10->15"]);
     assert_eq!(o.output, s.output);
     let final_o = env_o.seed(|db| db.execute("SELECT v FROM counter WHERE id = 1").unwrap());
@@ -160,8 +194,11 @@ fn persistence_majority() {
         let program = sloth_lang::parse_program(&page.source).unwrap();
         let analysis = sloth_lang::analyze(&program);
         let total = program.functions.len();
-        let persistent =
-            program.functions.iter().filter(|f| analysis.is_persistent(&f.name)).count();
+        let persistent = program
+            .functions
+            .iter()
+            .filter(|f| analysis.is_persistent(&f.name))
+            .count();
         let pct = persistent as f64 / total as f64;
         assert!(
             (0.5..1.0).contains(&pct),
