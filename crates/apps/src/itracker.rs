@@ -125,6 +125,14 @@ pub fn itracker_schema() -> Rc<Schema> {
     Rc::new(s)
 }
 
+/// Hash-partitioning spec for itracker on the sharded backend: every
+/// entity table shards **by its entity id** (project by `project_id`,
+/// issue by `issue_id`, …), so ORM entity loads route to one shard and
+/// association fetches scatter-gather.
+pub fn itracker_shard_spec() -> sloth_sql::ShardSpec {
+    itracker_schema().shard_spec()
+}
+
 /// Seeds the itracker database: `projects` projects with 50 issues each
 /// (default 10, as in the paper), 20 users, no attachments.
 pub fn seed_itracker(env: &SimEnv, projects: usize) {

@@ -158,6 +158,13 @@ pub fn openmrs_schema() -> Rc<Schema> {
     Rc::new(s)
 }
 
+/// Hash-partitioning spec for OpenMRS on the sharded backend: every
+/// entity table shards **by its entity id** (patient by `patient_id`,
+/// encounter by `encounter_id`, obs by `obs_id`, …).
+pub fn openmrs_shard_spec() -> sloth_sql::ShardSpec {
+    openmrs_schema().shard_spec()
+}
+
 /// Seeds the OpenMRS sample database. `obs_per_encounter` controls the
 /// observation fan-out on the dashboard patient (paper default ≈ 50; the
 /// Fig. 10 scaling experiment sweeps it up to ~2000).

@@ -14,6 +14,22 @@ pub fn tpcc_schema() -> Rc<Schema> {
     Rc::new(Schema::new())
 }
 
+/// Hash-partitioning spec for TPC-C on the sharded backend: warehouses
+/// partition the fleet, and every other table shards by the id its point
+/// lookups carry (district by `d_id`, customer by `c_id`, …), so the hot
+/// transaction statements route to a single shard. `item` is the classic
+/// read-only dimension table and stays replicated on every shard.
+pub fn tpcc_shard_spec() -> sloth_sql::ShardSpec {
+    sloth_sql::ShardSpec::new()
+        .shard("warehouse", "w_id")
+        .shard("district", "d_id")
+        .shard("customer", "c_id")
+        .shard("stock", "s_id")
+        .shard("orders", "o_id")
+        .shard("order_line", "o_id")
+        .shard("history", "h_id")
+}
+
 /// Seeds a scaled-down TPC-C database (`warehouses` warehouses, 10
 /// districts each, 30 customers per district, 100 items).
 pub fn seed_tpcc(env: &SimEnv, warehouses: usize) {
@@ -260,6 +276,45 @@ mod tests {
             "no real batching: {:?}",
             store.batch_sizes
         );
+    }
+
+    /// Every TPC-C transaction produces identical output on a 4-shard
+    /// fleet partitioned by [`tpcc_shard_spec`], in both execution modes,
+    /// with the same round trips.
+    #[test]
+    fn transactions_run_sharded_by_warehouse() {
+        for (name, src) in tpcc_transactions() {
+            for strategy in [ExecStrategy::Original, ExecStrategy::Sloth(OptFlags::all())] {
+                let single = env();
+                let fleet = sloth_net::ShardedEnv::new(
+                    sloth_net::CostModel::default(),
+                    tpcc_shard_spec(),
+                    4,
+                );
+                seed_tpcc(&fleet.handle(), 1);
+                let a = run_source(
+                    &src,
+                    &single,
+                    tpcc_schema(),
+                    strategy,
+                    vec![sloth_lang::V::Int(7)],
+                )
+                .unwrap_or_else(|e| panic!("{name} single failed: {e}"));
+                let b = run_source(
+                    &src,
+                    &fleet.handle(),
+                    tpcc_schema(),
+                    strategy,
+                    vec![sloth_lang::V::Int(7)],
+                )
+                .unwrap_or_else(|e| panic!("{name} sharded failed: {e}"));
+                assert_eq!(a.output, b.output, "{name} output must match sharded");
+                assert_eq!(
+                    a.net.round_trips, b.net.round_trips,
+                    "{name}: sharding must not change round trips"
+                );
+            }
+        }
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! cargo run --release -p sloth-bench --bin harness -- all
 //! cargo run --release -p sloth-bench --bin harness -- fig5 fig13
 //! cargo run --release -p sloth-bench --bin harness -- fusion   # writes BENCH_fusion.json
+//! cargo run --release -p sloth-bench --bin harness -- shard    # writes BENCH_shard.json
 //! ```
 
 use sloth_apps::{itracker_app, openmrs_app};
@@ -16,7 +17,7 @@ fn main() {
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "appendix",
-            "fusion",
+            "fusion", "shard",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -55,6 +56,7 @@ fn main() {
                 appendix("OpenMRS benchmarks", &om);
             }
             "fusion" => fusion_figure_cmd(),
+            "shard" => shard_figure_cmd(),
             other => eprintln!("unknown experiment: {other}"),
         }
     }
@@ -275,6 +277,53 @@ fn fusion_figure_cmd() {
     match std::fs::write("BENCH_fusion.json", &json) {
         Ok(()) => println!("  wrote BENCH_fusion.json"),
         Err(e) => eprintln!("  could not write BENCH_fusion.json: {e}"),
+    }
+}
+
+fn shard_figure_cmd() {
+    println!("\n== Shard figure — TPC-C on the sharded backend, fusion-aware routing ==");
+    let fig = sloth_bench::shard::shard_figure(&sloth_bench::shard::ShardCfg::default());
+    println!(
+        "  {:<8} {:>7} {:>8} {:>12} {:>12} {:>8} {:>9} {:>10} {:>7}",
+        "workload",
+        "shards",
+        "fusion",
+        "db (ms)",
+        "net (ms)",
+        "trips",
+        "pointRds",
+        "scatterRds",
+        "subPrb"
+    );
+    for (label, points) in [("tpcc", &fig.tpcc), ("probes", &fig.probe_split)] {
+        for p in points {
+            println!(
+                "  {label:<8} {:>7} {:>8} {:>12.2} {:>12.2} {:>8} {:>9} {:>10} {:>7}",
+                p.shards,
+                p.fusion,
+                p.db_ns as f64 / 1e6,
+                p.network_ns as f64 / 1e6,
+                p.round_trips,
+                p.point_reads,
+                p.scatter_reads,
+                p.fused_subprobes
+            );
+            assert!(
+                p.outputs_equal,
+                "{label} @ {} shards: sharded output diverged",
+                p.shards
+            );
+        }
+    }
+    let max = fig.max_shards();
+    println!(
+        "  TPC-C db-time reduction at {max} shards vs 1: {:.1}% (round trips unchanged)",
+        fig.tpcc_db_reduction(max) * 100.0
+    );
+    let json = fig.to_json();
+    match std::fs::write("BENCH_shard.json", &json) {
+        Ok(()) => println!("  wrote BENCH_shard.json"),
+        Err(e) => eprintln!("  could not write BENCH_shard.json: {e}"),
     }
 }
 

@@ -9,6 +9,7 @@
 
 pub mod fusion;
 pub mod microbench;
+pub mod shard;
 pub mod throughput;
 
 use std::rc::Rc;

@@ -1,0 +1,263 @@
+//! Batch planning shared by the single-server and sharded batch drivers.
+//!
+//! A batch plan is computed once per [`crate::SimEnv::query_batch`] call:
+//! one cheap lexer pass per read extracts its template, same-template
+//! point lookups inside a contiguous read run group for **fusion**, and
+//! one representative per multi-member group is parsed to decide whether
+//! the group's shape is fusable. Both backends consume the same plan —
+//! the single server executes fused groups as one `IN` probe, the shard
+//! router additionally splits that probe into per-shard sub-probes.
+
+use std::collections::HashMap;
+
+use sloth_sql::fuse::{self, FusableLookup, FusedPlan};
+use sloth_sql::{Normalized, ResultSet, SqlError, Value};
+
+/// What a batch position contributes to execution.
+#[derive(Clone)]
+pub(crate) enum Role {
+    /// Executes as its own statement.
+    Single,
+    /// First member of fused group `n`: executes the whole group.
+    FusedLead(usize),
+    /// Later member of a fused group: answered by its group's lead.
+    FusedMember,
+}
+
+/// The shared per-batch execution plan.
+pub(crate) struct BatchPlan {
+    /// Normalization of each read (`None` for writes and unlexable SQL).
+    pub norms: Vec<Option<Normalized>>,
+    /// Role of each batch position.
+    pub roles: Vec<Role>,
+    /// Fused groups: the classified lookup shape plus member positions.
+    pub fused: Vec<(FusableLookup, Vec<usize>)>,
+}
+
+/// Plans a batch: normalizes reads, groups same-template single-literal
+/// lookups within contiguous read runs (fusion never crosses a write),
+/// and classifies one representative per multi-member group.
+pub(crate) fn plan_batch(sqls: &[String], fusion: bool) -> BatchPlan {
+    let mut norms: Vec<Option<Normalized>> = Vec::with_capacity(sqls.len());
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    {
+        let mut open_groups: HashMap<String, usize> = HashMap::new();
+        for (i, sql) in sqls.iter().enumerate() {
+            if sloth_sql::is_write_sql(sql) {
+                open_groups.clear();
+                norms.push(None);
+                continue;
+            }
+            let norm = sloth_sql::normalize(sql).ok();
+            if fusion {
+                if let Some(n) = &norm {
+                    // Only single-literal statements can be point
+                    // lookups; anything else never joins a group.
+                    if n.params.len() == 1 {
+                        match open_groups.get(&n.template) {
+                            Some(&g) => groups[g].push(i),
+                            None => {
+                                open_groups.insert(n.template.clone(), groups.len());
+                                groups.push(vec![i]);
+                            }
+                        }
+                    }
+                }
+            }
+            norms.push(norm);
+        }
+    }
+    // Classify one representative per multi-member group; a group whose
+    // representative is not a fusable shape dissolves back into
+    // position-ordered singles (same-template statements share their
+    // shape, so one parse decides for the whole group).
+    let mut roles: Vec<Role> = vec![Role::Single; sqls.len()];
+    let mut fused: Vec<(FusableLookup, Vec<usize>)> = Vec::new();
+    for members in groups.into_iter().filter(|m| m.len() >= 2) {
+        let first = members[0];
+        let template = norms[first]
+            .as_ref()
+            .expect("grouped reads have norms")
+            .template
+            .clone();
+        if let Some(lookup) = fuse::classify_with_template(&sqls[first], template) {
+            roles[first] = Role::FusedLead(fused.len());
+            for &m in &members[1..] {
+                roles[m] = Role::FusedMember;
+            }
+            fused.push((lookup, members));
+        }
+    }
+    BatchPlan {
+        norms,
+        roles,
+        fused,
+    }
+}
+
+/// The distinct probed values of a fused group, in first-seen order (each
+/// member's probed value is its single extracted parameter).
+pub(crate) fn fused_values<'a>(
+    norms: &'a [Option<Normalized>],
+    members: &[usize],
+) -> Vec<&'a Value> {
+    let mut values: Vec<&Value> = Vec::with_capacity(members.len());
+    for &m in members {
+        let v = &norms[m].as_ref().expect("member has norm").params[0];
+        if !values.contains(&v) {
+            values.push(v);
+        }
+    }
+    values
+}
+
+/// Demultiplexes a fused (or sub-probe) result back into per-member
+/// result sets by the probed column's value (SQL equality, same semantics
+/// as the per-query filter). `targets` pairs each member's batch position
+/// with its probed value; members whose value is absent from `result` get
+/// an empty result set, exactly as their unfused lookup would.
+pub(crate) fn demux_fused(
+    result: &ResultSet,
+    plan: &FusedPlan,
+    targets: &[(usize, &Value)],
+) -> Result<Vec<(usize, ResultSet)>, SqlError> {
+    let ci = result.column_index(&plan.demux_column).ok_or_else(|| {
+        SqlError::new(format!(
+            "fusion demux column {} missing from result",
+            plan.demux_column
+        ))
+    })?;
+    let mut columns = result.columns.clone();
+    if plan.strip_demux {
+        columns.pop();
+    }
+    let mut out = Vec::with_capacity(targets.len());
+    for &(m, value) in targets {
+        let rows: Vec<sloth_sql::Row> = result
+            .rows
+            .iter()
+            .filter(|r| r[ci].sql_eq(value))
+            .map(|r| {
+                let mut row = r.clone();
+                if plan.strip_demux {
+                    row.pop();
+                }
+                row
+            })
+            .collect();
+        out.push((m, ResultSet::new(columns.clone(), rows)));
+    }
+    Ok(out)
+}
+
+/// What a batch execution reports back to the driver for stats/clock
+/// accounting (shared by both backends).
+pub(crate) struct BatchExec {
+    /// Per-statement results, in batch order.
+    pub results: Vec<ResultSet>,
+    /// Database-side time of the whole batch (wave model; for the sharded
+    /// backend this is the max over shards — shards execute in parallel).
+    pub db_ns: u64,
+    /// Bytes moved over the wire (requests + results).
+    pub bytes: u64,
+    /// Statements answered by fused group executions.
+    pub fused_queries: u64,
+    /// Fused group executions performed.
+    pub fused_groups: u64,
+}
+
+/// The single-server batch executor (the original Sloth deployment): one
+/// database runs every statement; fused groups execute as one `IN` probe
+/// and demultiplex; reads share longest-first parallel waves.
+pub(crate) fn exec_single(
+    db: &mut sloth_sql::Database,
+    cost: &crate::CostModel,
+    sqls: &[String],
+    plan: &BatchPlan,
+) -> Result<BatchExec, SqlError> {
+    let mut results: Vec<Option<ResultSet>> = vec![None; sqls.len()];
+    let mut read_times: Vec<u64> = Vec::new();
+    let mut write_time = 0u64;
+    let mut bytes = 0u64;
+    let mut fused_queries = 0u64;
+    let mut fused_groups = 0u64;
+    let exec_cost = |stats: &sloth_sql::ExecStats| {
+        cost.db_base_ns
+            + cost.db_row_scan_ns * stats.rows_scanned
+            + cost.db_row_out_ns * stats.rows_returned
+    };
+    // Execute in batch position order. A fused group runs where its first
+    // member sat, which preserves first-error semantics: members of a
+    // template group share their failure mode by construction, and
+    // everything else keeps its own position.
+    for i in 0..sqls.len() {
+        match plan.roles[i].clone() {
+            Role::FusedMember => {} // answered by its group's lead
+            Role::Single => {
+                bytes += sqls[i].len() as u64;
+                let out = match &plan.norms[i] {
+                    Some(n) => db.execute_select_normalized(&sqls[i], n)?,
+                    None => db.execute(&sqls[i])?,
+                };
+                let exec_ns = exec_cost(&out.stats);
+                if out.stats.is_write {
+                    // Writes serialize on the server.
+                    write_time += exec_ns;
+                } else {
+                    read_times.push(exec_ns);
+                }
+                bytes += out.result.wire_size() as u64;
+                results[i] = Some(out.result);
+            }
+            Role::FusedLead(g) => {
+                let (lookup, members) = &plan.fused[g];
+                let values: Vec<Value> = fused_values(&plan.norms, members)
+                    .into_iter()
+                    .cloned()
+                    .collect();
+                let fplan = fuse::build_fused(&lookup.select, &lookup.column, &values);
+                let fused_sql = fuse::render_select(&fplan.stmt);
+                bytes += fused_sql.len() as u64;
+                let out = db.execute_stmt(&fplan.stmt)?;
+                // One statement dispatch, K probes: costed once; the
+                // shared result crosses the wire once.
+                read_times.push(exec_cost(&out.stats));
+                bytes += out.result.wire_size() as u64;
+                fused_groups += 1;
+                fused_queries += members.len() as u64;
+                let targets: Vec<(usize, &Value)> = members
+                    .iter()
+                    .map(|&m| {
+                        (
+                            m,
+                            &plan.norms[m].as_ref().expect("member has norm").params[0],
+                        )
+                    })
+                    .collect();
+                for (m, rs) in demux_fused(&out.result, &fplan, &targets)? {
+                    results[m] = Some(rs);
+                }
+            }
+        }
+    }
+    let db_ns = wave_makespan(read_times, cost.db_workers) + write_time;
+    Ok(BatchExec {
+        results: results
+            .into_iter()
+            .map(|r| r.expect("every statement produced a result"))
+            .collect(),
+        db_ns,
+        bytes,
+        fused_queries,
+        fused_groups,
+    })
+}
+
+/// Longest-first parallel wave makespan over `workers` cores.
+pub(crate) fn wave_makespan(mut read_times: Vec<u64>, workers: usize) -> u64 {
+    read_times.sort_unstable_by(|a, b| b.cmp(a));
+    read_times
+        .chunks(workers.max(1))
+        .map(|wave| wave.first().copied().unwrap_or(0))
+        .sum()
+}

@@ -10,24 +10,30 @@
 //! * [`CostModel`] — round-trip latency, per-byte transfer cost, and the
 //!   database-side execution cost model (base + per-row costs, `workers`
 //!   parallel threads for batched reads).
-//! * [`SimEnv`] — the simulated deployment: one database server plus a
+//! * [`SimEnv`] — the simulated deployment: a database backend plus a
 //!   driver endpoint. [`SimEnv::query`] is the stock driver (one round trip
 //!   per statement); [`SimEnv::query_batch`] is the Sloth batch driver (one
 //!   round trip for the whole batch).
+//! * [`ShardedEnv`] — the horizontally-partitioned deployment: N
+//!   independent database servers behind a fusion-aware scatter-gather
+//!   router (see [`shard`]). Its handle **is** a [`SimEnv`], so the query
+//!   store, ORM and interpreters run unchanged on a fleet.
 //! * [`NetStats`] — deterministic counters: round trips, queries, and time
 //!   split into network / database / application-server buckets, exactly the
 //!   decomposition of Fig. 8.
 
 #![warn(missing_docs)]
 
+mod batch;
+pub mod shard;
+
 use std::cell::{Ref, RefCell, RefMut};
-use std::collections::HashMap;
 use std::rc::Rc;
 
-use sloth_sql::fuse::{self, FusableLookup};
-use sloth_sql::{Database, ResultSet, SqlError, Value};
+use sloth_sql::{Database, ResultSet, SqlError};
 
-pub use sloth_sql::PlanCacheStats;
+pub use shard::{ShardStats, ShardedEnv};
+pub use sloth_sql::{PlanCacheStats, ShardSpec};
 
 /// A shared virtual clock counting nanoseconds since simulation start.
 #[derive(Debug, Clone, Default)]
@@ -129,29 +135,44 @@ impl NetStats {
     }
 }
 
+/// The database side of a deployment: one server, or a sharded fleet.
+pub(crate) enum Backend {
+    /// The paper's deployment: a single database server.
+    Single(Database),
+    /// N independent servers behind the scatter-gather router.
+    Sharded(shard::Fleet),
+}
+
 struct SimInner {
-    db: Database,
+    backend: Backend,
     cost: CostModel,
     clock: Clock,
     stats: NetStats,
     fusion: bool,
 }
 
-/// The simulated deployment: application server + database server + network.
+/// The simulated deployment: application server + database backend +
+/// network.
 ///
 /// Cloning shares the same underlying simulation (cheap `Rc` clone), so the
-/// query store, ORM session and interpreter can all hold handles.
+/// query store, ORM session and interpreter can all hold handles. The
+/// backend is either a single server ([`SimEnv::new`]) or a sharded fleet
+/// ([`ShardedEnv::handle`]); the driver interface is identical.
 #[derive(Clone)]
 pub struct SimEnv {
     inner: Rc<RefCell<SimInner>>,
 }
 
 impl SimEnv {
-    /// Creates a fresh deployment with the given cost model.
+    /// Creates a fresh single-server deployment with the given cost model.
     pub fn new(cost: CostModel) -> Self {
+        SimEnv::with_backend(cost, Backend::Single(Database::new()))
+    }
+
+    pub(crate) fn with_backend(cost: CostModel, backend: Backend) -> Self {
         SimEnv {
             inner: Rc::new(RefCell::new(SimInner {
-                db: Database::new(),
+                backend,
                 cost,
                 clock: Clock::new(),
                 stats: NetStats::default(),
@@ -169,42 +190,76 @@ impl SimEnv {
     /// experiment harness to "restart" the server between measurements
     /// without re-seeding.
     pub fn from_database(db: Database, cost: CostModel) -> Self {
-        SimEnv {
-            inner: Rc::new(RefCell::new(SimInner {
-                db,
-                cost,
-                clock: Clock::new(),
-                stats: NetStats::default(),
-                fusion: true,
-            })),
+        SimEnv::with_backend(cost, Backend::Single(db))
+    }
+
+    /// Whether this deployment runs on the sharded backend.
+    pub fn is_sharded(&self) -> bool {
+        matches!(self.inner.borrow().backend, Backend::Sharded(_))
+    }
+
+    pub(crate) fn with_fleet<R>(&self, f: impl FnOnce(&mut shard::Fleet) -> R) -> R {
+        match &mut self.inner.borrow_mut().backend {
+            Backend::Sharded(fleet) => f(fleet),
+            Backend::Single(_) => panic!("not a sharded deployment"),
         }
     }
 
-    /// A clone of the current database contents.
+    /// A clone of the current database contents (single-server only).
+    ///
+    /// # Panics
+    /// Panics on a sharded deployment — there is no single database to
+    /// snapshot; query the fleet instead.
     pub fn snapshot_db(&self) -> Database {
-        self.inner.borrow().db.clone()
+        match &self.inner.borrow().backend {
+            Backend::Single(db) => db.clone(),
+            Backend::Sharded(_) => {
+                panic!("snapshot_db: sharded deployments have no single database")
+            }
+        }
     }
 
-    /// Direct mutable access to the database for seeding fixtures. No time
-    /// or round trips are charged — this models loading the database out of
-    /// band before the experiment starts.
+    /// Direct mutable access to the database for seeding fixtures
+    /// (single-server only). No time or round trips are charged — this
+    /// models loading the database out of band before the experiment
+    /// starts.
+    ///
+    /// # Panics
+    /// Panics on a sharded deployment; seed through [`SimEnv::seed_sql`],
+    /// which routes rows to their shards.
     pub fn seed<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
-        f(&mut self.inner.borrow_mut().db)
+        match &mut self.inner.borrow_mut().backend {
+            Backend::Single(db) => f(db),
+            Backend::Sharded(_) => panic!("seed: use seed_sql on sharded deployments"),
+        }
     }
 
-    /// Convenience: execute seed SQL without charging time.
+    /// Convenience: execute seed SQL without charging time. On a sharded
+    /// deployment the statement goes through the router (DDL broadcasts,
+    /// rows land on their owning shards) — still free of charge.
     pub fn seed_sql(&self, sql: &str) -> Result<ResultSet, SqlError> {
-        self.seed(|db| db.execute(sql).map(|o| o.result))
+        match &mut self.inner.borrow_mut().backend {
+            Backend::Single(db) => db.execute(sql).map(|o| o.result),
+            Backend::Sharded(fleet) => fleet.execute_unmetered(sql),
+        }
     }
 
-    /// Read-only view of the database.
+    /// Read-only view of the database (single-server only; panics on a
+    /// sharded deployment).
     pub fn db(&self) -> Ref<'_, Database> {
-        Ref::map(self.inner.borrow(), |i| &i.db)
+        Ref::map(self.inner.borrow(), |i| match &i.backend {
+            Backend::Single(db) => db,
+            Backend::Sharded(_) => panic!("db: sharded deployments have no single database"),
+        })
     }
 
-    /// Mutable view of the database (no time charged; prefer [`SimEnv::query`]).
+    /// Mutable view of the database (single-server only; no time charged;
+    /// prefer [`SimEnv::query`]).
     pub fn db_mut(&self) -> RefMut<'_, Database> {
-        RefMut::map(self.inner.borrow_mut(), |i| &mut i.db)
+        RefMut::map(self.inner.borrow_mut(), |i| match &mut i.backend {
+            Backend::Single(db) => db,
+            Backend::Sharded(_) => panic!("db_mut: sharded deployments have no single database"),
+        })
     }
 
     /// The cost model in force.
@@ -224,9 +279,13 @@ impl SimEnv {
         self.inner.borrow().fusion
     }
 
-    /// Plan-cache counters of the underlying database.
+    /// Plan-cache counters of the backend (summed across shards on a
+    /// sharded deployment).
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
-        self.inner.borrow().db.plan_cache_stats()
+        match &self.inner.borrow().backend {
+            Backend::Single(db) => db.plan_cache_stats(),
+            Backend::Sharded(fleet) => fleet.plan_cache_stats(),
+        }
     }
 
     /// Replaces the cost model (used by the latency-sweep experiments).
@@ -257,6 +316,9 @@ impl SimEnv {
         let mut inner = self.inner.borrow_mut();
         inner.stats = NetStats::default();
         inner.clock = Clock::new();
+        if let Backend::Sharded(fleet) = &mut inner.backend {
+            fleet.reset_stats();
+        }
     }
 
     /// Executes one statement over the **stock driver**: one round trip.
@@ -276,6 +338,13 @@ impl SimEnv {
     /// dispatch instead of K. Fusion never crosses a write (order inside
     /// the batch is preserved), and per-query results, row order, and
     /// error behaviour are identical with fusion on and off.
+    ///
+    /// On a sharded deployment the planned batch goes through the
+    /// scatter-gather router instead (see [`shard`]): point lookups hit
+    /// one shard, fused probes split into per-shard sub-probes, everything
+    /// else scatter-gathers with an order-preserving merge — still one
+    /// round trip, with the batch's database time being the slowest
+    /// shard's wave makespan.
     pub fn query_batch(&self, sqls: &[String]) -> Result<Vec<ResultSet>, SqlError> {
         if sqls.is_empty() {
             return Ok(Vec::new());
@@ -284,183 +353,26 @@ impl SimEnv {
         let inner = &mut *inner;
         let cost = inner.cost;
 
-        // ---- Plan. One cheap lexer pass per read extracts its template;
-        // grouping happens on templates alone (cleared at every write
-        // boundary so fusion never reorders a read across a write). Only
-        // one representative per multi-member group is ever parsed — the
-        // per-statement parse lives in the plan cache, not here.
-        let mut norms: Vec<Option<sloth_sql::Normalized>> = Vec::with_capacity(sqls.len());
-        let mut groups: Vec<Vec<usize>> = Vec::new();
-        {
-            let mut open_groups: HashMap<String, usize> = HashMap::new();
-            for (i, sql) in sqls.iter().enumerate() {
-                if sloth_sql::is_write_sql(sql) {
-                    open_groups.clear();
-                    norms.push(None);
-                    continue;
-                }
-                let norm = sloth_sql::normalize(sql).ok();
-                if inner.fusion {
-                    if let Some(n) = &norm {
-                        // Only single-literal statements can be point
-                        // lookups; anything else never joins a group.
-                        if n.params.len() == 1 {
-                            match open_groups.get(&n.template) {
-                                Some(&g) => groups[g].push(i),
-                                None => {
-                                    open_groups.insert(n.template.clone(), groups.len());
-                                    groups.push(vec![i]);
-                                }
-                            }
-                        }
-                    }
-                }
-                norms.push(norm);
-            }
-        }
-        // Classify one representative per multi-member group; a group whose
-        // representative is not a fusable shape dissolves back into
-        // position-ordered singles (same-template statements share their
-        // shape, so one parse decides for the whole group).
-        #[derive(Clone)]
-        enum Role {
-            Single,
-            FusedLead(usize),
-            FusedMember,
-        }
-        let mut roles: Vec<Role> = vec![Role::Single; sqls.len()];
-        let mut fused: Vec<(FusableLookup, Vec<usize>)> = Vec::new();
-        for members in groups.into_iter().filter(|m| m.len() >= 2) {
-            let first = members[0];
-            let template = norms[first]
-                .as_ref()
-                .expect("grouped reads have norms")
-                .template
-                .clone();
-            if let Some(lookup) = fuse::classify_with_template(&sqls[first], template) {
-                roles[first] = Role::FusedLead(fused.len());
-                for &m in &members[1..] {
-                    roles[m] = Role::FusedMember;
-                }
-                fused.push((lookup, members));
-            }
-        }
-
-        // ---- Execute, in batch position order. A fused group runs where
-        // its first member sat, which preserves first-error semantics:
-        // members of a template group share their failure mode by
-        // construction, and everything else keeps its own position.
-        let mut results: Vec<Option<ResultSet>> = vec![None; sqls.len()];
-        let mut read_times: Vec<u64> = Vec::new();
-        let mut write_time = 0u64;
-        let mut bytes = 0u64;
-        let mut fused_queries = 0u64;
-        let mut fused_groups = 0u64;
-        let exec_cost = |stats: &sloth_sql::ExecStats| {
-            cost.db_base_ns
-                + cost.db_row_scan_ns * stats.rows_scanned
-                + cost.db_row_out_ns * stats.rows_returned
+        // Plan once (normalization, fusion grouping), execute on whichever
+        // backend this deployment runs.
+        let plan = batch::plan_batch(sqls, inner.fusion);
+        let exec = match &mut inner.backend {
+            Backend::Single(db) => batch::exec_single(db, &cost, sqls, &plan)?,
+            Backend::Sharded(fleet) => fleet.exec_batch(&cost, sqls, &plan)?,
         };
-        for i in 0..sqls.len() {
-            match roles[i].clone() {
-                Role::FusedMember => {} // answered by its group's lead
-                Role::Single => {
-                    bytes += sqls[i].len() as u64;
-                    let out = match &norms[i] {
-                        Some(n) => inner.db.execute_select_normalized(&sqls[i], n)?,
-                        None => inner.db.execute(&sqls[i])?,
-                    };
-                    let exec_ns = exec_cost(&out.stats);
-                    if out.stats.is_write {
-                        // Writes serialize on the server.
-                        write_time += exec_ns;
-                    } else {
-                        read_times.push(exec_ns);
-                    }
-                    bytes += out.result.wire_size() as u64;
-                    results[i] = Some(out.result);
-                }
-                Role::FusedLead(g) => {
-                    let (lookup, members) = &fused[g];
-                    // Each member's probed value is its single extracted
-                    // parameter (the lead's doubles as the shape check).
-                    // Distinct values, first-seen order.
-                    let mut values: Vec<Value> = Vec::with_capacity(members.len());
-                    for &m in members {
-                        let v = &norms[m].as_ref().expect("member has norm").params[0];
-                        if !values.iter().any(|x| x == v) {
-                            values.push(v.clone());
-                        }
-                    }
-                    let plan = fuse::build_fused(&lookup.select, &lookup.column, &values);
-                    let fused_sql = fuse::render_select(&plan.stmt);
-                    bytes += fused_sql.len() as u64;
-                    let out = inner.db.execute_stmt(&plan.stmt)?;
-                    // One statement dispatch, K probes: costed once.
-                    read_times.push(exec_cost(&out.stats));
-                    // The shared result crosses the wire once.
-                    bytes += out.result.wire_size() as u64;
-                    fused_groups += 1;
-                    fused_queries += members.len() as u64;
 
-                    // Demux rows back to their originating queries by the
-                    // probed column's value (SQL equality, same semantics
-                    // as the per-query filter).
-                    let ci = out.result.column_index(&plan.demux_column).ok_or_else(|| {
-                        SqlError::new(format!(
-                            "fusion demux column {} missing from result",
-                            plan.demux_column
-                        ))
-                    })?;
-                    let mut columns = out.result.columns.clone();
-                    if plan.strip_demux {
-                        columns.pop();
-                    }
-                    for &m in members {
-                        let value = &norms[m].as_ref().expect("member has norm").params[0];
-                        let rows: Vec<sloth_sql::Row> = out
-                            .result
-                            .rows
-                            .iter()
-                            .filter(|r| r[ci].sql_eq(value))
-                            .map(|r| {
-                                let mut row = r.clone();
-                                if plan.strip_demux {
-                                    row.pop();
-                                }
-                                row
-                            })
-                            .collect();
-                        results[m] = Some(ResultSet::new(columns.clone(), rows));
-                    }
-                }
-            }
-        }
-
-        // Parallel read execution: longest-first into `db_workers`-wide
-        // waves; the makespan of each wave is its largest member.
-        read_times.sort_unstable_by(|a, b| b.cmp(a));
-        let read_makespan: u64 = read_times
-            .chunks(cost.db_workers.max(1))
-            .map(|wave| wave.first().copied().unwrap_or(0))
-            .sum();
-        let db_ns = read_makespan + write_time;
-        let network_ns = cost.rtt_ns + cost.per_byte_ns * bytes;
-
-        inner.clock.advance(network_ns + db_ns);
+        let network_ns = cost.rtt_ns + cost.per_byte_ns * exec.bytes;
+        inner.clock.advance(network_ns + exec.db_ns);
         let stats = &mut inner.stats;
         stats.round_trips += 1;
         stats.queries += sqls.len() as u64;
         stats.network_ns += network_ns;
-        stats.db_ns += db_ns;
-        stats.bytes += bytes;
+        stats.db_ns += exec.db_ns;
+        stats.bytes += exec.bytes;
         stats.max_batch = stats.max_batch.max(sqls.len() as u64);
-        stats.fused_queries += fused_queries;
-        stats.fused_groups += fused_groups;
-        Ok(results
-            .into_iter()
-            .map(|r| r.expect("every statement produced a result"))
-            .collect())
+        stats.fused_queries += exec.fused_queries;
+        stats.fused_groups += exec.fused_groups;
+        Ok(exec.results)
     }
 }
 

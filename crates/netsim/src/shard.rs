@@ -1,0 +1,1561 @@
+//! The sharded backend: N independent database servers behind a
+//! fusion-aware scatter-gather router.
+//!
+//! [`ShardedEnv`] is the horizontal-scaling step of the roadmap: instead
+//! of one simulated MySQL box, the deployment runs `N` independent
+//! [`Database`] instances (each with its own plan cache and indexes), and
+//! the batch driver routes every statement of a batch by the
+//! [`ShardSpec`] declared over the schema:
+//!
+//! * **point route** — a read whose predicate pins the base table's shard
+//!   key (`key = v`) executes on the one shard that owns `v`;
+//! * **sub-probe split** — a fused `IN (v1 … vk)` probe (built by the
+//!   batch fusion layer) splits into per-shard sub-probes over each
+//!   shard's own values, executed in parallel under the wave cost model;
+//! * **scatter-gather** — everything else executes on every shard and the
+//!   per-shard results **merge in exact single-server order**: the engine
+//!   reports a [`sloth_sql::MergeTrace`] (`ORDER BY` key values plus the
+//!   base row id the router assigned at insert time, unique across the
+//!   fleet for each table), and a k-way merge over `(sort keys, row id)`
+//!   reproduces the row order a single server would emit, bit for bit;
+//! * **replica route** — tables without a declared shard key are
+//!   replicated to every shard (writes broadcast); reads against them
+//!   pick a deterministic replica by template hash, spreading load;
+//! * **decomposable re-aggregation** — scattered `COUNT(*)` / `SUM` /
+//!   `MAX` / `MIN` merge partials; `COUNT(DISTINCT c)` gathers the
+//!   projected column and counts at the router.
+//!
+//! Routing happens on the normalizer's hot path: the route for a template
+//! is computed once (one parse) and cached, then every same-template
+//! statement routes by binding its extracted parameters — the same
+//! template-keyed design as the engine's plan cache.
+//!
+//! Cloning the inner [`SimEnv`] handle shares the deployment, so the
+//! query store, ORM session, interpreters and benchmark apps all run
+//! unchanged on a sharded fleet.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::rc::Rc;
+
+use sloth_sql::ast::{Aggregate, BinOp, ColumnRef, Expr, Join, Projection, Statement, TableRef};
+use sloth_sql::engine::eval_const;
+use sloth_sql::fuse;
+use sloth_sql::shard::{hash_key, shard_of};
+use sloth_sql::{
+    parameterize, parse, Database, ExecStats, MergeKey, MergeTrace, Normalized, PlanCacheStats,
+    ResultSet, Row, ShardSpec, SqlError, Value,
+};
+
+use crate::batch::{self, BatchExec, BatchPlan, Role};
+use crate::{Backend, CostModel, NetStats, SimEnv};
+
+/// Router and per-shard counters of a sharded deployment.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Sub-statements executed per shard (index = shard id).
+    pub statements: Vec<u64>,
+    /// Database time accumulated per shard (ns). The batch driver charges
+    /// the *max* over shards per batch (shards run in parallel); these
+    /// counters keep the full per-shard decomposition.
+    pub db_ns: Vec<u64>,
+    /// Reads routed to exactly one shard by a shard-key equality.
+    pub point_reads: u64,
+    /// Reads routed to a subset of shards by a shard-key `IN` list.
+    pub subset_reads: u64,
+    /// Reads scattered to every shard and merged.
+    pub scatter_reads: u64,
+    /// Reads against replicated tables, served by one replica.
+    pub replica_reads: u64,
+    /// Writes routed to a single shard.
+    pub routed_writes: u64,
+    /// Writes broadcast to every shard (DDL, replicated-table DML,
+    /// un-routable predicates).
+    pub broadcast_writes: u64,
+    /// Per-shard sub-probes created by splitting fused `IN` probes.
+    pub fused_subprobes: u64,
+    /// Route-cache hits (template already routed; no parse).
+    pub route_cache_hits: u64,
+    /// Route-cache misses (template parsed once to derive its route).
+    pub route_cache_misses: u64,
+}
+
+impl ShardStats {
+    fn new(shards: usize) -> Self {
+        ShardStats {
+            statements: vec![0; shards],
+            db_ns: vec![0; shards],
+            ..ShardStats::default()
+        }
+    }
+}
+
+/// How statements of one template route (derived once per template).
+#[derive(Debug, Clone)]
+enum Rule {
+    /// `shard_key = ?slot` → the shard owning the bound parameter.
+    Point { slot: usize },
+    /// `shard_key IN (?slots…)` → the shards owning the bound parameters.
+    List { slots: Vec<usize> },
+    /// Execute on every shard and merge.
+    Scatter,
+    /// Replicated base (and joins): one deterministic replica.
+    Replica,
+    /// Statement the router cannot make shard-correct (a join between
+    /// differently-sharded tables): fails with this message.
+    Unsupported(String),
+}
+
+/// Cached routing decision for one statement template.
+struct RouteEntry {
+    rule: Rule,
+    /// Parameter slot count of `pstmt` (cross-checked against each
+    /// statement's extracted parameters; mismatch falls back to scatter).
+    n_slots: usize,
+    /// `ORDER BY` descending flags, for the order-preserving merge.
+    descs: Vec<bool>,
+    /// `LIMIT`, applied after the merge.
+    limit: Option<usize>,
+    /// Aggregate projection, if any (merged by re-aggregation).
+    agg: Option<Aggregate>,
+    /// The parameterized statement (used to rewrite `COUNT(DISTINCT c)`
+    /// into a column gather under scatter).
+    pstmt: Statement,
+}
+
+/// Route cache entries beyond this count evict FIFO (mirrors the engine's
+/// plan-cache bound).
+const ROUTE_CACHE_CAP: usize = 512;
+
+#[derive(Default)]
+struct RouteCache {
+    map: HashMap<String, Rc<RouteEntry>>,
+    order: VecDeque<String>,
+}
+
+/// Per-batch cost collection: read times and write time per shard, plus
+/// wire bytes (requests and results both cross the wire once per shard
+/// they touch).
+struct Costs {
+    read_times: Vec<Vec<u64>>,
+    write_ns: Vec<u64>,
+    bytes: u64,
+    statements: Vec<u64>,
+}
+
+impl Costs {
+    fn new(shards: usize) -> Self {
+        Costs {
+            read_times: vec![Vec::new(); shards],
+            write_ns: vec![0; shards],
+            bytes: 0,
+            statements: vec![0; shards],
+        }
+    }
+}
+
+fn exec_cost(cost: &CostModel, stats: &ExecStats) -> u64 {
+    cost.db_base_ns
+        + cost.db_row_scan_ns * stats.rows_scanned
+        + cost.db_row_out_ns * stats.rows_returned
+}
+
+/// The fleet: N independent shard databases plus the router state.
+pub(crate) struct Fleet {
+    shards: Vec<Database>,
+    spec: ShardSpec,
+    /// Per-table row sequences: every inserted row gets its table's next
+    /// id, on whichever shard (replicated inserts share one id across all
+    /// copies). Merge-exactness only needs ordering among rows of the
+    /// same base table, and a per-table counter reproduces the single
+    /// server's row ids exactly while keeping each table's row storage
+    /// dense in its own insert count (a fleet-wide counter would grow
+    /// every table's backing store to the global insert total).
+    next_rid: HashMap<String, u64>,
+    routes: RouteCache,
+    stats: ShardStats,
+}
+
+impl Fleet {
+    pub(crate) fn new(spec: ShardSpec, shards: usize) -> Self {
+        let shards = shards.max(1);
+        Fleet {
+            shards: (0..shards).map(|_| Database::new()).collect(),
+            spec,
+            next_rid: HashMap::new(),
+            routes: RouteCache::default(),
+            stats: ShardStats::new(shards),
+        }
+    }
+
+    pub(crate) fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub(crate) fn spec(&self) -> &ShardSpec {
+        &self.spec
+    }
+
+    pub(crate) fn stats(&self) -> ShardStats {
+        self.stats.clone()
+    }
+
+    pub(crate) fn reset_stats(&mut self) {
+        self.stats = ShardStats::new(self.shards.len());
+    }
+
+    pub(crate) fn plan_cache_stats(&self) -> PlanCacheStats {
+        let mut total = PlanCacheStats::default();
+        for db in &self.shards {
+            let s = db.plan_cache_stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.entries += s.entries;
+        }
+        total
+    }
+
+    /// Live rows of `table` on each shard (diagnostics / examples).
+    pub(crate) fn shard_row_counts(&self, table: &str) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|db| db.table(table).map(|t| t.len()).unwrap_or(0))
+            .collect()
+    }
+
+    /// Executes one statement through the router without charging time or
+    /// touching the router counters — the sharded analogue of seeding via
+    /// [`SimEnv::seed_sql`].
+    pub(crate) fn execute_unmetered(&mut self, sql: &str) -> Result<ResultSet, SqlError> {
+        let saved = self.stats.clone();
+        let mut costs = Costs::new(self.shards.len());
+        let cost = CostModel::default();
+        let res = if sloth_sql::is_write_sql(sql) {
+            self.exec_write(sql, &cost, &mut costs)
+        } else {
+            let norm = sloth_sql::normalize(sql).ok();
+            self.exec_read(sql, norm.as_ref(), &cost, &mut costs)
+        };
+        self.stats = saved;
+        res
+    }
+
+    /// Executes a planned batch against the fleet. Statements run in batch
+    /// order (reads after a write observe it); the batch's database time
+    /// is the **max over shards** of each shard's wave makespan plus its
+    /// serialized write time — shards are independent servers working in
+    /// parallel on the same round trip.
+    pub(crate) fn exec_batch(
+        &mut self,
+        cost: &CostModel,
+        sqls: &[String],
+        plan: &BatchPlan,
+    ) -> Result<BatchExec, SqlError> {
+        let n = self.shards.len();
+        let mut results: Vec<Option<ResultSet>> = vec![None; sqls.len()];
+        let mut costs = Costs::new(n);
+        let mut fused_queries = 0u64;
+        let mut fused_groups = 0u64;
+
+        for i in 0..sqls.len() {
+            match plan.roles[i].clone() {
+                Role::FusedMember => {} // answered by its group's lead
+                Role::Single => {
+                    let rs = if sloth_sql::is_write_sql(&sqls[i]) {
+                        self.exec_write(&sqls[i], cost, &mut costs)?
+                    } else {
+                        self.exec_read(&sqls[i], plan.norms[i].as_ref(), cost, &mut costs)?
+                    };
+                    results[i] = Some(rs);
+                }
+                Role::FusedLead(g) => {
+                    let (lookup, members) = &plan.fused[g];
+                    fused_groups += 1;
+                    fused_queries += members.len() as u64;
+                    self.exec_fused(lookup, members, &plan.norms, cost, &mut costs, &mut results)?;
+                }
+            }
+        }
+
+        // Per-shard wave makespans; the batch waits for the slowest shard.
+        let mut db_ns = 0u64;
+        for s in 0..n {
+            let shard_ns =
+                batch::wave_makespan(std::mem::take(&mut costs.read_times[s]), cost.db_workers)
+                    + costs.write_ns[s];
+            self.stats.db_ns[s] += shard_ns;
+            self.stats.statements[s] += costs.statements[s];
+            db_ns = db_ns.max(shard_ns);
+        }
+
+        Ok(BatchExec {
+            results: results
+                .into_iter()
+                .map(|r| r.expect("every statement produced a result"))
+                .collect(),
+            db_ns,
+            bytes: costs.bytes,
+            fused_queries,
+            fused_groups,
+        })
+    }
+
+    // ---- reads ---------------------------------------------------------
+
+    fn exec_read(
+        &mut self,
+        sql: &str,
+        norm: Option<&Normalized>,
+        cost: &CostModel,
+        costs: &mut Costs,
+    ) -> Result<ResultSet, SqlError> {
+        let Some(norm) = norm else {
+            // Unlexable "SELECT …": executes (and errors) identically on
+            // any shard — ship it to shard 0 for the authentic error.
+            return self.read_on(0, sql, None, cost, costs);
+        };
+        let entry = match self.route_for(&norm.template, sql) {
+            Some(e) => e,
+            None => return self.read_on(0, sql, Some(norm), cost, costs),
+        };
+        let n = self.shards.len();
+        let bindable = entry.n_slots == norm.params.len();
+        match (&entry.rule, bindable) {
+            (Rule::Unsupported(msg), _) => Err(SqlError::new(msg.clone())),
+            (Rule::Replica, _) => {
+                self.stats.replica_reads += 1;
+                let s = (hash_key(&Value::Str(norm.template.clone())) % n as u64) as usize;
+                self.read_on(s, sql, Some(norm), cost, costs)
+            }
+            (Rule::Point { slot }, true) => {
+                self.stats.point_reads += 1;
+                let s = shard_of(&norm.params[*slot], n);
+                self.read_on(s, sql, Some(norm), cost, costs)
+            }
+            (Rule::List { slots }, true) if !slots.is_empty() => {
+                self.stats.subset_reads += 1;
+                let mut targets: Vec<usize> = slots
+                    .iter()
+                    .map(|&sl| shard_of(&norm.params[sl], n))
+                    .collect();
+                targets.sort_unstable();
+                targets.dedup();
+                self.gather(&targets, sql, norm, &entry, cost, costs)
+            }
+            // Scatter, plus the fallbacks (slot mismatch, empty list).
+            _ => {
+                self.stats.scatter_reads += 1;
+                let all: Vec<usize> = (0..n).collect();
+                self.gather(&all, sql, norm, &entry, cost, costs)
+            }
+        }
+    }
+
+    /// One read on one shard (point / replica routes): full plan-cache hot
+    /// path, no merge tracing needed.
+    fn read_on(
+        &mut self,
+        s: usize,
+        sql: &str,
+        norm: Option<&Normalized>,
+        cost: &CostModel,
+        costs: &mut Costs,
+    ) -> Result<ResultSet, SqlError> {
+        costs.bytes += sql.len() as u64;
+        costs.statements[s] += 1;
+        let out = match norm {
+            Some(norm) => self.shards[s].execute_select_normalized(sql, norm)?,
+            None => self.shards[s].execute(sql)?,
+        };
+        costs.read_times[s].push(exec_cost(cost, &out.stats));
+        costs.bytes += out.result.wire_size() as u64;
+        Ok(out.result)
+    }
+
+    /// Scatter-gather over `targets`: execute on each target shard and
+    /// merge (rows by merge trace, aggregates by re-aggregation).
+    fn gather(
+        &mut self,
+        targets: &[usize],
+        sql: &str,
+        norm: &Normalized,
+        entry: &RouteEntry,
+        cost: &CostModel,
+        costs: &mut Costs,
+    ) -> Result<ResultSet, SqlError> {
+        if targets.len() == 1 {
+            return self.read_on(targets[0], sql, Some(norm), cost, costs);
+        }
+        if let Some(agg) = entry.agg.clone() {
+            return self.gather_aggregate(targets, sql, norm, entry, &agg, cost, costs);
+        }
+        let mut parts: Vec<(ResultSet, MergeTrace)> = Vec::with_capacity(targets.len());
+        for &s in targets {
+            costs.bytes += sql.len() as u64;
+            costs.statements[s] += 1;
+            let (out, trace) = self.shards[s].execute_select_traced(sql, norm)?;
+            costs.read_times[s].push(exec_cost(cost, &out.stats));
+            costs.bytes += out.result.wire_size() as u64;
+            parts.push((out.result, trace.unwrap_or_default()));
+        }
+        Ok(merge_parts(parts, &entry.descs, entry.limit))
+    }
+
+    /// Scattered aggregates: decomposable ones merge partials; `COUNT
+    /// (DISTINCT c)` rewrites into a column gather and counts here.
+    #[allow(clippy::too_many_arguments)]
+    fn gather_aggregate(
+        &mut self,
+        targets: &[usize],
+        sql: &str,
+        norm: &Normalized,
+        entry: &RouteEntry,
+        agg: &Aggregate,
+        cost: &CostModel,
+        costs: &mut Costs,
+    ) -> Result<ResultSet, SqlError> {
+        if let Aggregate::CountDistinct(col) = agg {
+            // Gather the projected column from every shard, count once.
+            let Statement::Select(psel) = &entry.pstmt else {
+                unreachable!("aggregate routes are selects")
+            };
+            let mut gather_sel = psel.clone();
+            gather_sel.projection = Projection::Columns(vec![col.clone()]);
+            gather_sel.order_by.clear();
+            gather_sel.limit = None;
+            let gather_stmt = Statement::Select(gather_sel);
+            let mut distinct: HashSet<Value> = HashSet::new();
+            for &s in targets {
+                costs.bytes += sql.len() as u64;
+                costs.statements[s] += 1;
+                let out = self.shards[s].execute_stmt_with(&gather_stmt, &norm.params)?;
+                costs.read_times[s].push(exec_cost(cost, &out.stats));
+                costs.bytes += out.result.wire_size() as u64;
+                for row in out.result.rows {
+                    let v = row.into_iter().next().expect("one projected column");
+                    if !v.is_null() {
+                        distinct.insert(v);
+                    }
+                }
+            }
+            return Ok(ResultSet::new(
+                vec!["count".to_string()],
+                vec![vec![Value::Int(distinct.len() as i64)]],
+            ));
+        }
+        let mut partials: Vec<Value> = Vec::with_capacity(targets.len());
+        let mut columns: Vec<String> = Vec::new();
+        for &s in targets {
+            costs.bytes += sql.len() as u64;
+            costs.statements[s] += 1;
+            let out = self.shards[s].execute_select_normalized(sql, norm)?;
+            costs.read_times[s].push(exec_cost(cost, &out.stats));
+            costs.bytes += out.result.wire_size() as u64;
+            columns = out.result.columns.clone();
+            partials.push(out.result.rows[0][0].clone());
+        }
+        let merged = match agg {
+            Aggregate::CountStar => Value::Int(
+                partials
+                    .iter()
+                    .map(|v| v.as_i64().unwrap_or(0))
+                    .sum::<i64>(),
+            ),
+            Aggregate::Sum(_) => {
+                if partials.iter().all(|v| matches!(v, Value::Int(_))) {
+                    Value::Int(partials.iter().map(|v| v.as_i64().unwrap_or(0)).sum())
+                } else {
+                    Value::Float(
+                        partials
+                            .iter()
+                            .map(|v| v.as_f64().unwrap_or(0.0))
+                            .sum::<f64>(),
+                    )
+                }
+            }
+            Aggregate::Max(_) => partials
+                .iter()
+                .filter(|v| !v.is_null())
+                .max_by(|a, b| a.total_cmp(b))
+                .cloned()
+                .unwrap_or(Value::Null),
+            Aggregate::Min(_) => partials
+                .iter()
+                .filter(|v| !v.is_null())
+                .min_by(|a, b| a.total_cmp(b))
+                .cloned()
+                .unwrap_or(Value::Null),
+            Aggregate::CountDistinct(_) => unreachable!("handled above"),
+        };
+        Ok(ResultSet::new(columns, vec![vec![merged]]))
+    }
+
+    // ---- fused groups --------------------------------------------------
+
+    /// Executes one fused group. If the probed column is the base table's
+    /// shard key, the `IN` probe **splits into per-shard sub-probes** —
+    /// each shard probes only the values it owns, all sub-probes share the
+    /// parallel wave, and demux happens per sub-probe (a value's rows live
+    /// entirely on its owning shard, so no cross-shard merge is needed).
+    fn exec_fused(
+        &mut self,
+        lookup: &fuse::FusableLookup,
+        members: &[usize],
+        norms: &[Option<Normalized>],
+        cost: &CostModel,
+        costs: &mut Costs,
+        results: &mut [Option<ResultSet>],
+    ) -> Result<(), SqlError> {
+        let n = self.shards.len();
+        let values = batch::fused_values(norms, members);
+        let targets: Vec<(usize, &Value)> = members
+            .iter()
+            .map(|&m| (m, &norms[m].as_ref().expect("member has norm").params[0]))
+            .collect();
+        let table = &lookup.select.from.name;
+        let key_probe = self
+            .spec
+            .key_column(table)
+            .is_some_and(|k| lookup.column.column.eq_ignore_ascii_case(k));
+
+        if key_probe && n > 1 {
+            // Split into per-shard sub-probes over each shard's values.
+            let mut per_shard: Vec<Vec<Value>> = vec![Vec::new(); n];
+            for v in &values {
+                per_shard[shard_of(v, n)].push((*v).clone());
+            }
+            for (s, vals) in per_shard.iter().enumerate() {
+                if vals.is_empty() {
+                    continue;
+                }
+                let fplan = fuse::build_fused(&lookup.select, &lookup.column, vals);
+                let fsql = fuse::render_select(&fplan.stmt);
+                costs.bytes += fsql.len() as u64;
+                costs.statements[s] += 1;
+                let out = self.shards[s].execute_stmt(&fplan.stmt)?;
+                costs.read_times[s].push(exec_cost(cost, &out.stats));
+                costs.bytes += out.result.wire_size() as u64;
+                self.stats.fused_subprobes += 1;
+                let local: Vec<(usize, &Value)> = targets
+                    .iter()
+                    .filter(|(_, v)| shard_of(v, n) == s)
+                    .cloned()
+                    .collect();
+                for (m, rs) in batch::demux_fused(&out.result, &fplan, &local)? {
+                    results[m] = Some(rs);
+                }
+            }
+            return Ok(());
+        }
+
+        // Not a shard-key probe: build the whole fused statement and run
+        // it like any read — one replica for replicated tables, traced
+        // scatter + order-preserving merge for sharded ones.
+        let owned: Vec<Value> = values.iter().map(|v| (*v).clone()).collect();
+        let fplan = fuse::build_fused(&lookup.select, &lookup.column, &owned);
+        let fsql = fuse::render_select(&fplan.stmt);
+        let merged = if !self.spec.is_sharded(table) {
+            let s = (hash_key(&Value::Str(lookup.template.clone())) % n as u64) as usize;
+            costs.bytes += fsql.len() as u64;
+            costs.statements[s] += 1;
+            let out = self.shards[s].execute_stmt(&fplan.stmt)?;
+            costs.read_times[s].push(exec_cost(cost, &out.stats));
+            costs.bytes += out.result.wire_size() as u64;
+            out.result
+        } else {
+            let descs: Vec<bool> = lookup.select.order_by.iter().map(|k| k.desc).collect();
+            let mut parts: Vec<(ResultSet, MergeTrace)> = Vec::with_capacity(n);
+            for s in 0..n {
+                costs.bytes += fsql.len() as u64;
+                costs.statements[s] += 1;
+                let (out, trace) = self.shards[s].execute_stmt_traced(&fplan.stmt, &[])?;
+                costs.read_times[s].push(exec_cost(cost, &out.stats));
+                costs.bytes += out.result.wire_size() as u64;
+                parts.push((out.result, trace.unwrap_or_default()));
+            }
+            merge_parts(parts, &descs, None)
+        };
+        for (m, rs) in batch::demux_fused(&merged, &fplan, &targets)? {
+            results[m] = Some(rs);
+        }
+        Ok(())
+    }
+
+    // ---- writes --------------------------------------------------------
+
+    fn exec_write(
+        &mut self,
+        sql: &str,
+        cost: &CostModel,
+        costs: &mut Costs,
+    ) -> Result<ResultSet, SqlError> {
+        let stmt = parse(sql)?;
+        match &stmt {
+            Statement::CreateTable { .. } | Statement::CreateIndex { .. } => {
+                self.stats.broadcast_writes += 1;
+                self.broadcast_write(&stmt, sql, cost, costs)
+            }
+            Statement::Begin | Statement::Commit | Statement::Rollback => {
+                // Transaction boundaries are coordinator-side no-ops:
+                // charged once, like the single server charges them.
+                self.stats.routed_writes += 1;
+                self.write_on(0, &stmt, sql, cost, costs)
+            }
+            Statement::Insert {
+                table,
+                columns,
+                values,
+            } => self.exec_insert(sql, table, columns, values, cost, costs),
+            Statement::Update {
+                table,
+                sets,
+                predicate,
+            } => {
+                // A row's shard key decides where it lives; updating it
+                // in place would leave the row on its old shard and make
+                // every later key-routed statement miss it. Like
+                // cross-shard joins, this is refused, never answered
+                // wrongly (delete + re-insert re-homes a row).
+                if self.shards.len() > 1 {
+                    if let Some(key) = self.spec.key_column(table) {
+                        if sets.iter().any(|(c, _)| c.eq_ignore_ascii_case(key)) {
+                            return Err(SqlError::new(format!(
+                                "updating shard key {key} of sharded table {table} is \
+                                 unsupported: rows cannot be re-homed in place; DELETE \
+                                 and re-INSERT instead"
+                            )));
+                        }
+                    }
+                }
+                self.route_dml(table, predicate.as_ref(), &stmt, sql, cost, costs)
+            }
+            Statement::Delete { table, predicate } => {
+                self.route_dml(table, predicate.as_ref(), &stmt, sql, cost, costs)
+            }
+            Statement::Select(_) => {
+                // `is_write_sql` is a keyword heuristic; a statement it
+                // misclassifies still executes correctly as a read.
+                let norm = sloth_sql::normalize(sql).ok();
+                self.exec_read(sql, norm.as_ref(), cost, costs)
+            }
+        }
+    }
+
+    /// Routes an `UPDATE`/`DELETE`: replicated tables broadcast (copies
+    /// stay in sync); sharded tables route by a literal key conjunct when
+    /// one pins the row set, else every shard updates its own rows.
+    #[allow(clippy::too_many_arguments)]
+    fn route_dml(
+        &mut self,
+        table: &str,
+        predicate: Option<&Expr>,
+        stmt: &Statement,
+        sql: &str,
+        cost: &CostModel,
+        costs: &mut Costs,
+    ) -> Result<ResultSet, SqlError> {
+        match self.spec.key_column(table).map(str::to_string) {
+            None => {
+                // Replicated table: keep every copy in sync.
+                self.stats.broadcast_writes += 1;
+                self.broadcast_write(stmt, sql, cost, costs)
+            }
+            Some(key) => {
+                let key_ty = self.key_column_type(table, &key);
+                match literal_key_conjunct(predicate, &key) {
+                    Some(v) => {
+                        self.stats.routed_writes += 1;
+                        let s = shard_of(&coerce_key(v, key_ty), self.shards.len());
+                        self.write_on(s, stmt, sql, cost, costs)
+                    }
+                    None => {
+                        self.stats.broadcast_writes += 1;
+                        self.broadcast_write(stmt, sql, cost, costs)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Declared type of `table.key` (from shard 0's catalog — DDL
+    /// broadcasts, so every shard agrees). `None` when the table or
+    /// column is missing; execution will then error identically anyway.
+    fn key_column_type(&self, table: &str, key: &str) -> Option<sloth_sql::ast::ColumnType> {
+        let t = self.shards[0].table(table)?;
+        t.column_index(key).map(|ci| t.columns[ci].ty)
+    }
+
+    fn write_on(
+        &mut self,
+        s: usize,
+        stmt: &Statement,
+        sql: &str,
+        cost: &CostModel,
+        costs: &mut Costs,
+    ) -> Result<ResultSet, SqlError> {
+        costs.bytes += sql.len() as u64;
+        costs.statements[s] += 1;
+        let out = self.shards[s].execute_stmt(stmt)?;
+        costs.write_ns[s] += exec_cost(cost, &out.stats);
+        Ok(out.result)
+    }
+
+    fn broadcast_write(
+        &mut self,
+        stmt: &Statement,
+        sql: &str,
+        cost: &CostModel,
+        costs: &mut Costs,
+    ) -> Result<ResultSet, SqlError> {
+        let mut first: Option<ResultSet> = None;
+        for s in 0..self.shards.len() {
+            let rs = self.write_on(s, stmt, sql, cost, costs)?;
+            first.get_or_insert(rs);
+        }
+        Ok(first.unwrap_or_else(ResultSet::empty))
+    }
+
+    /// Routes an `INSERT`: replicated tables broadcast every tuple (same
+    /// global row id on every copy), sharded tables send each tuple to
+    /// the shard owning its key value. Tuples are processed in statement
+    /// order so partial-failure state matches the single server exactly.
+    fn exec_insert(
+        &mut self,
+        sql: &str,
+        table: &str,
+        columns: &[String],
+        values: &[Vec<Expr>],
+        cost: &CostModel,
+        costs: &mut Costs,
+    ) -> Result<ResultSet, SqlError> {
+        let n = self.shards.len();
+        // Evaluate all tuples first — the engine does the same, so any
+        // evaluation error surfaces before any row is inserted.
+        let mut tuples: Vec<Vec<Value>> = Vec::with_capacity(values.len());
+        for tuple in values {
+            let mut evaluated = Vec::with_capacity(tuple.len());
+            for e in tuple {
+                evaluated.push(eval_const(e)?);
+            }
+            tuples.push(evaluated);
+        }
+        let key_col = self.spec.key_column(table).map(str::to_string);
+        let sharded = key_col.is_some() && n > 1;
+        // Which tuple position carries the shard key?
+        let key_pos: Option<usize> = match &key_col {
+            None => None,
+            Some(key) => {
+                if columns.is_empty() {
+                    // Declaration order: position from the catalog (all
+                    // shards share DDL; a missing table errors on shard 0
+                    // exactly as the single server would).
+                    match self.shards[0].table(table) {
+                        Some(t) => t.column_index(key),
+                        None => {
+                            return Err(SqlError::new(format!("no such table: {table}")));
+                        }
+                    }
+                } else {
+                    columns.iter().position(|c| c.eq_ignore_ascii_case(key))
+                }
+            }
+        };
+        if sharded {
+            self.stats.routed_writes += 1;
+        } else {
+            self.stats.broadcast_writes += 1;
+        }
+        // Routing must hash the value the table will *store*: coerce to
+        // the key column's declared type exactly as the engine does, so
+        // e.g. `2.5` inserted into an INT key lands on the same shard a
+        // later `key = 2` lookup probes.
+        let key_ty = key_col
+            .as_deref()
+            .and_then(|key| self.key_column_type(table, key));
+        let tkey = table.to_ascii_lowercase();
+        let mut touched: Vec<bool> = vec![false; n];
+        let count = tuples.len() as u64;
+        for tuple in tuples {
+            let rid = {
+                let c = self.next_rid.entry(tkey.clone()).or_insert(0);
+                let rid = *c;
+                *c += 1;
+                rid
+            };
+            if sharded {
+                let key_val = key_pos
+                    .and_then(|p| tuple.get(p).cloned())
+                    .unwrap_or(Value::Null);
+                let s = shard_of(&coerce_key(key_val, key_ty), n);
+                touched[s] = true;
+                self.shards[s].insert_row_at(table, columns, tuple, rid)?;
+                costs.statements[s] += 1;
+            } else {
+                for (s, shard) in self.shards.iter_mut().enumerate() {
+                    touched[s] = true;
+                    shard.insert_row_at(table, columns, tuple.clone(), rid)?;
+                    costs.statements[s] += 1;
+                }
+            }
+        }
+        // Cost model: the statement text ships once to every touched
+        // shard; each touched shard pays one statement dispatch plus its
+        // per-row output cost (mirrors the single server's insert cost).
+        for (s, hit) in touched.iter().enumerate() {
+            if *hit {
+                costs.bytes += sql.len() as u64;
+                costs.write_ns[s] += cost.db_base_ns + cost.db_row_out_ns * count;
+            }
+        }
+        if count == 0 {
+            costs.bytes += sql.len() as u64;
+            costs.write_ns[0] += cost.db_base_ns;
+        }
+        Ok(ResultSet::empty())
+    }
+
+    // ---- routing -------------------------------------------------------
+
+    /// The cached route for a template (parse once, route forever).
+    /// `None` means the statement does not parse — the caller ships it to
+    /// shard 0 for the authentic error.
+    fn route_for(&mut self, template: &str, sql: &str) -> Option<Rc<RouteEntry>> {
+        if let Some(e) = self.routes.map.get(template) {
+            self.stats.route_cache_hits += 1;
+            return Some(Rc::clone(e));
+        }
+        self.stats.route_cache_misses += 1;
+        let entry = Rc::new(build_route(sql, &self.spec)?);
+        if self.routes.map.len() >= ROUTE_CACHE_CAP {
+            if let Some(oldest) = self.routes.order.pop_front() {
+                self.routes.map.remove(&oldest);
+            }
+        }
+        self.routes.order.push_back(template.to_string());
+        self.routes
+            .map
+            .insert(template.to_string(), Rc::clone(&entry));
+        Some(entry)
+    }
+}
+
+/// Derives the route of one read template (one parse per template).
+fn build_route(sql: &str, spec: &ShardSpec) -> Option<RouteEntry> {
+    let stmt = parse(sql).ok()?;
+    let Statement::Select(sel) = &stmt else {
+        return None;
+    };
+    let (pstmt, n_slots) = parameterize(&stmt);
+    let Statement::Select(psel) = &pstmt else {
+        unreachable!("parameterize preserves statement kind")
+    };
+    let base_key = spec.key_column(&sel.from.name).map(str::to_string);
+
+    // Join support: replicated join tables are always safe (full copy on
+    // every shard); a sharded join table is safe only when co-sharded —
+    // the join condition equates both tables' shard keys, so matching
+    // rows are colocated by construction.
+    let mut unsupported: Option<String> = None;
+    for join in &sel.joins {
+        if let Some(jkey) = spec.key_column(&join.table.name) {
+            let co = base_key
+                .as_deref()
+                .is_some_and(|bkey| co_sharded(join, &sel.from, bkey, jkey));
+            if !co {
+                unsupported = Some(format!(
+                    "cross-shard join between {} and sharded table {}: join on both shard \
+                     keys or declare {} replicated",
+                    sel.from.name, join.table.name, join.table.name
+                ));
+                break;
+            }
+        }
+    }
+
+    let rule = if let Some(msg) = unsupported {
+        Rule::Unsupported(msg)
+    } else {
+        match &base_key {
+            None => Rule::Replica,
+            Some(key) => {
+                key_conjunct_rule(psel.predicate.as_ref(), &psel.from, key).unwrap_or(Rule::Scatter)
+            }
+        }
+    };
+    Some(RouteEntry {
+        rule,
+        n_slots,
+        descs: sel.order_by.iter().map(|k| k.desc).collect(),
+        limit: sel.limit,
+        agg: match &sel.projection {
+            Projection::Aggregate(a) => Some(a.clone()),
+            _ => None,
+        },
+        pstmt,
+    })
+}
+
+/// Whether a join equates the base table's shard key with the joined
+/// table's shard key (either orientation).
+fn co_sharded(join: &Join, from: &TableRef, base_key: &str, join_key: &str) -> bool {
+    let refers = |c: &ColumnRef, t: &TableRef, key: &str| -> bool {
+        c.column.eq_ignore_ascii_case(key)
+            && c.table
+                .as_deref()
+                .is_none_or(|q| q.eq_ignore_ascii_case(&t.alias) || q.eq_ignore_ascii_case(&t.name))
+    };
+    (refers(&join.left, from, base_key) && refers(&join.right, &join.table, join_key))
+        || (refers(&join.right, from, base_key) && refers(&join.left, &join.table, join_key))
+}
+
+/// Finds a top-level AND-conjunct that pins the shard key to a parameter
+/// slot (`key = ?s`) or a slot list (`key IN (?s…)`). Conjuncts under
+/// `OR`/`NOT` never route — they don't restrict the key.
+fn key_conjunct_rule(pred: Option<&Expr>, from: &TableRef, key: &str) -> Option<Rule> {
+    fn qualifies(c: &ColumnRef, from: &TableRef, key: &str) -> bool {
+        c.column.eq_ignore_ascii_case(key)
+            && c.table.as_deref().is_none_or(|q| {
+                q.eq_ignore_ascii_case(&from.alias) || q.eq_ignore_ascii_case(&from.name)
+            })
+    }
+    fn walk(e: &Expr, from: &TableRef, key: &str) -> Option<Rule> {
+        match e {
+            Expr::Binary {
+                op: BinOp::And,
+                left,
+                right,
+            } => walk(left, from, key).or_else(|| walk(right, from, key)),
+            Expr::Binary {
+                op: BinOp::Eq,
+                left,
+                right,
+            } => {
+                let (col, slot) = match (&**left, &**right) {
+                    (Expr::Column(c), Expr::Param(s)) | (Expr::Param(s), Expr::Column(c)) => {
+                        (c, *s)
+                    }
+                    _ => return None,
+                };
+                qualifies(col, from, key).then_some(Rule::Point { slot })
+            }
+            Expr::InList { expr, list } => {
+                let Expr::Column(col) = &**expr else {
+                    return None;
+                };
+                if !qualifies(col, from, key) {
+                    return None;
+                }
+                let slots: Option<Vec<usize>> = list
+                    .iter()
+                    .map(|item| match item {
+                        Expr::Param(s) => Some(*s),
+                        _ => None,
+                    })
+                    .collect();
+                slots.map(|slots| Rule::List { slots })
+            }
+            _ => None,
+        }
+    }
+    walk(pred?, from, key)
+}
+
+/// Mirrors `Table`'s harmless int ↔ float coercion for shard-key values,
+/// so routing hashes what the engine stores / probes.
+fn coerce_key(v: Value, ty: Option<sloth_sql::ast::ColumnType>) -> Value {
+    use sloth_sql::ast::ColumnType;
+    match (ty, &v) {
+        (Some(ColumnType::Int), Value::Float(f)) => Value::Int(*f as i64),
+        (Some(ColumnType::Float), Value::Int(i)) => Value::Float(*i as f64),
+        _ => v,
+    }
+}
+
+/// A literal `key = v` conjunct of a write predicate (writes are parsed
+/// concrete, so the value is a literal, not a slot).
+fn literal_key_conjunct(pred: Option<&Expr>, key: &str) -> Option<Value> {
+    fn walk(e: &Expr, key: &str) -> Option<Value> {
+        match e {
+            Expr::Binary {
+                op: BinOp::And,
+                left,
+                right,
+            } => walk(left, key).or_else(|| walk(right, key)),
+            Expr::Binary {
+                op: BinOp::Eq,
+                left,
+                right,
+            } => match (&**left, &**right) {
+                (Expr::Column(c), Expr::Literal(v)) | (Expr::Literal(v), Expr::Column(c))
+                    if c.column.eq_ignore_ascii_case(key) =>
+                {
+                    Some(v.clone())
+                }
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+    walk(pred?, key)
+}
+
+/// K-way merge of per-shard results by `(sort keys, row id)` — exactly
+/// the order a single server would emit (stable sort ties break in scan
+/// order, and scan order is global row-id order).
+fn merge_parts(
+    parts: Vec<(ResultSet, MergeTrace)>,
+    descs: &[bool],
+    limit: Option<usize>,
+) -> ResultSet {
+    let columns = parts
+        .first()
+        .map(|(r, _)| r.columns.clone())
+        .unwrap_or_default();
+    let total: usize = parts.iter().map(|(r, _)| r.rows.len()).sum();
+    let mut heads: Vec<usize> = vec![0; parts.len()];
+    let mut rows: Vec<Row> = Vec::with_capacity(total);
+    loop {
+        let mut best: Option<usize> = None;
+        for (p, (rs, trace)) in parts.iter().enumerate() {
+            if heads[p] >= rs.rows.len() {
+                continue;
+            }
+            best = match best {
+                None => Some(p),
+                Some(b) => {
+                    let kb = &parts[b].1.keys[heads[b]];
+                    let kp = &trace.keys[heads[p]];
+                    if merge_lt(kp, kb, descs) {
+                        Some(p)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        let Some(b) = best else { break };
+        rows.push(parts[b].0.rows[heads[b]].clone());
+        heads[b] += 1;
+    }
+    if let Some(l) = limit {
+        rows.truncate(l);
+    }
+    ResultSet::new(columns, rows)
+}
+
+/// Strict-less comparison of merge keys under the statement's `ORDER BY`
+/// directions, tie-broken by global row id (always unique across shards).
+fn merge_lt(a: &MergeKey, b: &MergeKey, descs: &[bool]) -> bool {
+    for (i, desc) in descs.iter().enumerate() {
+        if i >= a.sort.len() || i >= b.sort.len() {
+            break;
+        }
+        let mut ord = a.sort[i].total_cmp(&b.sort[i]);
+        if *desc {
+            ord = ord.reverse();
+        }
+        match ord {
+            std::cmp::Ordering::Less => return true,
+            std::cmp::Ordering::Greater => return false,
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    a.rid < b.rid
+}
+
+/// A sharded deployment: `N` independent database servers plus the
+/// fusion-aware scatter-gather router, driven through the same batch
+/// driver interface as [`SimEnv`].
+///
+/// The [`ShardedEnv::handle`] is an ordinary [`SimEnv`], so everything
+/// built on the driver — the query store, ORM sessions, the kernel
+/// interpreters, the benchmark applications — runs on a sharded fleet
+/// without modification:
+///
+/// ```
+/// use sloth_net::{CostModel, ShardedEnv};
+/// use sloth_sql::ShardSpec;
+///
+/// let spec = ShardSpec::new().shard("stock", "s_id");
+/// let fleet = ShardedEnv::new(CostModel::default(), spec, 4);
+/// fleet.seed_sql("CREATE TABLE stock (s_id INT PRIMARY KEY, quantity INT)").unwrap();
+/// for i in 0..8 {
+///     fleet.seed_sql(&format!("INSERT INTO stock VALUES ({i}, {})", i * 10)).unwrap();
+/// }
+/// // Point lookups route to the one shard owning the key:
+/// let rs = fleet.handle().query("SELECT quantity FROM stock WHERE s_id = 3").unwrap();
+/// assert_eq!(rs.get(0, "quantity").unwrap().as_i64(), Some(30));
+/// assert_eq!(fleet.shard_stats().point_reads, 1);
+/// ```
+#[derive(Clone)]
+pub struct ShardedEnv {
+    env: SimEnv,
+}
+
+impl ShardedEnv {
+    /// A fleet of `shards` independent servers partitioned by `spec`.
+    pub fn new(cost: CostModel, spec: ShardSpec, shards: usize) -> Self {
+        ShardedEnv {
+            env: SimEnv::with_backend(cost, Backend::Sharded(Fleet::new(spec, shards))),
+        }
+    }
+
+    /// The driver handle — use it anywhere a [`SimEnv`] is expected
+    /// (query stores, ORM sessions, interpreters). Cloning shares the
+    /// deployment.
+    pub fn handle(&self) -> SimEnv {
+        self.env.clone()
+    }
+
+    /// Borrow of the driver handle.
+    pub fn env(&self) -> &SimEnv {
+        &self.env
+    }
+
+    /// Number of shards in the fleet.
+    pub fn n_shards(&self) -> usize {
+        self.env.with_fleet(|f| f.n_shards())
+    }
+
+    /// The partitioning spec in force.
+    pub fn spec(&self) -> ShardSpec {
+        self.env.with_fleet(|f| f.spec().clone())
+    }
+
+    /// Router and per-shard counters.
+    pub fn shard_stats(&self) -> ShardStats {
+        self.env.with_fleet(|f| f.stats())
+    }
+
+    /// Live rows of `table` on each shard.
+    pub fn shard_row_counts(&self, table: &str) -> Vec<usize> {
+        self.env.with_fleet(|f| f.shard_row_counts(table))
+    }
+
+    /// Seeds SQL through the router without charging time.
+    pub fn seed_sql(&self, sql: &str) -> Result<ResultSet, SqlError> {
+        self.env.seed_sql(sql)
+    }
+
+    /// Executes one statement over the stock driver (one round trip).
+    pub fn query(&self, sql: &str) -> Result<ResultSet, SqlError> {
+        self.env.query(sql)
+    }
+
+    /// Executes a batch in one round trip (see [`SimEnv::query_batch`]).
+    pub fn query_batch(&self, sqls: &[String]) -> Result<Vec<ResultSet>, SqlError> {
+        self.env.query_batch(sqls)
+    }
+
+    /// Accumulated driver statistics.
+    pub fn stats(&self) -> NetStats {
+        self.env.stats()
+    }
+
+    /// Enables or disables batch-level query fusion (on by default).
+    pub fn set_fusion(&self, on: bool) {
+        self.env.set_fusion(on)
+    }
+
+    /// Resets driver statistics, shard counters and the clock.
+    pub fn reset_stats(&self) {
+        self.env.reset_stats()
+    }
+
+    /// Aggregated plan-cache counters across every shard.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.env.plan_cache_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ShardSpec {
+        ShardSpec::new().shard("issue", "project_id")
+    }
+
+    /// `issue` is sharded by project id; `project` is replicated.
+    fn fleet(n: usize) -> ShardedEnv {
+        let env = ShardedEnv::new(CostModel::default(), spec(), n);
+        seed(&env.handle());
+        env
+    }
+
+    fn single() -> SimEnv {
+        let env = SimEnv::default_env();
+        seed(&env);
+        env
+    }
+
+    fn seed(env: &SimEnv) {
+        env.seed_sql("CREATE TABLE project (id INT PRIMARY KEY, name TEXT)")
+            .unwrap();
+        env.seed_sql(
+            "CREATE TABLE issue (id INT PRIMARY KEY, project_id INT, title TEXT, sev INT)",
+        )
+        .unwrap();
+        env.seed_sql("CREATE INDEX ON issue (project_id)").unwrap();
+        for p in 0..6 {
+            env.seed_sql(&format!("INSERT INTO project VALUES ({p}, 'proj{p}')"))
+                .unwrap();
+        }
+        for i in 0..30 {
+            env.seed_sql(&format!(
+                "INSERT INTO issue VALUES ({i}, {}, 'bug{}', {})",
+                i % 6,
+                i % 4,
+                i % 3
+            ))
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn rows_partition_and_replicate() {
+        let env = fleet(4);
+        let issue_counts = env.shard_row_counts("issue");
+        assert_eq!(issue_counts.iter().sum::<usize>(), 30, "no row lost");
+        assert!(
+            issue_counts.iter().filter(|&&c| c > 0).count() > 1,
+            "issues spread over shards: {issue_counts:?}"
+        );
+        assert_eq!(
+            env.shard_row_counts("project"),
+            vec![6; 4],
+            "replicated table has a full copy everywhere"
+        );
+    }
+
+    #[test]
+    fn point_lookup_routes_to_one_shard() {
+        let env = fleet(4);
+        let rs = env
+            .query("SELECT title FROM issue WHERE project_id = 2 AND sev = 0")
+            .unwrap();
+        let reference = single()
+            .query("SELECT title FROM issue WHERE project_id = 2 AND sev = 0")
+            .unwrap();
+        assert_eq!(rs, reference);
+        let s = env.shard_stats();
+        assert_eq!(s.point_reads, 1);
+        assert_eq!(s.scatter_reads, 0);
+        assert_eq!(
+            s.statements.iter().sum::<u64>(),
+            1,
+            "exactly one shard executed"
+        );
+    }
+
+    #[test]
+    fn route_cache_hits_on_same_template() {
+        let env = fleet(4);
+        env.query("SELECT * FROM issue WHERE project_id = 1")
+            .unwrap();
+        env.query("SELECT * FROM issue WHERE project_id = 2")
+            .unwrap();
+        env.query("SELECT * FROM issue WHERE project_id = 3")
+            .unwrap();
+        let s = env.shard_stats();
+        assert_eq!(s.route_cache_misses, 1, "one parse for the template");
+        assert_eq!(s.route_cache_hits, 2);
+    }
+
+    #[test]
+    fn scatter_merge_preserves_single_server_order() {
+        for sql in [
+            "SELECT * FROM issue",
+            "SELECT id, title FROM issue WHERE sev >= 1",
+            "SELECT * FROM issue ORDER BY sev DESC, id",
+            "SELECT id FROM issue WHERE sev = 1 ORDER BY title",
+            "SELECT id FROM issue ORDER BY sev LIMIT 7",
+        ] {
+            for n in [1usize, 2, 4] {
+                let env = fleet(n);
+                assert_eq!(
+                    env.query(sql).unwrap(),
+                    single().query(sql).unwrap(),
+                    "{sql} at {n} shards"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn subset_route_for_key_in_list() {
+        let env = fleet(4);
+        let sql = "SELECT * FROM issue WHERE project_id IN (1, 2) ORDER BY id";
+        assert_eq!(env.query(sql).unwrap(), single().query(sql).unwrap());
+        let s = env.shard_stats();
+        assert_eq!(s.subset_reads, 1);
+        assert!(
+            s.statements.iter().filter(|&&c| c > 0).count() <= 2,
+            "at most the owning shards executed: {:?}",
+            s.statements
+        );
+    }
+
+    #[test]
+    fn aggregates_reaggregate() {
+        for sql in [
+            "SELECT COUNT(*) FROM issue",
+            "SELECT COUNT(*) FROM issue WHERE sev = 1",
+            "SELECT SUM(sev) FROM issue",
+            "SELECT MAX(id) FROM issue",
+            "SELECT MIN(title) FROM issue",
+            "SELECT COUNT(DISTINCT title) FROM issue",
+            "SELECT COUNT(DISTINCT sev) FROM issue WHERE sev > 0",
+        ] {
+            for n in [2usize, 4] {
+                let env = fleet(n);
+                assert_eq!(
+                    env.query(sql).unwrap(),
+                    single().query(sql).unwrap(),
+                    "{sql} at {n} shards"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_probes_split_into_subprobes() {
+        let sqls: Vec<String> = (0..6)
+            .map(|p| format!("SELECT * FROM issue WHERE project_id = {p} ORDER BY id"))
+            .collect();
+        let env = fleet(4);
+        let reference = single().query_batch(&sqls).unwrap();
+        let results = env.query_batch(&sqls).unwrap();
+        assert_eq!(results, reference);
+        let net = env.stats();
+        assert_eq!(net.round_trips, 1);
+        assert_eq!(net.fused_groups, 1);
+        assert_eq!(net.fused_queries, 6);
+        let s = env.shard_stats();
+        assert!(
+            s.fused_subprobes >= 2,
+            "the IN probe split across shards: {}",
+            s.fused_subprobes
+        );
+    }
+
+    #[test]
+    fn sharded_parallelism_cuts_db_time() {
+        // A scatter-heavy batch: each shard scans 1/N of the rows in
+        // parallel, so the fleet's wave makespan shrinks with N.
+        let sqls: Vec<String> = (0..8)
+            .map(|_| "SELECT COUNT(*) FROM issue".to_string())
+            .collect();
+        let one = fleet(1);
+        let four = fleet(4);
+        one.query_batch(&sqls).unwrap();
+        four.query_batch(&sqls).unwrap();
+        assert_eq!(one.stats().round_trips, four.stats().round_trips);
+        assert!(
+            four.stats().db_ns < one.stats().db_ns,
+            "4 shards {} ≥ 1 shard {}",
+            four.stats().db_ns,
+            one.stats().db_ns
+        );
+    }
+
+    #[test]
+    fn writes_route_and_broadcast() {
+        let env = fleet(4);
+        // Key-pinned update: one shard.
+        env.query("UPDATE issue SET sev = 9 WHERE project_id = 3")
+            .unwrap();
+        assert_eq!(env.shard_stats().routed_writes, 1);
+        // Un-routable update: every shard updates its own rows.
+        env.query("UPDATE issue SET sev = sev + 1 WHERE id < 10")
+            .unwrap();
+        assert!(env.shard_stats().broadcast_writes >= 1);
+        // Replicated-table write: broadcast keeps copies identical.
+        env.query("UPDATE project SET name = 'renamed' WHERE id = 1")
+            .unwrap();
+        for s in env.shard_row_counts("project") {
+            assert_eq!(s, 6);
+        }
+        // State equals the single server's after the same statements.
+        let reference = single();
+        reference
+            .query("UPDATE issue SET sev = 9 WHERE project_id = 3")
+            .unwrap();
+        reference
+            .query("UPDATE issue SET sev = sev + 1 WHERE id < 10")
+            .unwrap();
+        reference
+            .query("UPDATE project SET name = 'renamed' WHERE id = 1")
+            .unwrap();
+        let check = "SELECT * FROM issue ORDER BY id";
+        assert_eq!(env.query(check).unwrap(), reference.query(check).unwrap());
+    }
+
+    #[test]
+    fn inserts_route_by_key_and_merge_back_in_order() {
+        let env = fleet(4);
+        let reference = single();
+        for stmt in [
+            "INSERT INTO issue VALUES (100, 2, 'routed', 5)",
+            "INSERT INTO issue (id, project_id, title, sev) VALUES (101, 3, 'cols', 5), (102, 4, 'cols2', 5)",
+            "INSERT INTO project VALUES (6, 'replicated')",
+        ] {
+            env.query(stmt).unwrap();
+            reference.query(stmt).unwrap();
+        }
+        for check in ["SELECT * FROM issue WHERE sev = 5", "SELECT * FROM project"] {
+            assert_eq!(env.query(check).unwrap(), reference.query(check).unwrap());
+        }
+    }
+
+    #[test]
+    fn replicated_join_works_cross_shard_join_errors() {
+        let env = fleet(4);
+        let sql = "SELECT i.title, p.name FROM issue i JOIN project p ON i.project_id = p.id \
+                   WHERE i.project_id = 2 ORDER BY i.id";
+        assert_eq!(env.query(sql).unwrap(), single().query(sql).unwrap());
+        // Joining on something other than both shard keys is refused, not
+        // silently wrong (project is sharded by name, joined by id).
+        let env2 = ShardedEnv::new(
+            CostModel::default(),
+            ShardSpec::new()
+                .shard("issue", "project_id")
+                .shard("project", "name"),
+            4,
+        );
+        seed(&env2.handle());
+        let err = env2.query(sql).unwrap_err();
+        assert!(err.to_string().contains("cross-shard join"), "{err}");
+    }
+
+    #[test]
+    fn co_sharded_join_is_allowed() {
+        // Both tables sharded by the join key: rows are colocated.
+        let spec = ShardSpec::new()
+            .shard("issue", "project_id")
+            .shard("project", "id");
+        let env = ShardedEnv::new(CostModel::default(), spec, 4);
+        seed(&env.handle());
+        let reference = single();
+        let sql = "SELECT i.title, p.name FROM issue i JOIN project p ON i.project_id = p.id \
+                   ORDER BY i.id";
+        assert_eq!(env.query(sql).unwrap(), reference.query(sql).unwrap());
+    }
+
+    #[test]
+    fn errors_match_single_server() {
+        for sql in [
+            "SELECT * FROM missing WHERE id = 1",
+            "SELECT nope FROM issue",
+            "INSERT INTO issue VALUES (1)",
+            "UPDATE issue SET nope = 1 WHERE project_id = 2",
+        ] {
+            let env = fleet(4);
+            let a = env.query(sql).unwrap_err();
+            let b = single().query(sql).unwrap_err();
+            assert_eq!(a, b, "{sql}");
+        }
+    }
+
+    #[test]
+    fn one_shard_fleet_matches_single_exactly() {
+        let env = fleet(1);
+        let reference = single();
+        for sql in [
+            "SELECT * FROM issue ORDER BY sev, id",
+            "SELECT COUNT(*) FROM issue WHERE project_id = 2",
+        ] {
+            assert_eq!(env.query(sql).unwrap(), reference.query(sql).unwrap());
+        }
+    }
+
+    #[test]
+    fn shard_key_update_is_refused_not_wrong() {
+        let env = fleet(4);
+        // Re-homing rows in place is impossible; the router refuses the
+        // statement instead of leaving rows on a stale shard.
+        let err = env
+            .query("UPDATE issue SET project_id = 0 WHERE project_id = 1")
+            .unwrap_err();
+        assert!(err.to_string().contains("shard key"), "{err}");
+        // Updating any other column with the key in the predicate is fine.
+        env.query("UPDATE issue SET sev = 3 WHERE project_id = 1")
+            .unwrap();
+        // On a one-shard fleet there is nothing to re-home; allowed.
+        let one = fleet(1);
+        one.query("UPDATE issue SET project_id = 0 WHERE project_id = 1")
+            .unwrap();
+    }
+
+    #[test]
+    fn insert_routing_coerces_key_to_column_type() {
+        // `project_id` is INT; a float key literal must land on the shard
+        // a later integer lookup probes (the engine stores it as Int(2)).
+        let env = fleet(4);
+        let reference = single();
+        let insert = "INSERT INTO issue VALUES (200, 2.5, 'frac', 1)";
+        env.query(insert).unwrap();
+        reference.query(insert).unwrap();
+        for check in [
+            "SELECT * FROM issue WHERE project_id = 2 ORDER BY id",
+            "SELECT * FROM issue WHERE id = 200",
+        ] {
+            assert_eq!(
+                env.query(check).unwrap(),
+                reference.query(check).unwrap(),
+                "{check}"
+            );
+        }
+    }
+
+    #[test]
+    fn row_ids_are_per_table_sequences() {
+        // Interleaved inserts into two tables must keep each table's row
+        // storage dense in its *own* insert count — a shared fleet-wide
+        // counter would tombstone-pad every table to the global total.
+        let env = fleet(2);
+        for i in 100..140 {
+            env.seed_sql(&format!("INSERT INTO project VALUES ({i}, 'p{i}')"))
+                .unwrap();
+            env.seed_sql(&format!(
+                "INSERT INTO issue VALUES ({i}, {}, 't', 0)",
+                i % 3
+            ))
+            .unwrap();
+        }
+        let counts = env.env().with_fleet(|f| {
+            f.shards
+                .iter()
+                .map(|db| db.table("project").unwrap().next_rowid())
+                .collect::<Vec<_>>()
+        });
+        // 6 seeded + 40 inserted project rows → ids stay below 46 + seed
+        // margin on every replica, untouched by the 40 issue inserts.
+        for c in counts {
+            assert!(
+                c <= 46,
+                "project row ids leaked another table's sequence: {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn fusion_toggle_is_invisible_on_shards() {
+        let sqls: Vec<String> = (0..12)
+            .map(|i| {
+                format!(
+                    "SELECT * FROM issue WHERE project_id = {} ORDER BY id",
+                    i % 7
+                )
+            })
+            .collect();
+        let on = fleet(4);
+        let off = fleet(4);
+        off.set_fusion(false);
+        assert_eq!(
+            on.query_batch(&sqls).unwrap(),
+            off.query_batch(&sqls).unwrap()
+        );
+        assert!(on.stats().fused_queries > 0);
+        assert_eq!(off.stats().fused_queries, 0);
+    }
+}

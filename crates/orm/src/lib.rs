@@ -1,6 +1,8 @@
 //! # sloth-orm — a mini object-relational mapper
 //!
-//! The Hibernate/JPA stand-in for the Sloth reproduction. It provides:
+//! The Hibernate/JPA stand-in for the Sloth reproduction (the fetch-mode
+//! configuration problem of §1; the JPA `find_thunk` extension of §5). It
+//! provides:
 //!
 //! * [`schema`] — entity metadata with eager/lazy fetch strategies, exactly
 //!   the configuration surface whose tuning difficulty motivates the paper.

@@ -137,6 +137,19 @@ impl Schema {
         self.entities.is_empty()
     }
 
+    /// Hash-partitioning spec for the sharded backend: every entity's
+    /// table is sharded **by its entity id** (the primary-key column).
+    /// ORM-generated statements are single-table, so entity loads route to
+    /// one shard, association fetches (`WHERE fk = v`) scatter-gather, and
+    /// no cross-shard join can ever arise from generated SQL.
+    pub fn shard_spec(&self) -> sloth_sql::ShardSpec {
+        self.entities
+            .values()
+            .fold(sloth_sql::ShardSpec::new(), |spec, e| {
+                spec.shard(&e.table, &e.pk)
+            })
+    }
+
     /// Full DDL: `CREATE TABLE` for every entity then FK indexes.
     pub fn ddl(&self) -> Vec<String> {
         let mut out: Vec<String> = self.entities.values().map(EntityDef::ddl).collect();

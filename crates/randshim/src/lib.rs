@@ -1,11 +1,14 @@
-//! Deterministic stand-in for the `rand` crate.
+//! # `rand` shim — deterministic stand-in for the `rand` crate
 //!
 //! The build environment has no access to crates.io, so this workspace
 //! crate shadows `rand` with the minimal API surface the benchmark seeders
-//! use: `rngs::StdRng`, `SeedableRng::seed_from_u64`, and
-//! `RngExt::random_range` over integer ranges. The generator is SplitMix64
-//! — deterministic, seedable, and statistically fine for synthesizing
-//! benchmark fixtures (nothing here is cryptographic).
+//! of the paper's evaluation (§6) use: `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, and `RngExt::random_range` over integer
+//! ranges. The generator is SplitMix64 — deterministic, seedable, and
+//! statistically fine for synthesizing benchmark fixtures (nothing here is
+//! cryptographic).
+
+#![warn(missing_docs)]
 
 use std::ops::{Range, RangeInclusive};
 

@@ -32,6 +32,33 @@ pub struct ExecOutcome {
     pub stats: ExecStats,
 }
 
+/// Merge metadata for one output row of a traced `SELECT` (see
+/// [`MergeTrace`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeKey {
+    /// The row's `ORDER BY` key values, in key order (empty when the
+    /// statement has no `ORDER BY`).
+    pub sort: Vec<Value>,
+    /// Row id of the base-table row this output row derives from. Under
+    /// the sharded backend the router assigns each table's rows one
+    /// fleet-wide id sequence, so `(sort, rid)` totally orders output
+    /// rows exactly as a single server would emit them.
+    pub rid: u64,
+}
+
+/// Per-row merge keys of a traced `SELECT` execution.
+///
+/// The shard router executes scatter-gathered statements with tracing on
+/// and k-way merges the per-shard results by `(sort keys, base row id)`,
+/// which reproduces the single-server row order bit for bit: unsorted
+/// results stream in scan (row-id) order, and sorted results are stable
+/// sorts whose ties the engine breaks in scan order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MergeTrace {
+    /// One entry per output row, in emission order.
+    pub keys: Vec<MergeKey>,
+}
+
 /// Statistics of the per-database plan cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PlanCacheStats {
@@ -169,15 +196,34 @@ impl Database {
         sql: &str,
         norm: &crate::normalize::Normalized,
     ) -> Result<ExecOutcome, SqlError> {
+        self.execute_select_opts(sql, norm, false).map(|(o, _)| o)
+    }
+
+    /// [`Database::execute_select_normalized`] with merge tracing enabled —
+    /// the entry point the shard router uses for scatter-gathered reads.
+    pub fn execute_select_traced(
+        &mut self,
+        sql: &str,
+        norm: &crate::normalize::Normalized,
+    ) -> Result<(ExecOutcome, Option<MergeTrace>), SqlError> {
+        self.execute_select_opts(sql, norm, true)
+    }
+
+    fn execute_select_opts(
+        &mut self,
+        sql: &str,
+        norm: &crate::normalize::Normalized,
+        trace: bool,
+    ) -> Result<(ExecOutcome, Option<MergeTrace>), SqlError> {
         if let Some(plan) = self.plans.lookup(&norm.template) {
             if plan.n_params == norm.params.len() {
-                return self.execute_stmt_with(&plan.stmt, &norm.params);
+                return self.execute_opts(&plan.stmt, &norm.params, trace);
             }
         }
         let stmt = parse(sql)?;
         let (pstmt, slots) = parameterize(&stmt);
         if slots == norm.params.len() {
-            let out = self.execute_stmt_with(&pstmt, &norm.params);
+            let out = self.execute_opts(&pstmt, &norm.params, trace);
             // Cache only plans that executed cleanly: a statement that
             // errors (unknown table/column) would otherwise pin a useless
             // entry, and error texts must not depend on cache state.
@@ -194,7 +240,7 @@ impl Database {
         } else {
             // Normalizer/parser slot disagreement (possible outside the
             // supported grammar): execute the concrete statement, uncached.
-            self.execute_stmt(&stmt)
+            self.execute_opts(&stmt, &[], trace)
         }
     }
 
@@ -209,7 +255,31 @@ impl Database {
         stmt: &Statement,
         params: &[Value],
     ) -> Result<ExecOutcome, SqlError> {
-        match stmt {
+        self.execute_opts(stmt, params, false).map(|(o, _)| o)
+    }
+
+    /// [`Database::execute_stmt_with`] with merge tracing: for `SELECT`s
+    /// the outcome carries a [`MergeTrace`] so a scatter-gather router can
+    /// merge per-shard results in exact single-server order. Non-`SELECT`
+    /// statements return no trace.
+    pub fn execute_stmt_traced(
+        &mut self,
+        stmt: &Statement,
+        params: &[Value],
+    ) -> Result<(ExecOutcome, Option<MergeTrace>), SqlError> {
+        self.execute_opts(stmt, params, true)
+    }
+
+    fn execute_opts(
+        &mut self,
+        stmt: &Statement,
+        params: &[Value],
+        trace: bool,
+    ) -> Result<(ExecOutcome, Option<MergeTrace>), SqlError> {
+        if let Statement::Select(sel) = stmt {
+            return self.run_select(sel, params, trace);
+        }
+        let out = match stmt {
             Statement::CreateTable { name, columns } => {
                 let key = name.to_ascii_lowercase();
                 if self.tables.contains_key(&key) {
@@ -228,7 +298,7 @@ impl Database {
                 columns,
                 values,
             } => self.run_insert(table, columns, values, params),
-            Statement::Select(sel) => self.run_select(sel, params),
+            Statement::Select(_) => unreachable!("handled above"),
             Statement::Update {
                 table,
                 sets,
@@ -238,7 +308,25 @@ impl Database {
                 self.run_delete(table, predicate.as_ref(), params)
             }
             Statement::Begin | Statement::Commit | Statement::Rollback => Ok(write_outcome(0)),
-        }
+        };
+        out.map(|o| (o, None))
+    }
+
+    /// Inserts one already-evaluated tuple at an explicit row id — the
+    /// shard router's insert path. `columns` maps tuple positions exactly
+    /// as `INSERT INTO t (cols) VALUES …` would; an empty list means
+    /// declaration order. The global row id keeps scan order merge-exact
+    /// across shards (see [`crate::table::Table::insert_at`]).
+    pub fn insert_row_at(
+        &mut self,
+        table: &str,
+        columns: &[String],
+        tuple: Vec<Value>,
+        rid: u64,
+    ) -> Result<(), SqlError> {
+        let t = self.table_mut(table)?;
+        let row = map_tuple(t, columns, tuple)?;
+        t.insert_at(rid as usize, row)
     }
 
     fn table_mut(&mut self, name: &str) -> Result<&mut Table, SqlError> {
@@ -272,27 +360,18 @@ impl Database {
         let t = self.table_mut(table)?;
         let n = tuples.len() as u64;
         for tuple in tuples {
-            let row = if columns.is_empty() {
-                tuple
-            } else {
-                if columns.len() != tuple.len() {
-                    return Err(SqlError::new("column / value count mismatch"));
-                }
-                let mut row = vec![Value::Null; t.columns.len()];
-                for (name, v) in columns.iter().zip(tuple) {
-                    let ci = t
-                        .column_index(name)
-                        .ok_or_else(|| SqlError::new(format!("no column {name}")))?;
-                    row[ci] = v;
-                }
-                row
-            };
+            let row = map_tuple(t, columns, tuple)?;
             t.insert(row)?;
         }
         Ok(write_outcome(n))
     }
 
-    fn run_select(&self, sel: &SelectStmt, params: &[Value]) -> Result<ExecOutcome, SqlError> {
+    fn run_select(
+        &self,
+        sel: &SelectStmt,
+        params: &[Value],
+        trace: bool,
+    ) -> Result<(ExecOutcome, Option<MergeTrace>), SqlError> {
         let mut stats = ExecStats::default();
 
         // Resolve all sources.
@@ -301,12 +380,16 @@ impl Database {
         scope.add_source(&sel.from.alias, base);
 
         // Base rows: try an index probe from an equality / IN conjunct.
-        let base_rows: Vec<&Row> =
+        // Every row keeps its base-table row id so traced executions can
+        // report exact merge keys.
+        let base_rows: Vec<(usize, &Row)> =
             match find_index_probe(sel.predicate.as_ref(), &sel.from, base, params) {
                 Some(Probe::Eq(ci, key)) => {
                     let ids = base.probe(ci, &key).unwrap_or(&[]);
                     stats.rows_scanned += ids.len() as u64;
-                    ids.iter().filter_map(|&rid| base.row(rid)).collect()
+                    ids.iter()
+                        .filter_map(|&rid| base.row(rid).map(|r| (rid, r)))
+                        .collect()
                 }
                 Some(Probe::In(ci, keys)) => {
                     // K point probes instead of a full scan; row ids merge
@@ -319,14 +402,19 @@ impl Database {
                     ids.sort_unstable();
                     ids.dedup();
                     stats.rows_scanned += ids.len() as u64;
-                    ids.iter().filter_map(|&rid| base.row(rid)).collect()
+                    ids.iter()
+                        .filter_map(|&rid| base.row(rid).map(|r| (rid, r)))
+                        .collect()
                 }
                 None => {
                     stats.rows_scanned += base.len() as u64;
-                    base.scan().map(|(_, r)| r).collect()
+                    base.scan().collect()
                 }
             };
-        let mut current: Vec<Row> = base_rows.into_iter().cloned().collect();
+        let mut current: Vec<(usize, Row)> = base_rows
+            .into_iter()
+            .map(|(rid, r)| (rid, r.clone()))
+            .collect();
 
         // Hash joins, left to right.
         for join in &sel.joins {
@@ -357,12 +445,12 @@ impl Database {
                 built.entry(row[build_ci].clone()).or_default().push(row);
             }
             let mut next = Vec::new();
-            for row in &current {
+            for (rid, row) in &current {
                 if let Some(matches) = built.get(&row[probe_idx]) {
                     for m in matches {
                         let mut combined = row.clone();
                         combined.extend((*m).iter().cloned());
-                        next.push(combined);
+                        next.push((*rid, combined));
                     }
                 }
             }
@@ -373,24 +461,26 @@ impl Database {
         // Filter.
         if let Some(pred) = &sel.predicate {
             let mut kept = Vec::with_capacity(current.len());
-            for row in current {
+            for (rid, row) in current {
                 if eval_expr(pred, &scope, &row, params)?.is_truthy() {
-                    kept.push(row);
+                    kept.push((rid, row));
                 }
             }
             current = kept;
         }
 
-        // Aggregate short-circuits ordering/limit/projection.
+        // Aggregate short-circuits ordering/limit/projection (and carries
+        // no merge trace — the router re-aggregates partials instead).
         if let Projection::Aggregate(agg) = &sel.projection {
             let rs = run_aggregate(agg, &current, &scope)?;
             stats.rows_returned = rs.len() as u64;
-            return Ok(ExecOutcome { result: rs, stats });
+            return Ok((ExecOutcome { result: rs, stats }, None));
         }
 
-        // Order.
+        // Order (stable sort: ties keep scan order, which is row-id order).
+        let mut key_idx: Vec<(usize, bool)> = Vec::new();
         if !sel.order_by.is_empty() {
-            let keys: Vec<(usize, bool)> = sel
+            key_idx = sel
                 .order_by
                 .iter()
                 .map(|k| {
@@ -400,8 +490,8 @@ impl Database {
                         .ok_or_else(|| SqlError::new(format!("unknown column {}", k.column.column)))
                 })
                 .collect::<Result<_, _>>()?;
-            current.sort_by(|a, b| {
-                for &(i, desc) in &keys {
+            current.sort_by(|(_, a), (_, b)| {
+                for &(i, desc) in &key_idx {
                     let ord = a[i].total_cmp(&b[i]);
                     if ord != std::cmp::Ordering::Equal {
                         return if desc { ord.reverse() } else { ord };
@@ -416,9 +506,24 @@ impl Database {
             current.truncate(n);
         }
 
+        // Merge trace: captured after sort/limit, before projection (the
+        // sort keys must come from the full-width row).
+        let merge = trace.then(|| MergeTrace {
+            keys: current
+                .iter()
+                .map(|(rid, row)| MergeKey {
+                    sort: key_idx.iter().map(|&(i, _)| row[i].clone()).collect(),
+                    rid: *rid as u64,
+                })
+                .collect(),
+        });
+
         // Project.
         let (columns, rows) = match &sel.projection {
-            Projection::Star => (scope.output_columns(), current),
+            Projection::Star => (
+                scope.output_columns(),
+                current.into_iter().map(|(_, row)| row).collect(),
+            ),
             Projection::Columns(cols) => {
                 let idxs: Vec<usize> = cols
                     .iter()
@@ -429,19 +534,22 @@ impl Database {
                     })
                     .collect::<Result<_, _>>()?;
                 let names = cols.iter().map(|c| c.column.clone()).collect();
-                let rows = current
+                let rows: Vec<Row> = current
                     .into_iter()
-                    .map(|row| idxs.iter().map(|&i| row[i].clone()).collect())
+                    .map(|(_, row)| idxs.iter().map(|&i| row[i].clone()).collect())
                     .collect();
                 (names, rows)
             }
             Projection::Aggregate(_) => unreachable!("handled above"),
         };
         stats.rows_returned = rows.len() as u64;
-        Ok(ExecOutcome {
-            result: ResultSet::new(columns, rows),
-            stats,
-        })
+        Ok((
+            ExecOutcome {
+                result: ResultSet::new(columns, rows),
+                stats,
+            },
+            merge,
+        ))
     }
 
     fn run_update(
@@ -520,6 +628,36 @@ impl Database {
         out.stats.rows_scanned = scanned;
         Ok(out)
     }
+}
+
+/// Maps an `INSERT` tuple to a full-width row using the statement's
+/// explicit column list (empty list = declaration order); shared by the
+/// standard insert path and the shard router's [`Database::insert_row_at`].
+fn map_tuple(t: &Table, columns: &[String], tuple: Vec<Value>) -> Result<Row, SqlError> {
+    if columns.is_empty() {
+        return Ok(tuple);
+    }
+    if columns.len() != tuple.len() {
+        return Err(SqlError::new("column / value count mismatch"));
+    }
+    let mut row = vec![Value::Null; t.columns.len()];
+    for (name, v) in columns.iter().zip(tuple) {
+        let ci = t
+            .column_index(name)
+            .ok_or_else(|| SqlError::new(format!("no column {name}")))?;
+        row[ci] = v;
+    }
+    Ok(row)
+}
+
+/// Evaluates an expression with no row scope and no bound parameters —
+/// exactly the context `INSERT … VALUES` tuples evaluate in. The shard
+/// router uses this to extract shard-key values when routing inserts; it
+/// errors on precisely the expressions the engine itself would reject
+/// (column references, unbound parameters), so routing never succeeds
+/// where execution would fail.
+pub fn eval_const(e: &Expr) -> Result<Value, SqlError> {
+    eval_expr(e, &Scope::empty(), &[], &[])
 }
 
 fn write_outcome(rows_affected: u64) -> ExecOutcome {
@@ -738,7 +876,11 @@ fn like_match(s: &str, pattern: &str) -> bool {
     true
 }
 
-fn run_aggregate(agg: &Aggregate, rows: &[Row], scope: &Scope) -> Result<ResultSet, SqlError> {
+fn run_aggregate(
+    agg: &Aggregate,
+    rows: &[(usize, Row)],
+    scope: &Scope,
+) -> Result<ResultSet, SqlError> {
     let resolve = |c: &ColumnRef| {
         scope
             .resolve(c)
@@ -750,7 +892,7 @@ fn run_aggregate(agg: &Aggregate, rows: &[Row], scope: &Scope) -> Result<ResultS
             let i = resolve(c)?;
             let distinct: HashSet<&Value> = rows
                 .iter()
-                .map(|r| &r[i])
+                .map(|(_, r)| &r[i])
                 .filter(|v| !v.is_null())
                 .collect();
             ("count".to_string(), Value::Int(distinct.len() as i64))
@@ -759,7 +901,7 @@ fn run_aggregate(agg: &Aggregate, rows: &[Row], scope: &Scope) -> Result<ResultS
             let i = resolve(c)?;
             let mut acc = 0.0;
             let mut all_int = true;
-            for r in rows {
+            for (_, r) in rows {
                 if let Some(v) = r[i].as_f64() {
                     acc += v;
                     all_int &= matches!(r[i], Value::Int(_));
@@ -776,7 +918,7 @@ fn run_aggregate(agg: &Aggregate, rows: &[Row], scope: &Scope) -> Result<ResultS
             let i = resolve(c)?;
             let v = rows
                 .iter()
-                .map(|r| &r[i])
+                .map(|(_, r)| &r[i])
                 .filter(|v| !v.is_null())
                 .max_by(|a, b| a.total_cmp(b))
                 .cloned()
@@ -787,7 +929,7 @@ fn run_aggregate(agg: &Aggregate, rows: &[Row], scope: &Scope) -> Result<ResultS
             let i = resolve(c)?;
             let v = rows
                 .iter()
-                .map(|r| &r[i])
+                .map(|(_, r)| &r[i])
                 .filter(|v| !v.is_null())
                 .min_by(|a, b| a.total_cmp(b))
                 .cloned()

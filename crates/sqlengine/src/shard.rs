@@ -1,0 +1,174 @@
+//! Hash partitioning: the engine-level half of the sharded backend.
+//!
+//! A [`ShardSpec`] declares, per table, the column whose value decides
+//! which shard owns a row (workload analyses of ORM applications show
+//! template queries almost always carry such an obvious partition key —
+//! TPC-C by warehouse/district, issue trackers by project/issue id,
+//! medical records by patient/encounter id). Tables **without** a declared
+//! key are *replicated*: every shard holds a full copy, so lookups and
+//! joins against them stay shard-local.
+//!
+//! [`shard_of`] maps a key value to a shard by a deterministic canonical
+//! hash: integers and integral floats hash identically (`1` and `1.0`
+//! land on the same shard, mirroring [`Value::sql_eq`] numeric coercion),
+//! so a row inserted through an `INT` column is always found again by a
+//! predicate written with a float literal, and vice versa.
+//!
+//! The driver-side router that consumes this spec lives in `sloth-net`
+//! (`ShardedEnv`); this module is pure data + hashing so the engine crate
+//! stays free of any networking concerns.
+
+use std::collections::HashMap;
+
+use crate::value::Value;
+
+/// Declares which tables are hash-partitioned and by which column.
+///
+/// Tables absent from the spec are replicated to every shard. Lookups are
+/// case-insensitive on both table and column names, matching the rest of
+/// the engine.
+#[derive(Debug, Clone, Default)]
+pub struct ShardSpec {
+    /// lowercase table name → lowercase shard-key column name.
+    keys: HashMap<String, String>,
+}
+
+impl ShardSpec {
+    /// An empty spec: every table replicated.
+    pub fn new() -> Self {
+        ShardSpec::default()
+    }
+
+    /// Declares `table` hash-partitioned by `column` (builder style).
+    pub fn shard(mut self, table: &str, column: &str) -> Self {
+        self.keys
+            .insert(table.to_ascii_lowercase(), column.to_ascii_lowercase());
+        self
+    }
+
+    /// The declared shard-key column of `table`, if it is partitioned.
+    pub fn key_column(&self, table: &str) -> Option<&str> {
+        self.keys
+            .get(&table.to_ascii_lowercase())
+            .map(String::as_str)
+    }
+
+    /// Whether `table` is hash-partitioned (as opposed to replicated).
+    pub fn is_sharded(&self, table: &str) -> bool {
+        self.keys.contains_key(&table.to_ascii_lowercase())
+    }
+
+    /// Number of partitioned tables declared.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether no table is partitioned.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Iterates `(table, shard_key_column)` pairs in sorted order
+    /// (deterministic, for display and docs).
+    pub fn entries(&self) -> Vec<(&str, &str)> {
+        let mut v: Vec<(&str, &str)> = self
+            .keys
+            .iter()
+            .map(|(t, c)| (t.as_str(), c.as_str()))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Canonical 64-bit hash of a shard-key value (SplitMix64 finalizer).
+///
+/// Numeric values with equal numeric value hash equally (`Int(3)` ==
+/// `Float(3.0)`), matching [`Value::sql_eq`]; `NULL` hashes to zero (rows
+/// with a `NULL` key all live on shard 0, and an equality predicate never
+/// matches them anyway — on any backend).
+pub fn hash_key(v: &Value) -> u64 {
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+    match v {
+        Value::Null => 0,
+        Value::Bool(b) => mix(*b as u64),
+        Value::Int(i) => mix(*i as u64),
+        Value::Float(f) => {
+            // Integral floats hash like the integer they equal.
+            if f.fract() == 0.0 && f.is_finite() && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 {
+                mix(*f as i64 as u64)
+            } else {
+                mix(f.to_bits())
+            }
+        }
+        Value::Str(s) => {
+            // FNV-1a over the bytes, then the same finalizer.
+            let mut h: u64 = 0xCBF29CE484222325;
+            for b in s.as_bytes() {
+                h ^= *b as u64;
+                h = h.wrapping_mul(0x100000001B3);
+            }
+            mix(h)
+        }
+    }
+}
+
+/// The shard (in `0..n`) that owns a row whose shard key equals `v`.
+pub fn shard_of(v: &Value, n: usize) -> usize {
+    if n <= 1 {
+        return 0;
+    }
+    (hash_key(v) % n as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_is_case_insensitive() {
+        let spec = ShardSpec::new().shard("Warehouse", "W_ID");
+        assert_eq!(spec.key_column("warehouse"), Some("w_id"));
+        assert_eq!(spec.key_column("WAREHOUSE"), Some("w_id"));
+        assert!(spec.is_sharded("warehouse"));
+        assert!(!spec.is_sharded("item"));
+        assert_eq!(spec.entries(), vec![("warehouse", "w_id")]);
+    }
+
+    #[test]
+    fn numeric_coercion_hashes_equal() {
+        assert_eq!(hash_key(&Value::Int(7)), hash_key(&Value::Float(7.0)));
+        assert_ne!(hash_key(&Value::Int(7)), hash_key(&Value::Int(8)));
+        for n in [1usize, 2, 4, 8] {
+            assert_eq!(shard_of(&Value::Int(7), n), shard_of(&Value::Float(7.0), n));
+        }
+    }
+
+    #[test]
+    fn shards_are_reasonably_balanced() {
+        let n = 4;
+        let mut counts = vec![0usize; n];
+        for i in 0..4000i64 {
+            counts[shard_of(&Value::Int(i), n)] += 1;
+        }
+        for c in counts {
+            assert!(c > 700, "badly unbalanced shard: {c}");
+        }
+    }
+
+    #[test]
+    fn one_shard_takes_everything() {
+        assert_eq!(shard_of(&Value::Str("x".into()), 1), 0);
+        assert_eq!(shard_of(&Value::Null, 1), 0);
+    }
+
+    #[test]
+    fn null_routes_to_shard_zero() {
+        assert_eq!(shard_of(&Value::Null, 8), 0);
+    }
+}

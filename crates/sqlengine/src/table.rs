@@ -93,6 +93,19 @@ impl Table {
 
     /// Inserts a full-width row, maintaining indexes.
     pub fn insert(&mut self, row: Row) -> Result<(), SqlError> {
+        let rid = self.rows.len();
+        self.insert_at(rid, row)
+    }
+
+    /// Inserts a full-width row at an explicit row id, maintaining indexes.
+    ///
+    /// Slots between the current end and `rid` are left as tombstones.
+    /// This is what keeps scan order stable across a sharded fleet: the
+    /// shard router assigns each table's rows a fleet-wide id sequence,
+    /// each shard stores its rows at those (sparse) ids, and a k-way
+    /// merge by row id reconstructs the exact scan order a single server
+    /// would produce.
+    pub fn insert_at(&mut self, rid: usize, row: Row) -> Result<(), SqlError> {
         if row.len() != self.columns.len() {
             return Err(SqlError::new(format!(
                 "insert into {}: expected {} values, got {}",
@@ -101,18 +114,31 @@ impl Table {
                 row.len()
             )));
         }
+        if self.rows.get(rid).is_some_and(Option::is_some) {
+            return Err(SqlError::new(format!(
+                "insert into {}: row id {rid} already occupied",
+                self.name
+            )));
+        }
         let row: Row = row
             .into_iter()
             .enumerate()
             .map(|(ci, v)| self.coerce(ci, v))
             .collect();
-        let rid = self.rows.len();
         for (ci, index) in self.indexes.iter_mut() {
             index.entry(row[*ci].clone()).or_default().push(rid);
         }
-        self.rows.push(Some(row));
+        if rid >= self.rows.len() {
+            self.rows.resize(rid + 1, None);
+        }
+        self.rows[rid] = Some(row);
         self.live += 1;
         Ok(())
+    }
+
+    /// The next row id a plain [`Table::insert`] would use.
+    pub fn next_rowid(&self) -> usize {
+        self.rows.len()
     }
 
     /// Iterates `(row_id, row)` over live rows.

@@ -1,22 +1,29 @@
 //! # sloth — batching database queries via extended lazy evaluation
 //!
 //! A Rust reproduction of **“Sloth: Being Lazy is a Virtue (When Issuing
-//! Database Queries)”** (Cheung, Madden, Solar-Lezama — SIGMOD 2014).
+//! Database Queries)”** (Cheung, Madden, Solar-Lezama — SIGMOD 2014),
+//! grown toward a production-shaped system: batch-level query fusion and
+//! a parameterized plan cache on the driver path, and a sharded
+//! multi-server backend with fusion-aware scatter-gather routing.
 //!
-//! This façade crate re-exports the whole workspace:
+//! This façade crate re-exports the whole workspace, one crate per layer
+//! (paper sections in parentheses):
 //!
 //! | crate | role |
 //! |---|---|
-//! | [`sql`] (`sloth-sql`) | in-memory SQL engine (the MySQL stand-in) |
-//! | [`net`] (`sloth-net`) | virtual clock, latency simulation, batch driver |
-//! | [`core`] (`sloth-core`) | thunks + the query store (the paper's runtime) |
-//! | [`orm`] (`sloth-orm`) | mini-Hibernate with eager/lazy fetch strategies |
-//! | [`lang`] (`sloth-lang`) | kernel language + the Sloth compiler + both evaluators |
-//! | [`web`] (`sloth-web`) | MVC micro-framework with the thunk-buffering writer |
-//! | [`apps`] (`sloth-apps`) | itracker / OpenMRS / TPC-C / TPC-W benchmarks |
+//! | [`sql`] (`sloth-sql`) | in-memory SQL engine, normalizer, plan cache, shard spec (the MySQL stand-in of the §6 testbed) |
+//! | [`net`] (`sloth-net`) | virtual clock, latency simulation, batch driver (§5), [`net::ShardedEnv`] router |
+//! | [`core`] (`sloth-core`) | thunks + the query store — the extended-lazy runtime (§3.2, §3.3) |
+//! | [`orm`] (`sloth-orm`) | mini-Hibernate with eager/lazy fetch strategies (§1, §5) |
+//! | [`lang`] (`sloth-lang`) | kernel language (§3.8), compiler passes (§3.1, §4), both evaluators |
+//! | [`web`] (`sloth-web`) | MVC micro-framework with the thunk-buffering writer (§5) |
+//! | [`apps`] (`sloth-apps`) | itracker / OpenMRS / TPC-C / TPC-W benchmarks (§6) |
 //!
-//! See `examples/quickstart.rs` for the 20-line tour and `DESIGN.md` for
-//! the full system inventory.
+//! See `examples/quickstart.rs` for the 20-line tour,
+//! `examples/sharded.rs` for the fleet tour, and `DESIGN.md` for the full
+//! system inventory.
+
+#![warn(missing_docs)]
 
 pub use sloth_apps as apps;
 pub use sloth_core as core;
@@ -28,4 +35,4 @@ pub use sloth_web as web;
 
 pub use sloth_core::{query_thunk, QueryStore, Thunk};
 pub use sloth_lang::{run_source, ExecStrategy, OptFlags};
-pub use sloth_net::{CostModel, SimEnv};
+pub use sloth_net::{CostModel, ShardSpec, ShardedEnv, SimEnv};

@@ -1,0 +1,244 @@
+//! Sharded equivalence, property-tested at the batch-driver level: for
+//! random batches of mixed reads and writes, a [`ShardedEnv`] with
+//! N ∈ {1, 2, 4} shards must produce per-query result sets identical to
+//! the single-server [`SimEnv`] — same rows, same row order, same first
+//! error, same final database state — with fusion on and off.
+//!
+//! The statement generator is biased towards the router's interesting
+//! shapes: shard-key point lookups (single-shard route), shard-key `IN`
+//! lists (subset route / fused sub-probe splits), full scans and
+//! `ORDER BY`/`LIMIT` (scatter + order-preserving merge), decomposable
+//! and distinct aggregates (re-aggregation), replicated-table traffic,
+//! and writes that route, broadcast, or split per tuple.
+//!
+//! Deterministic SplitMix64 cases (no third-party crates available);
+//! failures print the generating batch.
+
+use sloth_net::{CostModel, ShardedEnv, SimEnv};
+use sloth_sql::{ShardSpec, Value};
+
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_add(0x9E3779B97F4A7C15))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next() % (hi - lo) as u64) as i64
+    }
+}
+
+/// `issue` is sharded by `project_id` (a non-PK key, so PK lookups
+/// scatter and key lookups route); `project` is replicated.
+fn spec() -> ShardSpec {
+    ShardSpec::new().shard("issue", "project_id")
+}
+
+fn seed(env: &SimEnv) {
+    env.seed_sql("CREATE TABLE project (id INT PRIMARY KEY, name TEXT)")
+        .unwrap();
+    env.seed_sql("CREATE TABLE issue (id INT PRIMARY KEY, project_id INT, title TEXT, sev INT)")
+        .unwrap();
+    env.seed_sql("CREATE INDEX ON issue (project_id)").unwrap();
+    for p in 0..8 {
+        env.seed_sql(&format!("INSERT INTO project VALUES ({p}, 'proj{p}')"))
+            .unwrap();
+    }
+    for i in 0..40 {
+        env.seed_sql(&format!(
+            "INSERT INTO issue VALUES ({i}, {}, 'bug{}', {})",
+            i % 8,
+            i % 5,
+            i % 4
+        ))
+        .unwrap();
+    }
+}
+
+fn single() -> SimEnv {
+    let env = SimEnv::default_env();
+    seed(&env);
+    env
+}
+
+fn fleet(n: usize) -> ShardedEnv {
+    let env = ShardedEnv::new(CostModel::default(), spec(), n);
+    seed(&env.handle());
+    env
+}
+
+/// A random batch statement, biased towards the shapes the router has to
+/// get right.
+fn arb_statement(rng: &mut Rng, next_insert_id: &mut i64) -> String {
+    match rng.range(0, 18) {
+        // Shard-key point lookups — single-shard routes and, repeated in
+        // one batch, fused sub-probe splits.
+        0..=3 => format!(
+            "SELECT * FROM issue WHERE project_id = {} ORDER BY id",
+            rng.range(0, 10)
+        ),
+        // PK lookups on the sharded table: the key is NOT the shard key,
+        // so these scatter (and may fuse into a scattered probe).
+        4 | 5 => format!("SELECT title FROM issue WHERE id = {}", rng.range(0, 45)),
+        // Replicated-table lookups.
+        6 => format!("SELECT * FROM project WHERE id = {}", rng.range(0, 10)),
+        // Shard-key IN lists: subset routes.
+        7 => format!(
+            "SELECT id, title FROM issue WHERE project_id IN ({}, {}, {}) ORDER BY sev DESC, id",
+            rng.range(0, 10),
+            rng.range(0, 10),
+            rng.range(0, 10)
+        ),
+        // Scatter + order-preserving merge, with and without LIMIT.
+        8 => "SELECT * FROM issue ORDER BY title, id".to_string(),
+        9 => format!(
+            "SELECT id FROM issue WHERE sev >= {} ORDER BY id DESC LIMIT 6",
+            rng.range(0, 4)
+        ),
+        10 => format!("SELECT * FROM issue WHERE sev = {}", rng.range(0, 5)),
+        // Re-aggregation paths.
+        11 => format!(
+            "SELECT COUNT(*) FROM issue WHERE sev >= {}",
+            rng.range(0, 4)
+        ),
+        12 => "SELECT SUM(sev) FROM issue".to_string(),
+        13 => "SELECT MAX(id) FROM issue".to_string(),
+        14 => "SELECT COUNT(DISTINCT title) FROM issue".to_string(),
+        // Writes: routed (key-pinned), broadcast (unpinned), replicated.
+        15 => format!(
+            "UPDATE issue SET sev = {} WHERE project_id = {}",
+            rng.range(0, 9),
+            rng.range(0, 8)
+        ),
+        16 => format!(
+            "UPDATE issue SET sev = sev + 1 WHERE id < {}",
+            rng.range(0, 45)
+        ),
+        // Inserts split per tuple across shards.
+        _ => {
+            let id = *next_insert_id;
+            *next_insert_id += 2;
+            format!(
+                "INSERT INTO issue VALUES ({id}, {}, 'new{id}', {}), ({}, {}, 'new{}', {})",
+                rng.range(0, 10),
+                rng.range(0, 4),
+                id + 1,
+                rng.range(0, 10),
+                id + 1,
+                rng.range(0, 4)
+            )
+        }
+    }
+}
+
+/// Final database state, read through each backend's own driver (which
+/// also exercises the scatter merge one last time).
+fn db_state(
+    query: &dyn Fn(&str) -> Result<sloth_sql::ResultSet, sloth_sql::SqlError>,
+) -> Vec<Vec<Value>> {
+    let mut state = query("SELECT id, project_id, title, sev FROM issue ORDER BY id")
+        .unwrap()
+        .rows;
+    state.extend(
+        query("SELECT id, name FROM project ORDER BY id")
+            .unwrap()
+            .rows,
+    );
+    state
+}
+
+#[test]
+fn random_batches_sharded_equals_single() {
+    for case in 0..120u64 {
+        for &n in &[1usize, 2, 4] {
+            for fusion in [true, false] {
+                let mut rng = Rng::new(0x5AADD ^ (case << 3) ^ n as u64);
+                let mut next_id = 100;
+                let len = rng.range(1, 22);
+                let batch: Vec<String> = (0..len)
+                    .map(|_| arb_statement(&mut rng, &mut next_id))
+                    .collect();
+
+                let reference = single();
+                let sharded = fleet(n);
+                reference.set_fusion(fusion);
+                sharded.set_fusion(fusion);
+
+                let r_ref = reference.query_batch(&batch);
+                let r_sh = sharded.query_batch(&batch);
+                match (r_ref, r_sh) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a.len(), b.len());
+                        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+                            assert_eq!(
+                                x, y,
+                                "statement {i} at {n} shards (fusion {fusion}): {batch:#?}"
+                            );
+                        }
+                        assert_eq!(
+                            db_state(&|sql| reference.query(sql)),
+                            db_state(&|sql| sharded.query(sql)),
+                            "final state at {n} shards (fusion {fusion}): {batch:#?}"
+                        );
+                        assert_eq!(
+                            reference.stats().round_trips,
+                            sharded.stats().round_trips,
+                            "sharding must not change round-trip count"
+                        );
+                    }
+                    (Err(a), Err(b)) => {
+                        assert_eq!(
+                            a, b,
+                            "first error at {n} shards (fusion {fusion}): {batch:#?}"
+                        )
+                    }
+                    (a, b) => {
+                        panic!("one backend failed: single={a:?} sharded={b:?} batch {batch:#?}")
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The hot ORM pattern at fleet scale: same-template point lookups on the
+/// shard key must split into sub-probes and cut database time vs one
+/// server, at identical results and round trips.
+#[test]
+fn fused_subprobe_split_saves_db_time() {
+    let mut rng = Rng::new(7);
+    let batch: Vec<String> = (0..32)
+        .map(|_| {
+            format!(
+                "SELECT * FROM issue WHERE project_id = {} ORDER BY id",
+                rng.range(0, 8)
+            )
+        })
+        .collect();
+    let one = fleet(1);
+    let four = fleet(4);
+    let a = one.query_batch(&batch).unwrap();
+    let b = four.query_batch(&batch).unwrap();
+    assert_eq!(a, b);
+    assert_eq!(one.stats().round_trips, four.stats().round_trips);
+    assert_eq!(four.stats().fused_queries, 32);
+    assert!(
+        four.shard_stats().fused_subprobes > 1,
+        "probe split across shards"
+    );
+    assert!(
+        four.stats().db_ns < one.stats().db_ns,
+        "4 shards {} ≥ 1 shard {}",
+        four.stats().db_ns,
+        one.stats().db_ns
+    );
+}

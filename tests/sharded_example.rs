@@ -1,0 +1,20 @@
+//! Smoke test wiring `examples/sharded.rs` into `cargo test`: the example
+//! is compiled into this test crate and executed end to end, so the
+//! documented tour can never silently rot.
+
+#[path = "../examples/sharded.rs"]
+mod sharded;
+
+#[test]
+fn sharded_example_runs_end_to_end() {
+    let fleet = sharded::run();
+    assert_eq!(fleet.n_shards(), 4);
+    // The tour exercised all three routing modes plus a fused split.
+    let s = fleet.shard_stats();
+    assert!(s.point_reads >= 1, "point route exercised");
+    assert!(s.scatter_reads >= 1, "scatter route exercised");
+    assert!(s.fused_subprobes >= 2, "fused probe split exercised");
+    // Every stock row landed on exactly one shard; items are replicated.
+    assert_eq!(fleet.shard_row_counts("stock").iter().sum::<usize>(), 400);
+    assert_eq!(fleet.shard_row_counts("item"), vec![100; 4]);
+}
