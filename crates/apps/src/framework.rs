@@ -255,7 +255,7 @@ mod tests {
     use super::*;
     use sloth_lang::{run_source, ExecStrategy, OptFlags};
     use sloth_orm::Schema;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn cfg() -> FrameworkCfg {
         FrameworkCfg {
@@ -266,12 +266,12 @@ mod tests {
         }
     }
 
-    fn setup() -> (SimEnv, Rc<Schema>) {
+    fn setup() -> (SimEnv, Arc<Schema>) {
         let mut schema = Schema::new();
         for e in framework_entities() {
             schema.add(e);
         }
-        let schema = Rc::new(schema);
+        let schema = Arc::new(schema);
         let env = SimEnv::default_env();
         for ddl in schema.ddl() {
             env.seed_sql(&ddl).unwrap();
@@ -292,7 +292,7 @@ mod tests {
         let o = run_source(
             &src,
             &env1,
-            Rc::clone(&schema),
+            Arc::clone(&schema),
             ExecStrategy::Original,
             vec![],
         )

@@ -3,7 +3,7 @@
 //! (10 projects, 20 users, 50 issues per project — the paper's database)
 //! and the 38 page programs named after the paper's appendix.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -27,7 +27,7 @@ pub fn itracker_framework_cfg() -> FrameworkCfg {
 }
 
 /// The itracker entity schema.
-pub fn itracker_schema() -> Rc<Schema> {
+pub fn itracker_schema() -> Arc<Schema> {
     let mut s = Schema::new();
     for e in framework_entities() {
         s.add(e);
@@ -122,7 +122,7 @@ pub fn itracker_schema() -> Rc<Schema> {
         &[("task_id", Int), ("name", Text), ("schedule", Text)],
         vec![],
     ));
-    Rc::new(s)
+    Arc::new(s)
 }
 
 /// Hash-partitioning spec for itracker on the sharded backend: every

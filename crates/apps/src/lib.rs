@@ -23,7 +23,7 @@ pub mod pagegen;
 pub mod tpcc;
 pub mod tpcw;
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sloth_net::SimEnv;
 use sloth_orm::Schema;
@@ -37,11 +37,12 @@ pub struct BenchApp {
     /// Application name (`itracker` / `openmrs`).
     pub name: &'static str,
     /// Entity schema.
-    pub schema: Rc<Schema>,
+    pub schema: Arc<Schema>,
     /// All page benchmarks.
     pub pages: Vec<Page>,
-    /// Seeds an empty environment with DDL + data.
-    pub seed: Box<dyn Fn(&SimEnv)>,
+    /// Seeds an empty environment with DDL + data. `Send + Sync` so a
+    /// [`BenchApp`] can be shared by the multi-threaded serving harness.
+    pub seed: Box<dyn Fn(&SimEnv) + Send + Sync>,
 }
 
 impl BenchApp {
@@ -90,7 +91,7 @@ mod tests {
             let o = run_source(
                 &page.source,
                 &env_o,
-                Rc::clone(&app.schema),
+                Arc::clone(&app.schema),
                 ExecStrategy::Original,
                 vec![V::Int(page.arg)],
             )
@@ -99,7 +100,7 @@ mod tests {
             let s = run_source(
                 &page.source,
                 &env_s,
-                Rc::clone(&app.schema),
+                Arc::clone(&app.schema),
                 ExecStrategy::Sloth(OptFlags::all()),
                 vec![V::Int(page.arg)],
             )
@@ -130,7 +131,7 @@ mod tests {
                 run_source(
                     &page.source,
                     env,
-                    Rc::clone(&app.schema),
+                    Arc::clone(&app.schema),
                     ExecStrategy::Sloth(OptFlags::all()),
                     vec![V::Int(page.arg)],
                 )

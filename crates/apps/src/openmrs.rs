@@ -5,7 +5,7 @@
 //! analysed in §6.1 (`encounterDisplay.jsp`, `patientDashboardForm.jsp`,
 //! `alertList.jsp`).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -28,7 +28,7 @@ pub fn openmrs_framework_cfg() -> FrameworkCfg {
 }
 
 /// The OpenMRS entity schema.
-pub fn openmrs_schema() -> Rc<Schema> {
+pub fn openmrs_schema() -> Arc<Schema> {
     let mut s = Schema::new();
     for e in framework_entities() {
         s.add(e);
@@ -155,7 +155,7 @@ pub fn openmrs_schema() -> Rc<Schema> {
             FetchStrategy::Lazy,
         )],
     ));
-    Rc::new(s)
+    Arc::new(s)
 }
 
 /// Hash-partitioning spec for OpenMRS on the sharded backend: every

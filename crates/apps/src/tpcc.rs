@@ -2,7 +2,7 @@
 //! measure lazy-evaluation overhead: every transaction displays its query
 //! results immediately, so there is no batching opportunity.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -10,8 +10,8 @@ use sloth_net::SimEnv;
 use sloth_orm::Schema;
 
 /// TPC-C has no ORM mapping: raw JDBC-style SQL (empty entity schema).
-pub fn tpcc_schema() -> Rc<Schema> {
-    Rc::new(Schema::new())
+pub fn tpcc_schema() -> Arc<Schema> {
+    Arc::new(Schema::new())
 }
 
 /// Hash-partitioning spec for TPC-C on the sharded backend: warehouses

@@ -1,7 +1,7 @@
 //! TPC-W in the kernel language — the second overhead benchmark of §6.6
 //! (browsing / shopping / ordering mixes, results rendered immediately).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -9,8 +9,8 @@ use sloth_net::SimEnv;
 use sloth_orm::Schema;
 
 /// TPC-W uses raw SQL like TPC-C (empty entity schema).
-pub fn tpcw_schema() -> Rc<Schema> {
-    Rc::new(Schema::new())
+pub fn tpcw_schema() -> Arc<Schema> {
+    Arc::new(Schema::new())
 }
 
 /// Seeds the TPC-W store: `items` items (paper: 10 000; default here is

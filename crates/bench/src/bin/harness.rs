@@ -4,9 +4,15 @@
 //! ```text
 //! cargo run --release -p sloth-bench --bin harness -- all
 //! cargo run --release -p sloth-bench --bin harness -- fig5 fig13
-//! cargo run --release -p sloth-bench --bin harness -- fusion   # writes BENCH_fusion.json
-//! cargo run --release -p sloth-bench --bin harness -- shard    # writes BENCH_shard.json
+//! cargo run --release -p sloth-bench --bin harness -- fusion     # writes BENCH_fusion.json
+//! cargo run --release -p sloth-bench --bin harness -- shard      # writes BENCH_shard.json
+//! cargo run --release -p sloth-bench --bin harness -- throughput # writes BENCH_throughput.json
 //! ```
+//!
+//! `throughput` is the real-threads serving harness: N worker OS threads ×
+//! M closed-loop clients against one shared deployment (real network
+//! sleeps), eager vs. lazy-batched drivers at equal results, plus the
+//! discrete-event simulated model for comparison.
 
 use sloth_apps::{itracker_app, openmrs_app};
 use sloth_bench::throughput::{sweep, ThroughputCfg};
@@ -16,8 +22,19 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
-            "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "appendix",
-            "fusion", "shard",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "appendix",
+            "fusion",
+            "shard",
+            "throughput",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -57,6 +74,7 @@ fn main() {
             }
             "fusion" => fusion_figure_cmd(),
             "shard" => shard_figure_cmd(),
+            "throughput" => throughput_figure_cmd(),
             other => eprintln!("unknown experiment: {other}"),
         }
     }
@@ -324,6 +342,106 @@ fn shard_figure_cmd() {
     match std::fs::write("BENCH_shard.json", &json) {
         Ok(()) => println!("  wrote BENCH_shard.json"),
         Err(e) => eprintln!("  could not write BENCH_shard.json: {e}"),
+    }
+}
+
+fn throughput_figure_cmd() {
+    use sloth_bench::serve::{serve_figure, ServeCfg};
+    println!("\n== Throughput — real-threads closed-loop serving (itracker mix) ==");
+    let app = sloth_apps::itracker_app();
+    let cfg = ServeCfg {
+        duration: std::time::Duration::from_millis(1_200),
+        ..ServeCfg::default()
+    };
+    let counts = [1, 2, 4, 8, 16];
+    let fig = serve_figure(&app, &counts, &cfg);
+    println!(
+        "  {:>8} {:>14} {:>14} {:>9} {:>10} {:>10} {:>8}",
+        "clients", "eager pg/s", "lazy pg/s", "speedup", "coalesced", "xsess-fuse", "outputs"
+    );
+    for p in &fig.points {
+        let d = p.lazy.dispatcher.as_ref().expect("lazy dispatcher");
+        println!(
+            "  {:>8} {:>14.1} {:>14.1} {:>8.2}x {:>10} {:>10} {:>8}",
+            p.clients,
+            p.eager.pages_per_s,
+            p.lazy.pages_per_s,
+            p.speedup(),
+            d.coalesced_batches,
+            d.cross_session_fused_queries,
+            if p.eager.output_mismatches + p.lazy.output_mismatches == 0 {
+                "equal"
+            } else {
+                "DIFFER"
+            }
+        );
+        assert_eq!(
+            p.eager.output_mismatches + p.lazy.output_mismatches,
+            0,
+            "{} clients: per-page output equality violated",
+            p.clients
+        );
+    }
+    // The acceptance gates of the concurrency work.
+    let one = fig.at(1).expect("1-client point");
+    let d1 = one.lazy.dispatcher.as_ref().unwrap();
+    assert_eq!(
+        d1.coalesced_batches, 0,
+        "one client must never coalesce: {d1:?}"
+    );
+    let eight = fig.at(8).expect("8-client point");
+    let d8 = eight.lazy.dispatcher.as_ref().unwrap();
+    assert!(d8.coalesced_batches > 0, "8 clients must coalesce: {d8:?}");
+    assert!(
+        eight.speedup() >= 1.5,
+        "lazy-batched must sustain ≥ 1.5x eager at 8 clients, got {:.2}x",
+        eight.speedup()
+    );
+    println!(
+        "  gate: {:.2}x at 8 clients (≥ 1.5x required), cross-session coalescing {} batches",
+        eight.speedup(),
+        d8.coalesced_batches
+    );
+
+    // The pre-existing discrete-event model, for comparison in the same
+    // document (same app and page set as the real measurement).
+    eprintln!("  measuring itracker pages for the simulated model…");
+    let results = fig5_itracker();
+    let sim_cfg = ThroughputCfg {
+        duration_s: 30.0,
+        ..ThroughputCfg::default()
+    };
+    let sim = sweep(&results, &counts, &sim_cfg);
+    println!(
+        "  simulated model: {}",
+        sim.iter()
+            .map(|(n, o, s)| format!("{n}cl {o:.0}/{s:.0}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
+
+    let mut json = String::from("{\n  \"figure\": \"throughput\",\n");
+    json.push_str(&format!("  \"real_threads\": {},\n", fig.to_json()));
+    json.push_str(&format!(
+        "  \"gate\": {{\"clients\": 8, \"speedup\": {:.2}, \"min_required\": 1.5, \
+         \"coalesced_batches\": {}, \"cross_session_fused_queries\": {}, \"pass\": true}},\n",
+        eight.speedup(),
+        d8.coalesced_batches,
+        d8.cross_session_fused_queries
+    ));
+    json.push_str(
+        "  \"simulated\": {\"app\": \"itracker\", \"model\": \"discrete_event\", \"points\": [\n",
+    );
+    for (i, (n, o, s)) in sim.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"clients\": {n}, \"orig_pages_per_s\": {o:.1}, \"sloth_pages_per_s\": {s:.1}}}{}\n",
+            if i + 1 < sim.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]}\n}\n");
+    match std::fs::write("BENCH_throughput.json", &json) {
+        Ok(()) => println!("  wrote BENCH_throughput.json"),
+        Err(e) => eprintln!("  could not write BENCH_throughput.json: {e}"),
     }
 }
 

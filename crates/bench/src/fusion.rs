@@ -15,7 +15,7 @@
 //! the machine-readable `BENCH_fusion.json` the harness emits so the
 //! perf trajectory is tracked across PRs.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sloth_apps::{itracker_app, openmrs_app, BenchApp};
 use sloth_lang::{prepare, ExecStrategy, OptFlags, Prepared, RunResult, V};
@@ -130,14 +130,14 @@ pub struct FusionFigure {
 fn run_with_fusion(
     prepared: &Prepared,
     db: &Database,
-    schema: &Rc<Schema>,
+    schema: &Arc<Schema>,
     arg: i64,
     fusion: bool,
 ) -> RunResult {
     let env = SimEnv::from_database(db.clone(), CostModel::default());
     env.set_fusion(fusion);
     prepared
-        .run(&env, Rc::clone(schema), vec![V::Int(arg)])
+        .run(&env, Arc::clone(schema), vec![V::Int(arg)])
         .expect("benchmark page must run")
 }
 
@@ -197,11 +197,11 @@ pub fn fusion_figure() -> FusionFigure {
     let env = SimEnv::from_database(db, CostModel::default());
     let zero = env.plan_cache_stats();
     sloth
-        .run(&env, Rc::clone(&it.schema), vec![V::Int(page.arg)])
+        .run(&env, Arc::clone(&it.schema), vec![V::Int(page.arg)])
         .expect("first load");
     let after_first = env.plan_cache_stats();
     sloth
-        .run(&env, Rc::clone(&it.schema), vec![V::Int(page.arg)])
+        .run(&env, Arc::clone(&it.schema), vec![V::Int(page.arg)])
         .expect("repeat load");
     let after_second = env.plan_cache_stats();
     let plan_cache = PlanCacheRow {
@@ -209,11 +209,13 @@ pub fn fusion_figure() -> FusionFigure {
             hits: after_first.hits - zero.hits,
             misses: after_first.misses - zero.misses,
             entries: after_first.entries,
+            evictions: after_first.evictions - zero.evictions,
         },
         repeat_load: PlanCacheStats {
             hits: after_second.hits - after_first.hits,
             misses: after_second.misses - after_first.misses,
             entries: after_second.entries,
+            evictions: after_second.evictions - after_first.evictions,
         },
     };
 

@@ -9,10 +9,11 @@
 
 pub mod fusion;
 pub mod microbench;
+pub mod serve;
 pub mod shard;
 pub mod throughput;
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sloth_apps::{itracker_app, openmrs_app, tpcc, tpcw, BenchApp};
 use sloth_lang::{prepare, ExecStrategy, OptFlags, Prepared, RunResult, V};
@@ -94,13 +95,13 @@ impl PageResult {
 pub fn run_page(
     prepared: &Prepared,
     db: &Database,
-    schema: &Rc<sloth_orm::Schema>,
+    schema: &Arc<sloth_orm::Schema>,
     cost: CostModel,
     arg: i64,
 ) -> RunResult {
     let env = SimEnv::from_database(db.clone(), cost);
     prepared
-        .run(&env, Rc::clone(schema), vec![V::Int(arg)])
+        .run(&env, Arc::clone(schema), vec![V::Int(arg)])
         .expect("benchmark page must run")
 }
 
@@ -362,7 +363,7 @@ fn overhead_row(
     name: &'static str,
     src: &str,
     db: &Database,
-    schema: Rc<sloth_orm::Schema>,
+    schema: Arc<sloth_orm::Schema>,
     txns: usize,
 ) -> OverheadRow {
     let program = sloth_lang::parse_program(src).unwrap();
@@ -373,10 +374,10 @@ fn overhead_row(
     let env_o = SimEnv::from_database(db.clone(), CostModel::default());
     let env_s = SimEnv::from_database(db.clone(), CostModel::default());
     for t in 0..txns {
-        orig.run(&env_o, Rc::clone(&schema), vec![V::Int(t as i64 + 1)])
+        orig.run(&env_o, Arc::clone(&schema), vec![V::Int(t as i64 + 1)])
             .expect("orig txn");
         sloth
-            .run(&env_s, Rc::clone(&schema), vec![V::Int(t as i64 + 1)])
+            .run(&env_s, Arc::clone(&schema), vec![V::Int(t as i64 + 1)])
             .expect("sloth txn");
     }
     OverheadRow {

@@ -17,7 +17,7 @@
 //! the machine-readable `BENCH_shard.json` the harness emits so the
 //! scaling trajectory is tracked across PRs.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sloth_apps::tpcc::{seed_tpcc, tpcc_schema, tpcc_shard_spec, tpcc_transactions};
 use sloth_lang::{prepare, ExecStrategy, OptFlags, V};
@@ -113,7 +113,7 @@ fn run_tpcc_mix(env: &SimEnv, txns_per_type: usize) -> Vec<Vec<String>> {
         let sloth = prepare(&program, ExecStrategy::Sloth(OptFlags::all()));
         for t in 0..txns_per_type {
             let r = sloth
-                .run(env, Rc::clone(&tpcc_schema()), vec![V::Int(t as i64 + 1)])
+                .run(env, Arc::clone(&tpcc_schema()), vec![V::Int(t as i64 + 1)])
                 .unwrap_or_else(|e| panic!("{name} failed: {e}"));
             outputs.push(r.output);
         }

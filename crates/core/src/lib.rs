@@ -52,10 +52,10 @@ use sloth_sql::ResultSet;
 /// # Panics
 /// Forcing the returned thunk panics if the underlying SQL fails to execute;
 /// use [`try_query_thunk`] when the caller wants to handle the error.
-pub fn query_thunk<T: Clone + 'static>(
+pub fn query_thunk<T: Clone + Send + 'static>(
     store: &QueryStore,
     sql: impl Into<String>,
-    deserialize: impl FnOnce(ResultSet) -> T + 'static,
+    deserialize: impl FnOnce(ResultSet) -> T + Send + 'static,
 ) -> Thunk<T> {
     let sql = sql.into();
     match store.register(sql.clone()) {
@@ -73,10 +73,10 @@ pub fn query_thunk<T: Clone + 'static>(
 }
 
 /// Like [`query_thunk`] but surfaces SQL errors as `Result` values.
-pub fn try_query_thunk<T: Clone + 'static>(
+pub fn try_query_thunk<T: Clone + Send + 'static>(
     store: &QueryStore,
     sql: impl Into<String>,
-    deserialize: impl FnOnce(ResultSet) -> T + 'static,
+    deserialize: impl FnOnce(ResultSet) -> T + Send + 'static,
 ) -> Result<Thunk<Result<T, sloth_sql::SqlError>>, sloth_sql::SqlError> {
     let id = store.register(sql.into())?;
     let store = store.clone();

@@ -11,12 +11,17 @@
 //!
 //! Registering a read identical to one already in the current batch returns
 //! the existing [`QueryId`] (in-batch dedup).
+//!
+//! A store is one **session** (one web request, typically). Stores are
+//! `Send + Sync`, and many sessions can be multiplexed onto one shared
+//! deployment — either directly ([`QueryStore::new`]) or through a
+//! [`Dispatcher`] ([`QueryStore::dispatched`]), which coalesces flushes
+//! from concurrent sessions into combined backend dispatches.
 
-use std::cell::RefCell;
-use std::collections::HashMap;
-use std::rc::Rc;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Condvar, Mutex};
 
-use sloth_net::SimEnv;
+use sloth_net::{Dispatcher, SimEnv};
 use sloth_sql::{is_write_sql, normalize, ResultSet, SqlError, Value};
 
 /// Identifier of a registered query; stable for the life of the store.
@@ -42,11 +47,14 @@ pub struct StoreStats {
     /// error instead of a result.
     pub failed_batches: u64,
     /// Queries of this store answered via a fused group execution in the
-    /// batch driver (surfaced from [`sloth_net::NetStats`]).
+    /// batch driver.
     pub fused_queries: u64,
-    /// Fused executions the batch driver performed for this store's
-    /// batches.
+    /// Fused executions that answered ≥ 1 of this store's queries.
     pub fused_groups: u64,
+    /// Batches of this store that shared a dispatcher round trip with
+    /// another session (always zero without a [`Dispatcher`], and zero at
+    /// one client).
+    pub coalesced_batches: u64,
 }
 
 impl StoreStats {
@@ -80,35 +88,110 @@ impl DedupKey {
     }
 }
 
+/// Where this session's flushes go.
+#[derive(Clone)]
+enum FlushTarget {
+    /// Straight to the deployment's batch driver (the single-session
+    /// path — bit-identical to the original serial behaviour).
+    Direct(SimEnv),
+    /// Through the shared dispatcher (multi-session serving): flushes may
+    /// coalesce with other sessions' flushes into one round trip.
+    Dispatched(Arc<Dispatcher>),
+}
+
 struct StoreInner {
     pending: Vec<(QueryId, String)>,
     pending_by_key: HashMap<DedupKey, QueryId>,
     results: HashMap<QueryId, Result<ResultSet, SqlError>>,
+    /// Ids drained from `pending` by a flush that has not recorded its
+    /// outcome yet. A concurrent [`QueryStore::result`] for one of these
+    /// waits on `StoreShared::answered` instead of reporting the id
+    /// unknown.
+    in_flight: HashSet<QueryId>,
     next_id: u64,
     stats: StoreStats,
     flush_threshold: Option<usize>,
 }
 
-/// The query store. Cloning shares the same store (per-request handle).
+struct StoreShared {
+    inner: Mutex<StoreInner>,
+    /// Signalled whenever a flush records its outcomes (results or
+    /// errors) — wakes `result()` callers waiting on an in-flight id.
+    answered: Condvar,
+}
+
+/// Unwind guard for an in-flight flush: if shipping the batch panics,
+/// the drained ids still get a recorded outcome (an error), `in_flight`
+/// is cleared and waiters are woken — a panicking flush on one thread
+/// must not strand `result()` callers on another. Disarmed on the normal
+/// paths, which record outcomes themselves.
+struct FlushPanicGuard<'a> {
+    shared: &'a StoreShared,
+    ids: &'a [QueryId],
+    armed: bool,
+}
+
+impl Drop for FlushPanicGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut inner = self
+                .shared
+                .inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            for id in self.ids {
+                inner.in_flight.remove(id);
+                inner
+                    .results
+                    .insert(*id, Err(SqlError::new("batch flush panicked")));
+            }
+            drop(inner);
+            self.shared.answered.notify_all();
+        }
+    }
+}
+
+/// The query store. Cloning shares the same store (per-request handle);
+/// the handle is `Send + Sync`.
 #[derive(Clone)]
 pub struct QueryStore {
     env: SimEnv,
-    inner: Rc<RefCell<StoreInner>>,
+    target: FlushTarget,
+    shared: Arc<StoreShared>,
 }
 
 impl QueryStore {
     /// A fresh store bound to a simulated deployment.
     pub fn new(env: SimEnv) -> Self {
+        let target = FlushTarget::Direct(env.clone());
+        QueryStore::with_target(env, target)
+    }
+
+    /// A fresh store whose flushes go through the shared `dispatcher`:
+    /// the multi-session serving path. Concurrent sessions' flushes may
+    /// coalesce into one backend round trip; a single session behaves
+    /// exactly like [`QueryStore::new`].
+    pub fn dispatched(dispatcher: Arc<Dispatcher>) -> Self {
+        let env = dispatcher.env().clone();
+        QueryStore::with_target(env, FlushTarget::Dispatched(dispatcher))
+    }
+
+    fn with_target(env: SimEnv, target: FlushTarget) -> Self {
         QueryStore {
             env,
-            inner: Rc::new(RefCell::new(StoreInner {
-                pending: Vec::new(),
-                pending_by_key: HashMap::new(),
-                results: HashMap::new(),
-                next_id: 0,
-                stats: StoreStats::default(),
-                flush_threshold: None,
-            })),
+            target,
+            shared: Arc::new(StoreShared {
+                inner: Mutex::new(StoreInner {
+                    pending: Vec::new(),
+                    pending_by_key: HashMap::new(),
+                    results: HashMap::new(),
+                    in_flight: HashSet::new(),
+                    next_id: 0,
+                    stats: StoreStats::default(),
+                    flush_threshold: None,
+                }),
+                answered: Condvar::new(),
+            }),
         }
     }
 
@@ -117,8 +200,15 @@ impl QueryStore {
     /// for a force. Bounds per-batch latency at the cost of smaller batches.
     pub fn with_flush_threshold(env: SimEnv, n: usize) -> Self {
         let store = QueryStore::new(env);
-        store.inner.borrow_mut().flush_threshold = Some(n.max(1));
+        store.lock().flush_threshold = Some(n.max(1));
         store
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, StoreInner> {
+        self.shared
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// The deployment this store talks to.
@@ -138,7 +228,7 @@ impl QueryStore {
         let sql = sql.into();
         let is_write = is_write_sql(&sql);
         {
-            let mut inner = self.inner.borrow_mut();
+            let mut inner = self.lock();
             inner.stats.registered += 1;
             if !is_write {
                 let key = DedupKey::of(&sql);
@@ -164,7 +254,7 @@ impl QueryStore {
         // Write path: flush whatever is pending, then run the write alone.
         self.flush_internal(true)?;
         let id = {
-            let mut inner = self.inner.borrow_mut();
+            let mut inner = self.lock();
             let id = QueryId(inner.next_id);
             inner.next_id += 1;
             inner.pending.push((id, sql));
@@ -179,17 +269,42 @@ impl QueryStore {
     ///
     /// If the batch that carried `id` failed, this returns that batch's
     /// error (annotated with the query) — not "unknown query id".
+    ///
+    /// Stores are `Send + Sync`: if another thread's flush is mid-flight
+    /// with this id on board, this call waits for that flush's outcome
+    /// instead of misreporting the id as unknown.
     pub fn result(&self, id: QueryId) -> Result<ResultSet, SqlError> {
-        if let Some(r) = self.inner.borrow().results.get(&id) {
-            return r.clone();
+        {
+            let mut inner = self.lock();
+            loop {
+                if let Some(r) = inner.results.get(&id) {
+                    return r.clone();
+                }
+                if !inner.in_flight.contains(&id) {
+                    break;
+                }
+                inner = self
+                    .shared
+                    .answered
+                    .wait(inner)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
         }
         self.flush_internal(false).ok(); // per-id outcome recorded below either way
-        self.inner
-            .borrow()
-            .results
-            .get(&id)
-            .cloned()
-            .unwrap_or_else(|| Err(SqlError::new(format!("unknown query id {id:?}"))))
+        let mut inner = self.lock();
+        loop {
+            if let Some(r) = inner.results.get(&id) {
+                return r.clone();
+            }
+            if !inner.in_flight.contains(&id) {
+                return Err(SqlError::new(format!("unknown query id {id:?}")));
+            }
+            inner = self
+                .shared
+                .answered
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
     }
 
     /// Ships the current batch (if any) without demanding a result.
@@ -199,27 +314,50 @@ impl QueryStore {
 
     fn flush_internal(&self, caused_by_write: bool) -> Result<(), SqlError> {
         let (ids, sqls): (Vec<QueryId>, Vec<String>) = {
-            let mut inner = self.inner.borrow_mut();
+            let mut inner = self.lock();
             if inner.pending.is_empty() {
                 return Ok(());
             }
             inner.pending_by_key.clear();
-            inner.pending.drain(..).unzip()
+            let drained: Vec<(QueryId, String)> = inner.pending.drain(..).collect();
+            for (id, _) in &drained {
+                inner.in_flight.insert(*id);
+            }
+            drained.into_iter().unzip()
         };
-        let net_before = self.env.stats();
-        match self.env.query_batch(&sqls) {
-            Ok(results) => {
-                let net_after = self.env.stats();
-                let mut inner = self.inner.borrow_mut();
+        let mut panic_guard = FlushPanicGuard {
+            shared: &self.shared,
+            ids: &ids,
+            armed: true,
+        };
+        // Per-batch fusion attribution comes back with the outcome itself
+        // (not from deployment-wide counter deltas, which other sessions
+        // mutate concurrently).
+        let shipped = match &self.target {
+            FlushTarget::Direct(env) => env
+                .query_batch_outcome(&sqls)
+                .map(|o| (o.results, o.fused_queries, o.fused_groups, false)),
+            FlushTarget::Dispatched(d) => d
+                .submit(&sqls)
+                .map(|r| (r.results, r.fused_queries, r.fused_groups, r.coalesced)),
+        };
+        panic_guard.armed = false;
+        let outcome = match shipped {
+            Ok((results, fused_queries, fused_groups, coalesced)) => {
+                let mut inner = self.lock();
                 inner.stats.batches += 1;
                 inner.stats.batch_sizes.push(sqls.len());
-                inner.stats.fused_queries += net_after.fused_queries - net_before.fused_queries;
-                inner.stats.fused_groups += net_after.fused_groups - net_before.fused_groups;
+                inner.stats.fused_queries += fused_queries;
+                inner.stats.fused_groups += fused_groups;
+                if coalesced {
+                    inner.stats.coalesced_batches += 1;
+                }
                 if caused_by_write {
                     inner.stats.write_flushes += 1;
                 }
-                for (id, rs) in ids.into_iter().zip(results) {
-                    inner.results.insert(id, Ok(rs));
+                for (id, rs) in ids.iter().zip(results) {
+                    inner.in_flight.remove(id);
+                    inner.results.insert(*id, Ok(rs));
                 }
                 Ok(())
             }
@@ -227,11 +365,12 @@ impl QueryStore {
                 // The pending queries are already drained; without a
                 // recorded outcome their ids would be permanently
                 // unanswerable. Record the failure per id and in stats.
-                let mut inner = self.inner.borrow_mut();
+                let mut inner = self.lock();
                 inner.stats.failed_batches += 1;
-                for (id, sql) in ids.into_iter().zip(sqls) {
+                for (id, sql) in ids.iter().zip(sqls) {
+                    inner.in_flight.remove(id);
                     inner.results.insert(
-                        id,
+                        *id,
                         Err(SqlError::new(format!(
                             "batch failed: {e} (while batched: {sql})"
                         ))),
@@ -239,17 +378,19 @@ impl QueryStore {
                 }
                 Err(e)
             }
-        }
+        };
+        self.shared.answered.notify_all();
+        outcome
     }
 
     /// Number of queries waiting in the current batch.
     pub fn pending_len(&self) -> usize {
-        self.inner.borrow().pending.len()
+        self.lock().pending.len()
     }
 
     /// Snapshot of the store's batching statistics.
     pub fn stats(&self) -> StoreStats {
-        self.inner.borrow().stats.clone()
+        self.lock().stats.clone()
     }
 }
 
@@ -467,5 +608,119 @@ mod tests {
         }
         store2.flush().unwrap();
         assert_eq!(store2.stats().fused_queries, 0);
+    }
+
+    #[test]
+    fn store_handles_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QueryStore>();
+    }
+
+    #[test]
+    fn result_waits_for_in_flight_flush_instead_of_unknown_id() {
+        use std::sync::Barrier;
+        // Real network time makes the flush window wide enough that the
+        // second thread's result() reliably lands mid-flight.
+        let e = env();
+        e.set_realtime(0.2);
+        let store = QueryStore::new(e.clone());
+        let id = store.register("SELECT v FROM t WHERE id = 4").unwrap();
+        let barrier = Arc::new(Barrier::new(2));
+        let flusher = {
+            let store = store.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                store.flush().unwrap();
+            })
+        };
+        let reader = {
+            let store = store.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                // Whether this lands before, during or after the flush, it
+                // must return the real row — never "unknown query id".
+                store.result(id)
+            })
+        };
+        flusher.join().unwrap();
+        let rs = reader.join().unwrap().expect("result, not unknown id");
+        assert_eq!(rs.get(0, "v").unwrap().as_str(), Some("v4"));
+        assert_eq!(e.stats().round_trips, 1, "one flush served both threads");
+    }
+
+    #[test]
+    fn dispatched_store_matches_direct_store() {
+        use sloth_net::Dispatcher;
+        let direct_env = env();
+        let direct = QueryStore::new(direct_env.clone());
+        let disp_env = env();
+        let dispatcher = Arc::new(Dispatcher::new(disp_env.clone()));
+        let dispatched = QueryStore::dispatched(dispatcher.clone());
+
+        for store in [&direct, &dispatched] {
+            for i in 0..5 {
+                store
+                    .register(format!("SELECT v FROM t WHERE id = {i}"))
+                    .unwrap();
+            }
+        }
+        let a = direct.flush();
+        let b = dispatched.flush();
+        assert!(a.is_ok() && b.is_ok());
+        assert_eq!(
+            direct.stats().fused_queries,
+            dispatched.stats().fused_queries
+        );
+        assert_eq!(direct_env.stats().round_trips, disp_env.stats().round_trips);
+        assert_eq!(
+            dispatched.stats().coalesced_batches,
+            0,
+            "a single session never coalesces"
+        );
+        assert_eq!(dispatcher.stats().flushes, 1);
+    }
+
+    #[test]
+    fn concurrent_dispatched_sessions_coalesce() {
+        use sloth_net::Dispatcher;
+        use std::sync::Barrier;
+        let e = env();
+        let dispatcher = Arc::new(Dispatcher::with_window(
+            e.clone(),
+            std::time::Duration::from_millis(20),
+        ));
+        let n = 4;
+        let barrier = Arc::new(Barrier::new(n));
+        let handles: Vec<_> = (0..n)
+            .map(|t| {
+                let d = Arc::clone(&dispatcher);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let store = QueryStore::dispatched(d);
+                    let ids: Vec<QueryId> = (0..2)
+                        .map(|i| {
+                            store
+                                .register(format!(
+                                    "SELECT v FROM t WHERE id = {}",
+                                    (t * 2 + i) % 10
+                                ))
+                                .unwrap()
+                        })
+                        .collect();
+                    barrier.wait();
+                    for (i, id) in ids.into_iter().enumerate() {
+                        let rs = store.result(id).unwrap();
+                        let want = format!("v{}", (t * 2 + i) % 10);
+                        assert_eq!(rs.get(0, "v").unwrap().as_str(), Some(want.as_str()));
+                    }
+                    store.stats().coalesced_batches
+                })
+            })
+            .collect();
+        let coalesced: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(coalesced >= 2, "sessions shared a round trip: {coalesced}");
+        assert!(e.stats().round_trips < n as u64);
     }
 }

@@ -5,14 +5,18 @@
 //! runs the computation once and memoizes the result; every clone shares the
 //! same cell, so a thunk stored in a model map, captured by another thunk
 //! and held in a local variable evaluates exactly once. This is the faithful
-//! Rust rendering of the paper's `Thunk._force()` with memoization —
-//! shared ownership is what `Rc<RefCell<…>>` buys against the borrow
-//! checker.
+//! Rust rendering of the paper's `Thunk._force()` with memoization.
+//!
+//! Thunks are `Send + Sync`: shared ownership is an `Arc<Mutex<…>>`, so a
+//! thunk created on one session thread can be forced from another. A force
+//! that races an in-flight evaluation **waits** for it (the computation
+//! still runs exactly once); a *re-entrant* force from the same thread is a
+//! cyclic data dependency in the source program and panics, as before.
 
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::ThreadId;
 
 /// Count of thunks allocated process-wide (runtime-overhead accounting).
 static THUNKS_ALLOCATED: AtomicU64 = AtomicU64::new(0);
@@ -38,32 +42,68 @@ pub fn thunk_counters() -> ThunkCounters {
 
 enum State<T> {
     /// Not yet evaluated; holds the delayed computation.
-    Pending(Box<dyn FnOnce() -> T>),
-    /// Being evaluated right now (re-entrant force is a bug).
-    InFlight,
+    Pending(Box<dyn FnOnce() -> T + Send>),
+    /// Being evaluated right now by the recorded thread. Another thread
+    /// waits; the same thread panics (cyclic dependency).
+    InFlight(ThreadId),
     /// Evaluated; memoized result.
     Forced(T),
+    /// The computation panicked. Every force (current waiters and future
+    /// callers, on any thread) panics too instead of hanging on a cell
+    /// that will never fill.
+    Poisoned,
 }
 
-/// A delayed, memoized, shareable computation.
+struct Cell<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+}
+
+/// Unwind guard for an in-flight evaluation: if the computation panics,
+/// the cell is marked poisoned and every waiter is woken (they panic in
+/// turn rather than wait forever). Disarmed on the successful path.
+struct ForcePoisonGuard<'a, T> {
+    cell: &'a Cell<T>,
+    armed: bool,
+}
+
+impl<T> Drop for ForcePoisonGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut guard = self
+                .cell
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            *guard = State::Poisoned;
+            drop(guard);
+            self.cell.ready.notify_all();
+        }
+    }
+}
+
+/// A delayed, memoized, shareable computation (`Send + Sync`).
 pub struct Thunk<T> {
-    cell: Rc<RefCell<State<T>>>,
+    cell: Arc<Cell<T>>,
 }
 
 impl<T> Clone for Thunk<T> {
     fn clone(&self) -> Self {
         Thunk {
-            cell: Rc::clone(&self.cell),
+            cell: Arc::clone(&self.cell),
         }
     }
 }
 
-impl<T: Clone + 'static> Thunk<T> {
+impl<T: Clone + Send + 'static> Thunk<T> {
     /// Delays `f` until the first [`force`](Thunk::force).
-    pub fn new(f: impl FnOnce() -> T + 'static) -> Self {
+    pub fn new(f: impl FnOnce() -> T + Send + 'static) -> Self {
         THUNKS_ALLOCATED.fetch_add(1, Ordering::Relaxed);
         Thunk {
-            cell: Rc::new(RefCell::new(State::Pending(Box::new(f)))),
+            cell: Arc::new(Cell {
+                state: Mutex::new(State::Pending(Box::new(f))),
+                ready: Condvar::new(),
+            }),
         }
     }
 
@@ -72,53 +112,105 @@ impl<T: Clone + 'static> Thunk<T> {
     pub fn ready(value: T) -> Self {
         THUNKS_ALLOCATED.fetch_add(1, Ordering::Relaxed);
         Thunk {
-            cell: Rc::new(RefCell::new(State::Forced(value))),
+            cell: Arc::new(Cell {
+                state: Mutex::new(State::Forced(value)),
+                ready: Condvar::new(),
+            }),
         }
     }
 
     /// Evaluates the thunk (once) and returns a clone of the result.
     ///
+    /// A concurrent force from another thread blocks until the in-flight
+    /// evaluation finishes — the computation runs exactly once no matter
+    /// how many threads share the thunk.
+    ///
     /// # Panics
-    /// Panics on re-entrant forcing (a thunk whose computation forces
-    /// itself), which would be a cyclic data dependency in the source
-    /// program.
+    /// Panics on re-entrant forcing from the same thread (a thunk whose
+    /// computation forces itself), which would be a cyclic data dependency
+    /// in the source program — and on forcing a thunk whose computation
+    /// panicked on an earlier force (the cell is poisoned, never filled).
     pub fn force(&self) -> T {
-        // Fast path: already forced.
-        if let State::Forced(v) = &*self.cell.borrow() {
-            return v.clone();
-        }
-        let f = match std::mem::replace(&mut *self.cell.borrow_mut(), State::InFlight) {
-            State::Pending(f) => f,
-            State::Forced(v) => {
-                // Lost a race with another handle on this same cell within
-                // the borrow gap (single-threaded, so only via reentrancy).
-                *self.cell.borrow_mut() = State::Forced(v.clone());
-                return v;
+        let mut guard = self
+            .cell
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let f = loop {
+            match &*guard {
+                State::Forced(v) => return v.clone(),
+                State::Poisoned => panic!("thunk computation panicked on an earlier force"),
+                State::InFlight(tid) if *tid == std::thread::current().id() => {
+                    panic!("re-entrant thunk force: cyclic dependency")
+                }
+                State::InFlight(_) => {
+                    guard = self
+                        .cell
+                        .ready
+                        .wait(guard)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                State::Pending(_) => {
+                    let taken = std::mem::replace(
+                        &mut *guard,
+                        State::InFlight(std::thread::current().id()),
+                    );
+                    match taken {
+                        State::Pending(f) => break f,
+                        _ => unreachable!("matched Pending above"),
+                    }
+                }
             }
-            State::InFlight => panic!("re-entrant thunk force: cyclic dependency"),
         };
+        drop(guard);
         THUNKS_FORCED.fetch_add(1, Ordering::Relaxed);
+        // The computation runs outside the lock: it may allocate and force
+        // other thunks freely (only forcing *this* cell again is cyclic).
+        // If it panics, the guard poisons the cell and wakes every waiter
+        // so no thread is left hanging on a cell that will never fill.
+        let mut poison = ForcePoisonGuard {
+            cell: &self.cell,
+            armed: true,
+        };
         let v = f();
-        *self.cell.borrow_mut() = State::Forced(v.clone());
+        poison.armed = false;
+        let mut guard = self
+            .cell
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *guard = State::Forced(v.clone());
+        drop(guard);
+        self.cell.ready.notify_all();
         v
     }
 
     /// Whether the thunk has been evaluated.
     pub fn is_forced(&self) -> bool {
-        matches!(&*self.cell.borrow(), State::Forced(_))
+        matches!(
+            &*self
+                .cell
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+            State::Forced(_)
+        )
     }
 
     /// A new thunk applying `f` to this thunk's (lazily forced) value.
-    pub fn map<U: Clone + 'static>(&self, f: impl FnOnce(T) -> U + 'static) -> Thunk<U> {
+    pub fn map<U: Clone + Send + 'static>(
+        &self,
+        f: impl FnOnce(T) -> U + Send + 'static,
+    ) -> Thunk<U> {
         let this = self.clone();
         Thunk::new(move || f(this.force()))
     }
 
     /// Combines two thunks lazily.
-    pub fn zip_with<U: Clone + 'static, V: Clone + 'static>(
+    pub fn zip_with<U: Clone + Send + 'static, V: Clone + Send + 'static>(
         &self,
         other: &Thunk<U>,
-        f: impl FnOnce(T, U) -> V + 'static,
+        f: impl FnOnce(T, U) -> V + Send + 'static,
     ) -> Thunk<V> {
         let a = self.clone();
         let b = other.clone();
@@ -126,12 +218,18 @@ impl<T: Clone + 'static> Thunk<T> {
     }
 }
 
-impl<T: Clone + fmt::Debug + 'static> fmt::Debug for Thunk<T> {
+impl<T: Clone + Send + fmt::Debug + 'static> fmt::Debug for Thunk<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match &*self.cell.borrow() {
+        match &*self
+            .cell
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        {
             State::Forced(v) => write!(f, "Thunk(forced: {v:?})"),
             State::Pending(_) => write!(f, "Thunk(pending)"),
-            State::InFlight => write!(f, "Thunk(in-flight)"),
+            State::InFlight(_) => write!(f, "Thunk(in-flight)"),
+            State::Poisoned => write!(f, "Thunk(poisoned)"),
         }
     }
 }
@@ -141,13 +239,13 @@ impl<T: Clone + fmt::Debug + 'static> fmt::Debug for Thunk<T> {
 /// The block body runs once, on the first force of **any** output; all
 /// outputs are then filled. This avoids one thunk allocation per temporary
 /// in straight-line code.
-pub struct ThunkBlock<T: Clone + 'static> {
+pub struct ThunkBlock<T: Clone + Send + 'static> {
     body: Thunk<Vec<T>>,
 }
 
-impl<T: Clone + 'static> ThunkBlock<T> {
+impl<T: Clone + Send + 'static> ThunkBlock<T> {
     /// Creates a block whose body produces `n` outputs.
-    pub fn new(f: impl FnOnce() -> Vec<T> + 'static) -> Self {
+    pub fn new(f: impl FnOnce() -> Vec<T> + Send + 'static) -> Self {
         ThunkBlock {
             body: Thunk::new(f),
         }
@@ -171,35 +269,35 @@ impl<T: Clone + 'static> ThunkBlock<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::Cell;
+    use std::sync::atomic::AtomicU32;
 
     #[test]
     fn force_memoizes() {
-        let runs = Rc::new(Cell::new(0));
-        let r = Rc::clone(&runs);
+        let runs = Arc::new(AtomicU32::new(0));
+        let r = Arc::clone(&runs);
         let t = Thunk::new(move || {
-            r.set(r.get() + 1);
+            r.fetch_add(1, Ordering::SeqCst);
             42
         });
         assert!(!t.is_forced());
         assert_eq!(t.force(), 42);
         assert_eq!(t.force(), 42);
-        assert_eq!(runs.get(), 1);
+        assert_eq!(runs.load(Ordering::SeqCst), 1);
         assert!(t.is_forced());
     }
 
     #[test]
     fn clones_share_memoization() {
-        let runs = Rc::new(Cell::new(0));
-        let r = Rc::clone(&runs);
+        let runs = Arc::new(AtomicU32::new(0));
+        let r = Arc::clone(&runs);
         let t = Thunk::new(move || {
-            r.set(r.get() + 1);
+            r.fetch_add(1, Ordering::SeqCst);
             "hello".to_string()
         });
         let t2 = t.clone();
         assert_eq!(t2.force(), "hello");
         assert_eq!(t.force(), "hello");
-        assert_eq!(runs.get(), 1);
+        assert_eq!(runs.load(Ordering::SeqCst), 1);
     }
 
     #[test]
@@ -213,16 +311,16 @@ mod tests {
 
     #[test]
     fn map_is_lazy() {
-        let runs = Rc::new(Cell::new(0));
-        let r = Rc::clone(&runs);
+        let runs = Arc::new(AtomicU32::new(0));
+        let r = Arc::clone(&runs);
         let t = Thunk::new(move || {
-            r.set(r.get() + 1);
+            r.fetch_add(1, Ordering::SeqCst);
             10
         });
         let u = t.map(|x| x * 2);
-        assert_eq!(runs.get(), 0);
+        assert_eq!(runs.load(Ordering::SeqCst), 0);
         assert_eq!(u.force(), 20);
-        assert_eq!(runs.get(), 1);
+        assert_eq!(runs.load(Ordering::SeqCst), 1);
     }
 
     #[test]
@@ -236,10 +334,10 @@ mod tests {
 
     #[test]
     fn block_runs_once_for_all_outputs() {
-        let runs = Rc::new(Cell::new(0));
-        let r = Rc::clone(&runs);
+        let runs = Arc::new(AtomicU32::new(0));
+        let r = Arc::clone(&runs);
         let block = ThunkBlock::new(move || {
-            r.set(r.get() + 1);
+            r.fetch_add(1, Ordering::SeqCst);
             vec![1, 2, 3]
         });
         let o0 = block.output(0);
@@ -247,16 +345,16 @@ mod tests {
         assert_eq!(o2.force(), 3);
         assert!(block.is_forced());
         assert_eq!(o0.force(), 1);
-        assert_eq!(runs.get(), 1);
+        assert_eq!(runs.load(Ordering::SeqCst), 1);
     }
 
     #[test]
     #[should_panic(expected = "re-entrant")]
     fn reentrant_force_panics() {
-        let cell: Rc<RefCell<Option<Thunk<i32>>>> = Rc::new(RefCell::new(None));
-        let c2 = Rc::clone(&cell);
-        let t = Thunk::new(move || c2.borrow().as_ref().unwrap().force());
-        *cell.borrow_mut() = Some(t.clone());
+        let cell: Arc<Mutex<Option<Thunk<i32>>>> = Arc::new(Mutex::new(None));
+        let c2 = Arc::clone(&cell);
+        let t = Thunk::new(move || c2.lock().unwrap().as_ref().unwrap().force());
+        *cell.lock().unwrap() = Some(t.clone());
         t.force();
     }
 
@@ -268,5 +366,50 @@ mod tests {
         let after = thunk_counters();
         assert!(after.allocated > before.allocated);
         assert!(after.forced > before.forced);
+    }
+
+    #[test]
+    fn thunks_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Thunk<i32>>();
+        assert_send_sync::<ThunkBlock<String>>();
+    }
+
+    #[test]
+    fn panicking_computation_poisons_instead_of_hanging() {
+        let t: Thunk<i32> = Thunk::new(|| panic!("boom"));
+        let t2 = t.clone();
+        // First force panics with the computation's own panic.
+        let first = std::thread::spawn(move || t2.force()).join();
+        assert!(first.is_err());
+        // A later force (any thread) panics too — it must NOT hang waiting
+        // for a fill that will never come.
+        let t3 = t.clone();
+        let second = std::thread::spawn(move || t3.force()).join();
+        let err = second.expect_err("second force must panic");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("panicked"), "got: {msg}");
+    }
+
+    #[test]
+    fn concurrent_forces_run_once() {
+        let runs = Arc::new(AtomicU32::new(0));
+        let r = Arc::clone(&runs);
+        let t = Thunk::new(move || {
+            r.fetch_add(1, Ordering::SeqCst);
+            // Slow computation: give racers time to pile onto InFlight.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            99
+        });
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                let t = t.clone();
+                std::thread::spawn(move || t.force())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 99);
+        }
+        assert_eq!(runs.load(Ordering::SeqCst), 1, "evaluated exactly once");
     }
 }

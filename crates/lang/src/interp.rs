@@ -17,6 +17,7 @@
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
+use std::sync::Arc;
 
 use sloth_net::{NetStats, SimEnv};
 use sloth_orm::{sqlgen, AssocKind, FetchStrategy, Schema};
@@ -39,10 +40,12 @@ pub enum ExecStrategy {
     Sloth(OptFlags),
 }
 
-/// A program prepared for execution (compiled once, runnable many times).
+/// A program prepared for execution (compiled once, runnable many times —
+/// including from many threads at once: `Prepared` is `Send + Sync`, so
+/// the throughput harness shares one compiled page across its workers).
 pub struct Prepared {
     program: Program,
-    analysis: Rc<Analysis>,
+    analysis: Arc<Analysis>,
     strategy: ExecStrategy,
 }
 
@@ -68,14 +71,14 @@ pub fn prepare(program: &Program, strategy: ExecStrategy) -> Prepared {
     match strategy {
         ExecStrategy::Original => Prepared {
             program: simplified,
-            analysis: Rc::new(analysis),
+            analysis: Arc::new(analysis),
             strategy,
         },
         ExecStrategy::Sloth(flags) => {
             let optimized = optimize(&simplified, &analysis, flags);
             Prepared {
                 program: optimized,
-                analysis: Rc::new(analysis),
+                analysis: Arc::new(analysis),
                 strategy,
             }
         }
@@ -87,18 +90,34 @@ impl Prepared {
     pub fn run(
         &self,
         env: &SimEnv,
-        schema: Rc<Schema>,
+        schema: Arc<Schema>,
         args: Vec<V>,
     ) -> Result<RunResult, RunError> {
-        let before = env.stats();
-        let (data, lazy, flags) = match self.strategy {
-            ExecStrategy::Original => (
-                DataLayer::immediate(env.clone(), schema),
-                false,
-                OptFlags::all(),
-            ),
-            ExecStrategy::Sloth(flags) => (DataLayer::deferred(env.clone(), schema), true, flags),
+        let data = match self.strategy {
+            ExecStrategy::Original => DataLayer::immediate(env.clone(), schema),
+            ExecStrategy::Sloth(_) => DataLayer::deferred(env.clone(), schema),
         };
+        self.run_with(data, args)
+    }
+
+    /// Runs `main(args…)` over an explicit data layer — how the serving
+    /// harness runs one page per session against a shared deployment
+    /// (e.g. [`DataLayer::dispatched`] for the coalescing path).
+    ///
+    /// The data layer's mode must match the strategy: `Original` needs an
+    /// immediate layer, `Sloth` a deferred one.
+    pub fn run_with(&self, data: DataLayer, args: Vec<V>) -> Result<RunResult, RunError> {
+        let env = data.env.clone();
+        let before = env.stats();
+        let (lazy, flags) = match self.strategy {
+            ExecStrategy::Original => (false, OptFlags::all()),
+            ExecStrategy::Sloth(flags) => (true, flags),
+        };
+        if lazy != data.store.is_some() {
+            return Err(RunError::new(
+                "data layer mode does not match execution strategy",
+            ));
+        }
         let mut interp = Interp {
             fn_index: self
                 .program
@@ -106,7 +125,7 @@ impl Prepared {
                 .iter()
                 .map(|f| (f.name.as_str(), f))
                 .collect(),
-            analysis: Rc::clone(&self.analysis),
+            analysis: Arc::clone(&self.analysis),
             data,
             flags,
             counters: Counters::default(),
@@ -130,15 +149,15 @@ impl Prepared {
             returned,
             counters: interp.counters,
             net: NetStats {
-                round_trips: after.round_trips - before.round_trips,
-                queries: after.queries - before.queries,
-                network_ns: after.network_ns - before.network_ns,
-                db_ns: after.db_ns - before.db_ns,
-                app_ns: after.app_ns - before.app_ns,
+                round_trips: after.round_trips.saturating_sub(before.round_trips),
+                queries: after.queries.saturating_sub(before.queries),
+                network_ns: after.network_ns.saturating_sub(before.network_ns),
+                db_ns: after.db_ns.saturating_sub(before.db_ns),
+                app_ns: after.app_ns.saturating_sub(before.app_ns),
                 max_batch: after.max_batch,
-                bytes: after.bytes - before.bytes,
-                fused_queries: after.fused_queries - before.fused_queries,
-                fused_groups: after.fused_groups - before.fused_groups,
+                bytes: after.bytes.saturating_sub(before.bytes),
+                fused_queries: after.fused_queries.saturating_sub(before.fused_queries),
+                fused_groups: after.fused_groups.saturating_sub(before.fused_groups),
             },
             store: store_stats,
         })
@@ -149,7 +168,7 @@ impl Prepared {
 pub fn run_source(
     src: &str,
     env: &SimEnv,
-    schema: Rc<Schema>,
+    schema: Arc<Schema>,
     strategy: ExecStrategy,
     args: Vec<V>,
 ) -> Result<RunResult, RunError> {
@@ -168,7 +187,7 @@ type Env = HashMap<String, V>;
 
 struct Interp<'p> {
     fn_index: HashMap<&'p str, &'p Function>,
-    analysis: Rc<Analysis>,
+    analysis: Arc<Analysis>,
     data: DataLayer,
     flags: OptFlags,
     counters: Counters,

@@ -18,12 +18,12 @@
 //! ```
 //! use sloth_lang::{run_source, ExecStrategy, OptFlags};
 //! use sloth_net::SimEnv;
-//! use std::rc::Rc;
+//! use std::sync::Arc;
 //!
 //! let env = SimEnv::default_env();
 //! env.seed_sql("CREATE TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
 //! env.seed_sql("INSERT INTO t VALUES (1, 10), (2, 20)").unwrap();
-//! let schema = Rc::new(sloth_orm::Schema::new());
+//! let schema = Arc::new(sloth_orm::Schema::new());
 //!
 //! let src = r#"
 //!     fn main() {

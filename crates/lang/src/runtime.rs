@@ -5,9 +5,10 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use sloth_core::{QueryId, QueryStore, StoreStats};
-use sloth_net::{NetStats, SimEnv};
+use sloth_net::{Dispatcher, NetStats, SimEnv};
 use sloth_orm::{sqlgen, AssocKind, Schema};
 use sloth_sql::{ResultSet, SqlError};
 
@@ -128,14 +129,14 @@ pub struct DataLayer {
     /// The simulated deployment.
     pub env: SimEnv,
     /// Entity metadata.
-    pub schema: Rc<Schema>,
+    pub schema: Arc<Schema>,
     /// Present in Sloth mode: the per-request query store.
     pub store: Option<QueryStore>,
 }
 
 impl DataLayer {
     /// Immediate (original application) data layer.
-    pub fn immediate(env: SimEnv, schema: Rc<Schema>) -> Self {
+    pub fn immediate(env: SimEnv, schema: Arc<Schema>) -> Self {
         DataLayer {
             env,
             schema,
@@ -144,12 +145,25 @@ impl DataLayer {
     }
 
     /// Deferred (Sloth) data layer with a fresh query store.
-    pub fn deferred(env: SimEnv, schema: Rc<Schema>) -> Self {
+    pub fn deferred(env: SimEnv, schema: Arc<Schema>) -> Self {
         let store = QueryStore::new(env.clone());
         DataLayer {
             env,
             schema,
             store: Some(store),
+        }
+    }
+
+    /// Deferred (Sloth) data layer whose query store flushes through a
+    /// shared [`Dispatcher`] — the multi-session serving path: this
+    /// session's batches may coalesce with other sessions' batches into
+    /// one backend round trip.
+    pub fn dispatched(dispatcher: Arc<Dispatcher>, schema: Arc<Schema>) -> Self {
+        let env = dispatcher.env().clone();
+        DataLayer {
+            env,
+            schema,
+            store: Some(QueryStore::dispatched(dispatcher)),
         }
     }
 

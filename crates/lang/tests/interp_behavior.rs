@@ -1,7 +1,7 @@
 //! Behavioural tests for the two evaluators: semantics equivalence and the
 //! batching / fetch-strategy effects the paper's evaluation rests on.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sloth_lang::{run_source, ExecStrategy, OptFlags, RunResult};
 use sloth_net::SimEnv;
@@ -9,7 +9,7 @@ use sloth_orm::{entity, many_to_one, one_to_many, FetchStrategy, Schema};
 use sloth_sql::ast::ColumnType::*;
 
 /// A small clinic schema mirroring the paper's OpenMRS fragment (Fig. 1).
-fn clinic_schema() -> Rc<Schema> {
+fn clinic_schema() -> Arc<Schema> {
     let mut s = Schema::new();
     s.add(entity(
         "patient",
@@ -64,7 +64,7 @@ fn clinic_schema() -> Rc<Schema> {
         &[("user_id", Int), ("login", Text)],
         vec![],
     ));
-    Rc::new(s)
+    Arc::new(s)
 }
 
 fn clinic_env(schema: &Schema) -> SimEnv {
@@ -101,7 +101,7 @@ fn run_both(src: &str) -> (RunResult, RunResult) {
     let orig = run_source(
         src,
         &env1,
-        Rc::clone(&schema),
+        Arc::clone(&schema),
         ExecStrategy::Original,
         vec![],
     )
@@ -110,7 +110,7 @@ fn run_both(src: &str) -> (RunResult, RunResult) {
     let sloth = run_source(
         src,
         &env2,
-        Rc::clone(&schema),
+        Arc::clone(&schema),
         ExecStrategy::Sloth(OptFlags::all()),
         vec![],
     )
@@ -263,7 +263,7 @@ fn writes_flush_and_preserve_transactions() {
     run_source(
         src,
         &env,
-        Rc::clone(&schema),
+        Arc::clone(&schema),
         ExecStrategy::Sloth(OptFlags::all()),
         vec![],
     )
@@ -292,7 +292,7 @@ fn selective_compilation_runs_helpers_standard() {
     let with_sc = run_source(
         src,
         &env,
-        Rc::clone(&schema),
+        Arc::clone(&schema),
         ExecStrategy::Sloth(OptFlags::all()),
         vec![],
     )
@@ -301,7 +301,7 @@ fn selective_compilation_runs_helpers_standard() {
     let no_sc = run_source(
         src,
         &env2,
-        Rc::clone(&schema),
+        Arc::clone(&schema),
         ExecStrategy::Sloth(OptFlags {
             selective: false,
             ..OptFlags::all()
@@ -335,7 +335,7 @@ fn coalescing_reduces_allocations() {
         run_source(
             src,
             &env,
-            Rc::clone(&schema),
+            Arc::clone(&schema),
             ExecStrategy::Sloth(flags),
             vec![],
         )
@@ -384,7 +384,7 @@ fn branch_deferral_enables_bigger_batches() {
         run_source(
             src,
             &env,
-            Rc::clone(&schema),
+            Arc::clone(&schema),
             ExecStrategy::Sloth(flags),
             vec![],
         )
@@ -424,7 +424,7 @@ fn buffered_writer_lets_prints_batch() {
         run_source(
             src,
             &env,
-            Rc::clone(&schema),
+            Arc::clone(&schema),
             ExecStrategy::Sloth(OptFlags {
                 buffered_writer: buffered,
                 ..OptFlags::all()
@@ -463,14 +463,14 @@ fn errors_match_between_modes() {
     let o = run_source(
         src,
         &env,
-        Rc::clone(&schema),
+        Arc::clone(&schema),
         ExecStrategy::Original,
         vec![],
     );
     let s = run_source(
         src,
         &env,
-        Rc::clone(&schema),
+        Arc::clone(&schema),
         ExecStrategy::Sloth(OptFlags::all()),
         vec![],
     );

@@ -1,0 +1,521 @@
+//! The multi-session **dispatcher**: cross-session batch coalescing.
+//!
+//! One deployment serves many concurrent sessions; each session's query
+//! store flushes whole batches. The dispatcher sits between the sessions
+//! and the backend and opportunistically **coalesces** flushes from
+//! *different* sessions into a single backend dispatch — one round trip,
+//! one fusion-planned super-batch — in the spirit of SharedDB ("killing
+//! one thousand queries with one stone"): same-template point lookups
+//! from unrelated page requests merge into one `IN` probe.
+//!
+//! ## Mechanics: group commit plus a bounded window
+//!
+//! A flush that arrives while the backend is idle dispatches immediately
+//! (after an optional, bounded *coalescing window* during which
+//! near-simultaneous flushes may join). A flush that arrives while a
+//! dispatch is in flight queues; when the dispatch completes, **all**
+//! queued flushes combine into the next dispatch. Under load the batch
+//! size self-tunes to the backend's service time — classic group commit.
+//!
+//! ## Serial equivalence
+//!
+//! * Only **read-only** batches coalesce. A batch containing a write or
+//!   transaction boundary dispatches on its own (counted in
+//!   [`DispatcherStats::solo_writes`]), so write ordering within a session
+//!   is untouched and reads of different sessions — which commute — are
+//!   the only thing that merges.
+//! * Fusion is semantically invisible (the fusion equivalence suite
+//!   enforces this), so each session's slice of a coalesced dispatch is
+//!   bit-identical to what its solo dispatch would have returned.
+//! * If a combined dispatch fails, the dispatcher **re-executes each
+//!   session's batch separately**, so a session never observes another
+//!   session's error (first-error semantics stay per-session).
+//! * With a single client there is never a concurrent flush: every
+//!   dispatch carries one batch and all coalescing counters stay zero —
+//!   the serial path is preserved exactly.
+
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use sloth_sql::{is_write_sql, ResultSet, SqlError};
+
+use crate::{BatchOutcome, SimEnv};
+
+/// Counters of one dispatcher (all sessions combined).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DispatcherStats {
+    /// Session flushes accepted.
+    pub flushes: u64,
+    /// Backend dispatches performed (≤ `flushes`; the gap is the win).
+    pub dispatches: u64,
+    /// Session batches that shared a dispatch with at least one other
+    /// session's batch.
+    pub coalesced_batches: u64,
+    /// Statements that travelled in a shared dispatch.
+    pub coalesced_queries: u64,
+    /// Most session batches combined into one dispatch.
+    pub max_coalesced: u64,
+    /// Statements fused into a group spanning ≥ 2 sessions (the
+    /// SharedDB-style cross-session merges).
+    pub cross_session_fused_queries: u64,
+    /// Fused groups whose members came from ≥ 2 sessions.
+    pub cross_session_fused_groups: u64,
+    /// Batches containing writes, dispatched solo by construction.
+    pub solo_writes: u64,
+    /// Combined dispatches that failed and fell back to per-session
+    /// execution.
+    pub fallback_splits: u64,
+}
+
+/// What one session's flush got back from the dispatcher.
+#[derive(Debug, Clone)]
+pub struct DispatchResult {
+    /// Per-statement results, in the session's batch order.
+    pub results: Vec<ResultSet>,
+    /// Statements of this batch answered by a fused group execution.
+    pub fused_queries: u64,
+    /// Fused groups that answered ≥ 1 statement of this batch.
+    pub fused_groups: u64,
+    /// Whether this batch shared its dispatch with another session.
+    pub coalesced: bool,
+}
+
+struct PendingFlush {
+    ticket: u64,
+    sqls: Vec<String>,
+}
+
+#[derive(Default)]
+struct DispatchState {
+    queue: Vec<PendingFlush>,
+    done: HashMap<u64, Result<DispatchResult, SqlError>>,
+    next_ticket: u64,
+    dispatching: bool,
+}
+
+/// The shared front door of a deployment: accepts batch flushes from many
+/// sessions and coalesces them into combined backend dispatches.
+///
+/// Cheap to share (`Arc<Dispatcher>`); every session's query store keeps a
+/// handle and calls [`Dispatcher::submit`] instead of talking to the
+/// backend directly.
+pub struct Dispatcher {
+    env: SimEnv,
+    state: Mutex<DispatchState>,
+    cv: Condvar,
+    window: Duration,
+    stats: Mutex<DispatcherStats>,
+}
+
+impl Dispatcher {
+    /// A dispatcher over `env` with no coalescing window: pure group
+    /// commit (zero added latency at one client; coalescing emerges as
+    /// soon as flushes overlap a dispatch in flight).
+    pub fn new(env: SimEnv) -> Self {
+        Dispatcher::with_window(env, Duration::ZERO)
+    }
+
+    /// A dispatcher that additionally holds each dispatch open for up to
+    /// `window` so near-simultaneous flushes can join it. The window
+    /// bounds added latency; semantics are unchanged.
+    pub fn with_window(env: SimEnv, window: Duration) -> Self {
+        Dispatcher {
+            env,
+            state: Mutex::new(DispatchState::default()),
+            cv: Condvar::new(),
+            window,
+            stats: Mutex::new(DispatcherStats::default()),
+        }
+    }
+
+    /// The deployment this dispatcher serves.
+    pub fn env(&self) -> &SimEnv {
+        &self.env
+    }
+
+    /// Snapshot of the dispatcher counters.
+    pub fn stats(&self) -> DispatcherStats {
+        *self
+            .stats
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, DispatchState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn lock_stats(&self) -> std::sync::MutexGuard<'_, DispatcherStats> {
+        self.stats
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Submits one session's batch flush and blocks until its results are
+    /// available (possibly having ridden a dispatch shared with other
+    /// sessions — see the module docs for the equivalence argument).
+    pub fn submit(&self, sqls: &[String]) -> Result<DispatchResult, SqlError> {
+        if sqls.is_empty() {
+            return Ok(DispatchResult {
+                results: Vec::new(),
+                fused_queries: 0,
+                fused_groups: 0,
+                coalesced: false,
+            });
+        }
+        self.lock_stats().flushes += 1;
+        // Batches with writes never coalesce: dispatch solo, preserving
+        // the session's write ordering and isolation from other sessions'
+        // read merging.
+        if sqls.iter().any(|s| is_write_sql(s)) {
+            {
+                let mut stats = self.lock_stats();
+                stats.solo_writes += 1;
+                stats.dispatches += 1;
+            }
+            let outcome = self.env.query_batch_outcome(sqls)?;
+            return Ok(solo_result(outcome));
+        }
+
+        let mut st = self.lock_state();
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.queue.push(PendingFlush {
+            ticket,
+            sqls: sqls.to_vec(),
+        });
+        loop {
+            if let Some(r) = st.done.remove(&ticket) {
+                return r;
+            }
+            if st.dispatching {
+                st = self
+                    .cv
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                continue;
+            }
+            // Become the dispatch leader.
+            st.dispatching = true;
+            if !self.window.is_zero() {
+                // Bounded coalescing window: hold the dispatch open so
+                // near-simultaneous flushes can join. Spurious wakeups
+                // only shorten the window, never change semantics.
+                let (st2, _) = self
+                    .cv
+                    .wait_timeout(st, self.window)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                st = st2;
+            }
+            let batch: Vec<PendingFlush> = std::mem::take(&mut st.queue);
+            drop(st);
+            // The leader must not wedge the front door: if the dispatch
+            // panics (poisoned backend, planner bug), every drained flush
+            // still gets an answer, `dispatching` is still reset, and the
+            // waiters are still woken — then the leader's panic resumes.
+            let outcomes =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.dispatch(&batch)));
+            st = self.lock_state();
+            st.dispatching = false;
+            match outcomes {
+                Ok(outcomes) => {
+                    for (t, r) in outcomes {
+                        st.done.insert(t, r);
+                    }
+                    self.cv.notify_all();
+                }
+                Err(panic) => {
+                    for f in &batch {
+                        st.done.insert(
+                            f.ticket,
+                            Err(SqlError::new("dispatch panicked on the leader session")),
+                        );
+                    }
+                    drop(st);
+                    self.cv.notify_all();
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    }
+
+    /// Executes a set of queued flushes as one combined backend dispatch
+    /// and splits the outcome back per flush. On error, falls back to
+    /// per-flush execution so sessions keep their own error semantics.
+    fn dispatch(&self, batch: &[PendingFlush]) -> Vec<(u64, Result<DispatchResult, SqlError>)> {
+        let coalesced = batch.len() > 1;
+        {
+            let mut stats = self.lock_stats();
+            stats.dispatches += 1;
+            if coalesced {
+                stats.coalesced_batches += batch.len() as u64;
+                stats.coalesced_queries += batch.iter().map(|f| f.sqls.len() as u64).sum::<u64>();
+                stats.max_coalesced = stats.max_coalesced.max(batch.len() as u64);
+            }
+        }
+        let combined: Vec<String> = batch.iter().flat_map(|f| f.sqls.iter().cloned()).collect();
+        match self.env.query_batch_outcome(&combined) {
+            Ok(outcome) => self.split_outcome(batch, outcome, coalesced),
+            Err(_) if coalesced => {
+                // A failing statement poisons a combined dispatch for every
+                // rider. Re-execute per session: each batch gets exactly
+                // the result/error it would have seen dispatching alone.
+                self.lock_stats().fallback_splits += 1;
+                batch
+                    .iter()
+                    .map(|f| {
+                        let r = self.env.query_batch_outcome(&f.sqls).map(solo_result);
+                        (f.ticket, r)
+                    })
+                    .collect()
+            }
+            Err(e) => vec![(batch[0].ticket, Err(e))],
+        }
+    }
+
+    fn split_outcome(
+        &self,
+        batch: &[PendingFlush],
+        outcome: BatchOutcome,
+        coalesced: bool,
+    ) -> Vec<(u64, Result<DispatchResult, SqlError>)> {
+        // Which flush does each combined position belong to?
+        let mut owner_of: Vec<usize> = Vec::with_capacity(outcome.results.len());
+        for (fi, f) in batch.iter().enumerate() {
+            owner_of.extend(std::iter::repeat_n(fi, f.sqls.len()));
+        }
+        // Cross-session fusion accounting: groups whose members span ≥ 2
+        // flushes are the SharedDB-style merges.
+        if coalesced {
+            let mut group_owners: HashMap<usize, Vec<usize>> = HashMap::new();
+            for (pos, g) in outcome.fused_members.iter().enumerate() {
+                if let Some(g) = g {
+                    group_owners.entry(*g).or_default().push(owner_of[pos]);
+                }
+            }
+            let mut xq = 0u64;
+            let mut xg = 0u64;
+            for owners in group_owners.values() {
+                let first = owners[0];
+                if owners.iter().any(|o| *o != first) {
+                    xg += 1;
+                    xq += owners.len() as u64;
+                }
+            }
+            if xg > 0 {
+                let mut stats = self.lock_stats();
+                stats.cross_session_fused_groups += xg;
+                stats.cross_session_fused_queries += xq;
+            }
+        }
+        let mut results = outcome.results.into_iter();
+        let mut offset = 0usize;
+        batch
+            .iter()
+            .map(|f| {
+                let n = f.sqls.len();
+                let slice_members = &outcome.fused_members[offset..offset + n];
+                let fused_queries = slice_members.iter().filter(|m| m.is_some()).count() as u64;
+                let mut groups: Vec<usize> = slice_members.iter().flatten().copied().collect();
+                groups.sort_unstable();
+                groups.dedup();
+                let r = DispatchResult {
+                    results: results.by_ref().take(n).collect(),
+                    fused_queries,
+                    fused_groups: groups.len() as u64,
+                    coalesced,
+                };
+                offset += n;
+                (f.ticket, Ok(r))
+            })
+            .collect()
+    }
+}
+
+fn solo_result(outcome: BatchOutcome) -> DispatchResult {
+    DispatchResult {
+        results: outcome.results,
+        fused_queries: outcome.fused_queries,
+        fused_groups: outcome.fused_groups,
+        coalesced: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Barrier};
+
+    fn seeded_env() -> SimEnv {
+        let env = SimEnv::default_env();
+        env.seed_sql("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+            .unwrap();
+        for i in 0..32 {
+            env.seed_sql(&format!("INSERT INTO t VALUES ({i}, 'v{i}')"))
+                .unwrap();
+        }
+        env
+    }
+
+    #[test]
+    fn solo_submit_matches_direct_batch() {
+        let env = seeded_env();
+        let reference = seeded_env();
+        let d = Dispatcher::new(env);
+        let sqls: Vec<String> = (0..6)
+            .map(|i| format!("SELECT v FROM t WHERE id = {i}"))
+            .collect();
+        let r = d.submit(&sqls).unwrap();
+        let want = reference.query_batch(&sqls).unwrap();
+        assert_eq!(r.results, want);
+        assert!(!r.coalesced);
+        assert_eq!(r.fused_queries, 6);
+        assert_eq!(r.fused_groups, 1);
+        let s = d.stats();
+        assert_eq!(s.flushes, 1);
+        assert_eq!(s.dispatches, 1);
+        assert_eq!(s.coalesced_batches, 0, "one client never coalesces");
+        assert_eq!(s.cross_session_fused_groups, 0);
+    }
+
+    #[test]
+    fn single_session_many_flushes_never_coalesce() {
+        let d = Dispatcher::new(seeded_env());
+        for round in 0..10 {
+            let sqls = vec![format!("SELECT v FROM t WHERE id = {round}")];
+            let r = d.submit(&sqls).unwrap();
+            assert!(!r.coalesced);
+        }
+        let s = d.stats();
+        assert_eq!(s.flushes, 10);
+        assert_eq!(s.dispatches, 10);
+        assert_eq!(s.coalesced_batches, 0);
+        assert_eq!(s.coalesced_queries, 0);
+    }
+
+    #[test]
+    fn concurrent_sessions_coalesce_and_fuse_across_sessions() {
+        let env = seeded_env();
+        let d = Arc::new(Dispatcher::with_window(
+            env.clone(),
+            Duration::from_millis(20),
+        ));
+        let n = 8usize;
+        let barrier = Arc::new(Barrier::new(n));
+        let coalesced_seen = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..n)
+            .map(|t| {
+                let d = Arc::clone(&d);
+                let barrier = Arc::clone(&barrier);
+                let coalesced_seen = Arc::clone(&coalesced_seen);
+                std::thread::spawn(move || {
+                    // Every session issues the same template with its own
+                    // params — the cross-session fusion target.
+                    let sqls: Vec<String> = (0..3)
+                        .map(|i| format!("SELECT v FROM t WHERE id = {}", t * 3 + i))
+                        .collect();
+                    barrier.wait();
+                    let r = d.submit(&sqls).unwrap();
+                    for (i, rs) in r.results.iter().enumerate() {
+                        let want = format!("v{}", t * 3 + i);
+                        assert_eq!(
+                            rs.get(0, "v").unwrap().as_str(),
+                            Some(want.as_str()),
+                            "session {t} row {i}"
+                        );
+                    }
+                    if r.coalesced {
+                        coalesced_seen.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = d.stats();
+        assert_eq!(s.flushes, 8);
+        assert!(
+            s.dispatches < 8,
+            "some flushes must share a dispatch: {s:?}"
+        );
+        assert!(s.coalesced_batches >= 2, "{s:?}");
+        assert!(
+            s.cross_session_fused_groups >= 1,
+            "same-template lookups from different sessions fuse: {s:?}"
+        );
+        assert!(coalesced_seen.load(Ordering::Relaxed) >= 2);
+        // The backend saw fewer round trips than flushes.
+        assert_eq!(env.stats().round_trips, s.dispatches);
+        assert_eq!(env.stats().queries, 24);
+    }
+
+    #[test]
+    fn write_batches_dispatch_solo() {
+        let d = Dispatcher::new(seeded_env());
+        let sqls = vec![
+            "SELECT v FROM t WHERE id = 1".to_string(),
+            "UPDATE t SET v = 'x' WHERE id = 1".to_string(),
+        ];
+        let r = d.submit(&sqls).unwrap();
+        assert!(!r.coalesced);
+        assert_eq!(d.stats().solo_writes, 1);
+        let rs = d
+            .submit(&["SELECT v FROM t WHERE id = 1".to_string()])
+            .unwrap();
+        assert_eq!(rs.results[0].get(0, "v").unwrap().as_str(), Some("x"));
+    }
+
+    #[test]
+    fn failed_coalesced_dispatch_isolates_errors_per_session() {
+        let env = seeded_env();
+        let d = Arc::new(Dispatcher::with_window(
+            env.clone(),
+            Duration::from_millis(30),
+        ));
+        let barrier = Arc::new(Barrier::new(2));
+        let good = {
+            let d = Arc::clone(&d);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                d.submit(&["SELECT v FROM t WHERE id = 2".to_string()])
+            })
+        };
+        let bad = {
+            let d = Arc::clone(&d);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                d.submit(&["SELECT v FROM missing WHERE id = 1".to_string()])
+            })
+        };
+        let good = good.join().unwrap();
+        let bad = bad.join().unwrap();
+        // Whether or not the two coalesced, the good session always gets
+        // its rows and the bad one its own error.
+        let good = good.expect("good session must not see the other's error");
+        assert_eq!(good.results[0].get(0, "v").unwrap().as_str(), Some("v2"));
+        assert!(bad.unwrap_err().to_string().contains("missing"));
+    }
+
+    #[test]
+    fn empty_submit_is_free() {
+        let d = Dispatcher::new(seeded_env());
+        let r = d.submit(&[]).unwrap();
+        assert!(r.results.is_empty());
+        assert_eq!(d.stats().flushes, 0);
+        assert_eq!(d.env().stats().round_trips, 0);
+    }
+
+    #[test]
+    fn dispatcher_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Dispatcher>();
+        assert_send_sync::<Arc<Dispatcher>>();
+    }
+}

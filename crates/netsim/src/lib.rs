@@ -6,39 +6,51 @@
 //! single round trip and executes the reads in parallel on the database
 //! (§5). This crate reproduces that setup deterministically:
 //!
-//! * [`Clock`] — a shared virtual clock in nanoseconds.
+//! * [`Clock`] — a shared virtual clock in nanoseconds (atomic: many
+//!   sessions may advance it concurrently).
 //! * [`CostModel`] — round-trip latency, per-byte transfer cost, and the
 //!   database-side execution cost model (base + per-row costs, `workers`
 //!   parallel threads for batched reads).
 //! * [`SimEnv`] — the simulated deployment: a database backend plus a
 //!   driver endpoint. [`SimEnv::query`] is the stock driver (one round trip
 //!   per statement); [`SimEnv::query_batch`] is the Sloth batch driver (one
-//!   round trip for the whole batch).
+//!   round trip for the whole batch). The handle is `Send + Sync`: any
+//!   number of sessions on any number of threads may share one deployment.
 //! * [`ShardedEnv`] — the horizontally-partitioned deployment: N
 //!   independent database servers behind a fusion-aware scatter-gather
 //!   router (see [`shard`]). Its handle **is** a [`SimEnv`], so the query
 //!   store, ORM and interpreters run unchanged on a fleet.
+//! * [`Dispatcher`] — the multi-session front door (see [`dispatch`]):
+//!   accepts batch flushes from concurrent sessions and opportunistically
+//!   coalesces them into one backend dispatch, SharedDB-style.
 //! * [`NetStats`] — deterministic counters: round trips, queries, and time
 //!   split into network / database / application-server buckets, exactly the
-//!   decomposition of Fig. 8.
+//!   decomposition of Fig. 8. Accumulation is saturating, so shared-clock
+//!   counters can never wrap.
 
 #![warn(missing_docs)]
 
 mod batch;
+pub mod dispatch;
 pub mod shard;
 
-use std::cell::{Ref, RefCell, RefMut};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 use sloth_sql::{Database, ResultSet, SqlError};
 
+pub use dispatch::{DispatchResult, Dispatcher, DispatcherStats};
 pub use shard::{ShardStats, ShardedEnv};
 pub use sloth_sql::{PlanCacheStats, ShardSpec};
 
 /// A shared virtual clock counting nanoseconds since simulation start.
+///
+/// The counter is atomic and advances saturate at `u64::MAX`: concurrent
+/// sessions sharing one cost model can race on it without ever wrapping
+/// backwards.
 #[derive(Debug, Clone, Default)]
 pub struct Clock {
-    now: Rc<RefCell<u64>>,
+    now: Arc<AtomicU64>,
 }
 
 impl Clock {
@@ -49,12 +61,27 @@ impl Clock {
 
     /// Current virtual time in nanoseconds.
     pub fn now_ns(&self) -> u64 {
-        *self.now.borrow()
+        self.now.load(Ordering::Relaxed)
     }
 
-    /// Advances the clock by `ns`.
+    /// Rolls the clock back to zero (measurement restart).
+    pub fn reset(&self) {
+        self.now.store(0, Ordering::Relaxed);
+    }
+
+    /// Advances the clock by `ns`, saturating at `u64::MAX`.
     pub fn advance(&self, ns: u64) {
-        *self.now.borrow_mut() += ns;
+        let mut cur = self.now.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(ns);
+            match self
+                .now
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
     }
 }
 
@@ -131,22 +158,43 @@ pub struct NetStats {
 impl NetStats {
     /// Total simulated time across all buckets.
     pub fn total_ns(&self) -> u64 {
-        self.network_ns + self.db_ns + self.app_ns
+        self.network_ns
+            .saturating_add(self.db_ns)
+            .saturating_add(self.app_ns)
     }
+}
+
+/// What one batch execution produced, including the per-position fusion
+/// attribution the query store and the dispatcher need for their own
+/// statistics (race-free: derived from this batch's plan, not from global
+/// counter deltas another session could perturb).
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Per-statement results, in batch order.
+    pub results: Vec<ResultSet>,
+    /// For each batch position, the fused-group index it was answered by
+    /// (`None` for statements executed on their own).
+    pub fused_members: Vec<Option<usize>>,
+    /// Statements answered by fused group executions.
+    pub fused_queries: u64,
+    /// Fused group executions performed.
+    pub fused_groups: u64,
 }
 
 /// The database side of a deployment: one server, or a sharded fleet.
 pub(crate) enum Backend {
-    /// The paper's deployment: a single database server.
-    Single(Database),
-    /// N independent servers behind the scatter-gather router.
-    Sharded(shard::Fleet),
+    /// The paper's deployment: a single database server behind an
+    /// `RwLock` — shareable with out-of-band seeding/inspection while the
+    /// driver path holds the deployment lock.
+    Single(Arc<RwLock<Database>>),
+    /// N independent servers behind the scatter-gather router (boxed:
+    /// the fleet is much larger than the single-server handle).
+    Sharded(Box<shard::Fleet>),
 }
 
 struct SimInner {
     backend: Backend,
     cost: CostModel,
-    clock: Clock,
     stats: NetStats,
     fusion: bool,
 }
@@ -154,31 +202,51 @@ struct SimInner {
 /// The simulated deployment: application server + database backend +
 /// network.
 ///
-/// Cloning shares the same underlying simulation (cheap `Rc` clone), so the
-/// query store, ORM session and interpreter can all hold handles. The
-/// backend is either a single server ([`SimEnv::new`]) or a sharded fleet
-/// ([`ShardedEnv::handle`]); the driver interface is identical.
+/// Cloning shares the same underlying simulation (cheap `Arc` clone), so
+/// the query store, ORM session and interpreter can all hold handles — on
+/// any thread: the handle is `Send + Sync`, with the driver endpoint
+/// serialized by an internal lock exactly like a connection to one
+/// database server. The backend is either a single server
+/// ([`SimEnv::new`]) or a sharded fleet ([`ShardedEnv::handle`]); the
+/// driver interface is identical.
 #[derive(Clone)]
 pub struct SimEnv {
-    inner: Rc<RefCell<SimInner>>,
+    inner: Arc<Mutex<SimInner>>,
+    clock: Clock,
+    /// Real nanoseconds slept per virtual network nanosecond × 1000
+    /// (0 = pure virtual time). Atomic so the throughput harness can set
+    /// it without contending on the driver lock.
+    realtime_permille: Arc<AtomicU64>,
 }
 
 impl SimEnv {
     /// Creates a fresh single-server deployment with the given cost model.
     pub fn new(cost: CostModel) -> Self {
-        SimEnv::with_backend(cost, Backend::Single(Database::new()))
+        SimEnv::with_backend(
+            cost,
+            Backend::Single(Arc::new(RwLock::new(Database::new()))),
+        )
     }
 
     pub(crate) fn with_backend(cost: CostModel, backend: Backend) -> Self {
         SimEnv {
-            inner: Rc::new(RefCell::new(SimInner {
+            inner: Arc::new(Mutex::new(SimInner {
                 backend,
                 cost,
-                clock: Clock::new(),
                 stats: NetStats::default(),
                 fusion: true,
             })),
+            clock: Clock::new(),
+            realtime_permille: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SimInner> {
+        // A panic in another session (e.g. a test asserting under the
+        // lock) must not poison the whole deployment for every session.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// A deployment with the default (0.5 ms RTT) cost model.
@@ -190,16 +258,16 @@ impl SimEnv {
     /// experiment harness to "restart" the server between measurements
     /// without re-seeding.
     pub fn from_database(db: Database, cost: CostModel) -> Self {
-        SimEnv::with_backend(cost, Backend::Single(db))
+        SimEnv::with_backend(cost, Backend::Single(Arc::new(RwLock::new(db))))
     }
 
     /// Whether this deployment runs on the sharded backend.
     pub fn is_sharded(&self) -> bool {
-        matches!(self.inner.borrow().backend, Backend::Sharded(_))
+        matches!(self.lock().backend, Backend::Sharded(_))
     }
 
     pub(crate) fn with_fleet<R>(&self, f: impl FnOnce(&mut shard::Fleet) -> R) -> R {
-        match &mut self.inner.borrow_mut().backend {
+        match &mut self.lock().backend {
             Backend::Sharded(fleet) => f(fleet),
             Backend::Single(_) => panic!("not a sharded deployment"),
         }
@@ -211,10 +279,25 @@ impl SimEnv {
     /// Panics on a sharded deployment — there is no single database to
     /// snapshot; query the fleet instead.
     pub fn snapshot_db(&self) -> Database {
-        match &self.inner.borrow().backend {
-            Backend::Single(db) => db.clone(),
+        self.database()
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    /// The shared database handle (single-server only). Sessions
+    /// multiplexed onto one deployment share this one database — and its
+    /// one plan cache. The driver path never holds the deployment lock
+    /// while waiting for this `RwLock` (and vice versa), so out-of-band
+    /// holders of a guard may safely call other `SimEnv` methods.
+    ///
+    /// # Panics
+    /// Panics on a sharded deployment.
+    pub fn database(&self) -> Arc<RwLock<Database>> {
+        match &self.lock().backend {
+            Backend::Single(db) => Arc::clone(db),
             Backend::Sharded(_) => {
-                panic!("snapshot_db: sharded deployments have no single database")
+                panic!("database: sharded deployments have no single database")
             }
         }
     }
@@ -228,97 +311,110 @@ impl SimEnv {
     /// Panics on a sharded deployment; seed through [`SimEnv::seed_sql`],
     /// which routes rows to their shards.
     pub fn seed<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
-        match &mut self.inner.borrow_mut().backend {
-            Backend::Single(db) => f(db),
-            Backend::Sharded(_) => panic!("seed: use seed_sql on sharded deployments"),
-        }
+        let db = self.database();
+        let mut guard = db.write().unwrap();
+        f(&mut guard)
     }
 
     /// Convenience: execute seed SQL without charging time. On a sharded
     /// deployment the statement goes through the router (DDL broadcasts,
     /// rows land on their owning shards) — still free of charge.
     pub fn seed_sql(&self, sql: &str) -> Result<ResultSet, SqlError> {
-        match &mut self.inner.borrow_mut().backend {
-            Backend::Single(db) => db.execute(sql).map(|o| o.result),
-            Backend::Sharded(fleet) => fleet.execute_unmetered(sql),
-        }
-    }
-
-    /// Read-only view of the database (single-server only; panics on a
-    /// sharded deployment).
-    pub fn db(&self) -> Ref<'_, Database> {
-        Ref::map(self.inner.borrow(), |i| match &i.backend {
-            Backend::Single(db) => db,
-            Backend::Sharded(_) => panic!("db: sharded deployments have no single database"),
-        })
-    }
-
-    /// Mutable view of the database (single-server only; no time charged;
-    /// prefer [`SimEnv::query`]).
-    pub fn db_mut(&self) -> RefMut<'_, Database> {
-        RefMut::map(self.inner.borrow_mut(), |i| match &mut i.backend {
-            Backend::Single(db) => db,
-            Backend::Sharded(_) => panic!("db_mut: sharded deployments have no single database"),
-        })
+        // Same lock discipline as the driver path: never hold the
+        // deployment mutex while taking the database lock.
+        let db = {
+            let mut inner = self.lock();
+            match &mut inner.backend {
+                Backend::Single(db) => Arc::clone(db),
+                Backend::Sharded(fleet) => return fleet.execute_unmetered(sql),
+            }
+        };
+        let mut db = db
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        db.execute(sql).map(|o| o.result)
     }
 
     /// The cost model in force.
     pub fn cost_model(&self) -> CostModel {
-        self.inner.borrow().cost
+        self.lock().cost
     }
 
     /// Enables or disables batch-level query fusion (on by default).
     /// Fusion is semantically invisible; the switch exists for equivalence
     /// testing and for the fusion-on/off benchmark figure.
     pub fn set_fusion(&self, on: bool) {
-        self.inner.borrow_mut().fusion = on;
+        self.lock().fusion = on;
     }
 
     /// Whether batch-level query fusion is enabled.
     pub fn fusion_enabled(&self) -> bool {
-        self.inner.borrow().fusion
+        self.lock().fusion
     }
 
     /// Plan-cache counters of the backend (summed across shards on a
     /// sharded deployment).
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
-        match &self.inner.borrow().backend {
-            Backend::Single(db) => db.plan_cache_stats(),
-            Backend::Sharded(fleet) => fleet.plan_cache_stats(),
-        }
+        let db = {
+            let inner = self.lock();
+            match &inner.backend {
+                Backend::Single(db) => Arc::clone(db),
+                Backend::Sharded(fleet) => return fleet.plan_cache_stats(),
+            }
+        };
+        let stats = db
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .plan_cache_stats();
+        stats
     }
 
     /// Replaces the cost model (used by the latency-sweep experiments).
     pub fn set_cost_model(&self, cost: CostModel) {
-        self.inner.borrow_mut().cost = cost;
+        self.lock().cost = cost;
+    }
+
+    /// Puts the deployment in **real-time mode**: after each round trip,
+    /// the calling session actually sleeps `scale` real nanoseconds per
+    /// virtual network nanosecond (outside the deployment lock, so
+    /// concurrent sessions overlap their network waits exactly as real
+    /// connections would). `0.0` (the default) is pure virtual time.
+    ///
+    /// This is what makes the multi-threaded throughput harness *real*:
+    /// closed-loop clients block on the wire for real wall-clock time, and
+    /// batching/coalescing convert directly into measured pages/second.
+    pub fn set_realtime(&self, scale: f64) {
+        let permille = (scale.max(0.0) * 1000.0) as u64;
+        self.realtime_permille.store(permille, Ordering::Relaxed);
     }
 
     /// Current virtual time.
     pub fn now_ns(&self) -> u64 {
-        self.inner.borrow().clock.now_ns()
+        self.clock.now_ns()
     }
 
     /// Charges application-server computation time.
     pub fn charge_app(&self, ns: u64) {
-        let mut inner = self.inner.borrow_mut();
-        inner.clock.advance(ns);
-        inner.stats.app_ns += ns;
+        self.clock.advance(ns);
+        let mut inner = self.lock();
+        inner.stats.app_ns = inner.stats.app_ns.saturating_add(ns);
     }
 
     /// Snapshot of the accumulated statistics.
     pub fn stats(&self) -> NetStats {
-        self.inner.borrow().stats
+        self.lock().stats
     }
 
     /// Resets statistics and clock (database contents are kept) — the
     /// paper's "restart servers between measurements".
     pub fn reset_stats(&self) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         inner.stats = NetStats::default();
-        inner.clock = Clock::new();
         if let Backend::Sharded(fleet) = &mut inner.backend {
             fleet.reset_stats();
         }
+        drop(inner);
+        self.clock.reset();
     }
 
     /// Executes one statement over the **stock driver**: one round trip.
@@ -346,33 +442,94 @@ impl SimEnv {
     /// round trip, with the batch's database time being the slowest
     /// shard's wave makespan.
     pub fn query_batch(&self, sqls: &[String]) -> Result<Vec<ResultSet>, SqlError> {
-        if sqls.is_empty() {
-            return Ok(Vec::new());
-        }
-        let mut inner = self.inner.borrow_mut();
-        let inner = &mut *inner;
-        let cost = inner.cost;
+        self.query_batch_outcome(sqls).map(|o| o.results)
+    }
 
-        // Plan once (normalization, fusion grouping), execute on whichever
-        // backend this deployment runs.
-        let plan = batch::plan_batch(sqls, inner.fusion);
-        let exec = match &mut inner.backend {
-            Backend::Single(db) => batch::exec_single(db, &cost, sqls, &plan)?,
-            Backend::Sharded(fleet) => fleet.exec_batch(&cost, sqls, &plan)?,
+    /// [`SimEnv::query_batch`] with the per-position fusion attribution of
+    /// this one batch — what the query store and the dispatcher use to
+    /// account their own statistics without racing on the deployment-wide
+    /// counters.
+    pub fn query_batch_outcome(&self, sqls: &[String]) -> Result<BatchOutcome, SqlError> {
+        if sqls.is_empty() {
+            return Ok(BatchOutcome {
+                results: Vec::new(),
+                fused_members: Vec::new(),
+                fused_queries: 0,
+                fused_groups: 0,
+            });
+        }
+        // Plan under the deployment lock, but execute a single-server
+        // batch under the database's own RwLock *alone*: the driver never
+        // holds the deployment mutex while waiting for the database lock,
+        // so out-of-band holders of [`SimEnv::database`] cannot form a
+        // lock-order cycle with the driver path.
+        let (cost, fusion, single_db) = {
+            let inner = self.lock();
+            let db = match &inner.backend {
+                Backend::Single(db) => Some(Arc::clone(db)),
+                Backend::Sharded(_) => None,
+            };
+            (inner.cost, inner.fusion, db)
+        };
+        let plan = batch::plan_batch(sqls, fusion);
+        let exec = match single_db {
+            Some(db) => {
+                let mut db = db
+                    .write()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                batch::exec_single(&mut db, &cost, sqls, &plan)?
+            }
+            // The backend kind is fixed at construction: no single
+            // database means this deployment is the sharded fleet, which
+            // lives inside the deployment lock (no second lock involved).
+            None => {
+                let mut inner = self.lock();
+                match &mut inner.backend {
+                    Backend::Sharded(fleet) => fleet.exec_batch(&cost, sqls, &plan)?,
+                    Backend::Single(_) => unreachable!("backend kind is fixed at construction"),
+                }
+            }
         };
 
-        let network_ns = cost.rtt_ns + cost.per_byte_ns * exec.bytes;
-        inner.clock.advance(network_ns + exec.db_ns);
-        let stats = &mut inner.stats;
-        stats.round_trips += 1;
-        stats.queries += sqls.len() as u64;
-        stats.network_ns += network_ns;
-        stats.db_ns += exec.db_ns;
-        stats.bytes += exec.bytes;
-        stats.max_batch = stats.max_batch.max(sqls.len() as u64);
-        stats.fused_queries += exec.fused_queries;
-        stats.fused_groups += exec.fused_groups;
-        Ok(exec.results)
+        let network_ns = cost
+            .rtt_ns
+            .saturating_add(cost.per_byte_ns.saturating_mul(exec.bytes));
+        self.clock.advance(network_ns.saturating_add(exec.db_ns));
+        {
+            let mut inner = self.lock();
+            let stats = &mut inner.stats;
+            stats.round_trips = stats.round_trips.saturating_add(1);
+            stats.queries = stats.queries.saturating_add(sqls.len() as u64);
+            stats.network_ns = stats.network_ns.saturating_add(network_ns);
+            stats.db_ns = stats.db_ns.saturating_add(exec.db_ns);
+            stats.bytes = stats.bytes.saturating_add(exec.bytes);
+            stats.max_batch = stats.max_batch.max(sqls.len() as u64);
+            stats.fused_queries = stats.fused_queries.saturating_add(exec.fused_queries);
+            stats.fused_groups = stats.fused_groups.saturating_add(exec.fused_groups);
+        }
+
+        let mut fused_members: Vec<Option<usize>> = vec![None; sqls.len()];
+        for (g, (_, members)) in plan.fused.iter().enumerate() {
+            for &m in members {
+                fused_members[m] = Some(g);
+            }
+        }
+        let outcome = BatchOutcome {
+            results: exec.results,
+            fused_members,
+            fused_queries: exec.fused_queries,
+            fused_groups: exec.fused_groups,
+        };
+
+        // Real-time mode: pay the network latency in real wall-clock time,
+        // after releasing the deployment lock so concurrent sessions
+        // overlap their waits (the whole point of measuring with threads).
+        let permille = self.realtime_permille.load(Ordering::Relaxed);
+        if permille > 0 {
+            let real_ns = network_ns.saturating_mul(permille) / 1000;
+            std::thread::sleep(std::time::Duration::from_nanos(real_ns));
+        }
+        Ok(outcome)
     }
 }
 
@@ -573,6 +730,20 @@ mod tests {
     }
 
     #[test]
+    fn batch_outcome_attributes_fusion_per_position() {
+        let env = seeded_env();
+        let sqls = vec![
+            "SELECT v FROM t WHERE id = 3".to_string(),
+            "SELECT COUNT(*) FROM t".to_string(),
+            "SELECT v FROM t WHERE id = 5".to_string(),
+        ];
+        let o = env.query_batch_outcome(&sqls).unwrap();
+        assert_eq!(o.fused_members, vec![Some(0), None, Some(0)]);
+        assert_eq!(o.fused_queries, 2);
+        assert_eq!(o.fused_groups, 1);
+    }
+
+    #[test]
     fn writes_serialize_in_batch() {
         let cost = CostModel {
             per_byte_ns: 0,
@@ -600,11 +771,24 @@ mod tests {
     }
 
     #[test]
+    fn charge_app_saturates_instead_of_wrapping() {
+        let env = seeded_env();
+        env.charge_app(u64::MAX - 10);
+        env.charge_app(u64::MAX - 10);
+        assert_eq!(env.stats().app_ns, u64::MAX);
+        assert_eq!(env.now_ns(), u64::MAX);
+        // A subsequent round trip still works and still saturates.
+        env.query("SELECT v FROM t WHERE id = 1").unwrap();
+        assert_eq!(env.now_ns(), u64::MAX);
+    }
+
+    #[test]
     fn reset_keeps_data() {
         let env = seeded_env();
         env.query("SELECT * FROM t WHERE id = 1").unwrap();
         env.reset_stats();
         assert_eq!(env.stats(), NetStats::default());
+        assert_eq!(env.now_ns(), 0);
         let rs = env.query("SELECT * FROM t WHERE id = 1").unwrap();
         assert_eq!(rs.len(), 1);
     }
@@ -631,5 +815,56 @@ mod tests {
         let env2 = env.clone();
         env2.query("SELECT * FROM t WHERE id = 1").unwrap();
         assert_eq!(env.stats().round_trips, 1);
+    }
+
+    #[test]
+    fn env_handles_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimEnv>();
+        assert_send_sync::<Clock>();
+    }
+
+    #[test]
+    fn concurrent_sessions_share_one_deployment() {
+        let env = seeded_env();
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let env = env.clone();
+                std::thread::spawn(move || {
+                    let sqls: Vec<String> = (0..5)
+                        .map(|i| format!("SELECT v FROM t WHERE id = {}", (t + i) % 20))
+                        .collect();
+                    let results = env.query_batch(&sqls).unwrap();
+                    for (i, rs) in results.iter().enumerate() {
+                        let want = format!("v{}", (t + i) % 20);
+                        assert_eq!(rs.get(0, "v").unwrap().as_str(), Some(want.as_str()));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = env.stats();
+        assert_eq!(s.round_trips, 8);
+        assert_eq!(s.queries, 40);
+    }
+
+    #[test]
+    fn realtime_mode_sleeps_for_network_time() {
+        let env = seeded_env();
+        env.set_realtime(0.1); // 0.5 ms RTT → ≥ 50 µs real sleep
+        let t0 = std::time::Instant::now();
+        env.query("SELECT v FROM t WHERE id = 1").unwrap();
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed >= std::time::Duration::from_micros(50),
+            "slept only {elapsed:?}"
+        );
+        env.set_realtime(0.0);
+        // Virtual accounting is identical with and without real time.
+        let reference = seeded_env();
+        reference.query("SELECT v FROM t WHERE id = 1").unwrap();
+        assert_eq!(env.stats(), reference.stats());
     }
 }

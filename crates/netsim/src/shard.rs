@@ -35,7 +35,7 @@
 //! unchanged on a sharded fleet.
 
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sloth_sql::ast::{Aggregate, BinOp, ColumnRef, Expr, Join, Projection, Statement, TableRef};
 use sloth_sql::engine::eval_const;
@@ -128,7 +128,7 @@ const ROUTE_CACHE_CAP: usize = 512;
 
 #[derive(Default)]
 struct RouteCache {
-    map: HashMap<String, Rc<RouteEntry>>,
+    map: HashMap<String, Arc<RouteEntry>>,
     order: VecDeque<String>,
 }
 
@@ -210,6 +210,7 @@ impl Fleet {
             total.hits += s.hits;
             total.misses += s.misses;
             total.entries += s.entries;
+            total.evictions += s.evictions;
         }
         total
     }
@@ -818,13 +819,13 @@ impl Fleet {
     /// The cached route for a template (parse once, route forever).
     /// `None` means the statement does not parse — the caller ships it to
     /// shard 0 for the authentic error.
-    fn route_for(&mut self, template: &str, sql: &str) -> Option<Rc<RouteEntry>> {
+    fn route_for(&mut self, template: &str, sql: &str) -> Option<Arc<RouteEntry>> {
         if let Some(e) = self.routes.map.get(template) {
             self.stats.route_cache_hits += 1;
-            return Some(Rc::clone(e));
+            return Some(Arc::clone(e));
         }
         self.stats.route_cache_misses += 1;
-        let entry = Rc::new(build_route(sql, &self.spec)?);
+        let entry = Arc::new(build_route(sql, &self.spec)?);
         if self.routes.map.len() >= ROUTE_CACHE_CAP {
             if let Some(oldest) = self.routes.order.pop_front() {
                 self.routes.map.remove(&oldest);
@@ -833,7 +834,7 @@ impl Fleet {
         self.routes.order.push_back(template.to_string());
         self.routes
             .map
-            .insert(template.to_string(), Rc::clone(&entry));
+            .insert(template.to_string(), Arc::clone(&entry));
         Some(entry)
     }
 }
@@ -1095,7 +1096,7 @@ impl ShardedEnv {
     /// A fleet of `shards` independent servers partitioned by `spec`.
     pub fn new(cost: CostModel, spec: ShardSpec, shards: usize) -> Self {
         ShardedEnv {
-            env: SimEnv::with_backend(cost, Backend::Sharded(Fleet::new(spec, shards))),
+            env: SimEnv::with_backend(cost, Backend::Sharded(Box::new(Fleet::new(spec, shards)))),
         }
     }
 

@@ -4,7 +4,7 @@
 //! `find_thunk` JPA extension, §5).
 
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sloth_core::{query_thunk, QueryStore, Thunk};
 use sloth_net::SimEnv;
@@ -79,14 +79,14 @@ enum Backend {
 /// An ORM session bound to a schema and an execution backend.
 #[derive(Clone)]
 pub struct Session {
-    schema: Rc<Schema>,
+    schema: Arc<Schema>,
     backend: Backend,
 }
 
 impl Session {
     /// Hibernate-style session: every fetch is an immediate round trip and
     /// eager associations are prefetched at `find` time.
-    pub fn immediate(env: SimEnv, schema: Rc<Schema>) -> Self {
+    pub fn immediate(env: SimEnv, schema: Arc<Schema>) -> Self {
         Session {
             schema,
             backend: Backend::Immediate(env),
@@ -94,7 +94,7 @@ impl Session {
     }
 
     /// Sloth session: fetches register with `store` and return thunks.
-    pub fn deferred(store: QueryStore, schema: Rc<Schema>) -> Self {
+    pub fn deferred(store: QueryStore, schema: Arc<Schema>) -> Self {
         Session {
             schema,
             backend: Backend::Deferred(store),
@@ -263,7 +263,7 @@ mod tests {
     use crate::schema::{entity, one_to_many, FetchStrategy};
     use sloth_sql::ast::ColumnType::*;
 
-    fn schema() -> Rc<Schema> {
+    fn schema() -> Arc<Schema> {
         let mut s = Schema::new();
         s.add(entity(
             "patient",
@@ -294,7 +294,7 @@ mod tests {
             &[("visit_id", Int), ("patient_id", Int)],
             vec![],
         ));
-        Rc::new(s)
+        Arc::new(s)
     }
 
     fn seeded_env(schema: &Schema) -> SimEnv {
@@ -316,7 +316,7 @@ mod tests {
     fn immediate_find_prefetches_eager_assocs() {
         let schema = schema();
         let env = seeded_env(&schema);
-        let s = Session::immediate(env.clone(), Rc::clone(&schema));
+        let s = Session::immediate(env.clone(), Arc::clone(&schema));
         let p = s.find("patient", 1).unwrap().unwrap();
         assert_eq!(p.get_str("name"), Some("Ada"));
         // find + eager encounters = 2 round trips; lazy visits untouched.
@@ -329,7 +329,7 @@ mod tests {
     fn immediate_lazy_assoc_costs_a_trip_on_access() {
         let schema = schema();
         let env = seeded_env(&schema);
-        let s = Session::immediate(env.clone(), Rc::clone(&schema));
+        let s = Session::immediate(env.clone(), Arc::clone(&schema));
         let p = s.find("patient", 1).unwrap().unwrap();
         let before = env.stats().round_trips;
         let visits = s.fetch_assoc(&p, "visits").unwrap();
@@ -342,7 +342,7 @@ mod tests {
         let schema = schema();
         let env = seeded_env(&schema);
         let store = QueryStore::new(env.clone());
-        let s = Session::deferred(store.clone(), Rc::clone(&schema));
+        let s = Session::deferred(store.clone(), Arc::clone(&schema));
         let t1 = s.find_thunk("patient", 1).unwrap();
         let t2 = s.find_thunk("patient", 2).unwrap();
         assert_eq!(env.stats().round_trips, 0);
@@ -360,7 +360,7 @@ mod tests {
         let schema = schema();
         let env = seeded_env(&schema);
         let store = QueryStore::new(env.clone());
-        let s = Session::deferred(store.clone(), Rc::clone(&schema));
+        let s = Session::deferred(store.clone(), Arc::clone(&schema));
         let p = s.find_thunk("patient", 1).unwrap().force().unwrap();
         let before_trips = env.stats().round_trips;
         let enc = s.assoc_thunk(&p, "encounters").unwrap();
@@ -376,7 +376,7 @@ mod tests {
     fn find_missing_returns_none() {
         let schema = schema();
         let env = seeded_env(&schema);
-        let s = Session::immediate(env, Rc::clone(&schema));
+        let s = Session::immediate(env, Arc::clone(&schema));
         assert!(s.find("patient", 999).unwrap().is_none());
         assert!(s.find("martian", 1).is_err());
     }
@@ -385,7 +385,7 @@ mod tests {
     fn memoized_assoc_not_refetched() {
         let schema = schema();
         let env = seeded_env(&schema);
-        let s = Session::immediate(env.clone(), Rc::clone(&schema));
+        let s = Session::immediate(env.clone(), Arc::clone(&schema));
         let p = s.find("patient", 1).unwrap().unwrap();
         let trips = env.stats().round_trips;
         // encounters were eagerly fetched; re-access hits the memo.
@@ -399,7 +399,7 @@ mod tests {
         let schema = schema();
         let env = seeded_env(&schema);
         let store = QueryStore::new(env.clone());
-        let s = Session::deferred(store.clone(), Rc::clone(&schema));
+        let s = Session::deferred(store.clone(), Arc::clone(&schema));
         let _t = s.find_thunk("patient", 1).unwrap();
         assert_eq!(store.pending_len(), 1);
         s.save("visit", &[Value::Int(101), Value::Int(2)]).unwrap();
@@ -411,7 +411,7 @@ mod tests {
     fn thunk_api_requires_deferred_session() {
         let schema = schema();
         let env = seeded_env(&schema);
-        let s = Session::immediate(env, Rc::clone(&schema));
+        let s = Session::immediate(env, Arc::clone(&schema));
         assert!(s.find_thunk("patient", 1).is_err());
     }
 
@@ -419,7 +419,7 @@ mod tests {
     fn find_where_filters() {
         let schema = schema();
         let env = seeded_env(&schema);
-        let s = Session::immediate(env, Rc::clone(&schema));
+        let s = Session::immediate(env, Arc::clone(&schema));
         let encs = s
             .find_where("encounter", "patient_id", &Value::Int(1))
             .unwrap();

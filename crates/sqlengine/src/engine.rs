@@ -3,7 +3,7 @@
 //! model in `sloth-net`.
 
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::ast::*;
 use crate::error::SqlError;
@@ -69,6 +69,8 @@ pub struct PlanCacheStats {
     pub misses: u64,
     /// Plans currently cached.
     pub entries: usize,
+    /// Cached plans evicted by the FIFO bound.
+    pub evictions: u64,
 }
 
 impl PlanCacheStats {
@@ -87,13 +89,16 @@ impl PlanCacheStats {
 ///
 /// Lives inside [`Database`]; a template hit means repeated ORM-generated
 /// SQL skips lexing and parsing entirely and re-executes the cached plan
-/// with freshly extracted parameters.
+/// with freshly extracted parameters. Entries are `Arc`-shared so the
+/// cache (and the `Database` holding it) stays `Send + Sync`-compatible:
+/// concurrent sessions multiplexed onto one database share one cache.
 #[derive(Debug, Clone, Default)]
 struct PlanCache {
-    map: HashMap<String, Rc<CachedPlan>>,
+    map: HashMap<String, Arc<CachedPlan>>,
     order: VecDeque<String>,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 #[derive(Debug)]
@@ -108,11 +113,11 @@ struct CachedPlan {
 const PLAN_CACHE_CAP: usize = 512;
 
 impl PlanCache {
-    fn lookup(&mut self, template: &str) -> Option<Rc<CachedPlan>> {
+    fn lookup(&mut self, template: &str) -> Option<Arc<CachedPlan>> {
         match self.map.get(template) {
             Some(plan) => {
                 self.hits += 1;
-                Some(Rc::clone(plan))
+                Some(Arc::clone(plan))
             }
             None => {
                 self.misses += 1;
@@ -122,13 +127,16 @@ impl PlanCache {
     }
 
     fn insert(&mut self, template: String, plan: CachedPlan) {
-        if self.map.len() >= PLAN_CACHE_CAP {
-            if let Some(oldest) = self.order.pop_front() {
-                self.map.remove(&oldest);
+        while self.map.len() >= PLAN_CACHE_CAP {
+            let Some(oldest) = self.order.pop_front() else {
+                break;
+            };
+            if self.map.remove(&oldest).is_some() {
+                self.evictions += 1;
             }
         }
         self.order.push_back(template.clone());
-        self.map.insert(template, Rc::new(plan));
+        self.map.insert(template, Arc::new(plan));
     }
 
     fn stats(&self) -> PlanCacheStats {
@@ -136,6 +144,7 @@ impl PlanCache {
             hits: self.hits,
             misses: self.misses,
             entries: self.map.len(),
+            evictions: self.evictions,
         }
     }
 }
@@ -1287,6 +1296,69 @@ mod tests {
             db.execute(&format!("SELECT id FROM t LIMIT {i}")).unwrap();
         }
         assert!(db.plan_cache_stats().entries <= 512);
+    }
+
+    #[test]
+    fn plan_cache_eviction_accounting() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY)").unwrap();
+        // Fill exactly to the 512-entry bound: no evictions yet.
+        for i in 1..=512usize {
+            db.execute(&format!("SELECT id FROM t LIMIT {i}")).unwrap();
+        }
+        let full = db.plan_cache_stats();
+        assert_eq!(full.entries, 512);
+        assert_eq!(full.evictions, 0);
+        assert_eq!(full.misses, 512);
+        // One more distinct template evicts the oldest (FIFO).
+        db.execute("SELECT id FROM t LIMIT 600").unwrap();
+        let after = db.plan_cache_stats();
+        assert_eq!(after.entries, 512, "bound holds");
+        assert_eq!(after.evictions, 1);
+        // The evicted template (LIMIT 1, oldest) now misses again and
+        // re-enters, evicting the next-oldest; a young template still hits.
+        db.execute("SELECT id FROM t LIMIT 1").unwrap();
+        let refill = db.plan_cache_stats();
+        assert_eq!(refill.misses, after.misses + 1, "evicted template misses");
+        assert_eq!(refill.evictions, 2);
+        db.execute("SELECT id FROM t LIMIT 600").unwrap();
+        assert_eq!(db.plan_cache_stats().hits, refill.hits + 1);
+        // Hit rate reflects the churn.
+        assert!(db.plan_cache_stats().hit_rate() < 0.1);
+    }
+
+    #[test]
+    fn database_is_send_and_sync() {
+        // The concurrency refactor hinges on this: a `Database` (with its
+        // Arc-shared plan cache) can live behind an `RwLock` shared by
+        // many sessions.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Database>();
+        assert_send_sync::<std::sync::RwLock<Database>>();
+    }
+
+    #[test]
+    fn plan_cache_shared_across_threads() {
+        use std::sync::{Arc, RwLock};
+        let mut db = db_with_issues();
+        db.execute("SELECT title FROM issue WHERE id = 10").unwrap();
+        let shared = Arc::new(RwLock::new(db));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let db = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    let mut db = db.write().unwrap();
+                    db.execute(&format!("SELECT title FROM issue WHERE id = 1{t}"))
+                        .unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = shared.read().unwrap().plan_cache_stats();
+        assert_eq!(stats.hits, 4, "all threads hit the one warmed plan");
+        assert_eq!(stats.entries, 1);
     }
 
     #[test]

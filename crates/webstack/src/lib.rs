@@ -181,7 +181,7 @@ mod tests {
     use sloth_net::SimEnv;
     use sloth_orm::{entity, Schema, Session};
     use sloth_sql::ast::ColumnType::*;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn setup() -> (SimEnv, Session) {
         let mut s = Schema::new();
@@ -192,7 +192,7 @@ mod tests {
             &[("id", Int), ("name", Text)],
             vec![],
         ));
-        let schema = Rc::new(s);
+        let schema = Arc::new(s);
         let env = SimEnv::default_env();
         for ddl in schema.ddl() {
             env.seed_sql(&ddl).unwrap();

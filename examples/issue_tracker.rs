@@ -7,13 +7,15 @@
 //! cargo run --release --example issue_tracker
 //! ```
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sloth_apps::itracker_app;
 use sloth_lang::{prepare, ExecStrategy, OptFlags, V};
 use sloth_net::{CostModel, SimEnv};
 
-fn main() {
+/// Runs the page in both modes and returns the (identical) rendered
+/// output (wired into `cargo test` by `tests/examples_smoke.rs`).
+pub fn run() -> Vec<String> {
     let app = itracker_app();
     let page = app
         .pages
@@ -33,7 +35,7 @@ fn main() {
         let prepared = prepare(&program, strategy);
         let env = SimEnv::from_database(db.clone(), CostModel::default());
         let result = prepared
-            .run(&env, Rc::clone(&app.schema), vec![V::Int(page.arg)])
+            .run(&env, Arc::clone(&app.schema), vec![V::Int(page.arg)])
             .expect("page runs");
         println!(
             "{label}  {:>8.1} ms   {:>4} round trips   {:>4} queries   max batch {:>3}",
@@ -51,4 +53,11 @@ fn main() {
         println!("  {line}");
     }
     println!("  … ({} lines total)", outputs[0].len());
+    outputs.pop().expect("two runs happened")
+}
+
+// Unused when the file is included by the examples_smoke test.
+#[allow(dead_code)]
+fn main() {
+    run();
 }

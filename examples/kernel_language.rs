@@ -7,7 +7,7 @@
 //! cargo run --example kernel_language
 //! ```
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sloth_lang::{analyze, parse_program, prepare, simplify_program, ExecStrategy, OptFlags, V};
 use sloth_net::SimEnv;
@@ -32,7 +32,10 @@ fn main(n) {
 }
 "#;
 
-fn main() {
+/// Walks the compilation pipeline and returns per-strategy
+/// `(label, output, round_trips)` rows (wired into `cargo test` by
+/// `tests/examples_smoke.rs`).
+pub fn run() -> Vec<(&'static str, Vec<String>, u64)> {
     let program = parse_program(SRC).unwrap();
     println!("source functions: {}", program.functions.len());
 
@@ -64,8 +67,9 @@ fn main() {
             .unwrap();
     }
     let db = env.snapshot_db();
-    let schema = Rc::new(Schema::new());
+    let schema = Arc::new(Schema::new());
 
+    let mut rows = Vec::new();
     for (label, strategy) in [
         ("original", ExecStrategy::Original),
         ("sloth", ExecStrategy::Sloth(OptFlags::all())),
@@ -73,12 +77,20 @@ fn main() {
         let prepared = prepare(&program, strategy);
         let env = SimEnv::from_database(db.clone(), sloth_net::CostModel::default());
         let r = prepared
-            .run(&env, Rc::clone(&schema), vec![V::Int(10)])
+            .run(&env, Arc::clone(&schema), vec![V::Int(10)])
             .unwrap();
         println!(
             "{label:<9} output={:?}  round_trips={}  thunks={}",
             r.output, r.net.round_trips, r.counters.thunk_allocs
         );
+        rows.push((label, r.output, r.net.round_trips));
     }
     // Both SUM queries are independent: Sloth ships them together.
+    rows
+}
+
+// Unused when the file is included by the examples_smoke test.
+#[allow(dead_code)]
+fn main() {
+    run();
 }

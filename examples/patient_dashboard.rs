@@ -10,7 +10,7 @@
 //! cargo run --example patient_dashboard
 //! ```
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sloth_core::QueryStore;
 use sloth_net::SimEnv;
@@ -18,7 +18,7 @@ use sloth_orm::{entity, one_to_many, FetchStrategy, Schema, Session};
 use sloth_sql::ast::ColumnType::*;
 use sloth_web::{render, Model, ModelValue};
 
-fn schema() -> Rc<Schema> {
+fn schema() -> Arc<Schema> {
     let mut s = Schema::new();
     s.add(entity(
         "patient",
@@ -44,10 +44,12 @@ fn schema() -> Rc<Schema> {
         &[("visit_id", Int), ("patient_id", Int), ("active", Bool)],
         vec![],
     ));
-    Rc::new(s)
+    Arc::new(s)
 }
 
-fn main() {
+/// Renders the dashboard and returns `(page, stats)` (wired into
+/// `cargo test` by `tests/examples_smoke.rs`).
+pub fn run() -> (String, sloth_net::NetStats) {
     let schema = schema();
     let env = SimEnv::default_env();
     for ddl in schema.ddl() {
@@ -64,7 +66,7 @@ fn main() {
 
     // ---- the controller (paper Fig. 1) ----
     let store = QueryStore::new(env.clone());
-    let session = Session::deferred(store.clone(), Rc::clone(&schema));
+    let session = Session::deferred(store.clone(), Arc::clone(&schema));
     let mut model = Model::new();
 
     // Q1: the patient. Registered, not executed.
@@ -114,4 +116,11 @@ fn main() {
         stats.round_trips, 2,
         "Fig. 2: batch 1 (patient) + batch 2 (the rest)"
     );
+    (html, stats)
+}
+
+// Unused when the file is included by the examples_smoke test.
+#[allow(dead_code)]
+fn main() {
+    run();
 }

@@ -8,9 +8,11 @@
 //! ```
 
 use sloth_core::{query_thunk, QueryStore};
-use sloth_net::SimEnv;
+use sloth_net::{NetStats, SimEnv};
 
-fn main() {
+/// Runs the tour and returns the deployment statistics (wired into
+/// `cargo test` by `tests/examples_smoke.rs`).
+pub fn run() -> NetStats {
     // A simulated deployment: app server + DB, 0.5 ms apart.
     let env = SimEnv::default_env();
     env.seed_sql("CREATE TABLE greeting (id INT PRIMARY KEY, word TEXT)")
@@ -44,4 +46,11 @@ fn main() {
         stats.total_ns() as f64 / 1e6
     );
     assert_eq!(stats.round_trips, 1);
+    stats
+}
+
+// Unused when the file is included by the examples_smoke test.
+#[allow(dead_code)]
+fn main() {
+    run();
 }

@@ -1,0 +1,246 @@
+//! Concurrent multi-session serving: end-to-end tests of the thread-safe
+//! driver core across the Rust-level stack (`sloth-orm` sessions +
+//! `sloth-web` rendering on shared deployments, with and without the
+//! cross-session [`Dispatcher`]).
+//!
+//! The invariant under test everywhere: at equal inputs, a page rendered
+//! by a session on a shared concurrent deployment is bit-identical to the
+//! same page rendered alone — batching, fusion and cross-session
+//! coalescing are performance features, never semantic ones.
+
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use sloth_core::QueryStore;
+use sloth_net::{Dispatcher, SimEnv};
+use sloth_orm::{entity, one_to_many, FetchStrategy, Schema, Session};
+use sloth_sql::ast::ColumnType::*;
+use sloth_web::{render, Model, ModelValue};
+
+fn clinic_schema() -> Arc<Schema> {
+    let mut s = Schema::new();
+    s.add(entity(
+        "patient",
+        "patient",
+        "patient_id",
+        &[("patient_id", Int), ("name", Text)],
+        vec![one_to_many(
+            "encounters",
+            "encounter",
+            "patient_id",
+            FetchStrategy::Lazy,
+        )],
+    ));
+    s.add(entity(
+        "encounter",
+        "encounter",
+        "encounter_id",
+        &[("encounter_id", Int), ("patient_id", Int), ("kind", Text)],
+        vec![],
+    ));
+    Arc::new(s)
+}
+
+fn seeded_env(schema: &Schema, patients: i64) -> SimEnv {
+    let env = SimEnv::default_env();
+    for ddl in schema.ddl() {
+        env.seed_sql(&ddl).unwrap();
+    }
+    for p in 1..=patients {
+        env.seed_sql(&format!("INSERT INTO patient VALUES ({p}, 'patient-{p}')"))
+            .unwrap();
+        for e in 0..3 {
+            env.seed_sql(&format!(
+                "INSERT INTO encounter VALUES ({}, {p}, 'kind-{e}')",
+                p * 10 + e
+            ))
+            .unwrap();
+        }
+    }
+    env
+}
+
+/// Renders one "patient dashboard" page for `pid` on the given session.
+fn render_dashboard(session: &Session, pid: i64) -> String {
+    let patient = session.find_thunk("patient", pid).unwrap();
+    let p = patient.force().expect("patient exists");
+    let encounters = session.assoc_thunk(&p, "encounters").unwrap();
+    let mut model = Model::new();
+    model.put("patient", ModelValue::Entity(p));
+    model.put("encounters", ModelValue::LazyList(encounters));
+    render(&model)
+}
+
+/// The serial reference: each page rendered alone on a fresh deployment.
+fn reference_page(schema: &Arc<Schema>, patients: i64, pid: i64) -> String {
+    let env = seeded_env(schema, patients);
+    let store = QueryStore::new(env.clone());
+    let session = Session::deferred(store, Arc::clone(schema));
+    render_dashboard(&session, pid)
+}
+
+#[test]
+fn concurrent_sessions_render_identical_pages_on_shared_env() {
+    let schema = clinic_schema();
+    let patients = 12i64;
+    let env = seeded_env(&schema, patients);
+    let expected: Vec<String> = (1..=patients)
+        .map(|pid| reference_page(&schema, patients, pid))
+        .collect();
+    let barrier = Arc::new(Barrier::new(8));
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            let env = env.clone();
+            let schema = Arc::clone(&schema);
+            let expected = expected.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for round in 0..6i64 {
+                    let pid = 1 + ((t as i64 + round * 3) % 12);
+                    // Each page request = its own session on the shared env.
+                    let store = QueryStore::new(env.clone());
+                    let session = Session::deferred(store, Arc::clone(&schema));
+                    let page = render_dashboard(&session, pid);
+                    assert_eq!(
+                        page,
+                        expected[(pid - 1) as usize],
+                        "thread {t} round {round}"
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let s = env.stats();
+    assert_eq!(s.queries, 8 * 6 * 2, "two queries per page");
+}
+
+#[test]
+fn concurrent_sessions_through_dispatcher_coalesce_with_equal_pages() {
+    let schema = clinic_schema();
+    let patients = 12i64;
+    let env = seeded_env(&schema, patients);
+    let dispatcher = Arc::new(Dispatcher::with_window(
+        env.clone(),
+        Duration::from_millis(5),
+    ));
+    let expected: Vec<String> = (1..=patients)
+        .map(|pid| reference_page(&schema, patients, pid))
+        .collect();
+    let n = 8;
+    let barrier = Arc::new(Barrier::new(n));
+    let handles: Vec<_> = (0..n)
+        .map(|t| {
+            let dispatcher = Arc::clone(&dispatcher);
+            let schema = Arc::clone(&schema);
+            let expected = expected.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for round in 0..8i64 {
+                    let pid = 1 + ((t as i64 * 5 + round) % 12);
+                    let store = QueryStore::dispatched(Arc::clone(&dispatcher));
+                    let session = Session::deferred(store, Arc::clone(&schema));
+                    let page = render_dashboard(&session, pid);
+                    assert_eq!(
+                        page,
+                        expected[(pid - 1) as usize],
+                        "thread {t} round {round}"
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let d = dispatcher.stats();
+    assert_eq!(d.flushes, 8 * 8 * 2, "two flushes per page");
+    assert!(
+        d.dispatches < d.flushes,
+        "concurrent flushes must share round trips: {d:?}"
+    );
+    assert!(d.coalesced_batches > 0, "{d:?}");
+    assert!(
+        d.cross_session_fused_queries > 0,
+        "same-template lookups from different sessions fuse: {d:?}"
+    );
+    assert_eq!(env.stats().round_trips, d.dispatches);
+}
+
+#[test]
+fn dispatcher_matches_serial_at_one_session() {
+    let schema = clinic_schema();
+    let env_direct = seeded_env(&schema, 4);
+    let env_disp = seeded_env(&schema, 4);
+    let dispatcher = Arc::new(Dispatcher::new(env_disp.clone()));
+    for pid in 1..=4 {
+        let direct = Session::deferred(QueryStore::new(env_direct.clone()), Arc::clone(&schema));
+        let dispatched = Session::deferred(
+            QueryStore::dispatched(Arc::clone(&dispatcher)),
+            Arc::clone(&schema),
+        );
+        assert_eq!(
+            render_dashboard(&direct, pid),
+            render_dashboard(&dispatched, pid)
+        );
+    }
+    // Bit-identical driver behaviour: same trips, same statements, and no
+    // coalescing ever happened.
+    assert_eq!(env_direct.stats().round_trips, env_disp.stats().round_trips);
+    assert_eq!(env_direct.stats().queries, env_disp.stats().queries);
+    assert_eq!(dispatcher.stats().coalesced_batches, 0);
+}
+
+/// Satellite: the 512-entry plan-cache bound, exercised through two
+/// sessions sharing one `Database` (one deployment), with hit/miss/
+/// eviction counters asserted across the sessions.
+#[test]
+fn plan_cache_shared_by_two_sessions_hits_and_evicts() {
+    let env = SimEnv::default_env();
+    env.seed_sql("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        .unwrap();
+    env.seed_sql("INSERT INTO t VALUES (1, 10)").unwrap();
+
+    // Session A warms one template.
+    let a = QueryStore::new(env.clone());
+    let id = a.register("SELECT v FROM t WHERE id = 1").unwrap();
+    a.result(id).unwrap();
+    let warm = env.plan_cache_stats();
+    assert_eq!(warm.misses, 1);
+    assert_eq!(warm.entries, 1);
+
+    // Session B reuses it: pure hit, no parse — one shared Database, one
+    // shared plan cache.
+    let b = QueryStore::new(env.clone());
+    let id = b.register("SELECT v FROM t WHERE id = 1").unwrap();
+    b.result(id).unwrap();
+    let shared = env.plan_cache_stats();
+    assert_eq!(shared.hits, warm.hits + 1, "B hit A's plan");
+    assert_eq!(shared.misses, warm.misses);
+
+    // Session B then floods distinct templates past the 512 bound.
+    for i in 0..520usize {
+        let id = b
+            .register(format!("SELECT v FROM t WHERE id = 1 LIMIT {}", i + 1))
+            .unwrap();
+        b.result(id).unwrap();
+    }
+    let flooded = env.plan_cache_stats();
+    assert_eq!(flooded.entries, 512, "bound holds under shared use");
+    assert!(flooded.evictions >= 9, "oldest plans evicted: {flooded:?}");
+
+    // Session A's original template was the oldest: it misses again.
+    let before = env.plan_cache_stats();
+    let id = a.register("SELECT v FROM t WHERE id = 1").unwrap();
+    a.result(id).unwrap();
+    let after = env.plan_cache_stats();
+    assert_eq!(
+        after.misses,
+        before.misses + 1,
+        "evicted template re-parses"
+    );
+}

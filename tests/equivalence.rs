@@ -7,7 +7,7 @@
 //! third-party crates are available in the build environment); each case is
 //! reproducible from its printed seed.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sloth_lang::{run_source, ExecStrategy, OptFlags};
 use sloth_net::SimEnv;
@@ -116,12 +116,12 @@ fn table_state(env: &SimEnv) -> Vec<Vec<sloth_sql::Value>> {
 }
 
 fn check_equivalent(src: &str, flags: OptFlags) {
-    let schema = Rc::new(Schema::new());
+    let schema = Arc::new(Schema::new());
     let env_o = fresh_env();
     let o = run_source(
         src,
         &env_o,
-        Rc::clone(&schema),
+        Arc::clone(&schema),
         ExecStrategy::Original,
         vec![],
     );
@@ -129,7 +129,7 @@ fn check_equivalent(src: &str, flags: OptFlags) {
     let s = run_source(
         src,
         &env_s,
-        Rc::clone(&schema),
+        Arc::clone(&schema),
         ExecStrategy::Sloth(flags),
         vec![],
     );
@@ -182,12 +182,12 @@ fn lazy_never_more_round_trips() {
     for case in 0..64u64 {
         let mut rng = Rng::new(0x0007_2195 ^ case);
         let src = arb_program(&mut rng);
-        let schema = Rc::new(Schema::new());
+        let schema = Arc::new(Schema::new());
         let env_o = fresh_env();
         let o = run_source(
             &src,
             &env_o,
-            Rc::clone(&schema),
+            Arc::clone(&schema),
             ExecStrategy::Original,
             vec![],
         );
@@ -195,7 +195,7 @@ fn lazy_never_more_round_trips() {
         let s = run_source(
             &src,
             &env_s,
-            Rc::clone(&schema),
+            Arc::clone(&schema),
             ExecStrategy::Sloth(OptFlags::all()),
             vec![],
         );

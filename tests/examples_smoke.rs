@@ -1,0 +1,55 @@
+//! Smoke tests wiring the remaining examples into `cargo test`, the way
+//! `tests/sharded_example.rs` already covers `examples/sharded.rs`: each
+//! example is compiled into this test crate and executed end to end, so
+//! the documented tours can never silently rot.
+
+#[path = "../examples/quickstart.rs"]
+mod quickstart;
+
+#[path = "../examples/issue_tracker.rs"]
+mod issue_tracker;
+
+#[path = "../examples/patient_dashboard.rs"]
+mod patient_dashboard;
+
+#[path = "../examples/kernel_language.rs"]
+mod kernel_language;
+
+#[test]
+fn quickstart_example_runs_end_to_end() {
+    let stats = quickstart::run();
+    assert_eq!(stats.round_trips, 1, "both thunks ship in one batch");
+    assert_eq!(stats.queries, 2);
+}
+
+#[test]
+fn issue_tracker_example_runs_end_to_end() {
+    let output = issue_tracker::run();
+    assert!(!output.is_empty(), "the page rendered something");
+    assert!(
+        output.iter().any(|l| l.contains("user=")),
+        "framework header present: {output:?}"
+    );
+}
+
+#[test]
+fn patient_dashboard_example_runs_end_to_end() {
+    let (html, stats) = patient_dashboard::run();
+    assert!(html.contains("Ada Lovelace"));
+    assert!(html.contains("checkup"), "encounters rendered: {html}");
+    assert_eq!(stats.round_trips, 2, "Fig. 2 batching");
+    assert!(stats.queries >= 3);
+}
+
+#[test]
+fn kernel_language_example_runs_end_to_end() {
+    let rows = kernel_language::run();
+    assert_eq!(rows.len(), 2);
+    let (_, orig_out, orig_trips) = &rows[0];
+    let (_, sloth_out, sloth_trips) = &rows[1];
+    assert_eq!(orig_out, sloth_out, "semantics preserved");
+    assert!(
+        sloth_trips < orig_trips,
+        "sloth batches the independent queries: {sloth_trips} vs {orig_trips}"
+    );
+}

@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: the full stack from SQL engine to web
 //! framework, plus every benchmark application end to end.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sloth_apps::{itracker_app, openmrs_app};
 use sloth_core::QueryStore;
@@ -24,10 +24,10 @@ fn itracker_all_pages_equivalent_and_batched() {
         let env_o = SimEnv::from_database(db.clone(), CostModel::default());
         let env_s = SimEnv::from_database(db.clone(), CostModel::default());
         let o = orig
-            .run(&env_o, Rc::clone(&app.schema), vec![V::Int(page.arg)])
+            .run(&env_o, Arc::clone(&app.schema), vec![V::Int(page.arg)])
             .unwrap();
         let s = sloth
-            .run(&env_s, Rc::clone(&app.schema), vec![V::Int(page.arg)])
+            .run(&env_s, Arc::clone(&app.schema), vec![V::Int(page.arg)])
             .unwrap();
         assert_eq!(o.output, s.output, "{}", page.name);
         assert!(
@@ -52,10 +52,10 @@ fn openmrs_hot_pages_equivalent_and_batched() {
         let env_o = SimEnv::from_database(db.clone(), CostModel::default());
         let env_s = SimEnv::from_database(db.clone(), CostModel::default());
         let o = orig
-            .run(&env_o, Rc::clone(&app.schema), vec![V::Int(page.arg)])
+            .run(&env_o, Arc::clone(&app.schema), vec![V::Int(page.arg)])
             .unwrap();
         let s = sloth
-            .run(&env_s, Rc::clone(&app.schema), vec![V::Int(page.arg)])
+            .run(&env_s, Arc::clone(&app.schema), vec![V::Int(page.arg)])
             .unwrap();
         assert_eq!(o.output, s.output, "{}", page.name);
         assert!(s.net.round_trips < o.net.round_trips, "{}", page.name);
@@ -83,7 +83,7 @@ fn encounter_display_batches_scale() {
         }
         sloth_apps::openmrs::seed_openmrs(&env, obs);
         let r = sloth
-            .run(&env, Rc::clone(&app.schema), vec![V::Int(page.arg)])
+            .run(&env, Arc::clone(&app.schema), vec![V::Int(page.arg)])
             .unwrap();
         batches.push(r.store.unwrap().max_batch());
         trips.push(r.net.round_trips);
@@ -116,7 +116,7 @@ fn rust_level_stack_batches_through_view() {
         &[("id", Int), ("author_id", Int), ("title", Text)],
         vec![],
     ));
-    let schema = Rc::new(schema);
+    let schema = Arc::new(schema);
     let env = SimEnv::default_env();
     for ddl in schema.ddl() {
         env.seed_sql(&ddl).unwrap();
@@ -127,7 +127,7 @@ fn rust_level_stack_batches_through_view() {
         .unwrap();
 
     let store = QueryStore::new(env.clone());
-    let session = Session::deferred(store, Rc::clone(&schema));
+    let session = Session::deferred(store, Arc::clone(&schema));
     let mut model = Model::new();
     let a1 = session.find_thunk("author", 1).unwrap();
     let a2 = session.find_thunk("author", 2).unwrap();
@@ -152,7 +152,7 @@ fn writes_committed_identically() {
             print(str(before) + "->" + str(after));
         }
     "#;
-    let schema = Rc::new(Schema::new());
+    let schema = Arc::new(Schema::new());
     let mk = || {
         let env = SimEnv::default_env();
         env.seed_sql("CREATE TABLE counter (id INT PRIMARY KEY, v INT)")
@@ -164,7 +164,7 @@ fn writes_committed_identically() {
     let o = run_source(
         src,
         &env_o,
-        Rc::clone(&schema),
+        Arc::clone(&schema),
         ExecStrategy::Original,
         vec![],
     )
@@ -173,7 +173,7 @@ fn writes_committed_identically() {
     let s = run_source(
         src,
         &env_s,
-        Rc::clone(&schema),
+        Arc::clone(&schema),
         ExecStrategy::Sloth(OptFlags::all()),
         vec![],
     )
