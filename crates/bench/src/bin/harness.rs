@@ -7,6 +7,7 @@
 //! cargo run --release -p sloth-bench --bin harness -- fusion     # writes BENCH_fusion.json
 //! cargo run --release -p sloth-bench --bin harness -- shard      # writes BENCH_shard.json
 //! cargo run --release -p sloth-bench --bin harness -- throughput # writes BENCH_throughput.json
+//! cargo run --release -p sloth-bench --bin harness -- writebatch # writes BENCH_writebatch.json
 //! ```
 //!
 //! `throughput` is the real-threads serving harness: N worker OS threads ×
@@ -35,6 +36,7 @@ fn main() {
             "fusion",
             "shard",
             "throughput",
+            "writebatch",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -75,6 +77,7 @@ fn main() {
             "fusion" => fusion_figure_cmd(),
             "shard" => shard_figure_cmd(),
             "throughput" => throughput_figure_cmd(),
+            "writebatch" => writebatch_figure_cmd(),
             other => eprintln!("unknown experiment: {other}"),
         }
     }
@@ -442,6 +445,63 @@ fn throughput_figure_cmd() {
     match std::fs::write("BENCH_throughput.json", &json) {
         Ok(()) => println!("  wrote BENCH_throughput.json"),
         Err(e) => eprintln!("  could not write BENCH_throughput.json: {e}"),
+    }
+}
+
+fn writebatch_figure_cmd() {
+    println!("\n== Write-mix figure — write-aware batching vs legacy write-splitting ==");
+    let fig = sloth_bench::writebatch::writebatch_figure();
+    println!(
+        "  {:<26} {:>5} {:>12} {:>12} {:>8} {:>10} {:>9} {:>8}",
+        "workload",
+        "txns",
+        "legacy trips",
+        "wa trips",
+        "Δtrips",
+        "wr-batched",
+        "segments",
+        "outputs"
+    );
+    for row in &fig.rows {
+        println!(
+            "  {:<26} {:>5} {:>12} {:>12} {:>7.1}% {:>10} {:>9} {:>8}",
+            row.name,
+            row.txns,
+            row.legacy.round_trips,
+            row.batched.round_trips,
+            row.round_trip_reduction() * 100.0,
+            row.batched.write_batched,
+            row.batched.segments,
+            if row.outputs_equal && row.state_equal {
+                "equal"
+            } else {
+                "DIFFER"
+            }
+        );
+        assert!(
+            row.outputs_equal && row.state_equal,
+            "{}: write-aware batching diverged",
+            row.name
+        );
+        assert!(
+            row.batched.round_trips < row.legacy.round_trips,
+            "{}: no round trips saved",
+            row.name
+        );
+    }
+    println!(
+        "  gate: {:.1}% fewer round trips over the write mix (≥ 15% required)",
+        fig.overall_reduction() * 100.0
+    );
+    assert!(
+        fig.overall_reduction() >= 0.15,
+        "write-mix round-trip reduction {:.1}% < 15%",
+        fig.overall_reduction() * 100.0
+    );
+    let json = fig.to_json();
+    match std::fs::write("BENCH_writebatch.json", &json) {
+        Ok(()) => println!("  wrote BENCH_writebatch.json"),
+        Err(e) => eprintln!("  could not write BENCH_writebatch.json: {e}"),
     }
 }
 

@@ -12,6 +12,7 @@ pub mod microbench;
 pub mod serve;
 pub mod shard;
 pub mod throughput;
+pub mod writebatch;
 
 use std::sync::Arc;
 

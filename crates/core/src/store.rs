@@ -43,6 +43,14 @@ pub struct StoreStats {
     pub batch_sizes: Vec<usize>,
     /// Batches that were forced out by a write/transaction statement.
     pub write_flushes: u64,
+    /// Writes that shipped **in the same round trip** as other pending
+    /// statements (write-aware batching; always zero in legacy mode,
+    /// where every write ships alone after a separate flush).
+    pub write_batched: u64,
+    /// Conflict segments across all shipped batches, as found by the
+    /// write-aware planner (one per batch when every statement commutes;
+    /// see `sloth_sql::footprint`).
+    pub segments: u64,
     /// Batches whose execution failed; their queries answer with the batch
     /// error instead of a result.
     pub failed_batches: u64,
@@ -221,9 +229,17 @@ impl QueryStore {
     ///
     /// Reads are deferred and deduplicated against the current batch by
     /// normalized template + parameters (formatting variants of the same
-    /// query collapse to one id); writes and transaction boundaries flush
-    /// the pending batch and then execute immediately in their own round
-    /// trip.
+    /// query collapse to one id). Writes and transaction boundaries are
+    /// never left lingering: they force the batch out immediately — and
+    /// with write-aware batching (the deployment default) the write
+    /// **rides that same batch**, so pending reads and the write share
+    /// one round trip. The batch executes in registration order on the
+    /// server, so the reads observe pre-write state exactly as the
+    /// serial program would. In legacy mode
+    /// ([`SimEnv::set_write_batching`]`(false)`) the pending batch
+    /// flushes first and the write then executes alone in its own round
+    /// trip — the old split behaviour the `writebatch` figure compares
+    /// against.
     pub fn register(&self, sql: impl Into<String>) -> Result<QueryId, SqlError> {
         let sql = sql.into();
         let is_write = is_write_sql(&sql);
@@ -251,7 +267,27 @@ impl QueryStore {
                 return Ok(id);
             }
         }
-        // Write path: flush whatever is pending, then run the write alone.
+        if self.env.write_batching_enabled() {
+            // Write-aware path: the write joins the pending batch and the
+            // whole thing ships as ONE round trip.
+            let (id, had_pending) = {
+                let mut inner = self.lock();
+                let had_pending = !inner.pending.is_empty();
+                let id = QueryId(inner.next_id);
+                inner.next_id += 1;
+                inner.pending.push((id, sql));
+                (id, had_pending)
+            };
+            self.flush_internal(had_pending)?;
+            if had_pending {
+                // Counted only once the combined batch actually shipped:
+                // `write_batched` means "writes that shared a successful
+                // round trip", and a failed flush records failed_batches.
+                self.lock().stats.write_batched += 1;
+            }
+            return Ok(id);
+        }
+        // Legacy path: flush whatever is pending, then run the write alone.
         self.flush_internal(true)?;
         let id = {
             let mut inner = self.lock();
@@ -332,55 +368,78 @@ impl QueryStore {
         };
         // Per-batch fusion attribution comes back with the outcome itself
         // (not from deployment-wide counter deltas, which other sessions
-        // mutate concurrently).
-        let shipped = match &self.target {
-            FlushTarget::Direct(env) => env
-                .query_batch_outcome(&sqls)
-                .map(|o| (o.results, o.fused_queries, o.fused_groups, false)),
-            FlushTarget::Dispatched(d) => d
-                .submit(&sqls)
-                .map(|r| (r.results, r.fused_queries, r.fused_groups, r.coalesced)),
+        // mutate concurrently). The direct path ships with **partial
+        // semantics**: statements the server executed before a failure
+        // keep their results — a read that rode a batch whose later write
+        // failed still answers with its rows, exactly as it would have
+        // serially. (Through a dispatcher only the whole-flush error is
+        // available, so there every id of a failed flush reports it.)
+        let (results, error, fused_queries, fused_groups, coalesced, segments) = match &self.target
+        {
+            FlushTarget::Direct(env) => {
+                let p = env.query_batch_partial(&sqls);
+                (
+                    p.results,
+                    p.error.map(|(_, e)| e),
+                    p.fused_queries,
+                    p.fused_groups,
+                    false,
+                    p.segments,
+                )
+            }
+            FlushTarget::Dispatched(d) => match d.submit(&sqls) {
+                Ok(r) => (
+                    r.results.into_iter().map(Some).collect(),
+                    None,
+                    r.fused_queries,
+                    r.fused_groups,
+                    r.coalesced,
+                    r.segments,
+                ),
+                Err(e) => (vec![None; sqls.len()], Some(e), 0, 0, false, 0),
+            },
         };
         panic_guard.armed = false;
-        let outcome = match shipped {
-            Ok((results, fused_queries, fused_groups, coalesced)) => {
-                let mut inner = self.lock();
-                inner.stats.batches += 1;
-                inner.stats.batch_sizes.push(sqls.len());
-                inner.stats.fused_queries += fused_queries;
-                inner.stats.fused_groups += fused_groups;
-                if coalesced {
-                    inner.stats.coalesced_batches += 1;
+        {
+            let mut inner = self.lock();
+            match &error {
+                None => {
+                    inner.stats.batches += 1;
+                    inner.stats.batch_sizes.push(sqls.len());
+                    inner.stats.fused_queries += fused_queries;
+                    inner.stats.fused_groups += fused_groups;
+                    inner.stats.segments += segments;
+                    if coalesced {
+                        inner.stats.coalesced_batches += 1;
+                    }
+                    if caused_by_write {
+                        inner.stats.write_flushes += 1;
+                    }
                 }
-                if caused_by_write {
-                    inner.stats.write_flushes += 1;
-                }
-                for (id, rs) in ids.iter().zip(results) {
-                    inner.in_flight.remove(id);
-                    inner.results.insert(*id, Ok(rs));
-                }
-                Ok(())
+                Some(_) => inner.stats.failed_batches += 1,
             }
-            Err(e) => {
-                // The pending queries are already drained; without a
-                // recorded outcome their ids would be permanently
-                // unanswerable. Record the failure per id and in stats.
-                let mut inner = self.lock();
-                inner.stats.failed_batches += 1;
-                for (id, sql) in ids.iter().zip(sqls) {
-                    inner.in_flight.remove(id);
-                    inner.results.insert(
-                        *id,
+            // The pending queries are already drained; every id records an
+            // outcome — its real result when the server produced one, the
+            // annotated batch error otherwise (never "unknown query id").
+            for ((id, sql), res) in ids.iter().zip(sqls.iter()).zip(results) {
+                inner.in_flight.remove(id);
+                let record = match res {
+                    Some(rs) => Ok(rs),
+                    None => {
+                        let e = error.as_ref().expect("missing result implies batch error");
                         Err(SqlError::new(format!(
                             "batch failed: {e} (while batched: {sql})"
-                        ))),
-                    );
-                }
-                Err(e)
+                        )))
+                    }
+                };
+                inner.results.insert(*id, record);
             }
-        };
+        }
         self.shared.answered.notify_all();
-        outcome
+        match error {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
     }
 
     /// Number of queries waiting in the current batch.
@@ -455,17 +514,42 @@ mod tests {
     fn writes_flush_pending_batch() {
         let e = env();
         let store = QueryStore::new(e.clone());
-        store.register("SELECT v FROM t WHERE id = 1").unwrap();
+        let r1 = store.register("SELECT v FROM t WHERE id = 1").unwrap();
         store.register("SELECT v FROM t WHERE id = 2").unwrap();
         let w = store.register("UPDATE t SET v = 'x' WHERE id = 1").unwrap();
-        // Two round trips: the flushed reads, then the write.
-        assert_eq!(e.stats().round_trips, 2);
+        // Write-aware batching: the pending reads AND the write ship in
+        // ONE round trip (the write no longer splits the flush in two).
+        assert_eq!(e.stats().round_trips, 1);
         assert_eq!(store.pending_len(), 0);
         assert_eq!(store.stats().write_flushes, 1);
+        assert_eq!(store.stats().write_batched, 1);
+        // In-order execution inside the batch: the read registered before
+        // the write observes pre-write state.
+        assert_eq!(
+            store.result(r1).unwrap().get(0, "v").unwrap().as_str(),
+            Some("v1")
+        );
         // The write's (empty) result is available without further trips.
         let rs = store.result(w).unwrap();
         assert!(rs.is_empty());
+        assert_eq!(e.stats().round_trips, 1);
+        // The conflict analysis saw two segments: the reads (one of which
+        // touches the written row) and the write.
+        assert_eq!(store.stats().segments, 2);
+    }
+
+    #[test]
+    fn legacy_mode_splits_writes_into_their_own_trip() {
+        let e = env();
+        e.set_write_batching(false);
+        let store = QueryStore::new(e.clone());
+        store.register("SELECT v FROM t WHERE id = 1").unwrap();
+        let w = store.register("UPDATE t SET v = 'x' WHERE id = 1").unwrap();
+        // Legacy: the flushed reads, then the write alone.
         assert_eq!(e.stats().round_trips, 2);
+        assert_eq!(store.stats().write_flushes, 1);
+        assert_eq!(store.stats().write_batched, 0);
+        assert!(store.result(w).unwrap().is_empty());
     }
 
     #[test]
@@ -474,7 +558,9 @@ mod tests {
         let store = QueryStore::new(e.clone());
         store.register("SELECT v FROM t WHERE id = 1").unwrap();
         store.register("COMMIT").unwrap();
-        assert_eq!(e.stats().round_trips, 2);
+        // The boundary rides the same round trip as the pending read.
+        assert_eq!(e.stats().round_trips, 1);
+        assert_eq!(store.pending_len(), 0);
     }
 
     #[test]
@@ -551,13 +637,15 @@ mod tests {
             0,
             "failed batches are counted separately"
         );
-        // Every id of the failed batch gets the batch error — never
-        // "unknown query id".
-        for id in [good, bad] {
-            let err = store.result(id).unwrap_err();
-            assert!(err.to_string().contains("batch failed"), "got: {err}");
-            assert!(!err.to_string().contains("unknown query id"));
-        }
+        // Partial semantics: the statement the server executed before the
+        // failure keeps its result — exactly as it would have serially.
+        let rs = store.result(good).unwrap();
+        assert_eq!(rs.get(0, "v").unwrap().as_str(), Some("v1"));
+        // The failing statement (and anything after it) gets the batch
+        // error — never "unknown query id".
+        let err = store.result(bad).unwrap_err();
+        assert!(err.to_string().contains("batch failed"), "got: {err}");
+        assert!(!err.to_string().contains("unknown query id"));
         // Ids that never existed still say so.
         let bogus = QueryId(999);
         assert!(store
@@ -565,6 +653,34 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("unknown query id"));
+    }
+
+    #[test]
+    fn failed_write_does_not_poison_earlier_reads() {
+        // A read rides the batch its (failing) write forces: the read
+        // still answers with its rows, the write with the error — the
+        // serial program's observable behaviour exactly.
+        let store = QueryStore::new(env());
+        let read = store.register("SELECT v FROM t WHERE id = 1").unwrap();
+        let write = store.register("UPDATE missing SET v = 'x' WHERE id = 1");
+        assert!(write.is_err(), "register surfaces the write's flush error");
+        assert_eq!(
+            store.result(read).unwrap().get(0, "v").unwrap().as_str(),
+            Some("v1"),
+            "the executed read must not report the write's error"
+        );
+        // Legacy mode behaves identically here (reads flush first).
+        let legacy_env = env();
+        legacy_env.set_write_batching(false);
+        let legacy = QueryStore::new(legacy_env);
+        let read = legacy.register("SELECT v FROM t WHERE id = 1").unwrap();
+        assert!(legacy
+            .register("UPDATE missing SET v = 'x' WHERE id = 1")
+            .is_err());
+        assert_eq!(
+            legacy.result(read).unwrap().get(0, "v").unwrap().as_str(),
+            Some("v1")
+        );
     }
 
     #[test]

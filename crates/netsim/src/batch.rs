@@ -2,16 +2,60 @@
 //!
 //! A batch plan is computed once per [`crate::SimEnv::query_batch`] call:
 //! one cheap lexer pass per read extracts its template, same-template
-//! point lookups inside a contiguous read run group for **fusion**, and
-//! one representative per multi-member group is parsed to decide whether
-//! the group's shape is fusable. Both backends consume the same plan —
-//! the single server executes fused groups as one `IN` probe, the shard
-//! router additionally splits that probe into per-shard sub-probes.
+//! point lookups group for **fusion**, and one representative per
+//! multi-member group is parsed to decide whether the group's shape is
+//! fusable. Both backends consume the same plan — the single server
+//! executes fused groups as `IN` probes, the shard router additionally
+//! splits those probes into per-shard sub-probes.
+//!
+//! ## Write-aware segmentation
+//!
+//! With write-aware batching enabled (the default), a batch containing
+//! writes is **not** split at every write. Instead each statement's
+//! [`Footprint`] (read/write table + key sets, see
+//! [`sloth_sql::footprint`]) feeds a conflict analysis:
+//!
+//! * a read may join a fusion group that opened *before* an intervening
+//!   write only when its footprint is disjoint from every write between
+//!   the group's first member and itself — the fused probe executes at
+//!   the first member's position, so moving the read earlier is invisible
+//!   exactly when no crossed write could have changed its rows;
+//! * the batch's **conflict segments** (maximal runs of statements whose
+//!   footprints commute) are counted and reported for per-segment stats
+//!   attribution in the query store and the round-trip figures.
+//!
+//! Statements always *execute* in batch position order, so reads that do
+//! conflict with a write observe it exactly as the serial program would.
+//!
+//! ## Partial execution
+//!
+//! Execution records per-position results and stops at the first error,
+//! reporting its batch position. The public driver surface keeps the
+//! original all-or-error semantics; the dispatcher uses the partial form
+//! to split a failed *combined* (multi-session) dispatch back into exact
+//! per-session outcomes without re-executing writes that already applied.
 
 use std::collections::HashMap;
 
 use sloth_sql::fuse::{self, FusableLookup, FusedPlan};
-use sloth_sql::{Normalized, ResultSet, SqlError, Value};
+use sloth_sql::{Footprint, Normalized, ResultSet, SqlError, Value};
+
+/// Default cap on the arity of one fused `IN` probe. Groups with more
+/// distinct probed values split into several probes, bounding both the
+/// statement size and the number of distinct `IN (?, …)` templates that
+/// can land in the plan cache.
+pub const DEFAULT_MAX_FUSED_ARITY: usize = 64;
+
+/// Planner knobs, snapshot from the deployment per batch.
+#[derive(Clone, Copy)]
+pub(crate) struct BatchConfig {
+    /// Fuse same-template point lookups into `IN` probes.
+    pub fusion: bool,
+    /// Analyze footprints instead of splitting fusion at every write.
+    pub write_aware: bool,
+    /// Max distinct values per fused probe (≥ 1).
+    pub max_fused_arity: usize,
+}
 
 /// What a batch position contributes to execution.
 #[derive(Clone)]
@@ -32,34 +76,79 @@ pub(crate) struct BatchPlan {
     pub roles: Vec<Role>,
     /// Fused groups: the classified lookup shape plus member positions.
     pub fused: Vec<(FusableLookup, Vec<usize>)>,
+    /// Write/transaction classification of each position.
+    pub is_write: Vec<bool>,
+    /// Conflict segments in the batch (1 for a batch of commuting
+    /// statements; one extra per position whose footprint conflicts with
+    /// the accumulated segment before it).
+    pub segments: u64,
+    /// Fused members that joined a group across ≥ 1 intervening
+    /// (disjoint-footprint) write — the reads the old planner would have
+    /// split into another probe.
+    pub cross_write_fused: u64,
+    /// Max distinct values per fused probe.
+    pub max_fused_arity: usize,
 }
 
 /// Plans a batch: normalizes reads, groups same-template single-literal
-/// lookups within contiguous read runs (fusion never crosses a write),
-/// and classifies one representative per multi-member group.
-pub(crate) fn plan_batch(sqls: &[String], fusion: bool) -> BatchPlan {
+/// lookups for fusion, and classifies one representative per multi-member
+/// group. With `cfg.write_aware`, fusion groups may span writes whose
+/// footprints are disjoint from the joining read; otherwise fusion never
+/// crosses a write.
+pub(crate) fn plan_batch(sqls: &[String], cfg: &BatchConfig) -> BatchPlan {
+    let is_write: Vec<bool> = sqls.iter().map(|s| sloth_sql::is_write_sql(s)).collect();
+    let any_write = is_write.iter().any(|&w| w);
+    // Footprints are only needed (and only paid for) when a write shares
+    // the batch and the planner may reorder around it.
+    let footprints: Option<Vec<Footprint>> =
+        (cfg.write_aware && any_write).then(|| sqls.iter().map(|s| Footprint::of_sql(s)).collect());
+
     let mut norms: Vec<Option<Normalized>> = Vec::with_capacity(sqls.len());
     let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut cross_write_members: Vec<bool> = Vec::new();
     {
         let mut open_groups: HashMap<String, usize> = HashMap::new();
+        let mut writes_seen: Vec<usize> = Vec::new();
         for (i, sql) in sqls.iter().enumerate() {
-            if sloth_sql::is_write_sql(sql) {
-                open_groups.clear();
+            if is_write[i] {
+                match &footprints {
+                    // Write-aware: the write stays in place; groups stay
+                    // open for footprint-checked joins.
+                    Some(_) => writes_seen.push(i),
+                    // Legacy: fusion never crosses a write.
+                    None => open_groups.clear(),
+                }
                 norms.push(None);
                 continue;
             }
             let norm = sloth_sql::normalize(sql).ok();
-            if fusion {
+            if cfg.fusion {
                 if let Some(n) = &norm {
                     // Only single-literal statements can be point
                     // lookups; anything else never joins a group.
                     if n.params.len() == 1 {
-                        match open_groups.get(&n.template) {
-                            Some(&g) => groups[g].push(i),
-                            None => {
-                                open_groups.insert(n.template.clone(), groups.len());
-                                groups.push(vec![i]);
+                        let joined = match open_groups.get(&n.template) {
+                            Some(&g) => {
+                                let start = groups[g][0];
+                                let crossed: Vec<usize> =
+                                    writes_seen.iter().copied().filter(|&w| w > start).collect();
+                                let blocked = footprints.as_ref().is_some_and(|fps| {
+                                    crossed.iter().any(|&w| fps[w].conflicts_with(&fps[i]))
+                                });
+                                if blocked {
+                                    None
+                                } else {
+                                    groups[g].push(i);
+                                    cross_write_members[g] |= !crossed.is_empty();
+                                    Some(g)
+                                }
                             }
+                            None => None,
+                        };
+                        if joined.is_none() {
+                            open_groups.insert(n.template.clone(), groups.len());
+                            groups.push(vec![i]);
+                            cross_write_members.push(false);
                         }
                     }
                 }
@@ -73,7 +162,12 @@ pub(crate) fn plan_batch(sqls: &[String], fusion: bool) -> BatchPlan {
     // shape, so one parse decides for the whole group).
     let mut roles: Vec<Role> = vec![Role::Single; sqls.len()];
     let mut fused: Vec<(FusableLookup, Vec<usize>)> = Vec::new();
-    for members in groups.into_iter().filter(|m| m.len() >= 2) {
+    let mut cross_write_fused = 0u64;
+    for (members, crossed) in groups
+        .into_iter()
+        .zip(cross_write_members)
+        .filter(|(m, _)| m.len() >= 2)
+    {
         let first = members[0];
         let template = norms[first]
             .as_ref()
@@ -85,13 +179,57 @@ pub(crate) fn plan_batch(sqls: &[String], fusion: bool) -> BatchPlan {
             for &m in &members[1..] {
                 roles[m] = Role::FusedMember;
             }
+            if crossed {
+                cross_write_fused += members.len() as u64;
+            }
             fused.push((lookup, members));
         }
     }
+    let segments = count_segments(sqls.len(), &is_write, footprints.as_deref());
     BatchPlan {
         norms,
         roles,
         fused,
+        is_write,
+        segments,
+        cross_write_fused,
+        max_fused_arity: cfg.max_fused_arity.max(1),
+    }
+}
+
+/// Conflict segments of the batch. With footprints, a new segment starts
+/// whenever a statement conflicts with the union of the current segment;
+/// without them (write-aware off, or a pure-read batch), every write is
+/// its own segment exactly as the legacy planner split.
+fn count_segments(n: usize, is_write: &[bool], footprints: Option<&[Footprint]>) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    match footprints {
+        Some(fps) => {
+            let mut segments = 1u64;
+            let mut acc = fps[0].clone();
+            for fp in &fps[1..] {
+                if fp.conflicts_with(&acc) {
+                    segments += 1;
+                    acc = fp.clone();
+                } else {
+                    acc.merge(fp);
+                }
+            }
+            segments
+        }
+        None => {
+            let mut segments = 0u64;
+            let mut prev_write = true;
+            for &w in is_write {
+                if w || prev_write {
+                    segments += 1;
+                }
+                prev_write = w;
+            }
+            segments.max(1)
+        }
     }
 }
 
@@ -109,6 +247,21 @@ pub(crate) fn fused_values<'a>(
         }
     }
     values
+}
+
+/// The members of a fused group whose probed value falls in `chunk` —
+/// the demux targets of that chunk's probe. One definition shared by
+/// both backends so the value-matching semantics (SQL equality, the
+/// same relation demux itself uses) cannot diverge between them.
+pub(crate) fn chunk_targets<'a>(
+    targets: &[(usize, &'a Value)],
+    chunk: &[&Value],
+) -> Vec<(usize, &'a Value)> {
+    targets
+        .iter()
+        .filter(|(_, v)| chunk.iter().any(|cv| cv.sql_eq(v)))
+        .cloned()
+        .collect()
 }
 
 /// Demultiplexes a fused (or sub-probe) result back into per-member
@@ -151,12 +304,18 @@ pub(crate) fn demux_fused(
 }
 
 /// What a batch execution reports back to the driver for stats/clock
-/// accounting (shared by both backends).
+/// accounting (shared by both backends). Execution is **partial on
+/// error**: positions executed before the first error carry results, the
+/// rest stay `None`, and `error` records the failing position.
 pub(crate) struct BatchExec {
-    /// Per-statement results, in batch order.
-    pub results: Vec<ResultSet>,
-    /// Database-side time of the whole batch (wave model; for the sharded
-    /// backend this is the max over shards — shards execute in parallel).
+    /// Per-statement results, in batch order (`None` = not executed, or
+    /// the failing statement itself).
+    pub results: Vec<Option<ResultSet>>,
+    /// First error and the batch position it occurred at.
+    pub error: Option<(usize, SqlError)>,
+    /// Database-side time of the executed work (wave model; for the
+    /// sharded backend this is the max over shards — shards execute in
+    /// parallel).
     pub db_ns: u64,
     /// Bytes moved over the wire (requests + results).
     pub bytes: u64,
@@ -167,15 +326,17 @@ pub(crate) struct BatchExec {
 }
 
 /// The single-server batch executor (the original Sloth deployment): one
-/// database runs every statement; fused groups execute as one `IN` probe
-/// and demultiplex; reads share longest-first parallel waves.
+/// database runs every statement; fused groups execute as `IN` probes
+/// (chunked at the configured max arity) and demultiplex; reads share
+/// longest-first parallel waves.
 pub(crate) fn exec_single(
     db: &mut sloth_sql::Database,
     cost: &crate::CostModel,
     sqls: &[String],
     plan: &BatchPlan,
-) -> Result<BatchExec, SqlError> {
+) -> BatchExec {
     let mut results: Vec<Option<ResultSet>> = vec![None; sqls.len()];
+    let mut error: Option<(usize, SqlError)> = None;
     let mut read_times: Vec<u64> = Vec::new();
     let mut write_time = 0u64;
     let mut bytes = 0u64;
@@ -187,17 +348,26 @@ pub(crate) fn exec_single(
             + cost.db_row_out_ns * stats.rows_returned
     };
     // Execute in batch position order. A fused group runs where its first
-    // member sat, which preserves first-error semantics: members of a
-    // template group share their failure mode by construction, and
-    // everything else keeps its own position.
-    for i in 0..sqls.len() {
+    // member sat — correct for members that crossed a write because the
+    // planner proved their footprints disjoint — which also preserves
+    // first-error semantics: members of a template group share their
+    // failure mode by construction, and everything else keeps its own
+    // position.
+    'batch: for i in 0..sqls.len() {
         match plan.roles[i].clone() {
             Role::FusedMember => {} // answered by its group's lead
             Role::Single => {
                 bytes += sqls[i].len() as u64;
                 let out = match &plan.norms[i] {
-                    Some(n) => db.execute_select_normalized(&sqls[i], n)?,
-                    None => db.execute(&sqls[i])?,
+                    Some(n) => db.execute_select_normalized(&sqls[i], n),
+                    None => db.execute(&sqls[i]),
+                };
+                let out = match out {
+                    Ok(out) => out,
+                    Err(e) => {
+                        error = Some((i, e));
+                        break 'batch;
+                    }
                 };
                 let exec_ns = exec_cost(&out.stats);
                 if out.stats.is_write {
@@ -211,21 +381,8 @@ pub(crate) fn exec_single(
             }
             Role::FusedLead(g) => {
                 let (lookup, members) = &plan.fused[g];
-                let values: Vec<Value> = fused_values(&plan.norms, members)
-                    .into_iter()
-                    .cloned()
-                    .collect();
-                let fplan = fuse::build_fused(&lookup.select, &lookup.column, &values);
-                let fused_sql = fuse::render_select(&fplan.stmt);
-                bytes += fused_sql.len() as u64;
-                let out = db.execute_stmt(&fplan.stmt)?;
-                // One statement dispatch, K probes: costed once; the
-                // shared result crosses the wire once.
-                read_times.push(exec_cost(&out.stats));
-                bytes += out.result.wire_size() as u64;
-                fused_groups += 1;
-                fused_queries += members.len() as u64;
-                let targets: Vec<(usize, &Value)> = members
+                let values = fused_values(&plan.norms, members);
+                let all_targets: Vec<(usize, &Value)> = members
                     .iter()
                     .map(|&m| {
                         (
@@ -234,23 +391,50 @@ pub(crate) fn exec_single(
                         )
                     })
                     .collect();
-                for (m, rs) in demux_fused(&out.result, &fplan, &targets)? {
-                    results[m] = Some(rs);
+                // One probe per arity chunk: K index probes total, one
+                // statement dispatch per chunk, each chunk demuxed to the
+                // members probing its values.
+                for chunk in values.chunks(plan.max_fused_arity) {
+                    let owned: Vec<Value> = chunk.iter().map(|v| (*v).clone()).collect();
+                    let fplan = fuse::build_fused(&lookup.select, &lookup.column, &owned);
+                    let fused_sql = fuse::render_select(&fplan.stmt);
+                    bytes += fused_sql.len() as u64;
+                    let out = match db.execute_stmt(&fplan.stmt) {
+                        Ok(out) => out,
+                        Err(e) => {
+                            error = Some((i, e));
+                            break 'batch;
+                        }
+                    };
+                    read_times.push(exec_cost(&out.stats));
+                    bytes += out.result.wire_size() as u64;
+                    let targets = chunk_targets(&all_targets, chunk);
+                    match demux_fused(&out.result, &fplan, &targets) {
+                        Ok(demuxed) => {
+                            for (m, rs) in demuxed {
+                                results[m] = Some(rs);
+                            }
+                        }
+                        Err(e) => {
+                            error = Some((i, e));
+                            break 'batch;
+                        }
+                    }
                 }
+                fused_groups += 1;
+                fused_queries += members.len() as u64;
             }
         }
     }
     let db_ns = wave_makespan(read_times, cost.db_workers) + write_time;
-    Ok(BatchExec {
-        results: results
-            .into_iter()
-            .map(|r| r.expect("every statement produced a result"))
-            .collect(),
+    BatchExec {
+        results,
+        error,
         db_ns,
         bytes,
         fused_queries,
         fused_groups,
-    })
+    }
 }
 
 /// Longest-first parallel wave makespan over `workers` cores.

@@ -13,23 +13,39 @@
 //! A flush that arrives while the backend is idle dispatches immediately
 //! (after an optional, bounded *coalescing window* during which
 //! near-simultaneous flushes may join). A flush that arrives while a
-//! dispatch is in flight queues; when the dispatch completes, **all**
-//! queued flushes combine into the next dispatch. Under load the batch
-//! size self-tunes to the backend's service time — classic group commit.
+//! dispatch is in flight queues; when the dispatch completes, the longest
+//! **compatible prefix** of the queue combines into the next dispatch.
+//! Under load the batch size self-tunes to the backend's service time —
+//! classic group commit.
+//!
+//! ## Write admission by footprint
+//!
+//! Read-only batches always commute and always coalesce. A batch
+//! containing writes is admitted by its [`Footprint`]
+//! (see [`sloth_sql::footprint`]): it may share a dispatch exactly when
+//! its footprint is disjoint from every other batch in that dispatch —
+//! its writes cannot touch rows the others read or write, and vice
+//! versa — so each session's slice is still bit-identical to a solo
+//! dispatch. Batches that conflict wait for the next dispatch
+//! ([`DispatcherStats::conflict_deferrals`]); batches containing
+//! transaction boundaries (or SQL the analyzer cannot parse) are
+//! footprint *barriers* and always dispatch solo
+//! ([`DispatcherStats::solo_writes`]), as does every write batch when
+//! write-aware batching is disabled on the deployment.
 //!
 //! ## Serial equivalence
 //!
-//! * Only **read-only** batches coalesce. A batch containing a write or
-//!   transaction boundary dispatches on its own (counted in
-//!   [`DispatcherStats::solo_writes`]), so write ordering within a session
-//!   is untouched and reads of different sessions — which commute — are
-//!   the only thing that merges.
 //! * Fusion is semantically invisible (the fusion equivalence suite
-//!   enforces this), so each session's slice of a coalesced dispatch is
-//!   bit-identical to what its solo dispatch would have returned.
-//! * If a combined dispatch fails, the dispatcher **re-executes each
-//!   session's batch separately**, so a session never observes another
-//!   session's error (first-error semantics stay per-session).
+//!   enforces this), and coalesced batches are pairwise
+//!   footprint-disjoint, so each session's slice of a combined dispatch
+//!   is bit-identical to what its solo dispatch would have returned.
+//! * If a combined dispatch fails, the partial outcome
+//!   ([`crate::SimEnv::query_batch_partial`]) splits exactly: sessions
+//!   whose statements all executed keep their results, the session owning
+//!   the failing statement gets its own error, and sessions whose
+//!   statements never ran **re-execute separately** — never re-running a
+//!   write that already applied, so first-error semantics stay
+//!   per-session and effects apply exactly once.
 //! * With a single client there is never a concurrent flush: every
 //!   dispatch carries one batch and all coalescing counters stay zero —
 //!   the serial path is preserved exactly.
@@ -38,9 +54,9 @@ use std::collections::HashMap;
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
-use sloth_sql::{is_write_sql, ResultSet, SqlError};
+use sloth_sql::{is_write_sql, Footprint, ResultSet, SqlError};
 
-use crate::{BatchOutcome, SimEnv};
+use crate::{BatchOutcome, PartialOutcome, SimEnv};
 
 /// Counters of one dispatcher (all sessions combined).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -61,10 +77,19 @@ pub struct DispatcherStats {
     pub cross_session_fused_queries: u64,
     /// Fused groups whose members came from ≥ 2 sessions.
     pub cross_session_fused_groups: u64,
-    /// Batches containing writes, dispatched solo by construction.
+    /// Write-containing batches that shared a dispatch with another
+    /// session's batch — admitted because their footprints were pairwise
+    /// disjoint.
+    pub coalesced_write_batches: u64,
+    /// Batches dispatched solo by construction: transaction boundaries /
+    /// unanalyzable SQL (footprint barriers), or any write batch when
+    /// write-aware batching is off.
     pub solo_writes: u64,
-    /// Combined dispatches that failed and fell back to per-session
-    /// execution.
+    /// Times a queued batch was left for a later dispatch because its
+    /// footprint conflicted with the batches ahead of it.
+    pub conflict_deferrals: u64,
+    /// Combined dispatches that failed and were split back into exact
+    /// per-session outcomes.
     pub fallback_splits: u64,
 }
 
@@ -79,11 +104,31 @@ pub struct DispatchResult {
     pub fused_groups: u64,
     /// Whether this batch shared its dispatch with another session.
     pub coalesced: bool,
+    /// Conflict segments of this batch's dispatch when it travelled
+    /// alone; `0` when coalesced — the combined batch's count is not
+    /// attributable to any single session, and summing it into every
+    /// rider's stats would multiply-count it.
+    pub segments: u64,
 }
 
 struct PendingFlush {
     ticket: u64,
     sqls: Vec<String>,
+    /// Whether any statement is a write / transaction boundary.
+    has_write: bool,
+    /// Batch footprint; computed eagerly for write batches, lazily for
+    /// read-only batches (only needed when they share a dispatch with a
+    /// write batch).
+    fp: Option<Footprint>,
+}
+
+impl PendingFlush {
+    fn footprint(&mut self) -> &Footprint {
+        if self.fp.is_none() {
+            self.fp = Some(Footprint::of_batch(&self.sqls));
+        }
+        self.fp.as_ref().expect("just materialized")
+    }
 }
 
 #[derive(Default)]
@@ -164,20 +209,28 @@ impl Dispatcher {
                 fused_queries: 0,
                 fused_groups: 0,
                 coalesced: false,
+                segments: 0,
             });
         }
         self.lock_stats().flushes += 1;
-        // Batches with writes never coalesce: dispatch solo, preserving
-        // the session's write ordering and isolation from other sessions'
-        // read merging.
-        if sqls.iter().any(|s| is_write_sql(s)) {
-            {
-                let mut stats = self.lock_stats();
-                stats.solo_writes += 1;
-                stats.dispatches += 1;
+        let has_write = sqls.iter().any(|s| is_write_sql(s));
+        let mut fp = None;
+        if has_write {
+            // Footprint admission: only barrier-free write batches (on a
+            // write-aware deployment) may enter the coalescing queue.
+            fp = self
+                .env
+                .write_batching_enabled()
+                .then(|| Footprint::of_batch(sqls));
+            if fp.as_ref().is_none_or(|f| f.barrier) {
+                {
+                    let mut stats = self.lock_stats();
+                    stats.solo_writes += 1;
+                    stats.dispatches += 1;
+                }
+                let outcome = self.env.query_batch_outcome(sqls)?;
+                return Ok(solo_result(outcome));
             }
-            let outcome = self.env.query_batch_outcome(sqls)?;
-            return Ok(solo_result(outcome));
         }
 
         let mut st = self.lock_state();
@@ -186,6 +239,8 @@ impl Dispatcher {
         st.queue.push(PendingFlush {
             ticket,
             sqls: sqls.to_vec(),
+            has_write,
+            fp,
         });
         loop {
             if let Some(r) = st.done.remove(&ticket) {
@@ -210,7 +265,7 @@ impl Dispatcher {
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
                 st = st2;
             }
-            let batch: Vec<PendingFlush> = std::mem::take(&mut st.queue);
+            let batch = self.take_compatible(&mut st);
             drop(st);
             // The leader must not wedge the front door: if the dispatch
             // panics (poisoned backend, planner bug), every drained flush
@@ -242,9 +297,44 @@ impl Dispatcher {
         }
     }
 
+    /// Drains the longest compatible prefix of the queue for one combined
+    /// dispatch. Read-only batches are always mutually compatible; as soon
+    /// as a write batch is involved, every candidate must be
+    /// footprint-disjoint from the union of the batches already taken.
+    /// The first conflicting batch (and everything behind it, preserving
+    /// FIFO fairness) waits for the next dispatch.
+    fn take_compatible(&self, st: &mut DispatchState) -> Vec<PendingFlush> {
+        let mut k = 0usize;
+        let mut any_write = false;
+        // Union footprint of the taken prefix; materialized only once a
+        // write batch is in play, so pure-read traffic never parses.
+        let mut group_fp: Option<Footprint> = None;
+        while k < st.queue.len() {
+            if any_write || st.queue[k].has_write {
+                if group_fp.is_none() {
+                    let mut union = Footprint::default();
+                    for f in st.queue[..k].iter_mut() {
+                        union.merge(f.footprint());
+                    }
+                    group_fp = Some(union);
+                }
+                let next_fp = st.queue[k].footprint().clone();
+                let union = group_fp.as_mut().expect("materialized above");
+                if k > 0 && union.conflicts_with(&next_fp) {
+                    self.lock_stats().conflict_deferrals += 1;
+                    break;
+                }
+                union.merge(&next_fp);
+                any_write |= st.queue[k].has_write;
+            }
+            k += 1;
+        }
+        st.queue.drain(..k).collect()
+    }
+
     /// Executes a set of queued flushes as one combined backend dispatch
-    /// and splits the outcome back per flush. On error, falls back to
-    /// per-flush execution so sessions keep their own error semantics.
+    /// and splits the outcome back per flush. A failed combined dispatch
+    /// splits by its partial outcome — see the module docs.
     fn dispatch(&self, batch: &[PendingFlush]) -> Vec<(u64, Result<DispatchResult, SqlError>)> {
         let coalesced = batch.len() > 1;
         {
@@ -254,84 +344,149 @@ impl Dispatcher {
                 stats.coalesced_batches += batch.len() as u64;
                 stats.coalesced_queries += batch.iter().map(|f| f.sqls.len() as u64).sum::<u64>();
                 stats.max_coalesced = stats.max_coalesced.max(batch.len() as u64);
+                stats.coalesced_write_batches +=
+                    batch.iter().filter(|f| f.has_write).count() as u64;
             }
         }
+        if !coalesced {
+            // A lone flush keeps the exact all-or-error driver surface.
+            let r = self
+                .env
+                .query_batch_outcome(&batch[0].sqls)
+                .map(solo_result);
+            return vec![(batch[0].ticket, r)];
+        }
         let combined: Vec<String> = batch.iter().flat_map(|f| f.sqls.iter().cloned()).collect();
-        match self.env.query_batch_outcome(&combined) {
-            Ok(outcome) => self.split_outcome(batch, outcome, coalesced),
-            Err(_) if coalesced => {
-                // A failing statement poisons a combined dispatch for every
-                // rider. Re-execute per session: each batch gets exactly
-                // the result/error it would have seen dispatching alone.
+        let partial = self.env.query_batch_partial(&combined);
+        self.account_cross_session_fusion(batch, &partial);
+        match partial.error.clone() {
+            None => self.split_outcome(batch, partial, coalesced),
+            Some((pos, e)) => {
+                // Exact per-session split of a failed combined dispatch:
+                // fully-executed flushes keep their results, the flush
+                // owning position `pos` gets its own error (identical to
+                // its solo error — everything it shared the dispatch with
+                // was footprint-disjoint), and flushes that never started
+                // re-execute separately. No write ever runs twice.
                 self.lock_stats().fallback_splits += 1;
-                batch
-                    .iter()
-                    .map(|f| {
-                        let r = self.env.query_batch_outcome(&f.sqls).map(solo_result);
-                        (f.ticket, r)
-                    })
-                    .collect()
+                let mut out = Vec::with_capacity(batch.len());
+                let mut offset = 0usize;
+                for f in batch {
+                    let n = f.sqls.len();
+                    let r = if offset + n <= pos {
+                        let results: Vec<ResultSet> = partial.results[offset..offset + n]
+                            .iter()
+                            .map(|r| r.clone().expect("executed before the error"))
+                            .collect();
+                        Ok(per_flush_result(results, &partial, offset, n, coalesced))
+                    } else if offset <= pos {
+                        Err(e.clone())
+                    } else {
+                        self.env.query_batch_outcome(&f.sqls).map(solo_result)
+                    };
+                    out.push((f.ticket, r));
+                    offset += n;
+                }
+                out
             }
-            Err(e) => vec![(batch[0].ticket, Err(e))],
+        }
+    }
+
+    /// Cross-session fusion accounting: groups whose members span ≥ 2
+    /// flushes are the SharedDB-style merges. Only groups that actually
+    /// **executed** count — a fused probe runs at its first member's
+    /// position, so when the dispatch failed earlier, groups whose lead
+    /// sits at or past the failing position never ran and must not
+    /// inflate the counters.
+    fn account_cross_session_fusion(&self, batch: &[PendingFlush], partial: &PartialOutcome) {
+        let executed_before = partial
+            .error
+            .as_ref()
+            .map(|(pos, _)| *pos)
+            .unwrap_or(usize::MAX);
+        let mut owner_of: Vec<usize> = Vec::with_capacity(partial.fused_members.len());
+        for (fi, f) in batch.iter().enumerate() {
+            owner_of.extend(std::iter::repeat_n(fi, f.sqls.len()));
+        }
+        // Per group: owners of its members plus the lead (= first member)
+        // position, in batch order because enumeration is in order.
+        let mut group_owners: HashMap<usize, (usize, Vec<usize>)> = HashMap::new();
+        for (pos, g) in partial.fused_members.iter().enumerate() {
+            if let Some(g) = g {
+                group_owners
+                    .entry(*g)
+                    .or_insert((pos, Vec::new()))
+                    .1
+                    .push(owner_of[pos]);
+            }
+        }
+        let mut xq = 0u64;
+        let mut xg = 0u64;
+        for (lead_pos, owners) in group_owners.values() {
+            if *lead_pos >= executed_before {
+                continue; // the probe never ran
+            }
+            let first = owners[0];
+            if owners.iter().any(|o| *o != first) {
+                xg += 1;
+                xq += owners.len() as u64;
+            }
+        }
+        if xg > 0 {
+            let mut stats = self.lock_stats();
+            stats.cross_session_fused_groups += xg;
+            stats.cross_session_fused_queries += xq;
         }
     }
 
     fn split_outcome(
         &self,
         batch: &[PendingFlush],
-        outcome: BatchOutcome,
+        partial: PartialOutcome,
         coalesced: bool,
     ) -> Vec<(u64, Result<DispatchResult, SqlError>)> {
-        // Which flush does each combined position belong to?
-        let mut owner_of: Vec<usize> = Vec::with_capacity(outcome.results.len());
-        for (fi, f) in batch.iter().enumerate() {
-            owner_of.extend(std::iter::repeat_n(fi, f.sqls.len()));
-        }
-        // Cross-session fusion accounting: groups whose members span ≥ 2
-        // flushes are the SharedDB-style merges.
-        if coalesced {
-            let mut group_owners: HashMap<usize, Vec<usize>> = HashMap::new();
-            for (pos, g) in outcome.fused_members.iter().enumerate() {
-                if let Some(g) = g {
-                    group_owners.entry(*g).or_default().push(owner_of[pos]);
-                }
-            }
-            let mut xq = 0u64;
-            let mut xg = 0u64;
-            for owners in group_owners.values() {
-                let first = owners[0];
-                if owners.iter().any(|o| *o != first) {
-                    xg += 1;
-                    xq += owners.len() as u64;
-                }
-            }
-            if xg > 0 {
-                let mut stats = self.lock_stats();
-                stats.cross_session_fused_groups += xg;
-                stats.cross_session_fused_queries += xq;
-            }
-        }
-        let mut results = outcome.results.into_iter();
+        let mut results = partial.results.iter();
         let mut offset = 0usize;
         batch
             .iter()
             .map(|f| {
                 let n = f.sqls.len();
-                let slice_members = &outcome.fused_members[offset..offset + n];
-                let fused_queries = slice_members.iter().filter(|m| m.is_some()).count() as u64;
-                let mut groups: Vec<usize> = slice_members.iter().flatten().copied().collect();
-                groups.sort_unstable();
-                groups.dedup();
-                let r = DispatchResult {
-                    results: results.by_ref().take(n).collect(),
-                    fused_queries,
-                    fused_groups: groups.len() as u64,
-                    coalesced,
-                };
+                let slice: Vec<ResultSet> = results
+                    .by_ref()
+                    .take(n)
+                    .map(|r| {
+                        r.clone()
+                            .expect("error-free dispatch answers every position")
+                    })
+                    .collect();
+                let r = per_flush_result(slice, &partial, offset, n, coalesced);
                 offset += n;
                 (f.ticket, Ok(r))
             })
             .collect()
+    }
+}
+
+/// Builds one flush's [`DispatchResult`] from its slice of a combined
+/// dispatch.
+fn per_flush_result(
+    results: Vec<ResultSet>,
+    partial: &PartialOutcome,
+    offset: usize,
+    n: usize,
+    coalesced: bool,
+) -> DispatchResult {
+    let slice_members = &partial.fused_members[offset..offset + n];
+    let fused_queries = slice_members.iter().filter(|m| m.is_some()).count() as u64;
+    let mut groups: Vec<usize> = slice_members.iter().flatten().copied().collect();
+    groups.sort_unstable();
+    groups.dedup();
+    DispatchResult {
+        results,
+        fused_queries,
+        fused_groups: groups.len() as u64,
+        coalesced,
+        segments: if coalesced { 0 } else { partial.segments },
     }
 }
 
@@ -341,6 +496,7 @@ fn solo_result(outcome: BatchOutcome) -> DispatchResult {
         fused_queries: outcome.fused_queries,
         fused_groups: outcome.fused_groups,
         coalesced: false,
+        segments: outcome.segments,
     }
 }
 
@@ -375,6 +531,7 @@ mod tests {
         assert!(!r.coalesced);
         assert_eq!(r.fused_queries, 6);
         assert_eq!(r.fused_groups, 1);
+        assert_eq!(r.segments, 1, "a read batch is one segment");
         let s = d.stats();
         assert_eq!(s.flushes, 1);
         assert_eq!(s.dispatches, 1);
@@ -455,19 +612,140 @@ mod tests {
     }
 
     #[test]
-    fn write_batches_dispatch_solo() {
+    fn transaction_batches_dispatch_solo() {
         let d = Dispatcher::new(seeded_env());
         let sqls = vec![
-            "SELECT v FROM t WHERE id = 1".to_string(),
+            "BEGIN".to_string(),
             "UPDATE t SET v = 'x' WHERE id = 1".to_string(),
+            "COMMIT".to_string(),
         ];
         let r = d.submit(&sqls).unwrap();
         assert!(!r.coalesced);
-        assert_eq!(d.stats().solo_writes, 1);
+        assert_eq!(d.stats().solo_writes, 1, "barrier batches never queue");
         let rs = d
             .submit(&["SELECT v FROM t WHERE id = 1".to_string()])
             .unwrap();
         assert_eq!(rs.results[0].get(0, "v").unwrap().as_str(), Some("x"));
+    }
+
+    #[test]
+    fn barrier_free_write_batches_are_admitted_and_apply_once() {
+        let d = Dispatcher::new(seeded_env());
+        let sqls = vec![
+            "SELECT v FROM t WHERE id = 1".to_string(),
+            "UPDATE t SET v = 'y' WHERE id = 1".to_string(),
+        ];
+        let r = d.submit(&sqls).unwrap();
+        assert!(!r.coalesced, "one client never coalesces");
+        assert_eq!(r.results[0].get(0, "v").unwrap().as_str(), Some("v1"));
+        let s = d.stats();
+        assert_eq!(s.solo_writes, 0, "plain write batches queue like reads");
+        assert_eq!(s.dispatches, 1, "read + write shipped in ONE round trip");
+        let rs = d
+            .submit(&["SELECT v FROM t WHERE id = 1".to_string()])
+            .unwrap();
+        assert_eq!(rs.results[0].get(0, "v").unwrap().as_str(), Some("y"));
+    }
+
+    #[test]
+    fn legacy_mode_keeps_write_batches_solo() {
+        let env = seeded_env();
+        env.set_write_batching(false);
+        let d = Dispatcher::new(env);
+        let sqls = vec![
+            "SELECT v FROM t WHERE id = 1".to_string(),
+            "UPDATE t SET v = 'x' WHERE id = 1".to_string(),
+        ];
+        d.submit(&sqls).unwrap();
+        assert_eq!(d.stats().solo_writes, 1);
+    }
+
+    #[test]
+    fn disjoint_write_batches_coalesce_across_sessions() {
+        let env = seeded_env();
+        let d = Arc::new(Dispatcher::with_window(
+            env.clone(),
+            Duration::from_millis(30),
+        ));
+        let n = 4usize;
+        let barrier = Arc::new(Barrier::new(n));
+        let handles: Vec<_> = (0..n)
+            .map(|t| {
+                let d = Arc::clone(&d);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    // Each session reads and updates ITS OWN row: pairwise
+                    // disjoint footprints.
+                    let sqls = vec![
+                        format!("SELECT v FROM t WHERE id = {t}"),
+                        format!("UPDATE t SET v = 'w{t}' WHERE id = {t}"),
+                    ];
+                    barrier.wait();
+                    let r = d.submit(&sqls).unwrap();
+                    // Pre-write read of the session's own row.
+                    assert_eq!(
+                        r.results[0].get(0, "v").unwrap().as_str(),
+                        Some(format!("v{t}").as_str()),
+                        "session {t}"
+                    );
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Every update landed exactly once.
+        for t in 0..n {
+            let rs = d
+                .submit(&[format!("SELECT v FROM t WHERE id = {t}")])
+                .unwrap();
+            assert_eq!(
+                rs.results[0].get(0, "v").unwrap().as_str(),
+                Some(format!("w{t}").as_str())
+            );
+        }
+        let s = d.stats();
+        assert_eq!(s.solo_writes, 0, "disjoint write batches are admitted");
+    }
+
+    #[test]
+    fn conflicting_write_batches_serialize_with_exact_effects() {
+        // All sessions increment the SAME row: conflicting footprints must
+        // never share a dispatch, and the increments must each apply
+        // exactly once regardless of dispatch grouping.
+        let env = SimEnv::default_env();
+        env.seed_sql("CREATE TABLE c (id INT PRIMARY KEY, n INT)")
+            .unwrap();
+        env.seed_sql("INSERT INTO c VALUES (1, 0)").unwrap();
+        let d = Arc::new(Dispatcher::with_window(
+            env.clone(),
+            Duration::from_millis(20),
+        ));
+        let n = 6usize;
+        let barrier = Arc::new(Barrier::new(n));
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let d = Arc::clone(&d);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    d.submit(&["UPDATE c SET n = n + 1 WHERE id = 1".to_string()])
+                        .unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let rs = d
+            .submit(&["SELECT n FROM c WHERE id = 1".to_string()])
+            .unwrap();
+        assert_eq!(
+            rs.results[0].get(0, "n").unwrap().as_i64(),
+            Some(n as i64),
+            "each increment applied exactly once: {:?}",
+            d.stats()
+        );
     }
 
     #[test]
@@ -501,6 +779,44 @@ mod tests {
         let good = good.expect("good session must not see the other's error");
         assert_eq!(good.results[0].get(0, "v").unwrap().as_str(), Some("v2"));
         assert!(bad.unwrap_err().to_string().contains("missing"));
+    }
+
+    #[test]
+    fn failed_combined_write_dispatch_never_replays_writes() {
+        // Session A (good write) and session B (failing statement) on
+        // disjoint tables. However the dispatcher groups them, A's
+        // increment applies exactly once and B gets its own error.
+        let env = SimEnv::default_env();
+        env.seed_sql("CREATE TABLE c (id INT PRIMARY KEY, n INT)")
+            .unwrap();
+        env.seed_sql("INSERT INTO c VALUES (1, 0)").unwrap();
+        let d = Arc::new(Dispatcher::with_window(
+            env.clone(),
+            Duration::from_millis(30),
+        ));
+        let barrier = Arc::new(Barrier::new(2));
+        let good = {
+            let d = Arc::clone(&d);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                d.submit(&["UPDATE c SET n = n + 1 WHERE id = 1".to_string()])
+            })
+        };
+        let bad = {
+            let d = Arc::clone(&d);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                d.submit(&["DELETE FROM missing WHERE id = 1".to_string()])
+            })
+        };
+        good.join().unwrap().expect("good write succeeds");
+        assert!(bad.join().unwrap().is_err());
+        let rs = d
+            .submit(&["SELECT n FROM c WHERE id = 1".to_string()])
+            .unwrap();
+        assert_eq!(rs.results[0].get(0, "n").unwrap().as_i64(), Some(1));
     }
 
     #[test]

@@ -179,6 +179,39 @@ pub struct BatchOutcome {
     pub fused_queries: u64,
     /// Fused group executions performed.
     pub fused_groups: u64,
+    /// Conflict segments the write-aware planner found in this batch (1
+    /// when every statement commutes; see [`sloth_sql::footprint`]).
+    pub segments: u64,
+    /// Fused statements that crossed a disjoint-footprint write — reads
+    /// the write-split planner would have probed separately.
+    pub cross_write_fused: u64,
+}
+
+/// [`SimEnv::query_batch_outcome`] with **partial semantics**: execution
+/// stops at the first error but the outcomes of everything executed
+/// before it are returned, together with the failing batch position.
+///
+/// Unlike the all-or-error surface, a partial run always charges its
+/// round trip (the wire was used either way). The dispatcher uses this
+/// to split a failed multi-session combined dispatch into exact
+/// per-session outcomes without re-executing writes that already applied.
+#[derive(Debug, Clone)]
+pub struct PartialOutcome {
+    /// Per-position results; `None` for the failing statement and
+    /// everything after it.
+    pub results: Vec<Option<ResultSet>>,
+    /// The first error and its batch position, if any.
+    pub error: Option<(usize, SqlError)>,
+    /// Per-position fused-group attribution (from the plan).
+    pub fused_members: Vec<Option<usize>>,
+    /// Statements answered by fused group executions.
+    pub fused_queries: u64,
+    /// Fused group executions performed.
+    pub fused_groups: u64,
+    /// Conflict segments in the batch.
+    pub segments: u64,
+    /// Fused statements that crossed a disjoint-footprint write.
+    pub cross_write_fused: u64,
 }
 
 /// The database side of a deployment: one server, or a sharded fleet.
@@ -197,6 +230,11 @@ struct SimInner {
     cost: CostModel,
     stats: NetStats,
     fusion: bool,
+    /// Write-aware batching: footprint-analyzed segments instead of
+    /// splitting fusion (and cross-session coalescing) at every write.
+    write_batching: bool,
+    /// Max distinct values per fused `IN` probe.
+    max_fused_arity: usize,
 }
 
 /// The simulated deployment: application server + database backend +
@@ -213,10 +251,12 @@ struct SimInner {
 pub struct SimEnv {
     inner: Arc<Mutex<SimInner>>,
     clock: Clock,
-    /// Real nanoseconds slept per virtual network nanosecond × 1000
-    /// (0 = pure virtual time). Atomic so the throughput harness can set
-    /// it without contending on the driver lock.
-    realtime_permille: Arc<AtomicU64>,
+    /// Real nanoseconds slept per virtual network nanosecond, stored in
+    /// parts per million (0 = pure virtual time) — permille quantization
+    /// silently zeroed the sub-0.001 scales fast CI runs use. Atomic so
+    /// the throughput harness can set it without contending on the driver
+    /// lock.
+    realtime_ppm: Arc<AtomicU64>,
 }
 
 impl SimEnv {
@@ -235,9 +275,11 @@ impl SimEnv {
                 cost,
                 stats: NetStats::default(),
                 fusion: true,
+                write_batching: true,
+                max_fused_arity: batch::DEFAULT_MAX_FUSED_ARITY,
             })),
             clock: Clock::new(),
-            realtime_permille: Arc::new(AtomicU64::new(0)),
+            realtime_ppm: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -352,6 +394,35 @@ impl SimEnv {
         self.lock().fusion
     }
 
+    /// Enables or disables **write-aware batching** (on by default). When
+    /// on, a flush containing writes ships as one round trip with fusion
+    /// allowed across disjoint-footprint writes, and the dispatcher may
+    /// coalesce write-containing batches whose footprints are disjoint.
+    /// When off, the driver reproduces the legacy behaviour — fusion
+    /// splits at every write and write batches never coalesce — which is
+    /// what the `writebatch` figure compares against.
+    pub fn set_write_batching(&self, on: bool) {
+        self.lock().write_batching = on;
+    }
+
+    /// Whether write-aware batching is enabled.
+    pub fn write_batching_enabled(&self) -> bool {
+        self.lock().write_batching
+    }
+
+    /// Caps the number of distinct values in one fused `IN` probe
+    /// (clamped to ≥ 1; default 64). Larger groups execute as several
+    /// probes with identical demuxed results — bounding statement size
+    /// and plan-cache template variety.
+    pub fn set_max_fused_arity(&self, arity: usize) {
+        self.lock().max_fused_arity = arity.max(1);
+    }
+
+    /// The fused-probe arity cap in force.
+    pub fn max_fused_arity(&self) -> usize {
+        self.lock().max_fused_arity
+    }
+
     /// Plan-cache counters of the backend (summed across shards on a
     /// sharded deployment).
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
@@ -383,9 +454,18 @@ impl SimEnv {
     /// This is what makes the multi-threaded throughput harness *real*:
     /// closed-loop clients block on the wire for real wall-clock time, and
     /// batching/coalescing convert directly into measured pages/second.
+    ///
+    /// The scale is stored in parts per million, so the sub-permille
+    /// scales fast CI runs use (e.g. `1e-4`) still sleep instead of being
+    /// quantized to zero.
     pub fn set_realtime(&self, scale: f64) {
-        let permille = (scale.max(0.0) * 1000.0) as u64;
-        self.realtime_permille.store(permille, Ordering::Relaxed);
+        let ppm = (scale.max(0.0) * 1_000_000.0).round() as u64;
+        self.realtime_ppm.store(ppm, Ordering::Relaxed);
+    }
+
+    /// The real-time scale currently in force (0.0 = pure virtual time).
+    pub fn realtime_scale(&self) -> f64 {
+        self.realtime_ppm.load(Ordering::Relaxed) as f64 / 1_000_000.0
     }
 
     /// Current virtual time.
@@ -456,28 +536,95 @@ impl SimEnv {
                 fused_members: Vec::new(),
                 fused_queries: 0,
                 fused_groups: 0,
+                segments: 0,
+                cross_write_fused: 0,
             });
         }
-        // Plan under the deployment lock, but execute a single-server
-        // batch under the database's own RwLock *alone*: the driver never
-        // holds the deployment mutex while waiting for the database lock,
-        // so out-of-band holders of [`SimEnv::database`] cannot form a
-        // lock-order cycle with the driver path.
-        let (cost, fusion, single_db) = {
+        // All-or-error surface: a failed batch charges nothing and
+        // surfaces only its first error (the legacy driver contract the
+        // query store and equivalence suites are written against).
+        let ran = self.run_batch(sqls);
+        if let Some((_, e)) = ran.exec.error {
+            return Err(e);
+        }
+        self.charge_and_sleep(sqls.len(), &ran);
+        Ok(BatchOutcome {
+            results: ran
+                .exec
+                .results
+                .into_iter()
+                .map(|r| r.expect("error-free batch answers every position"))
+                .collect(),
+            fused_members: ran.fused_members,
+            fused_queries: ran.exec.fused_queries,
+            fused_groups: ran.exec.fused_groups,
+            segments: ran.segments,
+            cross_write_fused: ran.cross_write_fused,
+        })
+    }
+
+    /// [`SimEnv::query_batch_outcome`] with partial-on-error semantics:
+    /// the round trip is always charged, execution stops at the first
+    /// error, and everything executed before it keeps its result (see
+    /// [`PartialOutcome`]). This is the dispatcher's combined-dispatch
+    /// surface — a failed multi-session dispatch splits into exact
+    /// per-session outcomes without re-running writes that already
+    /// applied.
+    pub fn query_batch_partial(&self, sqls: &[String]) -> PartialOutcome {
+        if sqls.is_empty() {
+            return PartialOutcome {
+                results: Vec::new(),
+                error: None,
+                fused_members: Vec::new(),
+                fused_queries: 0,
+                fused_groups: 0,
+                segments: 0,
+                cross_write_fused: 0,
+            };
+        }
+        let ran = self.run_batch(sqls);
+        self.charge_and_sleep(sqls.len(), &ran);
+        PartialOutcome {
+            results: ran.exec.results,
+            error: ran.exec.error,
+            fused_members: ran.fused_members,
+            fused_queries: ran.exec.fused_queries,
+            fused_groups: ran.exec.fused_groups,
+            segments: ran.segments,
+            cross_write_fused: ran.cross_write_fused,
+        }
+    }
+
+    /// Plans and executes one batch. Planning happens outside every lock;
+    /// a single-server batch executes under the database's own `RwLock`
+    /// *alone* — the driver never holds the deployment mutex while
+    /// waiting for the database lock, so out-of-band holders of
+    /// [`SimEnv::database`] cannot form a lock-order cycle with the
+    /// driver path.
+    fn run_batch(&self, sqls: &[String]) -> RanBatch {
+        let (cost, cfg, single_db) = {
             let inner = self.lock();
             let db = match &inner.backend {
                 Backend::Single(db) => Some(Arc::clone(db)),
                 Backend::Sharded(_) => None,
             };
-            (inner.cost, inner.fusion, db)
+            (
+                inner.cost,
+                batch::BatchConfig {
+                    fusion: inner.fusion,
+                    write_aware: inner.write_batching,
+                    max_fused_arity: inner.max_fused_arity,
+                },
+                db,
+            )
         };
-        let plan = batch::plan_batch(sqls, fusion);
+        let plan = batch::plan_batch(sqls, &cfg);
         let exec = match single_db {
             Some(db) => {
                 let mut db = db
                     .write()
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
-                batch::exec_single(&mut db, &cost, sqls, &plan)?
+                batch::exec_single(&mut db, &cost, sqls, &plan)
             }
             // The backend kind is fixed at construction: no single
             // database means this deployment is the sharded fleet, which
@@ -485,52 +632,65 @@ impl SimEnv {
             None => {
                 let mut inner = self.lock();
                 match &mut inner.backend {
-                    Backend::Sharded(fleet) => fleet.exec_batch(&cost, sqls, &plan)?,
+                    Backend::Sharded(fleet) => fleet.exec_batch(&cost, sqls, &plan),
                     Backend::Single(_) => unreachable!("backend kind is fixed at construction"),
                 }
             }
         };
-
-        let network_ns = cost
-            .rtt_ns
-            .saturating_add(cost.per_byte_ns.saturating_mul(exec.bytes));
-        self.clock.advance(network_ns.saturating_add(exec.db_ns));
-        {
-            let mut inner = self.lock();
-            let stats = &mut inner.stats;
-            stats.round_trips = stats.round_trips.saturating_add(1);
-            stats.queries = stats.queries.saturating_add(sqls.len() as u64);
-            stats.network_ns = stats.network_ns.saturating_add(network_ns);
-            stats.db_ns = stats.db_ns.saturating_add(exec.db_ns);
-            stats.bytes = stats.bytes.saturating_add(exec.bytes);
-            stats.max_batch = stats.max_batch.max(sqls.len() as u64);
-            stats.fused_queries = stats.fused_queries.saturating_add(exec.fused_queries);
-            stats.fused_groups = stats.fused_groups.saturating_add(exec.fused_groups);
-        }
-
         let mut fused_members: Vec<Option<usize>> = vec![None; sqls.len()];
         for (g, (_, members)) in plan.fused.iter().enumerate() {
             for &m in members {
                 fused_members[m] = Some(g);
             }
         }
-        let outcome = BatchOutcome {
-            results: exec.results,
+        RanBatch {
+            cost,
+            exec,
             fused_members,
-            fused_queries: exec.fused_queries,
-            fused_groups: exec.fused_groups,
-        };
+            segments: plan.segments,
+            cross_write_fused: plan.cross_write_fused,
+        }
+    }
 
+    /// Accounts one executed round trip (stats + virtual clock) and pays
+    /// the real-time network sleep outside every lock.
+    fn charge_and_sleep(&self, n_sqls: usize, ran: &RanBatch) {
+        let cost = &ran.cost;
+        let network_ns = cost
+            .rtt_ns
+            .saturating_add(cost.per_byte_ns.saturating_mul(ran.exec.bytes));
+        self.clock
+            .advance(network_ns.saturating_add(ran.exec.db_ns));
+        {
+            let mut inner = self.lock();
+            let stats = &mut inner.stats;
+            stats.round_trips = stats.round_trips.saturating_add(1);
+            stats.queries = stats.queries.saturating_add(n_sqls as u64);
+            stats.network_ns = stats.network_ns.saturating_add(network_ns);
+            stats.db_ns = stats.db_ns.saturating_add(ran.exec.db_ns);
+            stats.bytes = stats.bytes.saturating_add(ran.exec.bytes);
+            stats.max_batch = stats.max_batch.max(n_sqls as u64);
+            stats.fused_queries = stats.fused_queries.saturating_add(ran.exec.fused_queries);
+            stats.fused_groups = stats.fused_groups.saturating_add(ran.exec.fused_groups);
+        }
         // Real-time mode: pay the network latency in real wall-clock time,
         // after releasing the deployment lock so concurrent sessions
         // overlap their waits (the whole point of measuring with threads).
-        let permille = self.realtime_permille.load(Ordering::Relaxed);
-        if permille > 0 {
-            let real_ns = network_ns.saturating_mul(permille) / 1000;
+        let ppm = self.realtime_ppm.load(Ordering::Relaxed);
+        if ppm > 0 {
+            let real_ns = network_ns.saturating_mul(ppm) / 1_000_000;
             std::thread::sleep(std::time::Duration::from_nanos(real_ns));
         }
-        Ok(outcome)
     }
+}
+
+/// Internal carrier between planning/execution and accounting.
+struct RanBatch {
+    cost: CostModel,
+    exec: batch::BatchExec,
+    fused_members: Vec<Option<usize>>,
+    segments: u64,
+    cross_write_fused: u64,
 }
 
 #[cfg(test)]
@@ -685,7 +845,7 @@ mod tests {
     }
 
     #[test]
-    fn fusion_never_crosses_writes() {
+    fn fusion_never_crosses_conflicting_writes() {
         let env = seeded_env();
         let sqls = vec![
             "SELECT v FROM t WHERE id = 1".to_string(),
@@ -693,11 +853,154 @@ mod tests {
             "SELECT v FROM t WHERE id = 2".to_string(),
         ];
         let results = env.query_batch(&sqls).unwrap();
-        // The read after the write must observe the write: no fusion with
-        // the read before it.
+        // The read after the write touches the written row: it must not
+        // fuse backwards across the write, and must observe it.
         assert_eq!(results[2].get(0, "v").unwrap().as_str(), Some("changed"));
         assert_eq!(results[0].get(0, "v").unwrap().as_str(), Some("v1"));
         assert_eq!(env.stats().fused_groups, 0);
+    }
+
+    #[test]
+    fn fusion_crosses_disjoint_footprint_writes() {
+        // The write pins id = 2; the lookups probe id = 1 and id = 3, so
+        // the conflict analysis lets them share one fused probe across
+        // the write — the read that used to split into its own probe.
+        let env = seeded_env();
+        let sqls = vec![
+            "SELECT v FROM t WHERE id = 1".to_string(),
+            "UPDATE t SET v = 'changed' WHERE id = 2".to_string(),
+            "SELECT v FROM t WHERE id = 3".to_string(),
+        ];
+        let o = env.query_batch_outcome(&sqls).unwrap();
+        assert_eq!(o.results[0].get(0, "v").unwrap().as_str(), Some("v1"));
+        assert_eq!(o.results[2].get(0, "v").unwrap().as_str(), Some("v3"));
+        assert_eq!(o.fused_members, vec![Some(0), None, Some(0)]);
+        assert_eq!(o.cross_write_fused, 2);
+        assert_eq!(o.segments, 1, "all three footprints commute");
+        assert_eq!(env.stats().fused_groups, 1);
+        // Legacy mode reproduces the old split.
+        let legacy = seeded_env();
+        legacy.set_write_batching(false);
+        let l = legacy.query_batch_outcome(&sqls).unwrap();
+        assert_eq!(l.results, o.results, "results identical either way");
+        assert_eq!(legacy.stats().fused_groups, 0);
+        assert_eq!(l.cross_write_fused, 0);
+    }
+
+    #[test]
+    fn write_batch_is_still_one_round_trip_with_exact_order() {
+        // A mixed batch — reads before and after a conflicting write —
+        // ships in ONE round trip with in-order semantics preserved.
+        let env = seeded_env();
+        let sqls = vec![
+            "SELECT v FROM t WHERE id = 5".to_string(),
+            "UPDATE t SET v = 'w' WHERE id = 5".to_string(),
+            "SELECT v FROM t WHERE id = 5".to_string(),
+        ];
+        let results = env.query_batch(&sqls).unwrap();
+        assert_eq!(results[0].get(0, "v").unwrap().as_str(), Some("v5"));
+        assert_eq!(results[2].get(0, "v").unwrap().as_str(), Some("w"));
+        assert_eq!(env.stats().round_trips, 1);
+    }
+
+    #[test]
+    fn fused_probes_chunk_at_max_arity() {
+        let env = seeded_env();
+        env.set_max_fused_arity(4);
+        assert_eq!(env.max_fused_arity(), 4);
+        let sqls: Vec<String> = (0..10)
+            .map(|i| format!("SELECT v FROM t WHERE id = {i}"))
+            .collect();
+        let results = env.query_batch(&sqls).unwrap();
+        // Demux equivalence across chunk boundaries: every lookup gets
+        // exactly its own row although the group ran as 3 probes.
+        for (i, rs) in results.iter().enumerate() {
+            assert_eq!(
+                rs.get(0, "v").unwrap().as_str(),
+                Some(format!("v{i}").as_str()),
+                "lookup {i}"
+            );
+        }
+        let s = env.stats();
+        assert_eq!(s.fused_queries, 10, "all members still answered fused");
+        assert_eq!(s.fused_groups, 1, "one logical group");
+        // An unchunked run returns byte-identical results.
+        let wide = seeded_env();
+        let r2 = wide.query_batch(&sqls).unwrap();
+        assert_eq!(results, r2);
+        assert!(
+            s.bytes > wide.stats().bytes,
+            "chunking ships extra statement texts"
+        );
+        // Arity clamps to >= 1 and still demuxes correctly.
+        let tiny = seeded_env();
+        tiny.set_max_fused_arity(0);
+        assert_eq!(tiny.max_fused_arity(), 1);
+        assert_eq!(tiny.query_batch(&sqls).unwrap(), r2);
+    }
+
+    #[test]
+    fn partial_outcome_reports_error_position_and_prefix() {
+        let env = seeded_env();
+        let sqls = vec![
+            "SELECT v FROM t WHERE id = 1".to_string(),
+            "UPDATE t SET v = 'applied' WHERE id = 9".to_string(),
+            "SELECT v FROM missing WHERE id = 1".to_string(),
+            "SELECT COUNT(*) FROM t".to_string(),
+        ];
+        let p = env.query_batch_partial(&sqls);
+        let (pos, err) = p.error.expect("third statement fails");
+        assert_eq!(pos, 2);
+        assert!(err.to_string().contains("missing"));
+        assert!(p.results[0].is_some());
+        assert!(p.results[1].is_some(), "the write before the error ran");
+        assert!(p.results[2].is_none());
+        assert!(p.results[3].is_none(), "nothing after the error ran");
+        // The partial round trip is charged; the applied write persists.
+        assert_eq!(env.stats().round_trips, 1);
+        let check = env.query("SELECT v FROM t WHERE id = 9").unwrap();
+        assert_eq!(check.get(0, "v").unwrap().as_str(), Some("applied"));
+    }
+
+    #[test]
+    fn realtime_mode_sleeps_for_network_time() {
+        let env = seeded_env();
+        env.set_realtime(0.1); // 0.5 ms RTT → ≥ 50 µs real sleep
+        assert!((env.realtime_scale() - 0.1).abs() < 1e-9);
+        let t0 = std::time::Instant::now();
+        env.query("SELECT v FROM t WHERE id = 1").unwrap();
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed >= std::time::Duration::from_micros(50),
+            "slept only {elapsed:?}"
+        );
+        env.set_realtime(0.0);
+        // Virtual accounting is identical with and without real time.
+        let reference = seeded_env();
+        reference.query("SELECT v FROM t WHERE id = 1").unwrap();
+        assert_eq!(env.stats(), reference.stats());
+    }
+
+    #[test]
+    fn sub_permille_realtime_scale_still_sleeps() {
+        // Regression: the scale used to be stored in parts per thousand,
+        // silently flooring the fast-CI scales (1e-4 and below) to zero —
+        // no sleep at all. Parts per million keeps them real.
+        let env = SimEnv::new(CostModel::with_rtt_ms(50.0));
+        env.seed_sql("CREATE TABLE t (id INT PRIMARY KEY)").unwrap();
+        env.seed_sql("INSERT INTO t VALUES (1)").unwrap();
+        env.set_realtime(1e-4);
+        assert!(env.realtime_scale() > 0.0, "1e-4 must not quantize to zero");
+        // 50 ms RTT × 1e-4 = 5 µs per trip; 20 trips ≥ 100 µs.
+        let t0 = std::time::Instant::now();
+        for _ in 0..20 {
+            env.query("SELECT * FROM t WHERE id = 1").unwrap();
+        }
+        assert!(
+            t0.elapsed() >= std::time::Duration::from_micros(100),
+            "sub-permille scale slept only {:?}",
+            t0.elapsed()
+        );
     }
 
     #[test]
@@ -848,23 +1151,5 @@ mod tests {
         let s = env.stats();
         assert_eq!(s.round_trips, 8);
         assert_eq!(s.queries, 40);
-    }
-
-    #[test]
-    fn realtime_mode_sleeps_for_network_time() {
-        let env = seeded_env();
-        env.set_realtime(0.1); // 0.5 ms RTT → ≥ 50 µs real sleep
-        let t0 = std::time::Instant::now();
-        env.query("SELECT v FROM t WHERE id = 1").unwrap();
-        let elapsed = t0.elapsed();
-        assert!(
-            elapsed >= std::time::Duration::from_micros(50),
-            "slept only {elapsed:?}"
-        );
-        env.set_realtime(0.0);
-        // Virtual accounting is identical with and without real time.
-        let reference = seeded_env();
-        reference.query("SELECT v FROM t WHERE id = 1").unwrap();
-        assert_eq!(env.stats(), reference.stats());
     }
 }

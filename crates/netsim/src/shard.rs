@@ -241,18 +241,20 @@ impl Fleet {
     }
 
     /// Executes a planned batch against the fleet. Statements run in batch
-    /// order (reads after a write observe it); the batch's database time
-    /// is the **max over shards** of each shard's wave makespan plus its
-    /// serialized write time — shards are independent servers working in
-    /// parallel on the same round trip.
+    /// order (reads after a conflicting write observe it); the batch's
+    /// database time is the **max over shards** of each shard's wave
+    /// makespan plus its serialized write time — shards are independent
+    /// servers working in parallel on the same round trip. Execution is
+    /// partial on error, exactly like the single server's.
     pub(crate) fn exec_batch(
         &mut self,
         cost: &CostModel,
         sqls: &[String],
         plan: &BatchPlan,
-    ) -> Result<BatchExec, SqlError> {
+    ) -> BatchExec {
         let n = self.shards.len();
         let mut results: Vec<Option<ResultSet>> = vec![None; sqls.len()];
+        let mut error: Option<(usize, SqlError)> = None;
         let mut costs = Costs::new(n);
         let mut fused_queries = 0u64;
         let mut fused_groups = 0u64;
@@ -261,18 +263,39 @@ impl Fleet {
             match plan.roles[i].clone() {
                 Role::FusedMember => {} // answered by its group's lead
                 Role::Single => {
-                    let rs = if sloth_sql::is_write_sql(&sqls[i]) {
-                        self.exec_write(&sqls[i], cost, &mut costs)?
+                    let rs = if plan.is_write[i] {
+                        self.exec_write(&sqls[i], cost, &mut costs)
                     } else {
-                        self.exec_read(&sqls[i], plan.norms[i].as_ref(), cost, &mut costs)?
+                        self.exec_read(&sqls[i], plan.norms[i].as_ref(), cost, &mut costs)
                     };
-                    results[i] = Some(rs);
+                    match rs {
+                        Ok(rs) => results[i] = Some(rs),
+                        Err(e) => {
+                            error = Some((i, e));
+                            break;
+                        }
+                    }
                 }
                 Role::FusedLead(g) => {
                     let (lookup, members) = &plan.fused[g];
-                    fused_groups += 1;
-                    fused_queries += members.len() as u64;
-                    self.exec_fused(lookup, members, &plan.norms, cost, &mut costs, &mut results)?;
+                    match self.exec_fused(
+                        lookup,
+                        members,
+                        &plan.norms,
+                        plan.max_fused_arity,
+                        cost,
+                        &mut costs,
+                        &mut results,
+                    ) {
+                        Ok(()) => {
+                            fused_groups += 1;
+                            fused_queries += members.len() as u64;
+                        }
+                        Err(e) => {
+                            error = Some((i, e));
+                            break;
+                        }
+                    }
                 }
             }
         }
@@ -288,16 +311,14 @@ impl Fleet {
             db_ns = db_ns.max(shard_ns);
         }
 
-        Ok(BatchExec {
-            results: results
-                .into_iter()
-                .map(|r| r.expect("every statement produced a result"))
-                .collect(),
+        BatchExec {
+            results,
+            error,
             db_ns,
             bytes: costs.bytes,
             fused_queries,
             fused_groups,
-        })
+        }
     }
 
     // ---- reads ---------------------------------------------------------
@@ -492,26 +513,47 @@ impl Fleet {
 
     // ---- fused groups --------------------------------------------------
 
-    /// Executes one fused group. If the probed column is the base table's
-    /// shard key, the `IN` probe **splits into per-shard sub-probes** —
-    /// each shard probes only the values it owns, all sub-probes share the
-    /// parallel wave, and demux happens per sub-probe (a value's rows live
+    /// Executes one fused group, one probe per arity chunk of its
+    /// distinct values. If the probed column is the base table's shard
+    /// key, each probe **splits into per-shard sub-probes** — every shard
+    /// probes only the values it owns, all sub-probes share the parallel
+    /// wave, and demux happens per sub-probe (a value's rows live
     /// entirely on its owning shard, so no cross-shard merge is needed).
+    #[allow(clippy::too_many_arguments)]
     fn exec_fused(
         &mut self,
         lookup: &fuse::FusableLookup,
         members: &[usize],
         norms: &[Option<Normalized>],
+        max_arity: usize,
+        cost: &CostModel,
+        costs: &mut Costs,
+        results: &mut [Option<ResultSet>],
+    ) -> Result<(), SqlError> {
+        let values: Vec<&Value> = batch::fused_values(norms, members);
+        let all_targets: Vec<(usize, &Value)> = members
+            .iter()
+            .map(|&m| (m, &norms[m].as_ref().expect("member has norm").params[0]))
+            .collect();
+        for chunk in values.chunks(max_arity.max(1)) {
+            let targets = batch::chunk_targets(&all_targets, chunk);
+            self.exec_fused_probe(lookup, chunk, &targets, cost, costs, results)?;
+        }
+        Ok(())
+    }
+
+    /// One fused probe over `values` (≤ the arity cap), answering the
+    /// members in `targets`.
+    fn exec_fused_probe(
+        &mut self,
+        lookup: &fuse::FusableLookup,
+        values: &[&Value],
+        targets: &[(usize, &Value)],
         cost: &CostModel,
         costs: &mut Costs,
         results: &mut [Option<ResultSet>],
     ) -> Result<(), SqlError> {
         let n = self.shards.len();
-        let values = batch::fused_values(norms, members);
-        let targets: Vec<(usize, &Value)> = members
-            .iter()
-            .map(|&m| (m, &norms[m].as_ref().expect("member has norm").params[0]))
-            .collect();
         let table = &lookup.select.from.name;
         let key_probe = self
             .spec
@@ -521,7 +563,7 @@ impl Fleet {
         if key_probe && n > 1 {
             // Split into per-shard sub-probes over each shard's values.
             let mut per_shard: Vec<Vec<Value>> = vec![Vec::new(); n];
-            for v in &values {
+            for v in values {
                 per_shard[shard_of(v, n)].push((*v).clone());
             }
             for (s, vals) in per_shard.iter().enumerate() {
@@ -575,7 +617,7 @@ impl Fleet {
             }
             merge_parts(parts, &descs, None)
         };
-        for (m, rs) in batch::demux_fused(&merged, &fplan, &targets)? {
+        for (m, rs) in batch::demux_fused(&merged, &fplan, targets)? {
             results[m] = Some(rs);
         }
         Ok(())

@@ -404,7 +404,10 @@ mod tests {
         assert_eq!(store.pending_len(), 1);
         s.save("visit", &[Value::Int(101), Value::Int(2)]).unwrap();
         assert_eq!(store.pending_len(), 0, "write flushed the batch");
-        assert_eq!(env.stats().round_trips, 2);
+        // Write-aware batching: the pending find and the INSERT share one
+        // round trip instead of splitting into two.
+        assert_eq!(env.stats().round_trips, 1);
+        assert_eq!(store.stats().write_batched, 1);
     }
 
     #[test]

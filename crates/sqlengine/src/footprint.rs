@@ -1,0 +1,446 @@
+//! Statement **footprints**: the read/write table (and key) sets the
+//! write-aware batch planner reasons about.
+//!
+//! Sloth's promise is that *all* deferred statements — reads and writes —
+//! travel in as few round trips as possible. To let a flush that contains
+//! writes still ship (and fuse, and coalesce across sessions) as one round
+//! trip, the driver needs to know which statements can possibly observe or
+//! disturb each other. A [`Footprint`] answers that conservatively:
+//!
+//! * every statement reports the tables it **reads** and the tables it
+//!   **writes**;
+//! * accesses that are provably pinned to specific rows carry **key-level**
+//!   detail: the set of equality-constrained `(column, values)` pairs
+//!   extracted from top-level `AND` conjuncts (`col = v`, `col IN (…)`)
+//!   — for writes additionally accounting for `SET col = v` post-images;
+//! * transaction boundaries, DDL and unparseable SQL are **barriers** that
+//!   conflict with everything.
+//!
+//! Two accesses of the same table are *disjoint* only when some column is
+//! equality-pinned in both and the pinned value sets do not intersect —
+//! then the two statements touch disjoint rows and commute. Everything
+//! else conflicts. The analysis is sound by construction: an `UPDATE` that
+//! assigns a pinned column widens (or drops) that column's pin so the
+//! post-image rows are covered, `OR`/`NOT` predicates pin nothing, and a
+//! column pinned in only one of the two accesses proves nothing.
+//!
+//! Used by `sloth-net`'s batch planner (fusion groups may cross a write
+//! only when their members' footprints are disjoint from every intervening
+//! write) and dispatcher (write-containing batches coalesce with other
+//! sessions' batches only when the batch footprints are pairwise
+//! disjoint).
+
+use crate::ast::{BinOp, Expr, Statement, TableRef};
+use crate::error::SqlError;
+use crate::value::Value;
+
+/// One table touched by a statement, with optional key-level pinning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableAccess {
+    /// Table name, lowercased.
+    pub table: String,
+    /// Equality-pinned columns: `(column, values)` — the access only
+    /// touches rows whose `column` equals one of `values`. Empty means the
+    /// whole table must be assumed.
+    pub keys: Vec<(String, Vec<Value>)>,
+}
+
+impl TableAccess {
+    fn whole(table: &str) -> TableAccess {
+        TableAccess {
+            table: table.to_ascii_lowercase(),
+            keys: Vec::new(),
+        }
+    }
+
+    /// Whether two accesses of possibly different tables can touch a
+    /// common row. Same table, and no column is equality-pinned to
+    /// disjoint value sets on both sides.
+    pub fn overlaps(&self, other: &TableAccess) -> bool {
+        if self.table != other.table {
+            return false;
+        }
+        // A column pinned on both sides with provably disjoint value sets
+        // separates the row sets.
+        for (ca, va) in &self.keys {
+            for (cb, vb) in &other.keys {
+                if ca == cb && !values_intersect(va, vb) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+fn values_intersect(a: &[Value], b: &[Value]) -> bool {
+    a.iter().any(|x| b.iter().any(|y| x.sql_eq(y)))
+}
+
+/// The read/write table footprint of one statement (or a whole batch).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Footprint {
+    /// Tables (possibly key-pinned) the statement reads.
+    pub reads: Vec<TableAccess>,
+    /// Tables (possibly key-pinned) the statement writes.
+    pub writes: Vec<TableAccess>,
+    /// Conflicts with everything: transaction boundaries, DDL, SQL the
+    /// parser cannot analyze.
+    pub barrier: bool,
+}
+
+impl Footprint {
+    /// The footprint that conflicts with everything.
+    pub fn barrier() -> Footprint {
+        Footprint {
+            barrier: true,
+            ..Footprint::default()
+        }
+    }
+
+    /// Whether this statement can mutate state (or is a barrier).
+    pub fn has_writes(&self) -> bool {
+        self.barrier || !self.writes.is_empty()
+    }
+
+    /// Extracts the footprint of one SQL string. Unparseable statements
+    /// are barriers (never analyzed, always conservative).
+    pub fn of_sql(sql: &str) -> Footprint {
+        match crate::parser::parse(sql) {
+            Ok(stmt) => Footprint::of_stmt(&stmt),
+            Err(_) => Footprint::barrier(),
+        }
+    }
+
+    /// Extracts the footprint of a parsed statement.
+    pub fn of_stmt(stmt: &Statement) -> Footprint {
+        match stmt {
+            Statement::Select(sel) => {
+                let mut reads = vec![TableAccess {
+                    table: sel.from.name.to_ascii_lowercase(),
+                    keys: eq_pins(sel.predicate.as_ref(), Some(&sel.from)),
+                }];
+                for join in &sel.joins {
+                    reads.push(TableAccess::whole(&join.table.name));
+                }
+                Footprint {
+                    reads,
+                    writes: Vec::new(),
+                    barrier: false,
+                }
+            }
+            Statement::Insert {
+                table,
+                columns,
+                values,
+            } => {
+                // Post-image pins: a column constrains the inserted rows
+                // only when the statement names its columns and every
+                // tuple supplies a literal for it.
+                let mut keys: Vec<(String, Vec<Value>)> = Vec::new();
+                for (ci, col) in columns.iter().enumerate() {
+                    let mut vals = Vec::with_capacity(values.len());
+                    for tuple in values {
+                        match tuple.get(ci) {
+                            Some(Expr::Literal(v)) => vals.push(v.clone()),
+                            _ => {
+                                vals.clear();
+                                break;
+                            }
+                        }
+                    }
+                    if !vals.is_empty() {
+                        keys.push((col.to_ascii_lowercase(), vals));
+                    }
+                }
+                Footprint {
+                    reads: Vec::new(),
+                    writes: vec![TableAccess {
+                        table: table.to_ascii_lowercase(),
+                        keys,
+                    }],
+                    barrier: false,
+                }
+            }
+            Statement::Update {
+                table,
+                sets,
+                predicate,
+            } => {
+                // Pre-image pins come from the predicate; a SET on a
+                // pinned column moves rows, so the assigned literal joins
+                // the pin (post-image) — and a non-literal assignment
+                // makes the column unboundable.
+                let mut keys = eq_pins(predicate.as_ref(), None);
+                for (col, expr) in sets {
+                    let col = col.to_ascii_lowercase();
+                    match expr {
+                        Expr::Literal(v) => {
+                            for (kc, kv) in &mut keys {
+                                if *kc == col && !kv.iter().any(|x| x.sql_eq(v)) {
+                                    kv.push(v.clone());
+                                }
+                            }
+                        }
+                        _ => keys.retain(|(kc, _)| *kc != col),
+                    }
+                }
+                Footprint {
+                    reads: Vec::new(),
+                    writes: vec![TableAccess {
+                        table: table.to_ascii_lowercase(),
+                        keys,
+                    }],
+                    barrier: false,
+                }
+            }
+            Statement::Delete { table, predicate } => Footprint {
+                reads: Vec::new(),
+                writes: vec![TableAccess {
+                    table: table.to_ascii_lowercase(),
+                    keys: eq_pins(predicate.as_ref(), None),
+                }],
+                barrier: false,
+            },
+            Statement::Begin
+            | Statement::Commit
+            | Statement::Rollback
+            | Statement::CreateTable { .. }
+            | Statement::CreateIndex { .. } => Footprint::barrier(),
+        }
+    }
+
+    /// Union footprint of a whole batch.
+    pub fn of_batch<S: AsRef<str>>(sqls: &[S]) -> Footprint {
+        let mut fp = Footprint::default();
+        for sql in sqls {
+            fp.merge(&Footprint::of_sql(sql.as_ref()));
+        }
+        fp
+    }
+
+    /// Accumulates `other` into this footprint. Overlap checks distribute
+    /// over the union, so merging preserves conflict answers.
+    pub fn merge(&mut self, other: &Footprint) {
+        self.barrier |= other.barrier;
+        self.reads.extend(other.reads.iter().cloned());
+        self.writes.extend(other.writes.iter().cloned());
+    }
+
+    /// Whether the two footprints fail to commute: some write on one side
+    /// can touch rows the other side reads or writes (or either is a
+    /// barrier). Symmetric.
+    pub fn conflicts_with(&self, other: &Footprint) -> bool {
+        if self.barrier || other.barrier {
+            return true;
+        }
+        let hits = |ws: &[TableAccess], rs: &[TableAccess]| {
+            ws.iter().any(|w| rs.iter().any(|a| w.overlaps(a)))
+        };
+        hits(&self.writes, &other.writes)
+            || hits(&self.writes, &other.reads)
+            || hits(&other.writes, &self.reads)
+    }
+}
+
+/// Collects equality pins from the top-level `AND` conjuncts of a
+/// predicate: `col = literal` and `col IN (literals)`. Anything under
+/// `OR`/`NOT` pins nothing (it does not restrict the row set). For
+/// selects, a qualified column must name the base table to count.
+fn eq_pins(pred: Option<&Expr>, base: Option<&TableRef>) -> Vec<(String, Vec<Value>)> {
+    let mut pins = Vec::new();
+    if let Some(p) = pred {
+        collect_pins(p, base, &mut pins);
+    }
+    pins
+}
+
+fn qualifier_ok(col: &crate::ast::ColumnRef, base: Option<&TableRef>) -> bool {
+    match (&col.table, base) {
+        (None, _) => true,
+        (Some(q), Some(t)) => q.eq_ignore_ascii_case(&t.alias) || q.eq_ignore_ascii_case(&t.name),
+        (Some(_), None) => false,
+    }
+}
+
+fn collect_pins(e: &Expr, base: Option<&TableRef>, pins: &mut Vec<(String, Vec<Value>)>) {
+    match e {
+        Expr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        } => {
+            collect_pins(left, base, pins);
+            collect_pins(right, base, pins);
+        }
+        Expr::Binary {
+            op: BinOp::Eq,
+            left,
+            right,
+        } => {
+            if let (Expr::Column(c), Expr::Literal(v)) | (Expr::Literal(v), Expr::Column(c)) =
+                (&**left, &**right)
+            {
+                if qualifier_ok(c, base) {
+                    pins.push((c.column.to_ascii_lowercase(), vec![v.clone()]));
+                }
+            }
+        }
+        Expr::InList { expr, list } => {
+            let Expr::Column(c) = &**expr else { return };
+            if !qualifier_ok(c, base) {
+                return;
+            }
+            let vals: Option<Vec<Value>> = list
+                .iter()
+                .map(|item| match item {
+                    Expr::Literal(v) => Some(v.clone()),
+                    _ => None,
+                })
+                .collect();
+            if let Some(vals) = vals {
+                pins.push((c.column.to_ascii_lowercase(), vals));
+            }
+        }
+        _ => {}
+    }
+}
+
+/// A convenience for drivers: `Err` carries no footprint, so map parse
+/// failures to barriers via [`Footprint::of_sql`] instead.
+pub fn footprint_of(sql: &str) -> Result<Footprint, SqlError> {
+    crate::parser::parse(sql).map(|s| Footprint::of_stmt(&s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(sql: &str) -> Footprint {
+        Footprint::of_sql(sql)
+    }
+
+    #[test]
+    fn select_reads_base_and_join_tables() {
+        let f = fp("SELECT i.id FROM issue i JOIN project p ON i.pid = p.id WHERE i.pid = 3");
+        assert!(f.reads.iter().any(|a| a.table == "issue"));
+        assert!(f.reads.iter().any(|a| a.table == "project"));
+        assert!(f.writes.is_empty());
+        assert!(!f.has_writes());
+    }
+
+    #[test]
+    fn point_reads_pin_keys() {
+        let f = fp("SELECT * FROM issue WHERE project_id = 2 AND sev = 0");
+        assert_eq!(
+            f.reads[0].keys,
+            vec![
+                ("project_id".to_string(), vec![Value::Int(2)]),
+                ("sev".to_string(), vec![Value::Int(0)]),
+            ]
+        );
+        let g = fp("SELECT * FROM issue WHERE project_id IN (1, 2)");
+        assert_eq!(
+            g.reads[0].keys,
+            vec![("project_id".to_string(), vec![Value::Int(1), Value::Int(2)])]
+        );
+        // OR / inequality pins nothing.
+        assert!(
+            fp("SELECT * FROM issue WHERE project_id = 1 OR sev = 2").reads[0]
+                .keys
+                .is_empty()
+        );
+        assert!(fp("SELECT * FROM issue WHERE sev > 2").reads[0]
+            .keys
+            .is_empty());
+    }
+
+    #[test]
+    fn disjoint_point_accesses_do_not_conflict() {
+        let w = fp("UPDATE issue SET sev = 9 WHERE project_id = 1");
+        let r_far = fp("SELECT * FROM issue WHERE project_id = 2");
+        let r_near = fp("SELECT * FROM issue WHERE project_id = 1");
+        let r_other_col = fp("SELECT * FROM issue WHERE id = 5");
+        let r_other_table = fp("SELECT * FROM project WHERE id = 1");
+        assert!(!w.conflicts_with(&r_far), "disjoint keys commute");
+        assert!(w.conflicts_with(&r_near));
+        assert!(w.conflicts_with(&r_other_col), "no shared pinned column");
+        assert!(!w.conflicts_with(&r_other_table));
+        // Reads never conflict with reads.
+        assert!(!r_near.conflicts_with(&r_other_col));
+    }
+
+    #[test]
+    fn set_of_pinned_column_widens_the_pin() {
+        // The update moves rows from project_id = 1 to project_id = 2: it
+        // must conflict with reads of either value, but not a third.
+        let w = fp("UPDATE issue SET project_id = 2 WHERE project_id = 1");
+        assert!(w.conflicts_with(&fp("SELECT * FROM issue WHERE project_id = 1")));
+        assert!(w.conflicts_with(&fp("SELECT * FROM issue WHERE project_id = 2")));
+        assert!(!w.conflicts_with(&fp("SELECT * FROM issue WHERE project_id = 3")));
+        // A non-literal assignment makes the column unboundable.
+        let w2 = fp("UPDATE issue SET project_id = project_id + 1 WHERE project_id = 1");
+        assert!(w2.conflicts_with(&fp("SELECT * FROM issue WHERE project_id = 7")));
+    }
+
+    #[test]
+    fn insert_pins_named_literal_columns() {
+        let w = fp("INSERT INTO issue (id, project_id, title) VALUES (90, 4, 'x'), (91, 4, 'y')");
+        assert!(!w.conflicts_with(&fp("SELECT * FROM issue WHERE project_id = 2")));
+        assert!(w.conflicts_with(&fp("SELECT * FROM issue WHERE project_id = 4")));
+        assert!(!w.conflicts_with(&fp("SELECT * FROM issue WHERE id = 1")));
+        // Positional inserts pin nothing.
+        let p = fp("INSERT INTO issue VALUES (90, 4, 'x', 1)");
+        assert!(p.conflicts_with(&fp("SELECT * FROM issue WHERE project_id = 2")));
+    }
+
+    #[test]
+    fn deletes_and_writes_conflict_unless_disjoint() {
+        let d = fp("DELETE FROM issue WHERE project_id = 3");
+        let w = fp("UPDATE issue SET sev = 1 WHERE project_id = 3");
+        let w2 = fp("UPDATE issue SET sev = 1 WHERE project_id = 4");
+        assert!(d.conflicts_with(&w));
+        assert!(!d.conflicts_with(&w2));
+    }
+
+    #[test]
+    fn barriers_conflict_with_everything() {
+        for sql in [
+            "BEGIN",
+            "COMMIT",
+            "ROLLBACK",
+            "CREATE TABLE t (id INT PRIMARY KEY)",
+            "CREATE INDEX ON t (id)",
+            "not even sql",
+        ] {
+            let f = fp(sql);
+            assert!(f.barrier, "{sql}");
+            assert!(f.has_writes(), "{sql}");
+            assert!(
+                f.conflicts_with(&fp("SELECT * FROM other WHERE id = 1")),
+                "{sql}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_union_preserves_conflicts() {
+        let batch = Footprint::of_batch(&[
+            "SELECT * FROM issue WHERE project_id = 1",
+            "UPDATE issue SET sev = 2 WHERE project_id = 1",
+        ]);
+        assert!(batch.has_writes());
+        assert!(!batch.barrier);
+        assert!(batch.conflicts_with(&fp("SELECT * FROM issue WHERE project_id = 1")));
+        assert!(!batch.conflicts_with(&fp("SELECT * FROM issue WHERE project_id = 2")));
+        assert!(!batch.conflicts_with(&fp("SELECT * FROM project WHERE id = 1")));
+    }
+
+    #[test]
+    fn contradictory_pins_are_disjoint_from_all_values() {
+        // `id = 1 AND id = 2` selects nothing; both pins survive, so it is
+        // provably disjoint from any single-value probe of either column.
+        let f = fp("SELECT * FROM t WHERE id = 1 AND id = 2");
+        assert!(!f.reads[0].overlaps(&fp("SELECT * FROM t WHERE id = 1").reads[0]));
+    }
+}

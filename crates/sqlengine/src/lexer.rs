@@ -2,7 +2,10 @@
 //!
 //! Keywords are case-insensitive; identifiers preserve case but compare
 //! case-insensitively in the catalog. String literals use single quotes with
-//! `''` as the escape for a quote, matching MySQL.
+//! `''` as the escape for a quote, matching MySQL. `--` line comments and
+//! `/* … */` block comments are skipped, so comment-prefixed statements
+//! normalize to the same template as their bare form (and classify, dedup
+//! and fuse identically).
 
 use crate::error::SqlError;
 
@@ -40,6 +43,27 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>, SqlError> {
         let c = bytes[i] as char;
         match c {
             ' ' | '\t' | '\n' | '\r' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // `-- …` line comment: skip to end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                // `/* … */` block comment.
+                let start = i;
+                i += 2;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(SqlError::lex(sql, start, "unterminated comment")),
+                        Some(b'*') if bytes.get(i + 1) == Some(&b'/') => {
+                            i += 2;
+                            break;
+                        }
+                        Some(_) => i += 1,
+                    }
+                }
+            }
             '(' | ')' | ',' | '*' | '.' | '+' | '-' | '/' | ';' => {
                 out.push(Token::Symbol(match c {
                     '(' => "(",
@@ -199,6 +223,24 @@ mod tests {
     #[test]
     fn unterminated_string_errors() {
         assert!(tokenize("'abc").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = tokenize("-- hello\nSELECT a /* mid */ FROM t -- tail").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("SELECT".into()),
+                Token::Ident("a".into()),
+                Token::Ident("FROM".into()),
+                Token::Ident("t".into()),
+            ]
+        );
+        // Minus and division still lex as operators.
+        let toks = tokenize("a - b / c").unwrap();
+        assert_eq!(toks.len(), 5);
+        assert!(tokenize("/* open").is_err());
     }
 
     #[test]

@@ -138,6 +138,38 @@ fn random_batches_fused_equals_unfused() {
     }
 }
 
+/// Chunked fused probes (bounded `IN` arity) must be invisible: random
+/// batches demux identically with a tiny arity cap, an arity of one,
+/// and the default — across chunk boundaries and write segments.
+#[test]
+fn random_batches_demux_equivalently_across_chunk_boundaries() {
+    for case in 0..60u64 {
+        let mut rng = Rng::new(0xC4_0BEE ^ case);
+        let n = rng.range(4, 30);
+        let batch: Vec<String> = (0..n).map(|_| arb_statement(&mut rng)).collect();
+        let wide = fresh_env();
+        let reference = wide.query_batch(&batch);
+        for arity in [1usize, 3] {
+            let chunked = fresh_env();
+            chunked.set_max_fused_arity(arity);
+            let got = chunked.query_batch(&batch);
+            match (&reference, &got) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a, b, "arity {arity}: {batch:#?}");
+                    assert_eq!(db_state(&wide), db_state(&chunked), "arity {arity}");
+                    assert_eq!(
+                        wide.stats().round_trips,
+                        chunked.stats().round_trips,
+                        "chunking must not change batching"
+                    );
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "arity {arity}: {batch:#?}"),
+                (a, b) => panic!("one arity failed: wide={a:?} chunked={b:?} {batch:#?}"),
+            }
+        }
+    }
+}
+
 /// Pure point-lookup batches — the hot ORM pattern — must fuse (not just
 /// stay equivalent) and save simulated database time at scale.
 #[test]
@@ -163,8 +195,8 @@ fn point_lookup_batches_actually_fuse() {
     assert!(s.db_ns < off.stats().db_ns);
 }
 
-/// Mixed writes split fusion segments: a lookup after a write sees the
-/// write, with and without fusion.
+/// Conflicting writes split fusion segments: a lookup of the written rows
+/// after a write sees the write, with and without fusion.
 #[test]
 fn writes_split_fusion_segments() {
     let batch = vec![
@@ -185,7 +217,151 @@ fn writes_split_fusion_segments() {
     let sev_after = a[3].get(0, "sev").unwrap().as_i64().unwrap();
     assert_ne!(sev_before, 99);
     assert_eq!(sev_after, 99);
-    // Two groups: {q0, q1} before the write, {q3, q4} after it.
+    // Two groups: q3 probes the rows the write touched, so it must not
+    // join {q0, q1} across the write; it opens the second group that q4
+    // then joins (q4 is disjoint from the write and rides along).
     assert_eq!(on.stats().fused_groups, 2);
     assert_eq!(on.stats().fused_queries, 4);
+}
+
+/// The write-aware planner fuses ACROSS disjoint-footprint writes: the
+/// probes around a write on another project land in one group, at results
+/// identical to fusion-off (which still executes in batch order).
+#[test]
+fn disjoint_writes_do_not_split_fusion() {
+    let batch = vec![
+        "SELECT * FROM issue WHERE project_id = 1 ORDER BY id".to_string(),
+        "UPDATE issue SET sev = 99 WHERE project_id = 7".to_string(),
+        "SELECT * FROM issue WHERE project_id = 2 ORDER BY id".to_string(),
+        "SELECT * FROM issue WHERE project_id = 3 ORDER BY id".to_string(),
+    ];
+    let on = fresh_env();
+    let off = fresh_env();
+    off.set_fusion(false);
+    let a = on.query_batch(&batch).unwrap();
+    let b = off.query_batch(&batch).unwrap();
+    assert_eq!(a, b);
+    assert_eq!(db_state(&on), db_state(&off));
+    assert_eq!(
+        on.stats().fused_groups,
+        1,
+        "one probe spans the disjoint write"
+    );
+    assert_eq!(on.stats().fused_queries, 3);
+}
+
+/// A write-heavy random statement (≥ 30 % writes when mixed 40/60 with
+/// `arb_statement`), spanning overlapping and disjoint tables/keys:
+/// routed updates, cross-column updates, inserts (named and positional
+/// columns), and deletes of rows another statement may probe.
+fn arb_write(rng: &mut Rng, next_insert_id: &mut i64) -> String {
+    match rng.range(0, 7) {
+        6 => format!("DELETE FROM issue WHERE id = {}", rng.range(30, 50)),
+        0 | 1 => format!(
+            "UPDATE issue SET sev = {} WHERE project_id = {}",
+            rng.range(0, 9),
+            rng.range(0, 10)
+        ),
+        2 => format!(
+            "UPDATE issue SET title = 'retitled{}' WHERE id = {}",
+            rng.range(0, 5),
+            rng.range(0, 45)
+        ),
+        3 => format!(
+            "UPDATE project SET name = 'renamed{}' WHERE id = {}",
+            rng.range(0, 4),
+            rng.range(0, 10)
+        ),
+        4 => {
+            let id = *next_insert_id;
+            *next_insert_id += 1;
+            format!(
+                "INSERT INTO issue (id, project_id, title, sev) VALUES ({id}, {}, 'w{id}', {})",
+                rng.range(0, 10),
+                rng.range(0, 4)
+            )
+        }
+        _ => {
+            let id = *next_insert_id;
+            *next_insert_id += 1;
+            format!(
+                "INSERT INTO issue VALUES ({id}, {}, 'p{id}', {})",
+                rng.range(0, 10),
+                rng.range(0, 4)
+            )
+        }
+    }
+}
+
+/// The write-aware segment planner against the **serial reference**:
+/// random write-heavy batches (≥ 30 % writes, overlapping and disjoint
+/// footprints) must produce per-statement results, final database state
+/// and first-error behaviour identical to executing the same statements
+/// one at a time — with fusion on and off, write-aware and legacy.
+#[test]
+fn write_heavy_batches_match_serial_reference() {
+    for case in 0..150u64 {
+        let mut rng = Rng::new(0xBEEF_CAFE ^ case);
+        let mut next_id = 500;
+        let n = rng.range(2, 24);
+        let batch: Vec<String> = (0..n)
+            .map(|_| {
+                if rng.range(0, 10) < 4 {
+                    arb_write(&mut rng, &mut next_id)
+                } else {
+                    arb_statement(&mut rng)
+                }
+            })
+            .collect();
+
+        // Serial reference: one statement per round trip, stop at the
+        // first error (exactly what the batch driver's semantics promise).
+        let serial = fresh_env();
+        let mut serial_results = Vec::new();
+        let mut serial_err = None;
+        for sql in &batch {
+            match serial.query(sql) {
+                Ok(rs) => serial_results.push(rs),
+                Err(e) => {
+                    serial_err = Some(e);
+                    break;
+                }
+            }
+        }
+
+        for (fusion, write_aware) in [(true, true), (false, true), (true, false)] {
+            let env = fresh_env();
+            env.set_fusion(fusion);
+            env.set_write_batching(write_aware);
+            match (env.query_batch(&batch), &serial_err) {
+                (Ok(results), None) => {
+                    assert_eq!(
+                        results, serial_results,
+                        "fusion={fusion} write_aware={write_aware}: {batch:#?}"
+                    );
+                    assert_eq!(
+                        db_state(&env),
+                        db_state(&serial),
+                        "state diverged (fusion={fusion} write_aware={write_aware}): {batch:#?}"
+                    );
+                }
+                (Err(a), Some(b)) => {
+                    assert_eq!(
+                        &a, b,
+                        "first error (fusion={fusion} write_aware={write_aware}): {batch:#?}"
+                    );
+                    // Writes before the failing statement applied exactly
+                    // as the serial prefix did.
+                    assert_eq!(
+                        db_state(&env),
+                        db_state(&serial),
+                        "failed-batch state (fusion={fusion} write_aware={write_aware}): {batch:#?}"
+                    );
+                }
+                (a, b) => panic!(
+                    "batch vs serial disagree on failure: batch={a:?} serial={b:?} {batch:#?}"
+                ),
+            }
+        }
+    }
 }

@@ -210,6 +210,96 @@ fn random_batches_sharded_equals_single() {
     }
 }
 
+/// Write-heavy batches (≥ 30 % writes, overlapping and disjoint tables
+/// and keys) under the **write-aware segment planner**: a sharded fleet
+/// must still match the single server statement for statement — results,
+/// row order, final state, first error — with fusion on and off. This is
+/// the sharded half of the write-mix acceptance gate: fused groups may
+/// now cross disjoint-footprint writes, and the router must agree with
+/// the single server about what every statement sees.
+#[test]
+fn write_heavy_batches_sharded_equals_single() {
+    for case in 0..80u64 {
+        for &n in &[2usize, 4] {
+            for fusion in [true, false] {
+                let mut rng = Rng::new(0x3217E817 ^ (case << 4) ^ n as u64);
+                let mut next_id = 300;
+                let len = rng.range(3, 20);
+                let batch: Vec<String> = (0..len)
+                    .map(|_| {
+                        if rng.range(0, 10) < 4 {
+                            arb_write_statement(&mut rng, &mut next_id)
+                        } else {
+                            arb_statement(&mut rng, &mut next_id)
+                        }
+                    })
+                    .collect();
+
+                let reference = single();
+                let sharded = fleet(n);
+                reference.set_fusion(fusion);
+                sharded.set_fusion(fusion);
+
+                let r_ref = reference.query_batch(&batch);
+                let r_sh = sharded.query_batch(&batch);
+                match (r_ref, r_sh) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(
+                            a, b,
+                            "write-mix at {n} shards (fusion {fusion}): {batch:#?}"
+                        );
+                        assert_eq!(
+                            db_state(&|sql| reference.query(sql)),
+                            db_state(&|sql| sharded.query(sql)),
+                            "write-mix final state at {n} shards (fusion {fusion}): {batch:#?}"
+                        );
+                    }
+                    (Err(a), Err(b)) => assert_eq!(
+                        a, b,
+                        "write-mix first error at {n} shards (fusion {fusion}): {batch:#?}"
+                    ),
+                    (a, b) => {
+                        panic!("one backend failed: single={a:?} sharded={b:?} batch {batch:#?}")
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Write-biased statements for the write-mix suite: routed and broadcast
+/// updates, deletes, and inserts that overlap the read templates'
+/// key ranges (same `project_id` space) or miss them entirely.
+fn arb_write_statement(rng: &mut Rng, next_insert_id: &mut i64) -> String {
+    match rng.range(0, 6) {
+        0 | 1 => format!(
+            "UPDATE issue SET sev = {} WHERE project_id = {}",
+            rng.range(0, 9),
+            rng.range(0, 10)
+        ),
+        2 => format!(
+            "UPDATE issue SET title = 'wt{}' WHERE id = {}",
+            rng.range(0, 6),
+            rng.range(0, 45)
+        ),
+        3 => format!("DELETE FROM issue WHERE id = {}", rng.range(30, 48)),
+        4 => format!(
+            "UPDATE project SET name = 'wp{}' WHERE id = {}",
+            rng.range(0, 5),
+            rng.range(0, 10)
+        ),
+        _ => {
+            let id = *next_insert_id;
+            *next_insert_id += 1;
+            format!(
+                "INSERT INTO issue (id, project_id, title, sev) VALUES ({id}, {}, 'wm{id}', {})",
+                rng.range(0, 10),
+                rng.range(0, 4)
+            )
+        }
+    }
+}
+
 /// The hot ORM pattern at fleet scale: same-template point lookups on the
 /// shard key must split into sub-probes and cut database time vs one
 /// server, at identical results and round trips.
