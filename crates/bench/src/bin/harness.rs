@@ -8,6 +8,7 @@
 //! cargo run --release -p sloth-bench --bin harness -- shard      # writes BENCH_shard.json
 //! cargo run --release -p sloth-bench --bin harness -- throughput # writes BENCH_throughput.json
 //! cargo run --release -p sloth-bench --bin harness -- writebatch # writes BENCH_writebatch.json
+//! cargo run --release -p sloth-bench --bin harness -- deferral   # writes BENCH_deferral.json
 //! ```
 //!
 //! `throughput` is the real-threads serving harness: N worker OS threads ×
@@ -37,6 +38,7 @@ fn main() {
             "shard",
             "throughput",
             "writebatch",
+            "deferral",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -78,6 +80,7 @@ fn main() {
             "shard" => shard_figure_cmd(),
             "throughput" => throughput_figure_cmd(),
             "writebatch" => writebatch_figure_cmd(),
+            "deferral" => deferral_figure_cmd(),
             other => eprintln!("unknown experiment: {other}"),
         }
     }
@@ -502,6 +505,65 @@ fn writebatch_figure_cmd() {
     match std::fs::write("BENCH_writebatch.json", &json) {
         Ok(()) => println!("  wrote BENCH_writebatch.json"),
         Err(e) => eprintln!("  could not write BENCH_writebatch.json: {e}"),
+    }
+}
+
+fn deferral_figure_cmd() {
+    println!("\n== Deferral figure — selective laziness vs the write-aware baseline ==");
+    let fig = sloth_bench::deferral::deferral_figure();
+    println!(
+        "  {:<26} {:>5} {:>10} {:>10} {:>8} {:>9} {:>9} {:>8} {:>8}",
+        "workload",
+        "txns",
+        "wa trips",
+        "sl trips",
+        "Δtrips",
+        "deferred",
+        "wr-only",
+        "drains",
+        "outputs"
+    );
+    for row in &fig.rows {
+        println!(
+            "  {:<26} {:>5} {:>10} {:>10} {:>7.1}% {:>9} {:>9} {:>8} {:>8}",
+            row.name,
+            row.txns,
+            row.baseline.round_trips,
+            row.deferred.round_trips,
+            row.round_trip_reduction() * 100.0,
+            row.deferred_writes,
+            row.write_only_flushes,
+            row.conflict_drains,
+            if row.outputs_equal && row.state_equal {
+                "equal"
+            } else {
+                "DIFFER"
+            }
+        );
+        assert!(
+            row.outputs_equal && row.state_equal,
+            "{}: selective laziness diverged",
+            row.name
+        );
+        assert!(
+            row.deferred.round_trips <= row.baseline.round_trips,
+            "{}: deferral added round trips",
+            row.name
+        );
+    }
+    println!(
+        "  gate: {:.1}% fewer round trips vs the write-aware baseline (≥ 10% required)",
+        fig.overall_reduction() * 100.0
+    );
+    assert!(
+        fig.overall_reduction() >= 0.10,
+        "deferral round-trip reduction {:.1}% < 10%",
+        fig.overall_reduction() * 100.0
+    );
+    let json = fig.to_json();
+    match std::fs::write("BENCH_deferral.json", &json) {
+        Ok(()) => println!("  wrote BENCH_deferral.json"),
+        Err(e) => eprintln!("  could not write BENCH_deferral.json: {e}"),
     }
 }
 

@@ -1,0 +1,234 @@
+//! The **selective-laziness figure**: what runtime write deferral buys on
+//! write-mixed pages, against the PR 4 write-aware baseline.
+//!
+//! Write-aware batching (the `writebatch` figure) made a write ride the
+//! flush it forces — but it still *forces* a flush per write, so N
+//! consecutive disjoint writes cost N round trips. Selective laziness
+//! (§3.5–3.6, the "SC" effect of Fig. 12 at the runtime level) defers
+//! every write whose footprint is disjoint from the pending batch; a
+//! conflicting statement, a transaction boundary or an explicit force
+//! drains the accumulated writes in **one** round trip.
+//!
+//! Measured workloads — the same deterministic write-mixed pages as the
+//! `writebatch` figure, so the two documents compose: TPC-C new-order /
+//! payment / delivery pages and the itracker `edit_issue.save` /
+//! `triage_sweep` update pages. Each runs the same transaction stream
+//! twice — write deferral **off** (exactly the PR 4 write-aware driver)
+//! and **on** — asserting byte-identical program output and final
+//! database state, and reporting the round-trip reduction.
+//! [`DeferralFigure::to_json`] renders `BENCH_deferral.json`, gated in CI
+//! at **≥ 10 % fewer round trips** over the whole write mix.
+
+use std::sync::Arc;
+
+use sloth_lang::RunResult;
+use sloth_net::{CostModel, SimEnv};
+
+use crate::writebatch::{self, WriteMixMeasure};
+
+/// One workload's deferral-off vs deferral-on comparison.
+#[derive(Debug, Clone)]
+pub struct DeferralRow {
+    /// Workload name.
+    pub name: String,
+    /// Transactions / pages executed per side.
+    pub txns: usize,
+    /// Write-aware, deferral off (the PR 4 baseline).
+    pub baseline: WriteMixMeasure,
+    /// Write-aware + selective laziness.
+    pub deferred: WriteMixMeasure,
+    /// Writes deferred at registration (deferral side).
+    pub deferred_writes: u64,
+    /// Write-only flushes shipped (deferral side).
+    pub write_only_flushes: u64,
+    /// Conflict-triggered drains (deferral side).
+    pub conflict_drains: u64,
+    /// Whether both sides printed byte-identical output.
+    pub outputs_equal: bool,
+    /// Whether both sides left byte-identical database state.
+    pub state_equal: bool,
+}
+
+impl DeferralRow {
+    /// Fractional round-trip reduction (0.25 = 25 % fewer trips).
+    pub fn round_trip_reduction(&self) -> f64 {
+        1.0 - self.deferred.round_trips as f64 / self.baseline.round_trips.max(1) as f64
+    }
+}
+
+/// Everything the selective-laziness figure reports.
+#[derive(Debug, Clone)]
+pub struct DeferralFigure {
+    /// One row per workload.
+    pub rows: Vec<DeferralRow>,
+}
+
+impl DeferralFigure {
+    /// Round-trip reduction over the whole write mix.
+    pub fn overall_reduction(&self) -> f64 {
+        let baseline: u64 = self.rows.iter().map(|r| r.baseline.round_trips).sum();
+        let deferred: u64 = self.rows.iter().map(|r| r.deferred.round_trips).sum();
+        1.0 - deferred as f64 / baseline.max(1) as f64
+    }
+}
+
+/// Runs the full selective-laziness figure.
+pub fn deferral_figure() -> DeferralFigure {
+    let rows = writebatch::write_mix_workloads()
+        .iter()
+        .map(|w| {
+            let mut sides = Vec::new();
+            for deferral in [false, true] {
+                let env = SimEnv::from_database(w.seed_db.clone(), CostModel::default());
+                // Both sides run the write-aware driver; only selective
+                // laziness differs.
+                env.set_write_deferral(deferral);
+                let mut measure = WriteMixMeasure::default();
+                let mut stats = (0u64, 0u64, 0u64);
+                let mut output = Vec::new();
+                for t in 0..w.txns {
+                    let r: RunResult = w
+                        .prepared
+                        .run(
+                            &env,
+                            Arc::clone(&w.schema),
+                            vec![sloth_lang::V::Int(t as i64 + 1)],
+                        )
+                        .expect("deferral workload must run");
+                    measure.add(&r);
+                    if let Some(s) = &r.store {
+                        stats.0 += s.deferred_writes;
+                        stats.1 += s.write_only_flushes;
+                        stats.2 += s.conflict_drains;
+                    }
+                    output.extend(r.output);
+                }
+                let state = writebatch::db_fingerprint(&env, &w.tables);
+                sides.push((measure, stats, output, state));
+            }
+            let (baseline, base_stats, base_out, base_state) = sides.remove(0);
+            let (deferred, def_stats, def_out, def_state) = sides.remove(0);
+            assert_eq!(base_stats.0, 0, "{}: baseline must never defer", w.name);
+            DeferralRow {
+                name: w.name.clone(),
+                txns: w.txns,
+                baseline,
+                deferred,
+                deferred_writes: def_stats.0,
+                write_only_flushes: def_stats.1,
+                conflict_drains: def_stats.2,
+                outputs_equal: base_out == def_out,
+                state_equal: base_state == def_state,
+            }
+        })
+        .collect();
+    DeferralFigure { rows }
+}
+
+fn measure_json(m: &WriteMixMeasure) -> String {
+    format!(
+        "{{\"round_trips\": {}, \"queries\": {}, \"db_ns\": {}, \"network_ns\": {}, \
+         \"total_ns\": {}, \"write_flushes\": {}, \"segments\": {}, \"max_batch\": {}}}",
+        m.round_trips,
+        m.queries,
+        m.db_ns,
+        m.network_ns,
+        m.total_ns,
+        m.write_flushes,
+        m.segments,
+        m.max_batch
+    )
+}
+
+impl DeferralFigure {
+    /// Renders the figure as the `BENCH_deferral.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"figure\": \"deferral\",\n  \"workloads\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"txns\": {}, \"outputs_equal\": {}, \
+                 \"state_equal\": {}, \"round_trip_reduction_pct\": {:.1}, \
+                 \"deferred_writes\": {}, \"write_only_flushes\": {}, \
+                 \"conflict_drains\": {}, \"write_aware\": {}, \"deferral\": {}}}{}\n",
+                row.name,
+                row.txns,
+                row.outputs_equal,
+                row.state_equal,
+                row.round_trip_reduction() * 100.0,
+                row.deferred_writes,
+                row.write_only_flushes,
+                row.conflict_drains,
+                measure_json(&row.baseline),
+                measure_json(&row.deferred),
+                if i + 1 < self.rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"gate\": {{\"overall_round_trip_reduction_pct\": {:.1}, \"min_required_pct\": 10.0, \
+             \"pass\": {}}}\n}}\n",
+            self.overall_reduction() * 100.0,
+            self.overall_reduction() >= 0.10
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The acceptance gates of the selective-laziness work, enforced on
+    /// every test run: identical output and final state per workload,
+    /// never more round trips than the PR 4 write-aware baseline, ≥ 10 %
+    /// fewer over the whole write mix, and writes actually deferring.
+    #[test]
+    fn deferral_figure_meets_targets() {
+        let fig = deferral_figure();
+        assert!(fig.rows.len() >= 5, "TPC-C trio + 2 itracker update pages");
+        for row in &fig.rows {
+            assert!(row.outputs_equal, "{}: output diverged", row.name);
+            assert!(row.state_equal, "{}: final DB state diverged", row.name);
+            assert!(
+                row.deferred.round_trips <= row.baseline.round_trips,
+                "{}: deferral must never add round trips ({} vs {})",
+                row.name,
+                row.deferred.round_trips,
+                row.baseline.round_trips
+            );
+            assert!(
+                row.deferred_writes > 0,
+                "{}: no write ever deferred",
+                row.name
+            );
+            assert_eq!(
+                row.baseline.queries, row.deferred.queries,
+                "{}: same statements either way",
+                row.name
+            );
+        }
+        assert!(
+            fig.rows
+                .iter()
+                .any(|r| r.deferred.round_trips < r.baseline.round_trips),
+            "deferral must strictly win somewhere"
+        );
+        assert!(
+            fig.overall_reduction() >= 0.10,
+            "deferral round-trip reduction {:.1}% < 10%",
+            fig.overall_reduction() * 100.0
+        );
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let fig = deferral_figure();
+        let json = fig.to_json();
+        assert!(json.contains("\"figure\": \"deferral\""));
+        assert!(json.contains("tpcc payment"));
+        assert!(json.contains("itracker triage_sweep"));
+        assert!(json.contains("\"pass\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

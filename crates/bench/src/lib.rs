@@ -7,6 +7,7 @@
 
 #![warn(missing_docs)]
 
+pub mod deferral;
 pub mod fusion;
 pub mod microbench;
 pub mod serve;
@@ -371,9 +372,13 @@ fn overhead_row(
     let orig = prepare(&program, ExecStrategy::Original);
     let sloth = prepare(&program, ExecStrategy::Sloth(OptFlags::all()));
     // Each mode runs against its own copy (the measured quantity is
-    // single-stream execution time, not contention).
+    // single-stream execution time, not contention). Write deferral is
+    // pinned off on the Sloth side: Fig. 13 isolates the bookkeeping cost
+    // of lazy evaluation at matched round trips — the deferral round-trip
+    // win is measured by the `deferral` figure instead.
     let env_o = SimEnv::from_database(db.clone(), CostModel::default());
     let env_s = SimEnv::from_database(db.clone(), CostModel::default());
+    env_s.set_write_deferral(false);
     for t in 0..txns {
         orig.run(&env_o, Arc::clone(&schema), vec![V::Int(t as i64 + 1)])
             .expect("orig txn");

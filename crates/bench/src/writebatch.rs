@@ -136,7 +136,7 @@ pub struct WriteMixMeasure {
 }
 
 impl WriteMixMeasure {
-    fn add(&mut self, r: &RunResult) {
+    pub(crate) fn add(&mut self, r: &RunResult) {
         self.round_trips += r.net.round_trips;
         self.queries += r.net.queries;
         self.db_ns += r.net.db_ns;
@@ -235,7 +235,7 @@ fn main(arg) {
 
 /// Dumps the mutated tables so both sides' final states can be compared
 /// byte for byte.
-fn db_fingerprint(env: &SimEnv, tables: &[&str]) -> Vec<String> {
+pub(crate) fn db_fingerprint(env: &SimEnv, tables: &[&str]) -> Vec<String> {
     env.seed(|db| {
         tables
             .iter()
@@ -249,13 +249,15 @@ fn db_fingerprint(env: &SimEnv, tables: &[&str]) -> Vec<String> {
     })
 }
 
-struct Workload {
-    name: String,
-    prepared: Prepared,
-    schema: Arc<Schema>,
-    seed_db: Database,
-    txns: usize,
-    tables: Vec<&'static str>,
+/// One write-mixed workload, shared with the `deferral` figure so both
+/// documents measure the very same pages.
+pub(crate) struct Workload {
+    pub(crate) name: String,
+    pub(crate) prepared: Prepared,
+    pub(crate) schema: Arc<Schema>,
+    pub(crate) seed_db: Database,
+    pub(crate) txns: usize,
+    pub(crate) tables: Vec<&'static str>,
 }
 
 fn measure(w: &Workload) -> WriteMixRow {
@@ -263,6 +265,10 @@ fn measure(w: &Workload) -> WriteMixRow {
     for write_batching in [false, true] {
         let env = SimEnv::from_database(w.seed_db.clone(), CostModel::default());
         env.set_write_batching(write_batching);
+        // This figure isolates PR 4's write-aware batching against the
+        // legacy split; selective laziness stacks on top of it and is
+        // measured by the `deferral` figure against this very baseline.
+        env.set_write_deferral(false);
         let mut measure = WriteMixMeasure::default();
         let mut output = Vec::new();
         for t in 0..w.txns {
@@ -288,8 +294,9 @@ fn measure(w: &Workload) -> WriteMixRow {
     }
 }
 
-/// Runs the full write-mix figure.
-pub fn writebatch_figure() -> WriteBatchFigure {
+/// The write-mixed workload set: TPC-C write-transaction pages plus the
+/// itracker update pages, compiled once.
+pub(crate) fn write_mix_workloads() -> Vec<Workload> {
     let mut workloads = Vec::new();
 
     // TPC-C write transactions.
@@ -332,8 +339,13 @@ pub fn writebatch_figure() -> WriteBatchFigure {
         });
     }
 
+    workloads
+}
+
+/// Runs the full write-mix figure.
+pub fn writebatch_figure() -> WriteBatchFigure {
     WriteBatchFigure {
-        rows: workloads.iter().map(measure).collect(),
+        rows: write_mix_workloads().iter().map(measure).collect(),
     }
 }
 

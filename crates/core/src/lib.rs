@@ -40,7 +40,7 @@
 pub mod store;
 pub mod thunk;
 
-pub use store::{QueryId, QueryStore, StoreStats};
+pub use store::{QueryId, QueryStore, Registration, StoreStats};
 pub use thunk::{thunk_counters, Thunk, ThunkBlock, ThunkCounters};
 
 use sloth_sql::ResultSet;

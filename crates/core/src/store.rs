@@ -22,7 +22,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Condvar, Mutex};
 
 use sloth_net::{Dispatcher, SimEnv};
-use sloth_sql::{is_write_sql, normalize, ResultSet, SqlError, Value};
+use sloth_sql::{is_write_sql, normalize, Footprint, ResultSet, SqlError, Value};
 
 /// Identifier of a registered query; stable for the life of the store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -63,6 +63,18 @@ pub struct StoreStats {
     /// another session (always zero without a [`Dispatcher`], and zero at
     /// one client).
     pub coalesced_batches: u64,
+    /// Writes left lingering in the pending batch at registration because
+    /// their footprint was disjoint from every pending statement —
+    /// selective laziness (§3.5–3.6): these cost **no** round trip of
+    /// their own. Always zero with write deferral off.
+    pub deferred_writes: u64,
+    /// Shipped batches consisting entirely of writes — N deferred writes
+    /// draining in one round trip instead of N.
+    pub write_only_flushes: u64,
+    /// Flushes forced because a newly registered statement's footprint
+    /// conflicted with a pending **deferred write** (the read-after-write
+    /// and write-after-write drain triggers).
+    pub conflict_drains: u64,
 }
 
 impl StoreStats {
@@ -75,6 +87,17 @@ impl StoreStats {
     pub fn queries_shipped(&self) -> usize {
         self.batch_sizes.iter().sum()
     }
+}
+
+/// What a read registration decided to do with the pending batch.
+enum ReadAction {
+    /// Accumulate (the normal lazy path).
+    Linger,
+    /// The read conflicts with a pending deferred write: drain the batch,
+    /// the read riding it.
+    Drain,
+    /// The eager flush-threshold policy tripped.
+    Threshold,
 }
 
 /// In-batch dedup key: the normalized template plus its extracted literal
@@ -107,8 +130,39 @@ enum FlushTarget {
     Dispatched(Arc<Dispatcher>),
 }
 
+/// What one registration did: the id, and whether the statement (a write)
+/// was left lingering in the pending batch instead of forcing a flush.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Registration {
+    /// The registered statement's id.
+    pub id: QueryId,
+    /// `true` iff the statement is a write that was **deferred**: it cost
+    /// no round trip yet and its (empty) result — or error — will only
+    /// materialize at the next drain. Callers that would immediately
+    /// demand a write's result should skip that force when this is set,
+    /// or the deferral is undone on the spot.
+    pub deferred: bool,
+}
+
+/// One statement waiting in the pending batch.
+struct PendingStmt {
+    id: QueryId,
+    sql: String,
+    /// Write / transaction-boundary classification (writes only linger
+    /// here when write deferral is on and their footprint commutes with
+    /// everything pending).
+    is_write: bool,
+    /// The statement's footprint — materialized only once deferral needs
+    /// it (a write is, or is about to be, pending), via the backend's
+    /// per-template cache; threaded through the flush into the batch
+    /// planner so the dispatched path never re-derives it.
+    fp: Option<Footprint>,
+}
+
 struct StoreInner {
-    pending: Vec<(QueryId, String)>,
+    pending: Vec<PendingStmt>,
+    /// Writes currently lingering in `pending` (deferred writes).
+    pending_writes: usize,
     pending_by_key: HashMap<DedupKey, QueryId>,
     results: HashMap<QueryId, Result<ResultSet, SqlError>>,
     /// Ids drained from `pending` by a flush that has not recorded its
@@ -191,6 +245,7 @@ impl QueryStore {
             shared: Arc::new(StoreShared {
                 inner: Mutex::new(StoreInner {
                     pending: Vec::new(),
+                    pending_writes: 0,
                     pending_by_key: HashMap::new(),
                     results: HashMap::new(),
                     in_flight: HashSet::new(),
@@ -241,62 +296,194 @@ impl QueryStore {
     /// trip — the old split behaviour the `writebatch` figure compares
     /// against.
     pub fn register(&self, sql: impl Into<String>) -> Result<QueryId, SqlError> {
+        self.register_stmt(sql).map(|r| r.id)
+    }
+
+    /// [`QueryStore::register`] reporting whether a write was deferred —
+    /// the entry point for callers (the lazy interpreter, the ORM
+    /// session) that otherwise force a write's empty result immediately
+    /// and would undo the deferral doing so.
+    pub fn register_stmt(&self, sql: impl Into<String>) -> Result<Registration, SqlError> {
         let sql = sql.into();
         let is_write = is_write_sql(&sql);
-        {
-            let mut inner = self.lock();
-            inner.stats.registered += 1;
-            if !is_write {
+        let deferral = self.env.write_deferral_enabled();
+        if !is_write {
+            let (id, action) = {
+                let mut inner = self.lock();
+                inner.stats.registered += 1;
                 let key = DedupKey::of(&sql);
                 if let Some(&id) = inner.pending_by_key.get(&key) {
+                    // Sound across deferred writes: a dedup hit means an
+                    // identical read is already pending, and every
+                    // deferred write proved itself disjoint from it — so
+                    // it is disjoint from this read too (same footprint),
+                    // and both positions observe identical rows.
                     inner.stats.dedup_hits += 1;
-                    return Ok(id);
+                    return Ok(Registration {
+                        id,
+                        deferred: false,
+                    });
+                }
+                // Selective laziness: a read may only join a batch with
+                // deferred writes aboard when it provably cannot observe
+                // them; a conflicting read drains the batch (riding it, so
+                // the drain is still one round trip and the read observes
+                // the writes in registration order).
+                let mut fp = None;
+                let mut conflicts = false;
+                if deferral && inner.pending_writes > 0 {
+                    let f = self.env.footprint_of(&sql);
+                    conflicts = inner
+                        .pending
+                        .iter()
+                        .any(|p| p.is_write && p.fp.as_ref().is_none_or(|w| w.conflicts_with(&f)));
+                    fp = Some(f);
                 }
                 let id = QueryId(inner.next_id);
                 inner.next_id += 1;
                 inner.pending_by_key.insert(key, id);
-                inner.pending.push((id, sql));
-                let over = inner
+                inner.pending.push(PendingStmt {
+                    id,
+                    sql,
+                    is_write: false,
+                    fp,
+                });
+                let action = if conflicts {
+                    inner.stats.conflict_drains += 1;
+                    ReadAction::Drain
+                } else if inner
                     .flush_threshold
                     .map(|n| inner.pending.len() >= n)
-                    .unwrap_or(false);
-                drop(inner);
-                if over {
-                    self.flush_internal(false)?;
-                }
-                return Ok(id);
+                    .unwrap_or(false)
+                {
+                    ReadAction::Threshold
+                } else {
+                    ReadAction::Linger
+                };
+                (id, action)
+            };
+            match action {
+                ReadAction::Linger => {}
+                ReadAction::Drain | ReadAction::Threshold => self.flush_internal(false)?,
             }
+            return Ok(Registration {
+                id,
+                deferred: false,
+            });
+        }
+        if deferral {
+            // Selective laziness (§3.5–3.6): a write whose footprint is
+            // disjoint from every pending statement is *silent* — nothing
+            // already registered can observe it, so it lingers in the
+            // batch instead of forcing a flush. Consecutive disjoint
+            // writes pile up and drain in ONE round trip.
+            let fp = self.env.footprint_of(&sql);
+            if !fp.barrier {
+                let mut inner = self.lock();
+                // Pending statements need footprints to check against;
+                // materialize the missing ones (cached per template).
+                for i in 0..inner.pending.len() {
+                    if inner.pending[i].fp.is_none() {
+                        let f = self.env.footprint_of(&inner.pending[i].sql);
+                        inner.pending[i].fp = Some(f);
+                    }
+                }
+                let conflicts = inner
+                    .pending
+                    .iter()
+                    .any(|p| p.fp.as_ref().is_none_or(|pf| pf.conflicts_with(&fp)));
+                if !conflicts {
+                    inner.stats.registered += 1;
+                    inner.stats.deferred_writes += 1;
+                    let id = QueryId(inner.next_id);
+                    inner.next_id += 1;
+                    inner.pending.push(PendingStmt {
+                        id,
+                        sql,
+                        is_write: true,
+                        fp: Some(fp),
+                    });
+                    inner.pending_writes += 1;
+                    return Ok(Registration { id, deferred: true });
+                }
+                // Conflicting write: it drains the batch exactly as the
+                // write-aware (PR 4) path would — joining it, one round
+                // trip — with the conflict drain accounted when a
+                // deferred write was among the statements it conflicts
+                // into the database.
+                if inner.pending_writes > 0 {
+                    inner.stats.conflict_drains += 1;
+                }
+                drop(inner);
+                return self
+                    .register_write_aware(sql, Some(fp))
+                    .map(|id| Registration {
+                        id,
+                        deferred: false,
+                    });
+            }
+            // Barriers (transaction boundaries, DDL, unparseable SQL)
+            // conflict with everything: fall through to the write-aware
+            // join-and-flush, draining any deferred writes with them.
         }
         if self.env.write_batching_enabled() {
-            // Write-aware path: the write joins the pending batch and the
-            // whole thing ships as ONE round trip.
-            let (id, had_pending) = {
-                let mut inner = self.lock();
-                let had_pending = !inner.pending.is_empty();
-                let id = QueryId(inner.next_id);
-                inner.next_id += 1;
-                inner.pending.push((id, sql));
-                (id, had_pending)
-            };
-            self.flush_internal(had_pending)?;
-            if had_pending {
-                // Counted only once the combined batch actually shipped:
-                // `write_batched` means "writes that shared a successful
-                // round trip", and a failed flush records failed_batches.
-                self.lock().stats.write_batched += 1;
-            }
-            return Ok(id);
+            return self.register_write_aware(sql, None).map(|id| Registration {
+                id,
+                deferred: false,
+            });
         }
         // Legacy path: flush whatever is pending, then run the write alone.
+        self.lock().stats.registered += 1;
         self.flush_internal(true)?;
         let id = {
             let mut inner = self.lock();
             let id = QueryId(inner.next_id);
             inner.next_id += 1;
-            inner.pending.push((id, sql));
+            inner.pending.push(PendingStmt {
+                id,
+                sql,
+                is_write: true,
+                fp: None,
+            });
             id
         };
         self.flush_internal(false)?;
+        Ok(Registration {
+            id,
+            deferred: false,
+        })
+    }
+
+    /// The write-aware (PR 4) write path: the write joins the pending
+    /// batch and the whole thing ships as ONE round trip.
+    fn register_write_aware(
+        &self,
+        sql: String,
+        fp: Option<Footprint>,
+    ) -> Result<QueryId, SqlError> {
+        let (id, had_pending) = {
+            let mut inner = self.lock();
+            inner.stats.registered += 1;
+            let had_pending = !inner.pending.is_empty();
+            let id = QueryId(inner.next_id);
+            inner.next_id += 1;
+            let is_write = true;
+            inner.pending.push(PendingStmt {
+                id,
+                sql,
+                is_write,
+                fp,
+            });
+            inner.pending_writes += 1;
+            (id, had_pending)
+        };
+        self.flush_internal(had_pending)?;
+        if had_pending {
+            // Counted only once the combined batch actually shipped:
+            // `write_batched` means "writes that shared a successful
+            // round trip", and a failed flush records failed_batches.
+            self.lock().stats.write_batched += 1;
+        }
         Ok(id)
     }
 
@@ -343,24 +530,76 @@ impl QueryStore {
         }
     }
 
-    /// Ships the current batch (if any) without demanding a result.
+    /// Ships the current batch (if any) without demanding a result —
+    /// draining any deferred writes with it.
     pub fn flush(&self) -> Result<(), SqlError> {
         self.flush_internal(false)
     }
 
+    /// Ships only the **deferred writes** lingering in the pending batch
+    /// (one write-only round trip for all of them), leaving pending reads
+    /// lazy. Legal by the deferral invariant: every lingering write is
+    /// footprint-disjoint from every other pending statement, so shipping
+    /// the writes first is invisible to the reads left behind. This is
+    /// the end-of-request hook — a page whose last statements are writes
+    /// must not leave them unexecuted, but must not force its dead reads
+    /// either (never-demanded queries never running is the point of the
+    /// paper).
+    pub fn flush_deferred_writes(&self) -> Result<(), SqlError> {
+        let drained: Vec<PendingStmt> = {
+            let mut inner = self.lock();
+            if inner.pending_writes == 0 {
+                return Ok(());
+            }
+            let (writes, reads): (Vec<PendingStmt>, Vec<PendingStmt>) =
+                inner.pending.drain(..).partition(|p| p.is_write);
+            inner.pending = reads;
+            inner.pending_writes = 0;
+            for p in &writes {
+                inner.in_flight.insert(p.id);
+            }
+            writes
+        };
+        self.ship(drained, false)
+    }
+
     fn flush_internal(&self, caused_by_write: bool) -> Result<(), SqlError> {
-        let (ids, sqls): (Vec<QueryId>, Vec<String>) = {
+        let drained: Vec<PendingStmt> = {
             let mut inner = self.lock();
             if inner.pending.is_empty() {
                 return Ok(());
             }
             inner.pending_by_key.clear();
-            let drained: Vec<(QueryId, String)> = inner.pending.drain(..).collect();
-            for (id, _) in &drained {
-                inner.in_flight.insert(*id);
+            inner.pending_writes = 0;
+            let drained: Vec<PendingStmt> = inner.pending.drain(..).collect();
+            for p in &drained {
+                inner.in_flight.insert(p.id);
             }
-            drained.into_iter().unzip()
+            drained
         };
+        self.ship(drained, caused_by_write)
+    }
+
+    /// Ships an already-drained batch and records per-id outcomes.
+    fn ship(&self, drained: Vec<PendingStmt>, caused_by_write: bool) -> Result<(), SqlError> {
+        let all_writes = drained.iter().all(|p| p.is_write);
+        let have_all_fps = drained.iter().all(|p| p.fp.is_some());
+        // Thread the footprints the register path already derived into
+        // the batch planner (they are complete exactly when a write is
+        // aboard under deferral — the only time the planner needs them).
+        // One destructuring pass by move: no footprint clones on the
+        // flush path.
+        let mut ids = Vec::with_capacity(drained.len());
+        let mut sqls = Vec::with_capacity(drained.len());
+        let mut fps = Vec::with_capacity(if have_all_fps { drained.len() } else { 0 });
+        for p in drained {
+            ids.push(p.id);
+            sqls.push(p.sql);
+            if have_all_fps {
+                fps.push(p.fp.expect("checked"));
+            }
+        }
+        let footprints: Option<Vec<Footprint>> = have_all_fps.then_some(fps);
         let mut panic_guard = FlushPanicGuard {
             shared: &self.shared,
             ids: &ids,
@@ -377,7 +616,7 @@ impl QueryStore {
         let (results, error, fused_queries, fused_groups, coalesced, segments) = match &self.target
         {
             FlushTarget::Direct(env) => {
-                let p = env.query_batch_partial(&sqls);
+                let p = env.query_batch_partial_with(&sqls, footprints.as_deref());
                 (
                     p.results,
                     p.error.map(|(_, e)| e),
@@ -414,6 +653,9 @@ impl QueryStore {
                     }
                     if caused_by_write {
                         inner.stats.write_flushes += 1;
+                    }
+                    if all_writes {
+                        inner.stats.write_only_flushes += 1;
                     }
                 }
                 Some(_) => inner.stats.failed_batches += 1,
@@ -659,8 +901,12 @@ mod tests {
     fn failed_write_does_not_poison_earlier_reads() {
         // A read rides the batch its (failing) write forces: the read
         // still answers with its rows, the write with the error — the
-        // serial program's observable behaviour exactly.
-        let store = QueryStore::new(env());
+        // serial program's observable behaviour exactly. (Deferral off:
+        // with deferral on, a disjoint failing write defers and its error
+        // surfaces at the drain instead — see the deferral tests.)
+        let e = env();
+        e.set_write_deferral(false);
+        let store = QueryStore::new(e);
         let read = store.register("SELECT v FROM t WHERE id = 1").unwrap();
         let write = store.register("UPDATE missing SET v = 'x' WHERE id = 1");
         assert!(write.is_err(), "register surfaces the write's flush error");
@@ -681,6 +927,250 @@ mod tests {
             legacy.result(read).unwrap().get(0, "v").unwrap().as_str(),
             Some("v1")
         );
+    }
+
+    #[test]
+    fn disjoint_writes_defer_and_drain_in_one_round_trip() {
+        // N consecutive disjoint writes: ZERO round trips at registration,
+        // ONE when drained — the selective-laziness headline.
+        let e = env();
+        let store = QueryStore::new(e.clone());
+        let regs: Vec<_> = (0..4)
+            .map(|i| {
+                store
+                    .register_stmt(format!("UPDATE t SET v = 'w{i}' WHERE id = {i}"))
+                    .unwrap()
+            })
+            .collect();
+        assert!(
+            regs.iter().all(|r| r.deferred),
+            "all four disjoint writes defer"
+        );
+        assert_eq!(e.stats().round_trips, 0, "no round trip yet");
+        assert_eq!(store.pending_len(), 4);
+        assert_eq!(store.stats().deferred_writes, 4);
+        store.flush().unwrap();
+        assert_eq!(e.stats().round_trips, 1, "4 writes → 1 round trip");
+        let s = store.stats();
+        assert_eq!(s.write_only_flushes, 1);
+        assert_eq!(s.batch_sizes, vec![4]);
+        // Effects all applied, in order.
+        for i in 0..4 {
+            let rs = e.query(&format!("SELECT v FROM t WHERE id = {i}")).unwrap();
+            assert_eq!(
+                rs.get(0, "v").unwrap().as_str(),
+                Some(format!("w{i}").as_str())
+            );
+        }
+    }
+
+    #[test]
+    fn conflicting_read_drains_deferred_writes() {
+        let e = env();
+        let store = QueryStore::new(e.clone());
+        let w = store
+            .register_stmt("UPDATE t SET v = 'dirty' WHERE id = 3")
+            .unwrap();
+        assert!(w.deferred);
+        // A read of an untouched row lingers…
+        let r_far = store.register("SELECT v FROM t WHERE id = 7").unwrap();
+        assert_eq!(e.stats().round_trips, 0);
+        // …but a read of the written row drains the batch, riding it.
+        let r_hit = store.register("SELECT v FROM t WHERE id = 3").unwrap();
+        assert_eq!(e.stats().round_trips, 1, "conflict drains in one trip");
+        assert_eq!(store.pending_len(), 0);
+        assert_eq!(store.stats().conflict_drains, 1);
+        // Registration order preserved: the read observes the write.
+        assert_eq!(
+            store.result(r_hit).unwrap().get(0, "v").unwrap().as_str(),
+            Some("dirty")
+        );
+        assert_eq!(
+            store.result(r_far).unwrap().get(0, "v").unwrap().as_str(),
+            Some("v7")
+        );
+        assert!(store.result(w.id).unwrap().is_empty());
+        assert_eq!(e.stats().round_trips, 1);
+    }
+
+    #[test]
+    fn conflicting_write_drains_deferred_writes() {
+        let e = env();
+        let store = QueryStore::new(e.clone());
+        assert!(
+            store
+                .register_stmt("UPDATE t SET v = 'a' WHERE id = 1")
+                .unwrap()
+                .deferred
+        );
+        // Same row again: write-after-write conflict → drain, the new
+        // write riding the batch (PR 4 join-and-flush semantics).
+        let second = store
+            .register_stmt("UPDATE t SET v = 'b' WHERE id = 1")
+            .unwrap();
+        assert!(!second.deferred);
+        assert_eq!(e.stats().round_trips, 1);
+        let s = store.stats();
+        assert_eq!(s.conflict_drains, 1);
+        assert_eq!(s.write_batched, 1, "the drain is a shared round trip");
+        assert_eq!(
+            e.query("SELECT v FROM t WHERE id = 1")
+                .unwrap()
+                .get(0, "v")
+                .unwrap()
+                .as_str(),
+            Some("b"),
+            "in-order execution: the later write wins"
+        );
+    }
+
+    #[test]
+    fn transaction_boundary_drains_deferred_writes_in_one_trip() {
+        let e = env();
+        let store = QueryStore::new(e.clone());
+        for i in 0..3 {
+            assert!(
+                store
+                    .register_stmt(format!("UPDATE t SET v = 'x{i}' WHERE id = {i}"))
+                    .unwrap()
+                    .deferred
+            );
+        }
+        store.register("COMMIT").unwrap();
+        assert_eq!(e.stats().round_trips, 1, "3 writes + COMMIT, one trip");
+        assert_eq!(store.stats().write_flushes, 1);
+        assert_eq!(store.pending_len(), 0);
+    }
+
+    #[test]
+    fn force_drains_deferred_writes_with_pending_reads() {
+        let e = env();
+        let store = QueryStore::new(e.clone());
+        let r = store.register("SELECT v FROM t WHERE id = 9").unwrap();
+        assert!(
+            store
+                .register_stmt("UPDATE t SET v = 'z' WHERE id = 2")
+                .unwrap()
+                .deferred
+        );
+        // Forcing the (disjoint) read ships read + write together.
+        assert_eq!(
+            store.result(r).unwrap().get(0, "v").unwrap().as_str(),
+            Some("v9")
+        );
+        assert_eq!(e.stats().round_trips, 1);
+        assert_eq!(
+            e.query("SELECT v FROM t WHERE id = 2")
+                .unwrap()
+                .get(0, "v")
+                .unwrap()
+                .as_str(),
+            Some("z")
+        );
+    }
+
+    #[test]
+    fn flush_deferred_writes_leaves_reads_lazy() {
+        let e = env();
+        let store = QueryStore::new(e.clone());
+        let dead = store.register("SELECT v FROM t WHERE id = 5").unwrap();
+        assert!(
+            store
+                .register_stmt("UPDATE t SET v = 'end' WHERE id = 8")
+                .unwrap()
+                .deferred
+        );
+        store.flush_deferred_writes().unwrap();
+        assert_eq!(e.stats().round_trips, 1);
+        assert_eq!(e.stats().queries, 1, "only the write shipped");
+        assert_eq!(store.pending_len(), 1, "the dead read stays lazy");
+        assert_eq!(store.stats().write_only_flushes, 1);
+        // The write applied; the read still answers if demanded later.
+        assert_eq!(
+            e.query("SELECT v FROM t WHERE id = 8")
+                .unwrap()
+                .get(0, "v")
+                .unwrap()
+                .as_str(),
+            Some("end")
+        );
+        assert_eq!(
+            store.result(dead).unwrap().get(0, "v").unwrap().as_str(),
+            Some("v5")
+        );
+        // No deferred writes → no-op.
+        let trips = e.stats().round_trips;
+        store.flush_deferred_writes().unwrap();
+        assert_eq!(e.stats().round_trips, trips);
+    }
+
+    #[test]
+    fn identical_reads_across_disjoint_write_stay_deduped_and_correct() {
+        let e = env();
+        let store = QueryStore::new(e.clone());
+        let a = store.register("SELECT v FROM t WHERE id = 4").unwrap();
+        assert!(
+            store
+                .register_stmt("UPDATE t SET v = 'q' WHERE id = 6")
+                .unwrap()
+                .deferred
+        );
+        // Identical read after the (disjoint) deferred write: dedup is
+        // sound because the write proved itself disjoint from the first
+        // occurrence — same footprint, same rows at both positions.
+        let b = store.register("SELECT v FROM t WHERE id = 4").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            store.result(a).unwrap().get(0, "v").unwrap().as_str(),
+            Some("v4")
+        );
+    }
+
+    #[test]
+    fn deferred_write_error_surfaces_at_the_drain() {
+        // The selective-laziness contract: a deferred write's failure is
+        // reported at the flush that drains it, not at registration.
+        let e = env();
+        let store = QueryStore::new(e.clone());
+        let w = store
+            .register_stmt("UPDATE missing SET v = 'x' WHERE id = 1")
+            .unwrap();
+        assert!(w.deferred, "disjoint write defers even though it will fail");
+        let err = store.flush().unwrap_err();
+        assert!(err.to_string().contains("missing"), "got: {err}");
+        // The id still answers with the batch error, never unknown-id.
+        let per_id = store.result(w.id).unwrap_err();
+        assert!(per_id.to_string().contains("batch failed"));
+    }
+
+    #[test]
+    fn deferral_off_reproduces_write_aware_flush_per_write() {
+        let on = env();
+        let off = env();
+        off.set_write_deferral(false);
+        let s_on = QueryStore::new(on.clone());
+        let s_off = QueryStore::new(off.clone());
+        for store in [&s_on, &s_off] {
+            for i in 0..3 {
+                store
+                    .register(format!("UPDATE t SET v = 'd{i}' WHERE id = {i}"))
+                    .unwrap();
+            }
+            store.flush().unwrap();
+        }
+        assert_eq!(off.stats().round_trips, 3, "PR 4: one flush per write");
+        assert_eq!(on.stats().round_trips, 1, "deferral: one for all three");
+        assert_eq!(s_off.stats().deferred_writes, 0);
+        // Same effects either way.
+        for i in 0..3 {
+            let a = on
+                .query(&format!("SELECT v FROM t WHERE id = {i}"))
+                .unwrap();
+            let b = off
+                .query(&format!("SELECT v FROM t WHERE id = {i}"))
+                .unwrap();
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

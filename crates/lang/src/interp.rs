@@ -26,7 +26,7 @@ use sloth_sql::ResultSet;
 use crate::analysis::{analyze, Analysis};
 use crate::ast::*;
 use crate::builtins::{builtin_kind, BuiltinKind};
-use crate::opt::{optimize, OptFlags};
+use crate::opt::OptFlags;
 use crate::runtime::{row_to_entity, rs_to_entities, Counters, DataLayer, RunError, RunResult};
 use crate::simplify::simplify_program;
 use crate::value::{BlockDriver, Deser, LazyState, LazyVal, Pending, V};
@@ -66,6 +66,18 @@ impl Prepared {
 /// compiled by the stock compiler, so op-count differences must come from
 /// lazy evaluation itself, not from the three-address lowering.
 pub fn prepare(program: &Program, strategy: ExecStrategy) -> Prepared {
+    prepare_with_schema(program, strategy, None)
+}
+
+/// [`prepare`] with ORM schema metadata available at compile time:
+/// branch deferral across writes can then bound `orm_*` write calls by
+/// their backing tables too (raw `exec`/`query` SQL is statically
+/// traceable either way).
+pub fn prepare_with_schema(
+    program: &Program,
+    strategy: ExecStrategy,
+    schema: Option<&Schema>,
+) -> Prepared {
     let simplified = simplify_program(program);
     let analysis = analyze(&simplified);
     match strategy {
@@ -75,7 +87,7 @@ pub fn prepare(program: &Program, strategy: ExecStrategy) -> Prepared {
             strategy,
         },
         ExecStrategy::Sloth(flags) => {
-            let optimized = optimize(&simplified, &analysis, flags);
+            let optimized = crate::opt::optimize_with_schema(&simplified, &analysis, flags, schema);
             Prepared {
                 program: optimized,
                 analysis: Arc::new(analysis),
@@ -131,16 +143,27 @@ impl Prepared {
             counters: Counters::default(),
             output: Vec::new(),
             out_buffer: Vec::new(),
+            effect_blocks: Vec::new(),
             depth: 0,
         };
         let returned_v = interp.call_function("main", args, lazy)?;
-        // End of request: the buffering writer flushes (forcing in order),
-        // then the framework renders the returned value if any.
+        // End of request: deferred *effectful* blocks (write-containing
+        // branches kept lazy by BD-across-writes) run first — their
+        // writes register now and may still share the output flush —
+        // then the buffering writer flushes (forcing in order), then the
+        // framework renders the returned value if any.
+        interp.run_effect_blocks()?;
         interp.flush_buffer()?;
         let returned = match returned_v {
             V::Null => None,
             v => Some(interp.display(&v)?),
         };
+        // Any write still deferred ships now, in one write-only round
+        // trip — dead reads stay dead (never-demanded queries never
+        // execute), but writes always apply before the request ends.
+        if let Some(store) = &interp.data.store {
+            store.flush_deferred_writes().map_err(RunError::from)?;
+        }
         env.charge_app(interp.counters.app_ns());
         let after = env.stats();
         let store_stats = interp.data.store.as_ref().map(|s| s.stats());
@@ -193,6 +216,11 @@ struct Interp<'p> {
     counters: Counters,
     output: Vec<String>,
     out_buffer: Vec<V>,
+    /// Thunk handles of deferred **effectful** blocks (write-containing
+    /// branches deferred by BD-across-writes), in creation order. Forced
+    /// at end of request if nothing demanded their outputs earlier — a
+    /// deferred branch's writes must always execute.
+    effect_blocks: Vec<V>,
     depth: usize,
 }
 
@@ -361,7 +389,11 @@ impl<'p> Interp<'p> {
                 self.eval(e, env, lazy)?;
                 Ok(Flow::Normal)
             }
-            Stmt::DeferBlock { body, outputs } => {
+            Stmt::DeferBlock {
+                body,
+                outputs,
+                effectful,
+            } => {
                 if !lazy {
                     // Standard semantics: transparent.
                     return self.exec_block(body, env, lazy);
@@ -388,6 +420,15 @@ impl<'p> Interp<'p> {
                         output: Some(out.clone()),
                     });
                     env.insert(out.clone(), proj);
+                }
+                if *effectful {
+                    // The block's writes must run even if no output is
+                    // ever demanded: keep a handle for end-of-request.
+                    let handle = self.alloc_thunk(Pending::Block {
+                        driver: Rc::clone(&driver),
+                        output: None,
+                    });
+                    self.effect_blocks.push(handle);
                 }
                 Ok(Flow::Normal)
             }
@@ -929,6 +970,19 @@ impl<'p> Interp<'p> {
         }
     }
 
+    /// Forces every pending effectful block, in creation order. Forcing
+    /// is memoized, so blocks whose outputs were already demanded are
+    /// no-ops here.
+    fn run_effect_blocks(&mut self) -> Result<(), RunError> {
+        while !self.effect_blocks.is_empty() {
+            let blocks = std::mem::take(&mut self.effect_blocks);
+            for v in blocks {
+                self.force(v)?;
+            }
+        }
+        Ok(())
+    }
+
     fn flush_buffer(&mut self) -> Result<(), RunError> {
         let buffered = std::mem::take(&mut self.out_buffer);
         for v in buffered {
@@ -1056,12 +1110,18 @@ impl<'p> Interp<'p> {
             }
             other => return Err(RunError::new(format!("unknown write builtin {other}"))),
         };
-        // Writes are never deferred: in Sloth mode they flush the batch
-        // (§3.3); in original mode they execute directly.
+        // In Sloth mode a write registers with the store (§3.3): a
+        // conflicting write (or barrier) drains the batch on the spot,
+        // while a provably-silent write **defers** (§3.5–3.6, selective
+        // laziness) — its empty result is not demanded, so consecutive
+        // disjoint writes cost no round trips until something drains
+        // them. In original mode writes execute directly.
         if self.data.store.is_some() {
-            let id = self.data.register(&sql)?;
+            let reg = self.data.register_write(&sql)?;
             self.counters.queries_registered += 1;
-            self.data.fetch(id)?;
+            if !reg.deferred {
+                self.data.fetch(reg.id)?;
+            }
         } else {
             self.data.read_now(&sql)?;
         }

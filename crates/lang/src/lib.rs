@@ -48,10 +48,11 @@ pub mod parser;
 pub mod runtime;
 pub mod simplify;
 pub mod value;
+mod writedefer;
 
 pub use analysis::{analyze, Analysis};
 pub use ast::{Expr, Function, Lit, Program, Stmt};
-pub use interp::{prepare, run_source, ExecStrategy, Prepared};
+pub use interp::{prepare, prepare_with_schema, run_source, ExecStrategy, Prepared};
 pub use opt::OptFlags;
 pub use parser::{parse_block, parse_program, ParseError};
 pub use runtime::{Counters, DataLayer, RunError, RunResult};

@@ -5,8 +5,11 @@
 
 use std::collections::HashMap;
 
+use sloth_orm::Schema;
+
 use crate::analysis::{stmt_deferrable, Analysis};
 use crate::ast::*;
+use crate::writedefer::{self, WdCtx};
 
 /// Optimization switches (Fig. 12 turns these on cumulatively).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +57,19 @@ impl Default for OptFlags {
 
 /// Applies the AST-level optimizations (BD, TC) to a (simplified) program.
 pub fn optimize(p: &Program, a: &Analysis, flags: OptFlags) -> Program {
+    optimize_with_schema(p, a, flags, None)
+}
+
+/// [`optimize`] with ORM schema metadata: entity names resolve to their
+/// backing tables, so **branch deferral across writes** (§3.5 + §4.2)
+/// can bound `orm_save`/`orm_update`/`orm_delete` calls too. Without a
+/// schema only raw `exec`/`query` SQL is statically traceable.
+pub fn optimize_with_schema(
+    p: &Program,
+    a: &Analysis,
+    flags: OptFlags,
+    schema: Option<&Schema>,
+) -> Program {
     if !flags.coalesce && !flags.defer_branches {
         return p.clone();
     }
@@ -67,7 +83,16 @@ pub fn optimize(p: &Program, a: &Analysis, flags: OptFlags) -> Program {
                 for p in &f.params {
                     *occurrences.entry(p.clone()).or_insert(0) += 1;
                 }
-                let body = transform_block(&f.body, a, flags, &occurrences);
+                // BD-across-writes is restricted to the request entry
+                // point: its tail analysis covers "everything issued
+                // after the branch until the request ends", which is
+                // only closed-form for `main` (a branch inside a helper
+                // could be followed by arbitrary caller code).
+                let wd = (flags.defer_branches && f.name == "main").then_some(WdCtx {
+                    analysis: a,
+                    schema,
+                });
+                let body = transform_block(&f.body, a, flags, &occurrences, wd.as_ref(), &[]);
                 Function {
                     name: f.name.clone(),
                     params: f.params.clone(),
@@ -130,22 +155,43 @@ fn count_occurrences(stmts: &[Stmt], out: &mut HashMap<String, usize>) {
     }
 }
 
-fn transform_block(
-    stmts: &[Stmt],
+fn transform_block<'a>(
+    stmts: &'a [Stmt],
     a: &Analysis,
     flags: OptFlags,
     occurrences: &HashMap<String, usize>,
+    wd: Option<&WdCtx<'_>>,
+    tail: &[&'a [Stmt]],
 ) -> Vec<Stmt> {
-    // Recurse first, then wrap at this level.
+    // Recurse first, then wrap at this level. Each nested block's tail
+    // context is "everything after its statement here" plus this block's
+    // own tail; a loop body's tail additionally includes the body itself
+    // (iteration wrap-around — one unrolling suffices, footprints being
+    // sets).
     let mut rewritten: Vec<Stmt> = stmts
         .iter()
-        .map(|s| match s {
-            Stmt::If(c, t, e) => Stmt::If(
-                c.clone(),
-                transform_block(t, a, flags, occurrences),
-                transform_block(e, a, flags, occurrences),
-            ),
-            Stmt::While(c, b) => Stmt::While(c.clone(), transform_block(b, a, flags, occurrences)),
+        .enumerate()
+        .map(|(i, s)| match s {
+            Stmt::If(c, t, e) => {
+                let mut child_tail: Vec<&'a [Stmt]> = Vec::with_capacity(tail.len() + 1);
+                child_tail.push(&stmts[i + 1..]);
+                child_tail.extend_from_slice(tail);
+                Stmt::If(
+                    c.clone(),
+                    transform_block(t, a, flags, occurrences, wd, &child_tail),
+                    transform_block(e, a, flags, occurrences, wd, &child_tail),
+                )
+            }
+            Stmt::While(c, b) => {
+                let mut child_tail: Vec<&'a [Stmt]> = Vec::with_capacity(tail.len() + 2);
+                child_tail.push(&b[..]);
+                child_tail.push(&stmts[i + 1..]);
+                child_tail.extend_from_slice(tail);
+                Stmt::While(
+                    c.clone(),
+                    transform_block(b, a, flags, occurrences, wd, &child_tail),
+                )
+            }
             other => other.clone(),
         })
         .collect();
@@ -153,21 +199,44 @@ fn transform_block(
     if flags.defer_branches {
         rewritten = rewritten
             .into_iter()
-            .map(|s| {
-                // Defer whole branches/loops with only local effects. The
-                // deferrability check looks at the pre-transform shape, so
-                // strip any nested DeferBlocks for the check.
-                let deferrable =
-                    matches!(s, Stmt::If(..) | Stmt::While(..)) && stmt_deferrable(&s, a);
-                if deferrable {
+            .enumerate()
+            .map(|(i, s)| {
+                if !matches!(s, Stmt::If(..) | Stmt::While(..)) {
+                    return s;
+                }
+                // Defer whole branches/loops with only local effects (the
+                // plain §4.2 path: the rewritten shape is equivalent for
+                // the check — nested DeferBlocks are checked by body).
+                if stmt_deferrable(&s, a) {
                     let outputs = block_outputs(std::slice::from_ref(&s));
-                    Stmt::DeferBlock {
+                    return Stmt::DeferBlock {
                         body: vec![s],
                         outputs,
-                    }
-                } else {
-                    s
+                        effectful: false,
+                    };
                 }
+                // BD across writes (§3.5): a branch issuing statically
+                // bounded writes stays deferred when its write footprint
+                // is disjoint from every database access issued after it
+                // (this block's tail + enclosing tails + loop bodies).
+                if let Some(ctx) = wd {
+                    if let Some(wfp) = writedefer::write_branch_footprint(&s, ctx) {
+                        let mut regions: Vec<&[Stmt]> = Vec::with_capacity(tail.len() + 1);
+                        regions.push(&stmts[i + 1..]);
+                        regions.extend_from_slice(tail);
+                        let disjoint = writedefer::tail_footprint(&regions, ctx)
+                            .is_some_and(|tfp| !wfp.conflicts_with(&tfp));
+                        if disjoint {
+                            let outputs = block_outputs(std::slice::from_ref(&s));
+                            return Stmt::DeferBlock {
+                                body: vec![s],
+                                outputs,
+                                effectful: true,
+                            };
+                        }
+                    }
+                }
+                s
             })
             .collect();
     }
@@ -216,16 +285,29 @@ fn coalesce_runs(
 
     let flush = |run: &mut Vec<Stmt>, out: &mut Vec<Stmt>| {
         if run.len() >= 2 {
-            // Splice nested defer blocks: the whole run is one thunk anyway.
+            // Splice nested defer blocks: the whole run is one thunk
+            // anyway. A run absorbing an effectful block stays effectful.
             let mut body = Vec::new();
+            let mut effectful = false;
             for s in run.drain(..) {
                 match s {
-                    Stmt::DeferBlock { body: inner, .. } => body.extend(inner),
+                    Stmt::DeferBlock {
+                        body: inner,
+                        effectful: ef,
+                        ..
+                    } => {
+                        body.extend(inner);
+                        effectful |= ef;
+                    }
                     other => body.push(other),
                 }
             }
             let outputs = run_outputs(&body, occurrences);
-            out.push(Stmt::DeferBlock { body, outputs });
+            out.push(Stmt::DeferBlock {
+                body,
+                outputs,
+                effectful,
+            });
         } else {
             out.append(run);
         }
@@ -307,6 +389,7 @@ mod tests {
             Stmt::DeferBlock {
                 body: inner,
                 outputs,
+                ..
             } => {
                 assert_eq!(inner.len(), 3);
                 assert_eq!(outputs, &vec!["g".to_string()]);
@@ -328,7 +411,7 @@ mod tests {
         );
         let body = &p.function("f").unwrap().body;
         let found = body.iter().any(|s| {
-            matches!(s, Stmt::DeferBlock { body, outputs }
+            matches!(s, Stmt::DeferBlock { body, outputs, .. }
                 if matches!(body[0], Stmt::If(..)) && outputs.contains(&"a".to_string()))
         });
         assert!(found, "if should be wrapped: {body:?}");
@@ -359,6 +442,7 @@ mod tests {
             Stmt::DeferBlock {
                 body: inner,
                 outputs,
+                ..
             } => {
                 assert!(inner.iter().any(|s| matches!(s, Stmt::If(..))));
                 assert!(outputs.contains(&"z".to_string()));

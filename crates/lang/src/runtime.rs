@@ -7,7 +7,7 @@ use std::fmt;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use sloth_core::{QueryId, QueryStore, StoreStats};
+use sloth_core::{QueryId, QueryStore, Registration, StoreStats};
 use sloth_net::{Dispatcher, NetStats, SimEnv};
 use sloth_orm::{sqlgen, AssocKind, Schema};
 use sloth_sql::{ResultSet, SqlError};
@@ -180,6 +180,13 @@ impl DataLayer {
     /// Registers a read with the store (Sloth mode).
     pub fn register(&self, sql: &str) -> Result<QueryId, RunError> {
         Ok(self.store().register(sql.to_string())?)
+    }
+
+    /// Registers a write with the store, reporting whether it was
+    /// deferred (selective laziness) — deferred writes must not have
+    /// their empty result demanded, or the deferral is undone.
+    pub fn register_write(&self, sql: &str) -> Result<Registration, RunError> {
+        Ok(self.store().register_stmt(sql.to_string())?)
     }
 
     /// Fetches a registered result (ships the batch if needed).

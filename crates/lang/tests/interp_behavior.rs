@@ -503,3 +503,246 @@ fn lazy_overhead_visible_in_app_time() {
         "lazy bookkeeping costs app time"
     );
 }
+
+// ---------------------------------------------------------------------
+// Selective laziness: runtime write deferral + branch deferral across
+// writes (§3.5–3.6).
+// ---------------------------------------------------------------------
+
+#[test]
+fn disjoint_writes_defer_and_share_one_round_trip() {
+    // Three writes on three different tables, then a read forced at the
+    // end: everything ships in ONE round trip under selective laziness.
+    let src = r#"
+        fn main() {
+            exec("UPDATE users SET login = 'doc2' WHERE user_id = 1");
+            exec("UPDATE concept SET text = 'renamed' WHERE concept_id = 100");
+            exec("UPDATE visit SET active = false WHERE visit_id = 1000");
+            let p = query("SELECT name FROM patient WHERE patient_id = 1");
+            print(cell(p, 0, "name"));
+        }
+    "#;
+    let (o, s) = run_both(src);
+    assert_eq!(o.output, s.output);
+    assert_eq!(o.net.round_trips, 4, "original: one trip per statement");
+    assert_eq!(s.net.round_trips, 1, "Sloth: all four in one trip");
+    let store = s.store.expect("sloth run has a store");
+    assert_eq!(store.deferred_writes, 3);
+}
+
+#[test]
+fn trailing_writes_drain_at_end_of_request() {
+    // A page that ends with writes (the audit-trail idiom): the deferred
+    // writes still execute — in one write-only flush — before the
+    // request completes.
+    let schema = clinic_schema();
+    let env = clinic_env(&schema);
+    let src = r#"
+        fn main() {
+            let p = query("SELECT name FROM patient WHERE patient_id = 1");
+            print(cell(p, 0, "name"));
+            exec("UPDATE users SET login = 'audit' WHERE user_id = 1");
+            exec("UPDATE concept SET text = 'audit' WHERE concept_id = 100");
+        }
+    "#;
+    let r = run_source(
+        src,
+        &env,
+        Arc::clone(&schema),
+        ExecStrategy::Sloth(OptFlags::all()),
+        vec![],
+    )
+    .expect("sloth run");
+    assert_eq!(r.output, vec!["Ada"]);
+    let store = r.store.expect("store stats");
+    assert_eq!(store.deferred_writes, 2);
+    assert_eq!(store.write_only_flushes, 1, "one trailing write-only trip");
+    assert_eq!(r.net.round_trips, 2);
+    // The writes really applied.
+    let check = env
+        .query("SELECT login FROM users WHERE user_id = 1")
+        .unwrap();
+    assert_eq!(check.get(0, "login").unwrap().as_str(), Some("audit"));
+}
+
+#[test]
+fn conflicting_read_still_observes_deferred_write() {
+    // Read-after-write of the same row: the conflict drains the deferred
+    // write (with the read riding along), so semantics match Original.
+    let src = r#"
+        fn main() {
+            exec("UPDATE users SET login = 'fresh' WHERE user_id = 1");
+            let u = query("SELECT login FROM users WHERE user_id = 1");
+            print(cell(u, 0, "login"));
+        }
+    "#;
+    let (o, s) = run_both(src);
+    assert_eq!(o.output, s.output);
+    assert_eq!(s.output, vec!["fresh"]);
+    assert_eq!(s.net.round_trips, 1, "write + conflicting read, one trip");
+    assert_eq!(s.store.unwrap().conflict_drains, 1);
+}
+
+#[test]
+fn write_branch_defers_when_disjoint_from_tail() {
+    // The branch writes `users`; everything after it touches `patient`:
+    // BD-across-writes keeps the branch deferred (it forces at end of
+    // request), output and state staying identical to Original.
+    let src = r#"
+        fn main(flag) {
+            let p = query("SELECT name FROM patient WHERE patient_id = 1");
+            if (flag > 0) {
+                exec("UPDATE users SET login = 'flagged' WHERE user_id = 1");
+            }
+            let q = query("SELECT name FROM patient WHERE patient_id = 2");
+            print(cell(p, 0, "name"));
+            print(cell(q, 0, "name"));
+        }
+    "#;
+    let schema = clinic_schema();
+    for flag in [0i64, 1] {
+        let env_o = clinic_env(&schema);
+        let o = run_source(
+            src,
+            &env_o,
+            Arc::clone(&schema),
+            ExecStrategy::Original,
+            vec![sloth_lang::V::Int(flag)],
+        )
+        .expect("original");
+        let env_s = clinic_env(&schema);
+        let s = run_source(
+            src,
+            &env_s,
+            Arc::clone(&schema),
+            ExecStrategy::Sloth(OptFlags::all()),
+            vec![sloth_lang::V::Int(flag)],
+        )
+        .expect("sloth");
+        assert_eq!(o.output, s.output, "flag {flag}");
+        let state_o = env_o
+            .query("SELECT login FROM users WHERE user_id = 1")
+            .unwrap();
+        let state_s = env_s
+            .query("SELECT login FROM users WHERE user_id = 1")
+            .unwrap();
+        assert_eq!(state_o, state_s, "flag {flag}: final state diverged");
+        if flag > 0 {
+            assert_eq!(
+                state_s.get(0, "login").unwrap().as_str(),
+                Some("flagged"),
+                "the deferred branch's write must still apply"
+            );
+        }
+        // Both reads share one trip; the branch write (when taken) drains
+        // in the end-of-request write-only flush.
+        assert_eq!(
+            s.net.round_trips,
+            if flag > 0 { 2 } else { 1 },
+            "flag {flag}"
+        );
+    }
+}
+
+#[test]
+fn write_branch_with_conflicting_tail_is_not_deferred() {
+    // The tail reads the written table: the branch must execute eagerly
+    // (its write registers in program order and the conflicting read
+    // drains it), and the read must observe the write.
+    let src = r#"
+        fn main(flag) {
+            if (flag > 0) {
+                exec("UPDATE users SET login = 'early' WHERE user_id = 1");
+            }
+            let u = query("SELECT login FROM users WHERE user_id = 1");
+            print(cell(u, 0, "login"));
+        }
+    "#;
+    let schema = clinic_schema();
+    let env = clinic_env(&schema);
+    let s = run_source(
+        src,
+        &env,
+        Arc::clone(&schema),
+        ExecStrategy::Sloth(OptFlags::all()),
+        vec![sloth_lang::V::Int(1)],
+    )
+    .expect("sloth");
+    assert_eq!(s.output, vec!["early"], "read observes the branch's write");
+}
+
+#[test]
+fn conditionally_reassigned_write_sql_blocks_branch_deferral() {
+    // Regression: the branch's SQL variable is reassigned in a nested
+    // arm, so its static footprint depends on which path runs. The
+    // analyzer must treat it as unbounded (no deferral) — otherwise the
+    // tail read of `concept` would ship before the branch's UPDATE and
+    // Sloth would print stale data.
+    let src = r#"
+        fn main(flag) {
+            if (flag > 0) {
+                let q = "UPDATE concept SET text = 'new' WHERE concept_id = 100";
+                if (flag > 1) {
+                    q = "UPDATE users SET login = 'u' WHERE user_id = 1";
+                }
+                exec(q);
+            }
+            let c = query("SELECT text FROM concept WHERE concept_id = 100");
+            print(cell(c, 0, "text"));
+        }
+    "#;
+    let schema = clinic_schema();
+    for flag in [0i64, 1, 2] {
+        let env_o = clinic_env(&schema);
+        let o = run_source(
+            src,
+            &env_o,
+            Arc::clone(&schema),
+            ExecStrategy::Original,
+            vec![sloth_lang::V::Int(flag)],
+        )
+        .expect("original");
+        let env_s = clinic_env(&schema);
+        let s = run_source(
+            src,
+            &env_s,
+            Arc::clone(&schema),
+            ExecStrategy::Sloth(OptFlags::all()),
+            vec![sloth_lang::V::Int(flag)],
+        )
+        .expect("sloth");
+        assert_eq!(o.output, s.output, "flag {flag}: output diverged");
+        for probe in [
+            "SELECT text FROM concept WHERE concept_id = 100",
+            "SELECT login FROM users WHERE user_id = 1",
+        ] {
+            assert_eq!(
+                env_o.query(probe).unwrap(),
+                env_s.query(probe).unwrap(),
+                "flag {flag}: state diverged ({probe})"
+            );
+        }
+    }
+}
+
+#[test]
+fn loop_carried_write_sql_blocks_branch_deferral() {
+    // A loop that rebuilds its SQL from the previous iteration's value:
+    // the static prefix only holds for iteration one, so the analyzer
+    // must refuse to bound it and the loop must execute eagerly.
+    let src = r#"
+        fn main() {
+            let q = "UPDATE users SET login = 'a' WHERE user_id = 1";
+            let i = 0;
+            while (i < 2) {
+                exec(q);
+                q = "UPDATE concept SET text = 'b' WHERE concept_id = " + str(100 + i);
+                i = i + 1;
+            }
+            let c = query("SELECT text FROM concept WHERE concept_id = 100");
+            print(cell(c, 0, "text"));
+        }
+    "#;
+    let (o, s) = run_both(src);
+    assert_eq!(o.output, s.output);
+}

@@ -46,6 +46,11 @@ use sloth_sql::{Footprint, Normalized, ResultSet, SqlError, Value};
 /// can land in the plan cache.
 pub const DEFAULT_MAX_FUSED_ARITY: usize = 64;
 
+/// Floor of the self-tuning arity: even under sustained plan-cache churn
+/// a fused probe still carries up to this many values (an `IN` of 8 is
+/// still one statement dispatch instead of eight).
+pub(crate) const MIN_AUTO_FUSED_ARITY: usize = 8;
+
 /// Planner knobs, snapshot from the deployment per batch.
 #[derive(Clone, Copy)]
 pub(crate) struct BatchConfig {
@@ -88,6 +93,11 @@ pub(crate) struct BatchPlan {
     pub cross_write_fused: u64,
     /// Max distinct values per fused probe.
     pub max_fused_arity: usize,
+    /// Per-statement footprints the planner had to derive **itself**
+    /// (zero when the caller threaded precomputed footprints through, or
+    /// when the batch needed none). The dispatcher's duplicate-work gate
+    /// asserts on this.
+    pub footprints_derived: u64,
 }
 
 /// Plans a batch: normalizes reads, groups same-template single-literal
@@ -95,13 +105,29 @@ pub(crate) struct BatchPlan {
 /// group. With `cfg.write_aware`, fusion groups may span writes whose
 /// footprints are disjoint from the joining read; otherwise fusion never
 /// crosses a write.
-pub(crate) fn plan_batch(sqls: &[String], cfg: &BatchConfig) -> BatchPlan {
+///
+/// `precomputed` threads per-statement footprints already derived upstream
+/// (dispatcher admission, query-store deferral decisions) through to the
+/// planner, so a write-containing flush is footprint-analyzed **once** on
+/// its way to the database instead of up to three times.
+pub(crate) fn plan_batch(
+    sqls: &[String],
+    cfg: &BatchConfig,
+    precomputed: Option<&[Footprint]>,
+) -> BatchPlan {
     let is_write: Vec<bool> = sqls.iter().map(|s| sloth_sql::is_write_sql(s)).collect();
     let any_write = is_write.iter().any(|&w| w);
     // Footprints are only needed (and only paid for) when a write shares
     // the batch and the planner may reorder around it.
+    let mut footprints_derived = 0u64;
     let footprints: Option<Vec<Footprint>> =
-        (cfg.write_aware && any_write).then(|| sqls.iter().map(|s| Footprint::of_sql(s)).collect());
+        (cfg.write_aware && any_write).then(|| match precomputed {
+            Some(fps) if fps.len() == sqls.len() => fps.to_vec(),
+            _ => {
+                footprints_derived = sqls.len() as u64;
+                sqls.iter().map(|s| Footprint::of_sql(s)).collect()
+            }
+        });
 
     let mut norms: Vec<Option<Normalized>> = Vec::with_capacity(sqls.len());
     let mut groups: Vec<Vec<usize>> = Vec::new();
@@ -194,6 +220,7 @@ pub(crate) fn plan_batch(sqls: &[String], cfg: &BatchConfig) -> BatchPlan {
         segments,
         cross_write_fused,
         max_fused_arity: cfg.max_fused_arity.max(1),
+        footprints_derived,
     }
 }
 
@@ -323,6 +350,10 @@ pub(crate) struct BatchExec {
     pub fused_queries: u64,
     /// Fused group executions performed.
     pub fused_groups: u64,
+    /// The backend's cumulative plan-cache eviction count after this
+    /// batch (summed over shards on a fleet) — the pressure signal the
+    /// self-tuning fused-probe arity watches.
+    pub plan_evictions: u64,
 }
 
 /// The single-server batch executor (the original Sloth deployment): one
@@ -434,6 +465,7 @@ pub(crate) fn exec_single(
         bytes,
         fused_queries,
         fused_groups,
+        plan_evictions: db.plan_cache_stats().evictions,
     }
 }
 

@@ -91,6 +91,13 @@ pub struct DispatcherStats {
     /// Combined dispatches that failed and were split back into exact
     /// per-session outcomes.
     pub fallback_splits: u64,
+    /// Per-statement footprints the **batch planner** derived on this
+    /// dispatcher's dispatches. Zero by construction: the footprints
+    /// computed once at admission (through the backend's per-template
+    /// cache) are threaded through `query_batch_partial` into the
+    /// planner, so the dispatched path never re-analyzes a statement.
+    /// The unit suite asserts this stays zero.
+    pub planner_footprint_derivations: u64,
 }
 
 /// What one session's flush got back from the dispatcher.
@@ -116,18 +123,33 @@ struct PendingFlush {
     sqls: Vec<String>,
     /// Whether any statement is a write / transaction boundary.
     has_write: bool,
-    /// Batch footprint; computed eagerly for write batches, lazily for
-    /// read-only batches (only needed when they share a dispatch with a
-    /// write batch).
-    fp: Option<Footprint>,
+    /// Per-statement footprints — computed eagerly for write batches
+    /// (admission needs them), lazily for read-only batches (only needed
+    /// when they share a dispatch with a write batch). Resolved through
+    /// the backend's per-template footprint cache and threaded into the
+    /// batch planner, so each statement is analyzed at most once.
+    fps: Option<Vec<Footprint>>,
+    /// Union of `fps` (the batch-level admission footprint).
+    union: Option<Footprint>,
 }
 
 impl PendingFlush {
-    fn footprint(&mut self) -> &Footprint {
-        if self.fp.is_none() {
-            self.fp = Some(Footprint::of_batch(&self.sqls));
+    fn materialize(&mut self, env: &SimEnv) {
+        if self.fps.is_none() {
+            self.fps = Some(self.sqls.iter().map(|s| env.footprint_of(s)).collect());
         }
-        self.fp.as_ref().expect("just materialized")
+        if self.union.is_none() {
+            let mut union = Footprint::default();
+            for fp in self.fps.as_ref().expect("just materialized") {
+                union.merge(fp);
+            }
+            self.union = Some(union);
+        }
+    }
+
+    fn footprint(&mut self, env: &SimEnv) -> &Footprint {
+        self.materialize(env);
+        self.union.as_ref().expect("just materialized")
     }
 }
 
@@ -214,21 +236,31 @@ impl Dispatcher {
         }
         self.lock_stats().flushes += 1;
         let has_write = sqls.iter().any(|s| is_write_sql(s));
-        let mut fp = None;
+        let mut fps = None;
+        let mut union = None;
         if has_write {
             // Footprint admission: only barrier-free write batches (on a
             // write-aware deployment) may enter the coalescing queue.
-            fp = self
-                .env
-                .write_batching_enabled()
-                .then(|| Footprint::of_batch(sqls));
-            if fp.as_ref().is_none_or(|f| f.barrier) {
+            // Per-statement footprints come from the backend's template
+            // cache and travel with the flush all the way to the planner.
+            if self.env.write_batching_enabled() {
+                let per_stmt: Vec<Footprint> =
+                    sqls.iter().map(|s| self.env.footprint_of(s)).collect();
+                let mut u = Footprint::default();
+                for fp in &per_stmt {
+                    u.merge(fp);
+                }
+                fps = Some(per_stmt);
+                union = Some(u);
+            }
+            if union.as_ref().is_none_or(|f| f.barrier) {
                 {
                     let mut stats = self.lock_stats();
                     stats.solo_writes += 1;
                     stats.dispatches += 1;
                 }
-                let outcome = self.env.query_batch_outcome(sqls)?;
+                let outcome = self.env.query_batch_outcome_with(sqls, fps.as_deref())?;
+                self.lock_stats().planner_footprint_derivations += outcome.footprints_derived;
                 return Ok(solo_result(outcome));
             }
         }
@@ -240,7 +272,8 @@ impl Dispatcher {
             ticket,
             sqls: sqls.to_vec(),
             has_write,
-            fp,
+            fps,
+            union,
         });
         loop {
             if let Some(r) = st.done.remove(&ticket) {
@@ -314,11 +347,11 @@ impl Dispatcher {
                 if group_fp.is_none() {
                     let mut union = Footprint::default();
                     for f in st.queue[..k].iter_mut() {
-                        union.merge(f.footprint());
+                        union.merge(f.footprint(&self.env));
                     }
                     group_fp = Some(union);
                 }
-                let next_fp = st.queue[k].footprint().clone();
+                let next_fp = st.queue[k].footprint(&self.env).clone();
                 let union = group_fp.as_mut().expect("materialized above");
                 if k > 0 && union.conflicts_with(&next_fp) {
                     self.lock_stats().conflict_deferrals += 1;
@@ -352,12 +385,27 @@ impl Dispatcher {
             // A lone flush keeps the exact all-or-error driver surface.
             let r = self
                 .env
-                .query_batch_outcome(&batch[0].sqls)
-                .map(solo_result);
-            return vec![(batch[0].ticket, r)];
+                .query_batch_outcome_with(&batch[0].sqls, batch[0].fps.as_deref());
+            if let Ok(o) = &r {
+                self.lock_stats().planner_footprint_derivations += o.footprints_derived;
+            }
+            return vec![(batch[0].ticket, r.map(solo_result))];
         }
         let combined: Vec<String> = batch.iter().flat_map(|f| f.sqls.iter().cloned()).collect();
-        let partial = self.env.query_batch_partial(&combined);
+        // Thread the admission footprints through when every rider has
+        // them (whenever a write batch is aboard, take_compatible
+        // materialized them all; pure-read dispatches need none).
+        let combined_fps: Option<Vec<Footprint>> =
+            batch.iter().all(|f| f.fps.is_some()).then(|| {
+                batch
+                    .iter()
+                    .flat_map(|f| f.fps.as_ref().expect("checked").iter().cloned())
+                    .collect()
+            });
+        let partial = self
+            .env
+            .query_batch_partial_with(&combined, combined_fps.as_deref());
+        self.lock_stats().planner_footprint_derivations += partial.footprints_derived;
         self.account_cross_session_fusion(batch, &partial);
         match partial.error.clone() {
             None => self.split_outcome(batch, partial, coalesced),
@@ -382,7 +430,9 @@ impl Dispatcher {
                     } else if offset <= pos {
                         Err(e.clone())
                     } else {
-                        self.env.query_batch_outcome(&f.sqls).map(solo_result)
+                        self.env
+                            .query_batch_outcome_with(&f.sqls, f.fps.as_deref())
+                            .map(solo_result)
                     };
                     out.push((f.ticket, r));
                     offset += n;
@@ -817,6 +867,57 @@ mod tests {
             .submit(&["SELECT n FROM c WHERE id = 1".to_string()])
             .unwrap();
         assert_eq!(rs.results[0].get(0, "n").unwrap().as_i64(), Some(1));
+    }
+
+    #[test]
+    fn dispatched_path_never_reanalyzes_footprints() {
+        // Satellite gate: footprints computed once at admission (via the
+        // backend's template cache) are threaded into the batch planner,
+        // so the planner derives ZERO footprints on the dispatched path —
+        // solo writes, coalesced write batches and barrier batches alike.
+        let env = seeded_env();
+        let d = Arc::new(Dispatcher::with_window(
+            env.clone(),
+            Duration::from_millis(20),
+        ));
+        // Solo write batch.
+        d.submit(&[
+            "SELECT v FROM t WHERE id = 1".to_string(),
+            "UPDATE t SET v = 'a' WHERE id = 1".to_string(),
+        ])
+        .unwrap();
+        // Barrier batch (dispatches solo, still no planner derivations).
+        d.submit(&[
+            "BEGIN".to_string(),
+            "UPDATE t SET v = 'b' WHERE id = 2".to_string(),
+            "COMMIT".to_string(),
+        ])
+        .unwrap();
+        // Concurrent disjoint write batches that may coalesce.
+        let n = 4usize;
+        let barrier = Arc::new(Barrier::new(n));
+        let handles: Vec<_> = (0..n)
+            .map(|t| {
+                let d = Arc::clone(&d);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    d.submit(&[format!("UPDATE t SET v = 'w{t}' WHERE id = {}", 10 + t)])
+                        .unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = d.stats();
+        assert_eq!(
+            s.planner_footprint_derivations, 0,
+            "dispatched flushes must never re-derive footprints: {s:?}"
+        );
+        // The backend cache did the real work, once per template.
+        let fs = env.footprint_cache_stats();
+        assert!(fs.misses > 0);
     }
 
     #[test]

@@ -185,6 +185,9 @@ pub struct BatchOutcome {
     /// Fused statements that crossed a disjoint-footprint write — reads
     /// the write-split planner would have probed separately.
     pub cross_write_fused: u64,
+    /// Per-statement footprints the batch planner derived itself (zero
+    /// when the caller threaded precomputed footprints in).
+    pub footprints_derived: u64,
 }
 
 /// [`SimEnv::query_batch_outcome`] with **partial semantics**: execution
@@ -212,6 +215,9 @@ pub struct PartialOutcome {
     pub segments: u64,
     /// Fused statements that crossed a disjoint-footprint write.
     pub cross_write_fused: u64,
+    /// Per-statement footprints the batch planner derived itself (zero
+    /// when the caller threaded precomputed footprints in).
+    pub footprints_derived: u64,
 }
 
 /// The database side of a deployment: one server, or a sharded fleet.
@@ -233,8 +239,18 @@ struct SimInner {
     /// Write-aware batching: footprint-analyzed segments instead of
     /// splitting fusion (and cross-session coalescing) at every write.
     write_batching: bool,
-    /// Max distinct values per fused `IN` probe.
-    max_fused_arity: usize,
+    /// Selective laziness (§3.5–3.6): query stores on this deployment may
+    /// defer provably-silent writes instead of flushing on every write
+    /// registration. Only meaningful with `write_batching` on.
+    write_deferral: bool,
+    /// Explicit fused-probe arity cap ([`SimEnv::set_max_fused_arity`]);
+    /// `None` = self-tuning from plan-cache eviction pressure.
+    arity_override: Option<usize>,
+    /// Current self-tuned arity (halves under eviction pressure, doubles
+    /// back toward the default when the cache is quiet).
+    auto_arity: usize,
+    /// Plan-cache eviction count observed after the previous batch.
+    last_evictions: u64,
 }
 
 /// The simulated deployment: application server + database backend +
@@ -276,7 +292,10 @@ impl SimEnv {
                 stats: NetStats::default(),
                 fusion: true,
                 write_batching: true,
-                max_fused_arity: batch::DEFAULT_MAX_FUSED_ARITY,
+                write_deferral: true,
+                arity_override: None,
+                auto_arity: batch::DEFAULT_MAX_FUSED_ARITY,
+                last_evictions: 0,
             })),
             clock: Clock::new(),
             realtime_ppm: Arc::new(AtomicU64::new(0)),
@@ -410,17 +429,85 @@ impl SimEnv {
         self.lock().write_batching
     }
 
-    /// Caps the number of distinct values in one fused `IN` probe
-    /// (clamped to ≥ 1; default 64). Larger groups execute as several
-    /// probes with identical demuxed results — bounding statement size
-    /// and plan-cache template variety.
-    pub fn set_max_fused_arity(&self, arity: usize) {
-        self.lock().max_fused_arity = arity.max(1);
+    /// Enables or disables **write deferral** (selective laziness, on by
+    /// default): query stores on this deployment leave provably-silent
+    /// writes — footprint-disjoint from every pending statement — in the
+    /// pending batch instead of flushing, so N consecutive disjoint
+    /// writes cost one round trip instead of N. A conflicting statement,
+    /// an explicit force, or a transaction boundary drains them. Turning
+    /// this off reproduces the write-aware (PR 4) flush-per-write
+    /// behaviour exactly — the `deferral` figure's baseline.
+    pub fn set_write_deferral(&self, on: bool) {
+        self.lock().write_deferral = on;
     }
 
-    /// The fused-probe arity cap in force.
+    /// Whether write deferral is enabled (and write-aware batching with
+    /// it — deferral needs the footprint-analyzed batch planner).
+    pub fn write_deferral_enabled(&self) -> bool {
+        let inner = self.lock();
+        inner.write_batching && inner.write_deferral
+    }
+
+    /// Caps the number of distinct values in one fused `IN` probe
+    /// (clamped to ≥ 1). Larger groups execute as several probes with
+    /// identical demuxed results — bounding statement size and plan-cache
+    /// template variety. Calling this **overrides** the self-tuning
+    /// arity; [`SimEnv::set_auto_fused_arity`] restores it.
+    pub fn set_max_fused_arity(&self, arity: usize) {
+        self.lock().arity_override = Some(arity.max(1));
+    }
+
+    /// Returns the arity cap to self-tuning mode (the default): the cap
+    /// starts at 64 and halves (down to 8) whenever a batch observes new
+    /// plan-cache evictions — template churn means every extra `IN (?, …)`
+    /// arity is another template competing for cache slots — then doubles
+    /// back toward 64 once the cache is quiet.
+    pub fn set_auto_fused_arity(&self) {
+        self.lock().arity_override = None;
+    }
+
+    /// The fused-probe arity cap in force (explicit override, or the
+    /// current self-tuned value).
     pub fn max_fused_arity(&self) -> usize {
-        self.lock().max_fused_arity
+        let inner = self.lock();
+        inner.arity_override.unwrap_or(inner.auto_arity)
+    }
+
+    /// The [`sloth_sql::Footprint`] of one statement, answered from the
+    /// backend's per-template footprint cache (shard 0's on a fleet).
+    /// This is the driver-side entry point: the query store's deferral
+    /// decisions and the dispatcher's coalescing admission both resolve
+    /// footprints here, so repeated statements never re-derive their
+    /// table/key sets.
+    pub fn footprint_of(&self, sql: &str) -> sloth_sql::Footprint {
+        let db = {
+            let inner = self.lock();
+            match &inner.backend {
+                Backend::Single(db) => Arc::clone(db),
+                Backend::Sharded(fleet) => return fleet.footprint_of(sql),
+            }
+        };
+        let fp = db
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .footprint_of(sql);
+        fp
+    }
+
+    /// Footprint-cache counters of the backend.
+    pub fn footprint_cache_stats(&self) -> sloth_sql::FootprintCacheStats {
+        let db = {
+            let inner = self.lock();
+            match &inner.backend {
+                Backend::Single(db) => Arc::clone(db),
+                Backend::Sharded(fleet) => return fleet.footprint_cache_stats(),
+            }
+        };
+        let stats = db
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .footprint_cache_stats();
+        stats
     }
 
     /// Plan-cache counters of the backend (summed across shards on a
@@ -530,6 +617,18 @@ impl SimEnv {
     /// account their own statistics without racing on the deployment-wide
     /// counters.
     pub fn query_batch_outcome(&self, sqls: &[String]) -> Result<BatchOutcome, SqlError> {
+        self.query_batch_outcome_with(sqls, None)
+    }
+
+    /// [`SimEnv::query_batch_outcome`] with per-statement footprints the
+    /// caller already derived (dispatcher admission, query-store deferral)
+    /// threaded through to the batch planner — write-containing flushes
+    /// are footprint-analyzed once instead of re-parsed here.
+    pub fn query_batch_outcome_with(
+        &self,
+        sqls: &[String],
+        footprints: Option<&[sloth_sql::Footprint]>,
+    ) -> Result<BatchOutcome, SqlError> {
         if sqls.is_empty() {
             return Ok(BatchOutcome {
                 results: Vec::new(),
@@ -538,12 +637,13 @@ impl SimEnv {
                 fused_groups: 0,
                 segments: 0,
                 cross_write_fused: 0,
+                footprints_derived: 0,
             });
         }
         // All-or-error surface: a failed batch charges nothing and
         // surfaces only its first error (the legacy driver contract the
         // query store and equivalence suites are written against).
-        let ran = self.run_batch(sqls);
+        let ran = self.run_batch(sqls, footprints);
         if let Some((_, e)) = ran.exec.error {
             return Err(e);
         }
@@ -560,6 +660,7 @@ impl SimEnv {
             fused_groups: ran.exec.fused_groups,
             segments: ran.segments,
             cross_write_fused: ran.cross_write_fused,
+            footprints_derived: ran.footprints_derived,
         })
     }
 
@@ -571,6 +672,17 @@ impl SimEnv {
     /// per-session outcomes without re-running writes that already
     /// applied.
     pub fn query_batch_partial(&self, sqls: &[String]) -> PartialOutcome {
+        self.query_batch_partial_with(sqls, None)
+    }
+
+    /// [`SimEnv::query_batch_partial`] with caller-supplied per-statement
+    /// footprints threaded through to the planner (see
+    /// [`SimEnv::query_batch_outcome_with`]).
+    pub fn query_batch_partial_with(
+        &self,
+        sqls: &[String],
+        footprints: Option<&[sloth_sql::Footprint]>,
+    ) -> PartialOutcome {
         if sqls.is_empty() {
             return PartialOutcome {
                 results: Vec::new(),
@@ -580,9 +692,10 @@ impl SimEnv {
                 fused_groups: 0,
                 segments: 0,
                 cross_write_fused: 0,
+                footprints_derived: 0,
             };
         }
-        let ran = self.run_batch(sqls);
+        let ran = self.run_batch(sqls, footprints);
         self.charge_and_sleep(sqls.len(), &ran);
         PartialOutcome {
             results: ran.exec.results,
@@ -592,6 +705,7 @@ impl SimEnv {
             fused_groups: ran.exec.fused_groups,
             segments: ran.segments,
             cross_write_fused: ran.cross_write_fused,
+            footprints_derived: ran.footprints_derived,
         }
     }
 
@@ -601,7 +715,7 @@ impl SimEnv {
     /// waiting for the database lock, so out-of-band holders of
     /// [`SimEnv::database`] cannot form a lock-order cycle with the
     /// driver path.
-    fn run_batch(&self, sqls: &[String]) -> RanBatch {
+    fn run_batch(&self, sqls: &[String], footprints: Option<&[sloth_sql::Footprint]>) -> RanBatch {
         let (cost, cfg, single_db) = {
             let inner = self.lock();
             let db = match &inner.backend {
@@ -613,12 +727,12 @@ impl SimEnv {
                 batch::BatchConfig {
                     fusion: inner.fusion,
                     write_aware: inner.write_batching,
-                    max_fused_arity: inner.max_fused_arity,
+                    max_fused_arity: inner.arity_override.unwrap_or(inner.auto_arity),
                 },
                 db,
             )
         };
-        let plan = batch::plan_batch(sqls, &cfg);
+        let plan = batch::plan_batch(sqls, &cfg, footprints);
         let exec = match single_db {
             Some(db) => {
                 let mut db = db
@@ -649,6 +763,7 @@ impl SimEnv {
             fused_members,
             segments: plan.segments,
             cross_write_fused: plan.cross_write_fused,
+            footprints_derived: plan.footprints_derived,
         }
     }
 
@@ -672,6 +787,20 @@ impl SimEnv {
             stats.max_batch = stats.max_batch.max(n_sqls as u64);
             stats.fused_queries = stats.fused_queries.saturating_add(ran.exec.fused_queries);
             stats.fused_groups = stats.fused_groups.saturating_add(ran.exec.fused_groups);
+            // Self-tuning fused-probe arity: each distinct `IN (?, …)`
+            // arity is its own plan-cache template, so under template
+            // churn (observed as fresh evictions) the cap halves to slow
+            // the churn down; a quiet cache doubles it back to the
+            // default. An explicit override freezes the tuner.
+            if inner.arity_override.is_none() {
+                let evictions = ran.exec.plan_evictions;
+                if evictions > inner.last_evictions {
+                    inner.auto_arity = (inner.auto_arity / 2).max(batch::MIN_AUTO_FUSED_ARITY);
+                } else if inner.auto_arity < batch::DEFAULT_MAX_FUSED_ARITY {
+                    inner.auto_arity = (inner.auto_arity * 2).min(batch::DEFAULT_MAX_FUSED_ARITY);
+                }
+                inner.last_evictions = evictions;
+            }
         }
         // Real-time mode: pay the network latency in real wall-clock time,
         // after releasing the deployment lock so concurrent sessions
@@ -691,6 +820,7 @@ struct RanBatch {
     fused_members: Vec<Option<usize>>,
     segments: u64,
     cross_write_fused: u64,
+    footprints_derived: u64,
 }
 
 #[cfg(test)]
@@ -1125,6 +1255,106 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SimEnv>();
         assert_send_sync::<Clock>();
+    }
+
+    #[test]
+    fn write_deferral_toggle_defaults_on_and_requires_write_batching() {
+        let env = seeded_env();
+        assert!(env.write_deferral_enabled());
+        env.set_write_deferral(false);
+        assert!(!env.write_deferral_enabled());
+        env.set_write_deferral(true);
+        env.set_write_batching(false);
+        assert!(
+            !env.write_deferral_enabled(),
+            "deferral needs the write-aware planner"
+        );
+    }
+
+    #[test]
+    fn footprints_resolve_through_backend_cache() {
+        let env = seeded_env();
+        let a = env.footprint_of("SELECT v FROM t WHERE id = 3");
+        let b = env.footprint_of("SELECT v FROM t WHERE id = 4");
+        assert!(!a.conflicts_with(&b), "reads never conflict");
+        let s = env.footprint_cache_stats();
+        assert_eq!((s.hits, s.misses), (1, 1), "one template, one parse");
+        let w = env.footprint_of("UPDATE t SET v = 'x' WHERE id = 3");
+        assert!(w.conflicts_with(&a));
+        assert!(!w.conflicts_with(&b));
+    }
+
+    #[test]
+    fn auto_arity_shrinks_under_eviction_pressure_and_recovers() {
+        let env = seeded_env();
+        assert_eq!(env.max_fused_arity(), 64, "auto default");
+        // Sustained template churn: > 512 distinct LIMIT templates evict.
+        for i in 1..=600usize {
+            env.query(&format!("SELECT v FROM t LIMIT {i}")).unwrap();
+        }
+        let squeezed = env.max_fused_arity();
+        assert!(
+            squeezed < 64,
+            "eviction pressure must shrink the arity, still {squeezed}"
+        );
+        assert!(squeezed >= 8, "floor holds: {squeezed}");
+        // A quiet cache (same template over and over) restores the default.
+        for _ in 0..8 {
+            env.query("SELECT v FROM t WHERE id = 1").unwrap();
+        }
+        assert_eq!(env.max_fused_arity(), 64, "quiet cache restores default");
+        // An explicit override freezes the tuner…
+        env.set_max_fused_arity(5);
+        for i in 601..=1300usize {
+            env.query(&format!("SELECT v FROM t LIMIT {i}")).unwrap();
+        }
+        assert_eq!(env.max_fused_arity(), 5, "override wins over pressure");
+        // …and auto mode can be restored.
+        env.set_auto_fused_arity();
+        for _ in 0..8 {
+            env.query("SELECT v FROM t WHERE id = 1").unwrap();
+        }
+        assert_eq!(env.max_fused_arity(), 64);
+    }
+
+    #[test]
+    fn auto_arity_chunking_stays_semantically_invisible() {
+        // Run a fused batch while the tuner is squeezed: results must be
+        // identical to an unpressured deployment.
+        let env = seeded_env();
+        for i in 1..=600usize {
+            env.query(&format!("SELECT v FROM t LIMIT {i}")).unwrap();
+        }
+        assert!(env.max_fused_arity() < 64);
+        let sqls: Vec<String> = (0..20)
+            .map(|i| format!("SELECT v FROM t WHERE id = {i}"))
+            .collect();
+        let squeezed = env.query_batch(&sqls).unwrap();
+        let calm = seeded_env();
+        let wide = calm.query_batch(&sqls).unwrap();
+        assert_eq!(squeezed, wide);
+    }
+
+    #[test]
+    fn direct_write_batches_derive_footprints_once_in_the_planner() {
+        let env = seeded_env();
+        let sqls = vec![
+            "SELECT v FROM t WHERE id = 1".to_string(),
+            "UPDATE t SET v = 'x' WHERE id = 2".to_string(),
+        ];
+        // Without threaded footprints the planner derives them itself…
+        let o = env.query_batch_outcome(&sqls).unwrap();
+        assert_eq!(o.footprints_derived, 2);
+        // …and with them it derives none.
+        let fps: Vec<sloth_sql::Footprint> = sqls.iter().map(|s| env.footprint_of(s)).collect();
+        let o = env.query_batch_outcome_with(&sqls, Some(&fps)).unwrap();
+        assert_eq!(o.footprints_derived, 0);
+        // Read-only batches never need footprints at all.
+        let reads = vec!["SELECT v FROM t WHERE id = 1".to_string()];
+        assert_eq!(
+            env.query_batch_outcome(&reads).unwrap().footprints_derived,
+            0
+        );
     }
 
     #[test]

@@ -318,7 +318,20 @@ impl Fleet {
             bytes: costs.bytes,
             fused_queries,
             fused_groups,
+            plan_evictions: self.plan_cache_stats().evictions,
         }
+    }
+
+    /// Fleet-level footprint lookup: footprints are schema-level facts
+    /// identical on every shard, so shard 0's per-template cache answers
+    /// for the whole fleet.
+    pub(crate) fn footprint_of(&self, sql: &str) -> sloth_sql::Footprint {
+        self.shards[0].footprint_of(sql)
+    }
+
+    /// Fleet-wide footprint-cache counters (shard 0 holds the cache).
+    pub(crate) fn footprint_cache_stats(&self) -> sloth_sql::FootprintCacheStats {
+        self.shards[0].footprint_cache_stats()
     }
 
     // ---- reads ---------------------------------------------------------

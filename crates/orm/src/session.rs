@@ -122,6 +122,23 @@ impl Session {
         }
     }
 
+    /// Issues a write. In deferred mode a write whose footprint is
+    /// disjoint from everything pending is **deferred** (selective
+    /// laziness) — its empty result is not demanded, so it costs no round
+    /// trip until something drains it.
+    fn run_write(&self, sql: &str) -> Result<(), SqlError> {
+        match &self.backend {
+            Backend::Immediate(env) => env.query(sql).map(|_| ()),
+            Backend::Deferred(store) => {
+                let reg = store.register_stmt(sql.to_string())?;
+                if reg.deferred {
+                    return Ok(());
+                }
+                store.result(reg.id).map(|_| ())
+            }
+        }
+    }
+
     /// `JPA find`: fetch one entity by primary key. In immediate mode this
     /// also prefetches every `Eager` association (costing extra round
     /// trips — the waste Sloth eliminates, §6.1).
@@ -227,14 +244,17 @@ impl Session {
         Ok(query_thunk(store, sql, move |rs| deserialize(&def, &rs)))
     }
 
-    /// Persists a new entity row (write: flushes any pending batch).
+    /// Persists a new entity row (write: drains or defers per the
+    /// deployment's selective-laziness setting — a conflicting write
+    /// still flushes any pending batch, riding it).
     pub fn save(&self, entity: &str, values: &[Value]) -> Result<(), SqlError> {
         let def = self.def(entity)?;
         let sql = sqlgen::insert_row(def, values);
-        self.run(&sql).map(|_| ())
+        self.run_write(&sql)
     }
 
-    /// Updates one field by primary key (write: flushes any pending batch).
+    /// Updates one field by primary key (write: drains or defers, see
+    /// [`Session::save`]).
     pub fn update_field(
         &self,
         entity: &str,
@@ -244,7 +264,7 @@ impl Session {
     ) -> Result<(), SqlError> {
         let def = self.def(entity)?;
         let sql = sqlgen::update_field(def, &Value::Int(id), column, value);
-        self.run(&sql).map(|_| ())
+        self.run_write(&sql)
     }
 
     fn require_store(&self) -> Result<&QueryStore, SqlError> {
@@ -398,6 +418,7 @@ mod tests {
     fn save_flushes_pending_batch_in_deferred_mode() {
         let schema = schema();
         let env = seeded_env(&schema);
+        env.set_write_deferral(false);
         let store = QueryStore::new(env.clone());
         let s = Session::deferred(store.clone(), Arc::clone(&schema));
         let _t = s.find_thunk("patient", 1).unwrap();
@@ -408,6 +429,35 @@ mod tests {
         // round trip instead of splitting into two.
         assert_eq!(env.stats().round_trips, 1);
         assert_eq!(store.stats().write_batched, 1);
+    }
+
+    #[test]
+    fn disjoint_save_defers_with_selective_laziness() {
+        let schema = schema();
+        let env = seeded_env(&schema);
+        let store = QueryStore::new(env.clone());
+        let s = Session::deferred(store.clone(), Arc::clone(&schema));
+        let t = s.find_thunk("patient", 1).unwrap();
+        // The INSERT touches `visit`, disjoint from the pending patient
+        // lookup: it defers — no round trip at all yet.
+        s.save("visit", &[Value::Int(101), Value::Int(2)]).unwrap();
+        assert_eq!(env.stats().round_trips, 0, "write deferred, read lazy");
+        assert_eq!(store.pending_len(), 2);
+        assert_eq!(store.stats().deferred_writes, 1);
+        // Forcing the find drains both in ONE round trip.
+        assert!(t.force().is_some());
+        assert_eq!(env.stats().round_trips, 1);
+        // A second disjoint write defers again; update_field drains it
+        // only when it conflicts.
+        s.update_field("visit", 101, "patient_id", &Value::Int(3))
+            .unwrap();
+        assert_eq!(env.stats().round_trips, 1, "still deferred");
+        store.flush_deferred_writes().unwrap();
+        assert_eq!(env.stats().round_trips, 2);
+        let rs = env
+            .query("SELECT patient_id FROM visit WHERE visit_id = 101")
+            .unwrap();
+        assert_eq!(rs.get(0, "patient_id").unwrap().as_i64(), Some(3));
     }
 
     #[test]

@@ -3,10 +3,11 @@
 //! model in `sloth-net`.
 
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use crate::ast::*;
 use crate::error::SqlError;
+use crate::footprint::Footprint;
 use crate::normalize::{normalize, parameterize};
 use crate::parser::parse;
 use crate::table::Table;
@@ -149,12 +150,143 @@ impl PlanCache {
     }
 }
 
+/// Statistics of the per-database footprint cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FootprintCacheStats {
+    /// Footprints answered by a cached parameterized template (no parse).
+    pub hits: u64,
+    /// Footprints that had to parse (and, when possible, filled the cache).
+    pub misses: u64,
+    /// Templates currently cached.
+    pub entries: usize,
+}
+
+/// What the footprint cache remembers about one template.
+#[derive(Debug)]
+enum CachedFootprint {
+    /// Parameterized statement + its slot count: substitute each
+    /// statement's extracted literals to get its concrete footprint.
+    /// (Boxed: statements are much larger than the `Barrier` variant.)
+    Stmt(Box<Statement>, usize),
+    /// The template is a barrier (transaction boundary, DDL) — or SQL the
+    /// parser rejects; either way it conflicts with everything.
+    Barrier,
+}
+
+/// Bounded template → parameterized-footprint cache (FIFO eviction),
+/// parameterized exactly like the plan cache: one parse per template, and
+/// every same-template statement derives its read/write table + key sets
+/// by substituting its own extracted parameters.
+///
+/// Interior-mutexed so the **driver side** (query store write-deferral
+/// decisions, dispatcher admission) can use it through a shared
+/// `RwLock<Database>` *read* guard without serializing on the executor's
+/// write lock.
+#[derive(Debug, Default)]
+struct FootprintCache {
+    inner: Mutex<FootprintCacheInner>,
+}
+
+#[derive(Debug, Default)]
+struct FootprintCacheInner {
+    map: HashMap<String, Arc<CachedFootprint>>,
+    order: VecDeque<String>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Clone for FootprintCache {
+    fn clone(&self) -> Self {
+        // Snapshot clones (experiment restarts) start with a cold cache:
+        // footprints are re-derivable and the counters are per-instance.
+        FootprintCache::default()
+    }
+}
+
+const FOOTPRINT_CACHE_CAP: usize = 512;
+
+impl FootprintCache {
+    fn lock(&self) -> std::sync::MutexGuard<'_, FootprintCacheInner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn footprint_of(&self, sql: &str) -> Footprint {
+        let Ok(norm) = normalize(sql) else {
+            // Unlexable: no template to key on; always a barrier.
+            return Footprint::barrier();
+        };
+        {
+            let mut inner = self.lock();
+            if let Some(cached) = inner.map.get(&norm.template).map(Arc::clone) {
+                inner.hits += 1;
+                drop(inner);
+                return match &*cached {
+                    CachedFootprint::Barrier => Footprint::barrier(),
+                    CachedFootprint::Stmt(pstmt, slots) if *slots == norm.params.len() => {
+                        Footprint::of_stmt_with(pstmt, &norm.params)
+                    }
+                    // Slot disagreement (outside the supported grammar):
+                    // derive from the concrete statement, uncached.
+                    CachedFootprint::Stmt(..) => Footprint::of_sql(sql),
+                };
+            }
+            inner.misses += 1;
+        }
+        let entry = match parse(sql) {
+            Ok(stmt) => {
+                let fp = Footprint::of_stmt(&stmt);
+                if fp.barrier {
+                    CachedFootprint::Barrier
+                } else {
+                    let (pstmt, slots) = parameterize(&stmt);
+                    if slots != norm.params.len() {
+                        // Normalizer/parser slot disagreement (outside the
+                        // supported grammar): the concrete footprint cannot
+                        // be re-derived from a template — stay uncached.
+                        return fp;
+                    }
+                    CachedFootprint::Stmt(Box::new(pstmt), slots)
+                }
+            }
+            Err(_) => CachedFootprint::Barrier,
+        };
+        let fp = match &entry {
+            CachedFootprint::Barrier => Footprint::barrier(),
+            CachedFootprint::Stmt(pstmt, _) => Footprint::of_stmt_with(pstmt, &norm.params),
+        };
+        let mut inner = self.lock();
+        if !inner.map.contains_key(&norm.template) {
+            while inner.map.len() >= FOOTPRINT_CACHE_CAP {
+                let Some(oldest) = inner.order.pop_front() else {
+                    break;
+                };
+                inner.map.remove(&oldest);
+            }
+            inner.order.push_back(norm.template.clone());
+            inner.map.insert(norm.template, Arc::new(entry));
+        }
+        fp
+    }
+
+    fn stats(&self) -> FootprintCacheStats {
+        let inner = self.lock();
+        FootprintCacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            entries: inner.map.len(),
+        }
+    }
+}
+
 /// An in-memory SQL database: a catalog of [`Table`]s plus an executor and
 /// a plan cache.
 #[derive(Debug, Default, Clone)]
 pub struct Database {
     tables: HashMap<String, Table>,
     plans: PlanCache,
+    footprints: FootprintCache,
 }
 
 impl Database {
@@ -179,6 +311,21 @@ impl Database {
     /// Snapshot of the plan-cache counters.
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
         self.plans.stats()
+    }
+
+    /// The [`Footprint`] of one SQL string, answered from the per-template
+    /// footprint cache (one parameterized parse per template; repeated
+    /// statements substitute their extracted literals into the cached
+    /// template's key pins). Works through a shared read guard: the cache
+    /// is interior-mutexed, so the driver's hot register path never takes
+    /// the executor's write lock.
+    pub fn footprint_of(&self, sql: &str) -> Footprint {
+        self.footprints.footprint_of(sql)
+    }
+
+    /// Snapshot of the footprint-cache counters.
+    pub fn footprint_cache_stats(&self) -> FootprintCacheStats {
+        self.footprints.stats()
     }
 
     /// Parses and executes one SQL statement.
@@ -1359,6 +1506,55 @@ mod tests {
         let stats = shared.read().unwrap().plan_cache_stats();
         assert_eq!(stats.hits, 4, "all threads hit the one warmed plan");
         assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn footprint_cache_hits_on_same_template() {
+        let db = db_with_issues();
+        assert_eq!(db.footprint_cache_stats().hits, 0);
+        let a = db.footprint_of("SELECT title FROM issue WHERE id = 10");
+        let s = db.footprint_cache_stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 1, 1));
+        // Different literal, different formatting — same template, no parse.
+        let b = db.footprint_of("select TITLE from ISSUE  where id = 11");
+        let s = db.footprint_cache_stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        // The substituted pins are each statement's own literals.
+        assert_eq!(a.reads[0].keys, vec![("id".into(), vec![Value::Int(10)])]);
+        assert_eq!(b.reads[0].keys, vec![("id".into(), vec![Value::Int(11)])]);
+        // Cached footprints agree with direct derivation, for reads and
+        // writes alike (post-image widening included).
+        for sql in [
+            "SELECT * FROM issue WHERE project_id = 2 AND sev = 0",
+            "UPDATE issue SET project_id = 2 WHERE project_id = 1",
+            "UPDATE issue SET sev = sev + 1 WHERE id = 10",
+            "DELETE FROM issue WHERE project_id = 3",
+            "INSERT INTO issue (id, project_id, title, sev) VALUES (90, 4, 'x', 1)",
+            "SELECT * FROM issue WHERE id IN (10, 11, 12)",
+        ] {
+            let warm = db.footprint_of(sql);
+            let again = db.footprint_of(sql);
+            let direct = crate::Footprint::of_sql(sql);
+            assert_eq!(warm, direct, "{sql}");
+            assert_eq!(again, direct, "cached re-derivation diverged: {sql}");
+        }
+        assert!(db.footprint_cache_stats().hits >= 7);
+    }
+
+    #[test]
+    fn footprint_cache_handles_barriers_and_garbage() {
+        let db = db_with_issues();
+        for sql in ["BEGIN", "COMMIT", "CREATE TABLE z (id INT PRIMARY KEY)"] {
+            assert!(db.footprint_of(sql).barrier, "{sql}");
+            assert!(db.footprint_of(sql).barrier, "{sql} (cached)");
+        }
+        // Unparseable-but-lexable SQL caches its barrier verdict.
+        assert!(db.footprint_of("GRANT ALL ON issue").barrier);
+        let before = db.footprint_cache_stats();
+        assert!(db.footprint_of("GRANT ALL ON issue").barrier);
+        assert_eq!(db.footprint_cache_stats().hits, before.hits + 1);
+        // Unlexable SQL is a barrier and never caches.
+        assert!(db.footprint_of("SELECT \u{1}\"").barrier);
     }
 
     #[test]

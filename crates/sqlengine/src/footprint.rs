@@ -114,11 +114,21 @@ impl Footprint {
 
     /// Extracts the footprint of a parsed statement.
     pub fn of_stmt(stmt: &Statement) -> Footprint {
+        Footprint::of_stmt_with(stmt, &[])
+    }
+
+    /// Extracts the footprint of a (possibly parameterized) statement with
+    /// `params` bound to its `?` slots — the entry point of the
+    /// per-template footprint cache: one parameterized parse serves every
+    /// statement of the template, with each statement's own literals
+    /// substituted into the key pins. An unresolvable slot (out-of-range
+    /// parameter) conservatively pins nothing.
+    pub fn of_stmt_with(stmt: &Statement, params: &[Value]) -> Footprint {
         match stmt {
             Statement::Select(sel) => {
                 let mut reads = vec![TableAccess {
                     table: sel.from.name.to_ascii_lowercase(),
-                    keys: eq_pins(sel.predicate.as_ref(), Some(&sel.from)),
+                    keys: eq_pins(sel.predicate.as_ref(), Some(&sel.from), params),
                 }];
                 for join in &sel.joins {
                     reads.push(TableAccess::whole(&join.table.name));
@@ -136,14 +146,14 @@ impl Footprint {
             } => {
                 // Post-image pins: a column constrains the inserted rows
                 // only when the statement names its columns and every
-                // tuple supplies a literal for it.
+                // tuple supplies a literal (or bound parameter) for it.
                 let mut keys: Vec<(String, Vec<Value>)> = Vec::new();
                 for (ci, col) in columns.iter().enumerate() {
                     let mut vals = Vec::with_capacity(values.len());
                     for tuple in values {
-                        match tuple.get(ci) {
-                            Some(Expr::Literal(v)) => vals.push(v.clone()),
-                            _ => {
+                        match tuple.get(ci).and_then(|e| pin_value(e, params)) {
+                            Some(v) => vals.push(v.clone()),
+                            None => {
                                 vals.clear();
                                 break;
                             }
@@ -171,18 +181,18 @@ impl Footprint {
                 // pinned column moves rows, so the assigned literal joins
                 // the pin (post-image) — and a non-literal assignment
                 // makes the column unboundable.
-                let mut keys = eq_pins(predicate.as_ref(), None);
+                let mut keys = eq_pins(predicate.as_ref(), None, params);
                 for (col, expr) in sets {
                     let col = col.to_ascii_lowercase();
-                    match expr {
-                        Expr::Literal(v) => {
+                    match pin_value(expr, params) {
+                        Some(v) => {
                             for (kc, kv) in &mut keys {
                                 if *kc == col && !kv.iter().any(|x| x.sql_eq(v)) {
                                     kv.push(v.clone());
                                 }
                             }
                         }
-                        _ => keys.retain(|(kc, _)| *kc != col),
+                        None => keys.retain(|(kc, _)| *kc != col),
                     }
                 }
                 Footprint {
@@ -198,7 +208,7 @@ impl Footprint {
                 reads: Vec::new(),
                 writes: vec![TableAccess {
                     table: table.to_ascii_lowercase(),
-                    keys: eq_pins(predicate.as_ref(), None),
+                    keys: eq_pins(predicate.as_ref(), None, params),
                 }],
                 barrier: false,
             },
@@ -243,14 +253,28 @@ impl Footprint {
     }
 }
 
+/// A pin-able value: a literal, or a `?` slot resolved against the bound
+/// parameters (the footprint-cache path). Anything else pins nothing.
+fn pin_value<'a>(e: &'a Expr, params: &'a [Value]) -> Option<&'a Value> {
+    match e {
+        Expr::Literal(v) => Some(v),
+        Expr::Param(i) => params.get(*i),
+        _ => None,
+    }
+}
+
 /// Collects equality pins from the top-level `AND` conjuncts of a
 /// predicate: `col = literal` and `col IN (literals)`. Anything under
 /// `OR`/`NOT` pins nothing (it does not restrict the row set). For
 /// selects, a qualified column must name the base table to count.
-fn eq_pins(pred: Option<&Expr>, base: Option<&TableRef>) -> Vec<(String, Vec<Value>)> {
+fn eq_pins(
+    pred: Option<&Expr>,
+    base: Option<&TableRef>,
+    params: &[Value],
+) -> Vec<(String, Vec<Value>)> {
     let mut pins = Vec::new();
     if let Some(p) = pred {
-        collect_pins(p, base, &mut pins);
+        collect_pins(p, base, params, &mut pins);
     }
     pins
 }
@@ -263,27 +287,37 @@ fn qualifier_ok(col: &crate::ast::ColumnRef, base: Option<&TableRef>) -> bool {
     }
 }
 
-fn collect_pins(e: &Expr, base: Option<&TableRef>, pins: &mut Vec<(String, Vec<Value>)>) {
+fn collect_pins(
+    e: &Expr,
+    base: Option<&TableRef>,
+    params: &[Value],
+    pins: &mut Vec<(String, Vec<Value>)>,
+) {
     match e {
         Expr::Binary {
             op: BinOp::And,
             left,
             right,
         } => {
-            collect_pins(left, base, pins);
-            collect_pins(right, base, pins);
+            collect_pins(left, base, params, pins);
+            collect_pins(right, base, params, pins);
         }
         Expr::Binary {
             op: BinOp::Eq,
             left,
             right,
         } => {
-            if let (Expr::Column(c), Expr::Literal(v)) | (Expr::Literal(v), Expr::Column(c)) =
-                (&**left, &**right)
-            {
-                if qualifier_ok(c, base) {
-                    pins.push((c.column.to_ascii_lowercase(), vec![v.clone()]));
+            let (c, v) = match (&**left, &**right) {
+                (Expr::Column(c), other) | (other, Expr::Column(c)) => {
+                    match pin_value(other, params) {
+                        Some(v) => (c, v),
+                        None => return,
+                    }
                 }
+                _ => return,
+            };
+            if qualifier_ok(c, base) {
+                pins.push((c.column.to_ascii_lowercase(), vec![v.clone()]));
             }
         }
         Expr::InList { expr, list } => {
@@ -293,10 +327,7 @@ fn collect_pins(e: &Expr, base: Option<&TableRef>, pins: &mut Vec<(String, Vec<V
             }
             let vals: Option<Vec<Value>> = list
                 .iter()
-                .map(|item| match item {
-                    Expr::Literal(v) => Some(v.clone()),
-                    _ => None,
-                })
+                .map(|item| pin_value(item, params).cloned())
                 .collect();
             if let Some(vals) = vals {
                 pins.push((c.column.to_ascii_lowercase(), vals));
