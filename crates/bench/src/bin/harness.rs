@@ -39,6 +39,7 @@ fn main() {
             "throughput",
             "writebatch",
             "deferral",
+            "chaos",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -81,6 +82,7 @@ fn main() {
             "throughput" => throughput_figure_cmd(),
             "writebatch" => writebatch_figure_cmd(),
             "deferral" => deferral_figure_cmd(),
+            "chaos" => chaos_figure_cmd(),
             other => eprintln!("unknown experiment: {other}"),
         }
     }
@@ -564,6 +566,50 @@ fn deferral_figure_cmd() {
     match std::fs::write("BENCH_deferral.json", &json) {
         Ok(()) => println!("  wrote BENCH_deferral.json"),
         Err(e) => eprintln!("  could not write BENCH_deferral.json: {e}"),
+    }
+}
+
+fn chaos_figure_cmd() {
+    println!("\n== Chaos figure — recovery cost under the reference fault plan ==");
+    let fig = sloth_bench::chaos::chaos_figure();
+    println!(
+        "  {:<26} {:>7} {:>7} {:>8} {:>7} {:>8} {:>9} {:>9} {:>8}",
+        "workload", "pages", "faults", "retries", "dedup", "Δtrips", "Δnetwork", "journal", "state"
+    );
+    for row in &fig.rows {
+        println!(
+            "  {:<26} {:>4}/{:<2} {:>7} {:>8} {:>7} {:>7.1}% {:>8.1}% {:>9} {:>8}",
+            row.name,
+            row.pages_ok,
+            row.txns,
+            row.absorbed(),
+            row.faults.retries,
+            row.faults.deduped_writes,
+            row.trip_overhead() * 100.0,
+            row.network_overhead() * 100.0,
+            row.faults.journal_hits,
+            if row.outputs_equal && row.state_equal {
+                "equal"
+            } else {
+                "DIFFER"
+            }
+        );
+        assert!(
+            row.outputs_equal && row.state_equal,
+            "{}: recovery diverged from the clean run",
+            row.name
+        );
+    }
+    println!(
+        "  gate: {:.2}% page success (≥ 99% required), {} state divergences (0 required)",
+        fig.success_rate() * 100.0,
+        fig.state_divergences()
+    );
+    assert!(fig.pass(), "chaos gate failed");
+    let json = fig.to_json();
+    match std::fs::write("BENCH_chaos.json", &json) {
+        Ok(()) => println!("  wrote BENCH_chaos.json"),
+        Err(e) => eprintln!("  could not write BENCH_chaos.json: {e}"),
     }
 }
 

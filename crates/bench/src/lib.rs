@@ -7,6 +7,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod deferral;
 pub mod fusion;
 pub mod microbench;

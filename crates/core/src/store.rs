@@ -75,6 +75,12 @@ pub struct StoreStats {
     /// conflicted with a pending **deferred write** (the read-after-write
     /// and write-after-write drain triggers).
     pub conflict_drains: u64,
+    /// Times this session dropped from lazy-coalesced to **eager-solo**
+    /// dispatch because a flush failed with a transient (fault-layer)
+    /// error after the retry budget exhausted. A degraded session ships
+    /// every statement immediately, never defers writes, and bypasses
+    /// dispatcher coalescing — correctness over batching wins.
+    pub degradations: u64,
 }
 
 impl StoreStats {
@@ -173,6 +179,10 @@ struct StoreInner {
     next_id: u64,
     stats: StoreStats,
     flush_threshold: Option<usize>,
+    /// Degraded mode (see [`StoreStats::degradations`]): set when a flush
+    /// fails with a transient fault-layer error, never cleared — the
+    /// session finishes its request on the safe eager-solo path.
+    degraded: bool,
 }
 
 struct StoreShared {
@@ -187,10 +197,25 @@ struct StoreShared {
 /// is cleared and waiters are woken — a panicking flush on one thread
 /// must not strand `result()` callers on another. Disarmed on the normal
 /// paths, which record outcomes themselves.
+///
+/// The guard **owns** its id list and is armed at admission time — in the
+/// same critical section that moves ids into `in_flight` — so there is no
+/// window between admission and ship where a panic could leak an
+/// in-flight id and wedge a later `result()` wait.
 struct FlushPanicGuard<'a> {
     shared: &'a StoreShared,
-    ids: &'a [QueryId],
+    ids: Vec<QueryId>,
     armed: bool,
+}
+
+impl<'a> FlushPanicGuard<'a> {
+    fn disarmed(shared: &'a StoreShared) -> Self {
+        FlushPanicGuard {
+            shared,
+            ids: Vec::new(),
+            armed: false,
+        }
+    }
 }
 
 impl Drop for FlushPanicGuard<'_> {
@@ -201,7 +226,7 @@ impl Drop for FlushPanicGuard<'_> {
                 .inner
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
-            for id in self.ids {
+            for id in &self.ids {
                 inner.in_flight.remove(id);
                 inner
                     .results
@@ -252,6 +277,7 @@ impl QueryStore {
                     next_id: 0,
                     stats: StoreStats::default(),
                     flush_threshold: None,
+                    degraded: false,
                 }),
                 answered: Condvar::new(),
             }),
@@ -306,7 +332,9 @@ impl QueryStore {
     pub fn register_stmt(&self, sql: impl Into<String>) -> Result<Registration, SqlError> {
         let sql = sql.into();
         let is_write = is_write_sql(&sql);
-        let deferral = self.env.write_deferral_enabled();
+        // A degraded session gives up deferral entirely: every statement
+        // ships as eagerly as possible on the solo path.
+        let deferral = self.env.write_deferral_enabled() && !self.lock().degraded;
         if !is_write {
             let (id, action) = {
                 let mut inner = self.lock();
@@ -351,11 +379,13 @@ impl QueryStore {
                 let action = if conflicts {
                     inner.stats.conflict_drains += 1;
                     ReadAction::Drain
-                } else if inner
-                    .flush_threshold
-                    .map(|n| inner.pending.len() >= n)
-                    .unwrap_or(false)
+                } else if inner.degraded
+                    || inner
+                        .flush_threshold
+                        .map(|n| inner.pending.len() >= n)
+                        .unwrap_or(false)
                 {
+                    // Degraded sessions ship every read immediately.
                     ReadAction::Threshold
                 } else {
                     ReadAction::Linger
@@ -546,6 +576,10 @@ impl QueryStore {
     /// either (never-demanded queries never running is the point of the
     /// paper).
     pub fn flush_deferred_writes(&self) -> Result<(), SqlError> {
+        // The guard lives OUTSIDE the admission critical section (drop
+        // order: the lock guard releases before this unwinds), but is
+        // armed inside it — admission and arming are atomic.
+        let mut guard = FlushPanicGuard::disarmed(&self.shared);
         let drained: Vec<PendingStmt> = {
             let mut inner = self.lock();
             if inner.pending_writes == 0 {
@@ -555,15 +589,18 @@ impl QueryStore {
                 inner.pending.drain(..).partition(|p| p.is_write);
             inner.pending = reads;
             inner.pending_writes = 0;
+            guard.armed = true;
             for p in &writes {
+                guard.ids.push(p.id);
                 inner.in_flight.insert(p.id);
             }
             writes
         };
-        self.ship(drained, false)
+        self.ship(drained, guard, false)
     }
 
     fn flush_internal(&self, caused_by_write: bool) -> Result<(), SqlError> {
+        let mut guard = FlushPanicGuard::disarmed(&self.shared);
         let drained: Vec<PendingStmt> = {
             let mut inner = self.lock();
             if inner.pending.is_empty() {
@@ -572,16 +609,25 @@ impl QueryStore {
             inner.pending_by_key.clear();
             inner.pending_writes = 0;
             let drained: Vec<PendingStmt> = inner.pending.drain(..).collect();
+            guard.armed = true;
             for p in &drained {
+                guard.ids.push(p.id);
                 inner.in_flight.insert(p.id);
             }
             drained
         };
-        self.ship(drained, caused_by_write)
+        self.ship(drained, guard, caused_by_write)
     }
 
     /// Ships an already-drained batch and records per-id outcomes.
-    fn ship(&self, drained: Vec<PendingStmt>, caused_by_write: bool) -> Result<(), SqlError> {
+    /// `panic_guard` was armed at admission (its ids are the drained ids,
+    /// already in `in_flight`).
+    fn ship(
+        &self,
+        drained: Vec<PendingStmt>,
+        mut panic_guard: FlushPanicGuard<'_>,
+        caused_by_write: bool,
+    ) -> Result<(), SqlError> {
         let all_writes = drained.iter().all(|p| p.is_write);
         let have_all_fps = drained.iter().all(|p| p.fp.is_some());
         // Thread the footprints the register path already derived into
@@ -600,11 +646,7 @@ impl QueryStore {
             }
         }
         let footprints: Option<Vec<Footprint>> = have_all_fps.then_some(fps);
-        let mut panic_guard = FlushPanicGuard {
-            shared: &self.shared,
-            ids: &ids,
-            armed: true,
-        };
+        let degraded = self.lock().degraded;
         // Per-batch fusion attribution comes back with the outcome itself
         // (not from deployment-wide counter deltas, which other sessions
         // mutate concurrently). The direct path ships with **partial
@@ -626,7 +668,14 @@ impl QueryStore {
                     p.segments,
                 )
             }
-            FlushTarget::Dispatched(d) => match d.submit(&sqls) {
+            FlushTarget::Dispatched(d) => match if degraded {
+                // Degraded sessions bypass the coalescing queue: solo
+                // dispatch, footprints threaded through so even this path
+                // never re-analyzes a statement.
+                d.submit_solo(&sqls, footprints.as_deref())
+            } else {
+                d.submit(&sqls)
+            } {
                 Ok(r) => (
                     r.results.into_iter().map(Some).collect(),
                     None,
@@ -658,7 +707,17 @@ impl QueryStore {
                         inner.stats.write_only_flushes += 1;
                     }
                 }
-                Some(_) => inner.stats.failed_batches += 1,
+                Some(e) => {
+                    inner.stats.failed_batches += 1;
+                    // Graceful degradation: a transient error here means
+                    // the retry budget exhausted under faults. Drop the
+                    // session to eager-solo dispatch for the rest of its
+                    // life — no more deferral, no more coalescing.
+                    if sloth_net::is_transient_error(e) && !inner.degraded {
+                        inner.degraded = true;
+                        inner.stats.degradations += 1;
+                    }
+                }
             }
             // The pending queries are already drained; every id records an
             // outcome — its real result when the server produced one, the
@@ -692,6 +751,12 @@ impl QueryStore {
     /// Snapshot of the store's batching statistics.
     pub fn stats(&self) -> StoreStats {
         self.lock().stats.clone()
+    }
+
+    /// Whether this session has degraded to eager-solo dispatch after a
+    /// transient flush failure (see [`StoreStats::degradations`]).
+    pub fn degraded(&self) -> bool {
+        self.lock().degraded
     }
 }
 
@@ -1328,5 +1393,93 @@ mod tests {
         let coalesced: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
         assert!(coalesced >= 2, "sessions shared a round trip: {coalesced}");
         assert!(e.stats().round_trips < n as u64);
+    }
+
+    #[test]
+    fn injected_panic_flush_never_wedges_result_waits() {
+        // Satellite 1: the drop-guard is armed in the same critical
+        // section that admits ids to in_flight, so a panic anywhere on
+        // the flush path still records an outcome for every drained id —
+        // a later result() answers instead of waiting forever.
+        let e = env();
+        e.set_faults(Some(sloth_net::FaultPlan::seeded(5).panic_at(0)));
+        let store = QueryStore::new(e.clone());
+        let id = store.register("SELECT v FROM t WHERE id = 1").unwrap();
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| store.flush()));
+        assert!(res.is_err(), "the injected panic propagates");
+        let err = store.result(id).unwrap_err();
+        assert!(
+            err.to_string().contains("batch flush panicked"),
+            "got: {err}"
+        );
+        // The store stays usable: trip 1 delivers.
+        let id2 = store.register("SELECT v FROM t WHERE id = 2").unwrap();
+        assert_eq!(
+            store.result(id2).unwrap().get(0, "v").unwrap().as_str(),
+            Some("v2")
+        );
+    }
+
+    #[test]
+    fn transient_exhaustion_degrades_session_to_eager_solo() {
+        let e = env();
+        e.set_faults(Some(sloth_net::FaultPlan::seeded(9).drops(1000)));
+        e.set_retry_policy(sloth_net::RetryPolicy {
+            max_attempts: 2,
+            ..Default::default()
+        });
+        let store = QueryStore::new(e.clone());
+        let id = store.register("SELECT v FROM t WHERE id = 1").unwrap();
+        let err = store.flush().unwrap_err();
+        assert!(sloth_net::is_transient_error(&err), "got: {err}");
+        assert!(store.degraded());
+        assert_eq!(store.stats().degradations, 1);
+        assert!(store.result(id).is_err());
+        // Faults gone: the degraded session still answers — eagerly.
+        e.set_faults(None);
+        let trips0 = e.stats().round_trips;
+        let a = store.register("SELECT v FROM t WHERE id = 3").unwrap();
+        store.register("SELECT v FROM t WHERE id = 4").unwrap();
+        assert_eq!(
+            e.stats().round_trips,
+            trips0 + 2,
+            "degraded reads ship immediately, one trip each"
+        );
+        let w = store
+            .register_stmt("UPDATE t SET v = 'd' WHERE id = 5")
+            .unwrap();
+        assert!(!w.deferred, "degraded sessions never defer writes");
+        assert_eq!(
+            store.result(a).unwrap().get(0, "v").unwrap().as_str(),
+            Some("v3")
+        );
+        assert_eq!(store.stats().degradations, 1, "the transition counts once");
+    }
+
+    #[test]
+    fn degraded_dispatched_session_bypasses_coalescing() {
+        use sloth_net::Dispatcher;
+        let e = env();
+        e.set_faults(Some(sloth_net::FaultPlan::seeded(11).drops(1000)));
+        e.set_retry_policy(sloth_net::RetryPolicy {
+            max_attempts: 1,
+            ..Default::default()
+        });
+        let d = Arc::new(Dispatcher::new(e.clone()));
+        let store = QueryStore::dispatched(Arc::clone(&d));
+        store.register("SELECT v FROM t WHERE id = 1").unwrap();
+        assert!(store.flush().is_err());
+        assert!(store.degraded());
+        e.set_faults(None);
+        let id = store.register("SELECT v FROM t WHERE id = 2").unwrap();
+        assert_eq!(
+            store.result(id).unwrap().get(0, "v").unwrap().as_str(),
+            Some("v2")
+        );
+        assert!(
+            d.stats().degraded_solo >= 1,
+            "degraded flushes use submit_solo: {:?}",
+            d.stats()
+        );
     }
 }

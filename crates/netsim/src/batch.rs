@@ -360,11 +360,17 @@ pub(crate) struct BatchExec {
 /// database runs every statement; fused groups execute as `IN` probes
 /// (chunked at the configured max arity) and demultiplex; reads share
 /// longest-first parallel waves.
+///
+/// `skip` carries journaled results from a previous ambiguous attempt of
+/// the same batch (see the fault layer): those positions are answered
+/// from the journal — charged as result bytes, never re-executed — which
+/// is what makes replaying a timed-out write batch exactly-once.
 pub(crate) fn exec_single(
     db: &mut sloth_sql::Database,
     cost: &crate::CostModel,
     sqls: &[String],
     plan: &BatchPlan,
+    skip: Option<&[Option<ResultSet>]>,
 ) -> BatchExec {
     let mut results: Vec<Option<ResultSet>> = vec![None; sqls.len()];
     let mut error: Option<(usize, SqlError)> = None;
@@ -373,6 +379,14 @@ pub(crate) fn exec_single(
     let mut bytes = 0u64;
     let mut fused_queries = 0u64;
     let mut fused_groups = 0u64;
+    if let Some(skip) = skip {
+        for (i, s) in skip.iter().enumerate().take(sqls.len()) {
+            if let Some(rs) = s {
+                bytes += rs.wire_size() as u64;
+                results[i] = Some(rs.clone());
+            }
+        }
+    }
     let exec_cost = |stats: &sloth_sql::ExecStats| {
         cost.db_base_ns
             + cost.db_row_scan_ns * stats.rows_scanned
@@ -388,6 +402,9 @@ pub(crate) fn exec_single(
         match plan.roles[i].clone() {
             Role::FusedMember => {} // answered by its group's lead
             Role::Single => {
+                if results[i].is_some() {
+                    continue; // answered from the journal
+                }
                 bytes += sqls[i].len() as u64;
                 let out = match &plan.norms[i] {
                     Some(n) => db.execute_select_normalized(&sqls[i], n),
@@ -412,8 +429,19 @@ pub(crate) fn exec_single(
             }
             Role::FusedLead(g) => {
                 let (lookup, members) = &plan.fused[g];
-                let values = fused_values(&plan.norms, members);
-                let all_targets: Vec<(usize, &Value)> = members
+                // Members already answered from the journal drop out of
+                // the probe; the group executes over what's left (all of
+                // it, on a fault-free run).
+                let live: Vec<usize> = members
+                    .iter()
+                    .copied()
+                    .filter(|&m| results[m].is_none())
+                    .collect();
+                if live.is_empty() {
+                    continue;
+                }
+                let values = fused_values(&plan.norms, &live);
+                let all_targets: Vec<(usize, &Value)> = live
                     .iter()
                     .map(|&m| {
                         (
@@ -453,7 +481,7 @@ pub(crate) fn exec_single(
                     }
                 }
                 fused_groups += 1;
-                fused_queries += members.len() as u64;
+                fused_queries += live.len() as u64;
             }
         }
     }

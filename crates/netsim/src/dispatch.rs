@@ -91,6 +91,16 @@ pub struct DispatcherStats {
     /// Combined dispatches that failed and were split back into exact
     /// per-session outcomes.
     pub fallback_splits: u64,
+    /// Batches dispatched through [`Dispatcher::submit_solo`] by sessions
+    /// that degraded from the coalescing path after exhausting their
+    /// retry budget.
+    pub degraded_solo: u64,
+    /// Combined dispatches that failed with a **transient** (fault-layer)
+    /// error after the retry budget exhausted. Every rider gets the error
+    /// and nothing re-executes: the idempotence journal that made replay
+    /// safe was abandoned with the batch, so re-running any rider here
+    /// could double-apply a write that landed in a faulted attempt.
+    pub transient_failures: u64,
     /// Per-statement footprints the **batch planner** derived on this
     /// dispatcher's dispatches. Zero by construction: the footprints
     /// computed once at admission (through the backend's per-template
@@ -330,6 +340,37 @@ impl Dispatcher {
         }
     }
 
+    /// Dispatches one session's batch directly, bypassing the coalescing
+    /// queue — the degraded path a session retreats to after its retry
+    /// budget exhausts on the shared path (see the degradation ladder in
+    /// DESIGN.md). Keeps the all-or-error solo surface; `fps` threads the
+    /// session's admission footprints through so even the degraded path
+    /// never re-analyzes a statement.
+    pub fn submit_solo(
+        &self,
+        sqls: &[String],
+        fps: Option<&[Footprint]>,
+    ) -> Result<DispatchResult, SqlError> {
+        if sqls.is_empty() {
+            return Ok(DispatchResult {
+                results: Vec::new(),
+                fused_queries: 0,
+                fused_groups: 0,
+                coalesced: false,
+                segments: 0,
+            });
+        }
+        {
+            let mut stats = self.lock_stats();
+            stats.flushes += 1;
+            stats.dispatches += 1;
+            stats.degraded_solo += 1;
+        }
+        let outcome = self.env.query_batch_outcome_with(sqls, fps)?;
+        self.lock_stats().planner_footprint_derivations += outcome.footprints_derived;
+        Ok(solo_result(outcome))
+    }
+
     /// Drains the longest compatible prefix of the queue for one combined
     /// dispatch. Read-only batches are always mutually compatible; as soon
     /// as a write batch is involved, every candidate must be
@@ -409,6 +450,16 @@ impl Dispatcher {
         self.account_cross_session_fusion(batch, &partial);
         match partial.error.clone() {
             None => self.split_outcome(batch, partial, coalesced),
+            Some((_, e)) if crate::fault::is_transient_error(&e) => {
+                // Retry budget exhausted on the combined dispatch. The
+                // at-most-once journal was abandoned with the batch, so a
+                // write shipped in a faulted attempt may already have
+                // applied — re-executing any rider could double-apply it.
+                // Fail every ticket with the transient error instead;
+                // sessions degrade to eager-solo dispatch and retry there.
+                self.lock_stats().transient_failures += 1;
+                batch.iter().map(|f| (f.ticket, Err(e.clone()))).collect()
+            }
             Some((pos, e)) => {
                 // Exact per-session split of a failed combined dispatch:
                 // fully-executed flushes keep their results, the flush
@@ -934,5 +985,160 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Dispatcher>();
         assert_send_sync::<Arc<Dispatcher>>();
+    }
+
+    fn counter_env() -> SimEnv {
+        let env = SimEnv::default_env();
+        env.seed_sql("CREATE TABLE c (id INT PRIMARY KEY, n INT)")
+            .unwrap();
+        env.seed_sql("INSERT INTO c VALUES (1, 0)").unwrap();
+        env
+    }
+
+    #[test]
+    fn repeated_leader_panics_fail_their_tickets_then_recover() {
+        // Two consecutive dispatches, each led by a different session,
+        // both hit an injected driver panic. Each leader's ticket errors
+        // (the front door never wedges), no write applies during the
+        // panicked rounds, and the third dispatch applies exactly once.
+        let env = counter_env();
+        env.set_faults(Some(
+            crate::fault::FaultPlan::seeded(7).panic_at(0).panic_at(1),
+        ));
+        let d = Arc::new(Dispatcher::new(env.clone()));
+        for round in 0..2 {
+            let d2 = Arc::clone(&d);
+            let h = std::thread::spawn(move || {
+                d2.submit(&["UPDATE c SET n = n + 1 WHERE id = 1".to_string()])
+            });
+            assert!(
+                h.join().is_err(),
+                "round {round}: the leader session re-raises the panic"
+            );
+        }
+        assert_eq!(env.fault_stats().injected_panics, 2);
+        // Trip 2 delivers: the increment applies exactly once overall.
+        d.submit(&["UPDATE c SET n = n + 1 WHERE id = 1".to_string()])
+            .unwrap();
+        let rs = d
+            .submit(&["SELECT n FROM c WHERE id = 1".to_string()])
+            .unwrap();
+        assert_eq!(rs.results[0].get(0, "n").unwrap().as_i64(), Some(1));
+    }
+
+    #[test]
+    fn repeated_failed_combined_dispatches_split_per_ticket() {
+        // Two consecutive rounds of (good write, failing statement) from
+        // different sessions: every round the good rider's increment
+        // applies exactly once and the bad rider gets its own error —
+        // repeated failures never leak state across rounds.
+        let env = counter_env();
+        let d = Arc::new(Dispatcher::with_window(
+            env.clone(),
+            Duration::from_millis(25),
+        ));
+        for round in 1..=2i64 {
+            let barrier = Arc::new(Barrier::new(2));
+            let good = {
+                let d = Arc::clone(&d);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    d.submit(&["UPDATE c SET n = n + 1 WHERE id = 1".to_string()])
+                })
+            };
+            let bad = {
+                let d = Arc::clone(&d);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    d.submit(&["DELETE FROM missing WHERE id = 1".to_string()])
+                })
+            };
+            good.join().unwrap().expect("good write succeeds");
+            let bad = bad.join().unwrap();
+            assert!(
+                bad.unwrap_err().to_string().contains("missing"),
+                "round {round}: the failing rider gets its own error"
+            );
+            let rs = d
+                .submit(&["SELECT n FROM c WHERE id = 1".to_string()])
+                .unwrap();
+            assert_eq!(
+                rs.results[0].get(0, "n").unwrap().as_i64(),
+                Some(round),
+                "round {round}: increment applied exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn exhausted_transient_dispatch_fails_all_riders_without_replay() {
+        // Every trip times out and the budget allows 2 attempts: the
+        // dispatch exhausts. Both riders must get the transient error —
+        // re-executing either could double-apply the journaled write —
+        // and the increment applies exactly once (attempt 2 answered it
+        // from the at-most-once journal).
+        let env = counter_env();
+        env.set_faults(Some(crate::fault::FaultPlan::seeded(3).timeouts(1000, 8)));
+        env.set_retry_policy(crate::fault::RetryPolicy {
+            max_attempts: 2,
+            ..Default::default()
+        });
+        let d = Arc::new(Dispatcher::with_window(
+            env.clone(),
+            Duration::from_millis(25),
+        ));
+        let barrier = Arc::new(Barrier::new(2));
+        let write = {
+            let d = Arc::clone(&d);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                d.submit(&["UPDATE c SET n = n + 1 WHERE id = 1".to_string()])
+            })
+        };
+        let read = {
+            let d = Arc::clone(&d);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                d.submit(&["SELECT n FROM c WHERE id = 1".to_string()])
+            })
+        };
+        let write = write.join().unwrap();
+        let read = read.join().unwrap();
+        for r in [&write, &read] {
+            let e = r.as_ref().expect_err("exhausted dispatch fails the rider");
+            assert!(
+                crate::fault::is_transient_error(e),
+                "transient marker survives the split: {e}"
+            );
+        }
+        assert!(env.fault_stats().exhausted_batches >= 1);
+        env.set_faults(None);
+        let rs = d
+            .submit(&["SELECT n FROM c WHERE id = 1".to_string()])
+            .unwrap();
+        assert_eq!(
+            rs.results[0].get(0, "n").unwrap().as_i64(),
+            Some(1),
+            "the journaled write applied exactly once despite 2 attempts"
+        );
+    }
+
+    #[test]
+    fn submit_solo_bypasses_coalescing_and_counts_degradation() {
+        let d = Dispatcher::new(seeded_env());
+        let r = d
+            .submit_solo(&["SELECT v FROM t WHERE id = 3".to_string()], None)
+            .unwrap();
+        assert_eq!(r.results[0].get(0, "v").unwrap().as_str(), Some("v3"));
+        assert!(!r.coalesced);
+        let s = d.stats();
+        assert_eq!(s.degraded_solo, 1);
+        assert_eq!(s.flushes, 1);
+        assert_eq!(s.dispatches, 1);
+        assert_eq!(s.coalesced_batches, 0);
     }
 }

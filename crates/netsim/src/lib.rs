@@ -32,14 +32,19 @@
 
 mod batch;
 pub mod dispatch;
+pub mod fault;
 pub mod shard;
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use sloth_sql::{Database, ResultSet, SqlError};
 
 pub use dispatch::{DispatchResult, Dispatcher, DispatcherStats};
+pub use fault::{
+    is_transient_error, transient_error, FaultDecision, FaultPlan, FaultStats, Outage, RetryPolicy,
+};
 pub use shard::{ShardStats, ShardedEnv};
 pub use sloth_sql::{PlanCacheStats, ShardSpec};
 
@@ -251,6 +256,23 @@ struct SimInner {
     auto_arity: usize,
     /// Plan-cache eviction count observed after the previous batch.
     last_evictions: u64,
+    /// Active fault plan (`None` = perfect network, zero-overhead path).
+    faults: Option<fault::FaultPlan>,
+    /// Retry / backoff / deadline policy for faulted trips.
+    retry: fault::RetryPolicy,
+    /// Fault-injection and recovery counters.
+    fault_stats: fault::FaultStats,
+    /// Global trip sequence number driving the fault plan (counts every
+    /// attempted round trip, including dropped and timed-out ones).
+    trip_seq: u64,
+    /// Next batch tag for the at-most-once statement journal.
+    next_batch_tag: u64,
+    /// At-most-once journal: statement id → (result, was it a write).
+    /// A statement that executed in an ambiguous attempt (timed out, or
+    /// failed mid-batch on an out shard) parks its result here; the
+    /// replay consumes it instead of re-executing, so effects apply
+    /// exactly once. Empty whenever no batch is mid-recovery.
+    journal: HashMap<u64, (ResultSet, bool)>,
 }
 
 /// The simulated deployment: application server + database backend +
@@ -296,6 +318,12 @@ impl SimEnv {
                 arity_override: None,
                 auto_arity: batch::DEFAULT_MAX_FUSED_ARITY,
                 last_evictions: 0,
+                faults: None,
+                retry: fault::RetryPolicy::default(),
+                fault_stats: fault::FaultStats::default(),
+                trip_seq: 0,
+                next_batch_tag: 0,
+                journal: HashMap::new(),
             })),
             clock: Clock::new(),
             realtime_ppm: Arc::new(AtomicU64::new(0)),
@@ -532,6 +560,38 @@ impl SimEnv {
         self.lock().cost = cost;
     }
 
+    /// Installs (or, with `None`, clears) the deterministic fault plan.
+    /// Also rewinds the trip sequence, zeroes [`FaultStats`] and empties
+    /// the statement journal, so the schedule replays from trip 0 — the
+    /// knob a failing chaos seed is reproduced with.
+    pub fn set_faults(&self, plan: Option<FaultPlan>) {
+        let mut inner = self.lock();
+        inner.faults = plan;
+        inner.trip_seq = 0;
+        inner.fault_stats = fault::FaultStats::default();
+        inner.journal.clear();
+    }
+
+    /// The fault plan currently installed (`None` = perfect network).
+    pub fn faults(&self) -> Option<FaultPlan> {
+        self.lock().faults.clone()
+    }
+
+    /// Fault-injection and recovery counters.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.lock().fault_stats
+    }
+
+    /// Replaces the retry / backoff / deadline policy.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        self.lock().retry = policy;
+    }
+
+    /// The retry policy in force.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.lock().retry
+    }
+
     /// Puts the deployment in **real-time mode**: after each round trip,
     /// the calling session actually sleeps `scale` real nanoseconds per
     /// virtual network nanosecond (outside the deployment lock, so
@@ -577,6 +637,9 @@ impl SimEnv {
     pub fn reset_stats(&self) {
         let mut inner = self.lock();
         inner.stats = NetStats::default();
+        inner.fault_stats = fault::FaultStats::default();
+        inner.trip_seq = 0;
+        inner.journal.clear();
         if let Backend::Sharded(fleet) = &mut inner.backend {
             fleet.reset_stats();
         }
@@ -643,7 +706,9 @@ impl SimEnv {
         // All-or-error surface: a failed batch charges nothing and
         // surfaces only its first error (the legacy driver contract the
         // query store and equivalence suites are written against).
-        let ran = self.run_batch(sqls, footprints);
+        // Faulted attempts that preceded the final one have already
+        // charged themselves inside the retry loop.
+        let ran = self.run_batch_resilient(sqls, footprints)?;
         if let Some((_, e)) = ran.exec.error {
             return Err(e);
         }
@@ -695,7 +760,25 @@ impl SimEnv {
                 footprints_derived: 0,
             };
         }
-        let ran = self.run_batch(sqls, footprints);
+        let ran = match self.run_batch_resilient(sqls, footprints) {
+            Ok(ran) => ran,
+            // Retry budget exhausted: every faulted attempt already
+            // charged itself; the whole batch fails with the transient
+            // error at position 0 (nothing is known to have applied from
+            // the caller's perspective — see the failure-model docs).
+            Err(e) => {
+                return PartialOutcome {
+                    results: vec![None; sqls.len()],
+                    error: Some((0, e)),
+                    fused_members: vec![None; sqls.len()],
+                    fused_queries: 0,
+                    fused_groups: 0,
+                    segments: 0,
+                    cross_write_fused: 0,
+                    footprints_derived: 0,
+                }
+            }
+        };
         self.charge_and_sleep(sqls.len(), &ran);
         PartialOutcome {
             results: ran.exec.results,
@@ -709,13 +792,249 @@ impl SimEnv {
         }
     }
 
+    /// [`SimEnv::run_batch`] behind the fault layer: draws each trip's
+    /// fate from the installed [`FaultPlan`], charges faulted attempts
+    /// (wasted trips, timeouts, exponential backoff) as simulated time,
+    /// and replays until the batch completes or the [`RetryPolicy`] is
+    /// exhausted. Replays of ambiguous attempts consume the at-most-once
+    /// statement journal, so server-side effects apply exactly once. With
+    /// no plan installed this is a zero-overhead passthrough.
+    ///
+    /// On success (or a genuine SQL error — never retried) the final
+    /// attempt's [`RanBatch`] is returned **uncharged**; the caller
+    /// applies its own surface semantics. `Err` means the retry budget
+    /// ran out: all attempts already charged, batch abandoned.
+    fn run_batch_resilient(
+        &self,
+        sqls: &[String],
+        footprints: Option<&[sloth_sql::Footprint]>,
+    ) -> Result<RanBatch, SqlError> {
+        let (policy, has_faults) = {
+            let inner = self.lock();
+            (inner.retry, inner.faults.is_some())
+        };
+        if !has_faults {
+            return Ok(self.run_batch(sqls, footprints, None, None));
+        }
+        let tag = {
+            let mut inner = self.lock();
+            let tag = inner.next_batch_tag;
+            inner.next_batch_tag += 1;
+            tag
+        };
+        let mut faulted = false;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            // Draw this trip's fate under the deployment lock (the trip
+            // sequence is global), then release it before executing.
+            let (decision, down, skip) = {
+                let mut inner = self.lock();
+                let trip = inner.trip_seq;
+                inner.trip_seq += 1;
+                let plan = inner.faults.clone();
+                let decision = plan
+                    .as_ref()
+                    .map_or(fault::FaultDecision::Deliver, |p| p.decide(trip));
+                let n_shards = match &inner.backend {
+                    Backend::Sharded(fleet) => fleet.n_shards(),
+                    Backend::Single(_) => 0,
+                };
+                let down = plan
+                    .as_ref()
+                    .filter(|_| n_shards > 0)
+                    .and_then(|p| p.down_shards(trip, n_shards));
+                let skip: Vec<Option<ResultSet>> = (0..sqls.len())
+                    .map(|i| {
+                        inner
+                            .journal
+                            .get(&fault::stmt_id(tag, i))
+                            .map(|(rs, _)| rs.clone())
+                    })
+                    .collect();
+                let hits = skip.iter().filter(|s| s.is_some()).count() as u64;
+                if hits > 0 {
+                    let writes = (0..sqls.len())
+                        .filter(|i| {
+                            inner
+                                .journal
+                                .get(&fault::stmt_id(tag, *i))
+                                .is_some_and(|(_, w)| *w)
+                        })
+                        .count() as u64;
+                    let fs = &mut inner.fault_stats;
+                    fs.journal_hits = fs.journal_hits.saturating_add(hits);
+                    fs.deduped_writes = fs.deduped_writes.saturating_add(writes);
+                }
+                (
+                    decision,
+                    down,
+                    skip.iter().any(Option::is_some).then_some(skip),
+                )
+            };
+            let cost = { self.lock().cost };
+            match decision {
+                fault::FaultDecision::Panic => {
+                    // Injected inside the driver, before anything ships:
+                    // exercises the store's flush drop-guard and the
+                    // dispatcher's leader unwind. No locks are held.
+                    self.lock().fault_stats.injected_panics += 1;
+                    panic!("injected fault: driver panic");
+                }
+                fault::FaultDecision::Drop => {
+                    // Request lost before the backend: the trip's latency
+                    // is wasted, nothing executed, replay is verbatim.
+                    self.lock().fault_stats.injected_drops += 1;
+                    self.charge_faulted_attempt(cost.rtt_ns, 0, 0);
+                    faulted = true;
+                    if attempt >= policy.max_attempts {
+                        return Err(self.abandon_batch(tag, sqls.len()));
+                    }
+                    self.charge_backoff(policy.backoff_ns(attempt));
+                }
+                fault::FaultDecision::Deliver | fault::FaultDecision::Slow(_) => {
+                    let mut ran =
+                        self.run_batch(sqls, footprints, skip.as_deref(), down.as_deref());
+                    if let fault::FaultDecision::Slow(factor) = decision {
+                        let inflated = cost.rtt_ns.saturating_mul(factor);
+                        if inflated > policy.deadline_ns {
+                            // Timeout: the batch executed server-side but
+                            // the reply is lost. Journal everything that
+                            // ran so the replay dedupes, charge the
+                            // deadline wait plus the backend's work.
+                            self.lock().fault_stats.injected_timeouts += 1;
+                            self.journal_attempt(tag, &ran);
+                            let wire = policy
+                                .deadline_ns
+                                .saturating_add(cost.per_byte_ns.saturating_mul(ran.exec.bytes));
+                            self.charge_faulted_attempt(wire, ran.exec.db_ns, ran.exec.bytes);
+                            faulted = true;
+                            if attempt >= policy.max_attempts {
+                                return Err(self.abandon_batch(tag, sqls.len()));
+                            }
+                            self.charge_backoff(policy.backoff_ns(attempt));
+                            continue;
+                        }
+                        // Slow trip: the reply made it under the deadline;
+                        // the batch succeeds with the inflated charge.
+                        self.lock().fault_stats.slow_trips += 1;
+                        ran.rtt_ns = inflated;
+                    }
+                    if let Some((pos, e)) = &ran.exec.error {
+                        if is_transient_error(e) {
+                            // A shard outage failed the batch mid-flight:
+                            // the executed prefix applied, so journal it,
+                            // charge proportionally and retry — the
+                            // window may have passed by the next trip.
+                            let (pos, e) = (*pos, e.clone());
+                            self.lock().fault_stats.outage_errors += 1;
+                            self.journal_attempt(tag, &ran);
+                            let share = ran
+                                .rtt_ns
+                                .saturating_mul(pos as u64)
+                                .checked_div(sqls.len() as u64)
+                                .unwrap_or(0);
+                            let wire = share
+                                .saturating_add(cost.per_byte_ns.saturating_mul(ran.exec.bytes));
+                            self.charge_faulted_attempt(wire, ran.exec.db_ns, ran.exec.bytes);
+                            faulted = true;
+                            if attempt >= policy.max_attempts {
+                                self.abandon_batch(tag, sqls.len());
+                                return Err(e);
+                            }
+                            self.charge_backoff(policy.backoff_ns(attempt));
+                            continue;
+                        }
+                    }
+                    // Success, or a genuine SQL error (which a retry
+                    // would only repeat): hand back to the caller.
+                    let mut inner = self.lock();
+                    for i in 0..sqls.len() {
+                        inner.journal.remove(&fault::stmt_id(tag, i));
+                    }
+                    if faulted {
+                        inner.fault_stats.recovered_batches += 1;
+                    }
+                    drop(inner);
+                    return Ok(ran);
+                }
+            }
+        }
+    }
+
+    /// Abandons batch `tag` after retry exhaustion: drops its journal
+    /// entries, counts it, and builds the transient error the caller
+    /// surfaces.
+    fn abandon_batch(&self, tag: u64, n: usize) -> SqlError {
+        let mut inner = self.lock();
+        for i in 0..n {
+            inner.journal.remove(&fault::stmt_id(tag, i));
+        }
+        inner.fault_stats.exhausted_batches += 1;
+        transient_error("retry budget exhausted")
+    }
+
+    /// Journals every position the faulted attempt `ran` executed, so the
+    /// replay consumes the recorded results instead of re-executing.
+    /// Reads are journaled too: a replayed read re-executing *after* an
+    /// already-applied same-batch write would observe the wrong state.
+    fn journal_attempt(&self, tag: u64, ran: &RanBatch) {
+        let mut inner = self.lock();
+        for (i, r) in ran.exec.results.iter().enumerate() {
+            if let Some(rs) = r {
+                let is_write = ran.is_write.get(i).copied().unwrap_or(false);
+                inner
+                    .journal
+                    .insert(fault::stmt_id(tag, i), (rs.clone(), is_write));
+            }
+        }
+    }
+
+    /// Accounts one *faulted* round trip: wasted latency, any backend
+    /// work that did happen, and bytes — but no statement counters (the
+    /// batch's statements are counted once, on its final attempt).
+    fn charge_faulted_attempt(&self, network_ns: u64, db_ns: u64, bytes: u64) {
+        self.clock.advance(network_ns.saturating_add(db_ns));
+        {
+            let mut inner = self.lock();
+            let stats = &mut inner.stats;
+            stats.round_trips = stats.round_trips.saturating_add(1);
+            stats.network_ns = stats.network_ns.saturating_add(network_ns);
+            stats.db_ns = stats.db_ns.saturating_add(db_ns);
+            stats.bytes = stats.bytes.saturating_add(bytes);
+        }
+        self.realtime_sleep(network_ns);
+    }
+
+    /// Charges one exponential-backoff wait as simulated network time.
+    fn charge_backoff(&self, ns: u64) {
+        self.clock.advance(ns);
+        {
+            let mut inner = self.lock();
+            inner.stats.network_ns = inner.stats.network_ns.saturating_add(ns);
+            inner.fault_stats.retries += 1;
+            inner.fault_stats.backoff_ns = inner.fault_stats.backoff_ns.saturating_add(ns);
+        }
+        self.realtime_sleep(ns);
+    }
+
     /// Plans and executes one batch. Planning happens outside every lock;
     /// a single-server batch executes under the database's own `RwLock`
     /// *alone* — the driver never holds the deployment mutex while
     /// waiting for the database lock, so out-of-band holders of
     /// [`SimEnv::database`] cannot form a lock-order cycle with the
     /// driver path.
-    fn run_batch(&self, sqls: &[String], footprints: Option<&[sloth_sql::Footprint]>) -> RanBatch {
+    ///
+    /// `skip` carries journaled results from a previous ambiguous attempt
+    /// (those positions are answered from the journal, not re-executed);
+    /// `down` marks shards inside an outage window.
+    fn run_batch(
+        &self,
+        sqls: &[String],
+        footprints: Option<&[sloth_sql::Footprint]>,
+        skip: Option<&[Option<ResultSet>]>,
+        down: Option<&[bool]>,
+    ) -> RanBatch {
         let (cost, cfg, single_db) = {
             let inner = self.lock();
             let db = match &inner.backend {
@@ -738,7 +1057,7 @@ impl SimEnv {
                 let mut db = db
                     .write()
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
-                batch::exec_single(&mut db, &cost, sqls, &plan)
+                batch::exec_single(&mut db, &cost, sqls, &plan, skip)
             }
             // The backend kind is fixed at construction: no single
             // database means this deployment is the sharded fleet, which
@@ -746,7 +1065,7 @@ impl SimEnv {
             None => {
                 let mut inner = self.lock();
                 match &mut inner.backend {
-                    Backend::Sharded(fleet) => fleet.exec_batch(&cost, sqls, &plan),
+                    Backend::Sharded(fleet) => fleet.exec_batch(&cost, sqls, &plan, skip, down),
                     Backend::Single(_) => unreachable!("backend kind is fixed at construction"),
                 }
             }
@@ -758,29 +1077,46 @@ impl SimEnv {
             }
         }
         RanBatch {
+            rtt_ns: cost.rtt_ns,
             cost,
             exec,
             fused_members,
             segments: plan.segments,
             cross_write_fused: plan.cross_write_fused,
             footprints_derived: plan.footprints_derived,
+            is_write: plan.is_write.clone(),
         }
     }
 
     /// Accounts one executed round trip (stats + virtual clock) and pays
     /// the real-time network sleep outside every lock.
+    ///
+    /// A batch that failed mid-flight charges its round-trip latency
+    /// **proportionally to the executed prefix** — a batch rejected at
+    /// position 0 never occupied the wire beyond its dispatch, so it
+    /// costs a trip but no transfer latency. (Statement counts scale the
+    /// same way: only executed statements count as queries.)
     fn charge_and_sleep(&self, n_sqls: usize, ran: &RanBatch) {
         let cost = &ran.cost;
-        let network_ns = cost
-            .rtt_ns
-            .saturating_add(cost.per_byte_ns.saturating_mul(ran.exec.bytes));
+        let executed = ran.exec.error.as_ref().map(|(pos, _)| *pos);
+        let rtt_share = match executed {
+            Some(pos) => ran
+                .rtt_ns
+                .saturating_mul(pos as u64)
+                .checked_div(n_sqls as u64)
+                .unwrap_or(0),
+            None => ran.rtt_ns,
+        };
+        let network_ns = rtt_share.saturating_add(cost.per_byte_ns.saturating_mul(ran.exec.bytes));
         self.clock
             .advance(network_ns.saturating_add(ran.exec.db_ns));
         {
             let mut inner = self.lock();
             let stats = &mut inner.stats;
             stats.round_trips = stats.round_trips.saturating_add(1);
-            stats.queries = stats.queries.saturating_add(n_sqls as u64);
+            stats.queries = stats
+                .queries
+                .saturating_add(executed.unwrap_or(n_sqls) as u64);
             stats.network_ns = stats.network_ns.saturating_add(network_ns);
             stats.db_ns = stats.db_ns.saturating_add(ran.exec.db_ns);
             stats.bytes = stats.bytes.saturating_add(ran.exec.bytes);
@@ -805,6 +1141,12 @@ impl SimEnv {
         // Real-time mode: pay the network latency in real wall-clock time,
         // after releasing the deployment lock so concurrent sessions
         // overlap their waits (the whole point of measuring with threads).
+        self.realtime_sleep(network_ns);
+    }
+
+    /// Pays `network_ns` of virtual network time as a real sleep when
+    /// real-time mode is on. Called outside every lock.
+    fn realtime_sleep(&self, network_ns: u64) {
         let ppm = self.realtime_ppm.load(Ordering::Relaxed);
         if ppm > 0 {
             let real_ns = network_ns.saturating_mul(ppm) / 1_000_000;
@@ -816,11 +1158,16 @@ impl SimEnv {
 /// Internal carrier between planning/execution and accounting.
 struct RanBatch {
     cost: CostModel,
+    /// Round-trip latency this attempt pays — the cost model's RTT, or an
+    /// inflated value on a slow (but under-deadline) trip.
+    rtt_ns: u64,
     exec: batch::BatchExec,
     fused_members: Vec<Option<usize>>,
     segments: u64,
     cross_write_fused: u64,
     footprints_derived: u64,
+    /// Per-position write flags from the plan (journal bookkeeping).
+    is_write: Vec<bool>,
 }
 
 #[cfg(test)]
@@ -1381,5 +1728,236 @@ mod tests {
         let s = env.stats();
         assert_eq!(s.round_trips, 8);
         assert_eq!(s.queries, 40);
+    }
+
+    // ---- fault layer ---------------------------------------------------
+
+    #[test]
+    fn dropped_trip_retries_and_recovers_identically() {
+        let env = seeded_env();
+        env.set_faults(Some(FaultPlan::seeded(1).drop_at(0)));
+        let sqls: Vec<String> = (0..3)
+            .map(|i| format!("SELECT v FROM t WHERE id = {i}"))
+            .collect();
+        let results = env.query_batch(&sqls).unwrap();
+        let reference = seeded_env().query_batch(&sqls).unwrap();
+        assert_eq!(results, reference, "a dropped trip is absorbed exactly");
+        let s = env.stats();
+        assert_eq!(s.round_trips, 2, "the wasted trip is charged");
+        assert_eq!(s.queries, 3, "statements count once, on the final attempt");
+        let fs = env.fault_stats();
+        assert_eq!(fs.injected_drops, 1);
+        assert_eq!(fs.retries, 1);
+        assert_eq!(fs.recovered_batches, 1);
+        assert_eq!(fs.backoff_ns, env.retry_policy().backoff_base_ns);
+        // The wasted trip + backoff show up as extra network time.
+        let base = seeded_env();
+        base.query_batch(&sqls).unwrap();
+        assert!(s.network_ns >= base.stats().network_ns + CostModel::default().rtt_ns);
+    }
+
+    #[test]
+    fn slow_trip_under_deadline_succeeds_with_inflated_charge() {
+        let env = seeded_env();
+        // Inflation factor 2: 0.5 ms RTT → 1 ms, under the 2 ms deadline.
+        env.set_faults(Some(FaultPlan::seeded(1).timeouts(0, 2).timeout_at(0)));
+        let rs = env.query("SELECT v FROM t WHERE id = 1").unwrap();
+        assert_eq!(rs.get(0, "v").unwrap().as_str(), Some("v1"));
+        let fs = env.fault_stats();
+        assert_eq!(fs.slow_trips, 1);
+        assert_eq!(fs.retries, 0, "a slow trip is not a failure");
+        let s = env.stats();
+        assert_eq!(s.round_trips, 1);
+        assert!(
+            s.network_ns >= 2 * CostModel::default().rtt_ns,
+            "the inflated RTT is charged: {s:?}"
+        );
+    }
+
+    #[test]
+    fn timed_out_write_replays_from_the_journal_exactly_once() {
+        let env = seeded_env();
+        env.seed_sql("CREATE TABLE c (id INT PRIMARY KEY, n INT)")
+            .unwrap();
+        env.seed_sql("INSERT INTO c VALUES (1, 0)").unwrap();
+        // Trip 0 times out (factor 8 → 4 ms > 2 ms deadline): the batch
+        // executed server-side but the reply is lost — the classic
+        // ambiguous write.
+        env.set_faults(Some(FaultPlan::seeded(2).timeout_at(0)));
+        let sqls = vec![
+            "UPDATE c SET n = n + 1 WHERE id = 1".to_string(),
+            "SELECT n FROM c WHERE id = 1".to_string(),
+        ];
+        let results = env.query_batch(&sqls).unwrap();
+        assert_eq!(
+            results[1].get(0, "n").unwrap().as_i64(),
+            Some(1),
+            "the read observes the write once"
+        );
+        let fs = env.fault_stats();
+        assert_eq!(fs.injected_timeouts, 1);
+        assert_eq!(
+            fs.journal_hits, 2,
+            "both positions replayed from the journal"
+        );
+        assert_eq!(
+            fs.deduped_writes, 1,
+            "the ambiguous write never re-executed"
+        );
+        assert_eq!(fs.recovered_batches, 1);
+        env.set_faults(None);
+        let n = env.query("SELECT n FROM c WHERE id = 1").unwrap();
+        assert_eq!(
+            n.get(0, "n").unwrap().as_i64(),
+            Some(1),
+            "applied exactly once"
+        );
+    }
+
+    #[test]
+    fn retry_exhaustion_surfaces_a_transient_error() {
+        let env = seeded_env();
+        env.set_faults(Some(FaultPlan::seeded(3).drops(1000)));
+        env.set_retry_policy(RetryPolicy {
+            max_attempts: 3,
+            ..Default::default()
+        });
+        let err = env.query("SELECT v FROM t WHERE id = 1").unwrap_err();
+        assert!(is_transient_error(&err), "got: {err}");
+        let fs = env.fault_stats();
+        assert_eq!(fs.exhausted_batches, 1);
+        assert_eq!(fs.injected_drops, 3);
+        assert_eq!(fs.retries, 2, "no backoff after the final attempt");
+        let s = env.stats();
+        assert_eq!(s.round_trips, 3, "every wasted attempt is charged");
+        assert_eq!(s.queries, 0, "nothing ever executed");
+        // The partial surface reports the same failure at position 0.
+        let p = env.query_batch_partial(&["SELECT v FROM t WHERE id = 2".to_string()]);
+        let (pos, e) = p.error.expect("still exhausting");
+        assert_eq!(pos, 0);
+        assert!(is_transient_error(&e));
+        assert!(p.results.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn genuine_sql_errors_are_never_retried() {
+        let env = seeded_env();
+        env.set_faults(Some(FaultPlan::seeded(4)));
+        let err = env.query("SELECT v FROM missing WHERE id = 1").unwrap_err();
+        assert!(!is_transient_error(&err));
+        assert!(err.to_string().contains("missing"));
+        let fs = env.fault_stats();
+        assert_eq!(fs.retries, 0, "a real error repeats on replay: fail fast");
+        assert_eq!(fs.exhausted_batches, 0);
+    }
+
+    #[test]
+    fn partial_failure_at_position_zero_charges_trip_but_no_transfer() {
+        // Satellite: the partial surface used to charge the full RTT even
+        // when nothing executed. The charge is now proportional to the
+        // executed prefix — zero transfer latency at position 0, half at
+        // the midpoint — while the trip itself still counts.
+        let env = seeded_env();
+        let p = env.query_batch_partial(&[
+            "SELECT v FROM missing WHERE id = 1".to_string(),
+            "SELECT v FROM t WHERE id = 1".to_string(),
+        ]);
+        assert_eq!(p.error.expect("fails at 0").0, 0);
+        let s = env.stats();
+        assert_eq!(s.round_trips, 1, "the trip is still accounted");
+        assert_eq!(s.queries, 0, "no statement executed");
+        assert!(
+            s.network_ns < CostModel::default().rtt_ns,
+            "no RTT share for an empty prefix: {s:?}"
+        );
+        // Midpoint failure: half the RTT share, half the statements.
+        let mid = seeded_env();
+        let p = mid.query_batch_partial(&[
+            "SELECT v FROM t WHERE id = 1".to_string(),
+            "SELECT v FROM t WHERE id = 2".to_string(),
+            "SELECT v FROM missing WHERE id = 1".to_string(),
+            "SELECT v FROM t WHERE id = 3".to_string(),
+        ]);
+        assert_eq!(p.error.expect("fails at 2").0, 2);
+        let s = mid.stats();
+        assert_eq!(s.round_trips, 1);
+        assert_eq!(s.queries, 2);
+        assert!(s.network_ns >= CostModel::default().rtt_ns / 2);
+        assert!(s.network_ns < CostModel::default().rtt_ns);
+    }
+
+    #[test]
+    fn shard_outage_window_degrades_fused_probes_and_recovers() {
+        let spec = ShardSpec::new().shard("t", "id");
+        let env = ShardedEnv::new(CostModel::default(), spec, 2).handle();
+        env.seed_sql("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+            .unwrap();
+        for i in 0..8 {
+            env.seed_sql(&format!("INSERT INTO t VALUES ({i}, 'v{i}')"))
+                .unwrap();
+        }
+        // Shard 1 is out for trips [0, 2): the fused key probe splits,
+        // shard 0's sub-probe answers its members (journaled), and the
+        // batch retries until the window closes.
+        env.set_faults(Some(FaultPlan::seeded(4).outage(1, 0, 2)));
+        let sqls: Vec<String> = (0..8)
+            .map(|i| format!("SELECT v FROM t WHERE id = {i}"))
+            .collect();
+        let results = env.query_batch(&sqls).unwrap();
+        for (i, rs) in results.iter().enumerate() {
+            assert_eq!(
+                rs.get(0, "v").unwrap().as_str(),
+                Some(format!("v{i}").as_str()),
+                "lookup {i}"
+            );
+        }
+        let fs = env.fault_stats();
+        assert_eq!(fs.outage_errors, 2, "both in-window attempts failed");
+        assert!(
+            fs.journal_hits > 0,
+            "live-shard members replayed from the journal: {fs:?}"
+        );
+        assert_eq!(fs.recovered_batches, 1);
+    }
+
+    #[test]
+    fn replica_reads_fail_over_around_an_outage() {
+        // Whichever replica the hash prefers, one of the two outage
+        // placements must force a failover — and both must answer.
+        let mut failovers = 0;
+        for out_shard in 0..2usize {
+            let spec = ShardSpec::new().shard("issue", "id");
+            let fleet = ShardedEnv::new(CostModel::default(), spec, 2);
+            let env = fleet.handle();
+            env.seed_sql("CREATE TABLE p (id INT PRIMARY KEY, name TEXT)")
+                .unwrap();
+            env.seed_sql("INSERT INTO p VALUES (1, 'alpha')").unwrap();
+            env.set_faults(Some(FaultPlan::seeded(1).outage(out_shard, 0, 1)));
+            let rs = env.query("SELECT name FROM p WHERE id = 1").unwrap();
+            assert_eq!(rs.get(0, "name").unwrap().as_str(), Some("alpha"));
+            assert_eq!(env.fault_stats().retries, 0, "failover needs no retry");
+            failovers += fleet.shard_stats().replica_failovers;
+        }
+        assert_eq!(
+            failovers, 1,
+            "exactly one placement hits the preferred copy"
+        );
+    }
+
+    #[test]
+    fn faults_cleared_restores_exact_fault_free_accounting() {
+        let sqls: Vec<String> = (0..5)
+            .map(|i| format!("SELECT v FROM t WHERE id = {i}"))
+            .collect();
+        let faulty = seeded_env();
+        faulty.set_faults(Some(FaultPlan::seeded(9).drops(500)));
+        faulty.query_batch(&sqls).unwrap();
+        faulty.set_faults(None);
+        faulty.reset_stats();
+        faulty.query_batch(&sqls).unwrap();
+        let clean = seeded_env();
+        clean.query_batch(&sqls).unwrap();
+        assert_eq!(faulty.stats(), clean.stats(), "no residual fault overhead");
+        assert_eq!(faulty.fault_stats(), FaultStats::default());
     }
 }

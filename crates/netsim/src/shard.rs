@@ -47,6 +47,7 @@ use sloth_sql::{
 };
 
 use crate::batch::{self, BatchExec, BatchPlan, Role};
+use crate::fault::transient_error;
 use crate::{Backend, CostModel, NetStats, SimEnv};
 
 /// Router and per-shard counters of a sharded deployment.
@@ -77,6 +78,9 @@ pub struct ShardStats {
     pub route_cache_hits: u64,
     /// Route-cache misses (template parsed once to derive its route).
     pub route_cache_misses: u64,
+    /// Replica-routed reads that failed over to another replica because
+    /// their preferred shard was inside an outage window.
+    pub replica_failovers: u64,
 }
 
 impl ShardStats {
@@ -173,6 +177,11 @@ pub(crate) struct Fleet {
     next_rid: HashMap<String, u64>,
     routes: RouteCache,
     stats: ShardStats,
+    /// Per-shard outage mask for the round trip currently executing:
+    /// `down[s]` means shard `s` is unreachable. Set by [`Fleet::exec_batch`]
+    /// from the fault plan and cleared before it returns, so unmetered
+    /// seeding never observes a stale outage.
+    down: Vec<bool>,
 }
 
 impl Fleet {
@@ -184,11 +193,22 @@ impl Fleet {
             next_rid: HashMap::new(),
             routes: RouteCache::default(),
             stats: ShardStats::new(shards),
+            down: Vec::new(),
         }
     }
 
     pub(crate) fn n_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Is shard `s` reachable during the current round trip?
+    fn live(&self, s: usize) -> bool {
+        !self.down.get(s).copied().unwrap_or(false)
+    }
+
+    /// Transient error for a statement that needs an out shard.
+    fn down_error(s: usize) -> SqlError {
+        transient_error(&format!("shard {s} is down"))
     }
 
     pub(crate) fn spec(&self) -> &ShardSpec {
@@ -245,24 +265,45 @@ impl Fleet {
     /// database time is the **max over shards** of each shard's wave
     /// makespan plus its serialized write time — shards are independent
     /// servers working in parallel on the same round trip. Execution is
-    /// partial on error, exactly like the single server's.
+    /// partial on error, exactly like the single server's. `skip` carries
+    /// journaled results from a prior faulted attempt (those positions are
+    /// answered from the journal, never re-executed); `down` marks shards
+    /// inside an outage window for this round trip.
     pub(crate) fn exec_batch(
         &mut self,
         cost: &CostModel,
         sqls: &[String],
         plan: &BatchPlan,
+        skip: Option<&[Option<ResultSet>]>,
+        down: Option<&[bool]>,
     ) -> BatchExec {
         let n = self.shards.len();
+        self.down.clear();
+        if let Some(d) = down {
+            self.down.extend_from_slice(d);
+        }
         let mut results: Vec<Option<ResultSet>> = vec![None; sqls.len()];
         let mut error: Option<(usize, SqlError)> = None;
         let mut costs = Costs::new(n);
         let mut fused_queries = 0u64;
         let mut fused_groups = 0u64;
 
+        if let Some(skip) = skip {
+            for (i, s) in skip.iter().enumerate().take(sqls.len()) {
+                if let Some(rs) = s {
+                    costs.bytes += rs.wire_size() as u64;
+                    results[i] = Some(rs.clone());
+                }
+            }
+        }
+
         for i in 0..sqls.len() {
             match plan.roles[i].clone() {
                 Role::FusedMember => {} // answered by its group's lead
                 Role::Single => {
+                    if results[i].is_some() {
+                        continue; // answered from the journal
+                    }
                     let rs = if plan.is_write[i] {
                         self.exec_write(&sqls[i], cost, &mut costs)
                     } else {
@@ -278,9 +319,17 @@ impl Fleet {
                 }
                 Role::FusedLead(g) => {
                     let (lookup, members) = &plan.fused[g];
+                    let live_members: Vec<usize> = members
+                        .iter()
+                        .copied()
+                        .filter(|&m| results[m].is_none())
+                        .collect();
+                    if live_members.is_empty() {
+                        continue; // whole group answered from the journal
+                    }
                     match self.exec_fused(
                         lookup,
-                        members,
+                        &live_members,
                         &plan.norms,
                         plan.max_fused_arity,
                         cost,
@@ -289,7 +338,7 @@ impl Fleet {
                     ) {
                         Ok(()) => {
                             fused_groups += 1;
-                            fused_queries += members.len() as u64;
+                            fused_queries += live_members.len() as u64;
                         }
                         Err(e) => {
                             error = Some((i, e));
@@ -299,6 +348,7 @@ impl Fleet {
                 }
             }
         }
+        self.down.clear();
 
         // Per-shard wave makespans; the batch waits for the slowest shard.
         let mut db_ns = 0u64;
@@ -359,6 +409,7 @@ impl Fleet {
             (Rule::Replica, _) => {
                 self.stats.replica_reads += 1;
                 let s = (hash_key(&Value::Str(norm.template.clone())) % n as u64) as usize;
+                let s = self.failover(s)?;
                 self.read_on(s, sql, Some(norm), cost, costs)
             }
             (Rule::Point { slot }, true) => {
@@ -385,6 +436,22 @@ impl Fleet {
         }
     }
 
+    /// Replica reads may pick any copy: if the preferred shard is inside
+    /// an outage window, fail over to the first live one instead of
+    /// surfacing a transient error the retry loop would have to absorb.
+    fn failover(&mut self, preferred: usize) -> Result<usize, SqlError> {
+        if self.live(preferred) {
+            return Ok(preferred);
+        }
+        match (0..self.shards.len()).find(|&s| self.live(s)) {
+            Some(s) => {
+                self.stats.replica_failovers += 1;
+                Ok(s)
+            }
+            None => Err(Self::down_error(preferred)),
+        }
+    }
+
     /// One read on one shard (point / replica routes): full plan-cache hot
     /// path, no merge tracing needed.
     fn read_on(
@@ -395,6 +462,9 @@ impl Fleet {
         cost: &CostModel,
         costs: &mut Costs,
     ) -> Result<ResultSet, SqlError> {
+        if !self.live(s) {
+            return Err(Self::down_error(s));
+        }
         costs.bytes += sql.len() as u64;
         costs.statements[s] += 1;
         let out = match norm {
@@ -417,6 +487,12 @@ impl Fleet {
         cost: &CostModel,
         costs: &mut Costs,
     ) -> Result<ResultSet, SqlError> {
+        if let Some(&s) = targets.iter().find(|&&s| !self.live(s)) {
+            // A multi-shard gather needs every target; one out shard
+            // fails the whole read (transient — the retry loop absorbs
+            // it once the outage window closes).
+            return Err(Self::down_error(s));
+        }
         if targets.len() == 1 {
             return self.read_on(targets[0], sql, Some(norm), cost, costs);
         }
@@ -579,8 +655,18 @@ impl Fleet {
             for v in values {
                 per_shard[shard_of(v, n)].push((*v).clone());
             }
+            // Degraded mode around an outage: run every live shard's
+            // sub-probe first so their members are answered (and
+            // journaled by the fault layer), then fail on the out shard.
+            // A retry after the window closes re-executes only the
+            // positions that truly needed the down shard.
+            let mut down_err: Option<SqlError> = None;
             for (s, vals) in per_shard.iter().enumerate() {
                 if vals.is_empty() {
+                    continue;
+                }
+                if !self.live(s) {
+                    down_err.get_or_insert_with(|| Self::down_error(s));
                     continue;
                 }
                 let fplan = fuse::build_fused(&lookup.select, &lookup.column, vals);
@@ -600,6 +686,9 @@ impl Fleet {
                     results[m] = Some(rs);
                 }
             }
+            if let Some(e) = down_err {
+                return Err(e);
+            }
             return Ok(());
         }
 
@@ -611,6 +700,7 @@ impl Fleet {
         let fsql = fuse::render_select(&fplan.stmt);
         let merged = if !self.spec.is_sharded(table) {
             let s = (hash_key(&Value::Str(lookup.template.clone())) % n as u64) as usize;
+            let s = self.failover(s)?;
             costs.bytes += fsql.len() as u64;
             costs.statements[s] += 1;
             let out = self.shards[s].execute_stmt(&fplan.stmt)?;
@@ -619,6 +709,9 @@ impl Fleet {
             out.result
         } else {
             let descs: Vec<bool> = lookup.select.order_by.iter().map(|k| k.desc).collect();
+            if let Some(s) = (0..n).find(|&s| !self.live(s)) {
+                return Err(Self::down_error(s));
+            }
             let mut parts: Vec<(ResultSet, MergeTrace)> = Vec::with_capacity(n);
             for s in 0..n {
                 costs.bytes += fsql.len() as u64;
@@ -748,6 +841,9 @@ impl Fleet {
         cost: &CostModel,
         costs: &mut Costs,
     ) -> Result<ResultSet, SqlError> {
+        if !self.live(s) {
+            return Err(Self::down_error(s));
+        }
         costs.bytes += sql.len() as u64;
         costs.statements[s] += 1;
         let out = self.shards[s].execute_stmt(stmt)?;
@@ -762,6 +858,12 @@ impl Fleet {
         cost: &CostModel,
         costs: &mut Costs,
     ) -> Result<ResultSet, SqlError> {
+        // All-or-nothing under outages: check every target is live
+        // *before* applying to any, so a broadcast never half-applies and
+        // the retry loop can replay it safely.
+        if let Some(s) = (0..self.shards.len()).find(|&s| !self.live(s)) {
+            return Err(Self::down_error(s));
+        }
         let mut first: Option<ResultSet> = None;
         for s in 0..self.shards.len() {
             let rs = self.write_on(s, stmt, sql, cost, costs)?;
@@ -827,6 +929,22 @@ impl Fleet {
         let key_ty = key_col
             .as_deref()
             .and_then(|key| self.key_column_type(table, key));
+        // All-or-nothing under outages: every shard a tuple routes to must
+        // be live before any row (or row id) is allocated, so a replayed
+        // insert after a transient failure never double-applies.
+        if sharded {
+            for tuple in &tuples {
+                let key_val = key_pos
+                    .and_then(|p| tuple.get(p).cloned())
+                    .unwrap_or(Value::Null);
+                let s = shard_of(&coerce_key(key_val, key_ty), n);
+                if !self.live(s) {
+                    return Err(Self::down_error(s));
+                }
+            }
+        } else if let Some(s) = (0..n).find(|&s| !self.live(s)) {
+            return Err(Self::down_error(s));
+        }
         let tkey = table.to_ascii_lowercase();
         let mut touched: Vec<bool> = vec![false; n];
         let count = tuples.len() as u64;
