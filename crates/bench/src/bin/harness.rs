@@ -9,6 +9,7 @@
 //! cargo run --release -p sloth-bench --bin harness -- throughput # writes BENCH_throughput.json
 //! cargo run --release -p sloth-bench --bin harness -- writebatch # writes BENCH_writebatch.json
 //! cargo run --release -p sloth-bench --bin harness -- deferral   # writes BENCH_deferral.json
+//! cargo run --release -p sloth-bench --bin harness -- cache      # writes BENCH_cache.json
 //! ```
 //!
 //! `throughput` is the real-threads serving harness: N worker OS threads ×
@@ -40,6 +41,7 @@ fn main() {
             "writebatch",
             "deferral",
             "chaos",
+            "cache",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -83,6 +85,7 @@ fn main() {
             "writebatch" => writebatch_figure_cmd(),
             "deferral" => deferral_figure_cmd(),
             "chaos" => chaos_figure_cmd(),
+            "cache" => cache_figure_cmd(),
             other => eprintln!("unknown experiment: {other}"),
         }
     }
@@ -610,6 +613,65 @@ fn chaos_figure_cmd() {
     match std::fs::write("BENCH_chaos.json", &json) {
         Ok(()) => println!("  wrote BENCH_chaos.json"),
         Err(e) => eprintln!("  could not write BENCH_chaos.json: {e}"),
+    }
+}
+
+fn cache_figure_cmd() {
+    println!("\n== Cache figure — shared result cache on repeated hot pages ==");
+    let fig = sloth_bench::cache::cache_figure();
+    println!(
+        "  {:<36} {:>6} {:>10} {:>10} {:>8} {:>6} {:>7} {:>7} {:>8}",
+        "workload",
+        "rounds",
+        "off trips",
+        "on trips",
+        "Δtrips",
+        "hits",
+        "fills",
+        "invals",
+        "outputs"
+    );
+    for row in &fig.rows {
+        println!(
+            "  {:<36} {:>6} {:>10} {:>10} {:>7.1}% {:>6} {:>7} {:>7} {:>8}",
+            row.name,
+            row.rounds,
+            row.baseline.round_trips,
+            row.cached.round_trips,
+            row.round_trip_reduction() * 100.0,
+            row.cache_stats.hits,
+            row.cache_stats.fills,
+            row.cache_stats.invalidations,
+            if row.outputs_equal && row.state_equal {
+                "equal"
+            } else {
+                "DIFFER"
+            }
+        );
+        assert!(
+            row.outputs_equal && row.state_equal,
+            "{}: the cache diverged from the cache-off run",
+            row.name
+        );
+        assert!(
+            row.cached.round_trips < row.baseline.round_trips,
+            "{}: no round trips saved",
+            row.name
+        );
+    }
+    println!(
+        "  gate: {:.1}% fewer round trips on the repeated-page mix (≥ 20% required)",
+        fig.overall_reduction() * 100.0
+    );
+    assert!(
+        fig.overall_reduction() >= 0.20,
+        "cache round-trip reduction {:.1}% < 20%",
+        fig.overall_reduction() * 100.0
+    );
+    let json = fig.to_json();
+    match std::fs::write("BENCH_cache.json", &json) {
+        Ok(()) => println!("  wrote BENCH_cache.json"),
+        Err(e) => eprintln!("  could not write BENCH_cache.json: {e}"),
     }
 }
 

@@ -7,6 +7,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod chaos;
 pub mod deferral;
 pub mod fusion;

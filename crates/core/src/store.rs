@@ -658,7 +658,15 @@ impl QueryStore {
         let (results, error, fused_queries, fused_groups, coalesced, segments) = match &self.target
         {
             FlushTarget::Direct(env) => {
-                let p = env.query_batch_partial_with(&sqls, footprints.as_deref());
+                // A degraded session no longer trusts the shared result
+                // cache's hit path — an earlier batch of its own died
+                // with ambiguous writes — so it ships uncached (its
+                // writes still invalidate other sessions' entries).
+                let p = if degraded {
+                    env.query_batch_partial_uncached_with(&sqls, footprints.as_deref())
+                } else {
+                    env.query_batch_partial_with(&sqls, footprints.as_deref())
+                };
                 (
                     p.results,
                     p.error.map(|(_, e)| e),

@@ -346,6 +346,12 @@ impl Dispatcher {
     /// DESIGN.md). Keeps the all-or-error solo surface; `fps` threads the
     /// session's admission footprints through so even the degraded path
     /// never re-analyzes a statement.
+    ///
+    /// Solo dispatches also bypass the shared **result cache**'s hit
+    /// path: the session already lost a batch to an exhausted retry
+    /// budget, so a locally cached answer cannot be trusted to postdate
+    /// that batch's ambiguous writes. Its own shipped writes still
+    /// invalidate other sessions' entries.
     pub fn submit_solo(
         &self,
         sqls: &[String],
@@ -366,7 +372,7 @@ impl Dispatcher {
             stats.dispatches += 1;
             stats.degraded_solo += 1;
         }
-        let outcome = self.env.query_batch_outcome_with(sqls, fps)?;
+        let outcome = self.env.query_batch_outcome_uncached_with(sqls, fps)?;
         self.lock_stats().planner_footprint_derivations += outcome.footprints_derived;
         Ok(solo_result(outcome))
     }

@@ -18,6 +18,19 @@
 //! journal dedupes the replay so effects apply exactly once).
 //! [`FaultStats`] counts every injected fault and every recovery so tests
 //! and benches can gate on them.
+//!
+//! ## Interaction with the shared result cache
+//!
+//! A timed-out write is ambiguous to the caller but **not** to the
+//! backend: the journal proves it executed. The driver settles the
+//! result cache once, at the batch's final surface, where a journal-
+//! replayed position carries its recorded result exactly like a freshly
+//! executed one — so the write invalidates its overlapping cached reads
+//! exactly once, no matter how many faulted attempts preceded success.
+//! When the retry budget exhausts instead, the batch's write footprints
+//! invalidate conservatively (the write *may* have applied), and the
+//! degraded session that results stops trusting the cache's hit path
+//! entirely (see `SimEnv::query_batch_outcome_uncached_with`).
 
 use sloth_sql::SqlError;
 

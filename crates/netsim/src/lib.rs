@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 mod batch;
+mod cache;
 pub mod dispatch;
 pub mod fault;
 pub mod shard;
@@ -41,6 +42,7 @@ use std::sync::{Arc, Mutex, RwLock};
 
 use sloth_sql::{Database, ResultSet, SqlError};
 
+pub use cache::ResultCacheStats;
 pub use dispatch::{DispatchResult, Dispatcher, DispatcherStats};
 pub use fault::{
     is_transient_error, transient_error, FaultDecision, FaultPlan, FaultStats, Outage, RetryPolicy,
@@ -273,6 +275,11 @@ struct SimInner {
     /// replay consumes it instead of re-executing, so effects apply
     /// exactly once. Empty whenever no batch is mid-recovery.
     journal: HashMap<u64, (ResultSet, bool)>,
+    /// Shared footprint-invalidated result cache (see [`cache`]): lives
+    /// in the deployment, next to the backend and its plan cache, so
+    /// every session — direct, dispatched, or on a sharded fleet —
+    /// shares one coherent view. Off by default.
+    result_cache: cache::ResultCache,
 }
 
 /// The simulated deployment: application server + database backend +
@@ -324,6 +331,7 @@ impl SimEnv {
                 trip_seq: 0,
                 next_batch_tag: 0,
                 journal: HashMap::new(),
+                result_cache: cache::ResultCache::new(),
             })),
             clock: Clock::new(),
             realtime_ppm: Arc::new(AtomicU64::new(0)),
@@ -401,8 +409,17 @@ impl SimEnv {
     /// which routes rows to their shards.
     pub fn seed<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
         let db = self.database();
-        let mut guard = db.write().unwrap();
-        f(&mut guard)
+        // Same poison recovery as every other accessor of this lock: a
+        // panicked worker must not wedge seeding for other sessions.
+        let mut guard = db
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let out = f(&mut guard);
+        drop(guard);
+        // Out-of-band mutation bypasses the footprint machinery, so no
+        // cached result can be trusted afterwards.
+        self.lock().result_cache.clear();
+        out
     }
 
     /// Convenience: execute seed SQL without charging time. On a sharded
@@ -415,13 +432,23 @@ impl SimEnv {
             let mut inner = self.lock();
             match &mut inner.backend {
                 Backend::Single(db) => Arc::clone(db),
-                Backend::Sharded(fleet) => return fleet.execute_unmetered(sql),
+                Backend::Sharded(fleet) => {
+                    let out = fleet.execute_unmetered(sql);
+                    // Unmetered mutation is invisible to footprint
+                    // invalidation: drop every cached result.
+                    inner.result_cache.clear();
+                    return out;
+                }
             }
         };
-        let mut db = db
-            .write()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        db.execute(sql).map(|o| o.result)
+        let out = {
+            let mut db = db
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            db.execute(sql).map(|o| o.result)
+        };
+        self.lock().result_cache.clear();
+        out
     }
 
     /// The cost model in force.
@@ -474,6 +501,28 @@ impl SimEnv {
     pub fn write_deferral_enabled(&self) -> bool {
         let inner = self.lock();
         inner.write_batching && inner.write_deferral
+    }
+
+    /// Enables or disables the **shared result cache** (off by default):
+    /// reads whose normalized template + params match a cached entry are
+    /// answered locally with zero charged network time, and every shipped
+    /// write's [`sloth_sql::Footprint`] kills exactly the cached reads it
+    /// can overlap — across sessions, shards, and fault-layer retries.
+    /// Bounded at 512 entries, FIFO like the plan cache. Turning the
+    /// cache off drops every entry (invalidation pauses with it, so
+    /// nothing surviving a disabled window could be trusted again).
+    pub fn set_result_cache(&self, on: bool) {
+        self.lock().result_cache.set_enabled(on);
+    }
+
+    /// Whether the shared result cache is enabled.
+    pub fn result_cache_enabled(&self) -> bool {
+        self.lock().result_cache.enabled()
+    }
+
+    /// Counters of the shared result cache.
+    pub fn result_cache_stats(&self) -> ResultCacheStats {
+        self.lock().result_cache.stats
     }
 
     /// Caps the number of distinct values in one fused `IN` probe
@@ -640,6 +689,9 @@ impl SimEnv {
         inner.fault_stats = fault::FaultStats::default();
         inner.trip_seq = 0;
         inner.journal.clear();
+        // Counters only: surviving entries are still legal (the database
+        // contents are kept, and invalidation never paused).
+        inner.result_cache.reset_stats();
         if let Backend::Sharded(fleet) = &mut inner.backend {
             fleet.reset_stats();
         }
@@ -692,6 +744,30 @@ impl SimEnv {
         sqls: &[String],
         footprints: Option<&[sloth_sql::Footprint]>,
     ) -> Result<BatchOutcome, SqlError> {
+        self.batch_outcome_impl(sqls, footprints, false)
+    }
+
+    /// [`SimEnv::query_batch_outcome_with`] with the result cache's hit
+    /// path **bypassed**: nothing is served from or filled into the
+    /// cache, but shipped writes still invalidate overlapping entries —
+    /// the batch really executes, so other sessions' cached reads are
+    /// stale either way. This is the degraded-session surface: a session
+    /// that exhausted its retry budget no longer trusts locally cached
+    /// answers (see [`dispatch::Dispatcher::submit_solo`]).
+    pub fn query_batch_outcome_uncached_with(
+        &self,
+        sqls: &[String],
+        footprints: Option<&[sloth_sql::Footprint]>,
+    ) -> Result<BatchOutcome, SqlError> {
+        self.batch_outcome_impl(sqls, footprints, true)
+    }
+
+    fn batch_outcome_impl(
+        &self,
+        sqls: &[String],
+        footprints: Option<&[sloth_sql::Footprint]>,
+        bypass_cache: bool,
+    ) -> Result<BatchOutcome, SqlError> {
         if sqls.is_empty() {
             return Ok(BatchOutcome {
                 results: Vec::new(),
@@ -708,19 +784,79 @@ impl SimEnv {
         // query store and equivalence suites are written against).
         // Faulted attempts that preceded the final one have already
         // charged themselves inside the retry loop.
-        let ran = self.run_batch_resilient(sqls, footprints)?;
+        let Some(probe) = self.probe_result_cache(sqls, footprints, bypass_cache) else {
+            // Cache off: the zero-overhead legacy path.
+            let ran = self.run_batch_resilient(sqls, footprints)?;
+            if let Some((_, e)) = ran.exec.error {
+                return Err(e);
+            }
+            self.charge_and_sleep(sqls.len(), &ran);
+            return Ok(BatchOutcome {
+                results: ran
+                    .exec
+                    .results
+                    .into_iter()
+                    .map(|r| r.expect("error-free batch answers every position"))
+                    .collect(),
+                fused_members: ran.fused_members,
+                fused_queries: ran.exec.fused_queries,
+                fused_groups: ran.exec.fused_groups,
+                segments: ran.segments,
+                cross_write_fused: ran.cross_write_fused,
+                footprints_derived: ran.footprints_derived,
+            });
+        };
+        if probe.ship.is_empty() {
+            // Every position answered locally: no wire, no charge.
+            return Ok(BatchOutcome {
+                results: probe
+                    .hits
+                    .into_iter()
+                    .map(|r| r.expect("empty ship list means every position hit"))
+                    .collect(),
+                fused_members: vec![None; probe.n],
+                fused_queries: 0,
+                fused_groups: 0,
+                segments: 0,
+                cross_write_fused: 0,
+                footprints_derived: 0,
+            });
+        }
+        let sub_sqls: Vec<String> = probe.ship.iter().map(|&i| sqls[i].clone()).collect();
+        let sub_fps: Vec<sloth_sql::Footprint> =
+            probe.ship.iter().map(|&i| probe.fps[i].clone()).collect();
+        let ran = match self.run_batch_resilient(&sub_sqls, Some(&sub_fps)) {
+            Ok(ran) => ran,
+            Err(e) => {
+                // Retry budget exhausted: the batch's writes may have
+                // applied in an ambiguous attempt — invalidate by every
+                // shipped write footprint before surfacing the error.
+                self.invalidate_after_ambiguous_failure(&probe);
+                return Err(e);
+            }
+        };
+        // Settle before surfacing any error: the engine has no rollback,
+        // so the executed prefix's writes have applied (must invalidate)
+        // and its reads are current (may fill).
+        self.settle_result_cache(&probe, &ran.exec.results);
         if let Some((_, e)) = ran.exec.error {
             return Err(e);
         }
-        self.charge_and_sleep(sqls.len(), &ran);
+        self.charge_and_sleep(sub_sqls.len(), &ran);
+        let mut results = probe.hits;
+        let mut fused_members: Vec<Option<usize>> = vec![None; probe.n];
+        for (&i, r) in probe.ship.iter().zip(ran.exec.results) {
+            results[i] = Some(r.expect("error-free batch answers every position"));
+        }
+        for (&i, m) in probe.ship.iter().zip(ran.fused_members) {
+            fused_members[i] = m;
+        }
         Ok(BatchOutcome {
-            results: ran
-                .exec
-                .results
+            results: results
                 .into_iter()
-                .map(|r| r.expect("error-free batch answers every position"))
+                .map(|r| r.expect("hit or shipped: every position answered"))
                 .collect(),
-            fused_members: ran.fused_members,
+            fused_members,
             fused_queries: ran.exec.fused_queries,
             fused_groups: ran.exec.fused_groups,
             segments: ran.segments,
@@ -748,6 +884,27 @@ impl SimEnv {
         sqls: &[String],
         footprints: Option<&[sloth_sql::Footprint]>,
     ) -> PartialOutcome {
+        self.batch_partial_impl(sqls, footprints, false)
+    }
+
+    /// [`SimEnv::query_batch_partial_with`] with the result cache's hit
+    /// path bypassed (no hits served, no fills) while shipped writes
+    /// still invalidate — the degraded-session surface, see
+    /// [`SimEnv::query_batch_outcome_uncached_with`].
+    pub fn query_batch_partial_uncached_with(
+        &self,
+        sqls: &[String],
+        footprints: Option<&[sloth_sql::Footprint]>,
+    ) -> PartialOutcome {
+        self.batch_partial_impl(sqls, footprints, true)
+    }
+
+    fn batch_partial_impl(
+        &self,
+        sqls: &[String],
+        footprints: Option<&[sloth_sql::Footprint]>,
+        bypass_cache: bool,
+    ) -> PartialOutcome {
         if sqls.is_empty() {
             return PartialOutcome {
                 results: Vec::new(),
@@ -760,13 +917,63 @@ impl SimEnv {
                 footprints_derived: 0,
             };
         }
-        let ran = match self.run_batch_resilient(sqls, footprints) {
+        let Some(probe) = self.probe_result_cache(sqls, footprints, bypass_cache) else {
+            // Cache off: the zero-overhead legacy path.
+            let ran = match self.run_batch_resilient(sqls, footprints) {
+                Ok(ran) => ran,
+                // Retry budget exhausted: every faulted attempt already
+                // charged itself; the whole batch fails with the
+                // transient error at position 0 (nothing is known to
+                // have applied from the caller's perspective — see the
+                // failure-model docs).
+                Err(e) => {
+                    return PartialOutcome {
+                        results: vec![None; sqls.len()],
+                        error: Some((0, e)),
+                        fused_members: vec![None; sqls.len()],
+                        fused_queries: 0,
+                        fused_groups: 0,
+                        segments: 0,
+                        cross_write_fused: 0,
+                        footprints_derived: 0,
+                    }
+                }
+            };
+            self.charge_and_sleep(sqls.len(), &ran);
+            return PartialOutcome {
+                results: ran.exec.results,
+                error: ran.exec.error,
+                fused_members: ran.fused_members,
+                fused_queries: ran.exec.fused_queries,
+                fused_groups: ran.exec.fused_groups,
+                segments: ran.segments,
+                cross_write_fused: ran.cross_write_fused,
+                footprints_derived: ran.footprints_derived,
+            };
+        };
+        if probe.ship.is_empty() {
+            return PartialOutcome {
+                results: probe.hits,
+                error: None,
+                fused_members: vec![None; probe.n],
+                fused_queries: 0,
+                fused_groups: 0,
+                segments: 0,
+                cross_write_fused: 0,
+                footprints_derived: 0,
+            };
+        }
+        let sub_sqls: Vec<String> = probe.ship.iter().map(|&i| sqls[i].clone()).collect();
+        let sub_fps: Vec<sloth_sql::Footprint> =
+            probe.ship.iter().map(|&i| probe.fps[i].clone()).collect();
+        let ran = match self.run_batch_resilient(&sub_sqls, Some(&sub_fps)) {
             Ok(ran) => ran,
-            // Retry budget exhausted: every faulted attempt already
-            // charged itself; the whole batch fails with the transient
-            // error at position 0 (nothing is known to have applied from
-            // the caller's perspective — see the failure-model docs).
             Err(e) => {
+                // Ambiguously-applied writes: invalidate conservatively,
+                // then keep the legacy failure shape (every position
+                // unanswered, error at 0 — the dispatcher attributes a
+                // whole failed flush to every rider either way).
+                self.invalidate_after_ambiguous_failure(&probe);
                 return PartialOutcome {
                     results: vec![None; sqls.len()],
                     error: Some((0, e)),
@@ -776,19 +983,136 @@ impl SimEnv {
                     segments: 0,
                     cross_write_fused: 0,
                     footprints_derived: 0,
-                }
+                };
             }
         };
-        self.charge_and_sleep(sqls.len(), &ran);
+        // Executed writes invalidate (and executed reads may fill) even
+        // when the batch errored mid-flight: partial semantics mean the
+        // prefix's effects are real.
+        self.settle_result_cache(&probe, &ran.exec.results);
+        self.charge_and_sleep(sub_sqls.len(), &ran);
+        let mut results = probe.hits;
+        let mut fused_members: Vec<Option<usize>> = vec![None; probe.n];
+        for (&i, r) in probe.ship.iter().zip(ran.exec.results) {
+            results[i] = r;
+        }
+        for (&i, m) in probe.ship.iter().zip(ran.fused_members) {
+            fused_members[i] = m;
+        }
         PartialOutcome {
-            results: ran.exec.results,
-            error: ran.exec.error,
-            fused_members: ran.fused_members,
+            results,
+            error: ran.exec.error.map(|(pos, e)| (probe.ship[pos], e)),
+            fused_members,
             fused_queries: ran.exec.fused_queries,
             fused_groups: ran.exec.fused_groups,
             segments: ran.segments,
             cross_write_fused: ran.cross_write_fused,
             footprints_derived: ran.footprints_derived,
+        }
+    }
+
+    /// Pre-execution pass of the result cache. `None` when the cache is
+    /// disabled (the zero-overhead legacy path). Otherwise every position
+    /// is classified: a read is **hit-eligible** iff it normalizes, its
+    /// footprint is pure (no writes, no barrier), and no earlier shipped
+    /// statement in the same batch carries a conflicting write — an
+    /// in-batch write executes before the read server-side, so serving
+    /// the read from a pre-write entry would be stale. Eligible hits are
+    /// answered locally; everything else ships.
+    ///
+    /// Footprints come from the caller when threaded (dispatcher
+    /// admission, store deferral) and from the backend's per-template
+    /// footprint cache otherwise — resolved *before* the deployment lock
+    /// is taken, honouring the driver's lock discipline.
+    fn probe_result_cache(
+        &self,
+        sqls: &[String],
+        footprints: Option<&[sloth_sql::Footprint]>,
+        bypass: bool,
+    ) -> Option<CacheProbe> {
+        if !self.lock().result_cache.enabled() {
+            return None;
+        }
+        let norms: Vec<Option<sloth_sql::Normalized>> = sqls
+            .iter()
+            .map(|s| {
+                if sloth_sql::is_write_sql(s) {
+                    None
+                } else {
+                    sloth_sql::normalize(s).ok()
+                }
+            })
+            .collect();
+        let fps: Vec<sloth_sql::Footprint> = match footprints {
+            Some(fps) if fps.len() == sqls.len() => fps.to_vec(),
+            _ => sqls.iter().map(|s| self.footprint_of(s)).collect(),
+        };
+        let mut hits: Vec<Option<ResultSet>> = vec![None; sqls.len()];
+        let mut ship: Vec<usize> = Vec::with_capacity(sqls.len());
+        let mut inner = self.lock();
+        for i in 0..sqls.len() {
+            let eligible = !bypass
+                && norms[i].is_some()
+                && !fps[i].has_writes()
+                && (0..i).all(|j| !fps[j].has_writes() || !fps[j].conflicts_with(&fps[i]));
+            if eligible {
+                let n = norms[i].as_ref().expect("eligible reads normalize");
+                let key = (n.template.clone(), n.params.clone());
+                if let Some(rs) = inner.result_cache.probe(&key) {
+                    hits[i] = Some(rs);
+                    continue;
+                }
+            }
+            ship.push(i);
+        }
+        drop(inner);
+        Some(CacheProbe {
+            n: sqls.len(),
+            hits,
+            ship,
+            fps,
+            norms,
+            bypass,
+        })
+    }
+
+    /// Post-execution pass: walks the shipped positions in batch order —
+    /// an executed write invalidates every overlapping entry (including
+    /// a write whose result was replayed from the fault journal: it
+    /// shipped on an earlier ambiguous attempt, and its surface settles
+    /// exactly once, here), an executed pure read fills. Order matters:
+    /// a read that trails a conflicting in-batch write refills *after*
+    /// that write's invalidation, leaving the fresh post-write entry.
+    fn settle_result_cache(&self, probe: &CacheProbe, results: &[Option<ResultSet>]) {
+        let mut inner = self.lock();
+        for (k, &i) in probe.ship.iter().enumerate() {
+            let Some(rs) = results.get(k).and_then(|r| r.as_ref()) else {
+                continue; // not executed (at or past the failing position)
+            };
+            if probe.fps[i].has_writes() {
+                inner.result_cache.invalidate(&probe.fps[i]);
+            } else if !probe.bypass {
+                if let Some(n) = &probe.norms[i] {
+                    inner.result_cache.fill(
+                        (n.template.clone(), n.params.clone()),
+                        rs.clone(),
+                        probe.fps[i].reads.clone(),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Retry-budget exhaustion leaves a batch's server-side effects
+    /// ambiguous (a timed-out attempt may well have executed). Every
+    /// shipped write footprint invalidates conservatively — a stale miss
+    /// costs a round trip, a stale hit would cost correctness.
+    fn invalidate_after_ambiguous_failure(&self, probe: &CacheProbe) {
+        let mut inner = self.lock();
+        for &i in &probe.ship {
+            if probe.fps[i].has_writes() {
+                inner.result_cache.invalidate(&probe.fps[i]);
+            }
         }
     }
 
@@ -1153,6 +1477,25 @@ impl SimEnv {
             std::thread::sleep(std::time::Duration::from_nanos(real_ns));
         }
     }
+}
+
+/// The result cache's pre-execution decision for one batch: which
+/// positions are answered locally, which ship, and the per-position
+/// classification the post-execution settlement reuses.
+struct CacheProbe {
+    /// Original batch length.
+    n: usize,
+    /// Cached answers, by original position (`None` = ships).
+    hits: Vec<Option<ResultSet>>,
+    /// Original positions of the shipped sub-batch, ascending.
+    ship: Vec<usize>,
+    /// Per-position footprints (caller-threaded or cache-resolved).
+    fps: Vec<sloth_sql::Footprint>,
+    /// Per-position normalization (`None` for writes/unlexable SQL).
+    norms: Vec<Option<sloth_sql::Normalized>>,
+    /// Degraded-session bypass: no hits were served and no fills happen,
+    /// but shipped writes still invalidate.
+    bypass: bool,
 }
 
 /// Internal carrier between planning/execution and accounting.
@@ -1959,5 +2302,119 @@ mod tests {
         clean.query_batch(&sqls).unwrap();
         assert_eq!(faulty.stats(), clean.stats(), "no residual fault overhead");
         assert_eq!(faulty.fault_stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn result_cache_answers_repeat_reads_without_the_wire() {
+        let env = seeded_env();
+        env.set_result_cache(true);
+        let rs1 = env.query("SELECT v FROM t WHERE id = 3").unwrap();
+        let trips = env.stats().round_trips;
+        let rs2 = env.query("SELECT v FROM t WHERE id = 3").unwrap();
+        assert_eq!(rs1, rs2, "cached answer is byte-identical");
+        assert_eq!(env.stats().round_trips, trips, "repeat read ships nothing");
+        let s = env.result_cache_stats();
+        assert_eq!((s.hits, s.fills), (1, 1));
+        // Different params are a different key.
+        env.query("SELECT v FROM t WHERE id = 4").unwrap();
+        assert_eq!(env.stats().round_trips, trips + 1);
+    }
+
+    #[test]
+    fn result_cache_write_invalidates_exactly_the_overlap() {
+        let env = seeded_env();
+        env.set_result_cache(true);
+        env.query("SELECT v FROM t WHERE id = 3").unwrap();
+        env.query("SELECT v FROM t WHERE id = 4").unwrap();
+        env.query("UPDATE t SET v = 'x' WHERE id = 3").unwrap();
+        let s = env.result_cache_stats();
+        assert_eq!(s.invalidations, 1, "only the id = 3 entry dies");
+        assert_eq!(s.precise_invalidations, 1);
+        let trips = env.stats().round_trips;
+        let rs = env.query("SELECT v FROM t WHERE id = 3").unwrap();
+        assert_eq!(
+            rs.get(0, "v").unwrap().as_str(),
+            Some("x"),
+            "post-write value"
+        );
+        assert_eq!(env.stats().round_trips, trips + 1, "stale entry re-fetched");
+        env.query("SELECT v FROM t WHERE id = 4").unwrap();
+        assert_eq!(
+            env.stats().round_trips,
+            trips + 1,
+            "disjoint entry survived"
+        );
+    }
+
+    #[test]
+    fn result_cache_mixed_batch_read_after_write_is_never_stale() {
+        let env = seeded_env();
+        env.set_result_cache(true);
+        env.query("SELECT v FROM t WHERE id = 5").unwrap();
+        // The same read rides behind a conflicting write in one batch: it
+        // must ship (hit-ineligible) and observe the write.
+        let batch = vec![
+            "UPDATE t SET v = 'w' WHERE id = 5".to_string(),
+            "SELECT v FROM t WHERE id = 5".to_string(),
+        ];
+        let out = env.query_batch(&batch).unwrap();
+        assert_eq!(out[1].get(0, "v").unwrap().as_str(), Some("w"));
+        // Settlement order: the write's invalidation ran first, then the
+        // trailing read refilled — so the cache now answers post-write.
+        let trips = env.stats().round_trips;
+        let rs = env.query("SELECT v FROM t WHERE id = 5").unwrap();
+        assert_eq!(rs.get(0, "v").unwrap().as_str(), Some("w"));
+        assert_eq!(env.stats().round_trips, trips, "refill served the repeat");
+    }
+
+    #[test]
+    fn result_cache_seeding_clears_everything() {
+        let env = seeded_env();
+        env.set_result_cache(true);
+        env.query("SELECT v FROM t WHERE id = 1").unwrap();
+        env.seed_sql("UPDATE t SET v = 'seeded' WHERE id = 1")
+            .unwrap();
+        let rs = env.query("SELECT v FROM t WHERE id = 1").unwrap();
+        assert_eq!(
+            rs.get(0, "v").unwrap().as_str(),
+            Some("seeded"),
+            "out-of-band mutation dropped the stale entry"
+        );
+    }
+
+    #[test]
+    fn result_cache_uncached_surface_invalidates_but_never_serves() {
+        let env = seeded_env();
+        env.set_result_cache(true);
+        env.query("SELECT v FROM t WHERE id = 2").unwrap();
+        // Bypass surface: the cached entry must not answer …
+        let trips = env.stats().round_trips;
+        env.query_batch_outcome_uncached_with(&["SELECT v FROM t WHERE id = 2".to_string()], None)
+            .unwrap();
+        assert_eq!(env.stats().round_trips, trips + 1, "bypass always ships");
+        // … and its writes must still kill overlapping entries.
+        env.query_batch_outcome_uncached_with(
+            &["UPDATE t SET v = 'z' WHERE id = 2".to_string()],
+            None,
+        )
+        .unwrap();
+        assert_eq!(env.result_cache_stats().invalidations, 1);
+        let rs = env.query("SELECT v FROM t WHERE id = 2").unwrap();
+        assert_eq!(rs.get(0, "v").unwrap().as_str(), Some("z"));
+    }
+
+    #[test]
+    fn result_cache_off_is_byte_identical_accounting() {
+        let sqls: Vec<String> = (0..6)
+            .map(|i| format!("SELECT v FROM t WHERE id = {}", i % 3))
+            .collect();
+        let plain = seeded_env();
+        plain.query_batch(&sqls).unwrap();
+        let toggled = seeded_env();
+        toggled.set_result_cache(true);
+        toggled.set_result_cache(false);
+        toggled.query_batch(&sqls).unwrap();
+        assert_eq!(plain.stats(), toggled.stats());
+        assert_eq!(toggled.result_cache_stats(), ResultCacheStats::default());
     }
 }

@@ -245,7 +245,13 @@ impl Fleet {
 
     /// Executes one statement through the router without charging time or
     /// touching the router counters — the sharded analogue of seeding via
-    /// [`SimEnv::seed_sql`].
+    /// [`SimEnv::seed_sql`]. Mutation through here is invisible to the
+    /// footprint machinery, so the caller ([`SimEnv::seed_sql`], which
+    /// holds the deployment lock around this) drops the shared result
+    /// cache afterwards; the fleet itself lives *inside* that lock, which
+    /// is what keeps cache coherence per-fleet by construction — no shard
+    /// can apply a write without the deployment-level settlement seeing
+    /// its footprint.
     pub(crate) fn execute_unmetered(&mut self, sql: &str) -> Result<ResultSet, SqlError> {
         let saved = self.stats.clone();
         let mut costs = Costs::new(self.shards.len());
@@ -1731,5 +1737,40 @@ mod tests {
         );
         assert!(on.stats().fused_queries > 0);
         assert_eq!(off.stats().fused_queries, 0);
+    }
+
+    #[test]
+    fn result_cache_is_coherent_across_the_fleet() {
+        let env = fleet(4).handle();
+        env.set_result_cache(true);
+        // Prime entries living on (potentially) different shards.
+        env.query("SELECT * FROM issue WHERE project_id = 1 ORDER BY id")
+            .unwrap();
+        env.query("SELECT * FROM issue WHERE project_id = 2 ORDER BY id")
+            .unwrap();
+        let trips = env.stats().round_trips;
+        env.query("SELECT * FROM issue WHERE project_id = 1 ORDER BY id")
+            .unwrap();
+        assert_eq!(env.stats().round_trips, trips, "sharded repeat read hits");
+        // A write routed to one shard must kill exactly the overlapping
+        // entry — the cache sits above the router, so which shard applied
+        // it is invisible to invalidation.
+        env.query("UPDATE issue SET sev = 9 WHERE project_id = 1")
+            .unwrap();
+        let s = env.result_cache_stats();
+        assert_eq!((s.invalidations, s.precise_invalidations), (1, 1));
+        let rs = env
+            .query("SELECT * FROM issue WHERE project_id = 1 ORDER BY id")
+            .unwrap();
+        let sev_col = rs.column_index("sev").unwrap();
+        assert!(
+            rs.rows.iter().all(|r| r[sev_col].as_i64() == Some(9)),
+            "re-fetched entry observes the sharded write"
+        );
+        // The project_id = 2 entry survived and still answers locally.
+        let trips = env.stats().round_trips;
+        env.query("SELECT * FROM issue WHERE project_id = 2 ORDER BY id")
+            .unwrap();
+        assert_eq!(env.stats().round_trips, trips);
     }
 }

@@ -251,6 +251,21 @@ impl Footprint {
             || hits(&self.writes, &other.reads)
             || hits(&other.writes, &self.reads)
     }
+
+    /// Whether any of this statement's **write** accesses can touch rows
+    /// covered by `reads` (or this statement is a barrier, which touches
+    /// everything). This is the result-cache invalidation predicate: a
+    /// cached read whose access list a shipped write overlaps is stale.
+    /// Unlike [`Footprint::conflicts_with`] it tests one direction only —
+    /// a cached entry holds a read's accesses, never writes of its own.
+    pub fn writes_overlap(&self, reads: &[TableAccess]) -> bool {
+        if self.barrier {
+            return true;
+        }
+        self.writes
+            .iter()
+            .any(|w| reads.iter().any(|r| w.overlaps(r)))
+    }
 }
 
 /// A pin-able value: a literal, or a `?` slot resolved against the bound
@@ -473,5 +488,65 @@ mod tests {
         // provably disjoint from any single-value probe of either column.
         let f = fp("SELECT * FROM t WHERE id = 1 AND id = 2");
         assert!(!f.reads[0].overlaps(&fp("SELECT * FROM t WHERE id = 1").reads[0]));
+    }
+
+    // Edge cases the result cache's invalidation precision depends on:
+    // `writes_overlap` is the exact predicate deciding whether a shipped
+    // write kills a cached read, so each boundary gets its own witness.
+
+    #[test]
+    fn writes_overlap_is_table_level_without_pins() {
+        // An unpinned write (full-table scan update) must kill every
+        // cached read of that table, pinned or not …
+        let w = fp("UPDATE issue SET sev = 1");
+        assert!(w.writes_overlap(&fp("SELECT * FROM issue WHERE id = 3").reads));
+        assert!(w.writes_overlap(&fp("SELECT COUNT(*) FROM issue").reads));
+        // … and none of another table.
+        assert!(!w.writes_overlap(&fp("SELECT * FROM project WHERE id = 1").reads));
+    }
+
+    #[test]
+    fn writes_overlap_is_key_precise_with_pins() {
+        let w = fp("DELETE FROM issue WHERE id = 7");
+        assert!(w.writes_overlap(&fp("SELECT * FROM issue WHERE id = 7").reads));
+        assert!(
+            !w.writes_overlap(&fp("SELECT * FROM issue WHERE id = 8").reads),
+            "disjoint pins on the same column spare the entry"
+        );
+        // A read pinned on a *different* column shares no separating pin,
+        // so the write must conservatively kill it.
+        assert!(w.writes_overlap(&fp("SELECT * FROM issue WHERE project_id = 2").reads));
+    }
+
+    #[test]
+    fn writes_overlap_sees_update_post_image() {
+        // Moving rows from project_id 1 to 2 must kill cached reads of
+        // both the pre- and post-image value, but not an unrelated one.
+        let w = fp("UPDATE issue SET project_id = 2 WHERE project_id = 1");
+        assert!(w.writes_overlap(&fp("SELECT * FROM issue WHERE project_id = 1").reads));
+        assert!(w.writes_overlap(&fp("SELECT * FROM issue WHERE project_id = 2").reads));
+        assert!(!w.writes_overlap(&fp("SELECT * FROM issue WHERE project_id = 3").reads));
+        // A non-literal SET drops the pin: every value is fair game again.
+        let w2 = fp("UPDATE issue SET project_id = project_id + 1 WHERE project_id = 1");
+        assert!(w2.writes_overlap(&fp("SELECT * FROM issue WHERE project_id = 9").reads));
+    }
+
+    #[test]
+    fn writes_overlap_respects_in_list_pins() {
+        let w = fp("DELETE FROM issue WHERE id IN (4, 5, 6)");
+        assert!(w.writes_overlap(&fp("SELECT * FROM issue WHERE id = 5").reads));
+        assert!(!w.writes_overlap(&fp("SELECT * FROM issue WHERE id = 9").reads));
+        let r = fp("SELECT * FROM issue WHERE id IN (1, 6)");
+        assert!(w.writes_overlap(&r.reads), "one shared member suffices");
+    }
+
+    #[test]
+    fn writes_overlap_barrier_and_read_only_extremes() {
+        // A barrier overlaps everything — even an empty access list.
+        assert!(fp("COMMIT").writes_overlap(&[]));
+        assert!(fp("COMMIT").writes_overlap(&fp("SELECT * FROM t WHERE id = 1").reads));
+        // A pure read overlaps nothing: it has no writes to invalidate by.
+        let r = fp("SELECT * FROM issue WHERE id = 1");
+        assert!(!r.writes_overlap(&fp("SELECT * FROM issue WHERE id = 1").reads));
     }
 }

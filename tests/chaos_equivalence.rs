@@ -437,6 +437,128 @@ fn dispatched_sessions_survive_chaos_with_exact_once_effects() {
     }
 }
 
+/// The chaos grid with the shared result cache switched on: hit-served
+/// positions, journal replays and retry storms may interleave freely,
+/// but every statement's result and the final state must still match
+/// the fault-free, cache-off serial reference.
+#[test]
+fn chaotic_cached_streams_match_fault_free_reference() {
+    let mut absorbed = 0u64;
+    let mut fills = 0u64;
+    for case in 0..8u64 {
+        let mut rng = Rng::new(0xCAC4E ^ case);
+        let mut next_id = 700;
+        let ops = arb_stream(&mut rng, &mut next_id);
+        for shards in [1usize, 2, 4] {
+            let env = if shards == 1 {
+                fresh_env()
+            } else {
+                fresh_sharded(shards)
+            };
+            env.set_result_cache(true);
+            let label = format!("case {case} cache=on shards={shards}");
+            let fs = check_chaos_stream(&ops, env.clone(), chaos_plan(0x5EED ^ case), &label);
+            absorbed += fs.injected_drops + fs.injected_timeouts;
+            let cs = env.result_cache_stats();
+            fills += cs.fills;
+        }
+    }
+    assert!(absorbed > 0, "chaos never fired under the cache");
+    assert!(fills > 0, "the cache never filled under chaos");
+}
+
+/// A write whose reply times out executes server-side and replays
+/// through the at-most-once journal. The cache must see that write
+/// **exactly once** — at the surface where the journal proves it ran —
+/// never zero times (stale entry survives) and never twice.
+#[test]
+fn journaled_timeout_write_invalidates_exactly_once() {
+    let env = fresh_env();
+    env.set_result_cache(true);
+    let read = "SELECT sev FROM issue WHERE id = 3";
+    let before = env.query(read).unwrap();
+    assert_eq!(env.result_cache_stats().fills, 1);
+
+    // The trip sequence starts when the plan is installed: trip 0 is the
+    // write's first attempt — inflated past the deadline, so the batch
+    // executes but the reply is lost; the retry dedups via the journal.
+    env.set_faults(Some(FaultPlan::seeded(2).timeout_at(0)));
+    env.query("UPDATE issue SET sev = 9 WHERE id = 3").unwrap();
+    let fs = env.fault_stats();
+    assert_eq!(fs.injected_timeouts, 1);
+    assert_eq!(fs.deduped_writes, 1, "the replay deduplicated");
+    let cs = env.result_cache_stats();
+    assert_eq!(
+        cs.invalidations, 1,
+        "the journal-proved write invalidated exactly once: {cs:?}"
+    );
+    assert_eq!(cs.precise_invalidations, 1, "both sides pin `id`");
+
+    env.set_faults(None);
+    let after = env.query(read).unwrap();
+    assert_ne!(before, after, "the repeat read must not be served stale");
+    assert_eq!(after.rows[0][0], Value::Int(9));
+}
+
+/// A degraded session (one that exhausted its retry budget on an
+/// ambiguous batch) stops trusting the shared cache's hit path: its
+/// reads always ship, though its writes still invalidate everyone
+/// else's entries.
+#[test]
+fn degraded_session_serves_no_stale_hits() {
+    let env = fresh_env();
+    env.set_result_cache(true);
+    let read = "SELECT sev FROM issue WHERE id = 5";
+
+    // A healthy session fills the entry.
+    let healthy = QueryStore::new(env.clone());
+    let id = healthy.register(read.to_string()).unwrap();
+    healthy.result(id).unwrap();
+    assert!(env.result_cache_stats().fills >= 1);
+
+    // A second session blacks out mid-write and degrades. The exhausted
+    // batch carried a write on the cached row, so the conservative
+    // invalidation already killed the entry.
+    env.set_retry_policy(RetryPolicy {
+        max_attempts: 2,
+        ..Default::default()
+    });
+    env.set_faults(Some(FaultPlan::seeded(11).drops(1000)));
+    let store = QueryStore::new(env.clone());
+    store
+        .register("UPDATE issue SET sev = 8 WHERE id = 5".to_string())
+        .unwrap();
+    assert!(store.flush().is_err(), "a total blackout must exhaust");
+    assert!(store.degraded());
+    assert!(
+        env.result_cache_stats().invalidations >= 1,
+        "ambiguous failure must invalidate conservatively"
+    );
+
+    // The network heals. The degraded session re-issues the write and
+    // re-reads: it must observe its own write, and it must do so over
+    // the wire — the hit counter may not move for a degraded session.
+    env.set_faults(None);
+    let w = store
+        .register("UPDATE issue SET sev = 8 WHERE id = 5".to_string())
+        .unwrap();
+    store.result(w).unwrap();
+    let hits_before = env.result_cache_stats().hits;
+    let r = store.register(read.to_string()).unwrap();
+    let got = store.result(r).unwrap();
+    assert_eq!(got.rows[0][0], Value::Int(8));
+    assert_eq!(
+        env.result_cache_stats().hits,
+        hits_before,
+        "a degraded session must never be served from the cache"
+    );
+
+    // The healthy session's repeat read re-fetches fresh (its old entry
+    // died with the degraded session's write).
+    let id2 = healthy.register(read.to_string()).unwrap();
+    assert_eq!(healthy.result(id2).unwrap().rows[0][0], Value::Int(8));
+}
+
 /// With faults disabled the whole stack must reproduce fault-free cost
 /// accounting bit-for-bit — installing and clearing a plan leaves no
 /// residue in any counter.
