@@ -313,29 +313,29 @@ fn shard_figure_cmd() {
     println!("\n== Shard figure — TPC-C on the sharded backend, fusion-aware routing ==");
     let fig = sloth_bench::shard::shard_figure(&sloth_bench::shard::ShardCfg::default());
     println!(
-        "  {:<8} {:>7} {:>8} {:>12} {:>12} {:>8} {:>9} {:>10} {:>7}",
+        "  {:<8} {:>7} {:>8} {:>12} {:>12} {:>8} {:>10} {:>9} {:>8}",
         "workload",
         "shards",
         "fusion",
         "db (ms)",
         "net (ms)",
         "trips",
-        "pointRds",
         "scatterRds",
-        "subPrb"
+        "wall(ms)",
+        "overlap"
     );
     for (label, points) in [("tpcc", &fig.tpcc), ("probes", &fig.probe_split)] {
         for p in points {
             println!(
-                "  {label:<8} {:>7} {:>8} {:>12.2} {:>12.2} {:>8} {:>9} {:>10} {:>7}",
+                "  {label:<8} {:>7} {:>8} {:>12.2} {:>12.2} {:>8} {:>10} {:>9.1} {:>7.2}x",
                 p.shards,
                 p.fusion,
                 p.db_ns as f64 / 1e6,
                 p.network_ns as f64 / 1e6,
                 p.round_trips,
-                p.point_reads,
                 p.scatter_reads,
-                p.fused_subprobes
+                p.wall_ms,
+                p.wave_overlap
             );
             assert!(
                 p.outputs_equal,
@@ -346,8 +346,26 @@ fn shard_figure_cmd() {
     }
     let max = fig.max_shards();
     println!(
-        "  TPC-C db-time reduction at {max} shards vs 1: {:.1}% (round trips unchanged)",
-        fig.tpcc_db_reduction(max) * 100.0
+        "  TPC-C db-time reduction at {max} shards vs 1: {:.1}% modeled, {:.1}% wall-clock \
+         (round trips unchanged)",
+        fig.tpcc_db_reduction(max) * 100.0,
+        fig.tpcc_wall_reduction(max) * 100.0
+    );
+    // Wall-clock gate: the fleet's waves must genuinely overlap — the
+    // max-shard timed TPC-C run has to beat one shard on a stopwatch,
+    // not just in the per-shard cost model.
+    let one = fig.tpcc_at(1, true);
+    let big = fig.tpcc_at(max, true);
+    assert!(
+        big.wall_ms < one.wall_ms * 0.85,
+        "{max}-shard TPC-C wall time must be measurably below 1-shard: {:.1}ms vs {:.1}ms",
+        big.wall_ms,
+        one.wall_ms
+    );
+    assert!(
+        big.wave_overlap > 1.1,
+        "{max}-shard waves must overlap on the wall clock: {:.2}x",
+        big.wave_overlap
     );
     let json = fig.to_json();
     match std::fs::write("BENCH_shard.json", &json) {
@@ -362,24 +380,39 @@ fn throughput_figure_cmd() {
     let app = sloth_apps::itracker_app();
     let cfg = ServeCfg {
         duration: std::time::Duration::from_millis(1_200),
+        // Datacenter app-to-db RTT for the published figure. The figure's
+        // point is the network round trips the lazy driver removes, so
+        // the modeled wire must dominate single-core statement execution
+        // the way it does on a real deployment — at sub-millisecond RTTs
+        // the measurement degenerates into a CPU benchmark of whichever
+        // box CI happens to run on.
+        rtt_ms: 8.0,
         ..ServeCfg::default()
     };
-    let counts = [1, 2, 4, 8, 16];
+    let counts = [1, 2, 4, 8, 16, 64];
     let fig = serve_figure(&app, &counts, &cfg);
     println!(
-        "  {:>8} {:>14} {:>14} {:>9} {:>10} {:>10} {:>8}",
-        "clients", "eager pg/s", "lazy pg/s", "speedup", "coalesced", "xsess-fuse", "outputs"
+        "  {:>8} {:>14} {:>14} {:>9} {:>9} {:>9} {:>10} {:>8}",
+        "clients",
+        "eager pg/s",
+        "lazy pg/s",
+        "speedup",
+        "lazy p50",
+        "lazy p99",
+        "coalesced",
+        "outputs"
     );
     for p in &fig.points {
         let d = p.lazy.dispatcher.as_ref().expect("lazy dispatcher");
         println!(
-            "  {:>8} {:>14.1} {:>14.1} {:>8.2}x {:>10} {:>10} {:>8}",
+            "  {:>8} {:>14.1} {:>14.1} {:>8.2}x {:>8.1}ms {:>8.1}ms {:>10} {:>8}",
             p.clients,
             p.eager.pages_per_s,
             p.lazy.pages_per_s,
             p.speedup(),
+            p.lazy.p50_ms,
+            p.lazy.p99_ms,
             d.coalesced_batches,
-            d.cross_session_fused_queries,
             if p.eager.output_mismatches + p.lazy.output_mismatches == 0 {
                 "equal"
             } else {
@@ -393,7 +426,9 @@ fn throughput_figure_cmd() {
             p.clients
         );
     }
-    // The acceptance gates of the concurrency work.
+    // The acceptance gates of the concurrency work: speedup must not
+    // collapse at high client counts (striped dispatcher + lock-free hot
+    // path), and the lazy driver's tail must stay below the eager one's.
     let one = fig.at(1).expect("1-client point");
     let d1 = one.lazy.dispatcher.as_ref().unwrap();
     assert_eq!(
@@ -408,10 +443,32 @@ fn throughput_figure_cmd() {
         "lazy-batched must sustain ≥ 1.5x eager at 8 clients, got {:.2}x",
         eight.speedup()
     );
+    let sixteen = fig.at(16).expect("16-client point");
+    assert!(
+        sixteen.speedup() >= 2.5,
+        "lazy-batched must sustain ≥ 2.5x eager at 16 clients, got {:.2}x",
+        sixteen.speedup()
+    );
+    let big = fig.at(64).expect("64-client point");
+    assert!(
+        big.speedup() >= 2.0,
+        "lazy-batched must sustain ≥ 2.0x eager at 64 clients, got {:.2}x",
+        big.speedup()
+    );
+    assert!(
+        big.lazy.p99_ms < big.eager.p99_ms,
+        "lazy p99 must beat eager p99 at 64 clients: {:.1}ms vs {:.1}ms",
+        big.lazy.p99_ms,
+        big.eager.p99_ms
+    );
     println!(
-        "  gate: {:.2}x at 8 clients (≥ 1.5x required), cross-session coalescing {} batches",
+        "  gate: {:.2}x at 8 (≥ 1.5x), {:.2}x at 16 (≥ 2.5x), {:.2}x at 64 (≥ 2.0x); \
+         64-client p99 lazy {:.1}ms vs eager {:.1}ms",
         eight.speedup(),
-        d8.coalesced_batches
+        sixteen.speedup(),
+        big.speedup(),
+        big.lazy.p99_ms,
+        big.eager.p99_ms
     );
 
     // The pre-existing discrete-event model, for comparison in the same
@@ -439,6 +496,15 @@ fn throughput_figure_cmd() {
         eight.speedup(),
         d8.coalesced_batches,
         d8.cross_session_fused_queries
+    ));
+    json.push_str(&format!(
+        "  \"tail_gates\": [\n    {{\"clients\": 16, \"speedup\": {:.2}, \"min_required\": 2.5, \
+         \"pass\": true}},\n    {{\"clients\": 64, \"speedup\": {:.2}, \"min_required\": 2.0, \
+         \"lazy_p99_ms\": {:.2}, \"eager_p99_ms\": {:.2}, \"pass\": true}}\n  ],\n",
+        sixteen.speedup(),
+        big.speedup(),
+        big.lazy.p99_ms,
+        big.eager.p99_ms
     ));
     json.push_str(
         "  \"simulated\": {\"app\": \"itracker\", \"model\": \"discrete_event\", \"points\": [\n",

@@ -102,12 +102,30 @@ pub struct ServeOutcome {
     pub pages_per_s: f64,
     /// Pages whose output differed from the serial reference (must be 0).
     pub output_mismatches: u64,
+    /// Median page service time (ms).
+    pub p50_ms: f64,
+    /// 95th-percentile page service time (ms).
+    pub p95_ms: f64,
+    /// 99th-percentile page service time (ms) — the tail the paper's
+    /// production framing cares about.
+    pub p99_ms: f64,
     /// Backend round trips performed.
     pub round_trips: u64,
     /// Statements executed.
     pub queries: u64,
     /// Dispatcher counters (lazy driver only).
     pub dispatcher: Option<DispatcherStats>,
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of an unsorted sample, in place.
+/// Nearest-rank on the sorted sample; 0.0 for an empty one.
+fn quantile_ms(samples: &mut [f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let idx = (q * (samples.len() - 1) as f64).round() as usize;
+    samples[idx.min(samples.len() - 1)]
 }
 
 struct PreparedPage {
@@ -183,9 +201,12 @@ pub fn serve(app: &BenchApp, driver: ServeDriver, cfg: &ServeCfg) -> ServeOutcom
                 // This worker owns clients t, t+threads, t+2·threads, …
                 // and serves them round-robin; each client is closed-loop
                 // (its next page starts only after the previous finished).
+                // With more clients than threads this is the pooled
+                // executor: each worker multiplexes its share of clients.
                 let own: Vec<usize> = (t..clients).step_by(threads).collect();
+                let mut latencies_ms: Vec<f64> = Vec::new();
                 if own.is_empty() {
-                    return;
+                    return latencies_ms;
                 }
                 let mut iter = 0u64;
                 'serve: loop {
@@ -198,10 +219,12 @@ pub fn serve(app: &BenchApp, driver: ServeDriver, cfg: &ServeCfg) -> ServeOutcom
                             None => DataLayer::immediate(env.clone(), Arc::clone(&schema)),
                             Some(d) => DataLayer::dispatched(Arc::clone(d), Arc::clone(&schema)),
                         };
+                        let t_page = Instant::now();
                         let result = page
                             .prepared
                             .run_with(data, vec![V::Int(page.arg)])
                             .unwrap_or_else(|e| panic!("{}: {e}", page.name));
+                        latencies_ms.push(t_page.elapsed().as_secs_f64() * 1e3);
                         if result.output != page.expected {
                             mismatches.fetch_add(1, Ordering::Relaxed);
                         }
@@ -209,13 +232,15 @@ pub fn serve(app: &BenchApp, driver: ServeDriver, cfg: &ServeCfg) -> ServeOutcom
                     }
                     iter += 1;
                 }
+                latencies_ms
             })
         })
         .collect();
     std::thread::sleep(cfg.duration);
     stop.store(true, Ordering::Relaxed);
+    let mut latencies_ms: Vec<f64> = Vec::new();
     for w in workers {
-        w.join().expect("worker thread");
+        latencies_ms.extend(w.join().expect("worker thread"));
     }
     let wall_s = t0.elapsed().as_secs_f64();
     let pages_done = completed.load(Ordering::Relaxed);
@@ -228,6 +253,9 @@ pub fn serve(app: &BenchApp, driver: ServeDriver, cfg: &ServeCfg) -> ServeOutcom
         wall_s,
         pages_per_s: pages_done as f64 / wall_s,
         output_mismatches: mismatches.load(Ordering::Relaxed),
+        p50_ms: quantile_ms(&mut latencies_ms, 0.50),
+        p95_ms: quantile_ms(&mut latencies_ms, 0.95),
+        p99_ms: quantile_ms(&mut latencies_ms, 0.99),
         round_trips: net.round_trips,
         queries: net.queries,
         dispatcher: dispatcher.map(|d| d.stats()),
@@ -267,14 +295,21 @@ pub struct ServeFigure {
     pub points: Vec<ServePoint>,
 }
 
-/// Sweeps `client_counts` (threads = clients per point) over both drivers.
+/// Worker threads backing the pooled executor: beyond this many clients,
+/// workers multiplex (closed-loop clients spend most of their life
+/// blocked on the wire, so a pool this size carries hundreds of them).
+pub const SERVE_POOL_MAX_THREADS: usize = 32;
+
+/// Sweeps `client_counts` over both drivers. Up to
+/// [`SERVE_POOL_MAX_THREADS`] clients get a thread each; larger counts
+/// run on the pooled executor.
 pub fn serve_figure(app: &BenchApp, client_counts: &[usize], cfg: &ServeCfg) -> ServeFigure {
     let points = client_counts
         .iter()
         .map(|&n| {
             let point_cfg = ServeCfg {
                 clients: n,
-                threads: n,
+                threads: n.min(SERVE_POOL_MAX_THREADS),
                 ..*cfg
             };
             ServePoint {
@@ -315,6 +350,7 @@ fn outcome_json(o: &ServeOutcome) -> String {
     format!(
         "{{\"driver\": \"{}\", \"clients\": {}, \"threads\": {}, \"pages\": {}, \
          \"wall_s\": {:.3}, \"pages_per_s\": {:.1}, \"output_mismatches\": {}, \
+         \"p50_ms\": {:.2}, \"p95_ms\": {:.2}, \"p99_ms\": {:.2}, \
          \"round_trips\": {}, \"queries\": {}, \"dispatcher\": {}}}",
         o.driver,
         o.clients,
@@ -323,6 +359,9 @@ fn outcome_json(o: &ServeOutcome) -> String {
         o.wall_s,
         o.pages_per_s,
         o.output_mismatches,
+        o.p50_ms,
+        o.p95_ms,
+        o.p99_ms,
         o.round_trips,
         o.queries,
         dispatcher
@@ -392,6 +431,12 @@ mod tests {
         assert_eq!(lazy.output_mismatches, 0, "{lazy:?}");
         assert!(eager.pages >= 8, "eager served something: {eager:?}");
         assert!(lazy.pages >= 8, "lazy served something: {lazy:?}");
+
+        // Tail-latency percentiles are measured and ordered.
+        for o in [&eager, &lazy] {
+            assert!(o.p50_ms > 0.0, "{o:?}");
+            assert!(o.p50_ms <= o.p95_ms && o.p95_ms <= o.p99_ms, "{o:?}");
+        }
 
         // The lazy driver needs far fewer round trips per page.
         let eager_tpp = eager.round_trips as f64 / eager.pages as f64;

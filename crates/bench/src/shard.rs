@@ -32,6 +32,13 @@ pub struct ShardCfg {
     pub txns_per_type: usize,
     /// Fleet sizes to sweep.
     pub shard_counts: Vec<usize>,
+    /// Target wall-clock budget (ms) for the **timed** re-run of each
+    /// configuration: modeled db time turns into real sleeps
+    /// ([`ShardedEnv::set_db_realtime_ppm`]) scaled so the single-server
+    /// reference's db time spans about this long. Makes the shard figure
+    /// a wall-clock measurement — the fleet must genuinely overlap its
+    /// waves to beat one shard. 0 skips the timed pass.
+    pub wall_target_ms: u64,
 }
 
 impl Default for ShardCfg {
@@ -40,6 +47,7 @@ impl Default for ShardCfg {
             warehouses: 4,
             txns_per_type: 100,
             shard_counts: vec![1, 2, 4, 8],
+            wall_target_ms: 800,
         }
     }
 }
@@ -67,6 +75,13 @@ pub struct ShardPoint {
     pub scatter_reads: u64,
     /// Per-shard sub-probes from split fused probes.
     pub fused_subprobes: u64,
+    /// Wall-clock milliseconds of the timed re-run (modeled db time as
+    /// real sleeps). 0 when the timed pass was skipped.
+    pub wall_ms: f64,
+    /// Worker busy time over wall time inside parallel waves of the
+    /// timed run (> 1 means waves genuinely overlapped; 0 when no
+    /// multi-shard wave ran).
+    pub wave_overlap: f64,
     /// Whether output matched the single-server reference, byte for byte.
     pub outputs_equal: bool,
 }
@@ -96,6 +111,18 @@ impl ShardFigure {
         let one = self.tpcc_at(1, true).db_ns;
         let n = self.tpcc_at(shards, true).db_ns;
         1.0 - n as f64 / one.max(1) as f64
+    }
+
+    /// Fractional **wall-clock** reduction of `shards` shards vs one on
+    /// the timed TPC-C run (fusion on). 0 when the timed pass was off.
+    pub fn tpcc_wall_reduction(&self, shards: usize) -> f64 {
+        let one = self.tpcc_at(1, true).wall_ms;
+        let n = self.tpcc_at(shards, true).wall_ms;
+        if one <= 0.0 {
+            0.0
+        } else {
+            1.0 - n / one
+        }
     }
 
     /// The largest measured fleet size.
@@ -137,33 +164,65 @@ pub fn shard_figure(cfg: &ShardCfg) -> ShardFigure {
     seed_tpcc(&reference, cfg.warehouses);
     let ref_outputs = run_tpcc_mix(&reference, cfg.txns_per_type);
     let ref_trips = reference.stats().round_trips;
+    let ref_db_ns = reference.stats().db_ns;
 
     let probe_ref = SimEnv::default_env();
     seed_tpcc(&probe_ref, cfg.warehouses);
     let probe_ref_results = probe_ref.query_batch(&probe_batch(cfg.warehouses)).unwrap();
+    let probe_ref_db_ns = probe_ref.stats().db_ns;
+
+    // One ppm scale for every fleet size, derived from the single-server
+    // reference, so timed walls are comparable across shard counts.
+    let ppm_for = |db_ns: u64| -> u64 {
+        if cfg.wall_target_ms == 0 || db_ns == 0 {
+            0
+        } else {
+            (cfg.wall_target_ms.saturating_mul(1_000_000)).saturating_mul(1_000_000) / db_ns
+        }
+    };
+    let tpcc_ppm = ppm_for(ref_db_ns);
+    let probe_ppm = ppm_for(probe_ref_db_ns.max(1));
 
     let mut tpcc = Vec::new();
     let mut probe_split = Vec::new();
     for &n in &cfg.shard_counts {
         for fusion in [true, false] {
-            // TPC-C sweep.
+            // TPC-C sweep: untimed run checks output equality, then a
+            // timed re-run on a fresh fleet measures wall clock with
+            // modeled db time as real sleeps.
             let fleet = ShardedEnv::new(CostModel::default(), tpcc_shard_spec(), n);
             seed_tpcc(&fleet.handle(), cfg.warehouses);
             fleet.set_fusion(fusion);
             let outputs = run_tpcc_mix(&fleet.handle(), cfg.txns_per_type);
-            tpcc.push(point_of(
-                &fleet,
-                n,
-                fusion,
-                outputs == ref_outputs && fleet.stats().round_trips == ref_trips,
-            ));
+            let equal = outputs == ref_outputs && fleet.stats().round_trips == ref_trips;
+            // The timed pass only runs fusion-on: the wall figure compares
+            // shard counts at one ns→real conversion rate derived from the
+            // fused reference, and sleeping out the unfused workloads'
+            // much larger modeled db time would cost CI minutes without
+            // informing the shard-scaling comparison.
+            let (wall_ms, overlap) = if fusion {
+                timed_run(cfg, n, fusion, tpcc_ppm, |env| {
+                    run_tpcc_mix(env, cfg.txns_per_type);
+                })
+            } else {
+                (0.0, 0.0)
+            };
+            tpcc.push(point_of(&fleet, n, fusion, wall_ms, overlap, equal));
 
             // Probe-split sweep.
             let fleet = ShardedEnv::new(CostModel::default(), tpcc_shard_spec(), n);
             seed_tpcc(&fleet.handle(), cfg.warehouses);
             fleet.set_fusion(fusion);
             let results = fleet.query_batch(&probe_batch(cfg.warehouses)).unwrap();
-            probe_split.push(point_of(&fleet, n, fusion, results == probe_ref_results));
+            let equal = results == probe_ref_results;
+            let (wall_ms, overlap) = if fusion {
+                timed_run(cfg, n, fusion, probe_ppm, |env| {
+                    env.query_batch(&probe_batch(cfg.warehouses)).unwrap();
+                })
+            } else {
+                (0.0, 0.0)
+            };
+            probe_split.push(point_of(&fleet, n, fusion, wall_ms, overlap, equal));
         }
     }
     ShardFigure {
@@ -173,7 +232,37 @@ pub fn shard_figure(cfg: &ShardCfg) -> ShardFigure {
     }
 }
 
-fn point_of(fleet: &ShardedEnv, shards: usize, fusion: bool, outputs_equal: bool) -> ShardPoint {
+/// Seeds a fresh fleet, turns modeled db time into real sleeps at `ppm`,
+/// and times `work` with a wall clock. Returns `(wall_ms, wave_overlap)`
+/// — `(0, 0)` when the timed pass is disabled.
+fn timed_run(
+    cfg: &ShardCfg,
+    shards: usize,
+    fusion: bool,
+    ppm: u64,
+    work: impl FnOnce(&SimEnv),
+) -> (f64, f64) {
+    if ppm == 0 {
+        return (0.0, 0.0);
+    }
+    let fleet = ShardedEnv::new(CostModel::default(), tpcc_shard_spec(), shards);
+    seed_tpcc(&fleet.handle(), cfg.warehouses);
+    fleet.set_fusion(fusion);
+    fleet.set_db_realtime_ppm(ppm);
+    let t0 = std::time::Instant::now();
+    work(&fleet.handle());
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    (wall_ms, fleet.wave_overlap())
+}
+
+fn point_of(
+    fleet: &ShardedEnv,
+    shards: usize,
+    fusion: bool,
+    wall_ms: f64,
+    wave_overlap: f64,
+    outputs_equal: bool,
+) -> ShardPoint {
     let net = fleet.stats();
     let ss = fleet.shard_stats();
     ShardPoint {
@@ -187,6 +276,8 @@ fn point_of(fleet: &ShardedEnv, shards: usize, fusion: bool, outputs_equal: bool
         point_reads: ss.point_reads,
         scatter_reads: ss.scatter_reads,
         fused_subprobes: ss.fused_subprobes,
+        wall_ms,
+        wave_overlap,
         outputs_equal,
     }
 }
@@ -195,7 +286,8 @@ fn point_json(p: &ShardPoint) -> String {
     format!(
         "{{\"shards\": {}, \"fusion\": {}, \"round_trips\": {}, \"db_ns\": {}, \
          \"network_ns\": {}, \"total_ns\": {}, \"bytes\": {}, \"point_reads\": {}, \
-         \"scatter_reads\": {}, \"fused_subprobes\": {}, \"outputs_equal\": {}}}",
+         \"scatter_reads\": {}, \"fused_subprobes\": {}, \"wall_ms\": {:.1}, \
+         \"wave_overlap\": {:.2}, \"outputs_equal\": {}}}",
         p.shards,
         p.fusion,
         p.round_trips,
@@ -206,6 +298,8 @@ fn point_json(p: &ShardPoint) -> String {
         p.point_reads,
         p.scatter_reads,
         p.fused_subprobes,
+        p.wall_ms,
+        p.wave_overlap,
         p.outputs_equal
     )
 }
@@ -223,11 +317,13 @@ impl ShardFigure {
         let max = self.max_shards();
         format!(
             "{{\n  \"figure\": \"shard\",\n  \"warehouses\": {},\n  \"txns_per_type\": {},\n  \
-             \"tpcc_db_reduction_pct_at_{max}\": {:.1},\n  \"tpcc\": [\n{}\n  ],\n  \
+             \"tpcc_db_reduction_pct_at_{max}\": {:.1},\n  \
+             \"tpcc_wall_reduction_pct_at_{max}\": {:.1},\n  \"tpcc\": [\n{}\n  ],\n  \
              \"probe_split\": [\n{}\n  ]\n}}\n",
             self.cfg.warehouses,
             self.cfg.txns_per_type,
             self.tpcc_db_reduction(max) * 100.0,
+            self.tpcc_wall_reduction(max) * 100.0,
             series(&self.tpcc),
             series(&self.probe_split)
         )
@@ -243,6 +339,7 @@ mod tests {
             warehouses: 4,
             txns_per_type: 25,
             shard_counts: vec![1, 4],
+            wall_target_ms: 120,
         }
     }
 
@@ -288,6 +385,15 @@ mod tests {
             four.db_ns,
             one.db_ns
         );
+        // The timed pass ran and saw real parallel waves at 4 shards.
+        // (Strict wall comparisons live in the release harness gate —
+        // debug-build CPU would drown them here.)
+        let t4 = fig.tpcc_at(4, true);
+        assert!(t4.wall_ms > 0.0, "timed pass must run: {t4:?}");
+        assert!(
+            t4.wave_overlap > 0.0,
+            "4-shard TPC-C must execute parallel waves: {t4:?}"
+        );
     }
 
     #[test]
@@ -296,6 +402,7 @@ mod tests {
             warehouses: 2,
             txns_per_type: 5,
             shard_counts: vec![1, 2],
+            wall_target_ms: 0,
         });
         let json = fig.to_json();
         assert!(json.contains("\"figure\": \"shard\""));

@@ -752,11 +752,21 @@ impl QueryStore {
     }
 
     /// Number of queries waiting in the current batch.
+    ///
+    /// Never blocks behind an in-flight flush: the store's inner lock is
+    /// released before a drained batch ships (see [`QueryStore::stats`]).
     pub fn pending_len(&self) -> usize {
         self.lock().pending.len()
     }
 
     /// Snapshot of the store's batching statistics.
+    ///
+    /// Non-blocking observability contract: the inner lock is only ever
+    /// held for admission and outcome recording, **never across a ship**
+    /// — a stats snapshot taken from another thread completes even while
+    /// this store's flush is wedged mid-round-trip at the backend. (The
+    /// deployment-level counterpart is `SimEnv::stats`, which is
+    /// lock-free outright.)
     pub fn stats(&self) -> StoreStats {
         self.lock().stats.clone()
     }
@@ -804,6 +814,52 @@ mod tests {
         store.result(q3).unwrap();
         assert_eq!(e.stats().round_trips, 1);
         assert_eq!(store.stats().max_batch(), 3);
+    }
+
+    #[test]
+    fn stats_snapshot_does_not_block_behind_an_in_flight_flush() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::{mpsc, Arc};
+        use std::time::Duration;
+
+        let e = env();
+        let store = QueryStore::new(e.clone());
+        store.register("SELECT v FROM t WHERE id = 1").unwrap();
+
+        // Wedge the flush mid-ship at the backend.
+        let db = e.database();
+        let wedge = db.write().unwrap();
+        let done = Arc::new(AtomicBool::new(false));
+        let flusher = {
+            let store = store.clone();
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                store.flush().unwrap();
+                done.store(true, Ordering::SeqCst);
+            })
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!done.load(Ordering::SeqCst), "flush must be wedged");
+
+        // The inner lock is not held across the ship: stats and
+        // pending_len answer on a bounded timeout while the flush waits.
+        let (tx, rx) = mpsc::channel();
+        {
+            let store = store.clone();
+            std::thread::spawn(move || {
+                tx.send((store.stats(), store.pending_len())).unwrap();
+            });
+        }
+        let (stats, pending) = rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("stats must not block behind an in-flight flush");
+        assert_eq!(stats.batches, 0, "the wedged flush has not landed");
+        assert_eq!(pending, 0, "the batch was drained at admission");
+        assert!(!done.load(Ordering::SeqCst));
+
+        drop(wedge);
+        flusher.join().unwrap();
+        assert_eq!(store.stats().batches, 1);
     }
 
     #[test]
@@ -1366,9 +1422,13 @@ mod tests {
         use sloth_net::Dispatcher;
         use std::sync::Barrier;
         let e = env();
-        let dispatcher = Arc::new(Dispatcher::with_window(
+        // One stripe: this test asserts a deterministic coalescing count,
+        // so all four flushes must meet under the same leader (with the
+        // default 8 stripes, round-robin routing spreads them out).
+        let dispatcher = Arc::new(Dispatcher::with_stripes(
             e.clone(),
             std::time::Duration::from_millis(20),
+            1,
         ));
         let n = 4;
         let barrier = Arc::new(Barrier::new(n));

@@ -33,6 +33,34 @@
 //! ([`DispatcherStats::solo_writes`]), as does every write batch when
 //! write-aware batching is disabled on the deployment.
 //!
+//! ## Striping: independent leaders for disjoint traffic
+//!
+//! A single coalescing queue has a ceiling: one leader's round trip is in
+//! flight at a time, so at high concurrency every flush serializes behind
+//! it even when the traffic is disjoint. The dispatcher therefore runs
+//! `N` independent **stripes** ([`DEFAULT_STRIPES`] by default;
+//! [`Dispatcher::with_stripes`] pins a count), each with its own queue,
+//! its own coalescing window, and its own leader — so up to `N` dispatch
+//! round trips proceed concurrently. Write batches route by the hash of
+//! their footprint's table set, so the common conflict case — concurrent
+//! batches over the *same* tables, e.g. counter increments — meets in one
+//! stripe, where the footprint admission / FIFO deferral logic applies
+//! unchanged; read-only batches route round-robin. Conflicting batches
+//! whose table sets differ may land in different stripes and dispatch
+//! concurrently — safe, because stripes never share a dispatch (so the
+//! pairwise-disjoint invariant of every combined dispatch still holds)
+//! and each batch still ships exactly once.
+//!
+//! Striping is legal for the same reason concurrent solo dispatches
+//! always were: each session blocks on its flush, so per-session order is
+//! preserved; coalescing (and its admission check) happens only within a
+//! stripe; and cross-session ordering between concurrent flushes was
+//! never guaranteed — two flushes in flight at once could always land in
+//! either order. The backend serializes on its own database lock, so
+//! exactly-once write effects are unaffected. A one-stripe dispatcher
+//! reproduces the previous single-leader behaviour exactly; tests that
+//! assert deterministic coalescing pin `stripes = 1`.
+//!
 //! ## Serial equivalence
 //!
 //! * Fusion is semantically invisible (the fusion equivalence suite
@@ -48,9 +76,12 @@
 //!   per-session and effects apply exactly once.
 //! * With a single client there is never a concurrent flush: every
 //!   dispatch carries one batch and all coalescing counters stay zero —
-//!   the serial path is preserved exactly.
+//!   the serial path is preserved exactly, whatever the stripe count.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
@@ -171,6 +202,20 @@ struct DispatchState {
     dispatching: bool,
 }
 
+/// One independent coalescing queue: its own pending flushes, its own
+/// leader, its own condvar. Stripes never share state — only the
+/// dispatcher-wide counters.
+struct Stripe {
+    state: Mutex<DispatchState>,
+    cv: Condvar,
+}
+
+/// Default stripe count for [`Dispatcher::new`] and
+/// [`Dispatcher::with_window`]: enough independent leaders that a
+/// 16-client closed loop no longer serializes behind one in-flight round
+/// trip, small enough that concurrent traffic still meets and coalesces.
+pub const DEFAULT_STRIPES: usize = 8;
+
 /// The shared front door of a deployment: accepts batch flushes from many
 /// sessions and coalesces them into combined backend dispatches.
 ///
@@ -179,8 +224,11 @@ struct DispatchState {
 /// backend directly.
 pub struct Dispatcher {
     env: SimEnv,
-    state: Mutex<DispatchState>,
-    cv: Condvar,
+    /// Independent coalescing queues (see the striping section of the
+    /// module docs). Fixed at construction; never empty.
+    stripes: Vec<Stripe>,
+    /// Round-robin cursor for read-only flushes.
+    rr: AtomicUsize,
     window: Duration,
     stats: Mutex<DispatcherStats>,
 }
@@ -197,10 +245,23 @@ impl Dispatcher {
     /// `window` so near-simultaneous flushes can join it. The window
     /// bounds added latency; semantics are unchanged.
     pub fn with_window(env: SimEnv, window: Duration) -> Self {
+        Dispatcher::with_stripes(env, window, DEFAULT_STRIPES)
+    }
+
+    /// A dispatcher with an explicit stripe count (clamped to ≥ 1). One
+    /// stripe reproduces the single-leader behaviour exactly — what the
+    /// deterministic-coalescing tests pin; more stripes let that many
+    /// dispatch round trips proceed concurrently.
+    pub fn with_stripes(env: SimEnv, window: Duration, stripes: usize) -> Self {
         Dispatcher {
             env,
-            state: Mutex::new(DispatchState::default()),
-            cv: Condvar::new(),
+            stripes: (0..stripes.max(1))
+                .map(|_| Stripe {
+                    state: Mutex::new(DispatchState::default()),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+            rr: AtomicUsize::new(0),
             window,
             stats: Mutex::new(DispatcherStats::default()),
         }
@@ -211,7 +272,14 @@ impl Dispatcher {
         &self.env
     }
 
-    /// Snapshot of the dispatcher counters.
+    /// Number of independent coalescing stripes.
+    pub fn n_stripes(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Snapshot of the dispatcher counters. Never blocks behind an
+    /// in-flight dispatch: the stats mutex is only ever held for counter
+    /// updates, not across execution.
     pub fn stats(&self) -> DispatcherStats {
         *self
             .stats
@@ -219,10 +287,35 @@ impl Dispatcher {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    fn lock_state(&self) -> std::sync::MutexGuard<'_, DispatchState> {
-        self.state
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    /// Routes one queued flush to its stripe. Write batches route by the
+    /// hash of their footprint's table set: concurrent batches over the
+    /// same tables (the common conflict shape) meet in one stripe, where
+    /// the admission check arbitrates; batches with different table sets
+    /// may run under different leaders, which is safe because stripes
+    /// never share a dispatch. Read-only batches (which never conflict
+    /// with each other) spread round-robin.
+    fn stripe_for(&self, union: Option<&Footprint>) -> &Stripe {
+        let n = self.stripes.len();
+        if n == 1 {
+            return &self.stripes[0];
+        }
+        let idx = match union {
+            Some(fp) => {
+                let mut tables: Vec<&str> = fp
+                    .reads
+                    .iter()
+                    .chain(fp.writes.iter())
+                    .map(|a| a.table.as_str())
+                    .collect();
+                tables.sort_unstable();
+                tables.dedup();
+                let mut h = DefaultHasher::new();
+                tables.hash(&mut h);
+                (h.finish() as usize) % n
+            }
+            None => self.rr.fetch_add(1, Ordering::Relaxed) % n,
+        };
+        &self.stripes[idx]
     }
 
     fn lock_stats(&self) -> std::sync::MutexGuard<'_, DispatcherStats> {
@@ -275,7 +368,13 @@ impl Dispatcher {
             }
         }
 
-        let mut st = self.lock_state();
+        // Stripe selection happens once, before queueing: the flush joins
+        // one stripe's queue and only ever coalesces within it.
+        let stripe = self.stripe_for(union.as_ref());
+        let mut st = stripe
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let ticket = st.next_ticket;
         st.next_ticket += 1;
         st.queue.push(PendingFlush {
@@ -290,19 +389,19 @@ impl Dispatcher {
                 return r;
             }
             if st.dispatching {
-                st = self
+                st = stripe
                     .cv
                     .wait(st)
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
                 continue;
             }
-            // Become the dispatch leader.
+            // Become this stripe's dispatch leader.
             st.dispatching = true;
             if !self.window.is_zero() {
                 // Bounded coalescing window: hold the dispatch open so
                 // near-simultaneous flushes can join. Spurious wakeups
                 // only shorten the window, never change semantics.
-                let (st2, _) = self
+                let (st2, _) = stripe
                     .cv
                     .wait_timeout(st, self.window)
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -316,14 +415,17 @@ impl Dispatcher {
             // waiters are still woken — then the leader's panic resumes.
             let outcomes =
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.dispatch(&batch)));
-            st = self.lock_state();
+            st = stripe
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             st.dispatching = false;
             match outcomes {
                 Ok(outcomes) => {
                     for (t, r) in outcomes {
                         st.done.insert(t, r);
                     }
-                    self.cv.notify_all();
+                    stripe.cv.notify_all();
                 }
                 Err(panic) => {
                     for f in &batch {
@@ -333,7 +435,7 @@ impl Dispatcher {
                         );
                     }
                     drop(st);
-                    self.cv.notify_all();
+                    stripe.cv.notify_all();
                     std::panic::resume_unwind(panic);
                 }
             }
@@ -664,9 +766,13 @@ mod tests {
     #[test]
     fn concurrent_sessions_coalesce_and_fuse_across_sessions() {
         let env = seeded_env();
-        let d = Arc::new(Dispatcher::with_window(
+        // One stripe: read-only flushes round-robin across stripes, so
+        // deterministic coalescing of 8 concurrent reads needs the
+        // single-leader configuration this test was written against.
+        let d = Arc::new(Dispatcher::with_stripes(
             env.clone(),
             Duration::from_millis(20),
+            1,
         ));
         let n = 8usize;
         let barrier = Arc::new(Barrier::new(n));
@@ -1131,6 +1237,61 @@ mod tests {
             Some(1),
             "the journaled write applied exactly once despite 2 attempts"
         );
+    }
+
+    #[test]
+    fn striped_dispatcher_keeps_results_exact_under_concurrency() {
+        // 16 sessions over the default 8 stripes: whatever the stripe
+        // routing and per-stripe grouping, every session's rows are
+        // byte-identical to its serial reference, and the dispatcher's
+        // flush accounting stays exact.
+        let env = seeded_env();
+        let d = Arc::new(Dispatcher::with_window(
+            env.clone(),
+            Duration::from_millis(5),
+        ));
+        assert_eq!(d.n_stripes(), DEFAULT_STRIPES);
+        let n = 16usize;
+        let barrier = Arc::new(Barrier::new(n));
+        let handles: Vec<_> = (0..n)
+            .map(|t| {
+                let d = Arc::clone(&d);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let sqls: Vec<String> = (0..2)
+                        .map(|i| format!("SELECT v FROM t WHERE id = {}", (t * 2 + i) % 32))
+                        .collect();
+                    barrier.wait();
+                    let r = d.submit(&sqls).unwrap();
+                    for (i, rs) in r.results.iter().enumerate() {
+                        let want = format!("v{}", (t * 2 + i) % 32);
+                        assert_eq!(rs.get(0, "v").unwrap().as_str(), Some(want.as_str()));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = d.stats();
+        assert_eq!(s.flushes, 16);
+        assert!(s.dispatches <= s.flushes);
+        // Every dispatch was one backend round trip.
+        assert_eq!(env.stats().round_trips, s.dispatches);
+        assert_eq!(env.stats().queries, 32);
+    }
+
+    #[test]
+    fn one_stripe_dispatcher_matches_legacy_single_leader() {
+        let d = Dispatcher::with_stripes(seeded_env(), Duration::ZERO, 1);
+        assert_eq!(d.n_stripes(), 1);
+        let r = d
+            .submit(&["SELECT v FROM t WHERE id = 0".to_string()])
+            .unwrap();
+        assert_eq!(r.results[0].get(0, "v").unwrap().as_str(), Some("v0"));
+        // Clamped: a zero stripe count still yields a working dispatcher.
+        let d = Dispatcher::with_stripes(seeded_env(), Duration::ZERO, 0);
+        assert_eq!(d.n_stripes(), 1);
     }
 
     #[test]

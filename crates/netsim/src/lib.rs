@@ -37,7 +37,7 @@ pub mod fault;
 pub mod shard;
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use sloth_sql::{Database, ResultSet, SqlError};
@@ -228,42 +228,133 @@ pub struct PartialOutcome {
 }
 
 /// The database side of a deployment: one server, or a sharded fleet.
+///
+/// The backend kind is fixed at construction and reached **without any
+/// deployment-wide lock**: the single server synchronizes on its own
+/// `RwLock`, the fleet on its own `Mutex` (one logical server). Every
+/// other piece of deployment state — counters, knobs, the result cache,
+/// the fault layer — has its own fine-grained home (see the lock
+/// hierarchy in `DESIGN.md` § Concurrency model).
+// One instance per deployment, behind an `Arc` — boxing the fleet would
+// buy nothing but an extra indirection on every sharded batch.
+#[allow(clippy::large_enum_variant)]
 pub(crate) enum Backend {
     /// The paper's deployment: a single database server behind an
-    /// `RwLock` — shareable with out-of-band seeding/inspection while the
-    /// driver path holds the deployment lock.
+    /// `RwLock` — shareable with out-of-band seeding/inspection.
     Single(Arc<RwLock<Database>>),
-    /// N independent servers behind the scatter-gather router (boxed:
-    /// the fleet is much larger than the single-server handle).
-    Sharded(Box<shard::Fleet>),
+    /// N independent servers behind the scatter-gather router,
+    /// serialized by the fleet's own mutex.
+    Sharded(Mutex<shard::Fleet>),
 }
 
-struct SimInner {
-    backend: Backend,
-    cost: CostModel,
-    stats: NetStats,
-    fusion: bool,
+/// Saturating add on a shared counter (CAS loop, like [`Clock::advance`]):
+/// concurrent sessions can never race a counter into a wrap.
+fn sat_add(counter: &AtomicU64, add: u64) {
+    if add == 0 {
+        return;
+    }
+    let mut cur = counter.load(Ordering::Relaxed);
+    loop {
+        let next = cur.saturating_add(add);
+        match counter.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// Lock-free [`NetStats`] accumulator: one atomic per counter, so the
+/// batch path updates statistics without a deployment mutex and readers
+/// snapshot them without blocking an in-flight batch. Each counter is
+/// individually monotone and saturating; a snapshot taken mid-batch may
+/// straddle one batch's updates but never tears within a counter.
+#[derive(Default)]
+struct AtomicNetStats {
+    round_trips: AtomicU64,
+    queries: AtomicU64,
+    network_ns: AtomicU64,
+    db_ns: AtomicU64,
+    app_ns: AtomicU64,
+    max_batch: AtomicU64,
+    bytes: AtomicU64,
+    fused_queries: AtomicU64,
+    fused_groups: AtomicU64,
+}
+
+impl AtomicNetStats {
+    fn snapshot(&self) -> NetStats {
+        NetStats {
+            round_trips: self.round_trips.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            network_ns: self.network_ns.load(Ordering::Relaxed),
+            db_ns: self.db_ns.load(Ordering::Relaxed),
+            app_ns: self.app_ns.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            fused_queries: self.fused_queries.load(Ordering::Relaxed),
+            fused_groups: self.fused_groups.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.round_trips.store(0, Ordering::Relaxed);
+        self.queries.store(0, Ordering::Relaxed);
+        self.network_ns.store(0, Ordering::Relaxed);
+        self.db_ns.store(0, Ordering::Relaxed);
+        self.app_ns.store(0, Ordering::Relaxed);
+        self.max_batch.store(0, Ordering::Relaxed);
+        self.bytes.store(0, Ordering::Relaxed);
+        self.fused_queries.store(0, Ordering::Relaxed);
+        self.fused_groups.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Configuration knobs read on every batch, each its own atomic: toggles
+/// flip and the batch path reads them without taking any lock.
+struct Knobs {
+    fusion: AtomicBool,
     /// Write-aware batching: footprint-analyzed segments instead of
     /// splitting fusion (and cross-session coalescing) at every write.
-    write_batching: bool,
+    write_batching: AtomicBool,
     /// Selective laziness (§3.5–3.6): query stores on this deployment may
     /// defer provably-silent writes instead of flushing on every write
     /// registration. Only meaningful with `write_batching` on.
-    write_deferral: bool,
+    write_deferral: AtomicBool,
     /// Explicit fused-probe arity cap ([`SimEnv::set_max_fused_arity`]);
-    /// `None` = self-tuning from plan-cache eviction pressure.
-    arity_override: Option<usize>,
+    /// `0` = self-tuning (a real override clamps to ≥ 1, so the sentinel
+    /// never collides with a legal cap).
+    arity_override: AtomicUsize,
     /// Current self-tuned arity (halves under eviction pressure, doubles
     /// back toward the default when the cache is quiet).
-    auto_arity: usize,
+    auto_arity: AtomicUsize,
     /// Plan-cache eviction count observed after the previous batch.
-    last_evictions: u64,
+    last_evictions: AtomicU64,
+}
+
+impl Default for Knobs {
+    fn default() -> Self {
+        Knobs {
+            fusion: AtomicBool::new(true),
+            write_batching: AtomicBool::new(true),
+            write_deferral: AtomicBool::new(true),
+            arity_override: AtomicUsize::new(0),
+            auto_arity: AtomicUsize::new(batch::DEFAULT_MAX_FUSED_ARITY),
+            last_evictions: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Everything the fault layer owns, behind its own mutex. The no-fault
+/// hot path never touches it: a lock-free `faults_on` flag gates entry,
+/// so a perfect network costs one atomic load per batch.
+#[derive(Default)]
+struct FaultState {
     /// Active fault plan (`None` = perfect network, zero-overhead path).
-    faults: Option<fault::FaultPlan>,
+    plan: Option<fault::FaultPlan>,
     /// Retry / backoff / deadline policy for faulted trips.
     retry: fault::RetryPolicy,
     /// Fault-injection and recovery counters.
-    fault_stats: fault::FaultStats,
+    stats: fault::FaultStats,
     /// Global trip sequence number driving the fault plan (counts every
     /// attempted round trip, including dropped and timed-out ones).
     trip_seq: u64,
@@ -275,11 +366,6 @@ struct SimInner {
     /// replay consumes it instead of re-executing, so effects apply
     /// exactly once. Empty whenever no batch is mid-recovery.
     journal: HashMap<u64, (ResultSet, bool)>,
-    /// Shared footprint-invalidated result cache (see [`cache`]): lives
-    /// in the deployment, next to the backend and its plan cache, so
-    /// every session — direct, dispatched, or on a sharded fleet —
-    /// shares one coherent view. Off by default.
-    result_cache: cache::ResultCache,
 }
 
 /// The simulated deployment: application server + database backend +
@@ -287,21 +373,46 @@ struct SimInner {
 ///
 /// Cloning shares the same underlying simulation (cheap `Arc` clone), so
 /// the query store, ORM session and interpreter can all hold handles — on
-/// any thread: the handle is `Send + Sync`, with the driver endpoint
-/// serialized by an internal lock exactly like a connection to one
-/// database server. The backend is either a single server
-/// ([`SimEnv::new`]) or a sharded fleet ([`ShardedEnv::handle`]); the
-/// driver interface is identical.
+/// any thread: the handle is `Send + Sync`. There is **no whole-deployment
+/// mutex**: the clock, counters and knobs are lock-free atomics, the
+/// backend synchronizes on its own database lock, and the result cache
+/// and fault layer sit behind their own short-lived mutexes — so any
+/// number of sessions ship batches concurrently, exactly like pooled
+/// connections to one database server. The backend is either a single
+/// server ([`SimEnv::new`]) or a sharded fleet ([`ShardedEnv::handle`]);
+/// the driver interface is identical.
 #[derive(Clone)]
 pub struct SimEnv {
-    inner: Arc<Mutex<SimInner>>,
+    backend: Arc<Backend>,
     clock: Clock,
     /// Real nanoseconds slept per virtual network nanosecond, stored in
     /// parts per million (0 = pure virtual time) — permille quantization
     /// silently zeroed the sub-0.001 scales fast CI runs use. Atomic so
     /// the throughput harness can set it without contending on the driver
-    /// lock.
+    /// path.
     realtime_ppm: Arc<AtomicU64>,
+    /// Lock-free counters; see [`AtomicNetStats`].
+    stats: Arc<AtomicNetStats>,
+    /// Lock-free configuration toggles; see [`Knobs`].
+    knobs: Arc<Knobs>,
+    /// The cost model, read on every batch and replaced only by the
+    /// latency-sweep experiments — a reader/writer lock keeps the read
+    /// path uncontended.
+    cost: Arc<RwLock<CostModel>>,
+    /// Lock-free mirror of the result cache's enabled flag: the default
+    /// cache-off path costs one atomic load, no mutex.
+    cache_on: Arc<AtomicBool>,
+    /// Shared footprint-invalidated result cache (see [`cache`]) behind
+    /// its own mutex, held only for probe/settle bookkeeping — never
+    /// across execution or a network sleep. Every session — direct,
+    /// dispatched, or on a sharded fleet — shares one coherent view.
+    cache: Arc<Mutex<cache::ResultCache>>,
+    /// Lock-free mirror of "a fault plan is installed": the perfect-
+    /// network path skips the fault mutex entirely.
+    faults_on: Arc<AtomicBool>,
+    /// Fault plan, retry policy, trip sequence and the at-most-once
+    /// journal, behind their own mutex (see [`FaultState`]).
+    fault: Arc<Mutex<FaultState>>,
 }
 
 impl SimEnv {
@@ -315,34 +426,40 @@ impl SimEnv {
 
     pub(crate) fn with_backend(cost: CostModel, backend: Backend) -> Self {
         SimEnv {
-            inner: Arc::new(Mutex::new(SimInner {
-                backend,
-                cost,
-                stats: NetStats::default(),
-                fusion: true,
-                write_batching: true,
-                write_deferral: true,
-                arity_override: None,
-                auto_arity: batch::DEFAULT_MAX_FUSED_ARITY,
-                last_evictions: 0,
-                faults: None,
-                retry: fault::RetryPolicy::default(),
-                fault_stats: fault::FaultStats::default(),
-                trip_seq: 0,
-                next_batch_tag: 0,
-                journal: HashMap::new(),
-                result_cache: cache::ResultCache::new(),
-            })),
+            backend: Arc::new(backend),
             clock: Clock::new(),
             realtime_ppm: Arc::new(AtomicU64::new(0)),
+            stats: Arc::new(AtomicNetStats::default()),
+            knobs: Arc::new(Knobs::default()),
+            cost: Arc::new(RwLock::new(cost)),
+            cache_on: Arc::new(AtomicBool::new(false)),
+            cache: Arc::new(Mutex::new(cache::ResultCache::new())),
+            faults_on: Arc::new(AtomicBool::new(false)),
+            fault: Arc::new(Mutex::new(FaultState::default())),
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, SimInner> {
-        // A panic in another session (e.g. a test asserting under the
-        // lock) must not poison the whole deployment for every session.
-        self.inner
+    /// The result cache, behind its own short-lived mutex. Poison
+    /// recovery everywhere: a panic in another session must not wedge
+    /// the deployment.
+    fn cache(&self) -> std::sync::MutexGuard<'_, cache::ResultCache> {
+        self.cache
             .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The fault layer's state, behind its own short-lived mutex.
+    fn fault(&self) -> std::sync::MutexGuard<'_, FaultState> {
+        self.fault
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The cost model, read without contention on the batch path.
+    fn cost(&self) -> CostModel {
+        *self
+            .cost
+            .read()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
@@ -360,12 +477,17 @@ impl SimEnv {
 
     /// Whether this deployment runs on the sharded backend.
     pub fn is_sharded(&self) -> bool {
-        matches!(self.lock().backend, Backend::Sharded(_))
+        matches!(&*self.backend, Backend::Sharded(_))
     }
 
     pub(crate) fn with_fleet<R>(&self, f: impl FnOnce(&mut shard::Fleet) -> R) -> R {
-        match &mut self.lock().backend {
-            Backend::Sharded(fleet) => f(fleet),
+        match &*self.backend {
+            Backend::Sharded(fleet) => {
+                let mut fleet = fleet
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                f(&mut fleet)
+            }
             Backend::Single(_) => panic!("not a sharded deployment"),
         }
     }
@@ -384,14 +506,15 @@ impl SimEnv {
 
     /// The shared database handle (single-server only). Sessions
     /// multiplexed onto one deployment share this one database — and its
-    /// one plan cache. The driver path never holds the deployment lock
-    /// while waiting for this `RwLock` (and vice versa), so out-of-band
-    /// holders of a guard may safely call other `SimEnv` methods.
+    /// one plan cache. There is no outer lock to interleave with: the
+    /// handle is reached lock-free, so out-of-band holders of a guard may
+    /// safely call any other `SimEnv` method (stats, clock, cache
+    /// counters) while they hold it.
     ///
     /// # Panics
     /// Panics on a sharded deployment.
     pub fn database(&self) -> Arc<RwLock<Database>> {
-        match &self.lock().backend {
+        match &*self.backend {
             Backend::Single(db) => Arc::clone(db),
             Backend::Sharded(_) => {
                 panic!("database: sharded deployments have no single database")
@@ -418,7 +541,7 @@ impl SimEnv {
         drop(guard);
         // Out-of-band mutation bypasses the footprint machinery, so no
         // cached result can be trusted afterwards.
-        self.lock().result_cache.clear();
+        self.cache().clear();
         out
     }
 
@@ -426,46 +549,39 @@ impl SimEnv {
     /// deployment the statement goes through the router (DDL broadcasts,
     /// rows land on their owning shards) — still free of charge.
     pub fn seed_sql(&self, sql: &str) -> Result<ResultSet, SqlError> {
-        // Same lock discipline as the driver path: never hold the
-        // deployment mutex while taking the database lock.
-        let db = {
-            let mut inner = self.lock();
-            match &mut inner.backend {
-                Backend::Single(db) => Arc::clone(db),
-                Backend::Sharded(fleet) => {
-                    let out = fleet.execute_unmetered(sql);
-                    // Unmetered mutation is invisible to footprint
-                    // invalidation: drop every cached result.
-                    inner.result_cache.clear();
-                    return out;
-                }
+        let out = match &*self.backend {
+            Backend::Single(db) => {
+                let mut db = db
+                    .write()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                db.execute(sql).map(|o| o.result)
             }
+            Backend::Sharded(fleet) => fleet
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .execute_unmetered(sql),
         };
-        let out = {
-            let mut db = db
-                .write()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            db.execute(sql).map(|o| o.result)
-        };
-        self.lock().result_cache.clear();
+        // Unmetered mutation is invisible to footprint invalidation:
+        // drop every cached result.
+        self.cache().clear();
         out
     }
 
     /// The cost model in force.
     pub fn cost_model(&self) -> CostModel {
-        self.lock().cost
+        self.cost()
     }
 
     /// Enables or disables batch-level query fusion (on by default).
     /// Fusion is semantically invisible; the switch exists for equivalence
     /// testing and for the fusion-on/off benchmark figure.
     pub fn set_fusion(&self, on: bool) {
-        self.lock().fusion = on;
+        self.knobs.fusion.store(on, Ordering::Relaxed);
     }
 
     /// Whether batch-level query fusion is enabled.
     pub fn fusion_enabled(&self) -> bool {
-        self.lock().fusion
+        self.knobs.fusion.load(Ordering::Relaxed)
     }
 
     /// Enables or disables **write-aware batching** (on by default). When
@@ -476,12 +592,12 @@ impl SimEnv {
     /// splits at every write and write batches never coalesce — which is
     /// what the `writebatch` figure compares against.
     pub fn set_write_batching(&self, on: bool) {
-        self.lock().write_batching = on;
+        self.knobs.write_batching.store(on, Ordering::Relaxed);
     }
 
     /// Whether write-aware batching is enabled.
     pub fn write_batching_enabled(&self) -> bool {
-        self.lock().write_batching
+        self.knobs.write_batching.load(Ordering::Relaxed)
     }
 
     /// Enables or disables **write deferral** (selective laziness, on by
@@ -493,14 +609,14 @@ impl SimEnv {
     /// this off reproduces the write-aware (PR 4) flush-per-write
     /// behaviour exactly — the `deferral` figure's baseline.
     pub fn set_write_deferral(&self, on: bool) {
-        self.lock().write_deferral = on;
+        self.knobs.write_deferral.store(on, Ordering::Relaxed);
     }
 
     /// Whether write deferral is enabled (and write-aware batching with
     /// it — deferral needs the footprint-analyzed batch planner).
     pub fn write_deferral_enabled(&self) -> bool {
-        let inner = self.lock();
-        inner.write_batching && inner.write_deferral
+        self.knobs.write_batching.load(Ordering::Relaxed)
+            && self.knobs.write_deferral.load(Ordering::Relaxed)
     }
 
     /// Enables or disables the **shared result cache** (off by default):
@@ -512,17 +628,22 @@ impl SimEnv {
     /// cache off drops every entry (invalidation pauses with it, so
     /// nothing surviving a disabled window could be trusted again).
     pub fn set_result_cache(&self, on: bool) {
-        self.lock().result_cache.set_enabled(on);
+        // Flip the lock-free mirror while holding the cache lock, so a
+        // concurrent settle can never observe `cache_on` and the cache's
+        // own enabled flag out of sync.
+        let mut cache = self.cache();
+        cache.set_enabled(on);
+        self.cache_on.store(on, Ordering::Relaxed);
     }
 
     /// Whether the shared result cache is enabled.
     pub fn result_cache_enabled(&self) -> bool {
-        self.lock().result_cache.enabled()
+        self.cache_on.load(Ordering::Relaxed)
     }
 
     /// Counters of the shared result cache.
     pub fn result_cache_stats(&self) -> ResultCacheStats {
-        self.lock().result_cache.stats
+        self.cache().stats
     }
 
     /// Caps the number of distinct values in one fused `IN` probe
@@ -531,7 +652,10 @@ impl SimEnv {
     /// template variety. Calling this **overrides** the self-tuning
     /// arity; [`SimEnv::set_auto_fused_arity`] restores it.
     pub fn set_max_fused_arity(&self, arity: usize) {
-        self.lock().arity_override = Some(arity.max(1));
+        // 0 is the self-tuning sentinel; a real override clamps to ≥ 1.
+        self.knobs
+            .arity_override
+            .store(arity.max(1), Ordering::Relaxed);
     }
 
     /// Returns the arity cap to self-tuning mode (the default): the cap
@@ -540,14 +664,16 @@ impl SimEnv {
     /// arity is another template competing for cache slots — then doubles
     /// back toward 64 once the cache is quiet.
     pub fn set_auto_fused_arity(&self) {
-        self.lock().arity_override = None;
+        self.knobs.arity_override.store(0, Ordering::Relaxed);
     }
 
     /// The fused-probe arity cap in force (explicit override, or the
     /// current self-tuned value).
     pub fn max_fused_arity(&self) -> usize {
-        let inner = self.lock();
-        inner.arity_override.unwrap_or(inner.auto_arity)
+        match self.knobs.arity_override.load(Ordering::Relaxed) {
+            0 => self.knobs.auto_arity.load(Ordering::Relaxed),
+            cap => cap,
+        }
     }
 
     /// The [`sloth_sql::Footprint`] of one statement, answered from the
@@ -557,56 +683,53 @@ impl SimEnv {
     /// footprints here, so repeated statements never re-derive their
     /// table/key sets.
     pub fn footprint_of(&self, sql: &str) -> sloth_sql::Footprint {
-        let db = {
-            let inner = self.lock();
-            match &inner.backend {
-                Backend::Single(db) => Arc::clone(db),
-                Backend::Sharded(fleet) => return fleet.footprint_of(sql),
-            }
-        };
-        let fp = db
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .footprint_of(sql);
-        fp
+        match &*self.backend {
+            Backend::Single(db) => db
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .footprint_of(sql),
+            Backend::Sharded(fleet) => fleet
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .footprint_of(sql),
+        }
     }
 
     /// Footprint-cache counters of the backend.
     pub fn footprint_cache_stats(&self) -> sloth_sql::FootprintCacheStats {
-        let db = {
-            let inner = self.lock();
-            match &inner.backend {
-                Backend::Single(db) => Arc::clone(db),
-                Backend::Sharded(fleet) => return fleet.footprint_cache_stats(),
-            }
-        };
-        let stats = db
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .footprint_cache_stats();
-        stats
+        match &*self.backend {
+            Backend::Single(db) => db
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .footprint_cache_stats(),
+            Backend::Sharded(fleet) => fleet
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .footprint_cache_stats(),
+        }
     }
 
     /// Plan-cache counters of the backend (summed across shards on a
     /// sharded deployment).
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
-        let db = {
-            let inner = self.lock();
-            match &inner.backend {
-                Backend::Single(db) => Arc::clone(db),
-                Backend::Sharded(fleet) => return fleet.plan_cache_stats(),
-            }
-        };
-        let stats = db
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .plan_cache_stats();
-        stats
+        match &*self.backend {
+            Backend::Single(db) => db
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .plan_cache_stats(),
+            Backend::Sharded(fleet) => fleet
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .plan_cache_stats(),
+        }
     }
 
     /// Replaces the cost model (used by the latency-sweep experiments).
     pub fn set_cost_model(&self, cost: CostModel) {
-        self.lock().cost = cost;
+        *self
+            .cost
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = cost;
     }
 
     /// Installs (or, with `None`, clears) the deterministic fault plan.
@@ -614,31 +737,34 @@ impl SimEnv {
     /// the statement journal, so the schedule replays from trip 0 — the
     /// knob a failing chaos seed is reproduced with.
     pub fn set_faults(&self, plan: Option<FaultPlan>) {
-        let mut inner = self.lock();
-        inner.faults = plan;
-        inner.trip_seq = 0;
-        inner.fault_stats = fault::FaultStats::default();
-        inner.journal.clear();
+        // Flip the lock-free mirror while holding the fault lock, so the
+        // batch path's fast gate and the installed plan change together.
+        let mut fault = self.fault();
+        self.faults_on.store(plan.is_some(), Ordering::Relaxed);
+        fault.plan = plan;
+        fault.trip_seq = 0;
+        fault.stats = fault::FaultStats::default();
+        fault.journal.clear();
     }
 
     /// The fault plan currently installed (`None` = perfect network).
     pub fn faults(&self) -> Option<FaultPlan> {
-        self.lock().faults.clone()
+        self.fault().plan.clone()
     }
 
     /// Fault-injection and recovery counters.
     pub fn fault_stats(&self) -> FaultStats {
-        self.lock().fault_stats
+        self.fault().stats
     }
 
     /// Replaces the retry / backoff / deadline policy.
     pub fn set_retry_policy(&self, policy: RetryPolicy) {
-        self.lock().retry = policy;
+        self.fault().retry = policy;
     }
 
     /// The retry policy in force.
     pub fn retry_policy(&self) -> RetryPolicy {
-        self.lock().retry
+        self.fault().retry
     }
 
     /// Puts the deployment in **real-time mode**: after each round trip,
@@ -669,33 +795,38 @@ impl SimEnv {
         self.clock.now_ns()
     }
 
-    /// Charges application-server computation time.
+    /// Charges application-server computation time. Lock-free: the clock
+    /// and the `app_ns` counter are atomics.
     pub fn charge_app(&self, ns: u64) {
         self.clock.advance(ns);
-        let mut inner = self.lock();
-        inner.stats.app_ns = inner.stats.app_ns.saturating_add(ns);
+        sat_add(&self.stats.app_ns, ns);
     }
 
-    /// Snapshot of the accumulated statistics.
+    /// Snapshot of the accumulated statistics. Lock-free: never blocks an
+    /// in-flight batch, and an in-flight batch never blocks it.
     pub fn stats(&self) -> NetStats {
-        self.lock().stats
+        self.stats.snapshot()
     }
 
     /// Resets statistics and clock (database contents are kept) — the
     /// paper's "restart servers between measurements".
     pub fn reset_stats(&self) {
-        let mut inner = self.lock();
-        inner.stats = NetStats::default();
-        inner.fault_stats = fault::FaultStats::default();
-        inner.trip_seq = 0;
-        inner.journal.clear();
+        self.stats.reset();
+        {
+            let mut fault = self.fault();
+            fault.stats = fault::FaultStats::default();
+            fault.trip_seq = 0;
+            fault.journal.clear();
+        }
         // Counters only: surviving entries are still legal (the database
         // contents are kept, and invalidation never paused).
-        inner.result_cache.reset_stats();
-        if let Backend::Sharded(fleet) = &mut inner.backend {
-            fleet.reset_stats();
+        self.cache().reset_stats();
+        if let Backend::Sharded(fleet) = &*self.backend {
+            fleet
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .reset_stats();
         }
-        drop(inner);
         self.clock.reset();
     }
 
@@ -1022,15 +1153,17 @@ impl SimEnv {
     ///
     /// Footprints come from the caller when threaded (dispatcher
     /// admission, store deferral) and from the backend's per-template
-    /// footprint cache otherwise — resolved *before* the deployment lock
-    /// is taken, honouring the driver's lock discipline.
+    /// footprint cache otherwise — resolved *before* the cache lock is
+    /// taken, honouring the lock hierarchy (cache above database, never
+    /// both at once).
     fn probe_result_cache(
         &self,
         sqls: &[String],
         footprints: Option<&[sloth_sql::Footprint]>,
         bypass: bool,
     ) -> Option<CacheProbe> {
-        if !self.lock().result_cache.enabled() {
+        // Lock-free gate: the default cache-off path never takes a mutex.
+        if !self.cache_on.load(Ordering::Relaxed) {
             return None;
         }
         let norms: Vec<Option<sloth_sql::Normalized>> = sqls
@@ -1049,7 +1182,7 @@ impl SimEnv {
         };
         let mut hits: Vec<Option<ResultSet>> = vec![None; sqls.len()];
         let mut ship: Vec<usize> = Vec::with_capacity(sqls.len());
-        let mut inner = self.lock();
+        let mut cache = self.cache();
         for i in 0..sqls.len() {
             let eligible = !bypass
                 && norms[i].is_some()
@@ -1058,14 +1191,14 @@ impl SimEnv {
             if eligible {
                 let n = norms[i].as_ref().expect("eligible reads normalize");
                 let key = (n.template.clone(), n.params.clone());
-                if let Some(rs) = inner.result_cache.probe(&key) {
+                if let Some(rs) = cache.probe(&key) {
                     hits[i] = Some(rs);
                     continue;
                 }
             }
             ship.push(i);
         }
-        drop(inner);
+        drop(cache);
         Some(CacheProbe {
             n: sqls.len(),
             hits,
@@ -1084,16 +1217,22 @@ impl SimEnv {
     /// a read that trails a conflicting in-batch write refills *after*
     /// that write's invalidation, leaving the fresh post-write entry.
     fn settle_result_cache(&self, probe: &CacheProbe, results: &[Option<ResultSet>]) {
-        let mut inner = self.lock();
+        let mut cache = self.cache();
+        // The cache may have been disabled (and cleared) between this
+        // batch's probe and its settlement; filling a disabled cache
+        // would smuggle an entry past the "nothing survives a disabled
+        // window" guarantee. Writes still invalidate — a no-op on the
+        // cleared map, and correct if the cache was re-enabled since.
+        let may_fill = cache.enabled();
         for (k, &i) in probe.ship.iter().enumerate() {
             let Some(rs) = results.get(k).and_then(|r| r.as_ref()) else {
                 continue; // not executed (at or past the failing position)
             };
             if probe.fps[i].has_writes() {
-                inner.result_cache.invalidate(&probe.fps[i]);
-            } else if !probe.bypass {
+                cache.invalidate(&probe.fps[i]);
+            } else if !probe.bypass && may_fill {
                 if let Some(n) = &probe.norms[i] {
-                    inner.result_cache.fill(
+                    cache.fill(
                         (n.template.clone(), n.params.clone()),
                         rs.clone(),
                         probe.fps[i].reads.clone(),
@@ -1108,10 +1247,10 @@ impl SimEnv {
     /// shipped write footprint invalidates conservatively — a stale miss
     /// costs a round trip, a stale hit would cost correctness.
     fn invalidate_after_ambiguous_failure(&self, probe: &CacheProbe) {
-        let mut inner = self.lock();
+        let mut cache = self.cache();
         for &i in &probe.ship {
             if probe.fps[i].has_writes() {
-                inner.result_cache.invalidate(&probe.fps[i]);
+                cache.invalidate(&probe.fps[i]);
             }
         }
     }
@@ -1133,44 +1272,48 @@ impl SimEnv {
         sqls: &[String],
         footprints: Option<&[sloth_sql::Footprint]>,
     ) -> Result<RanBatch, SqlError> {
-        let (policy, has_faults) = {
-            let inner = self.lock();
-            (inner.retry, inner.faults.is_some())
-        };
-        if !has_faults {
+        // Lock-free gate: the perfect-network path never touches the
+        // fault mutex at all.
+        if !self.faults_on.load(Ordering::Relaxed) {
             return Ok(self.run_batch(sqls, footprints, None, None));
         }
-        let tag = {
-            let mut inner = self.lock();
-            let tag = inner.next_batch_tag;
-            inner.next_batch_tag += 1;
-            tag
+        // The fleet size is fixed at construction; resolve it before the
+        // retry loop (brief fleet lock, held alone).
+        let n_shards = match &*self.backend {
+            Backend::Sharded(fleet) => fleet
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .n_shards(),
+            Backend::Single(_) => 0,
+        };
+        let (policy, tag) = {
+            let mut fault = self.fault();
+            let tag = fault.next_batch_tag;
+            fault.next_batch_tag += 1;
+            (fault.retry, tag)
         };
         let mut faulted = false;
         let mut attempt = 0u32;
         loop {
             attempt += 1;
-            // Draw this trip's fate under the deployment lock (the trip
+            // Draw this trip's fate under the fault lock (the trip
             // sequence is global), then release it before executing.
             let (decision, down, skip) = {
-                let mut inner = self.lock();
-                let trip = inner.trip_seq;
-                inner.trip_seq += 1;
-                let plan = inner.faults.clone();
-                let decision = plan
+                let mut fault = self.fault();
+                let trip = fault.trip_seq;
+                fault.trip_seq += 1;
+                let decision = fault
+                    .plan
                     .as_ref()
                     .map_or(fault::FaultDecision::Deliver, |p| p.decide(trip));
-                let n_shards = match &inner.backend {
-                    Backend::Sharded(fleet) => fleet.n_shards(),
-                    Backend::Single(_) => 0,
-                };
-                let down = plan
+                let down = fault
+                    .plan
                     .as_ref()
                     .filter(|_| n_shards > 0)
                     .and_then(|p| p.down_shards(trip, n_shards));
                 let skip: Vec<Option<ResultSet>> = (0..sqls.len())
                     .map(|i| {
-                        inner
+                        fault
                             .journal
                             .get(&fault::stmt_id(tag, i))
                             .map(|(rs, _)| rs.clone())
@@ -1180,13 +1323,13 @@ impl SimEnv {
                 if hits > 0 {
                     let writes = (0..sqls.len())
                         .filter(|i| {
-                            inner
+                            fault
                                 .journal
                                 .get(&fault::stmt_id(tag, *i))
                                 .is_some_and(|(_, w)| *w)
                         })
                         .count() as u64;
-                    let fs = &mut inner.fault_stats;
+                    let fs = &mut fault.stats;
                     fs.journal_hits = fs.journal_hits.saturating_add(hits);
                     fs.deduped_writes = fs.deduped_writes.saturating_add(writes);
                 }
@@ -1196,19 +1339,19 @@ impl SimEnv {
                     skip.iter().any(Option::is_some).then_some(skip),
                 )
             };
-            let cost = { self.lock().cost };
+            let cost = self.cost();
             match decision {
                 fault::FaultDecision::Panic => {
                     // Injected inside the driver, before anything ships:
                     // exercises the store's flush drop-guard and the
                     // dispatcher's leader unwind. No locks are held.
-                    self.lock().fault_stats.injected_panics += 1;
+                    self.fault().stats.injected_panics += 1;
                     panic!("injected fault: driver panic");
                 }
                 fault::FaultDecision::Drop => {
                     // Request lost before the backend: the trip's latency
                     // is wasted, nothing executed, replay is verbatim.
-                    self.lock().fault_stats.injected_drops += 1;
+                    self.fault().stats.injected_drops += 1;
                     self.charge_faulted_attempt(cost.rtt_ns, 0, 0);
                     faulted = true;
                     if attempt >= policy.max_attempts {
@@ -1226,7 +1369,7 @@ impl SimEnv {
                             // the reply is lost. Journal everything that
                             // ran so the replay dedupes, charge the
                             // deadline wait plus the backend's work.
-                            self.lock().fault_stats.injected_timeouts += 1;
+                            self.fault().stats.injected_timeouts += 1;
                             self.journal_attempt(tag, &ran);
                             let wire = policy
                                 .deadline_ns
@@ -1241,7 +1384,7 @@ impl SimEnv {
                         }
                         // Slow trip: the reply made it under the deadline;
                         // the batch succeeds with the inflated charge.
-                        self.lock().fault_stats.slow_trips += 1;
+                        self.fault().stats.slow_trips += 1;
                         ran.rtt_ns = inflated;
                     }
                     if let Some((pos, e)) = &ran.exec.error {
@@ -1251,7 +1394,7 @@ impl SimEnv {
                             // charge proportionally and retry — the
                             // window may have passed by the next trip.
                             let (pos, e) = (*pos, e.clone());
-                            self.lock().fault_stats.outage_errors += 1;
+                            self.fault().stats.outage_errors += 1;
                             self.journal_attempt(tag, &ran);
                             let share = ran
                                 .rtt_ns
@@ -1272,14 +1415,14 @@ impl SimEnv {
                     }
                     // Success, or a genuine SQL error (which a retry
                     // would only repeat): hand back to the caller.
-                    let mut inner = self.lock();
+                    let mut fault = self.fault();
                     for i in 0..sqls.len() {
-                        inner.journal.remove(&fault::stmt_id(tag, i));
+                        fault.journal.remove(&fault::stmt_id(tag, i));
                     }
                     if faulted {
-                        inner.fault_stats.recovered_batches += 1;
+                        fault.stats.recovered_batches += 1;
                     }
-                    drop(inner);
+                    drop(fault);
                     return Ok(ran);
                 }
             }
@@ -1290,11 +1433,11 @@ impl SimEnv {
     /// entries, counts it, and builds the transient error the caller
     /// surfaces.
     fn abandon_batch(&self, tag: u64, n: usize) -> SqlError {
-        let mut inner = self.lock();
+        let mut fault = self.fault();
         for i in 0..n {
-            inner.journal.remove(&fault::stmt_id(tag, i));
+            fault.journal.remove(&fault::stmt_id(tag, i));
         }
-        inner.fault_stats.exhausted_batches += 1;
+        fault.stats.exhausted_batches += 1;
         transient_error("retry budget exhausted")
     }
 
@@ -1303,11 +1446,11 @@ impl SimEnv {
     /// Reads are journaled too: a replayed read re-executing *after* an
     /// already-applied same-batch write would observe the wrong state.
     fn journal_attempt(&self, tag: u64, ran: &RanBatch) {
-        let mut inner = self.lock();
+        let mut fault = self.fault();
         for (i, r) in ran.exec.results.iter().enumerate() {
             if let Some(rs) = r {
                 let is_write = ran.is_write.get(i).copied().unwrap_or(false);
-                inner
+                fault
                     .journal
                     .insert(fault::stmt_id(tag, i), (rs.clone(), is_write));
             }
@@ -1319,35 +1462,31 @@ impl SimEnv {
     /// batch's statements are counted once, on its final attempt).
     fn charge_faulted_attempt(&self, network_ns: u64, db_ns: u64, bytes: u64) {
         self.clock.advance(network_ns.saturating_add(db_ns));
-        {
-            let mut inner = self.lock();
-            let stats = &mut inner.stats;
-            stats.round_trips = stats.round_trips.saturating_add(1);
-            stats.network_ns = stats.network_ns.saturating_add(network_ns);
-            stats.db_ns = stats.db_ns.saturating_add(db_ns);
-            stats.bytes = stats.bytes.saturating_add(bytes);
-        }
+        sat_add(&self.stats.round_trips, 1);
+        sat_add(&self.stats.network_ns, network_ns);
+        sat_add(&self.stats.db_ns, db_ns);
+        sat_add(&self.stats.bytes, bytes);
         self.realtime_sleep(network_ns);
     }
 
     /// Charges one exponential-backoff wait as simulated network time.
     fn charge_backoff(&self, ns: u64) {
         self.clock.advance(ns);
+        sat_add(&self.stats.network_ns, ns);
         {
-            let mut inner = self.lock();
-            inner.stats.network_ns = inner.stats.network_ns.saturating_add(ns);
-            inner.fault_stats.retries += 1;
-            inner.fault_stats.backoff_ns = inner.fault_stats.backoff_ns.saturating_add(ns);
+            let mut fault = self.fault();
+            fault.stats.retries += 1;
+            fault.stats.backoff_ns = fault.stats.backoff_ns.saturating_add(ns);
         }
         self.realtime_sleep(ns);
     }
 
     /// Plans and executes one batch. Planning happens outside every lock;
-    /// a single-server batch executes under the database's own `RwLock`
-    /// *alone* — the driver never holds the deployment mutex while
-    /// waiting for the database lock, so out-of-band holders of
+    /// execution takes exactly one lock — the single server's `RwLock` or
+    /// the fleet's mutex — held alone, so out-of-band holders of
     /// [`SimEnv::database`] cannot form a lock-order cycle with the
-    /// driver path.
+    /// driver path, and stats/clock readers never block behind an
+    /// executing batch.
     ///
     /// `skip` carries journaled results from a previous ambiguous attempt
     /// (those positions are answered from the journal, not re-executed);
@@ -1359,39 +1498,25 @@ impl SimEnv {
         skip: Option<&[Option<ResultSet>]>,
         down: Option<&[bool]>,
     ) -> RanBatch {
-        let (cost, cfg, single_db) = {
-            let inner = self.lock();
-            let db = match &inner.backend {
-                Backend::Single(db) => Some(Arc::clone(db)),
-                Backend::Sharded(_) => None,
-            };
-            (
-                inner.cost,
-                batch::BatchConfig {
-                    fusion: inner.fusion,
-                    write_aware: inner.write_batching,
-                    max_fused_arity: inner.arity_override.unwrap_or(inner.auto_arity),
-                },
-                db,
-            )
+        let cost = self.cost();
+        let cfg = batch::BatchConfig {
+            fusion: self.knobs.fusion.load(Ordering::Relaxed),
+            write_aware: self.knobs.write_batching.load(Ordering::Relaxed),
+            max_fused_arity: self.max_fused_arity(),
         };
         let plan = batch::plan_batch(sqls, &cfg, footprints);
-        let exec = match single_db {
-            Some(db) => {
+        let exec = match &*self.backend {
+            Backend::Single(db) => {
                 let mut db = db
                     .write()
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
                 batch::exec_single(&mut db, &cost, sqls, &plan, skip)
             }
-            // The backend kind is fixed at construction: no single
-            // database means this deployment is the sharded fleet, which
-            // lives inside the deployment lock (no second lock involved).
-            None => {
-                let mut inner = self.lock();
-                match &mut inner.backend {
-                    Backend::Sharded(fleet) => fleet.exec_batch(&cost, sqls, &plan, skip, down),
-                    Backend::Single(_) => unreachable!("backend kind is fixed at construction"),
-                }
+            Backend::Sharded(fleet) => {
+                let mut fleet = fleet
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                fleet.exec_batch(&cost, sqls, &plan, skip, down)
             }
         };
         let mut fused_members: Vec<Option<usize>> = vec![None; sqls.len()];
@@ -1434,37 +1559,40 @@ impl SimEnv {
         let network_ns = rtt_share.saturating_add(cost.per_byte_ns.saturating_mul(ran.exec.bytes));
         self.clock
             .advance(network_ns.saturating_add(ran.exec.db_ns));
-        {
-            let mut inner = self.lock();
-            let stats = &mut inner.stats;
-            stats.round_trips = stats.round_trips.saturating_add(1);
-            stats.queries = stats
-                .queries
-                .saturating_add(executed.unwrap_or(n_sqls) as u64);
-            stats.network_ns = stats.network_ns.saturating_add(network_ns);
-            stats.db_ns = stats.db_ns.saturating_add(ran.exec.db_ns);
-            stats.bytes = stats.bytes.saturating_add(ran.exec.bytes);
-            stats.max_batch = stats.max_batch.max(n_sqls as u64);
-            stats.fused_queries = stats.fused_queries.saturating_add(ran.exec.fused_queries);
-            stats.fused_groups = stats.fused_groups.saturating_add(ran.exec.fused_groups);
-            // Self-tuning fused-probe arity: each distinct `IN (?, …)`
-            // arity is its own plan-cache template, so under template
-            // churn (observed as fresh evictions) the cap halves to slow
-            // the churn down; a quiet cache doubles it back to the
-            // default. An explicit override freezes the tuner.
-            if inner.arity_override.is_none() {
-                let evictions = ran.exec.plan_evictions;
-                if evictions > inner.last_evictions {
-                    inner.auto_arity = (inner.auto_arity / 2).max(batch::MIN_AUTO_FUSED_ARITY);
-                } else if inner.auto_arity < batch::DEFAULT_MAX_FUSED_ARITY {
-                    inner.auto_arity = (inner.auto_arity * 2).min(batch::DEFAULT_MAX_FUSED_ARITY);
-                }
-                inner.last_evictions = evictions;
-            }
+        sat_add(&self.stats.round_trips, 1);
+        sat_add(&self.stats.queries, executed.unwrap_or(n_sqls) as u64);
+        sat_add(&self.stats.network_ns, network_ns);
+        sat_add(&self.stats.db_ns, ran.exec.db_ns);
+        sat_add(&self.stats.bytes, ran.exec.bytes);
+        self.stats
+            .max_batch
+            .fetch_max(n_sqls as u64, Ordering::Relaxed);
+        sat_add(&self.stats.fused_queries, ran.exec.fused_queries);
+        sat_add(&self.stats.fused_groups, ran.exec.fused_groups);
+        // Self-tuning fused-probe arity: each distinct `IN (?, …)` arity
+        // is its own plan-cache template, so under template churn
+        // (observed as fresh evictions) the cap halves to slow the churn
+        // down; a quiet cache doubles it back to the default. An explicit
+        // override freezes the tuner. Lock-free: concurrent batches may
+        // interleave their adjustments, but the cap always stays inside
+        // [MIN_AUTO_FUSED_ARITY, DEFAULT_MAX_FUSED_ARITY] and converges
+        // the same way — the tuner is a heuristic, not an invariant.
+        if self.knobs.arity_override.load(Ordering::Relaxed) == 0 {
+            let evictions = ran.exec.plan_evictions;
+            let last = self.knobs.last_evictions.swap(evictions, Ordering::Relaxed);
+            let cur = self.knobs.auto_arity.load(Ordering::Relaxed);
+            let next = if evictions > last {
+                (cur / 2).max(batch::MIN_AUTO_FUSED_ARITY)
+            } else if cur < batch::DEFAULT_MAX_FUSED_ARITY {
+                (cur * 2).min(batch::DEFAULT_MAX_FUSED_ARITY)
+            } else {
+                cur
+            };
+            self.knobs.auto_arity.store(next, Ordering::Relaxed);
         }
-        // Real-time mode: pay the network latency in real wall-clock time,
-        // after releasing the deployment lock so concurrent sessions
-        // overlap their waits (the whole point of measuring with threads).
+        // Real-time mode: pay the network latency in real wall-clock time
+        // (no lock is held here, so concurrent sessions overlap their
+        // waits — the whole point of measuring with threads).
         self.realtime_sleep(network_ns);
     }
 

@@ -35,7 +35,9 @@
 //! unchanged on a sharded fleet.
 
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::Arc;
+use std::sync::mpsc;
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::{Duration, Instant};
 
 use sloth_sql::ast::{Aggregate, BinOp, ColumnRef, Expr, Join, Projection, Statement, TableRef};
 use sloth_sql::engine::eval_const;
@@ -81,6 +83,17 @@ pub struct ShardStats {
     /// Replica-routed reads that failed over to another replica because
     /// their preferred shard was inside an outage window.
     pub replica_failovers: u64,
+    /// Multi-shard read waves executed concurrently on the shard worker
+    /// threads (scatter-gathers, scattered aggregates, split fused
+    /// probes). Single-target reads never enter a wave.
+    pub parallel_waves: u64,
+    /// Wall-clock time the coordinator spent inside parallel waves (ns).
+    pub parallel_wave_ns: u64,
+    /// Summed per-worker busy time inside parallel waves (ns). With real
+    /// db sleeps enabled ([`crate::ShardedEnv::set_db_realtime_ppm`]),
+    /// `parallel_busy_ns / parallel_wave_ns` measures genuine overlap: a
+    /// ratio near the shard count means the wave truly ran in parallel.
+    pub parallel_busy_ns: u64,
 }
 
 impl ShardStats {
@@ -163,9 +176,74 @@ fn exec_cost(cost: &CostModel, stats: &ExecStats) -> u64 {
         + cost.db_row_out_ns * stats.rows_returned
 }
 
+/// Turns modeled shard db time into real time: sleep `ns × ppm / 1e6`.
+/// `ppm == 0` (the default everywhere but the wall-clock bench) is free.
+/// Workers call this *inside* a wave, so the sleeps of a scatter-gather
+/// overlap and the wall clock observes the fleet's true parallelism.
+fn db_sleep(ppm: u64, ns: u64) {
+    if ppm > 0 && ns > 0 {
+        std::thread::sleep(Duration::from_nanos(ns.saturating_mul(ppm) / 1_000_000));
+    }
+}
+
+/// A job queued on one shard's worker thread.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// One persistent worker thread per shard, executing read-wave jobs.
+///
+/// Spawned lazily on the first multi-target wave, so single-shard fleets
+/// and purely point-routed workloads never pay for threads. Each worker
+/// drains an mpsc queue until the fleet (and with it the senders) drops;
+/// `Drop` then joins the threads.
+struct ShardPool {
+    senders: Vec<mpsc::Sender<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ShardPool {
+    fn new(shards: usize) -> Self {
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let (tx, rx) = mpsc::channel::<Job>();
+            senders.push(tx);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("shard-{s}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn shard worker"),
+            );
+        }
+        ShardPool { senders, workers }
+    }
+
+    /// Queues `job` on shard `s`'s worker. A send only fails if the
+    /// worker died (a panic inside the engine); the job is then dropped
+    /// with its result sender, and the wave collector surfaces the loss.
+    fn run(&self, s: usize, job: Job) {
+        let _ = self.senders[s].send(job);
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        self.senders.clear(); // workers see a closed queue and exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
 /// The fleet: N independent shard databases plus the router state.
 pub(crate) struct Fleet {
-    shards: Vec<Database>,
+    /// Each shard behind its own `RwLock`: wave workers lock only their
+    /// own shard, the coordinator locks one shard at a time — there is
+    /// no fleet-wide database lock on any execution path.
+    shards: Vec<Arc<RwLock<Database>>>,
     spec: ShardSpec,
     /// Per-table row sequences: every inserted row gets its table's next
     /// id, on whichever shard (replicated inserts share one id across all
@@ -182,23 +260,117 @@ pub(crate) struct Fleet {
     /// from the fault plan and cleared before it returns, so unmetered
     /// seeding never observes a stale outage.
     down: Vec<bool>,
+    /// Worker threads for parallel read waves, spawned on first use.
+    pool: Option<ShardPool>,
+    /// Modeled-db-time → real-sleep scale (parts per million). Zero
+    /// disables sleeping; the wall-clock shard bench sets it so timing a
+    /// run measures the fleet's genuine overlap.
+    db_sleep_ppm: u64,
 }
 
 impl Fleet {
     pub(crate) fn new(spec: ShardSpec, shards: usize) -> Self {
         let shards = shards.max(1);
         Fleet {
-            shards: (0..shards).map(|_| Database::new()).collect(),
+            shards: (0..shards)
+                .map(|_| Arc::new(RwLock::new(Database::new())))
+                .collect(),
             spec,
             next_rid: HashMap::new(),
             routes: RouteCache::default(),
             stats: ShardStats::new(shards),
             down: Vec::new(),
+            pool: None,
+            db_sleep_ppm: 0,
         }
     }
 
     pub(crate) fn n_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    pub(crate) fn set_db_sleep_ppm(&mut self, ppm: u64) {
+        self.db_sleep_ppm = ppm;
+    }
+
+    /// Write guard on shard `s`'s database (execution takes `&mut`).
+    fn db(&self, s: usize) -> RwLockWriteGuard<'_, Database> {
+        self.shards[s]
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Read guard on shard `s`'s database (catalog / cache stats).
+    fn db_read(&self, s: usize) -> RwLockReadGuard<'_, Database> {
+        self.shards[s]
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Runs one closure per target shard **concurrently** — each on its
+    /// shard's worker thread — and returns the outcomes in `targets`
+    /// order.
+    ///
+    /// Legality: waves carry only reads. A job locks its own shard's
+    /// `RwLock` and nothing else, so jobs cannot deadlock against each
+    /// other or against the coordinator (which blocks only on the result
+    /// channel). All cost and stat accounting stays on the coordinator
+    /// and is applied *in target order* after collection, so the books —
+    /// including partial accounting on error — are byte-identical to the
+    /// sequential loop this replaces; the order-exact k-way merge then
+    /// consumes per-shard results exactly as before. A single-target
+    /// wave runs inline: no handoff, and no pool for fleets that never
+    /// scatter.
+    fn run_wave<T: Send + 'static>(
+        &mut self,
+        targets: &[usize],
+        mut make: impl FnMut(usize) -> Box<dyn FnOnce(&mut Database) -> Result<T, SqlError> + Send>,
+    ) -> Vec<Result<T, SqlError>> {
+        if targets.len() <= 1 {
+            return targets
+                .iter()
+                .map(|&s| {
+                    let job = make(s);
+                    let mut db = self.db(s);
+                    job(&mut db)
+                })
+                .collect();
+        }
+        let wall = Instant::now();
+        if self.pool.is_none() {
+            self.pool = Some(ShardPool::new(self.shards.len()));
+        }
+        let pool = self.pool.as_ref().expect("pool just ensured");
+        let (tx, rx) = mpsc::channel::<(usize, u64, Result<T, SqlError>)>();
+        for (i, &s) in targets.iter().enumerate() {
+            let job = make(s);
+            let db = Arc::clone(&self.shards[s]);
+            let tx = tx.clone();
+            pool.run(
+                s,
+                Box::new(move || {
+                    let t0 = Instant::now();
+                    let out = job(&mut db.write().unwrap_or_else(PoisonError::into_inner));
+                    let _ = tx.send((i, t0.elapsed().as_nanos() as u64, out));
+                }),
+            );
+        }
+        drop(tx);
+        let mut outs: Vec<Option<Result<T, SqlError>>> = targets.iter().map(|_| None).collect();
+        let mut busy = 0u64;
+        for _ in targets {
+            let (i, ns, out) = rx
+                .recv()
+                .expect("a shard worker died without answering its wave slot");
+            busy += ns;
+            outs[i] = Some(out);
+        }
+        self.stats.parallel_waves += 1;
+        self.stats.parallel_busy_ns += busy;
+        self.stats.parallel_wave_ns += wall.elapsed().as_nanos() as u64;
+        outs.into_iter()
+            .map(|o| o.expect("every wave slot answered"))
+            .collect()
     }
 
     /// Is shard `s` reachable during the current round trip?
@@ -225,8 +397,8 @@ impl Fleet {
 
     pub(crate) fn plan_cache_stats(&self) -> PlanCacheStats {
         let mut total = PlanCacheStats::default();
-        for db in &self.shards {
-            let s = db.plan_cache_stats();
+        for s in 0..self.shards.len() {
+            let s = self.db_read(s).plan_cache_stats();
             total.hits += s.hits;
             total.misses += s.misses;
             total.entries += s.entries;
@@ -237,9 +409,8 @@ impl Fleet {
 
     /// Live rows of `table` on each shard (diagnostics / examples).
     pub(crate) fn shard_row_counts(&self, table: &str) -> Vec<usize> {
-        self.shards
-            .iter()
-            .map(|db| db.table(table).map(|t| t.len()).unwrap_or(0))
+        (0..self.shards.len())
+            .map(|s| self.db_read(s).table(table).map(|t| t.len()).unwrap_or(0))
             .collect()
     }
 
@@ -382,12 +553,12 @@ impl Fleet {
     /// identical on every shard, so shard 0's per-template cache answers
     /// for the whole fleet.
     pub(crate) fn footprint_of(&self, sql: &str) -> sloth_sql::Footprint {
-        self.shards[0].footprint_of(sql)
+        self.db_read(0).footprint_of(sql)
     }
 
     /// Fleet-wide footprint-cache counters (shard 0 holds the cache).
     pub(crate) fn footprint_cache_stats(&self) -> sloth_sql::FootprintCacheStats {
-        self.shards[0].footprint_cache_stats()
+        self.db_read(0).footprint_cache_stats()
     }
 
     // ---- reads ---------------------------------------------------------
@@ -474,11 +645,13 @@ impl Fleet {
         costs.bytes += sql.len() as u64;
         costs.statements[s] += 1;
         let out = match norm {
-            Some(norm) => self.shards[s].execute_select_normalized(sql, norm)?,
-            None => self.shards[s].execute(sql)?,
+            Some(norm) => self.db(s).execute_select_normalized(sql, norm)?,
+            None => self.db(s).execute(sql)?,
         };
-        costs.read_times[s].push(exec_cost(cost, &out.stats));
+        let ns = exec_cost(cost, &out.stats);
+        costs.read_times[s].push(ns);
         costs.bytes += out.result.wire_size() as u64;
+        db_sleep(self.db_sleep_ppm, ns);
         Ok(out.result)
     }
 
@@ -505,11 +678,22 @@ impl Fleet {
         if let Some(agg) = entry.agg.clone() {
             return self.gather_aggregate(targets, sql, norm, entry, &agg, cost, costs);
         }
+        let ppm = self.db_sleep_ppm;
+        let cm = *cost;
+        let outs = self.run_wave(targets, |_s| {
+            let sql = sql.to_string();
+            let norm = norm.clone();
+            Box::new(move |db: &mut Database| {
+                let (out, trace) = db.execute_select_traced(&sql, &norm)?;
+                db_sleep(ppm, exec_cost(&cm, &out.stats));
+                Ok((out, trace))
+            })
+        });
         let mut parts: Vec<(ResultSet, MergeTrace)> = Vec::with_capacity(targets.len());
-        for &s in targets {
+        for (&s, res) in targets.iter().zip(outs) {
             costs.bytes += sql.len() as u64;
             costs.statements[s] += 1;
-            let (out, trace) = self.shards[s].execute_select_traced(sql, norm)?;
+            let (out, trace) = res?;
             costs.read_times[s].push(exec_cost(cost, &out.stats));
             costs.bytes += out.result.wire_size() as u64;
             parts.push((out.result, trace.unwrap_or_default()));
@@ -540,11 +724,22 @@ impl Fleet {
             gather_sel.order_by.clear();
             gather_sel.limit = None;
             let gather_stmt = Statement::Select(gather_sel);
+            let ppm = self.db_sleep_ppm;
+            let cm = *cost;
+            let outs = self.run_wave(targets, |_s| {
+                let stmt = gather_stmt.clone();
+                let params = norm.params.clone();
+                Box::new(move |db: &mut Database| {
+                    let out = db.execute_stmt_with(&stmt, &params)?;
+                    db_sleep(ppm, exec_cost(&cm, &out.stats));
+                    Ok(out)
+                })
+            });
             let mut distinct: HashSet<Value> = HashSet::new();
-            for &s in targets {
+            for (&s, res) in targets.iter().zip(outs) {
                 costs.bytes += sql.len() as u64;
                 costs.statements[s] += 1;
-                let out = self.shards[s].execute_stmt_with(&gather_stmt, &norm.params)?;
+                let out = res?;
                 costs.read_times[s].push(exec_cost(cost, &out.stats));
                 costs.bytes += out.result.wire_size() as u64;
                 for row in out.result.rows {
@@ -559,12 +754,23 @@ impl Fleet {
                 vec![vec![Value::Int(distinct.len() as i64)]],
             ));
         }
+        let ppm = self.db_sleep_ppm;
+        let cm = *cost;
+        let outs = self.run_wave(targets, |_s| {
+            let sql = sql.to_string();
+            let norm = norm.clone();
+            Box::new(move |db: &mut Database| {
+                let out = db.execute_select_normalized(&sql, &norm)?;
+                db_sleep(ppm, exec_cost(&cm, &out.stats));
+                Ok(out)
+            })
+        });
         let mut partials: Vec<Value> = Vec::with_capacity(targets.len());
         let mut columns: Vec<String> = Vec::new();
-        for &s in targets {
+        for (&s, res) in targets.iter().zip(outs) {
             costs.bytes += sql.len() as u64;
             costs.statements[s] += 1;
-            let out = self.shards[s].execute_select_normalized(sql, norm)?;
+            let out = res?;
             costs.read_times[s].push(exec_cost(cost, &out.stats));
             costs.bytes += out.result.wire_size() as u64;
             columns = out.result.columns.clone();
@@ -667,6 +873,8 @@ impl Fleet {
             // A retry after the window closes re-executes only the
             // positions that truly needed the down shard.
             let mut down_err: Option<SqlError> = None;
+            let mut wave: Vec<usize> = Vec::new();
+            let mut probes: Vec<Option<(fuse::FusedPlan, String)>> = vec![None; n];
             for (s, vals) in per_shard.iter().enumerate() {
                 if vals.is_empty() {
                     continue;
@@ -677,9 +885,25 @@ impl Fleet {
                 }
                 let fplan = fuse::build_fused(&lookup.select, &lookup.column, vals);
                 let fsql = fuse::render_select(&fplan.stmt);
+                probes[s] = Some((fplan, fsql));
+                wave.push(s);
+            }
+            let ppm = self.db_sleep_ppm;
+            let cm = *cost;
+            let outs = self.run_wave(&wave, |s| {
+                let (fplan, _) = probes[s].as_ref().expect("wave target has a probe");
+                let stmt = fplan.stmt.clone();
+                Box::new(move |db: &mut Database| {
+                    let out = db.execute_stmt(&stmt)?;
+                    db_sleep(ppm, exec_cost(&cm, &out.stats));
+                    Ok(out)
+                })
+            });
+            for (&s, res) in wave.iter().zip(outs) {
+                let (fplan, fsql) = probes[s].as_ref().expect("wave target has a probe");
                 costs.bytes += fsql.len() as u64;
                 costs.statements[s] += 1;
-                let out = self.shards[s].execute_stmt(&fplan.stmt)?;
+                let out = res?;
                 costs.read_times[s].push(exec_cost(cost, &out.stats));
                 costs.bytes += out.result.wire_size() as u64;
                 self.stats.fused_subprobes += 1;
@@ -688,7 +912,7 @@ impl Fleet {
                     .filter(|(_, v)| shard_of(v, n) == s)
                     .cloned()
                     .collect();
-                for (m, rs) in batch::demux_fused(&out.result, &fplan, &local)? {
+                for (m, rs) in batch::demux_fused(&out.result, fplan, &local)? {
                     results[m] = Some(rs);
                 }
             }
@@ -709,20 +933,33 @@ impl Fleet {
             let s = self.failover(s)?;
             costs.bytes += fsql.len() as u64;
             costs.statements[s] += 1;
-            let out = self.shards[s].execute_stmt(&fplan.stmt)?;
-            costs.read_times[s].push(exec_cost(cost, &out.stats));
+            let out = self.db(s).execute_stmt(&fplan.stmt)?;
+            let ns = exec_cost(cost, &out.stats);
+            costs.read_times[s].push(ns);
             costs.bytes += out.result.wire_size() as u64;
+            db_sleep(self.db_sleep_ppm, ns);
             out.result
         } else {
             let descs: Vec<bool> = lookup.select.order_by.iter().map(|k| k.desc).collect();
             if let Some(s) = (0..n).find(|&s| !self.live(s)) {
                 return Err(Self::down_error(s));
             }
+            let all: Vec<usize> = (0..n).collect();
+            let ppm = self.db_sleep_ppm;
+            let cm = *cost;
+            let outs = self.run_wave(&all, |_s| {
+                let stmt = fplan.stmt.clone();
+                Box::new(move |db: &mut Database| {
+                    let (out, trace) = db.execute_stmt_traced(&stmt, &[])?;
+                    db_sleep(ppm, exec_cost(&cm, &out.stats));
+                    Ok((out, trace))
+                })
+            });
             let mut parts: Vec<(ResultSet, MergeTrace)> = Vec::with_capacity(n);
-            for s in 0..n {
+            for (&s, res) in all.iter().zip(outs) {
                 costs.bytes += fsql.len() as u64;
                 costs.statements[s] += 1;
-                let (out, trace) = self.shards[s].execute_stmt_traced(&fplan.stmt, &[])?;
+                let (out, trace) = res?;
                 costs.read_times[s].push(exec_cost(cost, &out.stats));
                 costs.bytes += out.result.wire_size() as u64;
                 parts.push((out.result, trace.unwrap_or_default()));
@@ -835,7 +1072,8 @@ impl Fleet {
     /// broadcasts, so every shard agrees). `None` when the table or
     /// column is missing; execution will then error identically anyway.
     fn key_column_type(&self, table: &str, key: &str) -> Option<sloth_sql::ast::ColumnType> {
-        let t = self.shards[0].table(table)?;
+        let db0 = self.db_read(0);
+        let t = db0.table(table)?;
         t.column_index(key).map(|ci| t.columns[ci].ty)
     }
 
@@ -852,8 +1090,10 @@ impl Fleet {
         }
         costs.bytes += sql.len() as u64;
         costs.statements[s] += 1;
-        let out = self.shards[s].execute_stmt(stmt)?;
-        costs.write_ns[s] += exec_cost(cost, &out.stats);
+        let out = self.db(s).execute_stmt(stmt)?;
+        let ns = exec_cost(cost, &out.stats);
+        costs.write_ns[s] += ns;
+        db_sleep(self.db_sleep_ppm, ns);
         Ok(out.result)
     }
 
@@ -912,7 +1152,8 @@ impl Fleet {
                     // Declaration order: position from the catalog (all
                     // shards share DDL; a missing table errors on shard 0
                     // exactly as the single server would).
-                    match self.shards[0].table(table) {
+                    let db0 = self.db_read(0);
+                    match db0.table(table) {
                         Some(t) => t.column_index(key),
                         None => {
                             return Err(SqlError::new(format!("no such table: {table}")));
@@ -967,12 +1208,13 @@ impl Fleet {
                     .unwrap_or(Value::Null);
                 let s = shard_of(&coerce_key(key_val, key_ty), n);
                 touched[s] = true;
-                self.shards[s].insert_row_at(table, columns, tuple, rid)?;
+                self.db(s).insert_row_at(table, columns, tuple, rid)?;
                 costs.statements[s] += 1;
             } else {
-                for (s, shard) in self.shards.iter_mut().enumerate() {
-                    touched[s] = true;
-                    shard.insert_row_at(table, columns, tuple.clone(), rid)?;
+                for (s, hit) in touched.iter_mut().enumerate().take(n) {
+                    *hit = true;
+                    self.db(s)
+                        .insert_row_at(table, columns, tuple.clone(), rid)?;
                     costs.statements[s] += 1;
                 }
             }
@@ -983,12 +1225,15 @@ impl Fleet {
         for (s, hit) in touched.iter().enumerate() {
             if *hit {
                 costs.bytes += sql.len() as u64;
-                costs.write_ns[s] += cost.db_base_ns + cost.db_row_out_ns * count;
+                let ns = cost.db_base_ns + cost.db_row_out_ns * count;
+                costs.write_ns[s] += ns;
+                db_sleep(self.db_sleep_ppm, ns);
             }
         }
         if count == 0 {
             costs.bytes += sql.len() as u64;
             costs.write_ns[0] += cost.db_base_ns;
+            db_sleep(self.db_sleep_ppm, cost.db_base_ns);
         }
         Ok(ResultSet::empty())
     }
@@ -1275,7 +1520,10 @@ impl ShardedEnv {
     /// A fleet of `shards` independent servers partitioned by `spec`.
     pub fn new(cost: CostModel, spec: ShardSpec, shards: usize) -> Self {
         ShardedEnv {
-            env: SimEnv::with_backend(cost, Backend::Sharded(Box::new(Fleet::new(spec, shards)))),
+            env: SimEnv::with_backend(
+                cost,
+                Backend::Sharded(std::sync::Mutex::new(Fleet::new(spec, shards))),
+            ),
         }
     }
 
@@ -1309,6 +1557,28 @@ impl ShardedEnv {
     /// Live rows of `table` on each shard.
     pub fn shard_row_counts(&self, table: &str) -> Vec<usize> {
         self.env.with_fleet(|f| f.shard_row_counts(table))
+    }
+
+    /// Scales modeled per-statement shard db time into **real sleeps**
+    /// (parts per million: `1_000_000` = real time, `0` = off, the
+    /// default). Workers sleep inside their wave slot, so timing a run
+    /// with a stopwatch measures the fleet's genuine overlap — the
+    /// wall-clock shard figure runs under this knob. Results and all
+    /// simulated accounting are unaffected.
+    pub fn set_db_realtime_ppm(&self, ppm: u64) {
+        self.env.with_fleet(|f| f.set_db_sleep_ppm(ppm));
+    }
+
+    /// `parallel_busy_ns / parallel_wave_ns` over all parallel waves so
+    /// far: how many shards' worth of db work overlapped per wall-clock
+    /// second inside waves. 0 when no multi-shard wave has run.
+    pub fn wave_overlap(&self) -> f64 {
+        let s = self.shard_stats();
+        if s.parallel_wave_ns == 0 {
+            0.0
+        } else {
+            s.parallel_busy_ns as f64 / s.parallel_wave_ns as f64
+        }
     }
 
     /// Seeds SQL through the router without charging time.
@@ -1703,9 +1973,8 @@ mod tests {
             .unwrap();
         }
         let counts = env.env().with_fleet(|f| {
-            f.shards
-                .iter()
-                .map(|db| db.table("project").unwrap().next_rowid())
+            (0..f.n_shards())
+                .map(|s| f.db_read(s).table("project").unwrap().next_rowid())
                 .collect::<Vec<_>>()
         });
         // 6 seeded + 40 inserted project rows → ids stay below 46 + seed
@@ -1772,5 +2041,30 @@ mod tests {
         env.query("SELECT * FROM issue WHERE project_id = 2 ORDER BY id")
             .unwrap();
         assert_eq!(env.stats().round_trips, trips);
+    }
+
+    #[test]
+    fn scatter_waves_overlap_on_the_wall_clock() {
+        let env = fleet(4);
+        // Make each shard's modeled cost a real ~25 ms sleep: a scatter
+        // costs ~230 µs per shard, so 110e6 ppm ≈ 25 ms of sleeping per
+        // worker. If the wave were sequential the wall clock would see
+        // ~100 ms and busy/wall ≈ 1; true parallelism keeps wall ≈ one
+        // sleep and pushes the ratio toward the shard count.
+        env.set_db_realtime_ppm(110_000_000);
+        let rs = env.query("SELECT * FROM issue ORDER BY id").unwrap();
+        env.set_db_realtime_ppm(0);
+        assert_eq!(
+            rs,
+            single().query("SELECT * FROM issue ORDER BY id").unwrap()
+        );
+        let s = env.shard_stats();
+        assert_eq!(s.parallel_waves, 1, "one scatter → one wave");
+        assert!(
+            s.parallel_busy_ns > s.parallel_wave_ns * 3 / 2,
+            "wave must genuinely overlap: busy {} ns vs wall {} ns",
+            s.parallel_busy_ns,
+            s.parallel_wave_ns
+        );
     }
 }

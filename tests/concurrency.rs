@@ -340,3 +340,235 @@ fn dispatched_write_mix_matches_serial_reference() {
         "write admission must not inflate dispatches: {d:?}"
     );
 }
+
+/// Satellite: the observability surfaces (`stats`, `now_ns`,
+/// `result_cache_stats`, `Dispatcher::stats`) must never block behind an
+/// in-flight batch. We wedge a batch mid-ship by holding the database
+/// write lock, then require a full set of stats reads to complete on a
+/// bounded timeout while the batch is provably still stuck.
+#[test]
+fn stats_reads_complete_while_a_batch_is_mid_ship() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::mpsc;
+
+    let schema = clinic_schema();
+    let env = seeded_env(&schema, 2);
+    let dispatcher = Arc::new(Dispatcher::new(env.clone()));
+
+    // Wedge the backend: while this guard lives, any batch that reaches
+    // the database blocks mid-ship.
+    let db = env.database();
+    let guard = db.write().unwrap();
+
+    let batch_done = Arc::new(AtomicBool::new(false));
+    let batch = {
+        let env = env.clone();
+        let done = Arc::clone(&batch_done);
+        std::thread::spawn(move || {
+            let rs = env
+                .query("SELECT name FROM patient WHERE patient_id = 1")
+                .unwrap();
+            done.store(true, Ordering::SeqCst);
+            rs
+        })
+    };
+    // Give the batch thread time to reach the database lock.
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(
+        !batch_done.load(Ordering::SeqCst),
+        "batch must be wedged mid-ship before the stats reads start"
+    );
+
+    // Every read-only surface must answer without the database lock.
+    let (tx, rx) = mpsc::channel();
+    {
+        let env = env.clone();
+        let dispatcher = Arc::clone(&dispatcher);
+        std::thread::spawn(move || {
+            let stats = env.stats();
+            let now = env.now_ns();
+            let cache = env.result_cache_stats();
+            let disp = dispatcher.stats();
+            tx.send((stats, now, cache, disp)).unwrap();
+        });
+    }
+    let (stats, _now, cache, disp) = rx
+        .recv_timeout(Duration::from_secs(5))
+        .expect("stats reads must not block behind an in-flight batch");
+    assert_eq!(
+        stats.queries, 0,
+        "seeding is unmetered and the wedged batch has not landed: {stats:?}"
+    );
+    assert_eq!(cache.hits, 0);
+    assert_eq!(disp.flushes, 0);
+    assert!(
+        !batch_done.load(Ordering::SeqCst),
+        "stats reads finished while the batch was still mid-ship"
+    );
+
+    drop(guard);
+    let rs = batch.join().unwrap();
+    assert_eq!(rs.get(0, "name").unwrap().as_str(), Some("patient-1"));
+}
+
+/// Satellite: the 64-session dispatcher stress suite. Thirty-two reader
+/// sessions render dashboards over a never-written key range (checked
+/// byte-for-byte against serial references) while thirty-two writer
+/// sessions mix footprint-disjoint row updates with inserts into one
+/// shared table (conflicting footprints that must serialize through
+/// admission). A monitor thread snapshots env + dispatcher stats
+/// throughout and requires every counter to be monotone — no torn or
+/// backwards reads under contention. Afterwards every write must have
+/// landed exactly once.
+#[test]
+fn stress_64_sessions_mixed_footprints_match_serial_references() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let schema = clinic_schema();
+    let read_pids = 16i64; // readers touch 1..=16, writers own 17..=48
+    let patients = 48i64;
+    let env = seeded_env(&schema, patients);
+    env.seed_sql("CREATE TABLE audit_log (id INT PRIMARY KEY, tag TEXT)")
+        .unwrap();
+    let dispatcher = Arc::new(Dispatcher::with_window(
+        env.clone(),
+        Duration::from_millis(1),
+    ));
+    let expected: Vec<String> = (1..=read_pids)
+        .map(|pid| reference_page(&schema, patients, pid))
+        .collect();
+
+    let n = 64usize;
+    let rounds = 3i64;
+    let done = Arc::new(AtomicBool::new(false));
+
+    // Monitor: counters may only move forward, even mid-dispatch.
+    let monitor = {
+        let env = env.clone();
+        let dispatcher = Arc::clone(&dispatcher);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut last = env.stats();
+            let mut last_d = dispatcher.stats();
+            let mut samples = 0u64;
+            while !done.load(Ordering::SeqCst) {
+                let s = env.stats();
+                let d = dispatcher.stats();
+                assert!(s.queries >= last.queries, "queries tore: {s:?} < {last:?}");
+                assert!(s.round_trips >= last.round_trips, "{s:?} < {last:?}");
+                assert!(s.bytes >= last.bytes, "{s:?} < {last:?}");
+                assert!(s.db_ns >= last.db_ns, "{s:?} < {last:?}");
+                assert!(d.flushes >= last_d.flushes, "{d:?} < {last_d:?}");
+                assert!(d.dispatches >= last_d.dispatches, "{d:?} < {last_d:?}");
+                assert!(
+                    d.dispatches <= d.flushes,
+                    "dispatches can never exceed flushes: {d:?}"
+                );
+                last = s;
+                last_d = d;
+                samples += 1;
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            samples
+        })
+    };
+
+    let barrier = Arc::new(Barrier::new(n));
+    let handles: Vec<_> = (0..n)
+        .map(|t| {
+            let dispatcher = Arc::clone(&dispatcher);
+            let schema = Arc::clone(&schema);
+            let expected = expected.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                if t % 2 == 0 {
+                    // Reader session: dashboards over the read-only range,
+                    // byte-identical to the serial reference every round.
+                    for round in 0..rounds {
+                        let pid = 1 + ((t as i64 / 2 + round * 7) % read_pids);
+                        let store = QueryStore::dispatched(Arc::clone(&dispatcher));
+                        let session = Session::deferred(store, Arc::clone(&schema));
+                        let page = render_dashboard(&session, pid);
+                        assert_eq!(
+                            page,
+                            expected[(pid - 1) as usize],
+                            "reader {t} round {round}"
+                        );
+                    }
+                } else {
+                    // Writer session: owns patient 17 + t/2 exclusively
+                    // (footprint-disjoint from every other writer) and
+                    // also inserts into the shared audit_log (conflicting
+                    // footprints across all writers).
+                    let pid = 17 + t as i64 / 2;
+                    for round in 0..rounds {
+                        let store = QueryStore::dispatched(Arc::clone(&dispatcher));
+                        let read = store
+                            .register(format!("SELECT name FROM patient WHERE patient_id = {pid}"))
+                            .unwrap();
+                        let write = store
+                            .register(format!(
+                                "UPDATE patient SET name = 'renamed-{pid}-{round}' \
+                                 WHERE patient_id = {pid}"
+                            ))
+                            .unwrap();
+                        let log = store
+                            .register(format!(
+                                "INSERT INTO audit_log VALUES ({}, 'w{t}r{round}')",
+                                t as i64 * 10 + round
+                            ))
+                            .unwrap();
+                        let before = store.result(read).unwrap();
+                        let want = if round == 0 {
+                            format!("patient-{pid}")
+                        } else {
+                            format!("renamed-{pid}-{}", round - 1)
+                        };
+                        assert_eq!(
+                            before.get(0, "name").unwrap().as_str(),
+                            Some(want.as_str()),
+                            "writer {t} round {round}"
+                        );
+                        assert!(store.result(write).unwrap().is_empty());
+                        assert!(store.result(log).unwrap().is_empty());
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    done.store(true, Ordering::SeqCst);
+    let samples = monitor.join().unwrap();
+    assert!(samples > 0, "the monitor observed the run");
+
+    // Exactly-once write effects: each writer's final rename landed, and
+    // every audit row exists exactly once (the PRIMARY KEY would have
+    // rejected any double-applied insert mid-run).
+    for t in (1..n).step_by(2) {
+        let pid = 17 + t as i64 / 2;
+        let rs = env
+            .query(&format!(
+                "SELECT name FROM patient WHERE patient_id = {pid}"
+            ))
+            .unwrap();
+        assert_eq!(
+            rs.get(0, "name").unwrap().as_str(),
+            Some(format!("renamed-{pid}-{}", rounds - 1).as_str())
+        );
+    }
+    let log = env.query("SELECT id FROM audit_log ORDER BY id").unwrap();
+    assert_eq!(log.len(), (n / 2) * rounds as usize, "every insert landed");
+    let ids: Vec<i64> = (0..log.len())
+        .map(|r| log.get(r, "id").unwrap().as_i64().unwrap())
+        .collect();
+    let mut deduped = ids.clone();
+    deduped.dedup();
+    assert_eq!(ids, deduped, "no insert was applied twice");
+
+    let d = dispatcher.stats();
+    assert!(d.dispatches < d.flushes, "coalescing happened: {d:?}");
+    assert!(d.coalesced_batches > 0, "{d:?}");
+}
