@@ -43,6 +43,11 @@ pub struct DeferralRow {
     pub write_only_flushes: u64,
     /// Conflict-triggered drains (deferral side).
     pub conflict_drains: u64,
+    /// Whole `BEGIN … COMMIT` blocks that deferred silently (deferral
+    /// side) — transaction-scoped laziness.
+    pub deferred_txns: u64,
+    /// Reads answered locally from deferred post-images (deferral side).
+    pub ryw_rewrites: u64,
     /// Whether both sides printed byte-identical output.
     pub outputs_equal: bool,
     /// Whether both sides left byte-identical database state.
@@ -63,11 +68,33 @@ pub struct DeferralFigure {
     pub rows: Vec<DeferralRow>,
 }
 
+/// The transaction-mixed pages of the figure: pages that either wrap
+/// their statements in `BEGIN … COMMIT` or interleave writes with
+/// conflicting reads — the shapes transaction-scoped laziness and
+/// defer-across-reads were built for.
+pub const TXN_PAGES: [&str; 3] = ["tpcc new_order", "tpcc payment", "itracker edit_issue.save"];
+
 impl DeferralFigure {
     /// Round-trip reduction over the whole write mix.
     pub fn overall_reduction(&self) -> f64 {
         let baseline: u64 = self.rows.iter().map(|r| r.baseline.round_trips).sum();
         let deferred: u64 = self.rows.iter().map(|r| r.deferred.round_trips).sum();
+        1.0 - deferred as f64 / baseline.max(1) as f64
+    }
+
+    /// The rows of the transaction-mixed pages ([`TXN_PAGES`]).
+    pub fn txn_rows(&self) -> Vec<&DeferralRow> {
+        self.rows
+            .iter()
+            .filter(|r| TXN_PAGES.contains(&r.name.as_str()))
+            .collect()
+    }
+
+    /// Round-trip reduction over the transaction-mixed pages only.
+    pub fn txn_reduction(&self) -> f64 {
+        let rows = self.txn_rows();
+        let baseline: u64 = rows.iter().map(|r| r.baseline.round_trips).sum();
+        let deferred: u64 = rows.iter().map(|r| r.deferred.round_trips).sum();
         1.0 - deferred as f64 / baseline.max(1) as f64
     }
 }
@@ -84,7 +111,7 @@ pub fn deferral_figure() -> DeferralFigure {
                 // laziness differs.
                 env.set_write_deferral(deferral);
                 let mut measure = WriteMixMeasure::default();
-                let mut stats = (0u64, 0u64, 0u64);
+                let mut stats = (0u64, 0u64, 0u64, 0u64, 0u64);
                 let mut output = Vec::new();
                 for t in 0..w.txns {
                     let r: RunResult = w
@@ -100,6 +127,8 @@ pub fn deferral_figure() -> DeferralFigure {
                         stats.0 += s.deferred_writes;
                         stats.1 += s.write_only_flushes;
                         stats.2 += s.conflict_drains;
+                        stats.3 += s.deferred_txns;
+                        stats.4 += s.ryw_rewrites;
                     }
                     output.extend(r.output);
                 }
@@ -117,6 +146,8 @@ pub fn deferral_figure() -> DeferralFigure {
                 deferred_writes: def_stats.0,
                 write_only_flushes: def_stats.1,
                 conflict_drains: def_stats.2,
+                deferred_txns: def_stats.3,
+                ryw_rewrites: def_stats.4,
                 outputs_equal: base_out == def_out,
                 state_equal: base_state == def_state,
             }
@@ -149,7 +180,8 @@ impl DeferralFigure {
                 "    {{\"name\": \"{}\", \"txns\": {}, \"outputs_equal\": {}, \
                  \"state_equal\": {}, \"round_trip_reduction_pct\": {:.1}, \
                  \"deferred_writes\": {}, \"write_only_flushes\": {}, \
-                 \"conflict_drains\": {}, \"write_aware\": {}, \"deferral\": {}}}{}\n",
+                 \"conflict_drains\": {}, \"deferred_txns\": {}, \"ryw_rewrites\": {}, \
+                 \"write_aware\": {}, \"deferral\": {}}}{}\n",
                 row.name,
                 row.txns,
                 row.outputs_equal,
@@ -158,12 +190,46 @@ impl DeferralFigure {
                 row.deferred_writes,
                 row.write_only_flushes,
                 row.conflict_drains,
+                row.deferred_txns,
+                row.ryw_rewrites,
                 measure_json(&row.baseline),
                 measure_json(&row.deferred),
                 if i + 1 < self.rows.len() { "," } else { "" }
             ));
         }
         out.push_str("  ],\n");
+        // Transaction-scoped laziness: the txn-mixed pages, with their
+        // own gate — ≥ 10 % fewer round trips over the three pages, and
+        // edit_issue.save (0 % before defer-across-reads) strictly > 0.
+        let txn_rows = self.txn_rows();
+        out.push_str("  \"txn\": {\n    \"pages\": [\n");
+        for (i, row) in txn_rows.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"name\": \"{}\", \"round_trip_reduction_pct\": {:.1}, \
+                 \"deferred_txns\": {}, \"ryw_rewrites\": {}, \"outputs_equal\": {}, \
+                 \"state_equal\": {}}}{}\n",
+                row.name,
+                row.round_trip_reduction() * 100.0,
+                row.deferred_txns,
+                row.ryw_rewrites,
+                row.outputs_equal,
+                row.state_equal,
+                if i + 1 < txn_rows.len() { "," } else { "" }
+            ));
+        }
+        let edit_save_cut = txn_rows
+            .iter()
+            .find(|r| r.name == "itracker edit_issue.save")
+            .map(|r| r.round_trip_reduction())
+            .unwrap_or(0.0);
+        out.push_str(&format!(
+            "    ],\n    \"gate\": {{\"txn_round_trip_reduction_pct\": {:.1}, \
+             \"min_required_pct\": 10.0, \"edit_issue_save_reduction_pct\": {:.1}, \
+             \"pass\": {}}}\n  }},\n",
+            self.txn_reduction() * 100.0,
+            edit_save_cut * 100.0,
+            self.txn_reduction() >= 0.10 && edit_save_cut > 0.0
+        ));
         out.push_str(&format!(
             "  \"gate\": {{\"overall_round_trip_reduction_pct\": {:.1}, \"min_required_pct\": 10.0, \
              \"pass\": {}}}\n}}\n",
@@ -218,6 +284,41 @@ mod tests {
             "deferral round-trip reduction {:.1}% < 10%",
             fig.overall_reduction() * 100.0
         );
+    }
+
+    /// The transaction-scoped laziness gates: the txn-mixed pages cut
+    /// ≥ 10 % of round trips as a group, `edit_issue.save` (0 % before
+    /// defer-across-reads) cuts strictly more than none, and the pages
+    /// with real `BEGIN … COMMIT` blocks actually defer them whole.
+    #[test]
+    fn txn_pages_meet_targets() {
+        let fig = deferral_figure();
+        let txn_rows = fig.txn_rows();
+        assert_eq!(txn_rows.len(), TXN_PAGES.len(), "all txn pages measured");
+        for row in &txn_rows {
+            assert!(row.outputs_equal, "{}: output diverged", row.name);
+            assert!(row.state_equal, "{}: final DB state diverged", row.name);
+        }
+        assert!(
+            fig.txn_reduction() >= 0.10,
+            "txn-page round-trip reduction {:.1}% < 10%",
+            fig.txn_reduction() * 100.0
+        );
+        let edit_save = txn_rows
+            .iter()
+            .find(|r| r.name == "itracker edit_issue.save")
+            .expect("edit_issue.save row");
+        assert!(
+            edit_save.round_trip_reduction() > 0.0,
+            "edit_issue.save must now benefit from defer-across-reads (was 0%)"
+        );
+        for name in ["tpcc new_order", "tpcc payment"] {
+            let row = txn_rows.iter().find(|r| r.name == name).unwrap();
+            assert!(
+                row.deferred_txns > 0,
+                "{name}: BEGIN…COMMIT blocks must defer whole"
+            );
+        }
     }
 
     #[test]

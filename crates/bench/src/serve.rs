@@ -26,9 +26,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use sloth_apps::BenchApp;
+use sloth_apps::{BenchApp, Page};
 use sloth_lang::{prepare, DataLayer, ExecStrategy, OptFlags, Prepared, V};
 use sloth_net::{CostModel, Dispatcher, DispatcherStats, SimEnv};
+use sloth_orm::{entity, Schema};
+use sloth_sql::ast::ColumnType::{Int, Text};
 
 /// Which driver serves the pages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,6 +115,11 @@ pub struct ServeOutcome {
     pub round_trips: u64,
     /// Statements executed.
     pub queries: u64,
+    /// Silent `BEGIN … COMMIT` blocks deferred whole across requests
+    /// (lazy driver on a write mix; always 0 for the eager driver).
+    pub deferred_txns: u64,
+    /// Point reads answered locally from a pending write's post-image.
+    pub ryw_rewrites: u64,
     /// Dispatcher counters (lazy driver only).
     pub dispatcher: Option<DispatcherStats>,
 }
@@ -164,9 +171,12 @@ fn prepare_pages(app: &BenchApp, strategy: ExecStrategy, page_mix: usize) -> Vec
 
 /// Serves `app` with `driver` under `cfg` and measures pages/second.
 ///
-/// All benchmark pages are read-only, so any interleaving of concurrent
-/// sessions renders every page bit-identically to the serial reference —
-/// which this function checks for every single page served.
+/// Every page's output must be bit-identical to the serial reference,
+/// which this function checks for every single page served. The stock
+/// benchmark apps are read-only, so that holds under any interleaving;
+/// the write mix ([`write_mix_app`]) is constructed so that it holds
+/// there too (constant-value writes, reads only of unwritten rows or of
+/// the request's own writes).
 pub fn serve(app: &BenchApp, driver: ServeDriver, cfg: &ServeCfg) -> ServeOutcome {
     let strategy = match driver {
         ServeDriver::Eager => ExecStrategy::Original,
@@ -185,6 +195,8 @@ pub fn serve(app: &BenchApp, driver: ServeDriver, cfg: &ServeCfg) -> ServeOutcom
     let stop = Arc::new(AtomicBool::new(false));
     let completed = Arc::new(AtomicU64::new(0));
     let mismatches = Arc::new(AtomicU64::new(0));
+    let deferred_txns = Arc::new(AtomicU64::new(0));
+    let ryw_rewrites = Arc::new(AtomicU64::new(0));
     let threads = cfg.threads.max(1);
     let clients = cfg.clients.max(1);
     let t0 = Instant::now();
@@ -197,6 +209,8 @@ pub fn serve(app: &BenchApp, driver: ServeDriver, cfg: &ServeCfg) -> ServeOutcom
             let stop = Arc::clone(&stop);
             let completed = Arc::clone(&completed);
             let mismatches = Arc::clone(&mismatches);
+            let deferred_txns = Arc::clone(&deferred_txns);
+            let ryw_rewrites = Arc::clone(&ryw_rewrites);
             std::thread::spawn(move || {
                 // This worker owns clients t, t+threads, t+2·threads, …
                 // and serves them round-robin; each client is closed-loop
@@ -228,6 +242,10 @@ pub fn serve(app: &BenchApp, driver: ServeDriver, cfg: &ServeCfg) -> ServeOutcom
                         if result.output != page.expected {
                             mismatches.fetch_add(1, Ordering::Relaxed);
                         }
+                        if let Some(s) = &result.store {
+                            deferred_txns.fetch_add(s.deferred_txns, Ordering::Relaxed);
+                            ryw_rewrites.fetch_add(s.ryw_rewrites, Ordering::Relaxed);
+                        }
                         completed.fetch_add(1, Ordering::Relaxed);
                     }
                     iter += 1;
@@ -258,6 +276,8 @@ pub fn serve(app: &BenchApp, driver: ServeDriver, cfg: &ServeCfg) -> ServeOutcom
         p99_ms: quantile_ms(&mut latencies_ms, 0.99),
         round_trips: net.round_trips,
         queries: net.queries,
+        deferred_txns: deferred_txns.load(Ordering::Relaxed),
+        ryw_rewrites: ryw_rewrites.load(Ordering::Relaxed),
         dispatcher: dispatcher.map(|d| d.stats()),
     }
 }
@@ -328,6 +348,121 @@ pub fn serve_figure(app: &BenchApp, client_counts: &[usize], cfg: &ServeCfg) -> 
     }
 }
 
+/// Rows `ticket.save` pages write (constant values → any concurrent
+/// interleaving, including two clients saving the same ticket, converges
+/// on the same state).
+const WRITE_MIX_SAVE_IDS: [i64; 2] = [3, 7];
+/// Rows `ticket.audit` pages mark; disjoint from the save rows.
+const WRITE_MIX_AUDIT_IDS: [i64; 2] = [20, 24];
+
+/// The write-mix serving workload: a small ticket tracker whose pages
+/// mix silent `BEGIN … COMMIT` save transactions, bare audit writes and
+/// read-only board views — the transaction-scoped-laziness counterpart
+/// of the read-only throughput figure.
+///
+/// Output determinism under concurrency is by construction, so the
+/// harness's per-page equality check stays exact:
+///
+/// * every write stores **constant** values keyed by the page argument,
+///   so replays and concurrent duplicates are idempotent;
+/// * read-only pages touch only the `board` table and ticket rows no
+///   page ever writes;
+/// * the one read of a written row (`ticket.save`'s read-back) follows
+///   that request's own update, so it observes `'done'` on every driver
+///   — on the lazy path it is answered locally from the pending write's
+///   post-image (a read-your-writes rewrite) without draining the
+///   deferred transaction.
+pub fn write_mix_app() -> BenchApp {
+    let mut s = Schema::new();
+    s.add(entity(
+        "ticket",
+        "ticket",
+        "id",
+        &[("id", Int), ("state", Text), ("note", Text)],
+        vec![],
+    ));
+    s.add(entity(
+        "board",
+        "board",
+        "id",
+        &[("id", Int), ("title", Text)],
+        vec![],
+    ));
+    let schema = Arc::new(s);
+
+    const SAVE_PAGE: &str = r#"
+fn main(id) {
+    exec("BEGIN");
+    let before = query("SELECT state FROM ticket WHERE id = " + str(id));
+    exec("UPDATE ticket SET state = 'done' WHERE id = " + str(id));
+    exec("UPDATE ticket SET note = 'closed' WHERE id = " + str(id));
+    let after = query("SELECT state FROM ticket WHERE id = " + str(id));
+    exec("COMMIT");
+    print(after);
+    print("saved");
+}
+"#;
+    const AUDIT_PAGE: &str = r#"
+fn main(id) {
+    let a = query("SELECT title FROM board WHERE id = " + str(id - 20));
+    exec("UPDATE ticket SET note = 'seen' WHERE id = " + str(id));
+    let b = query("SELECT title FROM board WHERE id = " + str(id - 19));
+    print(a);
+    print(b);
+    print("audited");
+}
+"#;
+    const VIEW_PAGE: &str = r#"
+fn main(id) {
+    let a = query("SELECT title FROM board WHERE id = " + str(id));
+    let b = query("SELECT title FROM board WHERE id = " + str(id + 1));
+    let c = query("SELECT state FROM ticket WHERE id = " + str(id + 40));
+    print(a);
+    print(b);
+    print(c);
+}
+"#;
+
+    let mut pages = Vec::new();
+    for id in WRITE_MIX_SAVE_IDS {
+        pages.push(Page {
+            name: format!("ticket.save({id})"),
+            source: SAVE_PAGE.to_string(),
+            arg: id,
+        });
+    }
+    for id in WRITE_MIX_AUDIT_IDS {
+        pages.push(Page {
+            name: format!("ticket.audit({id})"),
+            source: AUDIT_PAGE.to_string(),
+            arg: id,
+        });
+    }
+    for id in [0i64, 4] {
+        pages.push(Page {
+            name: format!("board.view({id})"),
+            source: VIEW_PAGE.to_string(),
+            arg: id,
+        });
+    }
+
+    BenchApp {
+        name: "write_mix",
+        schema,
+        pages,
+        seed: Box::new(|env: &SimEnv| {
+            for i in 0..64 {
+                env.seed_sql(&format!("INSERT INTO ticket VALUES ({i}, 'open', '-')"))
+                    .expect("seed ticket");
+            }
+            for i in 0..16 {
+                env.seed_sql(&format!("INSERT INTO board VALUES ({i}, 'b{i}')"))
+                    .expect("seed board");
+            }
+        }),
+    }
+}
+
 fn outcome_json(o: &ServeOutcome) -> String {
     let dispatcher = match &o.dispatcher {
         None => "null".to_string(),
@@ -351,7 +486,8 @@ fn outcome_json(o: &ServeOutcome) -> String {
         "{{\"driver\": \"{}\", \"clients\": {}, \"threads\": {}, \"pages\": {}, \
          \"wall_s\": {:.3}, \"pages_per_s\": {:.1}, \"output_mismatches\": {}, \
          \"p50_ms\": {:.2}, \"p95_ms\": {:.2}, \"p99_ms\": {:.2}, \
-         \"round_trips\": {}, \"queries\": {}, \"dispatcher\": {}}}",
+         \"round_trips\": {}, \"queries\": {}, \"deferred_txns\": {}, \
+         \"ryw_rewrites\": {}, \"dispatcher\": {}}}",
         o.driver,
         o.clients,
         o.threads,
@@ -364,6 +500,8 @@ fn outcome_json(o: &ServeOutcome) -> String {
         o.p99_ms,
         o.round_trips,
         o.queries,
+        o.deferred_txns,
+        o.ryw_rewrites,
         dispatcher
     )
 }
@@ -466,6 +604,105 @@ mod tests {
         assert_eq!(d.cross_session_fused_groups, 0);
     }
 
+    /// The write-mix correctness gate: real threads serving transactional
+    /// save pages, bare audit writes and read-only views concurrently on
+    /// one shared deployment — every page's output still bit-equal to the
+    /// serial reference, silent transactions deferred whole, read-backs
+    /// answered from post-images, and the final ticket state exactly the
+    /// constant values the pages write.
+    #[test]
+    fn write_mix_gate_correctness() {
+        let app = write_mix_app();
+        let cfg = ServeCfg {
+            page_mix: app.pages.len(),
+            ..quick_cfg()
+        };
+        let eager = serve(&app, ServeDriver::Eager, &cfg);
+        let lazy = serve(&app, ServeDriver::LazyBatched, &cfg);
+        assert_eq!(eager.output_mismatches, 0, "{eager:?}");
+        assert_eq!(lazy.output_mismatches, 0, "{lazy:?}");
+        assert!(eager.pages >= 8 && lazy.pages >= 8);
+
+        // The lazy driver defers the save transactions whole and answers
+        // the read-backs locally; the eager driver never does either.
+        assert_eq!(eager.deferred_txns, 0);
+        assert_eq!(eager.ryw_rewrites, 0);
+        assert!(lazy.deferred_txns > 0, "{lazy:?}");
+        assert!(lazy.ryw_rewrites > 0, "{lazy:?}");
+
+        // Fewer trips per page even though every page carries writes.
+        let eager_tpp = eager.round_trips as f64 / eager.pages as f64;
+        let lazy_tpp = lazy.round_trips as f64 / lazy.pages as f64;
+        assert!(
+            lazy_tpp * 2.0 < eager_tpp,
+            "lazy {lazy_tpp:.1} trips/page vs eager {eager_tpp:.1}"
+        );
+    }
+
+    /// After any concurrent write-mix run the deployment must hold the
+    /// constant post-state the pages define — no lost or phantom writes.
+    #[test]
+    fn write_mix_final_state_is_the_constant_post_state() {
+        let app = write_mix_app();
+        let cfg = ServeCfg {
+            page_mix: app.pages.len(),
+            duration: Duration::from_millis(400),
+            realtime_scale: 0.25,
+            rtt_ms: 1.0,
+            ..ServeCfg::default()
+        };
+        let strategy = ExecStrategy::Sloth(OptFlags::all());
+        let pages = Arc::new(prepare_pages(&app, strategy, cfg.page_mix));
+        let env = app.fresh_env(CostModel::default());
+        let dispatcher = Arc::new(Dispatcher::new(env.clone()));
+        // Serve every page a few times concurrently.
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let pages = Arc::clone(&pages);
+                let d = Arc::clone(&dispatcher);
+                let schema = Arc::clone(&app.schema);
+                std::thread::spawn(move || {
+                    for round in 0..3 {
+                        for (i, page) in pages.iter().enumerate() {
+                            if (i + round + t) % 2 == 0 {
+                                continue;
+                            }
+                            let data = DataLayer::dispatched(Arc::clone(&d), Arc::clone(&schema));
+                            let r = page
+                                .prepared
+                                .run_with(data, vec![V::Int(page.arg)])
+                                .unwrap_or_else(|e| panic!("{}: {e}", page.name));
+                            assert_eq!(r.output, page.expected, "{}", page.name);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("write-mix thread");
+        }
+        for id in WRITE_MIX_SAVE_IDS {
+            let row = env
+                .query(&format!("SELECT state, note FROM ticket WHERE id = {id}"))
+                .unwrap();
+            assert_eq!(row.get(0, "state").unwrap().as_str(), Some("done"));
+            assert_eq!(row.get(0, "note").unwrap().as_str(), Some("closed"));
+        }
+        for id in WRITE_MIX_AUDIT_IDS {
+            let row = env
+                .query(&format!("SELECT state, note FROM ticket WHERE id = {id}"))
+                .unwrap();
+            assert_eq!(row.get(0, "state").unwrap().as_str(), Some("open"));
+            assert_eq!(row.get(0, "note").unwrap().as_str(), Some("seen"));
+        }
+        // Rows no page writes stay untouched.
+        let row = env
+            .query("SELECT state, note FROM ticket WHERE id = 40")
+            .unwrap();
+        assert_eq!(row.get(0, "state").unwrap().as_str(), Some("open"));
+        assert_eq!(row.get(0, "note").unwrap().as_str(), Some("-"));
+    }
+
     /// The throughput half of the acceptance gate: at 8 concurrent
     /// clients the lazy-batched driver sustains ≥ 1.5× the eager driver's
     /// pages/s. Release builds only — the measured quantity is wall-clock
@@ -486,6 +723,32 @@ mod tests {
         assert!(
             ratio >= 1.5,
             "lazy {:.1} pages/s vs eager {:.1} pages/s (ratio {ratio:.2})",
+            lazy.pages_per_s,
+            eager.pages_per_s
+        );
+    }
+
+    /// The mixed-workload throughput gate: even with every page carrying
+    /// writes (and the save pages whole transactions), the lazy-batched
+    /// driver sustains ≥ 1.5× eager pages/s at 8 clients. Release builds
+    /// only, same rationale as `serve_gate_throughput_ratio`.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn write_mix_gate_throughput_ratio() {
+        let app = write_mix_app();
+        let cfg = ServeCfg {
+            duration: Duration::from_millis(900),
+            page_mix: app.pages.len(),
+            ..ServeCfg::default()
+        };
+        let eager = serve(&app, ServeDriver::Eager, &cfg);
+        let lazy = serve(&app, ServeDriver::LazyBatched, &cfg);
+        assert_eq!(eager.output_mismatches + lazy.output_mismatches, 0);
+        assert!(lazy.deferred_txns > 0, "{lazy:?}");
+        let ratio = lazy.pages_per_s / eager.pages_per_s.max(f64::MIN_POSITIVE);
+        assert!(
+            ratio >= 1.5,
+            "write mix: lazy {:.1} pages/s vs eager {:.1} pages/s (ratio {ratio:.2})",
             lazy.pages_per_s,
             eager.pages_per_s
         );

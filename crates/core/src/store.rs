@@ -5,9 +5,12 @@
 //! database, in one round trip over the batch driver, when
 //!
 //! * a registered result is demanded ([`QueryStore::result`]), or
-//! * a write / transaction-boundary statement is registered — `INSERT`,
-//!   `UPDATE`, `DELETE`, `BEGIN`, `COMMIT`, `ROLLBACK` are never left
-//!   lingering, preserving the original program's transaction semantics.
+//! * a write that cannot defer is registered — a conflicting `INSERT`,
+//!   `UPDATE` or `DELETE`, or DDL, never lingers. Under write deferral
+//!   (the default), disjoint writes and **silent transactions** (whole
+//!   `BEGIN … COMMIT` blocks) do linger and ride a later flush; a read
+//!   conflicting only with a deferred key-exact `UPDATE` is answered
+//!   locally from its post-image (read-your-writes).
 //!
 //! Registering a read identical to one already in the current batch returns
 //! the existing [`QueryId`] (in-batch dedup).
@@ -22,7 +25,11 @@ use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Condvar, Mutex};
 
 use sloth_net::{Dispatcher, SimEnv};
-use sloth_sql::{is_write_sql, normalize, Footprint, ResultSet, SqlError, Value};
+use sloth_sql::ast::ColumnType;
+use sloth_sql::{
+    is_write_sql, normalize, txn_boundary, Footprint, PostImage, ReadShape, ResultSet, SqlError,
+    TxnBoundary, TxnFootprint, Value,
+};
 
 /// Identifier of a registered query; stable for the life of the store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -81,6 +88,15 @@ pub struct StoreStats {
     /// every statement immediately, never defers writes, and bypasses
     /// dispatcher coalescing — correctness over batching wins.
     pub degradations: u64,
+    /// Silent transactions: `BEGIN … COMMIT` blocks whose boundaries and
+    /// interior statements all deferred, so the whole block rode a later
+    /// flush as one unit instead of draining the batch twice. Always zero
+    /// with write deferral off.
+    pub deferred_txns: u64,
+    /// Reads answered locally by rewriting a pending read's rows through
+    /// the post-images of deferred writes (read-your-writes) instead of
+    /// draining the batch. These cost no round trip at all.
+    pub ryw_rewrites: u64,
 }
 
 impl StoreStats {
@@ -95,15 +111,25 @@ impl StoreStats {
     }
 }
 
-/// What a read registration decided to do with the pending batch.
-enum ReadAction {
-    /// Accumulate (the normal lazy path).
-    Linger,
-    /// The read conflicts with a pending deferred write: drain the batch,
-    /// the read riding it.
-    Drain,
-    /// The eager flush-threshold policy tripped.
-    Threshold,
+/// A read answered **locally**: its rows come from an identical pending
+/// read (`base`) with the post-images of the deferred writes between them
+/// overlaid on top — read-your-writes without a drain. Overlays are flat
+/// `(column, value)` pairs in write order, values already coerced to the
+/// column's declared type exactly as the engine's storage layer would.
+#[derive(Clone)]
+struct Rewrite {
+    base: QueryId,
+    overlays: Vec<(String, Value)>,
+}
+
+/// An open silent transaction: its `BEGIN` deferred, and statements since
+/// accumulate into a union footprint (§ transaction-scoped laziness). A
+/// barrier statement inside poisons the block back to eager semantics.
+struct OpenTxn {
+    /// Tag stamped on member [`PendingStmt`]s so a flush can keep the
+    /// block whole (a transaction never splits across dispatches).
+    serial: u64,
+    fp: TxnFootprint,
 }
 
 /// In-batch dedup key: the normalized template plus its extracted literal
@@ -163,6 +189,9 @@ struct PendingStmt {
     /// per-template cache; threaded through the flush into the batch
     /// planner so the dispatched path never re-derives it.
     fp: Option<Footprint>,
+    /// Serial of the silent transaction this statement belongs to, if any
+    /// — flush admission keeps statements with the same tag together.
+    txn: Option<u64>,
 }
 
 struct StoreInner {
@@ -171,6 +200,16 @@ struct StoreInner {
     pending_writes: usize,
     pending_by_key: HashMap<DedupKey, QueryId>,
     results: HashMap<QueryId, Result<ResultSet, SqlError>>,
+    /// Reads answered by overlaying deferred post-images on a pending
+    /// base read (read-your-writes); resolved lazily in [`QueryStore::result`].
+    rewrites: HashMap<QueryId, Rewrite>,
+    /// The open silent transaction, if one is accumulating.
+    txn: Option<OpenTxn>,
+    next_txn: u64,
+    /// Bumped on every mutation of `pending` — lets the read-your-writes
+    /// planner run its parse/catalog analysis **outside** this lock and
+    /// detect a concurrent change on re-entry.
+    generation: u64,
     /// Ids drained from `pending` by a flush that has not recorded its
     /// outcome yet. A concurrent [`QueryStore::result`] for one of these
     /// waits on `StoreShared::answered` instead of reporting the id
@@ -273,6 +312,10 @@ impl QueryStore {
                     pending_writes: 0,
                     pending_by_key: HashMap::new(),
                     results: HashMap::new(),
+                    rewrites: HashMap::new(),
+                    txn: None,
+                    next_txn: 0,
+                    generation: 0,
                     in_flight: HashSet::new(),
                     next_id: 0,
                     stats: StoreStats::default(),
@@ -336,125 +379,112 @@ impl QueryStore {
         // ships as eagerly as possible on the solo path.
         let deferral = self.env.write_deferral_enabled() && !self.lock().degraded;
         if !is_write {
-            let (id, action) = {
-                let mut inner = self.lock();
-                inner.stats.registered += 1;
-                let key = DedupKey::of(&sql);
-                if let Some(&id) = inner.pending_by_key.get(&key) {
-                    // Sound across deferred writes: a dedup hit means an
-                    // identical read is already pending, and every
-                    // deferred write proved itself disjoint from it — so
-                    // it is disjoint from this read too (same footprint),
-                    // and both positions observe identical rows.
-                    inner.stats.dedup_hits += 1;
-                    return Ok(Registration {
-                        id,
-                        deferred: false,
-                    });
-                }
-                // Selective laziness: a read may only join a batch with
-                // deferred writes aboard when it provably cannot observe
-                // them; a conflicting read drains the batch (riding it, so
-                // the drain is still one round trip and the read observes
-                // the writes in registration order).
-                let mut fp = None;
-                let mut conflicts = false;
-                if deferral && inner.pending_writes > 0 {
-                    let f = self.env.footprint_of(&sql);
-                    conflicts = inner
-                        .pending
-                        .iter()
-                        .any(|p| p.is_write && p.fp.as_ref().is_none_or(|w| w.conflicts_with(&f)));
-                    fp = Some(f);
-                }
-                let id = QueryId(inner.next_id);
-                inner.next_id += 1;
-                inner.pending_by_key.insert(key, id);
-                inner.pending.push(PendingStmt {
-                    id,
-                    sql,
-                    is_write: false,
-                    fp,
-                });
-                let action = if conflicts {
-                    inner.stats.conflict_drains += 1;
-                    ReadAction::Drain
-                } else if inner.degraded
-                    || inner
-                        .flush_threshold
-                        .map(|n| inner.pending.len() >= n)
-                        .unwrap_or(false)
-                {
-                    // Degraded sessions ship every read immediately.
-                    ReadAction::Threshold
-                } else {
-                    ReadAction::Linger
-                };
-                (id, action)
-            };
-            match action {
-                ReadAction::Linger => {}
-                ReadAction::Drain | ReadAction::Threshold => self.flush_internal(false)?,
-            }
-            return Ok(Registration {
-                id,
-                deferred: false,
-            });
+            return self.register_read(sql, deferral);
         }
         if deferral {
-            // Selective laziness (§3.5–3.6): a write whose footprint is
-            // disjoint from every pending statement is *silent* — nothing
-            // already registered can observe it, so it lingers in the
-            // batch instead of forcing a flush. Consecutive disjoint
-            // writes pile up and drain in ONE round trip.
-            let fp = self.env.footprint_of(&sql);
-            if !fp.barrier {
-                let mut inner = self.lock();
-                // Pending statements need footprints to check against;
-                // materialize the missing ones (cached per template).
-                for i in 0..inner.pending.len() {
-                    if inner.pending[i].fp.is_none() {
-                        let f = self.env.footprint_of(&inner.pending[i].sql);
-                        inner.pending[i].fp = Some(f);
+            // Transaction-scoped laziness: `BEGIN` and `COMMIT` are engine
+            // no-ops, so instead of acting as barriers they defer as
+            // placeholder writes with empty footprints, opening/closing a
+            // *silent transaction* whose interior statements union their
+            // footprints and travel as one unit.
+            match txn_boundary(&sql) {
+                Some(TxnBoundary::Begin) => {
+                    let mut inner = self.lock();
+                    if inner.txn.is_none() {
+                        let serial = inner.next_txn;
+                        inner.next_txn += 1;
+                        inner.txn = Some(OpenTxn {
+                            serial,
+                            fp: TxnFootprint::new(),
+                        });
+                        return Ok(self.push_deferred(
+                            inner,
+                            sql,
+                            Footprint::default(),
+                            Some(serial),
+                        ));
                     }
+                    // Nested BEGIN: poison the open block back to the
+                    // barrier semantics it had before this relaxation.
+                    inner.txn = None;
+                    drop(inner);
                 }
-                let conflicts = inner
-                    .pending
-                    .iter()
-                    .any(|p| p.fp.as_ref().is_none_or(|pf| pf.conflicts_with(&fp)));
-                if !conflicts {
-                    inner.stats.registered += 1;
-                    inner.stats.deferred_writes += 1;
-                    let id = QueryId(inner.next_id);
-                    inner.next_id += 1;
-                    inner.pending.push(PendingStmt {
-                        id,
-                        sql,
-                        is_write: true,
-                        fp: Some(fp),
-                    });
-                    inner.pending_writes += 1;
-                    return Ok(Registration { id, deferred: true });
+                Some(TxnBoundary::Commit | TxnBoundary::Rollback) => {
+                    let mut inner = self.lock();
+                    if let Some(t) = inner.txn.take() {
+                        if !t.fp.poisoned() {
+                            // Close silently: the whole block is deferred
+                            // and rides the next forced flush together.
+                            inner.stats.deferred_txns += 1;
+                            return Ok(self.push_deferred(
+                                inner,
+                                sql,
+                                Footprint::default(),
+                                Some(t.serial),
+                            ));
+                        }
+                    }
+                    drop(inner);
+                    // No open silent block (or a poisoned one): the
+                    // boundary keeps its original barrier semantics.
                 }
-                // Conflicting write: it drains the batch exactly as the
-                // write-aware (PR 4) path would — joining it, one round
-                // trip — with the conflict drain accounted when a
-                // deferred write was among the statements it conflicts
-                // into the database.
-                if inner.pending_writes > 0 {
-                    inner.stats.conflict_drains += 1;
+                None => {
+                    // Selective laziness (§3.5–3.6): a write whose
+                    // footprint is disjoint from every pending write is
+                    // *silent* — the batch executes in registration order,
+                    // so pending reads still observe pre-write state — and
+                    // it lingers in the batch instead of forcing a flush.
+                    let fp = self.env.footprint_of(&sql);
+                    if !fp.barrier {
+                        let mut inner = self.lock();
+                        if let Some(t) = inner.txn.as_mut() {
+                            if !t.fp.poisoned() {
+                                // In-txn writes defer unconditionally: the
+                                // block ships whole, in order, so in-batch
+                                // conflicts resolve exactly as serially.
+                                t.fp.absorb(&fp);
+                                let serial = t.serial;
+                                return Ok(self.push_deferred(inner, sql, fp, Some(serial)));
+                            }
+                        }
+                        // Pending statements need footprints to check
+                        // against; materialize the missing ones (cached
+                        // per template).
+                        for i in 0..inner.pending.len() {
+                            if inner.pending[i].fp.is_none() {
+                                let f = self.env.footprint_of(&inner.pending[i].sql);
+                                inner.pending[i].fp = Some(f);
+                            }
+                        }
+                        // Only pending WRITES gate deferral: a write after
+                        // a conflicting read may linger, because batches
+                        // execute in registration order (the read runs
+                        // first server-side, observing pre-write state).
+                        let conflicts = inner.pending.iter().any(|p| {
+                            p.is_write && p.fp.as_ref().is_none_or(|pf| pf.conflicts_with(&fp))
+                        });
+                        if !conflicts {
+                            return Ok(self.push_deferred(inner, sql, fp, None));
+                        }
+                        // Write-after-write conflict: it drains the batch
+                        // exactly as the write-aware (PR 4) path would —
+                        // joining it, one round trip.
+                        inner.stats.conflict_drains += 1;
+                        drop(inner);
+                        return self
+                            .register_write_aware(sql, Some(fp))
+                            .map(|id| Registration {
+                                id,
+                                deferred: false,
+                            });
+                    }
+                    // Barriers (DDL, unparseable SQL) conflict with
+                    // everything: they poison any open silent block and
+                    // fall through to the write-aware join-and-flush,
+                    // draining any deferred writes with them.
+                    self.lock().txn = None;
                 }
-                drop(inner);
-                return self
-                    .register_write_aware(sql, Some(fp))
-                    .map(|id| Registration {
-                        id,
-                        deferred: false,
-                    });
             }
-            // Barriers (transaction boundaries, DDL, unparseable SQL)
-            // conflict with everything: fall through to the write-aware
-            // join-and-flush, draining any deferred writes with them.
         }
         if self.env.write_batching_enabled() {
             return self.register_write_aware(sql, None).map(|id| Registration {
@@ -474,7 +504,9 @@ impl QueryStore {
                 sql,
                 is_write: true,
                 fp: None,
+                txn: None,
             });
+            inner.generation += 1;
             id
         };
         self.flush_internal(false)?;
@@ -482,6 +514,252 @@ impl QueryStore {
             id,
             deferred: false,
         })
+    }
+
+    /// Registers a deferred write (or transaction placeholder) into the
+    /// pending batch under the already-held lock. `txn` tags silent
+    /// transaction members so flushes keep the block whole.
+    fn push_deferred(
+        &self,
+        mut inner: std::sync::MutexGuard<'_, StoreInner>,
+        sql: String,
+        fp: Footprint,
+        txn: Option<u64>,
+    ) -> Registration {
+        inner.stats.registered += 1;
+        inner.stats.deferred_writes += 1;
+        let id = QueryId(inner.next_id);
+        inner.next_id += 1;
+        inner.pending.push(PendingStmt {
+            id,
+            sql,
+            is_write: true,
+            fp: Some(fp),
+            txn,
+        });
+        inner.pending_writes += 1;
+        inner.generation += 1;
+        Registration { id, deferred: true }
+    }
+
+    /// The read registration path: dedup, read-your-writes rewriting,
+    /// in-transaction lingering, and the conservative conflict drain.
+    fn register_read(&self, sql: String, deferral: bool) -> Result<Registration, SqlError> {
+        let key = DedupKey::of(&sql);
+        // What to do after leaving the critical section.
+        enum After {
+            Done(Registration),
+            Flush(Registration),
+            /// Dedup base found but deferred writes after it conflict:
+            /// attempt a local rewrite, with the parse/catalog analysis
+            /// outside the lock (it takes the catalog read lock, which
+            /// must never nest under the store lock — the non-blocking
+            /// observability contract).
+            Analyze {
+                base: QueryId,
+                generation: u64,
+                writes: Vec<String>,
+            },
+        }
+        loop {
+            let after = {
+                let mut inner = self.lock();
+                let in_txn = deferral && inner.txn.as_ref().is_some_and(|t| !t.fp.poisoned());
+                if let Some(&base) = inner.pending_by_key.get(&key) {
+                    // Dedup hit candidate. Sound only when no deferred
+                    // write positioned AFTER the base conflicts with the
+                    // read — then both positions observe identical rows
+                    // (batches execute in registration order).
+                    let mut conflicting: Vec<String> = Vec::new();
+                    if deferral && inner.pending_writes > 0 {
+                        let f = self.env.footprint_of(&sql);
+                        let base_pos = inner
+                            .pending
+                            .iter()
+                            .position(|p| p.id == base)
+                            .expect("dedup key maps to a pending statement");
+                        conflicting = inner.pending[base_pos + 1..]
+                            .iter()
+                            .filter(|p| {
+                                p.is_write && p.fp.as_ref().is_none_or(|w| w.conflicts_with(&f))
+                            })
+                            .map(|p| p.sql.clone())
+                            .collect();
+                    }
+                    if conflicting.is_empty() {
+                        inner.stats.registered += 1;
+                        inner.stats.dedup_hits += 1;
+                        return Ok(Registration {
+                            id: base,
+                            deferred: false,
+                        });
+                    }
+                    After::Analyze {
+                        base,
+                        generation: inner.generation,
+                        writes: conflicting,
+                    }
+                } else {
+                    // Fresh read. Selective laziness: it may only join a
+                    // batch with deferred writes aboard when it provably
+                    // cannot observe them — unless it is inside a silent
+                    // transaction, which always lingers whole.
+                    let mut fp = None;
+                    let mut conflicts = false;
+                    if deferral && (inner.pending_writes > 0 || in_txn) {
+                        let f = self.env.footprint_of(&sql);
+                        conflicts = inner.pending.iter().any(|p| {
+                            p.is_write && p.fp.as_ref().is_none_or(|w| w.conflicts_with(&f))
+                        });
+                        fp = Some(f);
+                    }
+                    inner.stats.registered += 1;
+                    let id = QueryId(inner.next_id);
+                    inner.next_id += 1;
+                    inner.pending_by_key.insert(key.clone(), id);
+                    let txn_tag = if in_txn {
+                        inner.txn.as_ref().map(|t| t.serial)
+                    } else {
+                        None
+                    };
+                    inner.pending.push(PendingStmt {
+                        id,
+                        sql: sql.clone(),
+                        is_write: false,
+                        fp: fp.clone(),
+                        txn: txn_tag,
+                    });
+                    inner.generation += 1;
+                    let reg = Registration {
+                        id,
+                        deferred: false,
+                    };
+                    if in_txn {
+                        // In-txn reads linger even across conflicts: the
+                        // block drains in one in-order batch, so the read
+                        // observes the txn's earlier writes exactly as the
+                        // serial program would.
+                        if let (Some(t), Some(f)) = (inner.txn.as_mut(), fp.as_ref()) {
+                            t.fp.absorb(f);
+                        }
+                        After::Done(reg)
+                    } else if conflicts {
+                        inner.stats.conflict_drains += 1;
+                        After::Flush(reg)
+                    } else if inner.degraded
+                        || inner
+                            .flush_threshold
+                            .map(|n| inner.pending.len() >= n)
+                            .unwrap_or(false)
+                    {
+                        // Degraded sessions ship every read immediately.
+                        After::Flush(reg)
+                    } else {
+                        After::Done(reg)
+                    }
+                }
+            };
+            match after {
+                After::Done(reg) => return Ok(reg),
+                After::Flush(reg) => {
+                    self.flush_internal(false)?;
+                    return Ok(reg);
+                }
+                After::Analyze {
+                    base,
+                    generation,
+                    writes,
+                } => {
+                    let overlays = self.plan_rewrite(&sql, &writes);
+                    let mut inner = self.lock();
+                    if inner.generation != generation {
+                        // Pending changed while we analyzed: start over.
+                        continue;
+                    }
+                    if let Some(overlays) = overlays {
+                        // Read-your-writes: answer locally from the base
+                        // read plus the writes' post-images — no drain, no
+                        // round trip. The rewritten id is virtual (never
+                        // pending, never a dedup target).
+                        inner.stats.registered += 1;
+                        inner.stats.ryw_rewrites += 1;
+                        let id = QueryId(inner.next_id);
+                        inner.next_id += 1;
+                        inner.rewrites.insert(id, Rewrite { base, overlays });
+                        return Ok(Registration {
+                            id,
+                            deferred: false,
+                        });
+                    }
+                    // Conservative fallback: not key-exact enough to
+                    // rewrite. Register the read and drain the batch (the
+                    // read riding it, so it is still one round trip) —
+                    // unless a silent transaction is open, which lingers.
+                    let in_txn = deferral && inner.txn.as_ref().is_some_and(|t| !t.fp.poisoned());
+                    inner.stats.registered += 1;
+                    let id = QueryId(inner.next_id);
+                    inner.next_id += 1;
+                    let f = self.env.footprint_of(&sql);
+                    let txn_tag = if in_txn {
+                        inner.txn.as_ref().map(|t| t.serial)
+                    } else {
+                        None
+                    };
+                    inner.pending.push(PendingStmt {
+                        id,
+                        sql: sql.clone(),
+                        is_write: false,
+                        fp: Some(f.clone()),
+                        txn: txn_tag,
+                    });
+                    inner.generation += 1;
+                    if in_txn {
+                        if let Some(t) = inner.txn.as_mut() {
+                            t.fp.absorb(&f);
+                        }
+                        return Ok(Registration {
+                            id,
+                            deferred: false,
+                        });
+                    }
+                    inner.stats.conflict_drains += 1;
+                    drop(inner);
+                    self.flush_internal(false)?;
+                    return Ok(Registration {
+                        id,
+                        deferred: false,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Plans a read-your-writes rewrite for `sql` against the pending
+    /// deferred writes (in order) that conflict with it: `Some(overlays)`
+    /// iff **every** write is a key-exact literal `UPDATE` whose
+    /// post-image fully determines the read's rows. Values are coerced to
+    /// the declared column type exactly as the engine's storage layer
+    /// would, so the overlaid rows are byte-identical to a real drain.
+    /// Runs without the store lock (parses + catalog reads).
+    fn plan_rewrite(&self, sql: &str, writes: &[String]) -> Option<Vec<(String, Value)>> {
+        let shape = ReadShape::of_sql(sql)?;
+        let mut overlays = Vec::new();
+        for wsql in writes {
+            let post = PostImage::of_sql(wsql)?;
+            if !shape.covered_by(&post) {
+                return None;
+            }
+            for (col, val) in post.sets {
+                let ty = self.env.column_type(&post.table, &col)?;
+                let val = match (ty, &val) {
+                    (ColumnType::Float, Value::Int(i)) => Value::Float(*i as f64),
+                    (ColumnType::Int, Value::Float(f)) => Value::Int(*f as i64),
+                    _ => val,
+                };
+                overlays.push((col, val));
+            }
+        }
+        Some(overlays)
     }
 
     /// The write-aware (PR 4) write path: the write joins the pending
@@ -503,8 +781,10 @@ impl QueryStore {
                 sql,
                 is_write,
                 fp,
+                txn: None,
             });
             inner.pending_writes += 1;
+            inner.generation += 1;
             (id, had_pending)
         };
         self.flush_internal(had_pending)?;
@@ -527,6 +807,29 @@ impl QueryStore {
     /// with this id on board, this call waits for that flush's outcome
     /// instead of misreporting the id as unknown.
     pub fn result(&self, id: QueryId) -> Result<ResultSet, SqlError> {
+        let rewrite = self.lock().rewrites.get(&id).cloned();
+        if let Some(rw) = rewrite {
+            // Read-your-writes: resolve the base read (itself possibly
+            // still lazy) and overlay the deferred post-images in write
+            // order. A failed base propagates its error — the rewritten
+            // read would have died on the same batch.
+            let mut rs = self.result(rw.base)?;
+            for (col, val) in &rw.overlays {
+                let idxs: Vec<usize> = rs
+                    .columns
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.eq_ignore_ascii_case(col))
+                    .map(|(i, _)| i)
+                    .collect();
+                for ci in idxs {
+                    for row in &mut rs.rows {
+                        row[ci] = val.clone();
+                    }
+                }
+            }
+            return Ok(rs);
+        }
         {
             let mut inner = self.lock();
             loop {
@@ -566,15 +869,17 @@ impl QueryStore {
         self.flush_internal(false)
     }
 
-    /// Ships only the **deferred writes** lingering in the pending batch
-    /// (one write-only round trip for all of them), leaving pending reads
-    /// lazy. Legal by the deferral invariant: every lingering write is
-    /// footprint-disjoint from every other pending statement, so shipping
-    /// the writes first is invisible to the reads left behind. This is
-    /// the end-of-request hook — a page whose last statements are writes
-    /// must not leave them unexecuted, but must not force its dead reads
-    /// either (never-demanded queries never running is the point of the
-    /// paper).
+    /// Ships the **deferred writes** lingering in the pending batch (one
+    /// round trip for all of them), leaving pending reads lazy where that
+    /// is sound. The shipped set preserves registration order and closes
+    /// over it: silent-transaction members travel with their block (a
+    /// transaction never splits across dispatches), and a read that
+    /// precedes a shipping write it conflicts with rides too — shipping
+    /// the write around it would let the write overtake. Disjoint reads
+    /// stay behind, still lazy. This is the end-of-request hook — a page
+    /// whose last statements are writes must not leave them unexecuted,
+    /// but must not force its dead reads either (never-demanded queries
+    /// never running is the point of the paper).
     pub fn flush_deferred_writes(&self) -> Result<(), SqlError> {
         // The guard lives OUTSIDE the admission critical section (drop
         // order: the lock guard releases before this unwinds), but is
@@ -585,16 +890,58 @@ impl QueryStore {
             if inner.pending_writes == 0 {
                 return Ok(());
             }
-            let (writes, reads): (Vec<PendingStmt>, Vec<PendingStmt>) =
-                inner.pending.drain(..).partition(|p| p.is_write);
-            inner.pending = reads;
+            // End of request: an unclosed silent transaction ships whole
+            // (its members are tagged and travel together).
+            inner.txn = None;
+            // The ride-along decision needs every footprint.
+            for i in 0..inner.pending.len() {
+                if inner.pending[i].fp.is_none() {
+                    let f = self.env.footprint_of(&inner.pending[i].sql);
+                    inner.pending[i].fp = Some(f);
+                }
+            }
+            let n = inner.pending.len();
+            let mut ship = vec![false; n];
+            for (i, p) in inner.pending.iter().enumerate() {
+                if p.is_write || p.txn.is_some() {
+                    ship[i] = true;
+                }
+            }
+            // Right to left: a kept read must not conflict with any LATER
+            // shipping write, or the drain would reorder them.
+            let mut later_write_fps: Vec<Footprint> = Vec::new();
+            for i in (0..n).rev() {
+                let p = &inner.pending[i];
+                let f = p.fp.clone().expect("materialized above");
+                if ship[i] {
+                    if p.is_write {
+                        later_write_fps.push(f);
+                    }
+                } else if later_write_fps.iter().any(|w| w.conflicts_with(&f)) {
+                    ship[i] = true;
+                }
+            }
+            let all: Vec<PendingStmt> = inner.pending.drain(..).collect();
+            let mut drained = Vec::new();
+            let mut kept = Vec::new();
+            for (i, p) in all.into_iter().enumerate() {
+                if ship[i] {
+                    drained.push(p);
+                } else {
+                    kept.push(p);
+                }
+            }
+            inner.pending = kept;
             inner.pending_writes = 0;
+            inner.generation += 1;
+            let keep_ids: HashSet<QueryId> = inner.pending.iter().map(|p| p.id).collect();
+            inner.pending_by_key.retain(|_, id| keep_ids.contains(id));
             guard.armed = true;
-            for p in &writes {
+            for p in &drained {
                 guard.ids.push(p.id);
                 inner.in_flight.insert(p.id);
             }
-            writes
+            drained
         };
         self.ship(drained, guard, false)
     }
@@ -608,6 +955,7 @@ impl QueryStore {
             }
             inner.pending_by_key.clear();
             inner.pending_writes = 0;
+            inner.generation += 1;
             let drained: Vec<PendingStmt> = inner.pending.drain(..).collect();
             guard.armed = true;
             for p in &drained {
@@ -682,7 +1030,12 @@ impl QueryStore {
                 // never re-analyzes a statement.
                 d.submit_solo(&sqls, footprints.as_deref())
             } else {
-                d.submit(&sqls)
+                // Thread the register-path footprints through dispatcher
+                // admission: a deferred silent transaction's BEGIN/COMMIT
+                // placeholders carry empty (non-barrier) footprints, so
+                // disjoint transactions from different sessions coalesce
+                // instead of dispatching solo as raw-SQL barriers would.
+                d.submit_with(&sqls, footprints.as_deref())
             } {
                 Ok(r) => (
                     r.results.into_iter().map(Some).collect(),
@@ -723,6 +1076,9 @@ impl QueryStore {
                     // life — no more deferral, no more coalescing.
                     if sloth_net::is_transient_error(e) && !inner.degraded {
                         inner.degraded = true;
+                        // No deferral in degraded mode; any open silent
+                        // transaction reverts to barrier semantics.
+                        inner.txn = None;
                         inner.stats.degradations += 1;
                     }
                 }
@@ -882,30 +1238,58 @@ mod tests {
     }
 
     #[test]
-    fn writes_flush_pending_batch() {
+    fn writes_defer_across_conflicting_reads() {
+        // A write conflicting only with pending READS defers: batches
+        // execute in registration order server-side, so the earlier read
+        // still observes pre-write state when the batch drains.
         let e = env();
         let store = QueryStore::new(e.clone());
         let r1 = store.register("SELECT v FROM t WHERE id = 1").unwrap();
         store.register("SELECT v FROM t WHERE id = 2").unwrap();
-        let w = store.register("UPDATE t SET v = 'x' WHERE id = 1").unwrap();
-        // Write-aware batching: the pending reads AND the write ship in
-        // ONE round trip (the write no longer splits the flush in two).
-        assert_eq!(e.stats().round_trips, 1);
-        assert_eq!(store.pending_len(), 0);
-        assert_eq!(store.stats().write_flushes, 1);
-        assert_eq!(store.stats().write_batched, 1);
-        // In-order execution inside the batch: the read registered before
-        // the write observes pre-write state.
+        let w = store
+            .register_stmt("UPDATE t SET v = 'x' WHERE id = 1")
+            .unwrap();
+        assert!(w.deferred, "read-only conflicts no longer force a flush");
+        assert_eq!(e.stats().round_trips, 0);
+        assert_eq!(store.pending_len(), 3);
+        // Demanding the read drains everything in ONE round trip; the
+        // read registered before the write observes pre-write state.
         assert_eq!(
             store.result(r1).unwrap().get(0, "v").unwrap().as_str(),
             Some("v1")
         );
+        assert_eq!(e.stats().round_trips, 1);
         // The write's (empty) result is available without further trips.
-        let rs = store.result(w).unwrap();
+        let rs = store.result(w.id).unwrap();
         assert!(rs.is_empty());
         assert_eq!(e.stats().round_trips, 1);
         // The conflict analysis saw two segments: the reads (one of which
         // touches the written row) and the write.
+        assert_eq!(store.stats().segments, 2);
+        assert_eq!(store.stats().deferred_writes, 1);
+    }
+
+    #[test]
+    fn writes_flush_pending_batch_without_deferral() {
+        // With deferral off, the PR 4 write-aware contract is unchanged:
+        // the write joins the pending reads and forces one round trip.
+        let e = env();
+        e.set_write_deferral(false);
+        let store = QueryStore::new(e.clone());
+        let r1 = store.register("SELECT v FROM t WHERE id = 1").unwrap();
+        store.register("SELECT v FROM t WHERE id = 2").unwrap();
+        let w = store.register("UPDATE t SET v = 'x' WHERE id = 1").unwrap();
+        assert_eq!(e.stats().round_trips, 1);
+        assert_eq!(store.pending_len(), 0);
+        assert_eq!(store.stats().write_flushes, 1);
+        assert_eq!(store.stats().write_batched, 1);
+        assert_eq!(
+            store.result(r1).unwrap().get(0, "v").unwrap().as_str(),
+            Some("v1")
+        );
+        let rs = store.result(w).unwrap();
+        assert!(rs.is_empty());
+        assert_eq!(e.stats().round_trips, 1);
         assert_eq!(store.stats().segments, 2);
     }
 
@@ -1549,5 +1933,259 @@ mod tests {
             "degraded flushes use submit_solo: {:?}",
             d.stats()
         );
+    }
+
+    // ---- transaction-scoped laziness ----
+
+    #[test]
+    fn silent_transaction_defers_whole_and_drains_once() {
+        let e = env();
+        let store = QueryStore::new(e.clone());
+        assert!(store.register_stmt("BEGIN").unwrap().deferred);
+        assert!(
+            store
+                .register_stmt("UPDATE t SET v = 'a' WHERE id = 1")
+                .unwrap()
+                .deferred
+        );
+        assert!(
+            store
+                .register_stmt("UPDATE t SET v = 'b' WHERE id = 2")
+                .unwrap()
+                .deferred
+        );
+        assert!(store.register_stmt("COMMIT").unwrap().deferred);
+        // The whole BEGIN…COMMIT block lingered: zero round trips so far.
+        assert_eq!(e.stats().round_trips, 0);
+        assert_eq!(store.pending_len(), 4);
+        assert_eq!(store.stats().deferred_txns, 1);
+        // End-of-request drain ships the block as ONE round trip.
+        store.flush_deferred_writes().unwrap();
+        assert_eq!(e.stats().round_trips, 1);
+        assert_eq!(
+            e.query("SELECT v FROM t WHERE id = 1")
+                .unwrap()
+                .get(0, "v")
+                .unwrap()
+                .as_str(),
+            Some("a")
+        );
+    }
+
+    #[test]
+    fn transaction_with_interior_conflicts_still_defers() {
+        // Conflicting statements INSIDE one txn ride the same in-order
+        // batch: write-after-write and read-after-write resolve exactly
+        // as the serial program would.
+        let e = env();
+        let store = QueryStore::new(e.clone());
+        store.register_stmt("BEGIN").unwrap();
+        assert!(
+            store
+                .register_stmt("UPDATE t SET v = 'x' WHERE id = 3")
+                .unwrap()
+                .deferred
+        );
+        assert!(
+            store
+                .register_stmt("UPDATE t SET v = 'y' WHERE id = 3")
+                .unwrap()
+                .deferred
+        );
+        let r = store.register("SELECT v FROM t WHERE id = 3").unwrap();
+        store.register_stmt("COMMIT").unwrap();
+        assert_eq!(e.stats().round_trips, 0, "the block never split");
+        // The in-txn read observes the txn's own writes.
+        assert_eq!(
+            store.result(r).unwrap().get(0, "v").unwrap().as_str(),
+            Some("y")
+        );
+        assert_eq!(e.stats().round_trips, 1);
+    }
+
+    #[test]
+    fn barrier_inside_transaction_poisons_it() {
+        let e = env();
+        let store = QueryStore::new(e.clone());
+        store.register_stmt("BEGIN").unwrap();
+        store
+            .register_stmt("UPDATE t SET v = 'p' WHERE id = 4")
+            .unwrap();
+        // DDL is a barrier: the block reverts to eager semantics and
+        // everything pending drains with it.
+        store
+            .register_stmt("CREATE INDEX idx_poison ON t (v)")
+            .unwrap();
+        assert_eq!(store.pending_len(), 0);
+        let trips = e.stats().round_trips;
+        assert!(trips >= 1);
+        // The following COMMIT finds no open silent block: barrier path.
+        let c = store.register_stmt("COMMIT").unwrap();
+        assert!(!c.deferred);
+        assert_eq!(store.stats().deferred_txns, 0);
+    }
+
+    #[test]
+    fn unclosed_transaction_ships_whole_at_request_end() {
+        let e = env();
+        let store = QueryStore::new(e.clone());
+        store.register_stmt("BEGIN").unwrap();
+        store
+            .register_stmt("UPDATE t SET v = 'u' WHERE id = 5")
+            .unwrap();
+        // No COMMIT: the end-of-request hook must still execute the block.
+        store.flush_deferred_writes().unwrap();
+        assert_eq!(e.stats().round_trips, 1);
+        assert_eq!(
+            e.query("SELECT v FROM t WHERE id = 5")
+                .unwrap()
+                .get(0, "v")
+                .unwrap()
+                .as_str(),
+            Some("u")
+        );
+    }
+
+    // ---- read-your-writes rewrites ----
+
+    #[test]
+    fn read_your_writes_answers_locally_from_post_image() {
+        let e = env();
+        let store = QueryStore::new(e.clone());
+        let base = store.register("SELECT v FROM t WHERE id = 6").unwrap();
+        assert!(
+            store
+                .register_stmt("UPDATE t SET v = 'rw' WHERE id = 6")
+                .unwrap()
+                .deferred
+        );
+        // Re-reading the same row after the deferred write: the dedup hit
+        // is unsound (the write sits between the two positions), but the
+        // write's post-image fully determines the answer — rewrite.
+        let after = store.register("SELECT v FROM t WHERE id = 6").unwrap();
+        assert_ne!(base, after);
+        assert_eq!(e.stats().round_trips, 0, "no drain for the rewrite");
+        assert_eq!(store.stats().ryw_rewrites, 1);
+        // The base still answers pre-write, the rewrite post-write —
+        // byte-identical to the serial program at both positions.
+        assert_eq!(
+            store.result(after).unwrap().get(0, "v").unwrap().as_str(),
+            Some("rw")
+        );
+        assert_eq!(
+            store.result(base).unwrap().get(0, "v").unwrap().as_str(),
+            Some("v6")
+        );
+        // One drain shipped everything (base read + write).
+        assert_eq!(e.stats().round_trips, 1);
+        assert_eq!(
+            e.query("SELECT v FROM t WHERE id = 6")
+                .unwrap()
+                .get(0, "v")
+                .unwrap()
+                .as_str(),
+            Some("rw")
+        );
+    }
+
+    #[test]
+    fn read_your_writes_composes_overlays_in_write_order() {
+        // Two same-key updates can only both be pending inside a silent
+        // transaction (outside one, write-after-write drains); the
+        // rewrite overlays their post-images in write order.
+        let e = env();
+        let store = QueryStore::new(e.clone());
+        store.register("SELECT v FROM t WHERE id = 7").unwrap();
+        store.register_stmt("BEGIN").unwrap();
+        store
+            .register_stmt("UPDATE t SET v = 'first' WHERE id = 7")
+            .unwrap();
+        store
+            .register_stmt("UPDATE t SET v = 'second' WHERE id = 7")
+            .unwrap();
+        store.register_stmt("COMMIT").unwrap();
+        let r = store.register("SELECT v FROM t WHERE id = 7").unwrap();
+        assert_eq!(e.stats().round_trips, 0);
+        assert_eq!(
+            store.result(r).unwrap().get(0, "v").unwrap().as_str(),
+            Some("second"),
+            "later post-images overwrite earlier ones"
+        );
+    }
+
+    #[test]
+    fn read_your_writes_coerces_to_declared_column_type() {
+        // The overlay must store what the ENGINE would store: an integer
+        // literal written into a FLOAT column lands as a float.
+        let e = SimEnv::default_env();
+        e.seed_sql("CREATE TABLE m (id INT PRIMARY KEY, score FLOAT)")
+            .unwrap();
+        e.seed_sql("INSERT INTO m VALUES (1, 0.5)").unwrap();
+        let store = QueryStore::new(e.clone());
+        store.register("SELECT score FROM m WHERE id = 1").unwrap();
+        store
+            .register_stmt("UPDATE m SET score = 2 WHERE id = 1")
+            .unwrap();
+        let r = store.register("SELECT score FROM m WHERE id = 1").unwrap();
+        assert_eq!(store.stats().ryw_rewrites, 1);
+        let local = store.result(r).unwrap();
+        store.flush().unwrap();
+        let served = e.query("SELECT score FROM m WHERE id = 1").unwrap();
+        assert_eq!(
+            local.rows, served.rows,
+            "rewritten rows must be byte-identical to a real drain"
+        );
+    }
+
+    #[test]
+    fn non_key_exact_write_falls_back_to_drain() {
+        let e = env();
+        let store = QueryStore::new(e.clone());
+        store.register("SELECT v FROM t WHERE id = 8").unwrap();
+        // Range predicate: not key-exact, so no post-image exists and the
+        // conflicting re-read must fall back to the conservative drain.
+        store
+            .register_stmt("UPDATE t SET v = 'all' WHERE id >= 8")
+            .unwrap();
+        let r = store.register("SELECT v FROM t WHERE id = 8").unwrap();
+        assert_eq!(store.stats().ryw_rewrites, 0);
+        assert!(store.stats().conflict_drains >= 1);
+        assert_eq!(
+            store.result(r).unwrap().get(0, "v").unwrap().as_str(),
+            Some("all")
+        );
+    }
+
+    // ---- order-preserving deferred-write drain ----
+
+    #[test]
+    fn deferred_drain_keeps_disjoint_reads_but_ships_overtaken_ones() {
+        let e = env();
+        let store = QueryStore::new(e.clone());
+        // A read the later write conflicts with, and one it does not.
+        let hot = store.register("SELECT v FROM t WHERE id = 9").unwrap();
+        let cold = store.register("SELECT v FROM t WHERE id = 2").unwrap();
+        assert!(
+            store
+                .register_stmt("UPDATE t SET v = 'z' WHERE id = 9")
+                .unwrap()
+                .deferred
+        );
+        store.flush_deferred_writes().unwrap();
+        // The conflicting read rode the drain (shipping the write around
+        // it would have let the write overtake); the disjoint one stayed.
+        assert_eq!(store.pending_len(), 1);
+        assert_eq!(e.stats().round_trips, 1);
+        assert_eq!(
+            store.result(hot).unwrap().get(0, "v").unwrap().as_str(),
+            Some("v9"),
+            "the earlier read still observes pre-write state"
+        );
+        assert_eq!(e.stats().round_trips, 1, "hot was already answered");
+        assert_eq!(
+            store.result(cold).unwrap().get(0, "v").unwrap().as_str(),
+            Some("v2")
+        );
+        assert_eq!(e.stats().round_trips, 2);
     }
 }

@@ -328,6 +328,24 @@ impl Dispatcher {
     /// available (possibly having ridden a dispatch shared with other
     /// sessions — see the module docs for the equivalence argument).
     pub fn submit(&self, sqls: &[String]) -> Result<DispatchResult, SqlError> {
+        self.submit_with(sqls, None)
+    }
+
+    /// [`Dispatcher::submit`] with the session's already-derived
+    /// per-statement footprints threaded through (the query store's
+    /// deferral path has them in hand). Admission then reasons about the
+    /// caller's footprints verbatim — in particular, a deferred
+    /// `BEGIN…COMMIT` block whose boundaries carry empty placeholder
+    /// footprints (engine no-ops) enters the pairwise-disjoint
+    /// coalescing queue instead of being classified a barrier, which is
+    /// how disjoint transactions from different sessions share one
+    /// dispatch. A length mismatch falls back to deriving from the
+    /// template cache.
+    pub fn submit_with(
+        &self,
+        sqls: &[String],
+        precomputed: Option<&[Footprint]>,
+    ) -> Result<DispatchResult, SqlError> {
         if sqls.is_empty() {
             return Ok(DispatchResult {
                 results: Vec::new(),
@@ -347,8 +365,10 @@ impl Dispatcher {
             // Per-statement footprints come from the backend's template
             // cache and travel with the flush all the way to the planner.
             if self.env.write_batching_enabled() {
-                let per_stmt: Vec<Footprint> =
-                    sqls.iter().map(|s| self.env.footprint_of(s)).collect();
+                let per_stmt: Vec<Footprint> = match precomputed {
+                    Some(pre) if pre.len() == sqls.len() => pre.to_vec(),
+                    _ => sqls.iter().map(|s| self.env.footprint_of(s)).collect(),
+                };
                 let mut u = Footprint::default();
                 for fp in &per_stmt {
                     u.merge(fp);

@@ -567,6 +567,30 @@ impl SimEnv {
         out
     }
 
+    /// Declared type of `table.column`, if the table exists — the query
+    /// store's read-your-writes rewriter uses this to coerce overlay
+    /// values exactly as the engine's storage layer would (Int↔Float).
+    /// Answers from the catalog on either backend shape (DDL broadcasts
+    /// on a sharded fleet, so any shard's catalog is authoritative).
+    pub fn column_type(&self, table: &str, column: &str) -> Option<sloth_sql::ast::ColumnType> {
+        match &*self.backend {
+            Backend::Single(db) => db
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .table(table)
+                .and_then(|t| {
+                    t.columns
+                        .iter()
+                        .find(|c| c.name.eq_ignore_ascii_case(column))
+                        .map(|c| c.ty)
+                }),
+            Backend::Sharded(fleet) => fleet
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .column_type(table, column),
+        }
+    }
+
     /// The cost model in force.
     pub fn cost_model(&self) -> CostModel {
         self.cost()

@@ -293,6 +293,22 @@ impl Fleet {
         self.db_sleep_ppm = ppm;
     }
 
+    /// Declared type of `table.column`, if the table exists. DDL
+    /// broadcasts to every shard, so shard 0's catalog answers for the
+    /// whole fleet.
+    pub(crate) fn column_type(
+        &self,
+        table: &str,
+        column: &str,
+    ) -> Option<sloth_sql::ast::ColumnType> {
+        self.db_read(0).table(table).and_then(|t| {
+            t.columns
+                .iter()
+                .find(|c| c.name.eq_ignore_ascii_case(column))
+                .map(|c| c.ty)
+        })
+    }
+
     /// Write guard on shard `s`'s database (execution takes `&mut`).
     fn db(&self, s: usize) -> RwLockWriteGuard<'_, Database> {
         self.shards[s]

@@ -12,8 +12,15 @@
 //!   through view rendering.
 //! * [`render`] — walks the model through a `ThunkWriter`, producing the
 //!   page and triggering at most one batch flush for all buffered values.
+//! * [`http`] — the request dispatch layer: every handler runs its page
+//!   through `Prepared::run_with`, so each request gets a fresh session
+//!   and the end-of-request deferred-write drain.
 
 #![warn(missing_docs)]
+
+pub mod http;
+
+pub use http::{HttpRequest, HttpResponse, Router};
 
 use sloth_core::Thunk;
 use sloth_orm::Entity;

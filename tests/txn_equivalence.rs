@@ -1,0 +1,532 @@
+//! Transaction-scoped laziness equivalence, property-tested at the
+//! **query store** level: random streams of `BEGIN … COMMIT` blocks
+//! (disjoint and conflicting interiors, rollbacks, read-your-writes
+//! re-reads, interleaved forces) must produce per-statement results,
+//! final database state and error behaviour identical to the
+//! statement-at-a-time serial reference — across deferral on/off ×
+//! fusion on/off × shards ∈ {1, 2, 4}, and through the multi-session
+//! dispatcher, where disjoint deferred transactions coalesce.
+//!
+//! The post-image rewrite legality *edges* (UPDATE widening, IN-list
+//! pins, non-key-exact fallback) are unit-tested in
+//! `sloth_sql::footprint`; this suite checks the end-to-end behaviour.
+//!
+//! Deterministic SplitMix64 cases (no third-party crates available);
+//! failures print the generating stream.
+
+use std::sync::Arc;
+
+use sloth_core::QueryStore;
+use sloth_net::{CostModel, Dispatcher, ShardedEnv, SimEnv};
+use sloth_sql::{ShardSpec, Value};
+
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_add(0x9E3779B97F4A7C15))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next() % (hi - lo) as u64) as i64
+    }
+}
+
+fn seed_statements() -> Vec<String> {
+    let mut s = vec![
+        "CREATE TABLE project (id INT PRIMARY KEY, name TEXT)".to_string(),
+        "CREATE TABLE issue (id INT PRIMARY KEY, project_id INT, title TEXT, sev INT)".to_string(),
+        "CREATE INDEX ON issue (project_id)".to_string(),
+    ];
+    for p in 0..8 {
+        s.push(format!("INSERT INTO project VALUES ({p}, 'proj{p}')"));
+    }
+    for i in 0..40 {
+        s.push(format!(
+            "INSERT INTO issue VALUES ({i}, {}, 'bug{}', {})",
+            i % 8,
+            i % 5,
+            i % 4
+        ));
+    }
+    s
+}
+
+fn fresh_env() -> SimEnv {
+    let env = SimEnv::default_env();
+    for sql in seed_statements() {
+        env.seed_sql(&sql).unwrap();
+    }
+    env
+}
+
+fn fresh_sharded(n: usize) -> SimEnv {
+    let spec = ShardSpec::new().shard("issue", "id").shard("project", "id");
+    let fleet = ShardedEnv::new(CostModel::default(), spec, n);
+    let env = fleet.handle();
+    for sql in seed_statements() {
+        env.seed_sql(&sql).unwrap();
+    }
+    env
+}
+
+/// One step of a registration stream: a statement to register, or a
+/// force of the `n`-th registered statement so far.
+#[derive(Debug, Clone)]
+enum Op {
+    Stmt(String),
+    Force(usize),
+}
+
+/// One interior statement of a transaction block (or a bare statement).
+fn arb_stmt(rng: &mut Rng, next_insert_id: &mut i64) -> String {
+    match rng.range(0, 8) {
+        // Key-exact literal updates: post-image carriers.
+        0 | 1 => format!(
+            "UPDATE issue SET sev = {} WHERE id = {}",
+            rng.range(0, 9),
+            rng.range(0, 40)
+        ),
+        // Arithmetic update: footprint-routed but NOT rewritable.
+        2 => format!(
+            "UPDATE issue SET sev = sev + 1 WHERE id = {}",
+            rng.range(0, 40)
+        ),
+        // IN-list pinned update.
+        3 => format!(
+            "UPDATE issue SET title = 'seen{}' WHERE id IN ({}, {})",
+            rng.range(0, 4),
+            rng.range(0, 40),
+            rng.range(0, 40)
+        ),
+        4 => {
+            let id = *next_insert_id;
+            *next_insert_id += 1;
+            format!(
+                "INSERT INTO issue (id, project_id, title, sev) VALUES ({id}, {}, 't{id}', {})",
+                rng.range(0, 8),
+                rng.range(0, 4)
+            )
+        }
+        5 => format!(
+            "UPDATE project SET name = 'renamed{}' WHERE id = {}",
+            rng.range(0, 4),
+            rng.range(0, 8)
+        ),
+        // Point reads (dedup/rewrite bases) and scans.
+        6 => format!(
+            "SELECT title, sev FROM issue WHERE id = {}",
+            rng.range(0, 40)
+        ),
+        _ => format!(
+            "SELECT * FROM issue WHERE project_id = {} ORDER BY id",
+            rng.range(0, 8)
+        ),
+    }
+}
+
+/// A random stream of transaction blocks, bare statements,
+/// read-update-reread triples (the read-your-writes shape) and forces.
+fn arb_txn_stream(rng: &mut Rng, next_insert_id: &mut i64) -> Vec<Op> {
+    let segments = rng.range(2, 7);
+    let mut ops: Vec<Op> = Vec::new();
+    let mut registered = 0usize;
+    let push = |ops: &mut Vec<Op>, registered: &mut usize, sql: String| {
+        ops.push(Op::Stmt(sql));
+        *registered += 1;
+    };
+    for _ in 0..segments {
+        match rng.range(0, 6) {
+            // A transaction block: 1–4 interior statements, closed by
+            // COMMIT (usually) or ROLLBACK.
+            0..=2 => {
+                push(&mut ops, &mut registered, "BEGIN".to_string());
+                for _ in 0..rng.range(1, 5) {
+                    let sql = arb_stmt(rng, next_insert_id);
+                    push(&mut ops, &mut registered, sql);
+                }
+                let close = if rng.range(0, 6) == 0 {
+                    "ROLLBACK"
+                } else {
+                    "COMMIT"
+                };
+                push(&mut ops, &mut registered, close.to_string());
+            }
+            // The read-your-writes shape: read a row, update it with a
+            // key-exact literal, read it again — the re-read must see
+            // the pending write without draining.
+            3 => {
+                let id = rng.range(0, 40);
+                push(
+                    &mut ops,
+                    &mut registered,
+                    format!("SELECT title, sev FROM issue WHERE id = {id}"),
+                );
+                push(
+                    &mut ops,
+                    &mut registered,
+                    format!("UPDATE issue SET sev = {} WHERE id = {id}", rng.range(0, 9)),
+                );
+                push(
+                    &mut ops,
+                    &mut registered,
+                    format!("SELECT title, sev FROM issue WHERE id = {id}"),
+                );
+            }
+            // A bare statement.
+            4 => {
+                let sql = arb_stmt(rng, next_insert_id);
+                push(&mut ops, &mut registered, sql);
+            }
+            // A force of something already registered.
+            _ => {
+                if registered > 0 {
+                    ops.push(Op::Force(rng.range(0, registered as i64) as usize));
+                } else {
+                    let sql = arb_stmt(rng, next_insert_id);
+                    push(&mut ops, &mut registered, sql);
+                }
+            }
+        }
+    }
+    ops
+}
+
+fn state_fingerprint(env: &SimEnv) -> Vec<Vec<Value>> {
+    let mut rows = env
+        .query("SELECT id, project_id, title, sev FROM issue ORDER BY id")
+        .unwrap()
+        .rows;
+    rows.extend(
+        env.query("SELECT id, name FROM project ORDER BY id")
+            .unwrap()
+            .rows,
+    );
+    rows
+}
+
+/// Runs a stream through one store configuration and checks every
+/// registered statement's result against the serial reference.
+fn check_stream(ops: &[Op], env: SimEnv, label: &str) {
+    let serial = fresh_env();
+    let sqls: Vec<&String> = ops
+        .iter()
+        .filter_map(|o| match o {
+            Op::Stmt(s) => Some(s),
+            Op::Force(_) => None,
+        })
+        .collect();
+    let serial_results: Vec<_> = sqls
+        .iter()
+        .map(|sql| {
+            serial
+                .query(sql)
+                .unwrap_or_else(|e| panic!("{label}: serial {sql}: {e}"))
+        })
+        .collect();
+
+    let store = QueryStore::new(env.clone());
+    let mut ids = Vec::new();
+    for op in ops {
+        match op {
+            Op::Stmt(sql) => {
+                let id = store
+                    .register(sql.clone())
+                    .unwrap_or_else(|e| panic!("{label}: register {sql}: {e} (ops {ops:#?})"));
+                ids.push(id);
+            }
+            Op::Force(i) => {
+                store
+                    .result(ids[*i])
+                    .unwrap_or_else(|e| panic!("{label}: force {i}: {e} (ops {ops:#?})"));
+            }
+        }
+    }
+    store
+        .flush()
+        .unwrap_or_else(|e| panic!("{label}: final flush: {e} (ops {ops:#?})"));
+    store.flush_deferred_writes().unwrap();
+    for (i, id) in ids.iter().enumerate() {
+        let got = store
+            .result(*id)
+            .unwrap_or_else(|e| panic!("{label}: result {i}: {e} (ops {ops:#?})"));
+        assert_eq!(
+            got, serial_results[i],
+            "{label}: statement {i} ({}) diverged (ops {ops:#?})",
+            sqls[i]
+        );
+    }
+    assert_eq!(
+        state_fingerprint(&env),
+        state_fingerprint(&serial),
+        "{label}: final state diverged (ops {ops:#?})"
+    );
+}
+
+/// The main grid: deferral × fusion × shards, 40 random txn streams each.
+#[test]
+fn random_txn_streams_match_serial_reference() {
+    for case in 0..40u64 {
+        let mut rng = Rng::new(0x7A9_0001 ^ case);
+        let mut next_id = 500;
+        let ops = arb_txn_stream(&mut rng, &mut next_id);
+        for deferral in [true, false] {
+            for fusion in [true, false] {
+                for shards in [1usize, 2, 4] {
+                    let env = if shards == 1 {
+                        fresh_env()
+                    } else {
+                        fresh_sharded(shards)
+                    };
+                    env.set_write_deferral(deferral);
+                    env.set_fusion(fusion);
+                    let label =
+                        format!("case {case} deferral={deferral} fusion={fusion} shards={shards}");
+                    check_stream(&ops, env, &label);
+                }
+            }
+        }
+    }
+}
+
+/// The suite must actually exercise the new machinery: across the random
+/// streams, silent transactions defer and read-your-writes rewrites fire.
+#[test]
+fn txn_streams_exercise_silent_txns_and_rewrites() {
+    let mut deferred_txns = 0u64;
+    let mut ryw = 0u64;
+    for case in 0..40u64 {
+        let mut rng = Rng::new(0x7A9_0001 ^ case);
+        let mut next_id = 500;
+        let ops = arb_txn_stream(&mut rng, &mut next_id);
+        let env = fresh_env();
+        let store = QueryStore::new(env);
+        let mut ids = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Stmt(sql) => ids.push(store.register(sql.clone()).unwrap()),
+                Op::Force(i) => {
+                    store.result(ids[*i]).unwrap();
+                }
+            }
+        }
+        store.flush_deferred_writes().unwrap();
+        let stats = store.stats();
+        deferred_txns += stats.deferred_txns;
+        ryw += stats.ryw_rewrites;
+    }
+    assert!(deferred_txns > 0, "no stream deferred a whole transaction");
+    assert!(ryw > 0, "no stream hit the read-your-writes rewrite");
+}
+
+/// Transaction-scoped laziness must never cost round trips on these
+/// streams, and across the suite it must strictly save them.
+#[test]
+fn txn_deferral_saves_round_trips() {
+    let mut saved_total = 0i64;
+    for case in 0..40u64 {
+        let mut rng = Rng::new(0x7A9_5AFE ^ case);
+        let mut next_id = 900;
+        let ops = arb_txn_stream(&mut rng, &mut next_id);
+        let mut trips = Vec::new();
+        for deferral in [false, true] {
+            let env = fresh_env();
+            env.set_write_deferral(deferral);
+            let store = QueryStore::new(env.clone());
+            let mut ids = Vec::new();
+            for op in &ops {
+                match op {
+                    Op::Stmt(sql) => ids.push(store.register(sql.clone()).unwrap()),
+                    Op::Force(i) => {
+                        store.result(ids[*i]).unwrap();
+                    }
+                }
+            }
+            store.flush().unwrap();
+            store.flush_deferred_writes().unwrap();
+            trips.push(env.stats().round_trips);
+        }
+        assert!(
+            trips[1] <= trips[0],
+            "case {case}: deferral added trips ({} vs {}): {ops:#?}",
+            trips[1],
+            trips[0]
+        );
+        saved_total += trips[0] as i64 - trips[1] as i64;
+    }
+    assert!(
+        saved_total > 0,
+        "txn deferral saved nothing across the suite"
+    );
+}
+
+/// Error timing under transactions: a failing statement **inside** the
+/// last transaction of the stream. Serially, execution stops at the
+/// failure; lazily the whole deferred block drains at the end and the
+/// batch stops at the same statement — the error, every result before
+/// it, and the final state must all match the serial prefix.
+#[test]
+fn failing_statement_mid_txn_matches_serial_prefix() {
+    for case in 0..20u64 {
+        let mut rng = Rng::new(0xBAD_7A9 ^ case);
+        let mut next_id = 700;
+        let mut ops = arb_txn_stream(&mut rng, &mut next_id);
+        ops.push(Op::Stmt("BEGIN".to_string()));
+        ops.push(Op::Stmt(format!(
+            "UPDATE issue SET sev = 8 WHERE id = {}",
+            rng.range(0, 40)
+        )));
+        ops.push(Op::Stmt(
+            "UPDATE missing SET v = 1 WHERE id = 1".to_string(),
+        ));
+        ops.push(Op::Stmt(format!(
+            "UPDATE issue SET sev = 9 WHERE id = {}",
+            rng.range(0, 40)
+        )));
+        ops.push(Op::Stmt("COMMIT".to_string()));
+
+        let serial = fresh_env();
+        let mut serial_results = Vec::new();
+        let mut serial_err = None;
+        for op in &ops {
+            if let Op::Stmt(sql) = op {
+                match serial.query(sql) {
+                    Ok(rs) => serial_results.push(rs),
+                    Err(e) => {
+                        serial_err = Some(e);
+                        break;
+                    }
+                }
+            }
+        }
+        let serial_err = serial_err.expect("the mid-txn statement must fail");
+
+        let env = fresh_env();
+        let store = QueryStore::new(env.clone());
+        let mut ids = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Stmt(sql) => match store.register(sql.clone()) {
+                    Ok(id) => ids.push(id),
+                    Err(e) => panic!("case {case}: only the drain may error, got {e} at register"),
+                },
+                Op::Force(i) => {
+                    store.result(ids[*i]).unwrap();
+                }
+            }
+        }
+        let err = store
+            .flush()
+            .expect_err("the drain surfaces the mid-txn error");
+        assert_eq!(err, serial_err, "case {case}: first error diverged");
+        for (i, rs) in serial_results.iter().enumerate() {
+            assert_eq!(
+                &store.result(ids[i]).unwrap(),
+                rs,
+                "case {case}: statement {i} diverged"
+            );
+        }
+        assert_eq!(
+            state_fingerprint(&env),
+            state_fingerprint(&serial),
+            "case {case}: state after failing drain diverged"
+        );
+    }
+}
+
+/// Multi-session transactions through the shared dispatcher: sessions
+/// running whole `BEGIN … COMMIT` blocks over disjoint row ranges defer
+/// them, the dispatcher coalesces the disjoint blocks, and every effect
+/// applies exactly once — no transaction ever splits across dispatches.
+#[test]
+fn dispatched_sessions_coalesce_disjoint_transactions() {
+    use std::sync::Barrier;
+    let env = fresh_env();
+    let dispatcher = Arc::new(Dispatcher::with_window(
+        env.clone(),
+        std::time::Duration::from_millis(15),
+    ));
+    let n = 4usize;
+    let rows_per = 10i64;
+    let barrier = Arc::new(Barrier::new(n));
+    let handles: Vec<_> = (0..n)
+        .map(|t| {
+            let d = Arc::clone(&dispatcher);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let base = t as i64 * rows_per;
+                let mut rng = Rng::new(0x7A9_C0DE ^ t as u64);
+                // Each session runs transactions over its own rows; the
+                // serial reference replays the same stream alone.
+                let serial = fresh_env();
+                let mut stream = Vec::new();
+                for _ in 0..3 {
+                    stream.push("BEGIN".to_string());
+                    for _ in 0..rng.range(1, 4) {
+                        let row = base + rng.range(0, rows_per);
+                        if rng.range(0, 3) == 0 {
+                            stream.push(format!("SELECT sev FROM issue WHERE id = {row}"));
+                        } else {
+                            stream.push(format!("UPDATE issue SET sev = sev + 1 WHERE id = {row}"));
+                        }
+                    }
+                    stream.push("COMMIT".to_string());
+                }
+                let expected: Vec<_> = stream
+                    .iter()
+                    .map(|sql| serial.query(sql).unwrap())
+                    .collect();
+
+                barrier.wait();
+                let store = QueryStore::dispatched(d);
+                let ids: Vec<_> = stream
+                    .iter()
+                    .map(|sql| store.register(sql.clone()).unwrap())
+                    .collect();
+                store.flush_deferred_writes().unwrap();
+                for (i, id) in ids.iter().enumerate() {
+                    assert_eq!(
+                        store.result(*id).unwrap(),
+                        expected[i],
+                        "session {t} stmt {i} ({})",
+                        stream[i]
+                    );
+                }
+                (store.stats(), serial)
+            })
+        })
+        .collect();
+    let mut deferred_txns = 0u64;
+    let mut serials = Vec::new();
+    for h in handles {
+        let (stats, serial) = h.join().unwrap();
+        deferred_txns += stats.deferred_txns;
+        serials.push(serial);
+    }
+    assert!(
+        deferred_txns >= n as u64,
+        "every session must defer whole transactions (got {deferred_txns})"
+    );
+    // Exact-once effects: each row's final sev equals its own session's
+    // serial outcome.
+    for (t, serial) in serials.iter().enumerate() {
+        let base = t as i64 * rows_per;
+        for row in base..base + rows_per {
+            let got = env
+                .query(&format!("SELECT sev FROM issue WHERE id = {row}"))
+                .unwrap();
+            let want = serial
+                .query(&format!("SELECT sev FROM issue WHERE id = {row}"))
+                .unwrap();
+            assert_eq!(got, want, "row {row} of session {t}");
+        }
+    }
+}
