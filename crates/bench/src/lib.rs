@@ -14,6 +14,7 @@ pub mod fusion;
 pub mod microbench;
 pub mod serve;
 pub mod shard;
+pub mod snapshot;
 pub mod throughput;
 pub mod writebatch;
 

@@ -69,6 +69,17 @@ pub struct ServeCfg {
     pub realtime_scale: f64,
     /// Dispatcher coalescing window (lazy driver only).
     pub window: Duration,
+    /// Injected leader hold-open rider count (lazy driver only; `0`
+    /// disables). When set, each dispatch leader holds its dispatch open
+    /// until the stripe queue reaches this depth (bounded by
+    /// [`sloth_net::dispatch::HOLD_OPEN_CAP`]), making coalescing a
+    /// workload property instead of a scheduler race — the
+    /// coalescing-presence gate runs on a dedicated pass with this set.
+    pub hold_open: usize,
+    /// Dispatcher stripe count (lazy driver only; `0` = the dispatcher's
+    /// [`sloth_net::dispatch::DEFAULT_STRIPES`]). The hold-open pass pins
+    /// `1` so every flush meets the same leader.
+    pub stripes: usize,
     /// How many of the app's pages rotate through the mix.
     pub page_mix: usize,
 }
@@ -82,6 +93,8 @@ impl Default for ServeCfg {
             rtt_ms: 2.0,
             realtime_scale: 1.0,
             window: Duration::from_micros(150),
+            hold_open: 0,
+            stripes: 0,
             page_mix: 6,
         }
     }
@@ -188,7 +201,13 @@ pub fn serve(app: &BenchApp, driver: ServeDriver, cfg: &ServeCfg) -> ServeOutcom
     let dispatcher = match driver {
         ServeDriver::Eager => None,
         ServeDriver::LazyBatched => {
-            Some(Arc::new(Dispatcher::with_window(env.clone(), cfg.window)))
+            let d = Arc::new(if cfg.stripes > 0 {
+                Dispatcher::with_stripes(env.clone(), cfg.window, cfg.stripes)
+            } else {
+                Dispatcher::with_window(env.clone(), cfg.window)
+            });
+            d.set_hold_open(cfg.hold_open);
+            Some(d)
         }
     };
 

@@ -1180,7 +1180,9 @@ mod tests {
 
         let e = env();
         let store = QueryStore::new(e.clone());
-        store.register("SELECT v FROM t WHERE id = 1").unwrap();
+        // A write-containing batch: read-only flushes run on the
+        // published snapshot and never wedge behind the write lock.
+        store.register("UPDATE t SET v = 'w' WHERE id = 1").unwrap();
 
         // Wedge the flush mid-ship at the backend.
         let db = e.database();
@@ -1216,6 +1218,49 @@ mod tests {
         drop(wedge);
         flusher.join().unwrap();
         assert_eq!(store.stats().batches, 1);
+    }
+
+    /// Tentpole regression (reader-wedge, store layer): a read-only
+    /// flush must complete with bounded latency while another thread
+    /// holds the database write lock mid-batch — the store's drain path
+    /// rides the driver's snapshot reads, so a stalled writer cannot
+    /// stall page rendering.
+    #[test]
+    fn read_only_flush_completes_while_writer_holds_the_db() {
+        use std::sync::mpsc;
+        use std::time::Duration;
+
+        let e = env();
+        let store = QueryStore::new(e.clone());
+        let q = store.register("SELECT v FROM t WHERE id = 1").unwrap();
+
+        // Hold the write lock with an uncommitted mutation in place.
+        let db = e.database();
+        let mut wedge = db.write().unwrap();
+        wedge
+            .execute("UPDATE t SET v = 'dirty' WHERE id = 1")
+            .unwrap();
+
+        let (tx, rx) = mpsc::channel();
+        {
+            let store = store.clone();
+            std::thread::spawn(move || {
+                tx.send(store.result(q).unwrap()).unwrap();
+            });
+        }
+        let rs = rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("read-only flush must not block behind the held write lock");
+        assert_eq!(
+            rs.get(0, "v").unwrap().as_str(),
+            Some("v1"),
+            "the drain observed the last committed state"
+        );
+        assert!(
+            e.stats().snapshot_batches >= 1,
+            "drain used the snapshot path"
+        );
+        drop(wedge);
     }
 
     #[test]

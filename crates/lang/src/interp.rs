@@ -181,6 +181,9 @@ impl Prepared {
                 bytes: after.bytes.saturating_sub(before.bytes),
                 fused_queries: after.fused_queries.saturating_sub(before.fused_queries),
                 fused_groups: after.fused_groups.saturating_sub(before.fused_groups),
+                snapshot_batches: after
+                    .snapshot_batches
+                    .saturating_sub(before.snapshot_batches),
             },
             store: store_stats,
         })

@@ -38,7 +38,7 @@
 use std::collections::HashMap;
 
 use sloth_sql::fuse::{self, FusableLookup, FusedPlan};
-use sloth_sql::{Footprint, Normalized, ResultSet, SqlError, Value};
+use sloth_sql::{ExecOutcome, Footprint, Normalized, ResultSet, Snapshot, SqlError, Value};
 
 /// Default cap on the arity of one fused `IN` probe. Groups with more
 /// distinct probed values split into several probes, bounding both the
@@ -354,6 +354,75 @@ pub(crate) struct BatchExec {
     /// batch (summed over shards on a fleet) — the pressure signal the
     /// self-tuning fused-probe arity watches.
     pub plan_evictions: u64,
+    /// The backend data version the results reflect (summed over shards
+    /// on a fleet): the post-commit version for write batches, the
+    /// snapshot's frozen version for snapshot reads. The result cache
+    /// compares it against the currently *published* version at settle
+    /// time and refuses to fill from results a later commit outdated.
+    pub db_version: u64,
+}
+
+/// What the single-server batch executor needs from its execution target —
+/// implemented by the live [`sloth_sql::Database`] (full read/write
+/// surface, used under the backend's write lock) and by `&`[`Snapshot`]
+/// (read-only MVCC view, used lock-free by read-only batches). One
+/// executor body serves both, so the snapshot path cannot drift from the
+/// locked path in results, cost accounting, or fusion behaviour.
+pub(crate) trait BatchDb {
+    /// Executes a pre-normalized `SELECT`.
+    fn exec_normalized(&mut self, sql: &str, norm: &Normalized) -> Result<ExecOutcome, SqlError>;
+    /// Executes arbitrary SQL (reads and, on the live database, writes).
+    fn exec_any(&mut self, sql: &str) -> Result<ExecOutcome, SqlError>;
+    /// Executes an already-built fused `SELECT … IN (…)` probe.
+    fn exec_fused(&mut self, stmt: &sloth_sql::Statement) -> Result<ExecOutcome, SqlError>;
+    /// Cumulative plan-cache eviction count (arity self-tuning signal).
+    fn plan_evictions(&self) -> u64;
+    /// The data version the produced results reflect.
+    fn data_version(&self) -> u64;
+}
+
+impl BatchDb for sloth_sql::Database {
+    fn exec_normalized(&mut self, sql: &str, norm: &Normalized) -> Result<ExecOutcome, SqlError> {
+        self.execute_select_normalized(sql, norm)
+    }
+
+    fn exec_any(&mut self, sql: &str) -> Result<ExecOutcome, SqlError> {
+        self.execute(sql)
+    }
+
+    fn exec_fused(&mut self, stmt: &sloth_sql::Statement) -> Result<ExecOutcome, SqlError> {
+        self.execute_stmt(stmt)
+    }
+
+    fn plan_evictions(&self) -> u64 {
+        self.plan_cache_stats().evictions
+    }
+
+    fn data_version(&self) -> u64 {
+        self.version()
+    }
+}
+
+impl BatchDb for &Snapshot {
+    fn exec_normalized(&mut self, sql: &str, norm: &Normalized) -> Result<ExecOutcome, SqlError> {
+        self.execute_select_normalized(sql, norm)
+    }
+
+    fn exec_any(&mut self, sql: &str) -> Result<ExecOutcome, SqlError> {
+        self.execute_readonly(sql)
+    }
+
+    fn exec_fused(&mut self, stmt: &sloth_sql::Statement) -> Result<ExecOutcome, SqlError> {
+        self.execute_read_stmt(stmt)
+    }
+
+    fn plan_evictions(&self) -> u64 {
+        self.plan_cache_stats().evictions
+    }
+
+    fn data_version(&self) -> u64 {
+        self.version()
+    }
 }
 
 /// The single-server batch executor (the original Sloth deployment): one
@@ -365,8 +434,8 @@ pub(crate) struct BatchExec {
 /// the same batch (see the fault layer): those positions are answered
 /// from the journal — charged as result bytes, never re-executed — which
 /// is what makes replaying a timed-out write batch exactly-once.
-pub(crate) fn exec_single(
-    db: &mut sloth_sql::Database,
+pub(crate) fn exec_single<D: BatchDb>(
+    db: &mut D,
     cost: &crate::CostModel,
     sqls: &[String],
     plan: &BatchPlan,
@@ -407,8 +476,8 @@ pub(crate) fn exec_single(
                 }
                 bytes += sqls[i].len() as u64;
                 let out = match &plan.norms[i] {
-                    Some(n) => db.execute_select_normalized(&sqls[i], n),
-                    None => db.execute(&sqls[i]),
+                    Some(n) => db.exec_normalized(&sqls[i], n),
+                    None => db.exec_any(&sqls[i]),
                 };
                 let out = match out {
                     Ok(out) => out,
@@ -458,7 +527,7 @@ pub(crate) fn exec_single(
                     let fplan = fuse::build_fused(&lookup.select, &lookup.column, &owned);
                     let fused_sql = fuse::render_select(&fplan.stmt);
                     bytes += fused_sql.len() as u64;
-                    let out = match db.execute_stmt(&fplan.stmt) {
+                    let out = match db.exec_fused(&fplan.stmt) {
                         Ok(out) => out,
                         Err(e) => {
                             error = Some((i, e));
@@ -493,7 +562,8 @@ pub(crate) fn exec_single(
         bytes,
         fused_queries,
         fused_groups,
-        plan_evictions: db.plan_cache_stats().evictions,
+        plan_evictions: db.plan_evictions(),
+        db_version: db.data_version(),
     }
 }
 

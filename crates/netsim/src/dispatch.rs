@@ -83,7 +83,7 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use sloth_sql::{is_write_sql, Footprint, ResultSet, SqlError};
 
@@ -230,8 +230,19 @@ pub struct Dispatcher {
     /// Round-robin cursor for read-only flushes.
     rr: AtomicUsize,
     window: Duration,
+    /// Injected leader hold-open (see [`Dispatcher::set_hold_open`]):
+    /// when > 0, a leader keeps its dispatch open until the stripe queue
+    /// holds this many flushes (bounded by [`HOLD_OPEN_CAP`]). `0` (the
+    /// default) disables the mechanism entirely.
+    hold_open: AtomicUsize,
     stats: Mutex<DispatcherStats>,
 }
+
+/// Upper bound on how long a leader waits for riders under
+/// [`Dispatcher::set_hold_open`]. Keeps a quiet deployment from wedging:
+/// if the expected riders never arrive, the dispatch proceeds with
+/// whatever is queued once the cap expires.
+pub const HOLD_OPEN_CAP: Duration = Duration::from_millis(50);
 
 impl Dispatcher {
     /// A dispatcher over `env` with no coalescing window: pure group
@@ -263,8 +274,32 @@ impl Dispatcher {
                 .collect(),
             rr: AtomicUsize::new(0),
             window,
+            hold_open: AtomicUsize::new(0),
             stats: Mutex::new(DispatcherStats::default()),
         }
+    }
+
+    /// Sets the injected leader **hold-open**: when `riders > 0`, a
+    /// dispatch leader keeps its dispatch open until the stripe's queue
+    /// holds `riders` flushes (its own included), instead of racing the
+    /// wall clock with the coalescing window. Queue depth is a property
+    /// of the workload, not of scheduler timing, so coalescing becomes
+    /// **deterministic**: `riders` concurrent sessions flushing into one
+    /// stripe always share one dispatch. The wait is bounded by
+    /// [`HOLD_OPEN_CAP`], so a deployment that never reaches the rider
+    /// count still makes progress — the cap only fires on under-filled
+    /// queues, never on the saturated ones the mechanism targets.
+    ///
+    /// `0` (the default) disables the hold-open; the window (if any)
+    /// governs as before. Intended for coalescing-presence measurement
+    /// and tests; production paths leave it off.
+    pub fn set_hold_open(&self, riders: usize) {
+        self.hold_open.store(riders, Ordering::Relaxed);
+    }
+
+    /// Current injected hold-open rider count (`0` = disabled).
+    pub fn hold_open(&self) -> usize {
+        self.hold_open.load(Ordering::Relaxed)
     }
 
     /// The deployment this dispatcher serves.
@@ -404,6 +439,12 @@ impl Dispatcher {
             fps,
             union,
         });
+        if self.hold_open.load(Ordering::Relaxed) > 0 {
+            // A leader may be holding its dispatch open waiting on queue
+            // depth — wake it so it re-checks. Waiting riders re-check
+            // and sleep again; spurious wakeups are harmless.
+            stripe.cv.notify_all();
+        }
         loop {
             if let Some(r) = st.done.remove(&ticket) {
                 return r;
@@ -417,7 +458,25 @@ impl Dispatcher {
             }
             // Become this stripe's dispatch leader.
             st.dispatching = true;
-            if !self.window.is_zero() {
+            let hold = self.hold_open.load(Ordering::Relaxed);
+            if hold > 0 {
+                // Injected hold-open: wait on queue *depth* (a workload
+                // property) rather than the wall clock, so coalescing is
+                // deterministic. Bounded by HOLD_OPEN_CAP so an
+                // under-filled queue still dispatches.
+                let deadline = Instant::now() + HOLD_OPEN_CAP;
+                while st.queue.len() < hold {
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        break;
+                    }
+                    let (st2, _) = stripe
+                        .cv
+                        .wait_timeout(st, left)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    st = st2;
+                }
+            } else if !self.window.is_zero() {
                 // Bounded coalescing window: hold the dispatch open so
                 // near-simultaneous flushes can join. Spurious wakeups
                 // only shorten the window, never change semantics.
@@ -842,6 +901,69 @@ mod tests {
         // The backend saw fewer round trips than flushes.
         assert_eq!(env.stats().round_trips, s.dispatches);
         assert_eq!(env.stats().queries, 24);
+    }
+
+    #[test]
+    fn hold_open_coalesces_deterministically() {
+        let env = seeded_env();
+        // Zero window: without the hold-open, coalescing here would be a
+        // pure race. One stripe so every read-only flush meets the same
+        // leader.
+        let d = Arc::new(Dispatcher::with_stripes(env.clone(), Duration::ZERO, 1));
+        let n = 8usize;
+        d.set_hold_open(n);
+        assert_eq!(d.hold_open(), n);
+        let barrier = Arc::new(Barrier::new(n));
+        let handles: Vec<_> = (0..n)
+            .map(|t| {
+                let d = Arc::clone(&d);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let sqls = vec![format!("SELECT v FROM t WHERE id = {t}")];
+                    barrier.wait();
+                    let r = d.submit(&sqls).unwrap();
+                    assert_eq!(
+                        r.results[0].get(0, "v").unwrap().as_str(),
+                        Some(format!("v{t}").as_str())
+                    );
+                    r.coalesced
+                })
+            })
+            .collect();
+        let coalesced = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|&c| c)
+            .count();
+        let s = d.stats();
+        // The leader holds the dispatch open until all 8 flushes queue:
+        // exactly one combined dispatch, every batch a rider.
+        assert_eq!(s.flushes, 8);
+        assert_eq!(s.dispatches, 1, "{s:?}");
+        assert_eq!(s.coalesced_batches, 8, "{s:?}");
+        assert_eq!(s.max_coalesced, 8, "{s:?}");
+        assert_eq!(coalesced, 8);
+        assert_eq!(env.stats().round_trips, 1);
+    }
+
+    #[test]
+    fn hold_open_cap_bounds_a_lonely_leader() {
+        let d = Dispatcher::with_stripes(seeded_env(), Duration::ZERO, 1);
+        d.set_hold_open(8);
+        // A single session can never fill the queue to 8: the cap must
+        // release the dispatch rather than wedge the flush.
+        let start = Instant::now();
+        let r = d
+            .submit(&["SELECT v FROM t WHERE id = 0".to_string()])
+            .unwrap();
+        assert!(!r.coalesced);
+        assert!(
+            start.elapsed() < HOLD_OPEN_CAP * 4,
+            "hold-open must be bounded by the cap"
+        );
+        let s = d.stats();
+        assert_eq!(s.dispatches, 1);
+        assert_eq!(s.coalesced_batches, 0);
     }
 
     #[test]

@@ -40,7 +40,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
-use sloth_sql::{Database, ResultSet, SqlError};
+use sloth_sql::{Database, ResultSet, Snapshot, SqlError};
 
 pub use cache::ResultCacheStats;
 pub use dispatch::{DispatchResult, Dispatcher, DispatcherStats};
@@ -160,6 +160,9 @@ pub struct NetStats {
     /// Fused executions performed (one per group of ≥ 2 same-template
     /// lookups).
     pub fused_groups: u64,
+    /// Read-only batches executed against a published MVCC snapshot
+    /// (never took the database lock at all).
+    pub snapshot_batches: u64,
 }
 
 impl NetStats {
@@ -231,20 +234,52 @@ pub struct PartialOutcome {
 ///
 /// The backend kind is fixed at construction and reached **without any
 /// deployment-wide lock**: the single server synchronizes on its own
-/// `RwLock`, the fleet on its own `Mutex` (one logical server). Every
-/// other piece of deployment state — counters, knobs, the result cache,
-/// the fault layer — has its own fine-grained home (see the lock
-/// hierarchy in `DESIGN.md` § Concurrency model).
+/// `RwLock` plus a published-snapshot cell, the fleet on its per-shard
+/// locks, snapshot cells and a write-order mutex. Every other piece of
+/// deployment state — counters, knobs, the result cache, the fault
+/// layer — has its own fine-grained home (see the lock hierarchy in
+/// `DESIGN.md` § Concurrency model).
 // One instance per deployment, behind an `Arc` — boxing the fleet would
 // buy nothing but an extra indirection on every sharded batch.
 #[allow(clippy::large_enum_variant)]
 pub(crate) enum Backend {
     /// The paper's deployment: a single database server behind an
-    /// `RwLock` — shareable with out-of-band seeding/inspection.
-    Single(Arc<RwLock<Database>>),
-    /// N independent servers behind the scatter-gather router,
-    /// serialized by the fleet's own mutex.
-    Sharded(Mutex<shard::Fleet>),
+    /// `RwLock` — shareable with out-of-band seeding/inspection — plus
+    /// the **published snapshot cell**: the immutable read view the most
+    /// recent committed write batch published. Read-only batches clone
+    /// the `Arc` out of the cell and execute without ever touching the
+    /// database lock; only write batches (and the publish itself) take
+    /// the write guard. The cell is a leaf lock: held for an `Arc`
+    /// clone/swap only, never across execution, so it may be taken under
+    /// any other lock (the result-cache settle does).
+    Single {
+        /// The live database: write batches and out-of-band seeding.
+        db: Arc<RwLock<Database>>,
+        /// Published read view; see above.
+        snap: Mutex<Arc<Snapshot>>,
+    },
+    /// N independent servers behind the scatter-gather router. The fleet
+    /// is interior-mutable (per-shard locks, published-snapshot cells, a
+    /// write-order mutex), so snapshot read-only batches execute with no
+    /// fleet-level lock at all.
+    Sharded(shard::Fleet),
+}
+
+impl Backend {
+    /// A single-server backend with its initial snapshot published.
+    fn single(db: Database) -> Backend {
+        let snap = Mutex::new(Arc::new(db.snapshot()));
+        Backend::Single {
+            db: Arc::new(RwLock::new(db)),
+            snap,
+        }
+    }
+}
+
+/// Locks a published-snapshot cell with the usual poison recovery.
+fn lock_snap(snap: &Mutex<Arc<Snapshot>>) -> std::sync::MutexGuard<'_, Arc<Snapshot>> {
+    snap.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Saturating add on a shared counter (CAS loop, like [`Clock::advance`]):
@@ -279,6 +314,7 @@ struct AtomicNetStats {
     bytes: AtomicU64,
     fused_queries: AtomicU64,
     fused_groups: AtomicU64,
+    snapshot_batches: AtomicU64,
 }
 
 impl AtomicNetStats {
@@ -293,6 +329,7 @@ impl AtomicNetStats {
             bytes: self.bytes.load(Ordering::Relaxed),
             fused_queries: self.fused_queries.load(Ordering::Relaxed),
             fused_groups: self.fused_groups.load(Ordering::Relaxed),
+            snapshot_batches: self.snapshot_batches.load(Ordering::Relaxed),
         }
     }
 
@@ -306,6 +343,7 @@ impl AtomicNetStats {
         self.bytes.store(0, Ordering::Relaxed);
         self.fused_queries.store(0, Ordering::Relaxed);
         self.fused_groups.store(0, Ordering::Relaxed);
+        self.snapshot_batches.store(0, Ordering::Relaxed);
     }
 }
 
@@ -329,6 +367,15 @@ struct Knobs {
     auto_arity: AtomicUsize,
     /// Plan-cache eviction count observed after the previous batch.
     last_evictions: AtomicU64,
+    /// MVCC snapshot reads (on by default): read-only batches execute
+    /// against the published snapshot instead of taking the database
+    /// write lock, so they overlap in-flight write batches.
+    snapshot_reads: AtomicBool,
+    /// Real nanoseconds a write batch holds the write guard open after
+    /// executing, before publishing — the injected "hot writer" the
+    /// snapshot-overlap figure and the reader-wedge tests measure
+    /// against. `0` (the default) is a no-op.
+    write_hold_ns: AtomicU64,
 }
 
 impl Default for Knobs {
@@ -340,6 +387,8 @@ impl Default for Knobs {
             arity_override: AtomicUsize::new(0),
             auto_arity: AtomicUsize::new(batch::DEFAULT_MAX_FUSED_ARITY),
             last_evictions: AtomicU64::new(0),
+            snapshot_reads: AtomicBool::new(true),
+            write_hold_ns: AtomicU64::new(0),
         }
     }
 }
@@ -418,10 +467,7 @@ pub struct SimEnv {
 impl SimEnv {
     /// Creates a fresh single-server deployment with the given cost model.
     pub fn new(cost: CostModel) -> Self {
-        SimEnv::with_backend(
-            cost,
-            Backend::Single(Arc::new(RwLock::new(Database::new()))),
-        )
+        SimEnv::with_backend(cost, Backend::single(Database::new()))
     }
 
     pub(crate) fn with_backend(cost: CostModel, backend: Backend) -> Self {
@@ -472,7 +518,7 @@ impl SimEnv {
     /// experiment harness to "restart" the server between measurements
     /// without re-seeding.
     pub fn from_database(db: Database, cost: CostModel) -> Self {
-        SimEnv::with_backend(cost, Backend::Single(Arc::new(RwLock::new(db))))
+        SimEnv::with_backend(cost, Backend::single(db))
     }
 
     /// Whether this deployment runs on the sharded backend.
@@ -480,15 +526,10 @@ impl SimEnv {
         matches!(&*self.backend, Backend::Sharded(_))
     }
 
-    pub(crate) fn with_fleet<R>(&self, f: impl FnOnce(&mut shard::Fleet) -> R) -> R {
+    pub(crate) fn with_fleet<R>(&self, f: impl FnOnce(&shard::Fleet) -> R) -> R {
         match &*self.backend {
-            Backend::Sharded(fleet) => {
-                let mut fleet = fleet
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
-                f(&mut fleet)
-            }
-            Backend::Single(_) => panic!("not a sharded deployment"),
+            Backend::Sharded(fleet) => f(fleet),
+            Backend::Single { .. } => panic!("not a sharded deployment"),
         }
     }
 
@@ -515,7 +556,7 @@ impl SimEnv {
     /// Panics on a sharded deployment.
     pub fn database(&self) -> Arc<RwLock<Database>> {
         match &*self.backend {
-            Backend::Single(db) => Arc::clone(db),
+            Backend::Single { db, .. } => Arc::clone(db),
             Backend::Sharded(_) => {
                 panic!("database: sharded deployments have no single database")
             }
@@ -535,9 +576,15 @@ impl SimEnv {
         // Same poison recovery as every other accessor of this lock: a
         // panicked worker must not wedge seeding for other sessions.
         let mut guard = db
-            .write()
+            .write() // commit-point
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         let out = f(&mut guard);
+        // Publish unconditionally: out-of-band mutation may not go
+        // through the version-bumping execute path, so the version gate
+        // cannot be trusted to notice it.
+        if let Backend::Single { snap, .. } = &*self.backend {
+            *lock_snap(snap) = Arc::new(guard.snapshot());
+        }
         drop(guard);
         // Out-of-band mutation bypasses the footprint machinery, so no
         // cached result can be trusted afterwards.
@@ -550,16 +597,15 @@ impl SimEnv {
     /// rows land on their owning shards) — still free of charge.
     pub fn seed_sql(&self, sql: &str) -> Result<ResultSet, SqlError> {
         let out = match &*self.backend {
-            Backend::Single(db) => {
+            Backend::Single { db, snap } => {
                 let mut db = db
-                    .write()
+                    .write() // commit-point
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
-                db.execute(sql).map(|o| o.result)
+                let out = db.execute(sql).map(|o| o.result);
+                *lock_snap(snap) = Arc::new(db.snapshot());
+                out
             }
-            Backend::Sharded(fleet) => fleet
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .execute_unmetered(sql),
+            Backend::Sharded(fleet) => fleet.execute_unmetered(sql),
         };
         // Unmetered mutation is invisible to footprint invalidation:
         // drop every cached result.
@@ -574,7 +620,7 @@ impl SimEnv {
     /// on a sharded fleet, so any shard's catalog is authoritative).
     pub fn column_type(&self, table: &str, column: &str) -> Option<sloth_sql::ast::ColumnType> {
         match &*self.backend {
-            Backend::Single(db) => db
+            Backend::Single { db, .. } => db
                 .read()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .table(table)
@@ -584,10 +630,7 @@ impl SimEnv {
                         .find(|c| c.name.eq_ignore_ascii_case(column))
                         .map(|c| c.ty)
                 }),
-            Backend::Sharded(fleet) => fleet
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .column_type(table, column),
+            Backend::Sharded(fleet) => fleet.column_type(table, column),
         }
     }
 
@@ -641,6 +684,38 @@ impl SimEnv {
     pub fn write_deferral_enabled(&self) -> bool {
         self.knobs.write_batching.load(Ordering::Relaxed)
             && self.knobs.write_deferral.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables **MVCC snapshot reads** (on by default): a
+    /// read-only batch executes against the snapshot the last committed
+    /// write batch published, without taking the database lock at all —
+    /// so readers overlap an in-flight writer instead of serializing
+    /// behind it. Write batches are unaffected: they alone take the
+    /// write lock, and publish a fresh snapshot at commit. Turning this
+    /// off restores the PR 8 behaviour (every batch serializes on the
+    /// database lock) — the snapshot figure's baseline, and the
+    /// equivalence suites' on/off arm.
+    pub fn set_snapshot_reads(&self, on: bool) {
+        self.knobs.snapshot_reads.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether MVCC snapshot reads are enabled.
+    pub fn snapshot_reads_enabled(&self) -> bool {
+        self.knobs.snapshot_reads.load(Ordering::Relaxed)
+    }
+
+    /// Makes every write batch hold the database write guard open for
+    /// `ns` **real** nanoseconds after executing, before publishing its
+    /// snapshot — the injected "hot writer" the snapshot-overlap figure
+    /// and the reader-wedge tests measure against. `0` (the default)
+    /// disables the hold. Virtual time is never charged for the hold.
+    pub fn set_write_hold_ns(&self, ns: u64) {
+        self.knobs.write_hold_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// Read-only batches served from a published snapshot so far.
+    pub fn snapshot_batches(&self) -> u64 {
+        self.stats.snapshot_batches.load(Ordering::Relaxed)
     }
 
     /// Enables or disables the **shared result cache** (off by default):
@@ -708,28 +783,22 @@ impl SimEnv {
     /// table/key sets.
     pub fn footprint_of(&self, sql: &str) -> sloth_sql::Footprint {
         match &*self.backend {
-            Backend::Single(db) => db
+            Backend::Single { db, .. } => db
                 .read()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .footprint_of(sql),
-            Backend::Sharded(fleet) => fleet
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .footprint_of(sql),
+            Backend::Sharded(fleet) => fleet.footprint_of(sql),
         }
     }
 
     /// Footprint-cache counters of the backend.
     pub fn footprint_cache_stats(&self) -> sloth_sql::FootprintCacheStats {
         match &*self.backend {
-            Backend::Single(db) => db
+            Backend::Single { db, .. } => db
                 .read()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .footprint_cache_stats(),
-            Backend::Sharded(fleet) => fleet
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .footprint_cache_stats(),
+            Backend::Sharded(fleet) => fleet.footprint_cache_stats(),
         }
     }
 
@@ -737,14 +806,11 @@ impl SimEnv {
     /// sharded deployment).
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
         match &*self.backend {
-            Backend::Single(db) => db
+            Backend::Single { db, .. } => db
                 .read()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .plan_cache_stats(),
-            Backend::Sharded(fleet) => fleet
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .plan_cache_stats(),
+            Backend::Sharded(fleet) => fleet.plan_cache_stats(),
         }
     }
 
@@ -752,7 +818,7 @@ impl SimEnv {
     pub fn set_cost_model(&self, cost: CostModel) {
         *self
             .cost
-            .write()
+            .write() // not the db lock: cost-model swap
             .unwrap_or_else(std::sync::PoisonError::into_inner) = cost;
     }
 
@@ -846,10 +912,7 @@ impl SimEnv {
         // contents are kept, and invalidation never paused).
         self.cache().reset_stats();
         if let Backend::Sharded(fleet) = &*self.backend {
-            fleet
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .reset_stats();
+            fleet.reset_stats();
         }
         self.clock.reset();
     }
@@ -993,7 +1056,7 @@ impl SimEnv {
         // Settle before surfacing any error: the engine has no rollback,
         // so the executed prefix's writes have applied (must invalidate)
         // and its reads are current (may fill).
-        self.settle_result_cache(&probe, &ran.exec.results);
+        self.settle_result_cache(&probe, &ran.exec.results, ran.exec.db_version);
         if let Some((_, e)) = ran.exec.error {
             return Err(e);
         }
@@ -1144,7 +1207,7 @@ impl SimEnv {
         // Executed writes invalidate (and executed reads may fill) even
         // when the batch errored mid-flight: partial semantics mean the
         // prefix's effects are real.
-        self.settle_result_cache(&probe, &ran.exec.results);
+        self.settle_result_cache(&probe, &ran.exec.results, ran.exec.db_version);
         self.charge_and_sleep(sub_sqls.len(), &ran);
         let mut results = probe.hits;
         let mut fused_members: Vec<Option<usize>> = vec![None; probe.n];
@@ -1240,14 +1303,24 @@ impl SimEnv {
     /// exactly once, here), an executed pure read fills. Order matters:
     /// a read that trails a conflicting in-batch write refills *after*
     /// that write's invalidation, leaving the fresh post-write entry.
-    fn settle_result_cache(&self, probe: &CacheProbe, results: &[Option<ResultSet>]) {
+    fn settle_result_cache(&self, probe: &CacheProbe, results: &[Option<ResultSet>], version: u64) {
         let mut cache = self.cache();
         // The cache may have been disabled (and cleared) between this
         // batch's probe and its settlement; filling a disabled cache
         // would smuggle an entry past the "nothing survives a disabled
         // window" guarantee. Writes still invalidate — a no-op on the
         // cleared map, and correct if the cache was re-enabled since.
-        let may_fill = cache.enabled();
+        //
+        // Staleness gate for snapshot reads: `version` is the database
+        // version this batch's results reflect (the frozen snapshot for
+        // a read-only batch, post-commit for a write batch). A fill is
+        // legal only while that version is still the published one —
+        // checked *inside* the cache mutex, so it races cleanly with a
+        // committing writer: either this check sees the new version and
+        // skips the fill, or the writer's own settle invalidates the
+        // just-filled entry right after (publish happens before the
+        // writer settles). Writes still invalidate unconditionally.
+        let may_fill = cache.enabled() && version == self.published_version();
         for (k, &i) in probe.ship.iter().enumerate() {
             let Some(rs) = results.get(k).and_then(|r| r.as_ref()) else {
                 continue; // not executed (at or past the failing position)
@@ -1304,11 +1377,8 @@ impl SimEnv {
         // The fleet size is fixed at construction; resolve it before the
         // retry loop (brief fleet lock, held alone).
         let n_shards = match &*self.backend {
-            Backend::Sharded(fleet) => fleet
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .n_shards(),
-            Backend::Single(_) => 0,
+            Backend::Sharded(fleet) => fleet.n_shards(),
+            Backend::Single { .. } => 0,
         };
         let (policy, tag) = {
             let mut fault = self.fault();
@@ -1505,12 +1575,15 @@ impl SimEnv {
         self.realtime_sleep(ns);
     }
 
-    /// Plans and executes one batch. Planning happens outside every lock;
-    /// execution takes exactly one lock — the single server's `RwLock` or
-    /// the fleet's mutex — held alone, so out-of-band holders of
-    /// [`SimEnv::database`] cannot form a lock-order cycle with the
-    /// driver path, and stats/clock readers never block behind an
-    /// executing batch.
+    /// Plans and executes one batch. Planning happens outside every lock.
+    /// A read-only batch with snapshot reads on (the default) executes
+    /// against the published snapshot — no database lock at all — and so
+    /// overlaps any concurrent writer; a batch that writes takes the
+    /// write lock (single server) or the fleet's write-order mutex and
+    /// publishes a fresh snapshot at its commit point. Out-of-band
+    /// holders of [`SimEnv::database`] cannot form a lock-order cycle
+    /// with the driver path, and stats/clock readers never block behind
+    /// an executing batch.
     ///
     /// `skip` carries journaled results from a previous ambiguous attempt
     /// (those positions are answered from the journal, not re-executed);
@@ -1529,18 +1602,39 @@ impl SimEnv {
             max_fused_arity: self.max_fused_arity(),
         };
         let plan = batch::plan_batch(sqls, &cfg, footprints);
+        let read_only = !plan.is_write.iter().any(|&w| w);
         let exec = match &*self.backend {
-            Backend::Single(db) => {
-                let mut db = db
-                    .write()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
-                batch::exec_single(&mut db, &cost, sqls, &plan, skip)
+            Backend::Single { db, snap } => {
+                if read_only && self.knobs.snapshot_reads.load(Ordering::Relaxed) {
+                    // Snapshot path: no database lock at all — the batch
+                    // runs against the immutable published view and
+                    // overlaps any in-flight writer.
+                    let view = Self::fresh_single_snapshot(db, snap);
+                    sat_add(&self.stats.snapshot_batches, 1);
+                    let mut view = &*view;
+                    batch::exec_single(&mut view, &cost, sqls, &plan, skip)
+                } else {
+                    let mut db = db
+                        .write() // commit-point
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    let exec = batch::exec_single(&mut *db, &cost, sqls, &plan, skip);
+                    self.write_hold();
+                    // Publish-at-commit, still under the write guard, so
+                    // publishes are serialized and a reader can never
+                    // observe a version newer than the published cell.
+                    let mut cell = lock_snap(snap);
+                    if cell.version() != db.version() {
+                        *cell = Arc::new(db.snapshot());
+                    }
+                    exec
+                }
             }
             Backend::Sharded(fleet) => {
-                let mut fleet = fleet
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
-                fleet.exec_batch(&cost, sqls, &plan, skip, down)
+                let snapshot = self.knobs.snapshot_reads.load(Ordering::Relaxed);
+                if snapshot && read_only {
+                    sat_add(&self.stats.snapshot_batches, 1);
+                }
+                fleet.exec_batch(&cost, sqls, &plan, skip, down, snapshot)
             }
         };
         let mut fused_members: Vec<Option<usize>> = vec![None; sqls.len()];
@@ -1558,6 +1652,45 @@ impl SimEnv {
             cross_write_fused: plan.cross_write_fused,
             footprints_derived: plan.footprints_derived,
             is_write: plan.is_write.clone(),
+        }
+    }
+
+    /// The published snapshot, refreshed first if the live database has
+    /// moved past it and is not currently write-locked. Out-of-band
+    /// holders of [`SimEnv::database`] can advance the database without
+    /// going through a write batch; `try_read` keeps the heal
+    /// non-blocking — if a writer holds the lock, the published cell is
+    /// by definition the latest *committed* state, exactly what a
+    /// snapshot read wants.
+    fn fresh_single_snapshot(db: &RwLock<Database>, snap: &Mutex<Arc<Snapshot>>) -> Arc<Snapshot> {
+        if let Ok(live) = db.try_read() {
+            let mut cell = lock_snap(snap);
+            if cell.version() != live.version() {
+                *cell = Arc::new(live.snapshot());
+            }
+            return Arc::clone(&cell);
+        }
+        Arc::clone(&lock_snap(snap))
+    }
+
+    /// The database version the currently published snapshot reflects
+    /// (summed across shards on a fleet). Touches only leaf snapshot
+    /// cells, so it is safe to call under the result-cache mutex — which
+    /// the settle pass does to gate fills.
+    fn published_version(&self) -> u64 {
+        match &*self.backend {
+            Backend::Single { snap, .. } => lock_snap(snap).version(),
+            Backend::Sharded(fleet) => fleet.published_version(),
+        }
+    }
+
+    /// Pays the injected hot-writer hold (see
+    /// [`SimEnv::set_write_hold_ns`]); called while the write guard is
+    /// held, before the publish.
+    fn write_hold(&self) {
+        let ns = self.knobs.write_hold_ns.load(Ordering::Relaxed);
+        if ns > 0 {
+            std::thread::sleep(std::time::Duration::from_nanos(ns));
         }
     }
 

@@ -35,8 +35,9 @@
 //! unchanged on a sharded fleet.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 
 use sloth_sql::ast::{Aggregate, BinOp, ColumnRef, Expr, Join, Projection, Statement, TableRef};
@@ -45,7 +46,7 @@ use sloth_sql::fuse;
 use sloth_sql::shard::{hash_key, shard_of};
 use sloth_sql::{
     parameterize, parse, Database, ExecStats, MergeKey, MergeTrace, Normalized, PlanCacheStats,
-    ResultSet, Row, ShardSpec, SqlError, Value,
+    ResultSet, Row, ShardSpec, Snapshot, SqlError, Value,
 };
 
 use crate::batch::{self, BatchExec, BatchPlan, Role};
@@ -149,24 +150,53 @@ struct RouteCache {
     order: VecDeque<String>,
 }
 
-/// Per-batch cost collection: read times and write time per shard, plus
-/// wire bytes (requests and results both cross the wire once per shard
-/// they touch).
+/// The read view one batch uses on one shard: the published MVCC
+/// snapshot (a read-only batch with snapshot reads on — no shard lock is
+/// ever taken) or the live database behind a short read guard (a
+/// write-containing batch must observe its own earlier writes; the
+/// fleet's `write_order` mutex keeps writers out meanwhile).
+#[derive(Clone)]
+enum ReadView {
+    Snap(Arc<Snapshot>),
+    Live(Arc<RwLock<Database>>),
+}
+
+impl ReadView {
+    fn with<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
+        match self {
+            ReadView::Snap(s) => f(s),
+            ReadView::Live(db) => f(&db.read().unwrap_or_else(PoisonError::into_inner)),
+        }
+    }
+}
+
+/// Per-batch execution context: cost collection (read times and write
+/// time per shard, wire bytes — requests and results both cross the wire
+/// once per shard they touch), this round trip's outage mask, and the
+/// per-shard read views fixed at batch admission. One per batch, owned
+/// by the executing session — the fleet itself carries no per-batch
+/// mutable state, so concurrent batches never race on it.
 struct Costs {
     read_times: Vec<Vec<u64>>,
     write_ns: Vec<u64>,
     bytes: u64,
     statements: Vec<u64>,
+    /// Per-shard outage mask for this round trip (`down[s]` = shard `s`
+    /// unreachable), from the fault plan.
+    down: Vec<bool>,
+    /// Per-shard read views, fixed at admission.
+    views: Vec<ReadView>,
 }
 
 impl Costs {
-    fn new(shards: usize) -> Self {
-        Costs {
-            read_times: vec![Vec::new(); shards],
-            write_ns: vec![0; shards],
-            bytes: 0,
-            statements: vec![0; shards],
-        }
+    /// Is shard `s` reachable during this round trip?
+    fn live(&self, s: usize) -> bool {
+        !self.down.get(s).copied().unwrap_or(false)
+    }
+
+    /// The read view for shard `s` (cheap `Arc` clone).
+    fn view(&self, s: usize) -> ReadView {
+        self.views[s].clone()
     }
 }
 
@@ -220,13 +250,6 @@ impl ShardPool {
         }
         ShardPool { senders, workers }
     }
-
-    /// Queues `job` on shard `s`'s worker. A send only fails if the
-    /// worker died (a panic inside the engine); the job is then dropped
-    /// with its result sender, and the wave collector surfaces the loss.
-    fn run(&self, s: usize, job: Job) {
-        let _ = self.senders[s].send(job);
-    }
 }
 
 impl Drop for ShardPool {
@@ -239,11 +262,21 @@ impl Drop for ShardPool {
 }
 
 /// The fleet: N independent shard databases plus the router state.
+///
+/// Interior-mutable by design: concurrent batches share one `Fleet`
+/// through `&self`. Snapshot read-only batches touch only the published
+/// snapshot cells (leaf mutexes) and per-shard worker queues; batches
+/// that write serialize on [`Fleet::write_order`] and publish fresh
+/// per-shard snapshots at commit.
 pub(crate) struct Fleet {
     /// Each shard behind its own `RwLock`: wave workers lock only their
     /// own shard, the coordinator locks one shard at a time — there is
     /// no fleet-wide database lock on any execution path.
     shards: Vec<Arc<RwLock<Database>>>,
+    /// The published MVCC snapshot of each shard: the last committed
+    /// state, swapped under the shard's write guard at each write batch's
+    /// commit point. Leaf locks — held only to clone or swap the `Arc`.
+    snaps: Vec<Mutex<Arc<Snapshot>>>,
     spec: ShardSpec,
     /// Per-table row sequences: every inserted row gets its table's next
     /// id, on whichever shard (replicated inserts share one id across all
@@ -252,36 +285,48 @@ pub(crate) struct Fleet {
     /// server's row ids exactly while keeping each table's row storage
     /// dense in its own insert count (a fleet-wide counter would grow
     /// every table's backing store to the global insert total).
-    next_rid: HashMap<String, u64>,
-    routes: RouteCache,
-    stats: ShardStats,
-    /// Per-shard outage mask for the round trip currently executing:
-    /// `down[s]` means shard `s` is unreachable. Set by [`Fleet::exec_batch`]
-    /// from the fault plan and cleared before it returns, so unmetered
-    /// seeding never observes a stale outage.
-    down: Vec<bool>,
+    next_rid: Mutex<HashMap<String, u64>>,
+    routes: Mutex<RouteCache>,
+    stats: Mutex<ShardStats>,
     /// Worker threads for parallel read waves, spawned on first use.
-    pool: Option<ShardPool>,
+    pool: Mutex<Option<ShardPool>>,
     /// Modeled-db-time → real-sleep scale (parts per million). Zero
     /// disables sleeping; the wall-clock shard bench sets it so timing a
     /// run measures the fleet's genuine overlap.
-    db_sleep_ppm: u64,
+    db_sleep_ppm: AtomicU64,
+    /// Serializes batches that may write (and snapshot-off reads, which
+    /// by contract observe the live state): writers never interleave, so
+    /// every shard's live database moves through the same serial history
+    /// a single coordinator would produce. Snapshot read-only batches
+    /// never take it — that is the reader/writer overlap the MVCC path
+    /// exists to provide.
+    write_order: Mutex<()>,
 }
 
 impl Fleet {
     pub(crate) fn new(spec: ShardSpec, shards: usize) -> Self {
         let shards = shards.max(1);
+        let dbs: Vec<Arc<RwLock<Database>>> = (0..shards)
+            .map(|_| Arc::new(RwLock::new(Database::new())))
+            .collect();
+        let snaps = dbs
+            .iter()
+            .map(|db| {
+                Mutex::new(Arc::new(
+                    db.read().unwrap_or_else(PoisonError::into_inner).snapshot(),
+                ))
+            })
+            .collect();
         Fleet {
-            shards: (0..shards)
-                .map(|_| Arc::new(RwLock::new(Database::new())))
-                .collect(),
+            shards: dbs,
+            snaps,
             spec,
-            next_rid: HashMap::new(),
-            routes: RouteCache::default(),
-            stats: ShardStats::new(shards),
-            down: Vec::new(),
-            pool: None,
-            db_sleep_ppm: 0,
+            next_rid: Mutex::new(HashMap::new()),
+            routes: Mutex::new(RouteCache::default()),
+            stats: Mutex::new(ShardStats::new(shards)),
+            pool: Mutex::new(None),
+            db_sleep_ppm: AtomicU64::new(0),
+            write_order: Mutex::new(()),
         }
     }
 
@@ -289,8 +334,86 @@ impl Fleet {
         self.shards.len()
     }
 
-    pub(crate) fn set_db_sleep_ppm(&mut self, ppm: u64) {
-        self.db_sleep_ppm = ppm;
+    pub(crate) fn set_db_sleep_ppm(&self, ppm: u64) {
+        self.db_sleep_ppm.store(ppm, Ordering::Relaxed);
+    }
+
+    fn ppm(&self) -> u64 {
+        self.db_sleep_ppm.load(Ordering::Relaxed)
+    }
+
+    /// The router counters, behind their poison-tolerant mutex.
+    fn stats_mut(&self) -> MutexGuard<'_, ShardStats> {
+        self.stats.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Shard `s`'s published-snapshot cell (leaf lock).
+    fn lock_snap(&self, s: usize) -> MutexGuard<'_, Arc<Snapshot>> {
+        self.snaps[s].lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The freshest available snapshot of shard `s`, healing the
+    /// published cell when the live database is visibly newer (seeding
+    /// bumps versions out-of-band). `try_read` keeps this non-blocking:
+    /// if a writer holds the shard, the published cell *is* the latest
+    /// committed state — exactly what a snapshot reader must observe.
+    fn fresh_snapshot(&self, s: usize) -> Arc<Snapshot> {
+        if let Ok(live) = self.shards[s].try_read() {
+            let mut cell = self.lock_snap(s);
+            if cell.version() != live.version() {
+                *cell = Arc::new(live.snapshot());
+            }
+            return Arc::clone(&cell);
+        }
+        Arc::clone(&self.lock_snap(s))
+    }
+
+    /// Publishes every shard's committed state as its new snapshot.
+    /// Called at a write batch's commit point (under [`Fleet::write_order`],
+    /// so publishes are serialized) and after unmetered seeding. The
+    /// version gate makes untouched shards free — a routed single-shard
+    /// write republishes only its own shard.
+    fn publish_all(&self) {
+        for (db, snap) in self.shards.iter().zip(&self.snaps) {
+            let live = db.read().unwrap_or_else(PoisonError::into_inner);
+            let mut cell = snap.lock().unwrap_or_else(PoisonError::into_inner);
+            if cell.version() != live.version() {
+                *cell = Arc::new(live.snapshot());
+            }
+        }
+    }
+
+    /// Sum of the published per-shard snapshot versions: the fleet-wide
+    /// commit stamp the result cache compares fill eligibility against.
+    pub(crate) fn published_version(&self) -> u64 {
+        (0..self.shards.len())
+            .map(|s| self.lock_snap(s).version())
+            .sum()
+    }
+
+    /// Builds one batch's execution context: cost accumulators, the
+    /// round trip's outage mask, and the per-shard read views fixed at
+    /// admission — published snapshots for a snapshot read-only batch,
+    /// live handles (read-locked per statement) otherwise.
+    fn batch_ctx(&self, snapshot_mode: bool, down: Option<&[bool]>) -> Costs {
+        let n = self.shards.len();
+        let views = (0..n)
+            .map(|s| {
+                if snapshot_mode {
+                    ReadView::Snap(self.fresh_snapshot(s))
+                } else {
+                    ReadView::Live(Arc::clone(&self.shards[s]))
+                }
+            })
+            .collect();
+        Costs {
+            read_times: vec![Vec::new(); n],
+            write_ns: vec![0; n],
+            bytes: 0,
+            statements: vec![0; n],
+            down: down.map(<[bool]>::to_vec).unwrap_or_default(),
+            views,
+        }
     }
 
     /// Declared type of `table.column`, if the table exists. DDL
@@ -309,10 +432,12 @@ impl Fleet {
         })
     }
 
-    /// Write guard on shard `s`'s database (execution takes `&mut`).
+    /// Write guard on shard `s`'s database — the only way execution
+    /// mutates a shard, taken per write statement under
+    /// [`Fleet::write_order`].
     fn db(&self, s: usize) -> RwLockWriteGuard<'_, Database> {
         self.shards[s]
-            .write()
+            .write() // commit-point
             .unwrap_or_else(PoisonError::into_inner)
     }
 
@@ -327,49 +452,42 @@ impl Fleet {
     /// shard's worker thread — and returns the outcomes in `targets`
     /// order.
     ///
-    /// Legality: waves carry only reads. A job locks its own shard's
-    /// `RwLock` and nothing else, so jobs cannot deadlock against each
-    /// other or against the coordinator (which blocks only on the result
-    /// channel). All cost and stat accounting stays on the coordinator
-    /// and is applied *in target order* after collection, so the books —
-    /// including partial accounting on error — are byte-identical to the
-    /// sequential loop this replaces; the order-exact k-way merge then
-    /// consumes per-shard results exactly as before. A single-target
-    /// wave runs inline: no handoff, and no pool for fleets that never
-    /// scatter.
+    /// Legality: waves carry only reads, and every job carries its own
+    /// [`ReadView`] — a snapshot job touches no lock at all, a live-view
+    /// job read-locks only its own shard — so jobs cannot deadlock
+    /// against each other or against the coordinator (which blocks only
+    /// on the result channel). All cost and stat accounting stays on the
+    /// coordinator and is applied *in target order* after collection, so
+    /// the books — including partial accounting on error — are
+    /// byte-identical to the sequential loop this replaces; the
+    /// order-exact k-way merge then consumes per-shard results exactly
+    /// as before. A single-target wave runs inline: no handoff, and no
+    /// pool for fleets that never scatter.
     fn run_wave<T: Send + 'static>(
-        &mut self,
+        &self,
         targets: &[usize],
-        mut make: impl FnMut(usize) -> Box<dyn FnOnce(&mut Database) -> Result<T, SqlError> + Send>,
+        mut make: impl FnMut(usize) -> Box<dyn FnOnce() -> Result<T, SqlError> + Send>,
     ) -> Vec<Result<T, SqlError>> {
         if targets.len() <= 1 {
-            return targets
-                .iter()
-                .map(|&s| {
-                    let job = make(s);
-                    let mut db = self.db(s);
-                    job(&mut db)
-                })
-                .collect();
+            return targets.iter().map(|&s| make(s)()).collect();
         }
         let wall = Instant::now();
-        if self.pool.is_none() {
-            self.pool = Some(ShardPool::new(self.shards.len()));
-        }
-        let pool = self.pool.as_ref().expect("pool just ensured");
+        // Senders clone under the pool mutex, then the guard drops: jobs
+        // are queued lock-free and concurrent waves interleave freely.
+        let senders: Vec<mpsc::Sender<Job>> = {
+            let mut pool = self.pool.lock().unwrap_or_else(PoisonError::into_inner);
+            let pool = pool.get_or_insert_with(|| ShardPool::new(self.shards.len()));
+            targets.iter().map(|&s| pool.senders[s].clone()).collect()
+        };
         let (tx, rx) = mpsc::channel::<(usize, u64, Result<T, SqlError>)>();
-        for (i, &s) in targets.iter().enumerate() {
+        for (i, (&s, sender)) in targets.iter().zip(&senders).enumerate() {
             let job = make(s);
-            let db = Arc::clone(&self.shards[s]);
             let tx = tx.clone();
-            pool.run(
-                s,
-                Box::new(move || {
-                    let t0 = Instant::now();
-                    let out = job(&mut db.write().unwrap_or_else(PoisonError::into_inner));
-                    let _ = tx.send((i, t0.elapsed().as_nanos() as u64, out));
-                }),
-            );
+            let _ = sender.send(Box::new(move || {
+                let t0 = Instant::now();
+                let out = job();
+                let _ = tx.send((i, t0.elapsed().as_nanos() as u64, out));
+            }));
         }
         drop(tx);
         let mut outs: Vec<Option<Result<T, SqlError>>> = targets.iter().map(|_| None).collect();
@@ -381,17 +499,14 @@ impl Fleet {
             busy += ns;
             outs[i] = Some(out);
         }
-        self.stats.parallel_waves += 1;
-        self.stats.parallel_busy_ns += busy;
-        self.stats.parallel_wave_ns += wall.elapsed().as_nanos() as u64;
+        let mut stats = self.stats_mut();
+        stats.parallel_waves += 1;
+        stats.parallel_busy_ns += busy;
+        stats.parallel_wave_ns += wall.elapsed().as_nanos() as u64;
+        drop(stats);
         outs.into_iter()
             .map(|o| o.expect("every wave slot answered"))
             .collect()
-    }
-
-    /// Is shard `s` reachable during the current round trip?
-    fn live(&self, s: usize) -> bool {
-        !self.down.get(s).copied().unwrap_or(false)
     }
 
     /// Transient error for a statement that needs an out shard.
@@ -404,11 +519,11 @@ impl Fleet {
     }
 
     pub(crate) fn stats(&self) -> ShardStats {
-        self.stats.clone()
+        self.stats_mut().clone()
     }
 
-    pub(crate) fn reset_stats(&mut self) {
-        self.stats = ShardStats::new(self.shards.len());
+    pub(crate) fn reset_stats(&self) {
+        *self.stats_mut() = ShardStats::new(self.shards.len());
     }
 
     pub(crate) fn plan_cache_stats(&self) -> PlanCacheStats {
@@ -439,9 +554,15 @@ impl Fleet {
     /// is what keeps cache coherence per-fleet by construction — no shard
     /// can apply a write without the deployment-level settlement seeing
     /// its footprint.
-    pub(crate) fn execute_unmetered(&mut self, sql: &str) -> Result<ResultSet, SqlError> {
-        let saved = self.stats.clone();
-        let mut costs = Costs::new(self.shards.len());
+    pub(crate) fn execute_unmetered(&self, sql: &str) -> Result<ResultSet, SqlError> {
+        // Seeding mutates: serialize with write batches and publish the
+        // new state before releasing the order lock, like any writer.
+        let _order = self
+            .write_order
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let saved = self.stats_mut().clone();
+        let mut costs = self.batch_ctx(false, None);
         let cost = CostModel::default();
         let res = if sloth_sql::is_write_sql(sql) {
             self.exec_write(sql, &cost, &mut costs)
@@ -449,7 +570,8 @@ impl Fleet {
             let norm = sloth_sql::normalize(sql).ok();
             self.exec_read(sql, norm.as_ref(), &cost, &mut costs)
         };
-        self.stats = saved;
+        *self.stats_mut() = saved;
+        self.publish_all();
         res
     }
 
@@ -462,22 +584,44 @@ impl Fleet {
     /// journaled results from a prior faulted attempt (those positions are
     /// answered from the journal, never re-executed); `down` marks shards
     /// inside an outage window for this round trip.
+    ///
+    /// `snapshot` enables MVCC admission for read-only batches: every
+    /// shard's read view is fixed to its published snapshot up front and
+    /// the batch never takes [`Fleet::write_order`] or any shard lock —
+    /// it overlaps freely with a concurrent write batch. Batches that
+    /// write (or eager-mode reads) serialize on `write_order`, execute
+    /// against the live databases, and publish new per-shard snapshots
+    /// at their commit point.
     pub(crate) fn exec_batch(
-        &mut self,
+        &self,
         cost: &CostModel,
         sqls: &[String],
         plan: &BatchPlan,
         skip: Option<&[Option<ResultSet>]>,
         down: Option<&[bool]>,
+        snapshot: bool,
     ) -> BatchExec {
         let n = self.shards.len();
-        self.down.clear();
-        if let Some(d) = down {
-            self.down.extend_from_slice(d);
-        }
+        let read_only = !plan.is_write.iter().any(|&w| w);
+        let snapshot_mode = read_only && snapshot;
+        let _order = (!snapshot_mode).then(|| {
+            self.write_order
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+        });
         let mut results: Vec<Option<ResultSet>> = vec![None; sqls.len()];
         let mut error: Option<(usize, SqlError)> = None;
-        let mut costs = Costs::new(n);
+        let mut costs = self.batch_ctx(snapshot_mode, down);
+        // A snapshot batch's results are stamped with the versions frozen
+        // at admission — the sum mirrors `published_version()`.
+        let admitted_version: u64 = costs
+            .views
+            .iter()
+            .map(|v| match v {
+                ReadView::Snap(s) => s.version(),
+                ReadView::Live(_) => 0,
+            })
+            .sum();
         let mut fused_queries = 0u64;
         let mut fused_groups = 0u64;
 
@@ -541,18 +685,31 @@ impl Fleet {
                 }
             }
         }
-        self.down.clear();
-
         // Per-shard wave makespans; the batch waits for the slowest shard.
         let mut db_ns = 0u64;
-        for s in 0..n {
-            let shard_ns =
-                batch::wave_makespan(std::mem::take(&mut costs.read_times[s]), cost.db_workers)
-                    + costs.write_ns[s];
-            self.stats.db_ns[s] += shard_ns;
-            self.stats.statements[s] += costs.statements[s];
-            db_ns = db_ns.max(shard_ns);
+        {
+            let mut stats = self.stats_mut();
+            for s in 0..n {
+                let shard_ns =
+                    batch::wave_makespan(std::mem::take(&mut costs.read_times[s]), cost.db_workers)
+                        + costs.write_ns[s];
+                stats.db_ns[s] += shard_ns;
+                stats.statements[s] += costs.statements[s];
+                db_ns = db_ns.max(shard_ns);
+            }
         }
+
+        // Commit point: a batch that wrote publishes the new per-shard
+        // snapshots while still holding `write_order`, so readers admitted
+        // afterwards see all of this batch or none of it.
+        if !read_only {
+            self.publish_all();
+        }
+        let db_version = if snapshot_mode {
+            admitted_version
+        } else {
+            self.published_version()
+        };
 
         BatchExec {
             results,
@@ -562,6 +719,7 @@ impl Fleet {
             fused_queries,
             fused_groups,
             plan_evictions: self.plan_cache_stats().evictions,
+            db_version,
         }
     }
 
@@ -580,7 +738,7 @@ impl Fleet {
     // ---- reads ---------------------------------------------------------
 
     fn exec_read(
-        &mut self,
+        &self,
         sql: &str,
         norm: Option<&Normalized>,
         cost: &CostModel,
@@ -600,18 +758,18 @@ impl Fleet {
         match (&entry.rule, bindable) {
             (Rule::Unsupported(msg), _) => Err(SqlError::new(msg.clone())),
             (Rule::Replica, _) => {
-                self.stats.replica_reads += 1;
+                self.stats_mut().replica_reads += 1;
                 let s = (hash_key(&Value::Str(norm.template.clone())) % n as u64) as usize;
-                let s = self.failover(s)?;
+                let s = self.failover(s, costs)?;
                 self.read_on(s, sql, Some(norm), cost, costs)
             }
             (Rule::Point { slot }, true) => {
-                self.stats.point_reads += 1;
+                self.stats_mut().point_reads += 1;
                 let s = shard_of(&norm.params[*slot], n);
                 self.read_on(s, sql, Some(norm), cost, costs)
             }
             (Rule::List { slots }, true) if !slots.is_empty() => {
-                self.stats.subset_reads += 1;
+                self.stats_mut().subset_reads += 1;
                 let mut targets: Vec<usize> = slots
                     .iter()
                     .map(|&sl| shard_of(&norm.params[sl], n))
@@ -622,7 +780,7 @@ impl Fleet {
             }
             // Scatter, plus the fallbacks (slot mismatch, empty list).
             _ => {
-                self.stats.scatter_reads += 1;
+                self.stats_mut().scatter_reads += 1;
                 let all: Vec<usize> = (0..n).collect();
                 self.gather(&all, sql, norm, &entry, cost, costs)
             }
@@ -632,13 +790,13 @@ impl Fleet {
     /// Replica reads may pick any copy: if the preferred shard is inside
     /// an outage window, fail over to the first live one instead of
     /// surfacing a transient error the retry loop would have to absorb.
-    fn failover(&mut self, preferred: usize) -> Result<usize, SqlError> {
-        if self.live(preferred) {
+    fn failover(&self, preferred: usize, costs: &Costs) -> Result<usize, SqlError> {
+        if costs.live(preferred) {
             return Ok(preferred);
         }
-        match (0..self.shards.len()).find(|&s| self.live(s)) {
+        match (0..self.shards.len()).find(|&s| costs.live(s)) {
             Some(s) => {
-                self.stats.replica_failovers += 1;
+                self.stats_mut().replica_failovers += 1;
                 Ok(s)
             }
             None => Err(Self::down_error(preferred)),
@@ -646,35 +804,36 @@ impl Fleet {
     }
 
     /// One read on one shard (point / replica routes): full plan-cache hot
-    /// path, no merge tracing needed.
+    /// path, no merge tracing needed — through the batch's admitted read
+    /// view, never a write guard.
     fn read_on(
-        &mut self,
+        &self,
         s: usize,
         sql: &str,
         norm: Option<&Normalized>,
         cost: &CostModel,
         costs: &mut Costs,
     ) -> Result<ResultSet, SqlError> {
-        if !self.live(s) {
+        if !costs.live(s) {
             return Err(Self::down_error(s));
         }
         costs.bytes += sql.len() as u64;
         costs.statements[s] += 1;
-        let out = match norm {
-            Some(norm) => self.db(s).execute_select_normalized(sql, norm)?,
-            None => self.db(s).execute(sql)?,
-        };
+        let out = costs.view(s).with(|db| match norm {
+            Some(norm) => db.execute_select_normalized(sql, norm),
+            None => db.execute_readonly(sql),
+        })?;
         let ns = exec_cost(cost, &out.stats);
         costs.read_times[s].push(ns);
         costs.bytes += out.result.wire_size() as u64;
-        db_sleep(self.db_sleep_ppm, ns);
+        db_sleep(self.ppm(), ns);
         Ok(out.result)
     }
 
     /// Scatter-gather over `targets`: execute on each target shard and
     /// merge (rows by merge trace, aggregates by re-aggregation).
     fn gather(
-        &mut self,
+        &self,
         targets: &[usize],
         sql: &str,
         norm: &Normalized,
@@ -682,7 +841,7 @@ impl Fleet {
         cost: &CostModel,
         costs: &mut Costs,
     ) -> Result<ResultSet, SqlError> {
-        if let Some(&s) = targets.iter().find(|&&s| !self.live(s)) {
+        if let Some(&s) = targets.iter().find(|&&s| !costs.live(s)) {
             // A multi-shard gather needs every target; one out shard
             // fails the whole read (transient — the retry loop absorbs
             // it once the outage window closes).
@@ -694,13 +853,14 @@ impl Fleet {
         if let Some(agg) = entry.agg.clone() {
             return self.gather_aggregate(targets, sql, norm, entry, &agg, cost, costs);
         }
-        let ppm = self.db_sleep_ppm;
+        let ppm = self.ppm();
         let cm = *cost;
-        let outs = self.run_wave(targets, |_s| {
+        let outs = self.run_wave(targets, |s| {
             let sql = sql.to_string();
             let norm = norm.clone();
-            Box::new(move |db: &mut Database| {
-                let (out, trace) = db.execute_select_traced(&sql, &norm)?;
+            let view = costs.view(s);
+            Box::new(move || {
+                let (out, trace) = view.with(|db| db.execute_select_traced(&sql, &norm))?;
                 db_sleep(ppm, exec_cost(&cm, &out.stats));
                 Ok((out, trace))
             })
@@ -721,7 +881,7 @@ impl Fleet {
     /// (DISTINCT c)` rewrites into a column gather and counts here.
     #[allow(clippy::too_many_arguments)]
     fn gather_aggregate(
-        &mut self,
+        &self,
         targets: &[usize],
         sql: &str,
         norm: &Normalized,
@@ -740,13 +900,14 @@ impl Fleet {
             gather_sel.order_by.clear();
             gather_sel.limit = None;
             let gather_stmt = Statement::Select(gather_sel);
-            let ppm = self.db_sleep_ppm;
+            let ppm = self.ppm();
             let cm = *cost;
-            let outs = self.run_wave(targets, |_s| {
+            let outs = self.run_wave(targets, |s| {
                 let stmt = gather_stmt.clone();
                 let params = norm.params.clone();
-                Box::new(move |db: &mut Database| {
-                    let out = db.execute_stmt_with(&stmt, &params)?;
+                let view = costs.view(s);
+                Box::new(move || {
+                    let out = view.with(|db| db.execute_read_stmt_with(&stmt, &params))?;
                     db_sleep(ppm, exec_cost(&cm, &out.stats));
                     Ok(out)
                 })
@@ -770,13 +931,14 @@ impl Fleet {
                 vec![vec![Value::Int(distinct.len() as i64)]],
             ));
         }
-        let ppm = self.db_sleep_ppm;
+        let ppm = self.ppm();
         let cm = *cost;
-        let outs = self.run_wave(targets, |_s| {
+        let outs = self.run_wave(targets, |s| {
             let sql = sql.to_string();
             let norm = norm.clone();
-            Box::new(move |db: &mut Database| {
-                let out = db.execute_select_normalized(&sql, &norm)?;
+            let view = costs.view(s);
+            Box::new(move || {
+                let out = view.with(|db| db.execute_select_normalized(&sql, &norm))?;
                 db_sleep(ppm, exec_cost(&cm, &out.stats));
                 Ok(out)
             })
@@ -838,7 +1000,7 @@ impl Fleet {
     /// entirely on its owning shard, so no cross-shard merge is needed).
     #[allow(clippy::too_many_arguments)]
     fn exec_fused(
-        &mut self,
+        &self,
         lookup: &fuse::FusableLookup,
         members: &[usize],
         norms: &[Option<Normalized>],
@@ -862,7 +1024,7 @@ impl Fleet {
     /// One fused probe over `values` (≤ the arity cap), answering the
     /// members in `targets`.
     fn exec_fused_probe(
-        &mut self,
+        &self,
         lookup: &fuse::FusableLookup,
         values: &[&Value],
         targets: &[(usize, &Value)],
@@ -895,7 +1057,7 @@ impl Fleet {
                 if vals.is_empty() {
                     continue;
                 }
-                if !self.live(s) {
+                if !costs.live(s) {
                     down_err.get_or_insert_with(|| Self::down_error(s));
                     continue;
                 }
@@ -904,13 +1066,14 @@ impl Fleet {
                 probes[s] = Some((fplan, fsql));
                 wave.push(s);
             }
-            let ppm = self.db_sleep_ppm;
+            let ppm = self.ppm();
             let cm = *cost;
             let outs = self.run_wave(&wave, |s| {
                 let (fplan, _) = probes[s].as_ref().expect("wave target has a probe");
                 let stmt = fplan.stmt.clone();
-                Box::new(move |db: &mut Database| {
-                    let out = db.execute_stmt(&stmt)?;
+                let view = costs.view(s);
+                Box::new(move || {
+                    let out = view.with(|db| db.execute_read_stmt(&stmt))?;
                     db_sleep(ppm, exec_cost(&cm, &out.stats));
                     Ok(out)
                 })
@@ -922,7 +1085,7 @@ impl Fleet {
                 let out = res?;
                 costs.read_times[s].push(exec_cost(cost, &out.stats));
                 costs.bytes += out.result.wire_size() as u64;
-                self.stats.fused_subprobes += 1;
+                self.stats_mut().fused_subprobes += 1;
                 let local: Vec<(usize, &Value)> = targets
                     .iter()
                     .filter(|(_, v)| shard_of(v, n) == s)
@@ -946,27 +1109,28 @@ impl Fleet {
         let fsql = fuse::render_select(&fplan.stmt);
         let merged = if !self.spec.is_sharded(table) {
             let s = (hash_key(&Value::Str(lookup.template.clone())) % n as u64) as usize;
-            let s = self.failover(s)?;
+            let s = self.failover(s, costs)?;
             costs.bytes += fsql.len() as u64;
             costs.statements[s] += 1;
-            let out = self.db(s).execute_stmt(&fplan.stmt)?;
+            let out = costs.view(s).with(|db| db.execute_read_stmt(&fplan.stmt))?;
             let ns = exec_cost(cost, &out.stats);
             costs.read_times[s].push(ns);
             costs.bytes += out.result.wire_size() as u64;
-            db_sleep(self.db_sleep_ppm, ns);
+            db_sleep(self.ppm(), ns);
             out.result
         } else {
             let descs: Vec<bool> = lookup.select.order_by.iter().map(|k| k.desc).collect();
-            if let Some(s) = (0..n).find(|&s| !self.live(s)) {
+            if let Some(s) = (0..n).find(|&s| !costs.live(s)) {
                 return Err(Self::down_error(s));
             }
             let all: Vec<usize> = (0..n).collect();
-            let ppm = self.db_sleep_ppm;
+            let ppm = self.ppm();
             let cm = *cost;
-            let outs = self.run_wave(&all, |_s| {
+            let outs = self.run_wave(&all, |s| {
                 let stmt = fplan.stmt.clone();
-                Box::new(move |db: &mut Database| {
-                    let (out, trace) = db.execute_stmt_traced(&stmt, &[])?;
+                let view = costs.view(s);
+                Box::new(move || {
+                    let (out, trace) = view.with(|db| db.execute_read_stmt_traced(&stmt, &[]))?;
                     db_sleep(ppm, exec_cost(&cm, &out.stats));
                     Ok((out, trace))
                 })
@@ -991,7 +1155,7 @@ impl Fleet {
     // ---- writes --------------------------------------------------------
 
     fn exec_write(
-        &mut self,
+        &self,
         sql: &str,
         cost: &CostModel,
         costs: &mut Costs,
@@ -999,13 +1163,13 @@ impl Fleet {
         let stmt = parse(sql)?;
         match &stmt {
             Statement::CreateTable { .. } | Statement::CreateIndex { .. } => {
-                self.stats.broadcast_writes += 1;
+                self.stats_mut().broadcast_writes += 1;
                 self.broadcast_write(&stmt, sql, cost, costs)
             }
             Statement::Begin | Statement::Commit | Statement::Rollback => {
                 // Transaction boundaries are coordinator-side no-ops:
                 // charged once, like the single server charges them.
-                self.stats.routed_writes += 1;
+                self.stats_mut().routed_writes += 1;
                 self.write_on(0, &stmt, sql, cost, costs)
             }
             Statement::Insert {
@@ -1053,7 +1217,7 @@ impl Fleet {
     /// one pins the row set, else every shard updates its own rows.
     #[allow(clippy::too_many_arguments)]
     fn route_dml(
-        &mut self,
+        &self,
         table: &str,
         predicate: Option<&Expr>,
         stmt: &Statement,
@@ -1064,19 +1228,19 @@ impl Fleet {
         match self.spec.key_column(table).map(str::to_string) {
             None => {
                 // Replicated table: keep every copy in sync.
-                self.stats.broadcast_writes += 1;
+                self.stats_mut().broadcast_writes += 1;
                 self.broadcast_write(stmt, sql, cost, costs)
             }
             Some(key) => {
                 let key_ty = self.key_column_type(table, &key);
                 match literal_key_conjunct(predicate, &key) {
                     Some(v) => {
-                        self.stats.routed_writes += 1;
+                        self.stats_mut().routed_writes += 1;
                         let s = shard_of(&coerce_key(v, key_ty), self.shards.len());
                         self.write_on(s, stmt, sql, cost, costs)
                     }
                     None => {
-                        self.stats.broadcast_writes += 1;
+                        self.stats_mut().broadcast_writes += 1;
                         self.broadcast_write(stmt, sql, cost, costs)
                     }
                 }
@@ -1094,14 +1258,14 @@ impl Fleet {
     }
 
     fn write_on(
-        &mut self,
+        &self,
         s: usize,
         stmt: &Statement,
         sql: &str,
         cost: &CostModel,
         costs: &mut Costs,
     ) -> Result<ResultSet, SqlError> {
-        if !self.live(s) {
+        if !costs.live(s) {
             return Err(Self::down_error(s));
         }
         costs.bytes += sql.len() as u64;
@@ -1109,12 +1273,12 @@ impl Fleet {
         let out = self.db(s).execute_stmt(stmt)?;
         let ns = exec_cost(cost, &out.stats);
         costs.write_ns[s] += ns;
-        db_sleep(self.db_sleep_ppm, ns);
+        db_sleep(self.ppm(), ns);
         Ok(out.result)
     }
 
     fn broadcast_write(
-        &mut self,
+        &self,
         stmt: &Statement,
         sql: &str,
         cost: &CostModel,
@@ -1123,7 +1287,7 @@ impl Fleet {
         // All-or-nothing under outages: check every target is live
         // *before* applying to any, so a broadcast never half-applies and
         // the retry loop can replay it safely.
-        if let Some(s) = (0..self.shards.len()).find(|&s| !self.live(s)) {
+        if let Some(s) = (0..self.shards.len()).find(|&s| !costs.live(s)) {
             return Err(Self::down_error(s));
         }
         let mut first: Option<ResultSet> = None;
@@ -1139,7 +1303,7 @@ impl Fleet {
     /// the shard owning its key value. Tuples are processed in statement
     /// order so partial-failure state matches the single server exactly.
     fn exec_insert(
-        &mut self,
+        &self,
         sql: &str,
         table: &str,
         columns: &[String],
@@ -1181,9 +1345,9 @@ impl Fleet {
             }
         };
         if sharded {
-            self.stats.routed_writes += 1;
+            self.stats_mut().routed_writes += 1;
         } else {
-            self.stats.broadcast_writes += 1;
+            self.stats_mut().broadcast_writes += 1;
         }
         // Routing must hash the value the table will *store*: coerce to
         // the key column's declared type exactly as the engine does, so
@@ -1201,11 +1365,11 @@ impl Fleet {
                     .and_then(|p| tuple.get(p).cloned())
                     .unwrap_or(Value::Null);
                 let s = shard_of(&coerce_key(key_val, key_ty), n);
-                if !self.live(s) {
+                if !costs.live(s) {
                     return Err(Self::down_error(s));
                 }
             }
-        } else if let Some(s) = (0..n).find(|&s| !self.live(s)) {
+        } else if let Some(s) = (0..n).find(|&s| !costs.live(s)) {
             return Err(Self::down_error(s));
         }
         let tkey = table.to_ascii_lowercase();
@@ -1213,7 +1377,8 @@ impl Fleet {
         let count = tuples.len() as u64;
         for tuple in tuples {
             let rid = {
-                let c = self.next_rid.entry(tkey.clone()).or_insert(0);
+                let mut seqs = self.next_rid.lock().unwrap_or_else(PoisonError::into_inner);
+                let c = seqs.entry(tkey.clone()).or_insert(0);
                 let rid = *c;
                 *c += 1;
                 rid
@@ -1243,13 +1408,13 @@ impl Fleet {
                 costs.bytes += sql.len() as u64;
                 let ns = cost.db_base_ns + cost.db_row_out_ns * count;
                 costs.write_ns[s] += ns;
-                db_sleep(self.db_sleep_ppm, ns);
+                db_sleep(self.ppm(), ns);
             }
         }
         if count == 0 {
             costs.bytes += sql.len() as u64;
             costs.write_ns[0] += cost.db_base_ns;
-            db_sleep(self.db_sleep_ppm, cost.db_base_ns);
+            db_sleep(self.ppm(), cost.db_base_ns);
         }
         Ok(ResultSet::empty())
     }
@@ -1259,22 +1424,31 @@ impl Fleet {
     /// The cached route for a template (parse once, route forever).
     /// `None` means the statement does not parse — the caller ships it to
     /// shard 0 for the authentic error.
-    fn route_for(&mut self, template: &str, sql: &str) -> Option<Arc<RouteEntry>> {
-        if let Some(e) = self.routes.map.get(template) {
-            self.stats.route_cache_hits += 1;
-            return Some(Arc::clone(e));
-        }
-        self.stats.route_cache_misses += 1;
-        let entry = Arc::new(build_route(sql, &self.spec)?);
-        if self.routes.map.len() >= ROUTE_CACHE_CAP {
-            if let Some(oldest) = self.routes.order.pop_front() {
-                self.routes.map.remove(&oldest);
+    fn route_for(&self, template: &str, sql: &str) -> Option<Arc<RouteEntry>> {
+        {
+            let routes = self.routes.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(e) = routes.map.get(template) {
+                let e = Arc::clone(e);
+                drop(routes);
+                self.stats_mut().route_cache_hits += 1;
+                return Some(e);
             }
         }
-        self.routes.order.push_back(template.to_string());
-        self.routes
-            .map
-            .insert(template.to_string(), Arc::clone(&entry));
+        self.stats_mut().route_cache_misses += 1;
+        let entry = Arc::new(build_route(sql, &self.spec)?);
+        let mut routes = self.routes.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(e) = routes.map.get(template) {
+            // Another batch routed the template concurrently; share its
+            // entry (both derivations are identical — routing is pure).
+            return Some(Arc::clone(e));
+        }
+        if routes.map.len() >= ROUTE_CACHE_CAP {
+            if let Some(oldest) = routes.order.pop_front() {
+                routes.map.remove(&oldest);
+            }
+        }
+        routes.order.push_back(template.to_string());
+        routes.map.insert(template.to_string(), Arc::clone(&entry));
         Some(entry)
     }
 }
@@ -1536,10 +1710,7 @@ impl ShardedEnv {
     /// A fleet of `shards` independent servers partitioned by `spec`.
     pub fn new(cost: CostModel, spec: ShardSpec, shards: usize) -> Self {
         ShardedEnv {
-            env: SimEnv::with_backend(
-                cost,
-                Backend::Sharded(std::sync::Mutex::new(Fleet::new(spec, shards))),
-            ),
+            env: SimEnv::with_backend(cost, Backend::Sharded(Fleet::new(spec, shards))),
         }
     }
 

@@ -90,16 +90,31 @@ impl PlanCacheStats {
 ///
 /// Lives inside [`Database`]; a template hit means repeated ORM-generated
 /// SQL skips lexing and parsing entirely and re-executes the cached plan
-/// with freshly extracted parameters. Entries are `Arc`-shared so the
-/// cache (and the `Database` holding it) stays `Send + Sync`-compatible:
-/// concurrent sessions multiplexed onto one database share one cache.
-#[derive(Debug, Clone, Default)]
+/// with freshly extracted parameters. Entries are `Arc`-shared and the
+/// whole cache is **interior-mutexed** so `SELECT` execution works through
+/// `&Database`: concurrent sessions multiplexed onto one database share one
+/// cache, and MVCC snapshots ([`Database::snapshot`]) share the *live*
+/// cache — a plan warmed by a snapshot read serves later writers too.
+#[derive(Debug, Default)]
 struct PlanCache {
+    inner: Mutex<PlanCacheInner>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct PlanCacheInner {
     map: HashMap<String, Arc<CachedPlan>>,
     order: VecDeque<String>,
     hits: u64,
     misses: u64,
     evictions: u64,
+}
+
+impl Clone for PlanCache {
+    fn clone(&self) -> Self {
+        PlanCache {
+            inner: Mutex::new(self.lock().clone()),
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -114,38 +129,47 @@ struct CachedPlan {
 const PLAN_CACHE_CAP: usize = 512;
 
 impl PlanCache {
-    fn lookup(&mut self, template: &str) -> Option<Arc<CachedPlan>> {
-        match self.map.get(template) {
+    fn lock(&self) -> std::sync::MutexGuard<'_, PlanCacheInner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn lookup(&self, template: &str) -> Option<Arc<CachedPlan>> {
+        let mut inner = self.lock();
+        match inner.map.get(template).map(Arc::clone) {
             Some(plan) => {
-                self.hits += 1;
-                Some(Arc::clone(plan))
+                inner.hits += 1;
+                Some(plan)
             }
             None => {
-                self.misses += 1;
+                inner.misses += 1;
                 None
             }
         }
     }
 
-    fn insert(&mut self, template: String, plan: CachedPlan) {
-        while self.map.len() >= PLAN_CACHE_CAP {
-            let Some(oldest) = self.order.pop_front() else {
+    fn insert(&self, template: String, plan: CachedPlan) {
+        let mut inner = self.lock();
+        while inner.map.len() >= PLAN_CACHE_CAP {
+            let Some(oldest) = inner.order.pop_front() else {
                 break;
             };
-            if self.map.remove(&oldest).is_some() {
-                self.evictions += 1;
+            if inner.map.remove(&oldest).is_some() {
+                inner.evictions += 1;
             }
         }
-        self.order.push_back(template.clone());
-        self.map.insert(template, Arc::new(plan));
+        inner.order.push_back(template.clone());
+        inner.map.insert(template, Arc::new(plan));
     }
 
     fn stats(&self) -> PlanCacheStats {
+        let inner = self.lock();
         PlanCacheStats {
-            hits: self.hits,
-            misses: self.misses,
-            entries: self.map.len(),
-            evictions: self.evictions,
+            hits: inner.hits,
+            misses: inner.misses,
+            entries: inner.map.len(),
+            evictions: inner.evictions,
         }
     }
 }
@@ -282,17 +306,95 @@ impl FootprintCache {
 
 /// An in-memory SQL database: a catalog of [`Table`]s plus an executor and
 /// a plan cache.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug)]
 pub struct Database {
     tables: HashMap<String, Table>,
-    plans: PlanCache,
-    footprints: FootprintCache,
+    plans: Arc<PlanCache>,
+    footprints: Arc<FootprintCache>,
+    version: u64,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database {
+            tables: HashMap::new(),
+            plans: Arc::new(PlanCache::default()),
+            footprints: Arc::new(FootprintCache::default()),
+            version: 0,
+        }
+    }
+}
+
+impl Clone for Database {
+    fn clone(&self) -> Self {
+        // A clone is an *independent* database (serial references,
+        // experiment restarts): the plan cache is deep-copied into a fresh
+        // handle and the footprint cache starts cold, exactly as before the
+        // caches moved behind `Arc`s. Table storage itself is Arc-backed
+        // copy-on-write, so the row data is shared until first mutation.
+        Database {
+            tables: self.tables.clone(),
+            plans: Arc::new((*self.plans).clone()),
+            footprints: Arc::new((*self.footprints).clone()),
+            version: self.version,
+        }
+    }
+}
+
+/// An immutable MVCC read view of a [`Database`], produced by
+/// [`Database::snapshot`].
+///
+/// Taking a snapshot is cheap — the table catalog is cloned but every
+/// table's row storage and indexes are `Arc`-shared copy-on-write, so the
+/// cost is reference-count bumps, not data copies. The snapshot **shares
+/// the live database's plan cache and footprint cache** (both are
+/// interior-mutexed behind `Arc`s): a plan warmed through a snapshot read
+/// is warm for everyone, and cache statistics stay deployment-global.
+///
+/// The snapshot derefs to `&Database`, exposing exactly the shared-receiver
+/// read surface ([`Database::execute_readonly`],
+/// [`Database::execute_select_normalized`], [`Database::execute_read_stmt`]
+/// and friends); there is no `DerefMut`, so mutation is unreachable by
+/// construction.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    db: Database,
+}
+
+impl std::ops::Deref for Snapshot {
+    type Target = Database;
+
+    fn deref(&self) -> &Database {
+        &self.db
+    }
 }
 
 impl Database {
     /// Creates an empty database.
     pub fn new() -> Self {
         Database::default()
+    }
+
+    /// Monotonic data version: bumped once per successful mutating
+    /// statement (DML and DDL; transaction boundaries are no-ops and do
+    /// not bump). Snapshots carry the version they were taken at, which is
+    /// what lets the driver detect staleness without re-reading rows.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Takes a consistent, immutable MVCC read view of the current state.
+    ///
+    /// O(#tables) reference-count bumps; see [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            db: Database {
+                tables: self.tables.clone(),
+                plans: Arc::clone(&self.plans),
+                footprints: Arc::clone(&self.footprints),
+                version: self.version,
+            },
+        }
     }
 
     /// Looks up a table (case-insensitive).
@@ -347,8 +449,12 @@ impl Database {
     /// [`Database::execute`] for a `SELECT` whose normalization the caller
     /// already computed — the batch driver normalizes once for fusion
     /// grouping and reuses it here instead of lexing twice.
+    ///
+    /// Takes `&self`: `SELECT` execution never mutates table state, and the
+    /// plan cache is interior-mutexed — this is the surface MVCC snapshots
+    /// read through.
     pub fn execute_select_normalized(
-        &mut self,
+        &self,
         sql: &str,
         norm: &crate::normalize::Normalized,
     ) -> Result<ExecOutcome, SqlError> {
@@ -358,28 +464,39 @@ impl Database {
     /// [`Database::execute_select_normalized`] with merge tracing enabled —
     /// the entry point the shard router uses for scatter-gathered reads.
     pub fn execute_select_traced(
-        &mut self,
+        &self,
         sql: &str,
         norm: &crate::normalize::Normalized,
     ) -> Result<(ExecOutcome, Option<MergeTrace>), SqlError> {
         self.execute_select_opts(sql, norm, true)
     }
 
+    /// Parses and executes one statement through `&self`, refusing anything
+    /// that is not a `SELECT` — the string-level entry point of the
+    /// snapshot read path.
+    pub fn execute_readonly(&self, sql: &str) -> Result<ExecOutcome, SqlError> {
+        if !crate::is_select_sql(sql) {
+            return Err(read_only_error());
+        }
+        let norm = normalize(sql)?;
+        self.execute_select_normalized(sql, &norm)
+    }
+
     fn execute_select_opts(
-        &mut self,
+        &self,
         sql: &str,
         norm: &crate::normalize::Normalized,
         trace: bool,
     ) -> Result<(ExecOutcome, Option<MergeTrace>), SqlError> {
         if let Some(plan) = self.plans.lookup(&norm.template) {
             if plan.n_params == norm.params.len() {
-                return self.execute_opts(&plan.stmt, &norm.params, trace);
+                return self.execute_read_opts(&plan.stmt, &norm.params, trace);
             }
         }
         let stmt = parse(sql)?;
         let (pstmt, slots) = parameterize(&stmt);
         if slots == norm.params.len() {
-            let out = self.execute_opts(&pstmt, &norm.params, trace);
+            let out = self.execute_read_opts(&pstmt, &norm.params, trace);
             // Cache only plans that executed cleanly: a statement that
             // errors (unknown table/column) would otherwise pin a useless
             // entry, and error texts must not depend on cache state.
@@ -396,13 +513,51 @@ impl Database {
         } else {
             // Normalizer/parser slot disagreement (possible outside the
             // supported grammar): execute the concrete statement, uncached.
-            self.execute_opts(&stmt, &[], trace)
+            self.execute_read_opts(&stmt, &[], trace)
         }
     }
 
     /// Executes an already-parsed statement (no parameters).
     pub fn execute_stmt(&mut self, stmt: &Statement) -> Result<ExecOutcome, SqlError> {
         self.execute_stmt_with(stmt, &[])
+    }
+
+    /// Executes an already-parsed `SELECT` through `&self`, erroring on any
+    /// other statement kind — the fused-probe entry point of the snapshot
+    /// read path.
+    pub fn execute_read_stmt(&self, stmt: &Statement) -> Result<ExecOutcome, SqlError> {
+        self.execute_read_stmt_with(stmt, &[])
+    }
+
+    /// [`Database::execute_read_stmt`] with bound `params`.
+    pub fn execute_read_stmt_with(
+        &self,
+        stmt: &Statement,
+        params: &[Value],
+    ) -> Result<ExecOutcome, SqlError> {
+        self.execute_read_opts(stmt, params, false).map(|(o, _)| o)
+    }
+
+    /// [`Database::execute_read_stmt_with`] with merge tracing — the
+    /// scatter-gather entry point of the snapshot read path.
+    pub fn execute_read_stmt_traced(
+        &self,
+        stmt: &Statement,
+        params: &[Value],
+    ) -> Result<(ExecOutcome, Option<MergeTrace>), SqlError> {
+        self.execute_read_opts(stmt, params, true)
+    }
+
+    fn execute_read_opts(
+        &self,
+        stmt: &Statement,
+        params: &[Value],
+        trace: bool,
+    ) -> Result<(ExecOutcome, Option<MergeTrace>), SqlError> {
+        match stmt {
+            Statement::Select(sel) => self.run_select(sel, params, trace),
+            _ => Err(read_only_error()),
+        }
     }
 
     /// Executes a (possibly parameterized) statement with bound `params`.
@@ -435,6 +590,13 @@ impl Database {
         if let Statement::Select(sel) = stmt {
             return self.run_select(sel, params, trace);
         }
+        // Transaction boundaries are engine no-ops: they must not bump the
+        // data version (a snapshot taken before a bare COMMIT is still
+        // perfectly current).
+        let bumps = !matches!(
+            stmt,
+            Statement::Begin | Statement::Commit | Statement::Rollback
+        );
         let out = match stmt {
             Statement::CreateTable { name, columns } => {
                 let key = name.to_ascii_lowercase();
@@ -465,6 +627,9 @@ impl Database {
             }
             Statement::Begin | Statement::Commit | Statement::Rollback => Ok(write_outcome(0)),
         };
+        if bumps && out.is_ok() {
+            self.version = self.version.wrapping_add(1);
+        }
         out.map(|o| (o, None))
     }
 
@@ -482,7 +647,9 @@ impl Database {
     ) -> Result<(), SqlError> {
         let t = self.table_mut(table)?;
         let row = map_tuple(t, columns, tuple)?;
-        t.insert_at(rid as usize, row)
+        t.insert_at(rid as usize, row)?;
+        self.version = self.version.wrapping_add(1);
+        Ok(())
     }
 
     fn table_mut(&mut self, name: &str) -> Result<&mut Table, SqlError> {
@@ -814,6 +981,13 @@ fn map_tuple(t: &Table, columns: &[String], tuple: Vec<Value>) -> Result<Row, Sq
 /// where execution would fail.
 pub fn eval_const(e: &Expr) -> Result<Value, SqlError> {
     eval_expr(e, &Scope::empty(), &[], &[])
+}
+
+/// The error every read-only execution surface returns for a non-`SELECT`:
+/// snapshots are immutable by construction, so a write reaching one is a
+/// driver admission bug, reported loudly instead of applied silently.
+fn read_only_error() -> SqlError {
+    SqlError::new("read-only execution: statement is not a SELECT")
 }
 
 fn write_outcome(rows_affected: u64) -> ExecOutcome {
@@ -1555,6 +1729,63 @@ mod tests {
         assert_eq!(db.footprint_cache_stats().hits, before.hits + 1);
         // Unlexable SQL is a barrier and never caches.
         assert!(db.footprint_of("SELECT \u{1}\"").barrier);
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_writes() {
+        let mut db = db_with_issues();
+        let snap = db.snapshot();
+        let v0 = db.version();
+        assert_eq!(snap.version(), v0);
+        db.execute("UPDATE issue SET sev = 99 WHERE id = 10")
+            .unwrap();
+        db.execute("DELETE FROM issue WHERE id = 11").unwrap();
+        db.execute("INSERT INTO issue VALUES (13, 2, 'new', 5)")
+            .unwrap();
+        assert_eq!(db.version(), v0 + 3);
+        assert_eq!(snap.version(), v0, "snapshot version is frozen");
+        // The snapshot still sees the pre-write state, rows and indexes.
+        let old = snap
+            .execute_readonly("SELECT sev FROM issue WHERE id = 10")
+            .unwrap();
+        assert_eq!(old.result.rows, vec![vec![Value::Int(3)]]);
+        let all = snap.execute_readonly("SELECT id FROM issue").unwrap();
+        assert_eq!(all.result.len(), 3);
+        // The live database sees the post-write state.
+        let new = db.execute("SELECT sev FROM issue WHERE id = 10").unwrap();
+        assert_eq!(new.result.rows, vec![vec![Value::Int(99)]]);
+        assert_eq!(db.execute("SELECT id FROM issue").unwrap().result.len(), 3);
+    }
+
+    #[test]
+    fn snapshot_refuses_writes_and_shares_the_plan_cache() {
+        let mut db = db_with_issues();
+        let snap = db.snapshot();
+        assert!(snap.execute_readonly("UPDATE issue SET sev = 1").is_err());
+        assert!(snap
+            .execute_read_stmt(&parse("DELETE FROM issue").unwrap())
+            .is_err());
+        // A plan warmed through the snapshot is warm on the live database.
+        snap.execute_readonly("SELECT title FROM issue WHERE id = 10")
+            .unwrap();
+        let warmed = db.plan_cache_stats();
+        assert_eq!((warmed.hits, warmed.misses, warmed.entries), (0, 1, 1));
+        db.execute("SELECT title FROM issue WHERE id = 11").unwrap();
+        assert_eq!(db.plan_cache_stats().hits, 1, "live execution hits it");
+    }
+
+    #[test]
+    fn clone_still_deep_copies() {
+        let mut db = db_with_issues();
+        let mut copy = db.clone();
+        copy.execute("UPDATE issue SET sev = 42 WHERE id = 10")
+            .unwrap();
+        let original = db.execute("SELECT sev FROM issue WHERE id = 10").unwrap();
+        assert_eq!(original.result.rows, vec![vec![Value::Int(3)]]);
+        // And the clone's plan cache is independent of the original's.
+        copy.execute("SELECT title FROM issue WHERE id = 10")
+            .unwrap();
+        assert_eq!(db.plan_cache_stats().misses, 1, "only the original's read");
     }
 
     #[test]

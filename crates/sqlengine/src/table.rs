@@ -1,22 +1,29 @@
 //! Row storage with hash indexes.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::ast::{ColumnDef, ColumnType};
 use crate::error::SqlError;
 use crate::value::{Row, Value};
 
 /// A stored table: schema, row slots (tombstoned on delete) and hash indexes.
+///
+/// Row storage and indexes sit behind [`Arc`]s with copy-on-write semantics
+/// (`Arc::make_mut`): cloning a table — and therefore snapshotting a whole
+/// [`crate::Database`] — is a reference-count bump, and the first mutation
+/// after a snapshot clones the touched storage exactly once. Readers holding
+/// an old `Arc` keep a consistent, immutable view for free.
 #[derive(Debug, Clone)]
 pub struct Table {
     /// Table name as declared.
     pub name: String,
     /// Column schema in declaration order.
     pub columns: Vec<ColumnDef>,
-    rows: Vec<Option<Row>>,
+    rows: Arc<Vec<Option<Row>>>,
     live: usize,
     /// column index → (value → row ids). The primary key is always indexed.
-    indexes: HashMap<usize, HashMap<Value, Vec<usize>>>,
+    indexes: Arc<HashMap<usize, HashMap<Value, Vec<usize>>>>,
 }
 
 impl Table {
@@ -25,12 +32,12 @@ impl Table {
         let mut t = Table {
             name,
             columns,
-            rows: Vec::new(),
+            rows: Arc::new(Vec::new()),
             live: 0,
-            indexes: HashMap::new(),
+            indexes: Arc::new(HashMap::new()),
         };
         if let Some(pk) = t.columns.iter().position(|c| c.primary_key) {
-            t.indexes.insert(pk, HashMap::new());
+            Arc::make_mut(&mut t.indexes).insert(pk, HashMap::new());
         }
         t
     }
@@ -71,7 +78,7 @@ impl Table {
                 index.entry(row[ci].clone()).or_default().push(rid);
             }
         }
-        self.indexes.insert(ci, index);
+        Arc::make_mut(&mut self.indexes).insert(ci, index);
         Ok(())
     }
 
@@ -125,13 +132,14 @@ impl Table {
             .enumerate()
             .map(|(ci, v)| self.coerce(ci, v))
             .collect();
-        for (ci, index) in self.indexes.iter_mut() {
+        for (ci, index) in Arc::make_mut(&mut self.indexes).iter_mut() {
             index.entry(row[*ci].clone()).or_default().push(rid);
         }
-        if rid >= self.rows.len() {
-            self.rows.resize(rid + 1, None);
+        let rows = Arc::make_mut(&mut self.rows);
+        if rid >= rows.len() {
+            rows.resize(rid + 1, None);
         }
-        self.rows[rid] = Some(row);
+        rows[rid] = Some(row);
         self.live += 1;
         Ok(())
     }
@@ -164,11 +172,15 @@ impl Table {
     /// Overwrites column `ci` of row `rid`, maintaining indexes.
     pub fn update_cell(&mut self, rid: usize, ci: usize, value: Value) {
         let value = self.coerce(ci, value);
-        let old = match self.rows.get_mut(rid).and_then(Option::as_mut) {
+        if !self.rows.get(rid).is_some_and(Option::is_some) {
+            return;
+        }
+        let rows = Arc::make_mut(&mut self.rows);
+        let old = match rows.get_mut(rid).and_then(Option::as_mut) {
             Some(row) => std::mem::replace(&mut row[ci], value.clone()),
             None => return,
         };
-        if let Some(index) = self.indexes.get_mut(&ci) {
+        if let Some(index) = Arc::make_mut(&mut self.indexes).get_mut(&ci) {
             if let Some(ids) = index.get_mut(&old) {
                 ids.retain(|&r| r != rid);
                 if ids.is_empty() {
@@ -181,11 +193,17 @@ impl Table {
 
     /// Tombstones row `rid`, maintaining indexes.
     pub fn delete(&mut self, rid: usize) {
-        let Some(row) = self.rows.get_mut(rid).and_then(Option::take) else {
+        if !self.rows.get(rid).is_some_and(Option::is_some) {
+            return;
+        }
+        let Some(row) = Arc::make_mut(&mut self.rows)
+            .get_mut(rid)
+            .and_then(Option::take)
+        else {
             return;
         };
         self.live -= 1;
-        for (ci, index) in self.indexes.iter_mut() {
+        for (ci, index) in Arc::make_mut(&mut self.indexes).iter_mut() {
             if let Some(ids) = index.get_mut(&row[*ci]) {
                 ids.retain(|&r| r != rid);
                 if ids.is_empty() {

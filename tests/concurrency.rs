@@ -343,9 +343,13 @@ fn dispatched_write_mix_matches_serial_reference() {
 
 /// Satellite: the observability surfaces (`stats`, `now_ns`,
 /// `result_cache_stats`, `Dispatcher::stats`) must never block behind an
-/// in-flight batch. We wedge a batch mid-ship by holding the database
-/// write lock, then require a full set of stats reads to complete on a
-/// bounded timeout while the batch is provably still stuck.
+/// in-flight batch. We wedge a **write** batch mid-ship by holding the
+/// database write lock, then require a full set of stats reads to
+/// complete on a bounded timeout while the batch is provably still
+/// stuck. Read-only batches no longer wedge at all — they execute
+/// against the published snapshot (see
+/// `snapshot_read_completes_while_writer_holds_the_db` below), so the
+/// wedge here must be a writer.
 #[test]
 fn stats_reads_complete_while_a_batch_is_mid_ship() {
     use std::sync::atomic::{AtomicBool, Ordering};
@@ -355,8 +359,8 @@ fn stats_reads_complete_while_a_batch_is_mid_ship() {
     let env = seeded_env(&schema, 2);
     let dispatcher = Arc::new(Dispatcher::new(env.clone()));
 
-    // Wedge the backend: while this guard lives, any batch that reaches
-    // the database blocks mid-ship.
+    // Wedge the backend: while this guard lives, any *write* batch that
+    // reaches the database blocks mid-ship.
     let db = env.database();
     let guard = db.write().unwrap();
 
@@ -365,18 +369,16 @@ fn stats_reads_complete_while_a_batch_is_mid_ship() {
         let env = env.clone();
         let done = Arc::clone(&batch_done);
         std::thread::spawn(move || {
-            let rs = env
-                .query("SELECT name FROM patient WHERE patient_id = 1")
+            env.query("UPDATE patient SET name = 'renamed' WHERE patient_id = 1")
                 .unwrap();
             done.store(true, Ordering::SeqCst);
-            rs
         })
     };
     // Give the batch thread time to reach the database lock.
     std::thread::sleep(Duration::from_millis(50));
     assert!(
         !batch_done.load(Ordering::SeqCst),
-        "batch must be wedged mid-ship before the stats reads start"
+        "write batch must be wedged mid-ship before the stats reads start"
     );
 
     // Every read-only surface must answer without the database lock.
@@ -407,8 +409,67 @@ fn stats_reads_complete_while_a_batch_is_mid_ship() {
     );
 
     drop(guard);
-    let rs = batch.join().unwrap();
-    assert_eq!(rs.get(0, "name").unwrap().as_str(), Some("patient-1"));
+    batch.join().unwrap();
+    let rs = env
+        .query("SELECT name FROM patient WHERE patient_id = 1")
+        .unwrap();
+    assert_eq!(rs.get(0, "name").unwrap().as_str(), Some("renamed"));
+}
+
+/// Tentpole regression (reader-wedge): a read-only batch must complete
+/// with bounded latency while another thread holds the database write
+/// lock mid-batch — exactly the wedge that used to stall every reader
+/// before MVCC snapshot reads. The read executes against the published
+/// snapshot, so it sees the last *committed* state and never blocks.
+#[test]
+fn snapshot_read_completes_while_writer_holds_the_db() {
+    use std::sync::mpsc;
+
+    let schema = clinic_schema();
+    let env = seeded_env(&schema, 2);
+
+    // A committed write first, so the published snapshot is mid-history
+    // (not just the seed) — the reader must see exactly this state.
+    env.query("UPDATE patient SET name = 'committed' WHERE patient_id = 1")
+        .unwrap();
+
+    // Wedge: hold the write lock and mutate the live database through
+    // it, simulating a writer stalled mid-batch with half-applied state.
+    let db = env.database();
+    let mut guard = db.write().unwrap();
+    guard
+        .execute("UPDATE patient SET name = 'uncommitted' WHERE patient_id = 1")
+        .unwrap();
+
+    let (tx, rx) = mpsc::channel();
+    {
+        let env = env.clone();
+        std::thread::spawn(move || {
+            let rs = env
+                .query("SELECT name FROM patient WHERE patient_id = 1")
+                .unwrap();
+            tx.send(rs).unwrap();
+        });
+    }
+    let rs = rx
+        .recv_timeout(Duration::from_secs(5))
+        .expect("snapshot read must not block behind the held write lock");
+    assert_eq!(
+        rs.get(0, "name").unwrap().as_str(),
+        Some("committed"),
+        "reader observes the last committed state, not the in-flight write"
+    );
+    assert!(
+        env.stats().snapshot_batches >= 1,
+        "the read went down the snapshot path"
+    );
+
+    // Release the writer; subsequent reads observe its result.
+    drop(guard);
+    let rs = env
+        .query("SELECT name FROM patient WHERE patient_id = 1")
+        .unwrap();
+    assert_eq!(rs.get(0, "name").unwrap().as_str(), Some("uncommitted"));
 }
 
 /// Satellite: the 64-session dispatcher stress suite. Thirty-two reader
