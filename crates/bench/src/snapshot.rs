@@ -55,6 +55,13 @@ pub struct SnapshotCfg {
     /// Writer think time between batches — paces the writer so its busy
     /// fraction lands mid-range instead of saturating the lock.
     pub writer_pause: Duration,
+    /// Reader think time between batches. Closed-loop clients with zero
+    /// think time monopolize the read guard and *starve the writer*
+    /// (an unfair `RwLock` admits new readers while a writer waits), so
+    /// the eager pass would measure a writer that rarely commits rather
+    /// than readers wedged behind a hot one. A small pause keeps the
+    /// guard free often enough for the writer to stay on its own pace.
+    pub reader_think: Duration,
     /// Point reads per read-only batch.
     pub batch: usize,
 }
@@ -66,6 +73,7 @@ impl Default for SnapshotCfg {
             duration: Duration::from_millis(500),
             write_hold_ns: 1_000_000,
             writer_pause: Duration::from_millis(1),
+            reader_think: Duration::from_micros(50),
             batch: 4,
         }
     }
@@ -102,8 +110,8 @@ pub struct SnapshotFigure {
     pub baseline: SnapshotPass,
     /// Snapshot reads on, hot writer churning.
     pub hot_snapshot: SnapshotPass,
-    /// Snapshot reads off (every batch takes the database lock), hot
-    /// writer churning.
+    /// Snapshot reads off (every read batch takes the live read guard
+    /// and waits out the held write guard), hot writer churning.
     pub hot_locked: SnapshotPass,
     /// `(hot_snapshot / baseline throughput) / (1 − writer busy
     /// fraction)` — > 1 means readers ran during the writer's lock hold.
@@ -155,6 +163,7 @@ fn run_pass(cfg: &SnapshotCfg, snapshot_on: bool, with_writer: bool) -> Snapshot
             let stop = Arc::clone(&stop);
             let mismatches = Arc::clone(&mismatches);
             let batch = cfg.batch.max(1);
+            let think = cfg.reader_think;
             std::thread::spawn(move || {
                 let mut latencies_ms: Vec<f64> = Vec::new();
                 let mut batches = 0u64;
@@ -174,6 +183,9 @@ fn run_pass(cfg: &SnapshotCfg, snapshot_on: bool, with_writer: bool) -> Snapshot
                     latencies_ms.push(t_b.elapsed().as_secs_f64() * 1e3);
                     batches += 1;
                     cursor += 1;
+                    if !think.is_zero() {
+                        std::thread::sleep(think);
+                    }
                     for (rs, id) in results.iter().zip(&ids) {
                         let want = format!("item{id}");
                         if rs.get(0, "v").and_then(|v| v.as_str()) != Some(want.as_str()) {

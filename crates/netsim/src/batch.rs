@@ -403,6 +403,32 @@ impl BatchDb for sloth_sql::Database {
     }
 }
 
+/// The live database through a shared **read** guard: the snapshot-off
+/// read-only path. By contract it observes the live state, so it
+/// serializes behind an in-flight writer (the guard), but never behind
+/// other readers — the PR 8 semantics the eager baseline measures.
+impl BatchDb for &sloth_sql::Database {
+    fn exec_normalized(&mut self, sql: &str, norm: &Normalized) -> Result<ExecOutcome, SqlError> {
+        self.execute_select_normalized(sql, norm)
+    }
+
+    fn exec_any(&mut self, sql: &str) -> Result<ExecOutcome, SqlError> {
+        self.execute_readonly(sql)
+    }
+
+    fn exec_fused(&mut self, stmt: &sloth_sql::Statement) -> Result<ExecOutcome, SqlError> {
+        self.execute_read_stmt(stmt)
+    }
+
+    fn plan_evictions(&self) -> u64 {
+        self.plan_cache_stats().evictions
+    }
+
+    fn data_version(&self) -> u64 {
+        self.version()
+    }
+}
+
 impl BatchDb for &Snapshot {
     fn exec_normalized(&mut self, sql: &str, norm: &Normalized) -> Result<ExecOutcome, SqlError> {
         self.execute_select_normalized(sql, norm)

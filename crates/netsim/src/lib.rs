@@ -692,9 +692,11 @@ impl SimEnv {
     /// so readers overlap an in-flight writer instead of serializing
     /// behind it. Write batches are unaffected: they alone take the
     /// write lock, and publish a fresh snapshot at commit. Turning this
-    /// off restores the PR 8 behaviour (every batch serializes on the
-    /// database lock) — the snapshot figure's baseline, and the
-    /// equivalence suites' on/off arm.
+    /// off restores the PR 8 behaviour (read batches take the shared
+    /// read guard on the live database and serialize behind any
+    /// in-flight writer; on the fleet they serialize on the write-order
+    /// mutex) — the snapshot figure's baseline, and the equivalence
+    /// suites' on/off arm.
     pub fn set_snapshot_reads(&self, on: bool) {
         self.knobs.snapshot_reads.store(on, Ordering::Relaxed);
     }
@@ -1613,6 +1615,18 @@ impl SimEnv {
                     sat_add(&self.stats.snapshot_batches, 1);
                     let mut view = &*view;
                     batch::exec_single(&mut view, &cost, sqls, &plan, skip)
+                } else if read_only {
+                    // Snapshot-off read-only batch: by contract it
+                    // observes the *live* state, so it takes the shared
+                    // read guard — serializing behind any in-flight
+                    // writer (the PR 8 ceiling the snapshot figure's
+                    // eager baseline measures) but never behind other
+                    // readers, and never paying the injected writer hold.
+                    let db = db
+                        .read()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    let mut view: &Database = &db;
+                    batch::exec_single(&mut view, &cost, sqls, &plan, skip)
                 } else {
                     let mut db = db
                         .write() // commit-point
@@ -1685,8 +1699,8 @@ impl SimEnv {
     }
 
     /// Pays the injected hot-writer hold (see
-    /// [`SimEnv::set_write_hold_ns`]); called while the write guard is
-    /// held, before the publish.
+    /// [`SimEnv::set_write_hold_ns`]); called by write batches only,
+    /// while the write guard is held, before the publish.
     fn write_hold(&self) {
         let ns = self.knobs.write_hold_ns.load(Ordering::Relaxed);
         if ns > 0 {

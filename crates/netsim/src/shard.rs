@@ -265,7 +265,7 @@ impl Drop for ShardPool {
 ///
 /// Interior-mutable by design: concurrent batches share one `Fleet`
 /// through `&self`. Snapshot read-only batches touch only the published
-/// snapshot cells (leaf mutexes) and per-shard worker queues; batches
+/// snapshot vector (a leaf lock) and per-shard worker queues; batches
 /// that write serialize on [`Fleet::write_order`] and publish fresh
 /// per-shard snapshots at commit.
 pub(crate) struct Fleet {
@@ -273,10 +273,14 @@ pub(crate) struct Fleet {
     /// own shard, the coordinator locks one shard at a time — there is
     /// no fleet-wide database lock on any execution path.
     shards: Vec<Arc<RwLock<Database>>>,
-    /// The published MVCC snapshot of each shard: the last committed
-    /// state, swapped under the shard's write guard at each write batch's
-    /// commit point. Leaf locks — held only to clone or swap the `Arc`.
-    snaps: Vec<Mutex<Arc<Snapshot>>>,
+    /// The published MVCC snapshots, one per shard: the last *committed*
+    /// state of the fleet. One `RwLock` over the whole vector, not a
+    /// lock per cell, so a commit's [`Fleet::publish_all`] swap is
+    /// atomic against snapshot admission and
+    /// [`Fleet::published_version`] — a reader can never pair shard 0's
+    /// post-broadcast state with shard 1's pre-broadcast state. Leaf
+    /// lock: held only to clone or swap `Arc`s, never across execution.
+    snaps: RwLock<Vec<Arc<Snapshot>>>,
     spec: ShardSpec,
     /// Per-table row sequences: every inserted row gets its table's next
     /// id, on whichever shard (replicated inserts share one id across all
@@ -311,15 +315,11 @@ impl Fleet {
             .collect();
         let snaps = dbs
             .iter()
-            .map(|db| {
-                Mutex::new(Arc::new(
-                    db.read().unwrap_or_else(PoisonError::into_inner).snapshot(),
-                ))
-            })
+            .map(|db| Arc::new(db.read().unwrap_or_else(PoisonError::into_inner).snapshot()))
             .collect();
         Fleet {
             shards: dbs,
-            snaps,
+            snaps: RwLock::new(snaps),
             spec,
             next_rid: Mutex::new(HashMap::new()),
             routes: Mutex::new(RouteCache::default()),
@@ -347,36 +347,28 @@ impl Fleet {
         self.stats.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Shard `s`'s published-snapshot cell (leaf lock).
-    fn lock_snap(&self, s: usize) -> MutexGuard<'_, Arc<Snapshot>> {
-        self.snaps[s].lock().unwrap_or_else(PoisonError::into_inner)
+    /// Read guard over the published snapshot vector (leaf lock: held
+    /// only to clone `Arc`s or sum versions, never across execution).
+    fn snaps_read(&self) -> RwLockReadGuard<'_, Vec<Arc<Snapshot>>> {
+        self.snaps.read().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// The freshest available snapshot of shard `s`, healing the
-    /// published cell when the live database is visibly newer (seeding
-    /// bumps versions out-of-band). `try_read` keeps this non-blocking:
-    /// if a writer holds the shard, the published cell *is* the latest
-    /// committed state — exactly what a snapshot reader must observe.
-    fn fresh_snapshot(&self, s: usize) -> Arc<Snapshot> {
-        if let Ok(live) = self.shards[s].try_read() {
-            let mut cell = self.lock_snap(s);
-            if cell.version() != live.version() {
-                *cell = Arc::new(live.snapshot());
-            }
-            return Arc::clone(&cell);
-        }
-        Arc::clone(&self.lock_snap(s))
-    }
-
-    /// Publishes every shard's committed state as its new snapshot.
-    /// Called at a write batch's commit point (under [`Fleet::write_order`],
-    /// so publishes are serialized) and after unmetered seeding. The
-    /// version gate makes untouched shards free — a routed single-shard
-    /// write republishes only its own shard.
+    /// Publishes every shard's committed state as its new snapshot —
+    /// the fleet's commit point. Only ever called under
+    /// [`Fleet::write_order`] (write batches and unmetered seeding both
+    /// hold it), so publishes are serialized, the published vector is
+    /// always the latest *committed* fleet state, and no heal-on-read
+    /// path is needed. The whole vector swaps under one write guard, so
+    /// a concurrent admission or version sum sees all of this batch's
+    /// shards or none of them. The version gate makes untouched shards
+    /// free — a routed single-shard write republishes only its own shard.
     fn publish_all(&self) {
-        for (db, snap) in self.shards.iter().zip(&self.snaps) {
+        let mut cells = self
+            .snaps
+            .write() // commit-point (the snapshot vector, not the db lock)
+            .unwrap_or_else(PoisonError::into_inner);
+        for (db, cell) in self.shards.iter().zip(cells.iter_mut()) {
             let live = db.read().unwrap_or_else(PoisonError::into_inner);
-            let mut cell = snap.lock().unwrap_or_else(PoisonError::into_inner);
             if cell.version() != live.version() {
                 *cell = Arc::new(live.snapshot());
             }
@@ -385,10 +377,10 @@ impl Fleet {
 
     /// Sum of the published per-shard snapshot versions: the fleet-wide
     /// commit stamp the result cache compares fill eligibility against.
+    /// Summed under the vector's read guard, so the stamp always
+    /// reflects one published state — never a mid-publish mix.
     pub(crate) fn published_version(&self) -> u64 {
-        (0..self.shards.len())
-            .map(|s| self.lock_snap(s).version())
-            .sum()
+        self.snaps_read().iter().map(|s| s.version()).sum()
     }
 
     /// Builds one batch's execution context: cost accumulators, the
@@ -397,15 +389,20 @@ impl Fleet {
     /// live handles (read-locked per statement) otherwise.
     fn batch_ctx(&self, snapshot_mode: bool, down: Option<&[bool]>) -> Costs {
         let n = self.shards.len();
-        let views = (0..n)
-            .map(|s| {
-                if snapshot_mode {
-                    ReadView::Snap(self.fresh_snapshot(s))
-                } else {
-                    ReadView::Live(Arc::clone(&self.shards[s]))
-                }
-            })
-            .collect();
+        let views: Vec<ReadView> = if snapshot_mode {
+            // All cells under one read guard: admission is atomic
+            // against `publish_all`'s vector swap, so the batch sees a
+            // broadcast write on every shard or on none.
+            self.snaps_read()
+                .iter()
+                .map(|s| ReadView::Snap(Arc::clone(s)))
+                .collect()
+        } else {
+            self.shards
+                .iter()
+                .map(|db| ReadView::Live(Arc::clone(db)))
+                .collect()
+        };
         Costs {
             read_times: vec![Vec::new(); n],
             write_ns: vec![0; n],

@@ -151,6 +151,13 @@ impl PlanCache {
 
     fn insert(&self, template: String, plan: CachedPlan) {
         let mut inner = self.lock();
+        if inner.map.contains_key(&template) {
+            // Two sessions can miss the same template concurrently (the
+            // cache is shared across snapshots); a second insert would
+            // push a duplicate `order` entry whose pop later evicts the
+            // live entry early. First plan wins — they are identical.
+            return;
+        }
         while inner.map.len() >= PLAN_CACHE_CAP {
             let Some(oldest) = inner.order.pop_front() else {
                 break;
